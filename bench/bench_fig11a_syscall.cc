@@ -1,0 +1,87 @@
+// Figure 11a: "A system-call–intensive microbenchmark (the lmbench suite's
+// open close) is measurably slowed by TESLA."
+//
+// Runs the open/close loop on kernels built in the paper's configurations:
+// Release, Debug (WITNESS/INVARIANTS analogue), Infrastructure (hooks + test
+// assertions, nothing else), MP, MS+MP, MF+MS+MP, M, All, and All(Debug).
+// Reports µs per open+close pair.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "kernelsim/assertions.h"
+#include "kernelsim/kernel.h"
+#include "kernelsim/workloads.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+using namespace tesla;
+using namespace tesla::kernelsim;
+
+struct Config {
+  const char* label;
+  bool instrumented;
+  uint32_t sets;
+  bool debug;
+};
+
+double MeasureConfig(const Config& config) {
+  std::unique_ptr<runtime::Runtime> rt;
+  if (config.instrumented) {
+    runtime::RuntimeOptions options;
+    options.fail_stop = false;
+    rt = std::make_unique<runtime::Runtime>(options);
+    auto manifest = KernelAssertions(config.sets);
+    if (!manifest.ok() || !rt->Register(manifest.value()).ok()) {
+      std::fprintf(stderr, "failed to build %s\n", config.label);
+      return -1;
+    }
+  }
+  KernelConfig kernel_config;
+  kernel_config.tesla = rt.get();
+  kernel_config.debug_checks = config.debug;
+  Kernel kernel(kernel_config);
+  Proc* proc = kernel.NewProcess(0);
+  KThread td = kernel.NewThread(proc);
+
+  double per_pair = bench::TimePerOp(
+      [&](int iterations) { OpenCloseLoop(kernel, td, iterations); }, 0.15);
+  if (rt != nullptr && rt->stats().violations != 0) {
+    std::fprintf(stderr, "unexpected violations in %s\n", config.label);
+  }
+  return per_pair * 1e6;  // µs
+}
+
+}  // namespace
+
+int main() {
+  const Config configs[] = {
+      {"Release", false, kSetNone, false},
+      {"Debug", false, kSetNone, true},
+      {"Infrastructure", true, kSetTest, false},
+      {"MP", true, kSetMacProc | kSetTest, false},
+      {"MS+MP", true, kSetMacSocket | kSetMacProc | kSetTest, false},
+      {"MF+MS+MP", true, kSetMacFs | kSetMacSocket | kSetMacProc | kSetTest, false},
+      {"M", true, kSetMac | kSetTest, false},
+      {"All", true, kSetAll, false},
+      {"All (Debug)", true, kSetAll, true},
+  };
+
+  std::printf("Figure 11a: lmbench-style open/close microbenchmark\n");
+  bench::PrintHeader("time per open+close pair", "us/pair");
+  double base = 0;
+  for (const Config& config : configs) {
+    double micros = MeasureConfig(config);
+    if (micros < 0) {
+      return 1;
+    }
+    if (base == 0) {
+      base = micros;
+    }
+    bench::PrintRow(config.label, micros, base);
+  }
+  std::printf("\npaper's shape: Debug ~2-3x Release; TESLA sets grow with assertion count;\n");
+  std::printf("All is the slowest TESLA bar and All(Debug) adds the debug cost on top.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Figure 14b: "TESLA has ... little impact on user-perceived performance."
+//
+// Replays a recorded UI event stream (the GNU Xnee analogue of §5.3.1)
+// against the AppKit simulator in four modes — baseline, tracing-capable
+// runtime, interposition, full TESLA — and reports window redraw times.
+// Most events repaint portions of the window; outliers are complete redraws
+// (the paper's worst case was 54 ms, most redraws well under 10 ms).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "objsim/appkit.h"
+#include "objsim/trace.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+using namespace tesla;
+using namespace tesla::objsim;
+
+// A deterministic "recorded" session: mostly mouse moves and clicks (partial
+// repaints), a full expose every 16th iteration.
+std::vector<std::vector<UiEvent>> RecordedSession(int iterations) {
+  std::vector<std::vector<UiEvent>> session;
+  uint64_t rng = 42;
+  for (int i = 0; i < iterations; i++) {
+    std::vector<UiEvent> events;
+    for (int e = 0; e < 6; e++) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      int64_t x = static_cast<int64_t>((rng >> 33) % 1200);
+      events.push_back({UiEvent::Kind::kMouseMove, x, 50});
+      if ((rng >> 35) % 3 == 0) {
+        events.push_back({UiEvent::Kind::kClick, x, 50});
+      }
+    }
+    if (i % 16 == 15) {
+      events.push_back({UiEvent::Kind::kExposeFull, 0, 0});
+    } else if (i % 4 == 3) {
+      events.push_back({UiEvent::Kind::kExposePartial, (i % 12) * 100, 50});
+    }
+    session.push_back(std::move(events));
+  }
+  return session;
+}
+
+struct Stats {
+  double median_ms = 0;
+  double p90_ms = 0;
+  double max_ms = 0;
+};
+
+Stats MeasureMode(TraceMode mode) {
+  runtime::RuntimeOptions options;
+  options.fail_stop = false;
+  runtime::Runtime tesla_rt(options);
+  runtime::ThreadContext ctx(tesla_rt);
+
+  ObjcRuntime rt(mode);
+  AppKitConfig config;
+  config.view_count = 12;
+  config.cells_per_view = 6;
+  AppKit app(rt, config);
+
+  std::unique_ptr<GuiTesla> tesla;
+  if (mode == TraceMode::kTesla) {
+    auto installed = GuiTesla::Install(tesla_rt, ctx, app);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "install: %s\n", installed.error().ToString().c_str());
+      std::exit(1);
+    }
+    tesla = std::move(installed.value());
+  } else if (mode == TraceMode::kInterposed) {
+    for (const std::string& selector : app.InstrumentedSelectors()) {
+      InterpositionHook hook;
+      hook.pre = [](ObjcObject*, Selector, std::span<const int64_t>) {};
+      rt.Interpose(selector, std::move(hook));
+    }
+  }
+
+  auto session = RecordedSession(192);
+  std::vector<double> redraw_ms;
+  // Repeat the session to amortise noise on fast iterations.
+  for (int repeat = 0; repeat < 8; repeat++) {
+    for (const auto& events : session) {
+      auto begin = bench::Clock::now();
+      app.RunLoopIteration(std::span<const UiEvent>(events.data(), events.size()));
+      redraw_ms.push_back(bench::SecondsSince(begin) * 1e3);
+    }
+  }
+
+  Stats stats;
+  stats.median_ms = bench::Percentile(redraw_ms, 0.5);
+  stats.p90_ms = bench::Percentile(redraw_ms, 0.9);
+  stats.max_ms = bench::Percentile(redraw_ms, 1.0);
+  if (mode == TraceMode::kTesla && tesla_rt.stats().violations != 0) {
+    std::fprintf(stderr, "unexpected violations: %llu\n",
+                 static_cast<unsigned long long>(tesla_rt.stats().violations));
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 14b: window redraw times under replayed UI events\n\n");
+  std::printf("%-26s %12s %12s %12s\n", "mode", "median (ms)", "p90 (ms)", "max (ms)");
+  std::printf("%-26s %12s %12s %12s\n", "--------------------------", "------------",
+              "------------", "------------");
+
+  const struct {
+    const char* label;
+    TraceMode mode;
+  } modes[] = {
+      {"Baseline", TraceMode::kRelease},
+      {"Tracing compiled in", TraceMode::kTracingCompiled},
+      {"Interposition", TraceMode::kInterposed},
+      {"TESLA", TraceMode::kTesla},
+  };
+  for (const auto& entry : modes) {
+    Stats stats = MeasureMode(entry.mode);
+    std::printf("%-26s %12.3f %12.3f %12.3f\n", entry.label, stats.median_ms, stats.p90_ms,
+                stats.max_ms);
+  }
+  std::printf("\npaper's shape: most redraws are partial and fast; outliers are full\n");
+  std::printf("redraws; even under full TESLA tracing the worst redraw stays within\n");
+  std::printf("smooth-animation budgets (paper: 54 ms worst, most under 10 ms).\n");
+  return 0;
+}

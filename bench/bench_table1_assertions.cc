@@ -1,0 +1,61 @@
+// Table 1: "Assertion sets referenced in figure 11."
+//
+// Prints the table — symbol, description, assertion count — computed from
+// the actual registered suite, and verifies every assertion compiles and
+// registers with libtesla.
+#include <cstdio>
+
+#include "kernelsim/assertions.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+struct TableRow {
+  const char* symbol;
+  const char* description;
+  uint32_t sets;
+};
+
+}  // namespace
+
+int main() {
+  using namespace tesla::kernelsim;
+
+  const TableRow rows[] = {
+      {"MF", "MAC (filesystem)", kSetMacFs},
+      {"MS", "MAC (sockets)", kSetMacSocket},
+      {"MP", "MAC (processes)", kSetMacProc},
+      {"M", "All MAC assertions", kSetMac},
+      {"P", "Process lifetimes", kSetProc},
+      {"All", "All TESLA assertions", kSetAll},
+  };
+
+  std::printf("Table 1: Assertion sets referenced in figure 11\n");
+  std::printf("%-8s %-28s %10s\n", "Symbol", "Description", "Assertions");
+  std::printf("%-8s %-28s %10s\n", "------", "----------------------------", "----------");
+  bool all_ok = true;
+  for (const TableRow& row : rows) {
+    size_t count = KernelAssertionSources(row.sets).size();
+    std::printf("%-8s %-28s %10zu\n", row.symbol, row.description, count);
+
+    auto manifest = KernelAssertions(row.sets);
+    if (!manifest.ok()) {
+      std::printf("  ERROR compiling set %s: %s\n", row.symbol,
+                  manifest.error().ToString().c_str());
+      all_ok = false;
+      continue;
+    }
+    tesla::runtime::RuntimeOptions options;
+    options.fail_stop = false;
+    tesla::runtime::Runtime rt(options);
+    auto status = rt.Register(manifest.value());
+    if (!status.ok()) {
+      std::printf("  ERROR registering set %s: %s\n", row.symbol,
+                  status.error().ToString().c_str());
+      all_ok = false;
+    }
+  }
+  std::printf("\nPaper's counts: MF=25 MS=11 MP=10 M=48 P=37 All=96\n");
+  std::printf("%s\n", all_ok ? "All assertion sets compile and register." : "ERRORS above.");
+  return all_ok ? 0 : 1;
+}

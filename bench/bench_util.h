@@ -1,0 +1,79 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation section, printing the same rows/series. Absolute numbers differ
+// from the 2013 testbed; the *shape* (who wins, by what factor, where
+// crossovers fall) is the reproduction target — see EXPERIMENTS.md.
+#ifndef TESLA_BENCH_BENCH_UTIL_H_
+#define TESLA_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tesla::bench {
+
+using Clock = std::chrono::steady_clock;
+
+inline double SecondsSince(Clock::time_point begin) {
+  return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+
+// Runs `body(iterations)` with geometrically growing iteration counts until
+// at least `min_seconds` elapses; returns seconds per iteration.
+inline double TimePerOp(const std::function<void(int)>& body, double min_seconds = 0.2) {
+  int iterations = 1;
+  while (true) {
+    auto begin = Clock::now();
+    body(iterations);
+    double elapsed = SecondsSince(begin);
+    if (elapsed >= min_seconds) {
+      break;
+    }
+    int grow = elapsed <= 0 ? 1000 : static_cast<int>(iterations * (min_seconds / elapsed) * 1.3);
+    iterations = std::max(iterations * 2, grow);
+  }
+  // Repeat at the chosen count and keep the fastest run (noise floors out
+  // scheduler interference on shared machines).
+  double best = 1e300;
+  for (int repeat = 0; repeat < 3; repeat++) {
+    auto begin = Clock::now();
+    body(iterations);
+    best = std::min(best, SecondsSince(begin));
+  }
+  return best / iterations;
+}
+
+struct Row {
+  std::string label;
+  double value = 0;
+  double baseline_ratio = 0;
+};
+
+inline void PrintHeader(const std::string& title, const std::string& value_unit) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-28s %14s %10s\n", "configuration", value_unit.c_str(), "vs base");
+  std::printf("%-28s %14s %10s\n", "----------------------------", "--------------",
+              "----------");
+}
+
+inline void PrintRow(const std::string& label, double value, double base) {
+  std::printf("%-28s %14.3f %9.2fx\n", label.c_str(), value, base > 0 ? value / base : 0.0);
+}
+
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(p * (values.size() - 1));
+  return values[index];
+}
+
+}  // namespace tesla::bench
+
+#endif  // TESLA_BENCH_BENCH_UTIL_H_

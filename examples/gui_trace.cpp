@@ -1,0 +1,105 @@
+// gui_trace: the paper's §3.5.3 GNUstep study, reproduced.
+//
+// TESLA as an *introspection* tool: the fig. 8 assertion instruments ~110
+// AppKit methods through the Objective-C runtime's interposition table, the
+// automaton accepts everything (it is a tracing net, not a checker), and a
+// custom handler records the event stream. Analysing the trace reveals the
+// cursor push/pop bug: mouse-entered events not paired with mouse-exited
+// events push duplicate cursors, leaving the UI in the wrong state.
+#include <cstdio>
+#include <vector>
+
+#include "objsim/appkit.h"
+#include "objsim/trace.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+using namespace tesla;
+using namespace tesla::objsim;
+
+std::vector<UiEvent> MouseSweep(int steps) {
+  std::vector<UiEvent> events;
+  for (int i = 0; i < steps; i++) {
+    events.push_back({UiEvent::Kind::kMouseMove, (i % 6) * 100 + 50, 50});
+  }
+  return events;
+}
+
+}  // namespace
+
+int main() {
+  runtime::RuntimeOptions options;
+  options.fail_stop = false;
+  runtime::Runtime tesla_rt(options);
+  runtime::ThreadContext ctx(tesla_rt);
+
+  ObjcRuntime objc(TraceMode::kTesla);
+  AppKitConfig config;
+  config.cursor_unbalanced_bug = true;  // the June-2013 GNUstep bug
+  AppKit app(objc, config);
+
+  auto installed = GuiTesla::Install(tesla_rt, ctx, app);
+  if (!installed.ok()) {
+    std::fprintf(stderr, "install: %s\n", installed.error().ToString().c_str());
+    return 1;
+  }
+  GuiTesla& tesla = **installed;
+  tesla.EnableTraceRecording(true);
+
+  std::printf("instrumented %zu selectors via runtime interposition (fig. 8)\n\n",
+              app.InstrumentedSelectors().size());
+
+  // Drive the app: the user sweeps the mouse across views for a few frames.
+  std::vector<UiEvent> sweep = MouseSweep(18);
+  for (int frame = 0; frame < 6; frame++) {
+    app.RunLoopIteration(std::span<const UiEvent>(sweep.data(), sweep.size()));
+  }
+
+  std::printf("run-loop iterations: %llu, messages traced: %llu, violations: %llu\n\n",
+              static_cast<unsigned long long>(app.run_loop()->iterations),
+              static_cast<unsigned long long>(tesla.total_events()),
+              static_cast<unsigned long long>(tesla_rt.stats().violations));
+
+  // The §3.5.3 analysis: pair pushes with pops per iteration.
+  std::printf("cursor stack balance per run-loop iteration (push - pop):\n");
+  int64_t total_imbalance = 0;
+  for (const auto& [iteration, delta] : tesla.CursorImbalanceByIteration()) {
+    std::printf("  iteration %llu: %+lld%s\n", static_cast<unsigned long long>(iteration),
+                static_cast<long long>(delta), delta > 1 ? "   <-- unbalanced!" : "");
+    total_imbalance += delta;
+  }
+  std::printf("\ncursor stack depth after the session: %zu (pushes %llu, pops %llu)\n",
+              app.cursor_stack_depth(), static_cast<unsigned long long>(app.cursor_pushes()),
+              static_cast<unsigned long long>(app.cursor_pops()));
+
+  // Show a slice of the recorded trace, as handed to the GNUstep developers.
+  std::printf("\nfirst cursor events in the trace:\n");
+  int shown = 0;
+  for (const TraceEvent& event : tesla.trace()) {
+    if (event.selector == "push" || event.selector == "pop" ||
+        event.selector == "mouseEntered" || event.selector == "mouseExited") {
+      std::printf("  [iter %llu] %-14s receiver #%llu\n",
+                  static_cast<unsigned long long>(event.iteration), event.selector.c_str(),
+                  static_cast<unsigned long long>(event.receiver));
+      if (++shown == 14) {
+        break;
+      }
+    }
+  }
+
+  // §3.5.3's second insight: profiling exposes optimisation opportunities.
+  auto profile = tesla.AnalyseSaveRestorePairs();
+  std::printf("\ngraphics-state profile: %llu save/restore pairs, %llu elidable\n"
+              "(only colour/position changed in between — \"before examining these traces\n"
+              "it was not obvious that this would be a worthwhile change\")\n",
+              static_cast<unsigned long long>(profile.total_pairs),
+              static_cast<unsigned long long>(profile.elidable_pairs));
+
+  std::printf("\ndiagnosis: %s\n",
+              total_imbalance > 1
+                  ? "mouse-entered events are not correctly paired with mouse-exited "
+                    "events;\nthe same cursors are pushed onto the cursor stack multiple times."
+                  : "cursor traffic is balanced.");
+  return total_imbalance > 1 ? 0 : 1;
+}

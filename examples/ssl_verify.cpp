@@ -1,0 +1,85 @@
+// ssl_verify: the paper's §3.5.1 OpenSSL study, reproduced.
+//
+// A libfetch-style client retrieves a document over a miniature TLS stack.
+// Its verification check contains the historical CVE-2008-5077-class bug:
+// `if (!EVP_VerifyFinal(...))` treats the *exceptional* −1 result as success.
+// The fig. 6 assertion — written in the client, instrumenting across the
+// libssl/libcrypto boundary — catches the compromise the client itself
+// cannot see.
+#include <cstdio>
+
+#include "runtime/runtime.h"
+#include "support/log.h"
+#include "sslsim/fetch.h"
+
+namespace {
+
+using namespace tesla;
+using namespace tesla::sslsim;
+
+class ViolationPrinter : public runtime::EventHandler {
+ public:
+  void OnViolation(const runtime::ClassInfo& cls, const runtime::Violation& violation) override {
+    std::printf("  !! TESLA: %s — '%s'\n", runtime::ViolationKindName(violation.kind),
+                violation.automaton.c_str());
+    fired_ = true;
+  }
+  bool fired() const { return fired_; }
+  void Reset() { fired_ = false; }
+
+ private:
+  bool fired_ = false;
+};
+
+}  // namespace
+
+int main() {
+  // Violations are reported through our handler; silence the default log.
+  SetLogLevel(LogLevel::kSilent);
+  runtime::RuntimeOptions options;
+  options.fail_stop = false;
+  runtime::Runtime rt(options);
+  auto manifest = FetchAssertions();
+  if (!manifest.ok() || !rt.Register(manifest.value()).ok()) {
+    std::fprintf(stderr, "failed to register the fig. 6 assertion\n");
+    return 1;
+  }
+  ViolationPrinter printer;
+  rt.AddHandler(&printer);
+  runtime::ThreadContext ctx(rt);
+
+  std::printf("fig. 6 assertion registered:\n  %s\n\n",
+              rt.automaton(0).source_text.c_str());
+
+  SslInstrumentation instr{&rt, &ctx};
+  FetchClient vulnerable_client(instr, SslConfig{});  // the buggy tri-state check
+
+  std::printf("== fetching from an honest server ==\n");
+  Server honest = Server::Honest(0x5eed, "<html>the real page</html>");
+  FetchResult good = vulnerable_client.FetchDocument(honest);
+  std::printf("  fetched: %s (EVP_VerifyFinal returned %lld)\n",
+              good.document.c_str(), static_cast<long long>(good.verify_result));
+  std::printf("  TESLA violations: %s\n\n", printer.fired() ? "YES" : "none");
+
+  std::printf("== fetching from the malicious s_server (forged ASN.1 tag) ==\n");
+  printer.Reset();
+  Server malicious = Server::Malicious(0x5eed, "<html>attacker content</html>");
+  FetchResult bad = vulnerable_client.FetchDocument(malicious);
+  std::printf("  the client *believes* it fetched: %s\n", bad.document.c_str());
+  std::printf("  EVP_VerifyFinal actually returned %lld (exceptional failure)\n",
+              static_cast<long long>(bad.verify_result));
+  std::printf("  TESLA violations: %s\n\n", printer.fired() ? "YES — compromise detected" : "none");
+  bool caught = printer.fired();
+
+  std::printf("== same malicious server, fixed client (verify != 1 rejected) ==\n");
+  printer.Reset();
+  SslConfig fixed;
+  fixed.correct_verify_check = true;
+  FetchClient fixed_client(instr, fixed);
+  FetchResult rejected = fixed_client.FetchDocument(malicious);
+  std::printf("  connection %s; TESLA violations: %s\n",
+              rejected.ok ? "succeeded (!)" : "refused",
+              printer.fired() ? "YES" : "none (no site reached)");
+
+  return caught && !rejected.ok ? 0 : 1;
+}

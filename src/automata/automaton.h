@@ -1,0 +1,96 @@
+// The TESLA automaton: an epsilon-free NFA over EventPattern symbols.
+//
+// Layout (paper §4.4.1, fig. 9):
+//   state 0            pre-init; the «init» symbol (the bound's start event)
+//                      moves to the body entry
+//   body states        lowered from the assertion expression
+//   accept state       reached via the «cleanup» symbol (the bound's end
+//                      event) from body-accepting and bypass states
+//
+// Instances are simulated as 64-bit state sets, so automata are limited to 64
+// states; lowering reports an error beyond that.
+#ifndef TESLA_AUTOMATA_AUTOMATON_H_
+#define TESLA_AUTOMATA_AUTOMATON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/pattern.h"
+#include "parser/ast.h"
+#include "support/intern.h"
+
+namespace tesla::automata {
+
+using StateSet = uint64_t;
+inline constexpr uint32_t kMaxStates = 64;
+
+constexpr StateSet StateBit(uint32_t state) { return StateSet{1} << state; }
+
+struct Transition {
+  uint32_t from = 0;
+  uint16_t symbol = 0;  // index into Automaton::alphabet
+  uint32_t to = 0;
+
+  bool operator==(const Transition&) const = default;
+};
+
+class Automaton {
+ public:
+  // --- structure ---
+
+  std::string name;                   // e.g. "sopoll_generic.c:123"
+  ast::Context context = ast::Context::kPerThread;
+  bool strict = false;                // strict(): unconsumable events are violations
+
+  std::vector<EventPattern> alphabet;
+  std::vector<std::string> variables;  // automaton variable names, by index
+
+  uint32_t state_count = 0;
+  uint32_t initial_state = 0;   // always 0
+  uint32_t accept_state = 0;    // the post-cleanup accepting state
+  std::vector<Transition> transitions;
+
+  uint16_t init_symbol = 0;     // «init» (bound start)
+  uint16_t cleanup_symbol = 0;  // «cleanup» (bound end)
+  bool has_site = false;
+  uint16_t site_symbol = 0;     // valid when has_site
+
+  // Original surface syntax, kept for reports.
+  std::string source_text;
+
+  // --- derived data (built by Finalize) ---
+
+  // edges[state] lists (symbol, target) pairs.
+  std::vector<std::vector<Transition>> edges;
+  // For each symbol, the union of states having an out-edge on it.
+  std::vector<StateSet> symbol_sources;
+
+  void Finalize();
+
+  // Steps `states` on `symbol`; returns the successor set (may be empty).
+  StateSet Step(StateSet states, uint16_t symbol) const;
+
+  // True if `symbol` can fire from at least one state in `states`.
+  bool CanStep(StateSet states, uint16_t symbol) const {
+    return symbol < symbol_sources.size() && (symbol_sources[symbol] & states) != 0;
+  }
+
+  // Adds (deduplicating) a pattern to the alphabet; returns its symbol index.
+  uint16_t AddPattern(const EventPattern& pattern);
+
+  void AddTransition(uint32_t from, uint16_t symbol, uint32_t to);
+
+  // The set {body entry} used to seed fresh instances (the state reached by
+  // the «init» transition).
+  StateSet InitialInstanceStates() const;
+
+  // Variable indices bound by each symbol's patterns (for clone bookkeeping).
+  std::vector<uint16_t> VariablesBoundBy(uint16_t symbol) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace tesla::automata
+
+#endif  // TESLA_AUTOMATA_AUTOMATON_H_

@@ -1,0 +1,66 @@
+#include "automata/determinize.h"
+
+#include <deque>
+#include <map>
+#include <sstream>
+
+namespace tesla::automata {
+
+std::string Dfa::StateLabel(uint32_t state) const {
+  std::ostringstream out;
+  out << "NFA:";
+  StateSet set = states[state].nfa_states;
+  bool first = true;
+  while (set != 0) {
+    uint32_t nfa_state = static_cast<uint32_t>(__builtin_ctzll(set));
+    set &= set - 1;
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << nfa_state;
+  }
+  return out.str();
+}
+
+Dfa Determinize(const Automaton& automaton) {
+  Dfa dfa;
+  dfa.symbol_count = static_cast<uint32_t>(automaton.alphabet.size());
+
+  std::map<StateSet, uint32_t> index;
+  std::deque<StateSet> worklist;
+
+  auto state_of = [&](StateSet set) {
+    auto it = index.find(set);
+    if (it != index.end()) {
+      return it->second;
+    }
+    uint32_t id = static_cast<uint32_t>(dfa.states.size());
+    Dfa::State state;
+    state.nfa_states = set;
+    state.transitions.assign(dfa.symbol_count, Dfa::kNoTarget);
+    state.contains_accept = (set & StateBit(automaton.accept_state)) != 0;
+    dfa.states.push_back(std::move(state));
+    index.emplace(set, id);
+    worklist.push_back(set);
+    return id;
+  };
+
+  state_of(StateBit(automaton.initial_state));
+  while (!worklist.empty()) {
+    StateSet set = worklist.front();
+    worklist.pop_front();
+    uint32_t from = index.at(set);
+    for (uint16_t symbol = 0; symbol < dfa.symbol_count; symbol++) {
+      StateSet next = automaton.Step(set, symbol);
+      if (next == 0) {
+        continue;
+      }
+      uint32_t to = state_of(next);
+      dfa.states[from].transitions[symbol] = to;
+    }
+  }
+  return dfa;
+}
+
+}  // namespace tesla::automata

@@ -1,0 +1,43 @@
+// Subset construction: NFA → DFA.
+//
+// Paper fig. 9 labels its states "NFA:0", "NFA:1,3", ...: each TESLA state is
+// a set of NFA states. libtesla simulates the NFA state-set directly (see
+// runtime/), while this explicit DFA is used for inspection, DOT rendering
+// and the DFA-stepping ablation benchmark.
+#ifndef TESLA_AUTOMATA_DETERMINIZE_H_
+#define TESLA_AUTOMATA_DETERMINIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/automaton.h"
+
+namespace tesla::automata {
+
+struct Dfa {
+  struct State {
+    StateSet nfa_states = 0;
+    // transitions[symbol] = successor DFA state, or kNoTarget.
+    std::vector<uint32_t> transitions;
+    bool contains_accept = false;
+  };
+
+  static constexpr uint32_t kNoTarget = UINT32_MAX;
+
+  std::vector<State> states;  // state 0 is the initial state
+  uint32_t symbol_count = 0;
+
+  uint32_t Step(uint32_t state, uint16_t symbol) const {
+    return states[state].transitions[symbol];
+  }
+
+  // Renders a state as the paper does: "NFA:1,3".
+  std::string StateLabel(uint32_t state) const;
+};
+
+Dfa Determinize(const Automaton& automaton);
+
+}  // namespace tesla::automata
+
+#endif  // TESLA_AUTOMATA_DETERMINIZE_H_

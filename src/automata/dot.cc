@@ -1,0 +1,97 @@
+#include "automata/dot.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace tesla::automata {
+namespace {
+
+std::string EscapeLabel(const std::string& text) {
+  std::string escaped;
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      escaped.push_back('\\');
+    }
+    escaped.push_back(c);
+  }
+  return escaped;
+}
+
+std::string SymbolLabel(const Automaton& automaton, uint16_t symbol) {
+  std::string label = automaton.alphabet[symbol].ToString();
+  if (symbol == automaton.init_symbol) {
+    label += " «init»";
+  }
+  if (symbol == automaton.cleanup_symbol) {
+    label += " «cleanup»";
+  }
+  if (automaton.has_site && symbol == automaton.site_symbol) {
+    label += " «assertion»";
+  }
+  return EscapeLabel(label);
+}
+
+}  // namespace
+
+std::string ToDot(const Automaton& automaton, const Dfa& dfa, const TransitionWeights* weights) {
+  std::ostringstream out;
+  out << "digraph \"" << EscapeLabel(automaton.name) << "\" {\n";
+  out << "  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (uint32_t state = 0; state < dfa.states.size(); state++) {
+    out << "  s" << state << " [label=\"state " << state << "\\n\\\"" << dfa.StateLabel(state)
+        << "\\\"\"";
+    if (dfa.states[state].contains_accept) {
+      out << ", peripheries=2";
+    }
+    out << "];\n";
+  }
+  for (uint32_t state = 0; state < dfa.states.size(); state++) {
+    for (uint16_t symbol = 0; symbol < dfa.symbol_count; symbol++) {
+      uint32_t target = dfa.states[state].transitions[symbol];
+      if (target == Dfa::kNoTarget) {
+        continue;
+      }
+      out << "  s" << state << " -> s" << target << " [label=\""
+          << SymbolLabel(automaton, symbol);
+      uint64_t weight = 0;
+      if (weights != nullptr) {
+        auto it = weights->find({state, symbol});
+        if (it != weights->end()) {
+          weight = it->second;
+        }
+        out << "\\n(" << weight << ")";
+      }
+      out << "\"";
+      if (weights != nullptr) {
+        // Pen width grows logarithmically with observed frequency (fig. 9:
+        // "Transitions are weighted according to their occurrence at run time").
+        double width = weight == 0 ? 0.3 : 1.0 + std::log10(static_cast<double>(weight));
+        out << ", penwidth=" << width;
+      }
+      out << "];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string ToDotNfa(const Automaton& automaton) {
+  std::ostringstream out;
+  out << "digraph \"" << EscapeLabel(automaton.name) << " (NFA)\" {\n";
+  out << "  rankdir=TB;\n  node [shape=circle, fontname=\"Helvetica\"];\n";
+  for (uint32_t state = 0; state < automaton.state_count; state++) {
+    out << "  n" << state << " [label=\"" << state << "\"";
+    if (state == automaton.accept_state) {
+      out << ", shape=doublecircle";
+    }
+    out << "];\n";
+  }
+  for (const Transition& transition : automaton.transitions) {
+    out << "  n" << transition.from << " -> n" << transition.to << " [label=\""
+        << SymbolLabel(automaton, transition.symbol) << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tesla::automata

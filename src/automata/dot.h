@@ -1,0 +1,28 @@
+// Graphviz DOT rendering of TESLA automata, optionally weighted with run-time
+// transition counts (paper §4.4.2: "TESLA can combine observations of dynamic
+// behaviour with static automata descriptions, producing weighted graphs like
+// that in figure 9").
+#ifndef TESLA_AUTOMATA_DOT_H_
+#define TESLA_AUTOMATA_DOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "automata/automaton.h"
+#include "automata/determinize.h"
+
+namespace tesla::automata {
+
+// Counts of observed transitions, keyed by (from DFA state, symbol).
+using TransitionWeights = std::map<std::pair<uint32_t, uint16_t>, uint64_t>;
+
+std::string ToDot(const Automaton& automaton, const Dfa& dfa,
+                  const TransitionWeights* weights = nullptr);
+
+// NFA-level rendering (one node per NFA state).
+std::string ToDotNfa(const Automaton& automaton);
+
+}  // namespace tesla::automata
+
+#endif  // TESLA_AUTOMATA_DOT_H_

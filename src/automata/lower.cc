@@ -1,0 +1,579 @@
+#include "automata/lower.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "parser/parser.h"
+
+namespace tesla::automata {
+namespace {
+
+using ast::Assertion;
+using ast::BooleanOp;
+using ast::Expr;
+using ast::ExprKind;
+using ast::FunctionEventKind;
+using ast::Modifier;
+using ast::ValueKind;
+using ast::ValuePattern;
+
+// An epsilon-free NFA fragment with a single entry state.
+// Invariant: nullable ⟺ entry ∈ accepts.
+struct MiniNfa {
+  // edges[state] = list of (symbol, target).
+  std::vector<std::vector<std::pair<uint16_t, uint32_t>>> edges;
+  uint32_t entry = 0;
+  std::vector<uint32_t> accepts;
+  bool nullable = false;
+
+  uint32_t size() const { return static_cast<uint32_t>(edges.size()); }
+  bool IsAccept(uint32_t state) const {
+    return std::find(accepts.begin(), accepts.end(), state) != accepts.end();
+  }
+  void AddAccept(uint32_t state) {
+    if (!IsAccept(state)) {
+      accepts.push_back(state);
+    }
+  }
+};
+
+MiniNfa Leaf(uint16_t symbol) {
+  MiniNfa nfa;
+  nfa.edges.resize(2);
+  nfa.edges[0].push_back({symbol, 1});
+  nfa.entry = 0;
+  nfa.accepts = {1};
+  nfa.nullable = false;
+  return nfa;
+}
+
+// Appends B's states to A's state space, returning the index offset.
+uint32_t Absorb(MiniNfa* a, const MiniNfa& b) {
+  uint32_t offset = a->size();
+  for (const auto& out_edges : b.edges) {
+    a->edges.emplace_back();
+    for (const auto& [symbol, target] : out_edges) {
+      a->edges.back().push_back({symbol, target + offset});
+    }
+  }
+  return offset;
+}
+
+MiniNfa Concat(MiniNfa a, const MiniNfa& b) {
+  uint32_t offset = Absorb(&a, b);
+  // Every accept of A grows copies of B's entry out-edges (Glushkov concat).
+  for (uint32_t accept : a.accepts) {
+    for (const auto& [symbol, target] : b.edges[b.entry]) {
+      a.edges[accept].push_back({symbol, target + offset});
+    }
+  }
+  std::vector<uint32_t> accepts;
+  for (uint32_t accept : b.accepts) {
+    accepts.push_back(accept + offset);
+  }
+  if (b.nullable) {
+    accepts.insert(accepts.end(), a.accepts.begin(), a.accepts.end());
+  }
+  a.accepts = std::move(accepts);
+  a.nullable = a.nullable && b.nullable;
+  return a;
+}
+
+MiniNfa Union(std::vector<MiniNfa> children) {
+  MiniNfa nfa;
+  nfa.edges.resize(1);  // state 0: the shared entry
+  nfa.entry = 0;
+  for (const MiniNfa& child : children) {
+    uint32_t offset = Absorb(&nfa, child);
+    for (const auto& [symbol, target] : child.edges[child.entry]) {
+      nfa.edges[0].push_back({symbol, target + offset});
+    }
+    for (uint32_t accept : child.accepts) {
+      // The child's entry accepting (nullable child) is represented by the
+      // shared entry accepting instead; the child entry itself is unreachable.
+      if (accept == child.entry) {
+        nfa.nullable = true;
+      } else {
+        nfa.accepts.push_back(accept + offset);
+      }
+    }
+    if (child.nullable) {
+      nfa.nullable = true;
+    }
+  }
+  if (nfa.nullable) {
+    nfa.AddAccept(nfa.entry);
+  }
+  return nfa;
+}
+
+MiniNfa Star(MiniNfa a) {
+  for (uint32_t accept : a.accepts) {
+    if (accept == a.entry) {
+      continue;
+    }
+    for (const auto& edge : a.edges[a.entry]) {
+      auto& out = a.edges[accept];
+      if (std::find(out.begin(), out.end(), edge) == out.end()) {
+        out.push_back(edge);
+      }
+    }
+  }
+  a.nullable = true;
+  a.AddAccept(a.entry);
+  return a;
+}
+
+// Shuffle (cross) product: paper §3.4.2's construction for logical OR.
+// Each event advances the component it belongs to; the result accepts when at
+// least one component accepts.
+MiniNfa Product(const MiniNfa& a, const MiniNfa& b) {
+  MiniNfa nfa;
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> index;
+  std::deque<std::pair<uint32_t, uint32_t>> worklist;
+
+  auto state_of = [&](uint32_t sa, uint32_t sb) {
+    auto key = std::make_pair(sa, sb);
+    auto it = index.find(key);
+    if (it != index.end()) {
+      return it->second;
+    }
+    uint32_t id = nfa.size();
+    nfa.edges.emplace_back();
+    index.emplace(key, id);
+    worklist.push_back(key);
+    if (a.IsAccept(sa) || b.IsAccept(sb)) {
+      nfa.accepts.push_back(id);
+    }
+    return id;
+  };
+
+  nfa.entry = state_of(a.entry, b.entry);
+  while (!worklist.empty()) {
+    auto [sa, sb] = worklist.front();
+    worklist.pop_front();
+    uint32_t from = index.at({sa, sb});
+    for (const auto& [symbol, target] : a.edges[sa]) {
+      uint32_t to = state_of(target, sb);
+      nfa.edges[from].push_back({symbol, to});
+    }
+    for (const auto& [symbol, target] : b.edges[sb]) {
+      uint32_t to = state_of(sa, target);
+      nfa.edges[from].push_back({symbol, to});
+    }
+  }
+  nfa.nullable = a.nullable || b.nullable;
+  assert(nfa.nullable == nfa.IsAccept(nfa.entry));
+  return nfa;
+}
+
+class Lowerer {
+ public:
+  Lowerer(const Assertion& assertion, const LowerOptions& options)
+      : assertion_(assertion), options_(options) {}
+
+  Result<Automaton> Run() {
+    automaton_.name = assertion_.name;
+    automaton_.context = assertion_.context;
+    automaton_.source_text = parser::FormatAssertion(assertion_);
+
+    // Symbols 0/1 by construction: init, cleanup.
+    EventPattern init;
+    init.kind = assertion_.start.is_call ? PatternKind::kFunctionCall
+                                         : PatternKind::kFunctionReturn;
+    init.function = InternString(assertion_.start.function);
+    automaton_.init_symbol = automaton_.AddPattern(init);
+
+    EventPattern cleanup;
+    cleanup.kind = assertion_.end.is_call ? PatternKind::kFunctionCall
+                                          : PatternKind::kFunctionReturn;
+    cleanup.function = InternString(assertion_.end.function);
+    automaton_.cleanup_symbol = automaton_.AddPattern(cleanup);
+
+    auto body = Build(*assertion_.expr);
+    if (!body.ok()) {
+      return body.error();
+    }
+    Assemble(body.value());
+    if (automaton_.state_count > kMaxStates) {
+      return Error{"automaton exceeds " + std::to_string(kMaxStates) + " states (" +
+                   std::to_string(automaton_.state_count) + ")"};
+    }
+    automaton_.Finalize();
+    return std::move(automaton_);
+  }
+
+ private:
+  Result<MiniNfa> Build(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kSequence: {
+        std::vector<MiniNfa> parts;
+        for (const auto& child : expr.children) {
+          auto part = Build(*child);
+          if (!part.ok()) return part;
+          parts.push_back(std::move(part.value()));
+        }
+        if (parts.empty()) {
+          return Error{"empty TSEQUENCE", expr.line, expr.column};
+        }
+        MiniNfa nfa = std::move(parts.front());
+        for (size_t i = 1; i < parts.size(); i++) {
+          nfa = Concat(std::move(nfa), parts[i]);
+        }
+        return nfa;
+      }
+      case ExprKind::kBoolean: {
+        std::vector<MiniNfa> parts;
+        for (const auto& child : expr.children) {
+          auto part = Build(*child);
+          if (!part.ok()) return part;
+          parts.push_back(std::move(part.value()));
+        }
+        if (expr.bool_op == BooleanOp::kXor) {
+          return Union(std::move(parts));
+        }
+        MiniNfa nfa = std::move(parts.front());
+        for (size_t i = 1; i < parts.size(); i++) {
+          nfa = Product(nfa, parts[i]);
+          // The shuffle product grows multiplicatively; bail out early rather
+          // than exploring a state space that can never fit in kMaxStates.
+          if (nfa.size() > 4 * kMaxStates) {
+            return Error{"'||' cross-product exceeds the automaton state limit", expr.line,
+                         expr.column};
+          }
+        }
+        return nfa;
+      }
+      case ExprKind::kAtLeast: {
+        // Fast path: when every operand is a single event (the common fig. 8
+        // shape, with ~110 method events), the automaton is just a chain of
+        // `at_least` all-symbol hops ending in an all-symbol self-loop state —
+        // build it directly instead of via Union/Star (which would create an
+        // unreachable helper state per operand and overflow kMaxStates).
+        bool all_leaf_events = true;
+        for (const auto& child : expr.children) {
+          switch (child->kind) {
+            case ExprKind::kFunctionEvent:
+            case ExprKind::kFieldAssign:
+            case ExprKind::kAssertionSite:
+            case ExprKind::kInCallStack:
+              break;
+            default:
+              all_leaf_events = false;
+              break;
+          }
+        }
+        if (all_leaf_events) {
+          std::vector<uint16_t> symbols;
+          for (const auto& child : expr.children) {
+            auto leaf = Build(*child);
+            if (!leaf.ok()) return leaf;
+            // A leaf fragment has exactly one edge: entry --symbol--> exit.
+            symbols.push_back(leaf.value().edges[leaf.value().entry].front().first);
+          }
+          MiniNfa nfa;
+          uint32_t chain = static_cast<uint32_t>(expr.at_least);
+          nfa.edges.resize(chain + 1);
+          nfa.entry = 0;
+          for (uint32_t state = 0; state <= chain; state++) {
+            uint32_t target = state < chain ? state + 1 : state;
+            for (uint16_t symbol : symbols) {
+              nfa.edges[state].push_back({symbol, target});
+            }
+          }
+          nfa.accepts = {chain};
+          nfa.nullable = chain == 0;
+          return nfa;
+        }
+        std::vector<MiniNfa> parts;
+        for (const auto& child : expr.children) {
+          auto part = Build(*child);
+          if (!part.ok()) return part;
+          parts.push_back(std::move(part.value()));
+        }
+        MiniNfa unioned = Union(std::move(parts));
+        MiniNfa nfa = Star(unioned);
+        for (int64_t i = 0; i < expr.at_least; i++) {
+          // Prepend one mandatory round per required repetition.
+          nfa = Concat(unioned, std::move(nfa));
+        }
+        return nfa;
+      }
+      case ExprKind::kModified: {
+        const Expr& child = *expr.children.at(0);
+        switch (expr.modifier) {
+          case Modifier::kOptional:
+          case Modifier::kConditional: {
+            // `conditional` is not given distinct semantics by the paper; we
+            // treat it as `optional` (the sub-expression may or may not occur).
+            auto inner = Build(child);
+            if (!inner.ok()) return inner;
+            MiniNfa nfa = std::move(inner.value());
+            nfa.nullable = true;
+            nfa.AddAccept(nfa.entry);
+            return nfa;
+          }
+          case Modifier::kCallee:
+          case Modifier::kCaller: {
+            CallSide saved = side_;
+            side_ = expr.modifier == Modifier::kCallee ? CallSide::kCallee : CallSide::kCaller;
+            auto inner = Build(child);
+            side_ = saved;
+            return inner;
+          }
+          case Modifier::kStrict: {
+            automaton_.strict = true;
+            return Build(child);
+          }
+        }
+        return Error{"unhandled modifier", expr.line, expr.column};
+      }
+      case ExprKind::kFunctionEvent: {
+        EventPattern pattern;
+        pattern.kind = expr.fn_kind == FunctionEventKind::kCall ? PatternKind::kFunctionCall
+                                                                : PatternKind::kFunctionReturn;
+        pattern.function = InternString(expr.function);
+        pattern.args_specified = expr.args_specified;
+        pattern.side = side_;
+        for (const ValuePattern& value : expr.args) {
+          auto match = LowerValue(value, expr);
+          if (!match.ok()) return match.error();
+          pattern.args.push_back(match.value());
+        }
+        if (expr.fn_kind == FunctionEventKind::kReturnValue) {
+          pattern.match_return = true;
+          auto match = LowerValue(expr.return_pattern, expr);
+          if (!match.ok()) return match.error();
+          pattern.return_match = match.value();
+        }
+        return Leaf(automaton_.AddPattern(pattern));
+      }
+      case ExprKind::kFieldAssign: {
+        EventPattern pattern;
+        pattern.kind = PatternKind::kFieldAssign;
+        pattern.struct_var = VariableIndex(expr.struct_var);
+        pattern.field = InternString(expr.field);
+        pattern.assign_op = expr.assign_op;
+        if (expr.assign_op != ast::AssignOp::kIncrement &&
+            expr.assign_op != ast::AssignOp::kDecrement) {
+          auto match = LowerValue(expr.assign_value, expr);
+          if (!match.ok()) return match.error();
+          pattern.assign_value = match.value();
+        }
+        return Leaf(automaton_.AddPattern(pattern));
+      }
+      case ExprKind::kAssertionSite: {
+        return Leaf(SitePattern());
+      }
+      case ExprKind::kInCallStack: {
+        EventPattern pattern;
+        pattern.kind = PatternKind::kInCallStack;
+        pattern.function = InternString(expr.function);
+        uint16_t symbol = automaton_.AddPattern(pattern);
+        site_variants_.push_back(symbol);
+        return Leaf(symbol);
+      }
+    }
+    return Error{"unhandled expression", expr.line, expr.column};
+  }
+
+  uint16_t SitePattern() {
+    EventPattern pattern;
+    pattern.kind = PatternKind::kAssertionSite;
+    uint16_t symbol = automaton_.AddPattern(pattern);
+    automaton_.has_site = true;
+    automaton_.site_symbol = symbol;
+    return symbol;
+  }
+
+  Result<ArgMatch> LowerValue(const ValuePattern& value, const Expr& where) {
+    ArgMatch match;
+    switch (value.kind) {
+      case ValueKind::kAny:
+        match.kind = ArgMatchKind::kAny;
+        return match;
+      case ValueKind::kLiteral:
+        match.kind = ArgMatchKind::kLiteral;
+        match.literal = value.literal;
+        return match;
+      case ValueKind::kVariable: {
+        auto constant = options_.constants.find(value.variable);
+        if (constant != options_.constants.end()) {
+          match.kind = ArgMatchKind::kLiteral;
+          match.literal = constant->second;
+          return match;
+        }
+        match.kind = ArgMatchKind::kVariable;
+        match.var = VariableIndex(value.variable);
+        return match;
+      }
+      case ValueKind::kIndirect:
+        match.kind = ArgMatchKind::kIndirect;
+        match.var = VariableIndex(value.variable);
+        return match;
+      case ValueKind::kFlags:
+      case ValueKind::kBitmask: {
+        match.kind =
+            value.kind == ValueKind::kFlags ? ArgMatchKind::kFlags : ArgMatchKind::kBitmask;
+        for (const std::string& flag : value.flag_names) {
+          auto it = options_.flags.find(flag);
+          if (it == options_.flags.end()) {
+            return Error{"unknown flag '" + flag + "'", where.line, where.column};
+          }
+          match.mask |= it->second;
+        }
+        return match;
+      }
+    }
+    return Error{"unhandled value pattern", where.line, where.column};
+  }
+
+  uint16_t VariableIndex(const std::string& name) {
+    auto& variables = automaton_.variables;
+    for (size_t i = 0; i < variables.size(); i++) {
+      if (variables[i] == name) {
+        return static_cast<uint16_t>(i);
+      }
+    }
+    variables.push_back(name);
+    return static_cast<uint16_t>(variables.size() - 1);
+  }
+
+  // Wires the body fragment between the «init» and «cleanup» transitions,
+  // adds bypass cleanup edges (paper §4.1: "bypass returnfrom(syscall)
+  // transitions to allow code paths that ... never pass through the assertion
+  // site") and site self-loops for repeated site visits after satisfaction.
+  void Assemble(const MiniNfa& body) {
+    // State numbering: 0 = pre-init, 1..n = body states (+1), n+1 = accept.
+    uint32_t body_offset = 1;
+    uint32_t accept = body.size() + 1;
+    automaton_.state_count = body.size() + 2;
+    automaton_.initial_state = 0;
+    automaton_.accept_state = accept;
+
+    automaton_.AddTransition(0, automaton_.init_symbol, body.entry + body_offset);
+    for (uint32_t state = 0; state < body.size(); state++) {
+      for (const auto& [symbol, target] : body.edges[state]) {
+        automaton_.AddTransition(state + body_offset, symbol, target + body_offset);
+      }
+    }
+    for (uint32_t accepting : body.accepts) {
+      automaton_.AddTransition(accepting + body_offset, automaton_.cleanup_symbol, accept);
+    }
+
+    const bool site_based = automaton_.has_site || !site_variants_.empty();
+    std::vector<uint16_t> site_symbols = site_variants_;
+    if (automaton_.has_site) {
+      site_symbols.push_back(automaton_.site_symbol);
+    }
+    auto is_site_symbol = [&](uint16_t symbol) {
+      return std::find(site_symbols.begin(), site_symbols.end(), symbol) != site_symbols.end();
+    };
+
+    if (site_based) {
+      // Pre-site states: reachable from the body entry without traversing a
+      // site-symbol edge. These get bypass cleanup edges.
+      std::vector<bool> pre_site(body.size(), false);
+      std::deque<uint32_t> worklist{body.entry};
+      pre_site[body.entry] = true;
+      while (!worklist.empty()) {
+        uint32_t state = worklist.front();
+        worklist.pop_front();
+        for (const auto& [symbol, target] : body.edges[state]) {
+          if (is_site_symbol(symbol) || pre_site[target]) {
+            continue;
+          }
+          pre_site[target] = true;
+          worklist.push_back(target);
+        }
+      }
+      for (uint32_t state = 0; state < body.size(); state++) {
+        if (pre_site[state]) {
+          automaton_.AddTransition(state + body_offset, automaton_.cleanup_symbol, accept);
+        }
+      }
+
+      // Post-site states: forward-reachable from any site-edge target.
+      // Revisiting the assertion site from a post-site state re-enters the
+      // site-target states: for `previously` the targets are the already-
+      // satisfied states, so a satisfied site may be revisited freely; for
+      // `eventually` the revisit re-arms the obligation (each site visit must
+      // be followed by its own completion before the bound closes).
+      {
+        // Per site-like symbol (the assertion site and each incallstack()
+        // variant), the set of its transition targets.
+        std::map<uint16_t, std::vector<uint32_t>> targets_by_symbol;
+        std::vector<bool> post_site(body.size(), false);
+        std::deque<uint32_t> frontier;
+        for (uint32_t state = 0; state < body.size(); state++) {
+          for (const auto& [symbol, target] : body.edges[state]) {
+            if (!is_site_symbol(symbol)) {
+              continue;
+            }
+            auto& targets = targets_by_symbol[symbol];
+            if (std::find(targets.begin(), targets.end(), target) == targets.end()) {
+              targets.push_back(target);
+            }
+            if (!post_site[target]) {
+              post_site[target] = true;
+              frontier.push_back(target);
+            }
+          }
+        }
+        while (!frontier.empty()) {
+          uint32_t state = frontier.front();
+          frontier.pop_front();
+          for (const auto& [symbol, target] : body.edges[state]) {
+            if (!post_site[target]) {
+              post_site[target] = true;
+              frontier.push_back(target);
+            }
+          }
+        }
+        for (uint32_t state = 0; state < body.size(); state++) {
+          if (!post_site[state]) {
+            continue;
+          }
+          for (const auto& [symbol, targets] : targets_by_symbol) {
+            for (uint32_t target : targets) {
+              automaton_.AddTransition(state + body_offset, symbol, target + body_offset);
+            }
+          }
+        }
+      }
+    } else {
+      // No assertion site in the expression: the bound may close with no
+      // events consumed, but partial progress at cleanup is a violation.
+      automaton_.AddTransition(body.entry + body_offset, automaton_.cleanup_symbol, accept);
+    }
+  }
+
+  const Assertion& assertion_;
+  const LowerOptions& options_;
+  Automaton automaton_;
+  CallSide side_ = CallSide::kEither;
+  std::vector<uint16_t> site_variants_;  // incallstack() symbols
+};
+
+}  // namespace
+
+Result<Automaton> Lower(const ast::Assertion& assertion, const LowerOptions& options) {
+  return Lowerer(assertion, options).Run();
+}
+
+Result<Automaton> CompileAssertion(const std::string& source, const LowerOptions& options,
+                                   const std::string& name, const std::string& syscall_bound) {
+  parser::ParseOptions parse_options;
+  parse_options.syscall_bound_function = syscall_bound;
+  auto assertion = parser::ParseAssertion(source, parse_options);
+  if (!assertion.ok()) {
+    return assertion.error();
+  }
+  assertion.value().name = name.empty() ? source : name;
+  return Lower(assertion.value(), options);
+}
+
+}  // namespace tesla::automata

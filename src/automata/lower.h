@@ -1,0 +1,39 @@
+// Lowering: parser AST → TESLA automaton (paper §4.1's "recursive descent
+// over an abstract syntax tree ... converting them into automata states and
+// transitions").
+#ifndef TESLA_AUTOMATA_LOWER_H_
+#define TESLA_AUTOMATA_LOWER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "automata/automaton.h"
+#include "parser/ast.h"
+#include "support/result.h"
+
+namespace tesla::automata {
+
+struct LowerOptions {
+  // Named integer constants usable in value patterns (e.g. NEXT_STATE).
+  // Identifiers found here lower to literals; others become automaton
+  // variables bound at run time.
+  std::map<std::string, int64_t> constants;
+
+  // Flag names usable inside flags(...) / bitmask(...) patterns
+  // (e.g. IO_NOMACCHECK in fig. 7).
+  std::map<std::string, uint64_t> flags;
+};
+
+// Lowers one assertion to an automaton. Fails on unknown flag names or if the
+// automaton would exceed kMaxStates states.
+Result<Automaton> Lower(const ast::Assertion& assertion, const LowerOptions& options = {});
+
+// Convenience: parse + lower in one step.
+Result<Automaton> CompileAssertion(const std::string& source, const LowerOptions& options = {},
+                                   const std::string& name = "",
+                                   const std::string& syscall_bound = "syscall");
+
+}  // namespace tesla::automata
+
+#endif  // TESLA_AUTOMATA_LOWER_H_

@@ -1,0 +1,58 @@
+// Automaton manifests: the cross-translation-unit interchange format.
+//
+// Paper §4.1: "Parsed assertions are converted into an automaton
+// representation, stored on disk in a file with a .tesla extension". Any
+// file's assertions can name events defined in any other file, so per-TU
+// manifests are merged into one program-wide manifest that drives
+// instrumentation. The paper serialises with protocol buffers; we use a
+// line-oriented text format with the same role.
+#ifndef TESLA_AUTOMATA_MANIFEST_H_
+#define TESLA_AUTOMATA_MANIFEST_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/automaton.h"
+#include "support/result.h"
+
+namespace tesla::automata {
+
+// What the instrumenter must hook, aggregated over all automata.
+struct InstrumentationRequirements {
+  // Function entry / exit hooks (callee-side unless only caller-side was
+  // requested via the caller() modifier).
+  std::set<Symbol> call_hooks;
+  std::set<Symbol> return_hooks;
+  // Functions whose events must be hooked at call sites (caller-side).
+  std::set<Symbol> caller_side;
+  // Structure fields whose stores must be hooked.
+  std::set<Symbol> field_hooks;
+  // Assertion names with a site event (the __tesla_inline_assertion markers
+  // the instrumenter must rewrite).
+  std::set<std::string> site_hooks;
+  // Functions referenced by incallstack() predicates (the interpreter / native
+  // runtime must maintain call-stack visibility for them).
+  std::set<Symbol> stack_queries;
+};
+
+class Manifest {
+ public:
+  std::vector<Automaton> automata;
+
+  void Add(Automaton automaton) { automata.push_back(std::move(automaton)); }
+  void Merge(Manifest other);
+
+  // Returns the index of the named automaton or -1.
+  int Find(const std::string& name) const;
+
+  InstrumentationRequirements ComputeRequirements() const;
+
+  std::string Serialize() const;
+  static Result<Manifest> Deserialize(std::string_view text);
+};
+
+}  // namespace tesla::automata
+
+#endif  // TESLA_AUTOMATA_MANIFEST_H_

@@ -1,0 +1,85 @@
+// Lowered event patterns: the alphabet of a TESLA automaton.
+//
+// Each EventPattern describes one class of observable program event
+// (function call, function return with optional return-value match, structure
+// field assignment, assertion-site reach, or the incallstack() site-time
+// predicate). Patterns are produced by lowering the parser AST; argument
+// positions either match statically (literals, flag masks, wildcards) or bind
+// automaton-instance variables at run time (paper §4.4.1's clone mechanism).
+#ifndef TESLA_AUTOMATA_PATTERN_H_
+#define TESLA_AUTOMATA_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parser/ast.h"
+#include "support/intern.h"
+
+namespace tesla::automata {
+
+enum class PatternKind : uint8_t {
+  kFunctionCall,
+  kFunctionReturn,
+  kFieldAssign,
+  kAssertionSite,
+  kInCallStack,  // evaluated against the thread's call stack at the site
+};
+
+// Which side the instrumenter should hook for a function event (§4.2):
+// callee instrumentation rewrites the target function, caller instrumentation
+// rewrites call sites. kEither lets the instrumenter pick (callee when the
+// function body is available, caller otherwise).
+enum class CallSide : uint8_t {
+  kEither,
+  kCallee,
+  kCaller,
+};
+
+enum class ArgMatchKind : uint8_t {
+  kAny,       // matches every value
+  kLiteral,   // value == literal
+  kVariable,  // binds / compares automaton variable `var`
+  kIndirect,  // binds / compares variable `var` through one pointer dereference
+  kFlags,     // minimal bitfield: (value & mask) == mask
+  kBitmask,   // maximal bitfield: (value & ~mask) == 0
+};
+
+struct ArgMatch {
+  ArgMatchKind kind = ArgMatchKind::kAny;
+  int64_t literal = 0;
+  uint16_t var = 0;
+  uint64_t mask = 0;
+
+  bool operator==(const ArgMatch&) const = default;
+};
+
+struct EventPattern {
+  PatternKind kind = PatternKind::kAssertionSite;
+
+  // kFunctionCall / kFunctionReturn / kInCallStack
+  Symbol function = kNoSymbol;
+  bool args_specified = false;
+  std::vector<ArgMatch> args;
+  bool match_return = false;   // kFunctionReturn only
+  ArgMatch return_match;
+  CallSide side = CallSide::kEither;
+
+  // kFieldAssign: the structure identity is an automaton variable so that
+  // instances are keyed by object (paper §3.4.1's s.foo = NEXT_STATE).
+  uint16_t struct_var = 0;
+  Symbol field = kNoSymbol;
+  ast::AssignOp assign_op = ast::AssignOp::kAssign;
+  ArgMatch assign_value;
+
+  bool operator==(const EventPattern&) const = default;
+
+  // Human-readable rendering used in DOT output and violation reports.
+  std::string ToString() const;
+};
+
+std::string ArgMatchToString(const ArgMatch& match);
+
+}  // namespace tesla::automata
+
+#endif  // TESLA_AUTOMATA_PATTERN_H_

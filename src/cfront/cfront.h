@@ -1,0 +1,72 @@
+// cfront: a miniature C front-end for the TESLA pipeline.
+//
+// Plays Clang's role in paper §4.1: it parses a C-like language in which
+// TESLA assertions appear inline as macro-style statements
+// (`TESLA_WITHIN(f, previously(check(x) == 0));`), compiles functions to
+// tesla::ir, runs the TESLA analyser over each assertion (producing the
+// unit's manifest), and lowers each assertion site to a call to the reserved
+// pseudo-function `__tesla_inline_assertion` — which the instrumenter later
+// replaces with an event-translator hook (§4.2 "Assertions").
+//
+// Language subset: `int` and `struct X *` types, functions, structs,
+// if/else, while, return, assignment (including compound assignment and
+// ++/-- on struct fields), calls, `alloc(StructName)` for heap objects, and
+// the usual integer operators. Logical && and || evaluate both operands
+// (no short-circuit).
+#ifndef TESLA_CFRONT_CFRONT_H_
+#define TESLA_CFRONT_CFRONT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/lower.h"
+#include "automata/manifest.h"
+#include "ir/ir.h"
+#include "support/result.h"
+
+namespace tesla::cfront {
+
+// The reserved assertion-site pseudo-function (paper §3.1, §4.2).
+inline constexpr const char* kInlineAssertionFn = "__tesla_inline_assertion";
+
+struct CompileOptions {
+  automata::LowerOptions lower;
+  std::string syscall_bound_function = "syscall";
+};
+
+// Metadata for one assertion site: which automaton it belongs to and, for
+// each argument of the emitted `__tesla_inline_assertion` call, the automaton
+// variable index that argument carries.
+struct SiteInfo {
+  std::string automaton;
+  std::vector<uint16_t> var_indices;
+};
+
+// A multi-unit compilation: units share one module (functions and structs
+// resolve across units by name, as a linker would) and one merged manifest
+// (the combined .tesla file of §4.1).
+class Compiler {
+ public:
+  explicit Compiler(CompileOptions options = {}) : options_(std::move(options)) {}
+
+  // Compiles one translation unit into the shared module.
+  Status AddUnit(std::string_view source, const std::string& unit_name);
+
+  ir::Module& module() { return module_; }
+  const ir::Module& module() const { return module_; }
+  const automata::Manifest& manifest() const { return manifest_; }
+  const std::vector<SiteInfo>& sites() const { return sites_; }
+
+ private:
+  friend class UnitParser;
+
+  CompileOptions options_;
+  ir::Module module_;
+  automata::Manifest manifest_;
+  std::vector<SiteInfo> sites_;
+};
+
+}  // namespace tesla::cfront
+
+#endif  // TESLA_CFRONT_CFRONT_H_

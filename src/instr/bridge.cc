@@ -1,0 +1,76 @@
+#include "instr/bridge.h"
+
+namespace tesla::instr {
+
+RuntimeBridge::RuntimeBridge(const InstrumentedProgram& program, runtime::Runtime& rt,
+                             runtime::ThreadContext& ctx)
+    : program_(program), rt_(rt), ctx_(ctx) {
+  site_automata_.reserve(program_.sites.size());
+  for (const cfront::SiteInfo& site : program_.sites) {
+    site_automata_.push_back(rt_.FindAutomaton(site.automaton));
+  }
+}
+
+void RuntimeBridge::OnHook(uint32_t hook_id, std::span<const int64_t> values) {
+  if (hook_id >= program_.translators.size()) {
+    return;
+  }
+  const Translator& translator = program_.translators[hook_id];
+  switch (translator.kind) {
+    case Translator::Kind::kFunctionEntry:
+    case Translator::Kind::kCallerPre:
+      rt_.OnFunctionCall(ctx_, translator.function, values);
+      break;
+    case Translator::Kind::kFunctionExit:
+    case Translator::Kind::kCallerPost: {
+      // values = arguments... , return value.
+      std::span<const int64_t> args = values.subspan(0, values.size() - 1);
+      rt_.OnFunctionReturn(ctx_, translator.function, args, values.back());
+      break;
+    }
+    case Translator::Kind::kFieldStore:
+      if (values.size() >= 3) {
+        rt_.OnFieldStore(ctx_, translator.function, values[0], values[1], values[2]);
+      }
+      break;
+    case Translator::Kind::kSite: {
+      if (translator.site_index >= program_.sites.size()) {
+        return;
+      }
+      int automaton = site_automata_[translator.site_index];
+      if (automaton < 0) {
+        return;
+      }
+      const cfront::SiteInfo& site = program_.sites[translator.site_index];
+      runtime::Binding bindings[runtime::kMaxVariables];
+      size_t count = 0;
+      for (size_t i = 0; i < site.var_indices.size() && i < values.size() &&
+                         count < runtime::kMaxVariables;
+           i++) {
+        bindings[count++] = runtime::Binding{site.var_indices[i], values[i]};
+      }
+      rt_.OnAssertionSite(ctx_, static_cast<uint32_t>(automaton),
+                          std::span<const runtime::Binding>(bindings, count));
+      break;
+    }
+  }
+}
+
+Result<PipelineResult> RunInstrumented(const InstrumentedProgram& program,
+                                       const std::string& entry, runtime::Runtime& rt) {
+  runtime::ThreadContext ctx(rt);
+  ir::Interpreter interpreter(program.module);
+  RuntimeBridge bridge(program, rt, ctx);
+  interpreter.SetDispatcher(&bridge);
+
+  auto result = interpreter.Call(entry);
+  if (!result.ok()) {
+    return result.error();
+  }
+  PipelineResult pipeline;
+  pipeline.return_value = *result;
+  pipeline.stats = rt.stats();
+  return pipeline;
+}
+
+}  // namespace tesla::instr

@@ -1,0 +1,46 @@
+// RuntimeBridge: executes event translators.
+//
+// The interpreter dispatches every kHook to this bridge, which performs the
+// translator's role from paper §4.2: identify the event class, marshal the
+// observed values, and call into libtesla (whose per-pattern static checks
+// and variable binding complete the translation into automata symbols).
+#ifndef TESLA_INSTR_BRIDGE_H_
+#define TESLA_INSTR_BRIDGE_H_
+
+#include <vector>
+
+#include "instr/instrument.h"
+#include "ir/interp.h"
+#include "runtime/runtime.h"
+
+namespace tesla::instr {
+
+class RuntimeBridge : public ir::HookDispatcher {
+ public:
+  // Resolves site automata by name; `rt` must already have the program's
+  // manifest registered.
+  RuntimeBridge(const InstrumentedProgram& program, runtime::Runtime& rt,
+                runtime::ThreadContext& ctx);
+
+  void OnHook(uint32_t hook_id, std::span<const int64_t> values) override;
+
+ private:
+  const InstrumentedProgram& program_;
+  runtime::Runtime& rt_;
+  runtime::ThreadContext& ctx_;
+  std::vector<int> site_automata_;  // per site index: automaton id or -1
+};
+
+// Convenience: compile + instrument + run `entry` under a fresh runtime.
+// Returns the number of violations observed.
+struct PipelineResult {
+  int64_t return_value = 0;
+  runtime::RuntimeStats stats;
+};
+
+Result<PipelineResult> RunInstrumented(const InstrumentedProgram& program,
+                                       const std::string& entry, runtime::Runtime& rt);
+
+}  // namespace tesla::instr
+
+#endif  // TESLA_INSTR_BRIDGE_H_

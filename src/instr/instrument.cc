@@ -1,0 +1,198 @@
+#include "instr/instrument.h"
+
+#include <map>
+
+namespace tesla::instr {
+namespace {
+
+using ir::Instr;
+using ir::Opcode;
+using ir::Reg;
+
+class Instrumenter {
+ public:
+  Instrumenter(ir::Module module, const automata::Manifest& manifest,
+               std::vector<cfront::SiteInfo> sites)
+      : manifest_(manifest) {
+    program_.module = std::move(module);
+    program_.sites = std::move(sites);
+  }
+
+  Result<InstrumentedProgram> Run() {
+    requirements_ = manifest_.ComputeRequirements();
+    site_fn_ = GlobalInterner().Lookup(cfront::kInlineAssertionFn);
+
+    for (ir::Function& function : program_.module.functions()) {
+      InstrumentFunction(function);
+    }
+    return std::move(program_);
+  }
+
+ private:
+  // Which side to hook for `fn`: caller when the assertion requested it or
+  // when the callee body is unavailable (paper §4.2: "the latter is important
+  // when instrumenting calls into a library that cannot be recompiled").
+  bool UseCallerSide(Symbol fn) const {
+    if (requirements_.caller_side.count(fn) != 0) {
+      return true;
+    }
+    return program_.module.FindFunction(fn) == nullptr;
+  }
+
+  uint32_t TranslatorFor(Translator::Kind kind, Symbol symbol, uint32_t site_index = 0) {
+    auto key = std::make_tuple(kind, symbol, site_index);
+    auto it = translator_index_.find(key);
+    if (it != translator_index_.end()) {
+      return it->second;
+    }
+    uint32_t id = static_cast<uint32_t>(program_.translators.size());
+    program_.translators.push_back(Translator{kind, symbol, site_index});
+    translator_index_.emplace(key, id);
+    return id;
+  }
+
+  void InstrumentFunction(ir::Function& function) {
+    const bool callee_hooked =
+        !UseCallerSide(function.name) &&
+        (requirements_.call_hooks.count(function.name) != 0 ||
+         requirements_.return_hooks.count(function.name) != 0);
+
+    // Callee entry hook: prepended to the entry basic block.
+    if (callee_hooked && requirements_.call_hooks.count(function.name) != 0) {
+      Instr hook;
+      hook.op = Opcode::kHook;
+      hook.hook_id = TranslatorFor(Translator::Kind::kFunctionEntry, function.name);
+      for (Reg reg = 0; reg < function.param_count; reg++) {
+        hook.args.push_back(reg);
+      }
+      function.blocks[0].instrs.insert(function.blocks[0].instrs.begin(), std::move(hook));
+      program_.hooks_inserted++;
+    }
+
+    for (ir::Block& block : function.blocks) {
+      std::vector<Instr> rewritten;
+      rewritten.reserve(block.instrs.size());
+      for (Instr& instr : block.instrs) {
+        switch (instr.op) {
+          case Opcode::kRet: {
+            if (callee_hooked && requirements_.return_hooks.count(function.name) != 0) {
+              Instr hook;
+              hook.op = Opcode::kHook;
+              hook.hook_id = TranslatorFor(Translator::Kind::kFunctionExit, function.name);
+              for (Reg reg = 0; reg < function.param_count; reg++) {
+                hook.args.push_back(reg);
+              }
+              hook.args.push_back(instr.a != ir::kNoReg ? instr.a : AddZeroReg(function,
+                                                                               rewritten));
+              rewritten.push_back(std::move(hook));
+              program_.hooks_inserted++;
+            }
+            rewritten.push_back(std::move(instr));
+            break;
+          }
+          case Opcode::kCall: {
+            // Assertion-site marker → site translator hook.
+            if (instr.fn == site_fn_ && site_fn_ != kNoSymbol) {
+              Instr hook;
+              hook.op = Opcode::kHook;
+              hook.hook_id = TranslatorFor(Translator::Kind::kSite, kNoSymbol,
+                                           static_cast<uint32_t>(instr.imm));
+              hook.args = instr.args;
+              rewritten.push_back(std::move(hook));
+              program_.hooks_inserted++;
+              break;  // the original pseudo-call is removed (§4.2)
+            }
+            const bool hook_call =
+                UseCallerSide(instr.fn) &&
+                (requirements_.call_hooks.count(instr.fn) != 0 ||
+                 requirements_.return_hooks.count(instr.fn) != 0);
+            if (hook_call && requirements_.call_hooks.count(instr.fn) != 0) {
+              Instr pre;
+              pre.op = Opcode::kHook;
+              pre.hook_id = TranslatorFor(Translator::Kind::kCallerPre, instr.fn);
+              pre.args = instr.args;
+              rewritten.push_back(std::move(pre));
+              program_.hooks_inserted++;
+            }
+            Symbol callee = instr.fn;
+            std::vector<Reg> call_args = instr.args;
+            Reg dst = instr.dst;
+            rewritten.push_back(std::move(instr));
+            if (hook_call && requirements_.return_hooks.count(callee) != 0) {
+              Instr post;
+              post.op = Opcode::kHook;
+              post.hook_id = TranslatorFor(Translator::Kind::kCallerPost, callee);
+              post.args = call_args;
+              post.args.push_back(dst != ir::kNoReg ? dst : AddZeroReg(function, rewritten));
+              rewritten.push_back(std::move(post));
+              program_.hooks_inserted++;
+            }
+            break;
+          }
+          case Opcode::kStoreField: {
+            const ir::StructType& type = program_.module.struct_type(instr.type_id);
+            Symbol field = type.fields[instr.field_index].symbol;
+            if (requirements_.field_hooks.count(field) != 0) {
+              // Load the field's prior value, perform the store, then hand
+              // (object, old, new) to the translator (§4.2 "Field
+              // assignment").
+              Reg old_value = function.reg_count++;
+              Instr load;
+              load.op = Opcode::kLoadField;
+              load.dst = old_value;
+              load.a = instr.a;
+              load.type_id = instr.type_id;
+              load.field_index = instr.field_index;
+              rewritten.push_back(std::move(load));
+
+              Reg object = instr.a;
+              Reg new_value = instr.b;
+              rewritten.push_back(std::move(instr));
+
+              Instr hook;
+              hook.op = Opcode::kHook;
+              hook.hook_id = TranslatorFor(Translator::Kind::kFieldStore, field);
+              hook.args = {object, old_value, new_value};
+              rewritten.push_back(std::move(hook));
+              program_.hooks_inserted++;
+            } else {
+              rewritten.push_back(std::move(instr));
+            }
+            break;
+          }
+          default:
+            rewritten.push_back(std::move(instr));
+            break;
+        }
+      }
+      block.instrs = std::move(rewritten);
+    }
+  }
+
+  // Materialises a zero register for void-return hook payloads.
+  Reg AddZeroReg(ir::Function& function, std::vector<Instr>& out) {
+    Reg reg = function.reg_count++;
+    Instr zero;
+    zero.op = Opcode::kConst;
+    zero.dst = reg;
+    zero.imm = 0;
+    out.push_back(std::move(zero));
+    return reg;
+  }
+
+  const automata::Manifest& manifest_;
+  automata::InstrumentationRequirements requirements_;
+  InstrumentedProgram program_;
+  Symbol site_fn_ = kNoSymbol;
+  std::map<std::tuple<Translator::Kind, Symbol, uint32_t>, uint32_t> translator_index_;
+};
+
+}  // namespace
+
+Result<InstrumentedProgram> Instrument(ir::Module module, const automata::Manifest& manifest,
+                                       std::vector<cfront::SiteInfo> sites) {
+  Instrumenter instrumenter(std::move(module), manifest, std::move(sites));
+  return instrumenter.Run();
+}
+
+}  // namespace tesla::instr

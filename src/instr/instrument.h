@@ -1,0 +1,54 @@
+// The TESLA instrumenter (paper §4.2).
+//
+// Rewrites an ir::Module according to a program-wide manifest: program hooks
+// (kHook instructions) are woven into function entry blocks and before
+// returns (callee-side), around call sites (caller-side, for functions that
+// cannot be recompiled or that the assertion marked caller()), after
+// structure field stores (with the field's prior value, so compound
+// assignments can match), and in place of `__tesla_inline_assertion` calls.
+//
+// Each hook names an *event translator* — the per-event matching logic that,
+// at run time, converts program events into automata symbols. Translators
+// are executed by instr::RuntimeBridge, which forwards to libtesla.
+#ifndef TESLA_INSTR_INSTRUMENT_H_
+#define TESLA_INSTR_INSTRUMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/manifest.h"
+#include "cfront/cfront.h"
+#include "ir/ir.h"
+#include "support/result.h"
+
+namespace tesla::instr {
+
+struct Translator {
+  enum class Kind {
+    kFunctionEntry,  // values: the callee's parameters
+    kFunctionExit,   // values: parameters... , return value
+    kCallerPre,      // values: the call's arguments
+    kCallerPost,     // values: arguments... , return value
+    kFieldStore,     // values: object, old value, new value
+    kSite,           // values: automaton variables per SiteInfo
+  };
+  Kind kind = Kind::kFunctionEntry;
+  Symbol function = kNoSymbol;  // function / field symbol
+  uint32_t site_index = 0;      // kSite: index into sites
+};
+
+struct InstrumentedProgram {
+  ir::Module module;
+  std::vector<Translator> translators;
+  std::vector<cfront::SiteInfo> sites;
+  uint64_t hooks_inserted = 0;
+};
+
+// Weaves instrumentation for `manifest` into `module`. `sites` describes the
+// `__tesla_inline_assertion` markers cfront emitted.
+Result<InstrumentedProgram> Instrument(ir::Module module, const automata::Manifest& manifest,
+                                       std::vector<cfront::SiteInfo> sites);
+
+}  // namespace tesla::instr
+
+#endif  // TESLA_INSTR_INSTRUMENT_H_

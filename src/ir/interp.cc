@@ -1,0 +1,169 @@
+#include "ir/interp.h"
+
+namespace tesla::ir {
+
+Result<int64_t> Interpreter::Call(const std::string& name, std::vector<int64_t> args) {
+  return Call(InternString(name), std::move(args));
+}
+
+Result<int64_t> Interpreter::Call(Symbol name, std::vector<int64_t> args) {
+  const Function* function = module_.FindFunction(name);
+  if (function == nullptr) {
+    auto host = hosts_.find(name);
+    if (host != hosts_.end()) {
+      return host->second(std::span<const int64_t>(args.data(), args.size()));
+    }
+    return Error{"undefined function '" + SymbolName(name) + "'"};
+  }
+  if (args.size() < function->param_count) {
+    return Error{"too few arguments to '" + SymbolName(name) + "'"};
+  }
+  if (call_depth_ > 512) {
+    return Error{"call stack overflow"};
+  }
+  std::vector<int64_t> regs(function->reg_count, 0);
+  for (uint32_t i = 0; i < function->param_count; i++) {
+    regs[i] = args[i];
+  }
+  call_depth_++;
+  auto result = Execute(*function, std::move(regs));
+  call_depth_--;
+  return result;
+}
+
+Result<int64_t> Interpreter::Execute(const Function& function, std::vector<int64_t> regs) {
+  size_t block = 0;
+  size_t ip = 0;
+  std::vector<int64_t> call_args;
+
+  while (true) {
+    if (++steps_ > step_limit_) {
+      return Error{"step limit exceeded in '" + SymbolName(function.name) + "'"};
+    }
+    const Instr& instr = function.blocks[block].instrs[ip];
+    switch (instr.op) {
+      case Opcode::kConst:
+        regs[instr.dst] = instr.imm;
+        break;
+      case Opcode::kMove:
+        regs[instr.dst] = regs[instr.a];
+        break;
+      case Opcode::kBin: {
+        int64_t a = regs[instr.a];
+        int64_t b = regs[instr.b];
+        int64_t value = 0;
+        switch (instr.bin) {
+          case BinOp::kAdd: value = a + b; break;
+          case BinOp::kSub: value = a - b; break;
+          case BinOp::kMul: value = a * b; break;
+          case BinOp::kDiv:
+            if (b == 0) return Error{"division by zero"};
+            value = a / b;
+            break;
+          case BinOp::kMod:
+            if (b == 0) return Error{"modulo by zero"};
+            value = a % b;
+            break;
+          case BinOp::kAnd: value = a & b; break;
+          case BinOp::kOr: value = a | b; break;
+          case BinOp::kXor: value = a ^ b; break;
+          case BinOp::kShl: value = a << (b & 63); break;
+          case BinOp::kShr: value = static_cast<int64_t>(static_cast<uint64_t>(a) >> (b & 63));
+            break;
+          case BinOp::kEq: value = a == b; break;
+          case BinOp::kNe: value = a != b; break;
+          case BinOp::kLt: value = a < b; break;
+          case BinOp::kLe: value = a <= b; break;
+          case BinOp::kGt: value = a > b; break;
+          case BinOp::kGe: value = a >= b; break;
+        }
+        regs[instr.dst] = value;
+        break;
+      }
+      case Opcode::kCall:
+      case Opcode::kCallIndirect: {
+        call_args.clear();
+        for (Reg arg : instr.args) {
+          call_args.push_back(regs[arg]);
+        }
+        Symbol callee = instr.op == Opcode::kCall
+                            ? instr.fn
+                            : static_cast<Symbol>(regs[instr.a]);
+        auto result = Call(callee, call_args);
+        if (!result.ok()) {
+          return result;
+        }
+        if (instr.dst != kNoReg) {
+          regs[instr.dst] = *result;
+        }
+        break;
+      }
+      case Opcode::kFnAddr:
+        regs[instr.dst] = static_cast<int64_t>(instr.fn);
+        break;
+      case Opcode::kAlloc: {
+        const StructType& type = module_.struct_type(instr.type_id);
+        int64_t address = static_cast<int64_t>(heap_.size());
+        heap_.resize(heap_.size() + (type.fields.empty() ? 1 : type.fields.size()), 0);
+        regs[instr.dst] = address;
+        break;
+      }
+      case Opcode::kLoadField: {
+        int64_t address = regs[instr.a] + instr.field_index;
+        if (address < 0 || static_cast<size_t>(address) >= heap_.size()) {
+          return Error{"field load out of bounds"};
+        }
+        regs[instr.dst] = heap_[static_cast<size_t>(address)];
+        break;
+      }
+      case Opcode::kStoreField: {
+        int64_t address = regs[instr.a] + instr.field_index;
+        if (address < 0 || static_cast<size_t>(address) >= heap_.size()) {
+          return Error{"field store out of bounds"};
+        }
+        heap_[static_cast<size_t>(address)] = regs[instr.b];
+        break;
+      }
+      case Opcode::kLoad: {
+        int64_t address = regs[instr.a];
+        if (address < 0 || static_cast<size_t>(address) >= heap_.size()) {
+          return Error{"load out of bounds"};
+        }
+        regs[instr.dst] = heap_[static_cast<size_t>(address)];
+        break;
+      }
+      case Opcode::kStore: {
+        int64_t address = regs[instr.a];
+        if (address < 0 || static_cast<size_t>(address) >= heap_.size()) {
+          return Error{"store out of bounds"};
+        }
+        heap_[static_cast<size_t>(address)] = regs[instr.b];
+        break;
+      }
+      case Opcode::kRet:
+        return instr.a == kNoReg ? int64_t{0} : regs[instr.a];
+      case Opcode::kBr:
+        block = instr.then_block;
+        ip = 0;
+        continue;
+      case Opcode::kCondBr:
+        block = regs[instr.a] != 0 ? instr.then_block : instr.else_block;
+        ip = 0;
+        continue;
+      case Opcode::kHook: {
+        if (dispatcher_ != nullptr) {
+          call_args.clear();
+          for (Reg arg : instr.args) {
+            call_args.push_back(regs[arg]);
+          }
+          dispatcher_->OnHook(instr.hook_id,
+                              std::span<const int64_t>(call_args.data(), call_args.size()));
+        }
+        break;
+      }
+    }
+    ip++;
+  }
+}
+
+}  // namespace tesla::ir

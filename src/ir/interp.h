@@ -1,0 +1,66 @@
+// The mini-IR interpreter.
+//
+// Executes ir::Modules with a slot-based heap, host-function binding (so
+// programs can reach native helpers), an instrumentation dispatcher for kHook
+// instructions, and call-stack visibility for incallstack() queries.
+#ifndef TESLA_IR_INTERP_H_
+#define TESLA_IR_INTERP_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace tesla::ir {
+
+// Receives kHook dispatches; implemented by the instrumentation bridge
+// (instr/bridge.h) which forwards to libtesla.
+class HookDispatcher {
+ public:
+  virtual ~HookDispatcher() = default;
+  virtual void OnHook(uint32_t hook_id, std::span<const int64_t> values) = 0;
+};
+
+using HostFunction = std::function<int64_t(std::span<const int64_t>)>;
+
+class Interpreter {
+ public:
+  explicit Interpreter(const Module& module) : module_(module) { heap_.resize(8, 0); }
+
+  void BindHost(const std::string& name, HostFunction fn) {
+    hosts_[InternString(name)] = std::move(fn);
+  }
+  void SetDispatcher(HookDispatcher* dispatcher) { dispatcher_ = dispatcher; }
+  void SetStepLimit(uint64_t limit) { step_limit_ = limit; }
+
+  // Calls `name` with `args`; returns its result.
+  Result<int64_t> Call(const std::string& name, std::vector<int64_t> args = {});
+  Result<int64_t> Call(Symbol name, std::vector<int64_t> args);
+
+  // Heap access (also used as libtesla's MemoryReader for &x patterns).
+  bool ReadSlot(int64_t address, int64_t* value) const {
+    if (address < 0 || static_cast<size_t>(address) >= heap_.size()) {
+      return false;
+    }
+    *value = heap_[static_cast<size_t>(address)];
+    return true;
+  }
+
+  uint64_t steps_executed() const { return steps_; }
+
+ private:
+  Result<int64_t> Execute(const Function& function, std::vector<int64_t> regs);
+
+  const Module& module_;
+  std::vector<int64_t> heap_;
+  std::unordered_map<Symbol, HostFunction> hosts_;
+  HookDispatcher* dispatcher_ = nullptr;
+  uint64_t step_limit_ = 100'000'000;
+  uint64_t steps_ = 0;
+  int call_depth_ = 0;
+};
+
+}  // namespace tesla::ir
+
+#endif  // TESLA_IR_INTERP_H_

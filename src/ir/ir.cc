@@ -1,0 +1,162 @@
+#include "ir/ir.h"
+
+#include <sstream>
+
+namespace tesla::ir {
+
+Function* Module::FindFunction(Symbol name) {
+  auto it = function_index_.find(name);
+  return it == function_index_.end() ? nullptr : &functions_[it->second];
+}
+
+const Function* Module::FindFunction(Symbol name) const {
+  auto it = function_index_.find(name);
+  return it == function_index_.end() ? nullptr : &functions_[it->second];
+}
+
+Function* Module::AddFunction(Function function) {
+  function_index_[function.name] = functions_.size();
+  functions_.push_back(std::move(function));
+  return &functions_.back();
+}
+
+uint32_t Module::AddStruct(StructType type) {
+  structs_.push_back(std::move(type));
+  return static_cast<uint32_t>(structs_.size() - 1);
+}
+
+int Module::FindStruct(const std::string& name) const {
+  for (size_t i = 0; i < structs_.size(); i++) {
+    if (structs_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+size_t Module::InstructionCount() const {
+  size_t count = 0;
+  for (const Function& function : functions_) {
+    for (const Block& block : function.blocks) {
+      count += block.instrs.size();
+    }
+  }
+  return count;
+}
+
+namespace {
+
+bool IsTerminator(Opcode op) {
+  return op == Opcode::kRet || op == Opcode::kBr || op == Opcode::kCondBr;
+}
+
+Status VerifyFunction(const Module& module, const Function& function) {
+  auto fail = [&](const std::string& message) {
+    return Error{"function '" + SymbolName(function.name) + "': " + message};
+  };
+  if (function.blocks.empty()) {
+    return fail("no blocks");
+  }
+  if (function.param_count > function.reg_count) {
+    return fail("more parameters than registers");
+  }
+  for (size_t block_index = 0; block_index < function.blocks.size(); block_index++) {
+    const Block& block = function.blocks[block_index];
+    if (block.instrs.empty() || !IsTerminator(block.instrs.back().op)) {
+      return fail("block " + std::to_string(block_index) + " is not terminated");
+    }
+    for (size_t i = 0; i < block.instrs.size(); i++) {
+      const Instr& instr = block.instrs[i];
+      if (IsTerminator(instr.op) && i + 1 != block.instrs.size()) {
+        return fail("terminator mid-block in block " + std::to_string(block_index));
+      }
+      auto check_reg = [&](Reg reg) { return reg == kNoReg || reg < function.reg_count; };
+      if (!check_reg(instr.dst) || !check_reg(instr.a) || !check_reg(instr.b)) {
+        return fail("register out of range in block " + std::to_string(block_index));
+      }
+      for (Reg arg : instr.args) {
+        if (!check_reg(arg) || arg == kNoReg) {
+          return fail("argument register out of range");
+        }
+      }
+      if (instr.op == Opcode::kBr || instr.op == Opcode::kCondBr) {
+        if (instr.then_block >= function.blocks.size() ||
+            (instr.op == Opcode::kCondBr && instr.else_block >= function.blocks.size())) {
+          return fail("branch target out of range");
+        }
+      }
+      if (instr.op == Opcode::kAlloc || instr.op == Opcode::kLoadField ||
+          instr.op == Opcode::kStoreField) {
+        if (instr.type_id >= module.struct_count()) {
+          return fail("struct type out of range");
+        }
+        if (instr.op != Opcode::kAlloc &&
+            instr.field_index >= module.struct_type(instr.type_id).fields.size()) {
+          return fail("field index out of range");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Verify(const Module& module) {
+  for (const Function& function : module.functions()) {
+    if (auto status = VerifyFunction(module, function); !status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kConst: return "const";
+    case Opcode::kMove: return "move";
+    case Opcode::kBin: return "bin";
+    case Opcode::kCall: return "call";
+    case Opcode::kCallIndirect: return "calli";
+    case Opcode::kFnAddr: return "fnaddr";
+    case Opcode::kAlloc: return "alloc";
+    case Opcode::kLoadField: return "ldfld";
+    case Opcode::kStoreField: return "stfld";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kRet: return "ret";
+    case Opcode::kBr: return "br";
+    case Opcode::kCondBr: return "condbr";
+    case Opcode::kHook: return "hook";
+  }
+  return "?";
+}
+
+std::string ToString(const Module& module) {
+  std::ostringstream out;
+  for (const Function& function : module.functions()) {
+    out << "fn " << SymbolName(function.name) << "(" << function.param_count << " params, "
+        << function.reg_count << " regs)\n";
+    for (size_t b = 0; b < function.blocks.size(); b++) {
+      out << " block" << b << ":\n";
+      for (const Instr& instr : function.blocks[b].instrs) {
+        out << "  " << OpcodeName(instr.op);
+        if (instr.dst != kNoReg) out << " r" << instr.dst;
+        if (instr.a != kNoReg) out << " r" << instr.a;
+        if (instr.b != kNoReg) out << " r" << instr.b;
+        if (instr.op == Opcode::kConst) out << " #" << instr.imm;
+        if (instr.fn != kNoSymbol) out << " @" << SymbolName(instr.fn);
+        if (instr.op == Opcode::kHook) out << " hook#" << instr.hook_id;
+        if (instr.op == Opcode::kBr || instr.op == Opcode::kCondBr) {
+          out << " ->" << instr.then_block;
+          if (instr.op == Opcode::kCondBr) out << "/" << instr.else_block;
+        }
+        for (Reg arg : instr.args) out << " r" << arg;
+        out << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace tesla::ir

@@ -1,0 +1,259 @@
+#include "kernelsim/assertions.h"
+
+#include "kernelsim/kernel.h"
+
+namespace tesla::kernelsim {
+namespace {
+
+struct Source {
+  const char* name;
+  const char* text;
+};
+
+// --- MF: MAC filesystem assertions (25) -----------------------------------
+//
+// The first five are exercised by the simulated workloads; the remainder
+// cover procfs, ACLs, quotas and extended attributes, mirroring the breadth
+// (and the partially-unexercised nature) of the paper's suite.
+const Source kMacFs[] = {
+    // fig. 7: ufs_open must be preceded by one of the three open-authorising
+    // checks, depending on the code path (open / exec / kldload).
+    {"mac.fs.open",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_kld_check_load(ANY(ptr), vp) == 0"
+     " || mac_vnode_check_exec(ANY(ptr), vp) == 0"
+     " || mac_vnode_check_open(ANY(ptr), vp, ANY(int)) == 0)"},
+    // fig. 7: reads are authorised by an explicit check, exempted by
+    // IO_NOMACCHECK, or internal to ufs_readdir.
+    {"mac.fs.read",
+     "TESLA_SYSCALL(incallstack(ufs_readdir)"
+     " || previously(called(vn_rdwr(vp, ANY(int), ANY(int), flags(IO_NOMACCHECK))))"
+     " || previously(mac_vnode_check_read(ANY(ptr), ANY(ptr), vp) == 0))"},
+    {"mac.fs.write",
+     "TESLA_SYSCALL(previously(called(vn_rdwr(vp, ANY(int), ANY(int), flags(IO_NOMACCHECK))))"
+     " || previously(mac_vnode_check_write(ANY(ptr), ANY(ptr), vp) == 0))"},
+    {"mac.fs.readdir",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_readdir(ANY(ptr), vp) == 0)"},
+    {"mac.fs.extattr",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_getextattr(ANY(ptr), vp) == 0)"},
+    // Unexercised breadth: stat, ACLs, quota, rename, unlink, procfs nodes...
+    {"mac.fs.stat", "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_stat(ANY(ptr), vp) == 0)"},
+    {"mac.fs.getacl", "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_getacl(ANY(ptr), vp) == 0)"},
+    {"mac.fs.setacl", "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_setacl(ANY(ptr), vp) == 0)"},
+    {"mac.fs.setattr", "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_setattr(ANY(ptr), vp) == 0)"},
+    {"mac.fs.setextattr",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_setextattr(ANY(ptr), vp) == 0)"},
+    {"mac.fs.rename_from",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_rename_from(ANY(ptr), vp) == 0)"},
+    {"mac.fs.rename_to",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_rename_to(ANY(ptr), vp) == 0)"},
+    {"mac.fs.unlink", "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_unlink(ANY(ptr), vp) == 0)"},
+    {"mac.fs.create", "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_create(ANY(ptr), dvp) == 0)"},
+    {"mac.fs.link", "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_link(ANY(ptr), vp) == 0)"},
+    {"mac.fs.chdir", "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_chdir(ANY(ptr), vp) == 0)"},
+    {"mac.fs.chroot", "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_chroot(ANY(ptr), vp) == 0)"},
+    {"mac.fs.mmap", "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_mmap(ANY(ptr), vp, ANY(int)) == 0)"},
+    {"mac.fs.mprotect",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_mprotect(ANY(ptr), vp, ANY(int)) == 0)"},
+    {"mac.fs.truncate",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_truncate(ANY(ptr), ANY(ptr), vp) == 0)"},
+    {"mac.fs.revoke", "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_revoke(ANY(ptr), vp) == 0)"},
+    {"mac.fs.mount", "TESLA_SYSCALL_PREVIOUSLY(mac_mount_check_stat(ANY(ptr), mp) == 0)"},
+    {"mac.fs.quota", "TESLA_SYSCALL_PREVIOUSLY(ufs_quota_check(ANY(ptr), vp) == 0)"},
+    {"mac.fs.label_update",
+     "TESLA_SYSCALL(eventually(mac_vnode_label_commit(vp) == 0)"
+     " || previously(mac_vnode_check_relabel(ANY(ptr), vp) == 0))"},
+    {"mac.fs.deleteextattr",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_deleteextattr(ANY(ptr), vp) == 0)"},
+};
+static_assert(sizeof(kMacFs) / sizeof(kMacFs[0]) == 25, "MF must have 25 assertions");
+
+// --- MS: MAC socket assertions (11) ----------------------------------------
+const Source kMacSocket[] = {
+    // figs. 4 and 9: the poll check, with the *active* credential, must
+    // precede protocol-specific poll work.
+    {"mac.socket.poll",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_poll(active_cred, so) == 0)"},
+    {"mac.socket.send", "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_send(ANY(ptr), so) == 0)"},
+    {"mac.socket.receive",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_receive(ANY(ptr), so) == 0)"},
+    {"mac.socket.bind", "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_bind(ANY(ptr), so) == 0)"},
+    {"mac.socket.connect",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_connect(ANY(ptr), so) == 0)"},
+    // Unexercised in the simulated workloads:
+    {"mac.socket.listen", "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_listen(ANY(ptr), so) == 0)"},
+    {"mac.socket.accept", "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_accept(ANY(ptr), so) == 0)"},
+    {"mac.socket.stat", "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_stat(ANY(ptr), so) == 0)"},
+    {"mac.socket.relabel",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_relabel(ANY(ptr), so) == 0)"},
+    {"mac.socket.visible",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_visible(ANY(ptr), so) == 0)"},
+    {"mac.socket.deliver",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_deliver(so, ANY(ptr)) == 0)"},
+};
+static_assert(sizeof(kMacSocket) / sizeof(kMacSocket[0]) == 11, "MS must have 11 assertions");
+
+// --- MP: MAC process assertions (10) ---------------------------------------
+const Source kMacProc[] = {
+    {"proc.signal",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_proc_check_signal(ANY(ptr), p, ANY(int)) == 0)"},
+    {"proc.setuid", "TESLA_SYSCALL_PREVIOUSLY(mac_proc_check_setuid(ANY(ptr), ANY(int)) == 0)"},
+    {"proc.debug", "TESLA_SYSCALL_PREVIOUSLY(mac_proc_check_debug(ANY(ptr), p) == 0)"},
+    {"proc.sched", "TESLA_SYSCALL_PREVIOUSLY(mac_proc_check_sched(ANY(ptr), p) == 0)"},
+    {"proc.wait", "TESLA_SYSCALL_PREVIOUSLY(mac_proc_check_wait(ANY(ptr), p) == 0)"},
+    {"proc.setgid", "TESLA_SYSCALL_PREVIOUSLY(mac_proc_check_setgid(ANY(ptr), ANY(int)) == 0)"},
+    {"proc.setgroups", "TESLA_SYSCALL_PREVIOUSLY(mac_proc_check_setgroups(ANY(ptr), p) == 0)"},
+    {"proc.setresuid",
+     "TESLA_SYSCALL_PREVIOUSLY(mac_proc_check_setresuid(ANY(ptr), ANY(int)) == 0)"},
+    {"proc.rlimit", "TESLA_SYSCALL_PREVIOUSLY(mac_proc_check_setrlimit(ANY(ptr), p) == 0)"},
+    {"proc.ktrace", "TESLA_SYSCALL_PREVIOUSLY(mac_proc_check_ktrace(ANY(ptr), p) == 0)"},
+};
+static_assert(sizeof(kMacProc) / sizeof(kMacProc[0]) == 10, "MP must have 10 assertions");
+
+// --- the 2 framework-wide MAC assertions (M = MF + MS + MP + these) --------
+const Source kMacExtra[] = {
+    {"mac.framework.init",
+     "TESLA_WITHIN(mac_policy_register, eventually(mac_policy_attach(ANY(ptr)) == 0))"},
+    {"mac.framework.label_alloc",
+     "TESLA_SYSCALL(previously(mac_label_alloc(ANY(ptr)) == 0)"
+     " || optional(mac_label_free(ANY(ptr))))"},
+};
+static_assert(sizeof(kMacExtra) / sizeof(kMacExtra[0]) == 2, "M extras must be 2");
+
+// --- P: inter-process / process-lifetime assertions (37) -------------------
+//
+// One is exercised (proc.sugid — the `eventually` example from §3.5.2); the
+// rest mirror the paper's composition: 19 procfs assertions (deprecated
+// facility, disabled by default), 5 POSIX real-time scheduling assertions,
+// 2 CPUSET assertions, and 10 further lifecycle orderings.
+std::vector<Source> ProcSources() {
+  std::vector<Source> sources;
+  // §3.5.2: "if a process credential is modified, then the P_SUGID process
+  // flag must be set".
+  sources.push_back(
+      {"proc.sugid", "TESLA_SYSCALL(eventually(p.p_flag = flags(P_SUGID)))"});
+  sources.push_back(
+      {"proc.fork.ordering",
+       "TESLA_SYSCALL(TSEQUENCE(proc_fork(ANY(ptr)) == 0, optional(called(proc_reap))))"});
+  sources.push_back(
+      {"proc.exit.reap",
+       "TESLA_WITHIN(proc_exit, eventually(proc_reap(p) == 0))"});
+  sources.push_back(
+      {"proc.exec.image",
+       "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_exec(ANY(ptr), vp) == 0)"});
+  sources.push_back(
+      {"proc.sigacts.hold",
+       "TESLA_SYSCALL_PREVIOUSLY(sigacts_hold(p) == 0)"});
+  sources.push_back(
+      {"proc.cred.hold",
+       "TESLA_SYSCALL(TSEQUENCE(crhold(ANY(ptr)), eventually(called(crfree))))"});
+  sources.push_back(
+      {"proc.pgrp.lock",
+       "TESLA_SYSCALL_PREVIOUSLY(pgrp_lock_held(p) == 1)"});
+  sources.push_back(
+      {"proc.session.leader",
+       "TESLA_SYSCALL_PREVIOUSLY(session_leader_check(p) == 0)"});
+  sources.push_back(
+      {"proc.jail.attach",
+       "TESLA_SYSCALL_PREVIOUSLY(prison_check(ANY(ptr), p) == 0)"});
+  sources.push_back(
+      {"proc.umask.update",
+       "TESLA_SYSCALL(eventually(p.p_flag = flags(P_CONTROLT)))"});
+  sources.push_back(
+      {"proc.ptrace.attach",
+       "TESLA_SYSCALL_PREVIOUSLY(mac_proc_check_debug(ANY(ptr), p) == 0)"});
+  // 19 procfs assertions (the paper's biggest unexercised block), 5 POSIX
+  // real-time scheduling assertions, and 2 CPUSET assertions (added after the
+  // inter-process test suite was written, per §3.5.2).
+  static std::vector<std::string> storage;
+  if (storage.empty()) {
+    for (int i = 0; i < 19; i++) {
+      storage.push_back("proc.procfs.op" + std::to_string(i));
+      storage.push_back("TESLA_SYSCALL_PREVIOUSLY(procfs_check_op" + std::to_string(i) +
+                        "(ANY(ptr), p) == 0)");
+    }
+    for (int i = 0; i < 5; i++) {
+      storage.push_back("proc.rtprio.op" + std::to_string(i));
+      storage.push_back("TESLA_SYSCALL_PREVIOUSLY(rtp_check_op" + std::to_string(i) +
+                        "(ANY(ptr), p) == 0)");
+    }
+    for (int i = 0; i < 2; i++) {
+      storage.push_back("proc.cpuset.op" + std::to_string(i));
+      storage.push_back("TESLA_SYSCALL_PREVIOUSLY(cpuset_check_op" + std::to_string(i) +
+                        "(ANY(ptr), p) == 0)");
+    }
+  }
+  for (size_t i = 0; i + 1 < storage.size() && sources.size() < 37; i += 2) {
+    sources.push_back({storage[i].c_str(), storage[i + 1].c_str()});
+  }
+  return sources;
+}
+
+// --- instrumentation-test assertions (11; part of "Infrastructure") --------
+std::vector<Source> TestSources() {
+  static std::vector<std::string> storage;
+  std::vector<Source> sources;
+  if (storage.empty()) {
+    for (int i = 0; i < 11; i++) {
+      storage.push_back("tesla.test" + std::to_string(i));
+      storage.push_back("TESLA_SYSCALL_PREVIOUSLY(tesla_selftest" + std::to_string(i) +
+                        "(ANY(int)) == 0)");
+    }
+  }
+  for (size_t i = 0; i + 1 < storage.size(); i += 2) {
+    sources.push_back({storage[i].c_str(), storage[i + 1].c_str()});
+  }
+  return sources;
+}
+
+}  // namespace
+
+automata::LowerOptions KernelLowerOptions() {
+  automata::LowerOptions options;
+  options.flags["IO_NOMACCHECK"] = kIoNoMacCheck;
+  options.flags["P_SUGID"] = 0x100;
+  options.flags["P_CONTROLT"] = 0x200;
+  options.flags["FREAD"] = 0x1;
+  options.flags["FWRITE"] = 0x2;
+  return options;
+}
+
+std::vector<std::pair<std::string, std::string>> KernelAssertionSources(uint32_t sets) {
+  std::vector<std::pair<std::string, std::string>> sources;
+  auto add = [&sources](const Source& source) {
+    sources.emplace_back(source.name, source.text);
+  };
+  if (sets & kSetMacFs) {
+    for (const Source& source : kMacFs) add(source);
+  }
+  if (sets & kSetMacSocket) {
+    for (const Source& source : kMacSocket) add(source);
+  }
+  if (sets & kSetMacProc) {
+    for (const Source& source : kMacProc) add(source);
+  }
+  if (sets & kSetMacExtra) {
+    for (const Source& source : kMacExtra) add(source);
+  }
+  if (sets & kSetProc) {
+    for (const Source& source : ProcSources()) add(source);
+  }
+  if (sets & kSetTest) {
+    for (const Source& source : TestSources()) add(source);
+  }
+  return sources;
+}
+
+Result<automata::Manifest> KernelAssertions(uint32_t sets) {
+  automata::LowerOptions lower = KernelLowerOptions();
+  automata::Manifest manifest;
+  for (const auto& [name, text] : KernelAssertionSources(sets)) {
+    auto automaton = automata::CompileAssertion(text, lower, name, "amd64_syscall");
+    if (!automaton.ok()) {
+      return Error{"assertion '" + name + "': " + automaton.error().ToString()};
+    }
+    manifest.Add(std::move(automaton.value()));
+  }
+  return manifest;
+}
+
+}  // namespace tesla::kernelsim

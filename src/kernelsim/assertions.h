@@ -1,0 +1,53 @@
+// The kernel TESLA assertion suite (paper §3.5.2, table 1).
+//
+// Assertion sets, matching the paper's table 1 symbols:
+//   MF   MAC (filesystem)   25 assertions
+//   MS   MAC (sockets)      11
+//   MP   MAC (processes)    10
+//   M    all MAC            48  (MF + MS + MP + 2 framework-wide assertions)
+//   P    process lifetimes  37
+//   All  everything         96  (M + P + 11 instrumentation-test assertions)
+//
+// As in the paper, a large fraction of the suite is *not* exercised by the
+// simulated workloads (the paper found 26 of 37 inter-process assertions
+// unexercised, 19 of them in the deprecated procfs); those automata register,
+// instrument and idle.
+#ifndef TESLA_KERNELSIM_ASSERTIONS_H_
+#define TESLA_KERNELSIM_ASSERTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/lower.h"
+#include "automata/manifest.h"
+#include "support/result.h"
+
+namespace tesla::kernelsim {
+
+enum AssertionSet : uint32_t {
+  kSetNone = 0,
+  kSetMacFs = 1u << 0,       // MF
+  kSetMacSocket = 1u << 1,   // MS
+  kSetMacProc = 1u << 2,     // MP
+  kSetMacExtra = 1u << 3,    // the 2 framework-wide MAC assertions
+  kSetProc = 1u << 4,        // P
+  kSetTest = 1u << 5,        // instrumentation-test assertions
+  kSetMac = kSetMacFs | kSetMacSocket | kSetMacProc | kSetMacExtra,  // M
+  kSetAll = kSetMac | kSetProc | kSetTest,                           // All
+};
+
+// Lowering options carrying the kernel's flag and constant vocabulary
+// (IO_NOMACCHECK, P_SUGID, ...).
+automata::LowerOptions KernelLowerOptions();
+
+// Builds the manifest for the selected assertion sets.
+Result<automata::Manifest> KernelAssertions(uint32_t sets);
+
+// The assertion source texts of one set, as (name, text) pairs — exposed for
+// tests and for the table 1 bench.
+std::vector<std::pair<std::string, std::string>> KernelAssertionSources(uint32_t sets);
+
+}  // namespace tesla::kernelsim
+
+#endif  // TESLA_KERNELSIM_ASSERTIONS_H_

@@ -1,0 +1,253 @@
+// kernelsim: a miniature FreeBSD-like kernel substrate.
+//
+// This is the simulator the paper's §3.5.2 / §5.2 experiments run against in
+// our reproduction: a syscall layer (amd64_syscall bounds every TESLA kernel
+// assertion), a VFS with UFS-style vnode operations, sockets reached through
+// fig. 3's protosw function-pointer indirection, process credentials, and the
+// MAC framework whose hooks the assertions reference.
+//
+// The three bugs TESLA found in the paper are injected behind BugConfig
+// flags:
+//  * kqueue-based polling skips mac_socket_check_poll (found via MS
+//    assertions);
+//  * one dynamic call graph passes the cached file credential where the
+//    active thread credential is required;
+//  * a credential-changing path fails to set P_SUGID (found via an
+//    `eventually` assertion).
+#ifndef TESLA_KERNELSIM_KERNEL_H_
+#define TESLA_KERNELSIM_KERNEL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernelsim/syms.h"
+#include "kernelsim/witness.h"
+#include "runtime/runtime.h"
+#include "runtime/scope.h"
+
+namespace tesla::kernelsim {
+
+// Errno values (positive, FreeBSD-style returns).
+inline constexpr int64_t kOk = 0;
+inline constexpr int64_t kEperm = 1;
+inline constexpr int64_t kEnoent = 2;
+inline constexpr int64_t kEbadf = 9;
+inline constexpr int64_t kEinval = 22;
+inline constexpr int64_t kEmfile = 24;
+
+// Open / I/O flags (fig. 7's IO_NOMACCHECK among them).
+inline constexpr uint64_t kFRead = 0x1;
+inline constexpr uint64_t kFWrite = 0x2;
+inline constexpr uint64_t kOCreat = 0x4;
+inline constexpr uint64_t kIoNoMacCheck = 0x10;
+
+// Process flags.
+inline constexpr uint64_t kPSugid = 0x100;
+
+struct Ucred {
+  int64_t uid = 0;
+  int64_t label = 0;  // MAC label; checks compare subject/object labels
+  uint64_t id = 0;    // unique identity (what assertions bind)
+};
+
+struct Vnode {
+  uint64_t id = 0;
+  std::string name;
+  int64_t label = 0;
+  int64_t size = 0;
+  int64_t v_usecount = 0;
+  bool is_dir = false;
+  bool is_executable = false;
+  std::vector<uint64_t> children;  // vnode ids, for directories
+};
+
+struct Socket;
+
+// fig. 3: struct pr_usrreqs { int (*pru_sopoll)(struct socket *, ...); }
+struct PrUsrreqs {
+  int64_t (*pru_sopoll)(struct Kernel&, struct KThread&, Socket&, int64_t events,
+                        Ucred* active_cred) = nullptr;
+  int64_t (*pru_sosend)(struct Kernel&, struct KThread&, Socket&, int64_t bytes) = nullptr;
+  int64_t (*pru_soreceive)(struct Kernel&, struct KThread&, Socket&, int64_t bytes) = nullptr;
+};
+
+struct Protosw {
+  std::string name;
+  PrUsrreqs* pr_usrreqs = nullptr;
+};
+
+struct Socket {
+  uint64_t id = 0;
+  Protosw* so_proto = nullptr;
+  int64_t label = 0;
+  int64_t so_state = 0;
+  int64_t buffered = 0;  // bytes queued for receive
+};
+
+// One open-file description; f_cred is the credential that *created* the
+// file — the wrong-credential bug passes it where active_cred belongs.
+struct File {
+  enum class Kind { kVnode, kSocket };
+  Kind kind = Kind::kVnode;
+  uint64_t vnode = 0;
+  uint64_t socket = 0;
+  uint64_t flags = 0;
+  Ucred f_cred;
+};
+
+struct Proc {
+  int64_t pid = 0;
+  Ucred cred;
+  int64_t p_flag = 0;
+  std::map<int64_t, File> fds;
+  int64_t next_fd = 3;
+};
+
+// A kernel thread: owns the TESLA per-thread event context and the witness
+// lock stack.
+struct KThread {
+  explicit KThread(runtime::Runtime* rt, Proc* process)
+      : proc(process), tesla(rt != nullptr ? std::make_unique<runtime::ThreadContext>(*rt)
+                                           : nullptr) {}
+  Proc* proc;
+  std::unique_ptr<runtime::ThreadContext> tesla;
+  Witness::ThreadLocks locks;
+};
+
+struct BugConfig {
+  bool kqueue_missing_mac_check = false;   // §3.5.2 bug 1
+  bool poll_uses_file_credential = false;  // §3.5.2 bug 2
+  bool setuid_skips_sugid_flag = false;    // §3.5.2 bug 3 (eventually-check)
+};
+
+struct KernelConfig {
+  // Instrumentation: null → a "Release" kernel with no TESLA hooks compiled
+  // in. Non-null with an empty manifest → the paper's "Infrastructure"
+  // configuration (hooks fire, no automata listen).
+  runtime::Runtime* tesla = nullptr;
+
+  // WITNESS/INVARIANTS-style debug checking (the paper's "Debug" baseline).
+  bool debug_checks = false;
+
+  BugConfig bugs;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(KernelConfig config);
+
+  // --- process management ---
+  Proc* NewProcess(int64_t uid);
+  KThread NewThread(Proc* proc) { return KThread(config_.tesla, proc); }
+
+  // --- system calls (each dispatches through amd64_syscall) ---
+  int64_t SysOpen(KThread& td, const std::string& path, uint64_t flags);
+  int64_t SysClose(KThread& td, int64_t fd);
+  int64_t SysRead(KThread& td, int64_t fd, int64_t bytes);
+  int64_t SysWrite(KThread& td, int64_t fd, int64_t bytes);
+  int64_t SysReaddir(KThread& td, int64_t fd);
+  int64_t SysSocket(KThread& td);
+  int64_t SysBind(KThread& td, int64_t fd);
+  int64_t SysConnect(KThread& td, int64_t fd);
+  int64_t SysSend(KThread& td, int64_t fd, int64_t bytes);
+  int64_t SysRecv(KThread& td, int64_t fd, int64_t bytes);
+  int64_t SysPoll(KThread& td, int64_t fd, int64_t events);
+  int64_t SysSelect(KThread& td, int64_t fd, int64_t events);
+  // kqueue-style event polling: the buggy path from §3.5.2.
+  int64_t SysKevent(KThread& td, int64_t fd, int64_t events);
+  int64_t SysSetuid(KThread& td, int64_t uid);
+  int64_t SysExecve(KThread& td, const std::string& path);
+  int64_t SysKldload(KThread& td, const std::string& path);
+  int64_t SysKill(KThread& td, int64_t pid, int64_t signal);
+  int64_t SysGetExtAttr(KThread& td, int64_t fd);
+
+  // --- MAC framework (mechanism/policy split; hooks are instrumented) ---
+  int64_t mac_vnode_check_open(KThread& td, Ucred* cred, Vnode* vp, uint64_t accmode);
+  int64_t mac_vnode_check_read(KThread& td, Ucred* active_cred, Ucred* file_cred, Vnode* vp);
+  int64_t mac_vnode_check_write(KThread& td, Ucred* active_cred, Ucred* file_cred, Vnode* vp);
+  int64_t mac_vnode_check_exec(KThread& td, Ucred* cred, Vnode* vp);
+  int64_t mac_vnode_check_readdir(KThread& td, Ucred* cred, Vnode* vp);
+  int64_t mac_vnode_check_getextattr(KThread& td, Ucred* cred, Vnode* vp);
+  int64_t mac_kld_check_load(KThread& td, Ucred* cred, Vnode* vp);
+  int64_t mac_socket_check_create(KThread& td, Ucred* cred);
+  int64_t mac_socket_check_bind(KThread& td, Ucred* cred, Socket* so);
+  int64_t mac_socket_check_connect(KThread& td, Ucred* cred, Socket* so);
+  int64_t mac_socket_check_send(KThread& td, Ucred* cred, Socket* so);
+  int64_t mac_socket_check_receive(KThread& td, Ucred* cred, Socket* so);
+  int64_t mac_socket_check_poll(KThread& td, Ucred* active_cred, Socket* so);
+  int64_t mac_proc_check_signal(KThread& td, Ucred* cred, Proc* target, int64_t signal);
+  int64_t mac_proc_check_setuid(KThread& td, Ucred* cred, int64_t uid);
+
+  // --- internals reachable from multiple layers (instrumented) ---
+  int64_t vn_rdwr(KThread& td, Vnode* vp, bool write, int64_t bytes, uint64_t flags);
+  int64_t ufs_readdir(KThread& td, Vnode* vp);
+  int64_t proc_set_cred(KThread& td, Proc* proc, int64_t uid);
+
+  Witness& witness() { return witness_; }
+  const KernelConfig& config() const { return config_; }
+  runtime::Runtime* tesla() { return config_.tesla; }
+
+  Vnode* VnodeById(uint64_t id);
+  Socket* SocketById(uint64_t id);
+  Vnode* Lookup(const std::string& path);
+  Proc* ProcByPid(int64_t pid);
+
+  uint64_t mac_checks_performed() const { return mac_checks_; }
+  uint64_t debug_work() const { return debug_work_; }
+
+  // Fires the named TESLA assertion site (resolved once, cached).
+  void Site(KThread& td, const std::string& name, std::initializer_list<runtime::Binding> b);
+
+ private:
+  // Debug-kernel work: witness bookkeeping plus INVARIANTS-style structure
+  // walks, charged on every lock operation.
+  void LockAcquire(KThread& td, LockClassId cls);
+  void LockRelease(KThread& td, LockClassId cls);
+  void RunInvariantChecks(KThread& td);
+
+  int64_t OpenCommon(KThread& td, const std::string& path, uint64_t flags);
+  int64_t ufs_open(KThread& td, Vnode* vp, Ucred* cred, uint64_t flags, uint64_t site_mode);
+  int64_t ffs_read(KThread& td, Vnode* vp, Ucred* active_cred, Ucred* file_cred, int64_t bytes,
+                   uint64_t flags);
+  int64_t ffs_write(KThread& td, Vnode* vp, Ucred* active_cred, Ucred* file_cred, int64_t bytes);
+  int64_t soo_poll(KThread& td, File& fp, int64_t events, Ucred* active_cred);
+  int64_t sopoll(KThread& td, Socket& so, int64_t events, Ucred* cred);
+
+  static int64_t SopollGenericThunk(Kernel& k, KThread& td, Socket& so, int64_t events,
+                                    Ucred* active_cred);
+  static int64_t SosendGenericThunk(Kernel& k, KThread& td, Socket& so, int64_t bytes);
+  static int64_t SoreceiveGenericThunk(Kernel& k, KThread& td, Socket& so, int64_t bytes);
+  int64_t sopoll_generic(KThread& td, Socket& so, int64_t events, Ucred* active_cred);
+  int64_t sosend_generic(KThread& td, Socket& so, int64_t bytes);
+  int64_t soreceive_generic(KThread& td, Socket& so, int64_t bytes);
+
+  int64_t MacCheckCommon(Ucred* cred, int64_t object_label);
+
+  KernelConfig config_;
+  Witness witness_;
+  LockClassId vnode_lock_ = 0;
+  LockClassId socket_lock_ = 0;
+  LockClassId proc_lock_ = 0;
+  LockClassId mac_lock_ = 0;
+
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::vector<std::unique_ptr<Vnode>> vnodes_;
+  std::vector<std::unique_ptr<Socket>> sockets_;
+  std::map<std::string, uint64_t> namecache_;
+
+  PrUsrreqs generic_usrreqs_;
+  Protosw tcp_proto_;
+
+  std::map<std::string, int> site_cache_;
+  uint64_t mac_checks_ = 0;
+  uint64_t debug_work_ = 0;
+  int64_t next_pid_ = 1;
+  uint64_t next_cred_id_ = 1;
+};
+
+}  // namespace tesla::kernelsim
+
+#endif  // TESLA_KERNELSIM_KERNEL_H_

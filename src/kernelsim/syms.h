@@ -1,0 +1,81 @@
+// Pre-interned symbols for every instrumentable kernelsim function and field.
+//
+// The TESLA instrumenter keys hooks by function name; kernelsim's native
+// (compiled-in) instrumentation resolves each name to a Symbol once, at
+// start-up, so the hot path never touches the interner.
+#ifndef TESLA_KERNELSIM_SYMS_H_
+#define TESLA_KERNELSIM_SYMS_H_
+
+#include "support/intern.h"
+
+namespace tesla::kernelsim {
+
+struct KernelSymbols {
+  // Syscall layer (the common temporal bound, paper fig. 9).
+  Symbol amd64_syscall = InternString("amd64_syscall");
+
+  // VFS / UFS (paper fig. 7).
+  Symbol vn_open = InternString("vn_open");
+  Symbol vn_close = InternString("vn_close");
+  Symbol vn_rdwr = InternString("vn_rdwr");
+  Symbol ufs_open = InternString("ufs_open");
+  Symbol ufs_close = InternString("ufs_close");
+  Symbol ffs_read = InternString("ffs_read");
+  Symbol ffs_write = InternString("ffs_write");
+  Symbol ufs_readdir = InternString("ufs_readdir");
+  Symbol ufs_getextattr = InternString("ufs_getextattr");
+  Symbol vop_getacl = InternString("vop_getacl");
+
+  // Sockets (paper figs. 3/4/9).
+  Symbol socreate = InternString("socreate");
+  Symbol sobind = InternString("sobind");
+  Symbol soconnect = InternString("soconnect");
+  Symbol sosend = InternString("sosend");
+  Symbol soreceive = InternString("soreceive");
+  Symbol soo_poll = InternString("soo_poll");
+  Symbol sopoll = InternString("sopoll");
+  Symbol sopoll_generic = InternString("sopoll_generic");
+  Symbol kqueue_register = InternString("kqueue_register");
+  Symbol kqueue_scan = InternString("kqueue_scan");
+
+  // Processes.
+  Symbol proc_set_cred = InternString("proc_set_cred");
+  Symbol do_execve = InternString("do_execve");
+  Symbol kern_kldload = InternString("kern_kldload");
+  Symbol psignal = InternString("psignal");
+  Symbol proc_reap = InternString("proc_reap");
+  Symbol proc_fork = InternString("proc_fork");
+
+  // MAC framework hooks (paper §3.5.2).
+  Symbol mac_vnode_check_open = InternString("mac_vnode_check_open");
+  Symbol mac_vnode_check_read = InternString("mac_vnode_check_read");
+  Symbol mac_vnode_check_write = InternString("mac_vnode_check_write");
+  Symbol mac_vnode_check_exec = InternString("mac_vnode_check_exec");
+  Symbol mac_vnode_check_stat = InternString("mac_vnode_check_stat");
+  Symbol mac_vnode_check_readdir = InternString("mac_vnode_check_readdir");
+  Symbol mac_vnode_check_getextattr = InternString("mac_vnode_check_getextattr");
+  Symbol mac_vnode_check_getacl = InternString("mac_vnode_check_getacl");
+  Symbol mac_kld_check_load = InternString("mac_kld_check_load");
+  Symbol mac_socket_check_create = InternString("mac_socket_check_create");
+  Symbol mac_socket_check_bind = InternString("mac_socket_check_bind");
+  Symbol mac_socket_check_connect = InternString("mac_socket_check_connect");
+  Symbol mac_socket_check_send = InternString("mac_socket_check_send");
+  Symbol mac_socket_check_receive = InternString("mac_socket_check_receive");
+  Symbol mac_socket_check_poll = InternString("mac_socket_check_poll");
+  Symbol mac_proc_check_signal = InternString("mac_proc_check_signal");
+  Symbol mac_proc_check_setuid = InternString("mac_proc_check_setuid");
+  Symbol mac_proc_check_debug = InternString("mac_proc_check_debug");
+  Symbol mac_proc_check_sched = InternString("mac_proc_check_sched");
+  Symbol mac_proc_check_wait = InternString("mac_proc_check_wait");
+
+  // Structure fields referenced by field-assignment assertions.
+  Symbol p_flag = InternString("p_flag");
+  Symbol so_state = InternString("so_state");
+  Symbol v_usecount = InternString("v_usecount");
+};
+
+const KernelSymbols& Syms();
+
+}  // namespace tesla::kernelsim
+
+#endif  // TESLA_KERNELSIM_SYMS_H_

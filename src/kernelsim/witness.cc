@@ -1,0 +1,70 @@
+#include "kernelsim/witness.h"
+
+#include <deque>
+
+namespace tesla::kernelsim {
+
+LockClassId Witness::RegisterClass(const std::string& name) {
+  LockClassId id = static_cast<LockClassId>(names_.size());
+  names_.push_back(name);
+  for (auto& row : order_) {
+    row.push_back(false);
+  }
+  order_.emplace_back(names_.size(), false);
+  return id;
+}
+
+bool Witness::EdgeWouldCycle(LockClassId from, LockClassId to) const {
+  // Is `from` reachable from `to` in the current order graph? If so, adding
+  // to→...→from→to would close a cycle.
+  if (from == to) {
+    return true;
+  }
+  std::vector<bool> seen(names_.size(), false);
+  std::deque<LockClassId> worklist{to};
+  seen[to] = true;
+  while (!worklist.empty()) {
+    LockClassId node = worklist.front();
+    worklist.pop_front();
+    for (LockClassId next = 0; next < names_.size(); next++) {
+      if (!order_[node][next] || seen[next]) {
+        continue;
+      }
+      if (next == from) {
+        return true;
+      }
+      seen[next] = true;
+      worklist.push_back(next);
+    }
+  }
+  return false;
+}
+
+bool Witness::Acquire(ThreadLocks& locks, LockClassId cls) {
+  bool ok = true;
+  for (LockClassId held : locks.held) {
+    if (held == cls) {
+      continue;  // recursive acquisition of the same class: not an order edge
+    }
+    if (!order_[held][cls] && EdgeWouldCycle(held, cls)) {
+      reversals_++;
+      reports_.push_back("lock order reversal: " + names_[cls] + " after " + names_[held]);
+      ok = false;
+      continue;
+    }
+    order_[held][cls] = true;
+  }
+  locks.held.push_back(cls);
+  return ok;
+}
+
+void Witness::Release(ThreadLocks& locks, LockClassId cls) {
+  for (auto it = locks.held.rbegin(); it != locks.held.rend(); ++it) {
+    if (*it == cls) {
+      locks.held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace tesla::kernelsim

@@ -1,0 +1,151 @@
+#include "kernelsim/workloads.h"
+
+namespace tesla::kernelsim {
+namespace {
+
+// User-mode compute between syscalls; returns a checksum so the optimiser
+// cannot remove it.
+uint64_t BurnCompute(int units, uint64_t seed) {  // ~64 xorshift rounds per unit
+  uint64_t x = seed | 1;
+  for (int i = 0; i < units * 64; i++) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+}  // namespace
+
+WorkloadResult OpenCloseLoop(Kernel& kernel, KThread& td, int iterations) {
+  WorkloadResult result;
+  for (int i = 0; i < iterations; i++) {
+    int64_t fd = kernel.SysOpen(td, "/etc/passwd", kFRead);
+    result.syscalls++;
+    if (fd < 0) {
+      result.errors++;
+      continue;
+    }
+    if (kernel.SysClose(td, fd) != kOk) {
+      result.errors++;
+    }
+    result.syscalls++;
+  }
+  return result;
+}
+
+WorkloadResult OltpTransactions(Kernel& kernel, KThread& td, int transactions) {
+  WorkloadResult result;
+
+  int64_t sock = kernel.SysSocket(td);
+  result.syscalls++;
+  if (sock < 0) {
+    result.errors++;
+    return result;
+  }
+  if (kernel.SysConnect(td, sock) != kOk) {
+    result.errors++;
+  }
+  result.syscalls++;
+
+  int64_t journal = kernel.SysOpen(td, "/data/file0", kFRead | kFWrite);
+  result.syscalls++;
+
+  for (int i = 0; i < transactions; i++) {
+    // Send the query.
+    int64_t sent = kernel.SysSend(td, sock, 128);
+    result.syscalls++;
+    if (sent < 0) {
+      result.errors++;
+      continue;
+    }
+    result.bytes += static_cast<uint64_t>(sent);
+
+    // Wait for the response, then read it.
+    if (kernel.SysPoll(td, sock, 0x1) < 0) {
+      result.errors++;
+    }
+    result.syscalls++;
+    int64_t received = kernel.SysRecv(td, sock, 128);
+    result.syscalls++;
+    if (received < 0) {
+      result.errors++;
+    } else {
+      result.bytes += static_cast<uint64_t>(received);
+    }
+
+    // Commit every fourth transaction to the journal.
+    if (journal >= 0 && i % 4 == 3) {
+      int64_t written = kernel.SysWrite(td, journal, 512);
+      result.syscalls++;
+      if (written < 0) {
+        result.errors++;
+      }
+    }
+    result.compute_checksum ^= BurnCompute(1, static_cast<uint64_t>(i));
+  }
+
+  if (journal >= 0) {
+    kernel.SysClose(td, journal);
+    result.syscalls++;
+  }
+  kernel.SysClose(td, sock);
+  result.syscalls++;
+  return result;
+}
+
+WorkloadResult BuildCompile(Kernel& kernel, KThread& td, int files, int compute_per_file) {
+  WorkloadResult result;
+  for (int i = 0; i < files; i++) {
+    // Read a few headers.
+    for (int h = 0; h < 3; h++) {
+      std::string header = "/data/file" + std::to_string((i + h * 7) % 64);
+      int64_t fd = kernel.SysOpen(td, header, kFRead);
+      result.syscalls++;
+      if (fd < 0) {
+        result.errors++;
+        continue;
+      }
+      int64_t got = kernel.SysRead(td, fd, 4096);
+      result.syscalls++;
+      if (got > 0) {
+        result.bytes += static_cast<uint64_t>(got);
+      }
+      kernel.SysClose(td, fd);
+      result.syscalls++;
+    }
+
+    // Read the source file.
+    std::string source = "/data/file" + std::to_string(i % 64);
+    int64_t fd = kernel.SysOpen(td, source, kFRead);
+    result.syscalls++;
+    if (fd >= 0) {
+      int64_t got = kernel.SysRead(td, fd, 16384);
+      result.syscalls++;
+      if (got > 0) {
+        result.bytes += static_cast<uint64_t>(got);
+      }
+      kernel.SysClose(td, fd);
+      result.syscalls++;
+    }
+
+    // The compiler itself: user-mode compute dominates a real build.
+    result.compute_checksum ^= BurnCompute(compute_per_file, static_cast<uint64_t>(i + 1));
+
+    // Write the object file.
+    int64_t out =
+        kernel.SysOpen(td, "/obj/file" + std::to_string(i) + ".o", kFWrite | kOCreat);
+    result.syscalls++;
+    if (out >= 0) {
+      if (kernel.SysWrite(td, out, 8192) < 0) {
+        result.errors++;
+      }
+      result.syscalls++;
+      kernel.SysClose(td, out);
+      result.syscalls++;
+    }
+  }
+  return result;
+}
+
+}  // namespace tesla::kernelsim

@@ -1,0 +1,38 @@
+// Workload drivers for the kernelsim benchmarks (paper §5.2.2).
+//
+//  * OpenCloseLoop    — lmbench's `open close` microbenchmark.
+//  * OltpTransactions — SysBench OLTP against a memory-backed MySQL:
+//                       socket-intensive query/response transactions.
+//  * BuildCompile     — a Clang-build-style workload: filesystem traffic plus
+//                       user-mode compute between syscalls.
+#ifndef TESLA_KERNELSIM_WORKLOADS_H_
+#define TESLA_KERNELSIM_WORKLOADS_H_
+
+#include <cstdint>
+
+#include "kernelsim/kernel.h"
+
+namespace tesla::kernelsim {
+
+struct WorkloadResult {
+  uint64_t syscalls = 0;
+  uint64_t errors = 0;
+  uint64_t bytes = 0;
+  uint64_t compute_checksum = 0;  // defeats dead-code elimination
+};
+
+// Opens and closes /etc/passwd `iterations` times.
+WorkloadResult OpenCloseLoop(Kernel& kernel, KThread& td, int iterations);
+
+// Runs `transactions` OLTP-style transactions: each sends a query over a
+// socket, polls for the response, receives it, and appends to a journal file
+// every few transactions.
+WorkloadResult OltpTransactions(Kernel& kernel, KThread& td, int transactions);
+
+// Compiles `files` translation units: read headers, read the source, burn
+// `compute_per_file` units of user-mode CPU, write the object file.
+WorkloadResult BuildCompile(Kernel& kernel, KThread& td, int files, int compute_per_file);
+
+}  // namespace tesla::kernelsim
+
+#endif  // TESLA_KERNELSIM_WORKLOADS_H_

@@ -1,0 +1,151 @@
+// objsim/appkit: a miniature AppKit-like GUI layer on the objsim runtime.
+//
+// Models the GNUstep subsystems of paper §2.3/§3.5.3: views that delegate
+// drawing to cells, a graphics-state stack whose save/restore is "a
+// comparatively expensive operation", a cursor stack driven by
+// mouse-entered/mouse-exited events over tracking rectangles, and a run loop
+// whose iterations bound the fig. 8 tracing assertion.
+//
+// The cursor push/pop bug (reported on the GNUstep lists in June 2013) is
+// injectable: with the bug enabled, tracking-rectangle invalidation is
+// delivered after events that inspected those rectangles, so some
+// mouse-entered events are not paired with mouse-exited events and the same
+// cursor is pushed repeatedly.
+#ifndef TESLA_OBJSIM_APPKIT_H_
+#define TESLA_OBJSIM_APPKIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "objsim/objc.h"
+
+namespace tesla::objsim {
+
+struct Rect {
+  int64_t x = 0;
+  int64_t y = 0;
+  int64_t width = 0;
+  int64_t height = 0;
+
+  bool Contains(int64_t px, int64_t py) const {
+    return px >= x && px < x + width && py >= y && py < y + height;
+  }
+};
+
+// One saved graphics state (colour, transform, current point).
+struct GState {
+  int64_t color = 0;
+  int64_t transform = 1;
+  int64_t position_x = 0;
+  int64_t position_y = 0;
+};
+
+struct GraphicsContext : ObjcObject {
+  std::vector<GState> stack{GState{}};
+  uint64_t save_count = 0;
+  uint64_t restore_count = 0;
+  uint64_t ops = 0;  // drawing operations issued
+  // Non-LIFO restore support (the second GNUstep bug was a back end unable
+  // to restore states in non-LIFO order).
+  bool backend_supports_non_lifo = true;
+  uint64_t non_lifo_failures = 0;
+};
+
+struct Cursor : ObjcObject {
+  int64_t shape = 0;
+};
+
+struct Cell;
+
+struct View : ObjcObject {
+  Rect frame;
+  std::vector<View*> subviews;
+  std::vector<Cell*> cells;
+  Rect tracking_rect;
+  bool has_tracking_rect = false;
+  Cursor* cursor = nullptr;
+  bool needs_display = true;
+  bool mouse_inside = false;
+};
+
+struct Cell : ObjcObject {
+  int64_t state = 0;
+  int64_t color = 1;
+  uint64_t draws = 0;
+};
+
+struct RunLoopObj : ObjcObject {
+  uint64_t iterations = 0;
+};
+
+// A replayable input event (the GNU Xnee analogue of §5.3.1).
+struct UiEvent {
+  enum class Kind { kMouseMove, kClick, kExposePartial, kExposeFull };
+  Kind kind = Kind::kMouseMove;
+  int64_t x = 0;
+  int64_t y = 0;
+};
+
+struct AppKitConfig {
+  bool cursor_unbalanced_bug = false;  // §3.5.3 bug 1
+  bool backend_non_lifo_bug = false;   // §3.5.3 bug 2
+  int filler_method_count = 80;        // pads the instrumented surface to ~110
+  int cells_per_view = 4;
+  int view_count = 12;
+};
+
+// Assembled application: run loop + window of views + cursor machinery.
+class AppKit {
+ public:
+  AppKit(ObjcRuntime& runtime, AppKitConfig config);
+
+  // Runs one run-loop iteration delivering `events`; returns the number of
+  // drawing operations performed (proxy for redraw work). All activity flows
+  // through MsgSend, so interposition sees every method.
+  uint64_t RunLoopIteration(std::span<const UiEvent> events);
+
+  ObjcRuntime& runtime() { return runtime_; }
+  GraphicsContext* context() { return context_; }
+  RunLoopObj* run_loop() { return run_loop_; }
+  const std::vector<View*>& views() const { return views_; }
+
+  size_t cursor_stack_depth() const { return cursor_stack_.size(); }
+  uint64_t cursor_pushes() const { return cursor_pushes_; }
+  uint64_t cursor_pops() const { return cursor_pops_; }
+
+  // Every selector the fig. 8 assertion instruments (~110 methods).
+  std::vector<std::string> InstrumentedSelectors() const;
+
+  // Called at the end of each run-loop iteration when TESLA tracing is
+  // attached (the fig. 8 assertion site).
+  std::function<void()> iteration_site;
+
+ private:
+  friend struct AppKitMethods;
+
+  void DeliverEvent(const UiEvent& event);
+  void RedrawDirtyViews();
+
+  ObjcRuntime& runtime_;
+  AppKitConfig config_;
+  ObjcClass* view_class_ = nullptr;
+  ObjcClass* cell_class_ = nullptr;
+  ObjcClass* context_class_ = nullptr;
+  ObjcClass* cursor_class_ = nullptr;
+  ObjcClass* runloop_class_ = nullptr;
+
+  GraphicsContext* context_ = nullptr;
+  RunLoopObj* run_loop_ = nullptr;
+  std::vector<View*> views_;
+  std::vector<Cursor*> cursors_;
+  std::vector<Cursor*> cursor_stack_;
+  uint64_t cursor_pushes_ = 0;
+  uint64_t cursor_pops_ = 0;
+  int crossings_ = 0;
+  std::vector<std::string> filler_selectors_;
+};
+
+}  // namespace tesla::objsim
+
+#endif  // TESLA_OBJSIM_APPKIT_H_

@@ -1,0 +1,70 @@
+#include "objsim/objc.h"
+
+#include <cassert>
+
+namespace tesla::objsim {
+
+ObjcClass* ObjcRuntime::DefineClass(const std::string& name, ObjcClass* super) {
+  auto cls = std::make_unique<ObjcClass>();
+  cls->name = name;
+  cls->super = super;
+  classes_.push_back(std::move(cls));
+  return classes_.back().get();
+}
+
+void ObjcRuntime::AddMethod(ObjcClass* cls, const std::string& selector, Imp imp) {
+  cls->methods[InternString(selector)] = std::move(imp);
+}
+
+void ObjcRuntime::Interpose(const std::string& selector, InterpositionHook hook) {
+  interpositions_[InternString(selector)] = std::move(hook);
+}
+
+const Imp* ObjcRuntime::Resolve(ObjcClass* cls, Selector selector) const {
+  for (ObjcClass* c = cls; c != nullptr; c = c->super) {
+    auto it = c->methods.find(selector);
+    if (it != c->methods.end()) {
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+int64_t ObjcRuntime::MsgSend(ObjcObject* receiver, Selector selector,
+                             std::span<const int64_t> args) {
+  messages_sent_++;
+  assert(receiver != nullptr);
+  const Imp* imp = Resolve(receiver->isa, selector);
+  if (imp == nullptr) {
+    return 0;  // unrecognised selector: nil-like behaviour
+  }
+
+  if (mode_ == TraceMode::kRelease) {
+    // Tracing support not compiled in: straight dispatch.
+    return (*imp)(*this, receiver, args);
+  }
+
+  // Tracing-capable runtime: consult the global interposition table
+  // (paper §4.3). In kTracingCompiled mode the table is empty, so this is
+  // the cost of the lookup alone.
+  auto hook = interpositions_.find(selector);
+  if (hook == interpositions_.end()) {
+    return (*imp)(*this, receiver, args);
+  }
+  if (hook->second.pre) {
+    hook->second.pre(receiver, selector, args);
+  }
+  int64_t result = (*imp)(*this, receiver, args);
+  if (hook->second.want_return && hook->second.post) {
+    hook->second.post(receiver, selector, args, result);
+  }
+  return result;
+}
+
+int64_t ObjcRuntime::MsgSend(ObjcObject* receiver, const std::string& selector,
+                             std::initializer_list<int64_t> args) {
+  return MsgSend(receiver, InternString(selector),
+                 std::span<const int64_t>(args.begin(), args.size()));
+}
+
+}  // namespace tesla::objsim

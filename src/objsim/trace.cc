@@ -1,0 +1,137 @@
+#include "objsim/trace.h"
+
+#include <set>
+
+#include "automata/lower.h"
+
+namespace tesla::objsim {
+
+Result<automata::Manifest> GuiManifest(const AppKit& app) {
+  // TESLA_ASSERT(perthread, call(beginIteration), returnfrom(endIteration),
+  //              previously(ATLEAST(0, sel1(), sel2(), ...)))
+  std::string text =
+      "TESLA_ASSERT(perthread, call(beginIteration), returnfrom(endIteration), "
+      "previously(ATLEAST(0";
+  for (const std::string& selector : app.InstrumentedSelectors()) {
+    text += ", " + selector + "()";
+  }
+  text += ")))";
+
+  auto automaton = automata::CompileAssertion(text, {}, kGuiTraceAssertion);
+  if (!automaton.ok()) {
+    return automaton.error();
+  }
+  automata::Manifest manifest;
+  manifest.Add(std::move(automaton.value()));
+  return manifest;
+}
+
+Result<std::unique_ptr<GuiTesla>> GuiTesla::Install(runtime::Runtime& rt,
+                                                    runtime::ThreadContext& ctx, AppKit& app) {
+  auto manifest = GuiManifest(app);
+  if (!manifest.ok()) {
+    return manifest.error();
+  }
+  auto status = rt.Register(manifest.value());
+  if (!status.ok()) {
+    return status.error();
+  }
+  std::unique_ptr<GuiTesla> tesla(new GuiTesla(rt, ctx, app));
+  tesla->automaton_id_ = rt.FindAutomaton(kGuiTraceAssertion);
+  tesla->InterposeAll();
+  return tesla;
+}
+
+void GuiTesla::InterposeAll() {
+  GuiTesla* self = this;
+
+  // Every instrumented selector becomes a TESLA function-call event.
+  for (const std::string& selector : app_.InstrumentedSelectors()) {
+    Symbol symbol = InternString(selector);
+    InterpositionHook hook;
+    hook.pre = [self, symbol, selector](ObjcObject* receiver, Selector,
+                                        std::span<const int64_t> args) {
+      self->total_events_++;
+      int64_t extended[9];
+      extended[0] = static_cast<int64_t>(receiver->id);
+      size_t count = args.size() < 8 ? args.size() : 8;
+      for (size_t i = 0; i < count; i++) {
+        extended[i + 1] = args[i];
+      }
+      self->rt_.OnFunctionCall(self->ctx_, symbol,
+                               std::span<const int64_t>(extended, count + 1));
+      if (self->record_trace_) {
+        self->trace_.push_back(TraceEvent{selector, receiver->id, self->iteration_});
+      }
+    };
+    app_.runtime().Interpose(selector, std::move(hook));
+  }
+
+  // The run-loop bound: call(beginIteration) / returnfrom(endIteration).
+  {
+    InterpositionHook begin;
+    begin.pre = [self](ObjcObject*, Selector, std::span<const int64_t>) {
+      self->iteration_++;
+      self->rt_.OnFunctionCall(self->ctx_, InternString("beginIteration"), {});
+    };
+    app_.runtime().Interpose("beginIteration", std::move(begin));
+
+    InterpositionHook end;
+    end.want_return = true;
+    end.post = [self](ObjcObject*, Selector, std::span<const int64_t>, int64_t result) {
+      self->rt_.OnFunctionReturn(self->ctx_, InternString("endIteration"), {}, result);
+    };
+    app_.runtime().Interpose("endIteration", std::move(end));
+  }
+
+  // The assertion site fires at the end of each iteration.
+  app_.iteration_site = [self]() {
+    if (self->automaton_id_ >= 0) {
+      self->rt_.OnAssertionSite(self->ctx_, static_cast<uint32_t>(self->automaton_id_), {});
+    }
+  };
+}
+
+GuiTesla::SaveRestoreProfile GuiTesla::AnalyseSaveRestorePairs() const {
+  SaveRestoreProfile profile;
+  // Walk the trace; on each save, start tracking; on the matching restore,
+  // classify the pair. Only colour/position mutations between the two make
+  // the restore redundant.
+  static const std::set<std::string> kCheap = {"setColor", "moveTo", "lineTo", "strokeLine",
+                                               "drawWithFrame_inView"};
+  std::vector<bool> only_cheap_stack;
+  for (const TraceEvent& event : trace_) {
+    if (event.selector == "saveGraphicsState") {
+      only_cheap_stack.push_back(true);
+      continue;
+    }
+    if (event.selector == "restoreGraphicsState") {
+      if (!only_cheap_stack.empty()) {
+        profile.total_pairs++;
+        if (only_cheap_stack.back()) {
+          profile.elidable_pairs++;
+        }
+        only_cheap_stack.pop_back();
+      }
+      continue;
+    }
+    if (!only_cheap_stack.empty() && kCheap.count(event.selector) == 0) {
+      only_cheap_stack.back() = false;
+    }
+  }
+  return profile;
+}
+
+std::map<uint64_t, int64_t> GuiTesla::CursorImbalanceByIteration() const {
+  std::map<uint64_t, int64_t> imbalance;
+  for (const TraceEvent& event : trace_) {
+    if (event.selector == "push") {
+      imbalance[event.iteration]++;
+    } else if (event.selector == "pop") {
+      imbalance[event.iteration]--;
+    }
+  }
+  return imbalance;
+}
+
+}  // namespace tesla::objsim

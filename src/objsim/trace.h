@@ -1,0 +1,85 @@
+// objsim/trace: TESLA instrumentation for the AppKit layer.
+//
+// Reproduces fig. 8's tracing assertion: within each run-loop iteration,
+// some (or none) of the ~110 instrumented methods may be called:
+//
+//   TESLA_WITHIN(startDrawing, previously(ATLEAST(0,
+//       [ANY(id) push], [ANY(id) pop], ... )));
+//
+// Installing GuiTesla wires the runtime's interposition table (paper §4.3)
+// so every message send feeds the automaton; a custom handler records the
+// event trace used to diagnose the cursor push/pop bug (§3.5.3).
+#ifndef TESLA_OBJSIM_TRACE_H_
+#define TESLA_OBJSIM_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "automata/manifest.h"
+#include "objsim/appkit.h"
+#include "runtime/runtime.h"
+#include "support/result.h"
+
+namespace tesla::objsim {
+
+inline constexpr const char* kGuiTraceAssertion = "gui.trace";
+
+// Builds the fig. 8 manifest for `app`'s instrumented selectors.
+Result<automata::Manifest> GuiManifest(const AppKit& app);
+
+// One recorded method event.
+struct TraceEvent {
+  std::string selector;
+  uint64_t receiver = 0;
+  uint64_t iteration = 0;
+};
+
+class GuiTesla {
+ public:
+  // Registers the manifest with `rt` and interposes every instrumented
+  // selector; also binds the run-loop bound events and the assertion site.
+  static Result<std::unique_ptr<GuiTesla>> Install(runtime::Runtime& rt,
+                                                   runtime::ThreadContext& ctx, AppKit& app);
+
+  // Trace inspection (the "custom handler code" of §3.5.3).
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+  void EnableTraceRecording(bool enabled) { record_trace_ = enabled; }
+
+  // Cursor-balance diagnosis: pushes minus pops per iteration.
+  std::map<uint64_t, int64_t> CursorImbalanceByIteration() const;
+
+  // §3.5.3's optimisation-opportunity analysis: "applications often save and
+  // restore the graphics state (a comparatively expensive operation), when
+  // the only aspects of the state that are changed in between are the
+  // current drawing location and the colour." Counts save/restore pairs
+  // whose intervening operations touch only colour/position state, i.e.
+  // pairs a smarter cell protocol could elide.
+  struct SaveRestoreProfile {
+    uint64_t total_pairs = 0;
+    uint64_t elidable_pairs = 0;
+  };
+  SaveRestoreProfile AnalyseSaveRestorePairs() const;
+
+  uint64_t total_events() const { return total_events_; }
+
+ private:
+  GuiTesla(runtime::Runtime& rt, runtime::ThreadContext& ctx, AppKit& app)
+      : rt_(rt), ctx_(ctx), app_(app) {}
+
+  void InterposeAll();
+
+  runtime::Runtime& rt_;
+  runtime::ThreadContext& ctx_;
+  AppKit& app_;
+  int automaton_id_ = -1;
+  bool record_trace_ = false;
+  std::vector<TraceEvent> trace_;
+  uint64_t total_events_ = 0;
+  uint64_t iteration_ = 0;
+};
+
+}  // namespace tesla::objsim
+
+#endif  // TESLA_OBJSIM_TRACE_H_

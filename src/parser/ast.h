@@ -1,0 +1,150 @@
+// AST for the TESLA assertion language (paper fig. 5).
+//
+// The surface syntax accepted by the parser is the expanded form of the
+// paper's C macros, e.g.:
+//
+//   TESLA_WITHIN(enclosing_fn, previously(security_check(ANY(ptr), o, op) == 0))
+//   TESLA_ASSERT(global, call(f), returnfrom(f), eventually(foo(x) == 0))
+//   TESLA_PERTHREAD(call(f), returnfrom(f), TSEQUENCE(a(), b()))
+//
+// plus the kernel conveniences TESLA_SYSCALL / TESLA_SYSCALL_PREVIOUSLY whose
+// bound function is configurable (paper §3.5.2 uses amd64_syscall).
+#ifndef TESLA_PARSER_AST_H_
+#define TESLA_PARSER_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tesla::ast {
+
+// ---------------------------------------------------------------------------
+// Value patterns (grammar nonterminal `val`)
+// ---------------------------------------------------------------------------
+
+enum class ValueKind {
+  kAny,        // ANY(type): wildcard
+  kLiteral,    // integer constant
+  kVariable,   // in-scope variable reference; binds the automaton instance name
+  kIndirect,   // &x: match the value stored through the pointer at event time
+  kFlags,      // flags(A | B): minimal bitfield — all named bits must be set
+  kBitmask,    // bitmask(A | B): maximal bitfield — no bits outside the mask
+};
+
+struct ValuePattern {
+  ValueKind kind = ValueKind::kAny;
+  std::string type_name;               // for kAny (documentation only)
+  int64_t literal = 0;                 // for kLiteral
+  std::string variable;                // for kVariable / kIndirect
+  std::vector<std::string> flag_names; // for kFlags / kBitmask
+};
+
+// ---------------------------------------------------------------------------
+// Expressions (grammar nonterminal `expr`)
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kBoolean,        // expr || expr / expr ^ expr
+  kSequence,       // TSEQUENCE(...) — also the expansion of previously/eventually
+  kAtLeast,        // ATLEAST(n, e...): >= n events drawn from e..., any order (fig. 8)
+  kModified,       // optional / callee / caller / strict / conditional
+  kFunctionEvent,  // call(f(...)), returnfrom(f(...)), f(...) == v, called(f(...))
+  kFieldAssign,    // s.field = v, s.field += v, ...
+  kAssertionSite,  // TESLA_ASSERTION_SITE
+  kInCallStack,    // incallstack(f): site-time predicate (fig. 7)
+};
+
+enum class BooleanOp {
+  kOr,   // ||: inclusive — implemented as a cross-product automaton (§3.4.2)
+  kXor,  // ^: exclusive — implemented as automaton union
+};
+
+enum class Modifier {
+  kOptional,
+  kCallee,
+  kCaller,
+  kStrict,
+  kConditional,
+};
+
+// Which side of a function event is being described.
+enum class FunctionEventKind {
+  kCall,            // call(f(args)): entry into f
+  kReturn,          // returnfrom(f(args)): exit from f, return value unconstrained
+  kReturnValue,     // f(args) == v: exit from f with matching return value
+};
+
+enum class AssignOp {
+  kAssign,     // =
+  kPlusEqual,  // +=
+  kMinusEqual, // -=
+  kIncrement,  // ++
+  kDecrement,  // --
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+
+  // kBoolean
+  BooleanOp bool_op = BooleanOp::kOr;
+  std::vector<ExprPtr> children;  // also: kSequence / kAtLeast operands
+
+  // kAtLeast
+  int64_t at_least = 0;
+
+  // kModified
+  Modifier modifier = Modifier::kOptional;
+  // (single child stored in `children`)
+
+  // kFunctionEvent
+  FunctionEventKind fn_kind = FunctionEventKind::kCall;
+  std::string function;            // also: kInCallStack
+  std::vector<ValuePattern> args;
+  bool args_specified = false;     // f() vs f — bare call(f) matches any arguments
+  ValuePattern return_pattern;     // for kReturnValue
+
+  // kFieldAssign
+  std::string struct_var;   // the variable naming the structure instance
+  std::string field;
+  AssignOp assign_op = AssignOp::kAssign;
+  ValuePattern assign_value;
+
+  int line = 0;
+  int column = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Top-level assertion (grammar nonterminal `assert`)
+// ---------------------------------------------------------------------------
+
+enum class Context {
+  kPerThread,  // implicit serialisation within one thread (§3.2)
+  kGlobal,     // explicit, lock-based serialisation across threads
+};
+
+// A temporal bound event: call(f) or returnfrom(f) with no argument patterns
+// (grammar nonterminal `staticExpr`).
+struct BoundEvent {
+  bool is_call = true;  // false: returnfrom
+  std::string function;
+};
+
+struct Assertion {
+  Context context = Context::kPerThread;
+  BoundEvent start;  // «init» trigger (§4.4.1)
+  BoundEvent end;    // «cleanup» trigger
+  ExprPtr expr;
+
+  // Diagnostics / naming.
+  std::string name;         // stable identifier, e.g. "file.c:42"
+  std::string source_file;  // translation unit holding the assertion site
+  int line = 0;
+};
+
+}  // namespace tesla::ast
+
+#endif  // TESLA_PARSER_AST_H_

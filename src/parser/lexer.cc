@@ -1,0 +1,225 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace tesla::parser {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+
+  auto push = [&](TokenKind kind, std::string text, int64_t value = 0) {
+    tokens.push_back(Token{kind, std::move(text), value, line, column});
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      line++;
+      column = 1;
+      i++;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      column++;
+      continue;
+    }
+    // Line comments, tolerated so assertions can be annotated in .tesla files.
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') {
+        i++;
+      }
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < source.size() && IsIdentBody(source[i])) {
+        i++;
+      }
+      std::string text(source.substr(start, i - start));
+      push(TokenKind::kIdentifier, std::move(text));
+      column += static_cast<int>(i - start);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < source.size() &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t start = i;
+      if (c == '-') {
+        i++;
+      }
+      int base = 10;
+      if (i + 1 < source.size() && source[i] == '0' &&
+          (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+      }
+      size_t digits_start = i;
+      while (i < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(source[i])) ||
+              (base == 16 && std::isxdigit(static_cast<unsigned char>(source[i]))))) {
+        i++;
+      }
+      if (digits_start == i) {
+        return Error{"malformed integer literal", line, column};
+      }
+      std::string text(source.substr(start, i - start));
+      int64_t value = std::strtoll(text.c_str(), nullptr, 0);
+      push(TokenKind::kInteger, std::move(text), value);
+      column += static_cast<int>(i - start);
+      continue;
+    }
+
+    auto two = [&](char second) {
+      return i + 1 < source.size() && source[i + 1] == second;
+    };
+
+    switch (c) {
+      case '(':
+        push(TokenKind::kLeftParen, "(");
+        i++;
+        column++;
+        break;
+      case ')':
+        push(TokenKind::kRightParen, ")");
+        i++;
+        column++;
+        break;
+      case ',':
+        push(TokenKind::kComma, ",");
+        i++;
+        column++;
+        break;
+      case '.':
+        push(TokenKind::kDot, ".");
+        i++;
+        column++;
+        break;
+      case '=':
+        if (two('=')) {
+          push(TokenKind::kEqualEqual, "==");
+          i += 2;
+          column += 2;
+        } else {
+          push(TokenKind::kEqual, "=");
+          i++;
+          column++;
+        }
+        break;
+      case '+':
+        if (two('=')) {
+          push(TokenKind::kPlusEqual, "+=");
+          i += 2;
+          column += 2;
+        } else if (two('+')) {
+          push(TokenKind::kPlusPlus, "++");
+          i += 2;
+          column += 2;
+        } else {
+          return Error{"unexpected '+'", line, column};
+        }
+        break;
+      case '-':
+        if (two('=')) {
+          push(TokenKind::kMinusEqual, "-=");
+          i += 2;
+          column += 2;
+        } else if (two('-')) {
+          push(TokenKind::kMinusMinus, "--");
+          i += 2;
+          column += 2;
+        } else {
+          return Error{"unexpected '-'", line, column};
+        }
+        break;
+      case '|':
+        if (two('|')) {
+          push(TokenKind::kPipePipe, "||");
+          i += 2;
+          column += 2;
+        } else {
+          push(TokenKind::kPipe, "|");
+          i++;
+          column++;
+        }
+        break;
+      case '^':
+        push(TokenKind::kCaret, "^");
+        i++;
+        column++;
+        break;
+      case '&':
+        push(TokenKind::kAmpersand, "&");
+        i++;
+        column++;
+        break;
+      default:
+        return Error{std::string("unexpected character '") + c + "'", line, column};
+    }
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(end);
+  return tokens;
+}
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kLeftParen:
+      return "'('";
+    case TokenKind::kRightParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kEqualEqual:
+      return "'=='";
+    case TokenKind::kEqual:
+      return "'='";
+    case TokenKind::kPlusEqual:
+      return "'+='";
+    case TokenKind::kMinusEqual:
+      return "'-='";
+    case TokenKind::kPlusPlus:
+      return "'++'";
+    case TokenKind::kMinusMinus:
+      return "'--'";
+    case TokenKind::kPipePipe:
+      return "'||'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kCaret:
+      return "'^'";
+    case TokenKind::kAmpersand:
+      return "'&'";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace tesla::parser

@@ -1,0 +1,49 @@
+// Tokeniser for the TESLA assertion language.
+#ifndef TESLA_PARSER_LEXER_H_
+#define TESLA_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/result.h"
+
+namespace tesla::parser {
+
+enum class TokenKind {
+  kIdentifier,
+  kInteger,
+  kLeftParen,
+  kRightParen,
+  kComma,
+  kDot,
+  kEqualEqual,   // ==
+  kEqual,        // =
+  kPlusEqual,    // +=
+  kMinusEqual,   // -=
+  kPlusPlus,     // ++
+  kMinusMinus,   // --
+  kPipePipe,     // ||
+  kPipe,         // |  (flag separator)
+  kCaret,        // ^
+  kAmpersand,    // &
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t integer = 0;
+  int line = 1;
+  int column = 1;
+};
+
+// Tokenises `source`; the final token is always kEnd.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace tesla::parser
+
+#endif  // TESLA_PARSER_LEXER_H_

@@ -1,0 +1,639 @@
+#include "parser/parser.h"
+
+#include <cassert>
+#include <utility>
+
+#include "parser/lexer.h"
+
+namespace tesla::parser {
+namespace {
+
+using ast::Assertion;
+using ast::AssignOp;
+using ast::BooleanOp;
+using ast::BoundEvent;
+using ast::Context;
+using ast::Expr;
+using ast::ExprKind;
+using ast::ExprPtr;
+using ast::FunctionEventKind;
+using ast::Modifier;
+using ast::ValueKind;
+using ast::ValuePattern;
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const ParseOptions& options)
+      : tokens_(std::move(tokens)), options_(options) {}
+
+  Result<Assertion> ParseTopLevel() {
+    if (!Check(TokenKind::kIdentifier)) {
+      return Fail("expected TESLA assertion macro");
+    }
+    const std::string macro = Peek().text;
+    Advance();
+
+    Assertion assertion;
+    if (macro == "TESLA_GLOBAL" || macro == "TESLA_PERTHREAD") {
+      assertion.context = macro == "TESLA_GLOBAL" ? Context::kGlobal : Context::kPerThread;
+      if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+      if (auto body = ParseBody(&assertion); !body.ok()) return body.error();
+    } else if (macro == "TESLA_ASSERT") {
+      if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+      if (!Check(TokenKind::kIdentifier)) return Fail("expected context (global or perthread)");
+      const std::string ctx = Peek().text;
+      Advance();
+      if (ctx == "global") {
+        assertion.context = Context::kGlobal;
+      } else if (ctx == "perthread") {
+        assertion.context = Context::kPerThread;
+      } else {
+        return Fail("unknown context '" + ctx + "'");
+      }
+      if (auto s = Expect(TokenKind::kComma); !s.ok()) return s.error();
+      if (auto body = ParseBody(&assertion); !body.ok()) return body.error();
+    } else if (macro == "TESLA_WITHIN") {
+      if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+      if (!Check(TokenKind::kIdentifier)) return Fail("expected bounding function name");
+      const std::string fn = Peek().text;
+      Advance();
+      if (auto s = Expect(TokenKind::kComma); !s.ok()) return s.error();
+      assertion.context = Context::kPerThread;
+      assertion.start = BoundEvent{true, fn};
+      assertion.end = BoundEvent{false, fn};
+      auto expr = ParseExpression();
+      if (!expr.ok()) return expr.error();
+      assertion.expr = std::move(expr.value());
+      if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+    } else if (macro == "TESLA_SYSCALL" || macro == "TESLA_SYSCALL_PREVIOUSLY") {
+      if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+      assertion.context = Context::kPerThread;
+      assertion.start = BoundEvent{true, options_.syscall_bound_function};
+      assertion.end = BoundEvent{false, options_.syscall_bound_function};
+      auto expr = ParseExpression();
+      if (!expr.ok()) return expr.error();
+      if (macro == "TESLA_SYSCALL_PREVIOUSLY") {
+        // previously(x) expands to [x, TESLA_ASSERTION_SITE] (§3.4.1).
+        auto sequence = std::make_unique<Expr>();
+        sequence->kind = ExprKind::kSequence;
+        sequence->children.push_back(std::move(expr.value()));
+        auto site = std::make_unique<Expr>();
+        site->kind = ExprKind::kAssertionSite;
+        sequence->children.push_back(std::move(site));
+        assertion.expr = std::move(sequence);
+      } else {
+        assertion.expr = std::move(expr.value());
+      }
+      if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+    } else {
+      return Fail("unknown assertion macro '" + macro + "'");
+    }
+
+    if (!Check(TokenKind::kEnd)) {
+      return Fail("trailing input after assertion");
+    }
+    return assertion;
+  }
+
+  Result<ExprPtr> ParseExpressionOnly() {
+    auto expr = ParseExpression();
+    if (!expr.ok()) return expr.error();
+    if (!Check(TokenKind::kEnd)) {
+      return Error{"trailing input after expression", Peek().line, Peek().column};
+    }
+    return std::move(expr.value());
+  }
+
+ private:
+  // Parses "start, end, expr" and the closing paren.
+  Status ParseBody(Assertion* assertion) {
+    auto start = ParseBoundEvent();
+    if (!start.ok()) return start.error();
+    assertion->start = start.value();
+    if (auto s = Expect(TokenKind::kComma); !s.ok()) return s;
+    auto end = ParseBoundEvent();
+    if (!end.ok()) return end.error();
+    assertion->end = end.value();
+    if (auto s = Expect(TokenKind::kComma); !s.ok()) return s;
+    auto expr = ParseExpression();
+    if (!expr.ok()) return expr.error();
+    assertion->expr = std::move(expr.value());
+    return Expect(TokenKind::kRightParen);
+  }
+
+  // staticExpr := call(fnName) | returnfrom(fnName)
+  Result<BoundEvent> ParseBoundEvent() {
+    if (!Check(TokenKind::kIdentifier)) {
+      return Fail("expected call(...) or returnfrom(...) bound");
+    }
+    const std::string keyword = Peek().text;
+    Advance();
+    if (keyword != "call" && keyword != "returnfrom") {
+      return Fail("bound must be call(fn) or returnfrom(fn), got '" + keyword + "'");
+    }
+    if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+    if (!Check(TokenKind::kIdentifier)) return Fail("expected function name");
+    BoundEvent bound;
+    bound.is_call = keyword == "call";
+    bound.function = Peek().text;
+    Advance();
+    if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+    return bound;
+  }
+
+  // expr (op expr)* with a single operator per (unparenthesised) chain.
+  Result<ExprPtr> ParseExpression() {
+    auto first = ParsePrimary();
+    if (!first.ok()) return first;
+
+    if (!Check(TokenKind::kPipePipe) && !Check(TokenKind::kCaret)) {
+      return first;
+    }
+
+    auto boolean = std::make_unique<Expr>();
+    boolean->kind = ExprKind::kBoolean;
+    boolean->bool_op = Check(TokenKind::kPipePipe) ? BooleanOp::kOr : BooleanOp::kXor;
+    boolean->line = Peek().line;
+    boolean->column = Peek().column;
+    boolean->children.push_back(std::move(first.value()));
+
+    const TokenKind op_token = Peek().kind;
+    while (Check(op_token)) {
+      Advance();
+      auto operand = ParsePrimary();
+      if (!operand.ok()) return operand;
+      boolean->children.push_back(std::move(operand.value()));
+    }
+    if (Check(TokenKind::kPipePipe) || Check(TokenKind::kCaret)) {
+      return Fail("mixing || and ^ requires parentheses");
+    }
+    return boolean;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (Check(TokenKind::kLeftParen)) {
+      Advance();
+      auto inner = ParseExpression();
+      if (!inner.ok()) return inner;
+      if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+      return inner;
+    }
+    if (!Check(TokenKind::kIdentifier)) {
+      return Fail("expected event expression");
+    }
+
+    const Token head = Peek();
+    const std::string& word = head.text;
+
+    if (word == "TESLA_ASSERTION_SITE") {
+      Advance();
+      return MakeLeaf(ExprKind::kAssertionSite, head);
+    }
+    if (word == "TSEQUENCE" || word == "previously" || word == "eventually") {
+      return ParseSequence(word);
+    }
+    if (word == "ATLEAST") {
+      return ParseAtLeast();
+    }
+    if (word == "optional" || word == "callee" || word == "caller" || word == "strict" ||
+        word == "conditional") {
+      return ParseModifier(word);
+    }
+    if (word == "call" || word == "called" || word == "returnfrom") {
+      return ParseExplicitFunctionEvent(word);
+    }
+    if (word == "incallstack") {
+      Advance();
+      if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+      if (!Check(TokenKind::kIdentifier)) return Fail("expected function name");
+      auto expr = MakeLeaf(ExprKind::kInCallStack, head);
+      expr->function = Peek().text;
+      Advance();
+      if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+      return expr;
+    }
+
+    // Remaining possibilities: `ident.field <op> ...` (field assignment) or
+    // `ident(args) [== val]` (function event).
+    if (PeekAhead(1).kind == TokenKind::kDot) {
+      return ParseFieldAssign();
+    }
+    if (PeekAhead(1).kind == TokenKind::kLeftParen) {
+      return ParseFunctionEvent();
+    }
+    return Fail("expected event expression, got '" + word + "'");
+  }
+
+  Result<ExprPtr> ParseSequence(const std::string& keyword) {
+    const Token head = Peek();
+    Advance();
+    if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+
+    auto sequence = MakeLeaf(ExprKind::kSequence, head);
+    if (keyword == "eventually") {
+      sequence->children.push_back(MakeLeaf(ExprKind::kAssertionSite, head));
+    }
+    while (true) {
+      auto element = ParseExpression();
+      if (!element.ok()) return element;
+      sequence->children.push_back(std::move(element.value()));
+      if (!Check(TokenKind::kComma)) {
+        break;
+      }
+      Advance();
+    }
+    if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+    if (keyword == "previously") {
+      sequence->children.push_back(MakeLeaf(ExprKind::kAssertionSite, head));
+    }
+    return sequence;
+  }
+
+  Result<ExprPtr> ParseAtLeast() {
+    const Token head = Peek();
+    Advance();
+    if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+    if (!Check(TokenKind::kInteger)) return Fail("ATLEAST requires an integer count");
+    auto at_least = MakeLeaf(ExprKind::kAtLeast, head);
+    at_least->at_least = Peek().integer;
+    if (at_least->at_least < 0) return Fail("ATLEAST count must be non-negative");
+    Advance();
+    while (Check(TokenKind::kComma)) {
+      Advance();
+      auto element = ParseExpression();
+      if (!element.ok()) return element;
+      at_least->children.push_back(std::move(element.value()));
+    }
+    if (at_least->children.empty()) return Fail("ATLEAST requires at least one event");
+    if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+    return at_least;
+  }
+
+  Result<ExprPtr> ParseModifier(const std::string& keyword) {
+    const Token head = Peek();
+    Advance();
+    if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+    auto modified = MakeLeaf(ExprKind::kModified, head);
+    if (keyword == "optional") {
+      modified->modifier = Modifier::kOptional;
+    } else if (keyword == "callee") {
+      modified->modifier = Modifier::kCallee;
+    } else if (keyword == "caller") {
+      modified->modifier = Modifier::kCaller;
+    } else if (keyword == "strict") {
+      modified->modifier = Modifier::kStrict;
+    } else {
+      modified->modifier = Modifier::kConditional;
+    }
+    auto child = ParseExpression();
+    if (!child.ok()) return child;
+    modified->children.push_back(std::move(child.value()));
+    if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+    return modified;
+  }
+
+  // call(f(args)) / called(f(args)) / returnfrom(f(args)); bare function names
+  // (call(f)) match any arguments.
+  Result<ExprPtr> ParseExplicitFunctionEvent(const std::string& keyword) {
+    const Token head = Peek();
+    Advance();
+    if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+    if (!Check(TokenKind::kIdentifier)) return Fail("expected function name");
+
+    auto event = MakeLeaf(ExprKind::kFunctionEvent, head);
+    event->fn_kind =
+        keyword == "returnfrom" ? FunctionEventKind::kReturn : FunctionEventKind::kCall;
+    event->function = Peek().text;
+    Advance();
+
+    if (Check(TokenKind::kLeftParen)) {
+      Advance();
+      event->args_specified = true;
+      if (!Check(TokenKind::kRightParen)) {
+        while (true) {
+          auto pattern = ParseValuePattern();
+          if (!pattern.ok()) return pattern.error();
+          event->args.push_back(pattern.value());
+          if (!Check(TokenKind::kComma)) {
+            break;
+          }
+          Advance();
+        }
+      }
+      if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+    }
+    if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+    return event;
+  }
+
+  // f(args) [== val]
+  Result<ExprPtr> ParseFunctionEvent() {
+    const Token head = Peek();
+    auto event = MakeLeaf(ExprKind::kFunctionEvent, head);
+    event->function = head.text;
+    Advance();
+    if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+    event->args_specified = true;
+    if (!Check(TokenKind::kRightParen)) {
+      while (true) {
+        auto pattern = ParseValuePattern();
+        if (!pattern.ok()) return pattern.error();
+        event->args.push_back(pattern.value());
+        if (!Check(TokenKind::kComma)) {
+          break;
+        }
+        Advance();
+      }
+    }
+    if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+
+    if (Check(TokenKind::kEqualEqual)) {
+      Advance();
+      auto pattern = ParseValuePattern();
+      if (!pattern.ok()) return pattern.error();
+      event->fn_kind = FunctionEventKind::kReturnValue;
+      event->return_pattern = pattern.value();
+    } else {
+      // A bare `f(args)` is a call event (matched on function entry).
+      event->fn_kind = FunctionEventKind::kCall;
+    }
+    return event;
+  }
+
+  // s.field = v | s.field += v | s.field -= v | s.field++ | s.field--
+  Result<ExprPtr> ParseFieldAssign() {
+    const Token head = Peek();
+    auto assign = MakeLeaf(ExprKind::kFieldAssign, head);
+    assign->struct_var = head.text;
+    Advance();
+    if (auto s = Expect(TokenKind::kDot); !s.ok()) return s.error();
+    if (!Check(TokenKind::kIdentifier)) return Fail("expected field name");
+    assign->field = Peek().text;
+    Advance();
+
+    switch (Peek().kind) {
+      case TokenKind::kEqual:
+        assign->assign_op = AssignOp::kAssign;
+        break;
+      case TokenKind::kPlusEqual:
+        assign->assign_op = AssignOp::kPlusEqual;
+        break;
+      case TokenKind::kMinusEqual:
+        assign->assign_op = AssignOp::kMinusEqual;
+        break;
+      case TokenKind::kPlusPlus:
+        assign->assign_op = AssignOp::kIncrement;
+        Advance();
+        return assign;
+      case TokenKind::kMinusMinus:
+        assign->assign_op = AssignOp::kDecrement;
+        Advance();
+        return assign;
+      default:
+        return Fail("expected assignment operator after field name");
+    }
+    Advance();
+    auto pattern = ParseValuePattern();
+    if (!pattern.ok()) return pattern.error();
+    assign->assign_value = pattern.value();
+    return assign;
+  }
+
+  Result<ValuePattern> ParseValuePattern() {
+    ValuePattern pattern;
+    if (Check(TokenKind::kInteger)) {
+      pattern.kind = ValueKind::kLiteral;
+      pattern.literal = Peek().integer;
+      Advance();
+      return pattern;
+    }
+    if (Check(TokenKind::kAmpersand)) {
+      Advance();
+      if (!Check(TokenKind::kIdentifier)) return Fail("expected variable after '&'");
+      pattern.kind = ValueKind::kIndirect;
+      pattern.variable = Peek().text;
+      Advance();
+      return pattern;
+    }
+    if (!Check(TokenKind::kIdentifier)) {
+      return Fail("expected value pattern");
+    }
+    const std::string word = Peek().text;
+    if (word == "ANY" || word == "any") {
+      Advance();
+      if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+      if (!Check(TokenKind::kIdentifier)) return Fail("expected type name in ANY(...)");
+      pattern.kind = ValueKind::kAny;
+      pattern.type_name = Peek().text;
+      Advance();
+      if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+      return pattern;
+    }
+    if (word == "flags" || word == "bitmask") {
+      Advance();
+      if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+      pattern.kind = word == "flags" ? ValueKind::kFlags : ValueKind::kBitmask;
+      while (true) {
+        if (!Check(TokenKind::kIdentifier)) return Fail("expected flag name");
+        pattern.flag_names.push_back(Peek().text);
+        Advance();
+        if (!Check(TokenKind::kPipe)) {
+          break;
+        }
+        Advance();
+      }
+      if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+      return pattern;
+    }
+    // A plain identifier is an in-scope variable reference; lowering may
+    // resolve it to a named constant instead (paper §3.4.1's NEXT_STATE).
+    pattern.kind = ValueKind::kVariable;
+    pattern.variable = word;
+    Advance();
+    return pattern;
+  }
+
+  // --- token plumbing ---
+
+  const Token& Peek() const { return tokens_[position_]; }
+  const Token& PeekAhead(size_t n) const {
+    size_t index = position_ + n;
+    return index < tokens_.size() ? tokens_[index] : tokens_.back();
+  }
+  void Advance() {
+    if (position_ + 1 < tokens_.size()) {
+      position_++;
+    }
+  }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+
+  Status Expect(TokenKind kind) {
+    if (!Check(kind)) {
+      return Error{std::string("expected ") + TokenKindName(kind) + ", got " +
+                       TokenKindName(Peek().kind),
+                   Peek().line, Peek().column};
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Error Fail(const std::string& message) const {
+    return Error{message, Peek().line, Peek().column};
+  }
+
+  static ExprPtr MakeLeaf(ExprKind kind, const Token& token) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = kind;
+    expr->line = token.line;
+    expr->column = token.column;
+    return expr;
+  }
+
+  std::vector<Token> tokens_;
+  ParseOptions options_;
+  size_t position_ = 0;
+};
+
+std::string FormatValue(const ValuePattern& pattern) {
+  switch (pattern.kind) {
+    case ValueKind::kAny:
+      return "ANY(" + (pattern.type_name.empty() ? "any" : pattern.type_name) + ")";
+    case ValueKind::kLiteral:
+      return std::to_string(pattern.literal);
+    case ValueKind::kVariable:
+      return pattern.variable;
+    case ValueKind::kIndirect:
+      return "&" + pattern.variable;
+    case ValueKind::kFlags:
+    case ValueKind::kBitmask: {
+      std::string text = pattern.kind == ValueKind::kFlags ? "flags(" : "bitmask(";
+      for (size_t i = 0; i < pattern.flag_names.size(); i++) {
+        if (i > 0) text += " | ";
+        text += pattern.flag_names[i];
+      }
+      return text + ")";
+    }
+  }
+  return "?";
+}
+
+std::string FormatArgs(const Expr& expr) {
+  std::string text = "(";
+  for (size_t i = 0; i < expr.args.size(); i++) {
+    if (i > 0) text += ", ";
+    text += FormatValue(expr.args[i]);
+  }
+  return text + ")";
+}
+
+}  // namespace
+
+Result<ast::Assertion> ParseAssertion(std::string_view source, const ParseOptions& options) {
+  auto tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.error();
+  Parser parser(std::move(tokens.value()), options);
+  return parser.ParseTopLevel();
+}
+
+Result<ast::ExprPtr> ParseExpr(std::string_view source, const ParseOptions& options) {
+  auto tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.error();
+  Parser parser(std::move(tokens.value()), options);
+  return parser.ParseExpressionOnly();
+}
+
+std::string FormatExpr(const ast::Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kBoolean: {
+      std::string text = "(";
+      for (size_t i = 0; i < expr.children.size(); i++) {
+        if (i > 0) text += expr.bool_op == BooleanOp::kOr ? " || " : " ^ ";
+        text += FormatExpr(*expr.children[i]);
+      }
+      return text + ")";
+    }
+    case ExprKind::kSequence: {
+      std::string text = "TSEQUENCE(";
+      for (size_t i = 0; i < expr.children.size(); i++) {
+        if (i > 0) text += ", ";
+        text += FormatExpr(*expr.children[i]);
+      }
+      return text + ")";
+    }
+    case ExprKind::kAtLeast: {
+      std::string text = "ATLEAST(" + std::to_string(expr.at_least);
+      for (const auto& child : expr.children) {
+        text += ", " + FormatExpr(*child);
+      }
+      return text + ")";
+    }
+    case ExprKind::kModified: {
+      const char* name = "optional";
+      switch (expr.modifier) {
+        case Modifier::kOptional:
+          name = "optional";
+          break;
+        case Modifier::kCallee:
+          name = "callee";
+          break;
+        case Modifier::kCaller:
+          name = "caller";
+          break;
+        case Modifier::kStrict:
+          name = "strict";
+          break;
+        case Modifier::kConditional:
+          name = "conditional";
+          break;
+      }
+      return std::string(name) + "(" + FormatExpr(*expr.children.at(0)) + ")";
+    }
+    case ExprKind::kFunctionEvent: {
+      switch (expr.fn_kind) {
+        case FunctionEventKind::kCall:
+          return "call(" + expr.function + (expr.args_specified ? FormatArgs(expr) : "") + ")";
+        case FunctionEventKind::kReturn:
+          return "returnfrom(" + expr.function +
+                 (expr.args_specified ? FormatArgs(expr) : "") + ")";
+        case FunctionEventKind::kReturnValue:
+          return expr.function + FormatArgs(expr) + " == " + FormatValue(expr.return_pattern);
+      }
+      return "?";
+    }
+    case ExprKind::kFieldAssign: {
+      std::string text = expr.struct_var + "." + expr.field;
+      switch (expr.assign_op) {
+        case AssignOp::kAssign:
+          return text + " = " + FormatValue(expr.assign_value);
+        case AssignOp::kPlusEqual:
+          return text + " += " + FormatValue(expr.assign_value);
+        case AssignOp::kMinusEqual:
+          return text + " -= " + FormatValue(expr.assign_value);
+        case AssignOp::kIncrement:
+          return text + "++";
+        case AssignOp::kDecrement:
+          return text + "--";
+      }
+      return "?";
+    }
+    case ExprKind::kAssertionSite:
+      return "TESLA_ASSERTION_SITE";
+    case ExprKind::kInCallStack:
+      return "incallstack(" + expr.function + ")";
+  }
+  return "?";
+}
+
+std::string FormatAssertion(const ast::Assertion& assertion) {
+  std::string text = "TESLA_ASSERT(";
+  text += assertion.context == Context::kGlobal ? "global" : "perthread";
+  text += ", ";
+  text += (assertion.start.is_call ? "call(" : "returnfrom(") + assertion.start.function + ")";
+  text += ", ";
+  text += (assertion.end.is_call ? "call(" : "returnfrom(") + assertion.end.function + ")";
+  text += ", ";
+  text += FormatExpr(*assertion.expr);
+  return text + ")";
+}
+
+}  // namespace tesla::parser

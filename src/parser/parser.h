@@ -1,0 +1,33 @@
+// Recursive-descent parser for the TESLA assertion language (paper fig. 5).
+#ifndef TESLA_PARSER_PARSER_H_
+#define TESLA_PARSER_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "parser/ast.h"
+#include "support/result.h"
+
+namespace tesla::parser {
+
+struct ParseOptions {
+  // Function that bounds TESLA_SYSCALL / TESLA_SYSCALL_PREVIOUSLY assertions.
+  // FreeBSD's deployment uses amd64_syscall (paper fig. 9).
+  std::string syscall_bound_function = "syscall";
+};
+
+// Parses one complete assertion, e.g.
+//   "TESLA_WITHIN(foo, previously(check(ANY(ptr), o) == 0))".
+Result<ast::Assertion> ParseAssertion(std::string_view source, const ParseOptions& options = {});
+
+// Parses a bare expression (no TESLA_* wrapper); used by tests and by code
+// that assembles assertions programmatically.
+Result<ast::ExprPtr> ParseExpr(std::string_view source, const ParseOptions& options = {});
+
+// Renders an expression / assertion back to (canonical) surface syntax.
+std::string FormatExpr(const ast::Expr& expr);
+std::string FormatAssertion(const ast::Assertion& assertion);
+
+}  // namespace tesla::parser
+
+#endif  // TESLA_PARSER_PARSER_H_

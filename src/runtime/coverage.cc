@@ -1,0 +1,79 @@
+#include "runtime/coverage.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace tesla::runtime {
+namespace {
+
+// Maps each NFA state-set to its DFA state index.
+std::map<automata::StateSet, uint32_t> DfaIndex(const automata::Dfa& dfa) {
+  std::map<automata::StateSet, uint32_t> index;
+  for (uint32_t state = 0; state < dfa.states.size(); state++) {
+    index.emplace(dfa.states[state].nfa_states, state);
+  }
+  return index;
+}
+
+}  // namespace
+
+automata::TransitionWeights CoverageWeights(const automata::Dfa& dfa,
+                                            const CountingHandler& counts, uint32_t class_id) {
+  automata::TransitionWeights weights;
+  auto index = DfaIndex(dfa);
+  for (const auto& [key, count] : counts.CountsFor(class_id)) {
+    auto it = index.find(key.first);
+    if (it != index.end()) {
+      weights[{it->second, key.second}] += count;
+    }
+  }
+  return weights;
+}
+
+CoverageReport ComputeCoverage(const automata::Automaton& automaton, const automata::Dfa& dfa,
+                               const CountingHandler& counts, uint32_t class_id) {
+  CoverageReport report;
+  report.automaton = automaton.name;
+
+  automata::TransitionWeights weights = CoverageWeights(dfa, counts, class_id);
+  for (uint32_t state = 0; state < dfa.states.size(); state++) {
+    for (uint16_t symbol = 0; symbol < dfa.symbol_count; symbol++) {
+      uint32_t target = dfa.states[state].transitions[symbol];
+      if (target == automata::Dfa::kNoTarget) {
+        continue;
+      }
+      TransitionCoverage transition;
+      transition.from_state = state;
+      transition.symbol = symbol;
+      auto it = weights.find({state, symbol});
+      transition.count = it == weights.end() ? 0 : it->second;
+      transition.description = dfa.StateLabel(state) + " --" +
+                               automaton.alphabet[symbol].ToString() + "--> " +
+                               dfa.StateLabel(target);
+      report.total_transitions++;
+      if (transition.count > 0) {
+        report.covered_transitions++;
+      }
+      report.transitions.push_back(std::move(transition));
+    }
+  }
+  std::stable_sort(report.transitions.begin(), report.transitions.end(),
+                   [](const TransitionCoverage& a, const TransitionCoverage& b) {
+                     return a.count > b.count;
+                   });
+  return report;
+}
+
+std::string CoverageReport::ToString() const {
+  std::ostringstream out;
+  out << "coverage for '" << automaton << "': " << covered_transitions << "/"
+      << total_transitions << " transitions (" << static_cast<int>(Ratio() * 100) << "%)\n";
+  for (const TransitionCoverage& transition : transitions) {
+    out << "  " << (transition.count > 0 ? "✓" : "✗") << " " << transition.count << "\t"
+        << transition.description << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tesla::runtime

@@ -1,0 +1,56 @@
+// Logical coverage reporting (paper §4.4.2): "This allows the programmer to
+// visually inspect the portions of the state graph that are executed in
+// practice, as well as their relative frequencies. This visibility can be
+// used ... like traditional code coverage analysis but at a logical rather
+// than source-line or machine-instruction level."
+//
+// CoverageReport combines a CountingHandler's observations with the
+// automaton's static structure: which transitions of the (determinised)
+// state graph ever fired, how often, and which were never exercised.
+#ifndef TESLA_RUNTIME_COVERAGE_H_
+#define TESLA_RUNTIME_COVERAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "automata/determinize.h"
+#include "automata/dot.h"
+#include "runtime/handler.h"
+#include "runtime/runtime.h"
+
+namespace tesla::runtime {
+
+struct TransitionCoverage {
+  uint32_t from_state = 0;    // DFA state index
+  uint16_t symbol = 0;
+  uint64_t count = 0;
+  std::string description;    // "NFA:1 --return foo(...)--> NFA:2,4"
+};
+
+struct CoverageReport {
+  std::string automaton;
+  size_t total_transitions = 0;
+  size_t covered_transitions = 0;
+  std::vector<TransitionCoverage> transitions;  // covered first, then uncovered
+
+  double Ratio() const {
+    return total_transitions == 0
+               ? 0.0
+               : static_cast<double>(covered_transitions) / total_transitions;
+  }
+  std::string ToString() const;
+};
+
+// Builds the report for one registered automaton from a counting handler's
+// aggregation. `dfa` must be the runtime's determinisation of that automaton
+// (Runtime::dfa(id)).
+CoverageReport ComputeCoverage(const automata::Automaton& automaton, const automata::Dfa& dfa,
+                               const CountingHandler& counts, uint32_t class_id);
+
+// The observed weights in the form automata::ToDot consumes (fig. 9).
+automata::TransitionWeights CoverageWeights(const automata::Dfa& dfa,
+                                            const CountingHandler& counts, uint32_t class_id);
+
+}  // namespace tesla::runtime
+
+#endif  // TESLA_RUNTIME_COVERAGE_H_

@@ -1,0 +1,82 @@
+// An automaton instance: one (partially) bound copy of an automaton class
+// (paper §4.4.1: instances are "differentiated by the variables they
+// reference", e.g. the (∗) wildcard and its (vp1), (vp2) clones).
+#ifndef TESLA_RUNTIME_INSTANCE_H_
+#define TESLA_RUNTIME_INSTANCE_H_
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "automata/automaton.h"
+
+namespace tesla::runtime {
+
+// Up to this many automaton variables per assertion. The paper's largest
+// assertions bind 2–3 values; 8 leaves ample headroom.
+inline constexpr int kMaxVariables = 8;
+
+struct Binding {
+  uint16_t var = 0;
+  int64_t value = 0;
+};
+
+struct Instance {
+  uint32_t bound_mask = 0;
+  std::array<int64_t, kMaxVariables> values{};
+  automata::StateSet states = 0;  // NFA state set (fig. 9's "NFA:1,3")
+  uint32_t dfa_state = 0;         // used in DFA-stepping mode
+
+  bool IsBound(uint16_t var) const { return (bound_mask & (1u << var)) != 0; }
+
+  void Bind(uint16_t var, int64_t value) {
+    bound_mask |= 1u << var;
+    values[var] = value;
+  }
+
+  // True if every already-bound variable named by `bindings` agrees.
+  bool ConsistentWith(const Binding* bindings, size_t count) const {
+    for (size_t i = 0; i < count; i++) {
+      if (IsBound(bindings[i].var) && values[bindings[i].var] != bindings[i].value) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // True if every variable named by `bindings` is bound and agrees.
+  bool ExactMatch(const Binding* bindings, size_t count) const {
+    for (size_t i = 0; i < count; i++) {
+      if (!IsBound(bindings[i].var) || values[bindings[i].var] != bindings[i].value) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // The "(vp1)" in fig. 9: a human-readable instance name.
+  std::string Name(const automata::Automaton& automaton) const {
+    std::ostringstream out;
+    out << "(";
+    bool first = true;
+    for (size_t i = 0; i < automaton.variables.size(); i++) {
+      if (!first) out << ", ";
+      first = false;
+      if (IsBound(static_cast<uint16_t>(i))) {
+        out << automaton.variables[i] << "=" << values[i];
+      } else {
+        out << "*";
+      }
+    }
+    if (automaton.variables.empty()) {
+      out << "*";
+    }
+    out << ")";
+    return out.str();
+  }
+};
+
+}  // namespace tesla::runtime
+
+#endif  // TESLA_RUNTIME_INSTANCE_H_

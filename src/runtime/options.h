@@ -1,0 +1,69 @@
+// libtesla configuration, violation reports and statistics.
+#ifndef TESLA_RUNTIME_OPTIONS_H_
+#define TESLA_RUNTIME_OPTIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tesla::runtime {
+
+// Reads one 64-bit value through a pointer-valued event argument; used by
+// ArgMatchKind::kIndirect patterns (paper §3.4.1: arguments specified
+// "indirectly using the C address-of operator"). Returns false if the address
+// cannot be read. The IR interpreter supplies heap access; native simulators
+// supply process-memory access.
+using MemoryReader = std::function<bool(int64_t address, int64_t* value)>;
+
+struct RuntimeOptions {
+  // Lazy automaton-instance initialisation (paper §5.2.2, fig. 13): bound
+  // entry/exit only touch automata that received a non-initialisation event
+  // within the bound, instead of every automaton sharing the bound.
+  bool lazy_init = true;
+
+  // Fail-stop on violation (paper §4.4.2: "cause the program to fail-stop by
+  // default, but this is configurable at run-time").
+  bool fail_stop = true;
+
+  // Ablation: step the determinised DFA instead of simulating NFA state sets.
+  bool use_dfa = false;
+
+  // Instances preallocated per event-serialisation context (§4.4.1:
+  // "we preallocate a fixed-size memory block per thread, giving a
+  // deterministic memory footprint, and report overflows").
+  size_t instances_per_context = 256;
+
+  MemoryReader memory_reader;
+};
+
+enum class ViolationKind {
+  kBadSite,        // assertion site reached but no instance could accept it
+  kBadCleanup,     // bound closed with an automaton mid-way (e.g. unmet eventually)
+  kStrictEvent,    // strict() automaton observed an unconsumable event
+  kOverflow,       // instance pool exhausted; event dropped
+};
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kBadSite;
+  std::string automaton;
+  std::string detail;
+};
+
+const char* ViolationKindName(ViolationKind kind);
+
+struct RuntimeStats {
+  uint64_t events = 0;            // program events examined
+  uint64_t bound_entries = 0;     // «init» transitions (or lazy epoch bumps)
+  uint64_t bound_exits = 0;       // «cleanup» sweeps
+  uint64_t instances_created = 0;
+  uint64_t instances_cloned = 0;
+  uint64_t transitions = 0;
+  uint64_t accepts = 0;           // automaton acceptance (§4.4.2 finalisation)
+  uint64_t violations = 0;
+  uint64_t overflows = 0;
+  uint64_t ignored_events = 0;    // events with no consumable transition (non-strict)
+};
+
+}  // namespace tesla::runtime
+
+#endif  // TESLA_RUNTIME_OPTIONS_H_

@@ -1,0 +1,700 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/log.h"
+
+namespace tesla::runtime {
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kBadSite:
+      return "assertion failed at site";
+    case ViolationKind::kBadCleanup:
+      return "assertion incomplete at bound exit";
+    case ViolationKind::kStrictEvent:
+      return "unexpected event (strict automaton)";
+    case ViolationKind::kOverflow:
+      return "instance pool overflow";
+  }
+  return "?";
+}
+
+// --- ThreadContext ---
+
+ThreadContext::ThreadContext(Runtime& runtime)
+    : runtime_(runtime),
+      classes_(runtime.classes_.size()),
+      pool_(runtime.options_.instances_per_context) {}
+
+ThreadContext::~ThreadContext() {
+  for (ClassState& state : classes_) {
+    for (Instance* instance : state.instances) {
+      pool_.Free(instance);
+    }
+    state.instances.clear();
+  }
+}
+
+// --- Runtime ---
+
+Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {}
+
+Runtime::~Runtime() = default;
+
+void Runtime::Bump(uint64_t& counter, uint64_t amount) {
+  std::atomic_ref<uint64_t>(counter).fetch_add(amount, std::memory_order_relaxed);
+}
+
+Status Runtime::Register(const automata::Manifest& manifest) {
+  for (const automata::Automaton& source : manifest.automata) {
+    if (source.variables.size() > kMaxVariables) {
+      return Error{"automaton '" + source.name + "' uses " +
+                   std::to_string(source.variables.size()) + " variables (max " +
+                   std::to_string(kMaxVariables) + ")"};
+    }
+    if (source.state_count > automata::kMaxStates) {
+      return Error{"automaton '" + source.name + "' exceeds the state limit"};
+    }
+
+    CompiledClass cls;
+    cls.automaton = source;
+    cls.automaton.Finalize();
+    cls.dfa = automata::Determinize(cls.automaton);
+    cls.is_global = source.context == ast::Context::kGlobal;
+
+    const automata::EventPattern& init = cls.automaton.alphabet[cls.automaton.init_symbol];
+    const automata::EventPattern& cleanup =
+        cls.automaton.alphabet[cls.automaton.cleanup_symbol];
+    cls.start_key = init.kind == automata::PatternKind::kFunctionCall ? CallKey(init.function)
+                                                                      : ReturnKey(init.function);
+    cls.end_key = cleanup.kind == automata::PatternKind::kFunctionCall
+                      ? CallKey(cleanup.function)
+                      : ReturnKey(cleanup.function);
+
+    cls.initial_states = cls.automaton.InitialInstanceStates();
+    if (cls.initial_states == 0) {
+      return Error{"automaton '" + source.name + "' has no «init» transition"};
+    }
+    cls.initial_dfa_state = cls.dfa.Step(0, cls.automaton.init_symbol);
+    if (cls.initial_dfa_state == automata::Dfa::kNoTarget) {
+      return Error{"automaton '" + source.name + "' has a malformed DFA"};
+    }
+
+    uint32_t id = static_cast<uint32_t>(classes_.size());
+    cls.id = id;
+    for (uint16_t symbol = 0; symbol < cls.automaton.alphabet.size(); symbol++) {
+      if (symbol == cls.automaton.init_symbol || symbol == cls.automaton.cleanup_symbol) {
+        continue;
+      }
+      const automata::EventPattern& pattern = cls.automaton.alphabet[symbol];
+      switch (pattern.kind) {
+        case automata::PatternKind::kFunctionCall:
+          call_candidates_[pattern.function].push_back({id, symbol});
+          break;
+        case automata::PatternKind::kFunctionReturn:
+          return_candidates_[pattern.function].push_back({id, symbol});
+          break;
+        case automata::PatternKind::kFieldAssign:
+          field_candidates_[pattern.field].push_back({id, symbol});
+          break;
+        case automata::PatternKind::kInCallStack:
+          cls.site_variants.push_back(symbol);
+          tracked_stack_functions_[pattern.function] = true;
+          break;
+        case automata::PatternKind::kAssertionSite:
+          break;  // routed by automaton id via OnAssertionSite
+      }
+    }
+
+    classes_by_start_[cls.start_key].push_back(id);
+    classes_by_end_[cls.end_key].push_back(id);
+    bound_start_contexts_[cls.start_key] |= cls.is_global ? 2 : 1;
+    auto& closed = bounds_closed_by_[cls.end_key];
+    if (std::find(closed.begin(), closed.end(), cls.start_key) == closed.end()) {
+      closed.push_back(cls.start_key);
+    }
+    if (cls.is_global) {
+      any_global_ = true;
+    }
+    by_name_.emplace(cls.automaton.name, id);
+    classes_.push_back(std::move(cls));
+  }
+
+  // (Re)create the shared global-context store now that classes are known.
+  global_context_ = std::make_unique<ThreadContext>(*this);
+  return Status::Ok();
+}
+
+int Runtime::FindAutomaton(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : static_cast<int>(it->second);
+}
+
+ClassState& Runtime::StateFor(ThreadContext& ctx, uint32_t class_id) {
+  ThreadContext& storage = ContextFor(ctx, class_id);
+  if (storage.classes_.size() <= class_id) {
+    storage.classes_.resize(classes_.size());
+  }
+  return storage.classes_[class_id];
+}
+
+// --- event entry points ---
+
+void Runtime::OnFunctionCall(ThreadContext& ctx, Symbol function,
+                             std::span<const int64_t> args) {
+  ProcessFunctionEvent(ctx, function, args, /*is_return=*/false, 0);
+}
+
+void Runtime::OnFunctionReturn(ThreadContext& ctx, Symbol function,
+                               std::span<const int64_t> args, int64_t return_value) {
+  ProcessFunctionEvent(ctx, function, args, /*is_return=*/true, return_value);
+}
+
+void Runtime::ProcessFunctionEvent(ThreadContext& ctx, Symbol function,
+                                   std::span<const int64_t> args, bool is_return,
+                                   int64_t return_value) {
+  Bump(stats_.events);
+
+  if (!tracked_stack_functions_.empty() && tracked_stack_functions_.count(function) != 0) {
+    ctx.stack_depth_[function] += is_return ? -1 : 1;
+  }
+
+  const uint64_t key = is_return ? ReturnKey(function) : CallKey(function);
+
+  // The global store serialises every event that might touch it (§3.2); we
+  // conservatively take the lock for the whole event when any global
+  // automaton is registered.
+  std::unique_ptr<LockGuard<Spinlock>> guard;
+  if (any_global_) {
+    guard = std::make_unique<LockGuard<Spinlock>>(global_lock_);
+  }
+
+  // 1. «init» transitions for bounds opened by this event.
+  auto starts = classes_by_start_.find(key);
+  if (starts != classes_by_start_.end()) {
+    HandleBoundStart(ctx, key);
+  }
+
+  // 2. Body events.
+  const auto& index = is_return ? return_candidates_ : call_candidates_;
+  auto candidates = index.find(function);
+  if (candidates != index.end()) {
+    for (const Candidate& candidate : candidates->second) {
+      const automata::EventPattern& pattern =
+          classes_[candidate.class_id].automaton.alphabet[candidate.symbol];
+      BindingSet bindings;
+      if (MatchFunctionPattern(pattern, args, is_return, return_value, &bindings)) {
+        HandleEvent(ctx, candidate, bindings);
+      }
+    }
+  }
+
+  // 3. «cleanup» transitions for bounds closed by this event.
+  auto ends = classes_by_end_.find(key);
+  if (ends != classes_by_end_.end()) {
+    HandleBoundEnd(ctx, key);
+  }
+}
+
+void Runtime::OnFieldStore(ThreadContext& ctx, Symbol field, int64_t object, int64_t old_value,
+                           int64_t new_value) {
+  Bump(stats_.events);
+  auto candidates = field_candidates_.find(field);
+  if (candidates == field_candidates_.end()) {
+    return;
+  }
+  std::unique_ptr<LockGuard<Spinlock>> guard;
+  if (any_global_) {
+    guard = std::make_unique<LockGuard<Spinlock>>(global_lock_);
+  }
+  for (const Candidate& candidate : candidates->second) {
+    const automata::EventPattern& pattern =
+        classes_[candidate.class_id].automaton.alphabet[candidate.symbol];
+    BindingSet bindings;
+    if (!bindings.Add(pattern.struct_var, object)) {
+      continue;
+    }
+    bool matched = false;
+    switch (pattern.assign_op) {
+      case ast::AssignOp::kAssign:
+        matched = MatchArg(pattern.assign_value, new_value, &bindings);
+        break;
+      case ast::AssignOp::kPlusEqual:
+        matched = MatchArg(pattern.assign_value, new_value - old_value, &bindings);
+        break;
+      case ast::AssignOp::kMinusEqual:
+        matched = MatchArg(pattern.assign_value, old_value - new_value, &bindings);
+        break;
+      case ast::AssignOp::kIncrement:
+        matched = new_value == old_value + 1;
+        break;
+      case ast::AssignOp::kDecrement:
+        matched = new_value == old_value - 1;
+        break;
+    }
+    if (matched) {
+      HandleEvent(ctx, candidate, bindings);
+    }
+  }
+}
+
+void Runtime::OnAssertionSite(ThreadContext& ctx, uint32_t automaton_id,
+                              std::span<const Binding> site_bindings) {
+  Bump(stats_.events);
+  if (automaton_id >= classes_.size()) {
+    return;
+  }
+  std::unique_ptr<LockGuard<Spinlock>> guard;
+  if (any_global_) {
+    guard = std::make_unique<LockGuard<Spinlock>>(global_lock_);
+  }
+  BindingSet bindings;
+  for (const Binding& binding : site_bindings) {
+    if (!bindings.Add(binding.var, binding.value)) {
+      // Inconsistent caller-provided bindings; surface as a site violation.
+      ReportViolation(automaton_id, ViolationKind::kBadSite, "inconsistent site bindings");
+      return;
+    }
+  }
+  HandleSiteEvent(ctx, automaton_id, bindings);
+}
+
+// --- bound lifecycle ---
+
+void Runtime::HandleBoundStart(ThreadContext& ctx, uint64_t key) {
+  Bump(stats_.bound_entries);
+  if (options_.lazy_init) {
+    // O(1): bump the bound's epoch; instances materialise on first real
+    // event. Classes sharing the bound share the epoch entry, so the cost is
+    // per-storage-context, not per-automaton.
+    uint8_t contexts = bound_start_contexts_.at(key);
+    if (contexts & 1) {
+      BoundEpoch& epoch = ctx.bound_epochs_[key];
+      epoch.epoch++;
+      epoch.open = true;
+    }
+    if (contexts & 2) {
+      BoundEpoch& epoch = global_context_->bound_epochs_[key];
+      epoch.epoch++;
+      epoch.open = true;
+    }
+    return;
+  }
+  // Naive mode: touch every automaton sharing this bound (the per-syscall
+  // cost fig. 13 measures).
+  for (uint32_t class_id : classes_by_start_.at(key)) {
+    ActivateClass(ctx, class_id);
+  }
+}
+
+void Runtime::HandleBoundEnd(ThreadContext& ctx, uint64_t key) {
+  Bump(stats_.bound_exits);
+  if (options_.lazy_init) {
+    for (bool global_pass : {false, true}) {
+      ThreadContext& storage = global_pass ? *global_context_ : ctx;
+      auto it = storage.active_classes_.find(key);
+      if (it != storage.active_classes_.end()) {
+        for (uint32_t class_id : it->second) {
+          CleanupClass(ctx, class_id);
+        }
+        it->second.clear();
+      }
+      auto closed = bounds_closed_by_.find(key);
+      if (closed != bounds_closed_by_.end()) {
+        for (uint64_t start_key : closed->second) {
+          auto epoch = storage.bound_epochs_.find(start_key);
+          if (epoch != storage.bound_epochs_.end()) {
+            epoch->second.open = false;
+          }
+        }
+      }
+      if (!any_global_) {
+        break;
+      }
+    }
+    return;
+  }
+  for (uint32_t class_id : classes_by_end_.at(key)) {
+    CleanupClass(ctx, class_id);
+  }
+}
+
+void Runtime::ActivateClass(ThreadContext& ctx, uint32_t class_id) {
+  const CompiledClass& cls = classes_[class_id];
+  ClassState& state = StateFor(ctx, class_id);
+  ThreadContext& storage = ContextFor(ctx, class_id);
+
+  for (Instance* instance : state.instances) {
+    storage.pool_.Free(instance);
+  }
+  state.instances.clear();
+
+  Instance* wildcard = storage.pool_.Allocate();
+  if (wildcard == nullptr) {
+    Bump(stats_.overflows);
+    ReportViolation(class_id, ViolationKind::kOverflow, "no space for (*) instance");
+    state.active = false;
+    return;
+  }
+  wildcard->states = cls.initial_states;
+  wildcard->dfa_state = cls.initial_dfa_state;
+  state.instances.push_back(wildcard);
+  state.active = true;
+  Bump(stats_.instances_created);
+  Bump(stats_.transitions);  // the «init» transition itself
+  ClassInfo info{class_id, &cls.automaton};
+  for (EventHandler* handler : handlers_) {
+    handler->OnInstanceNew(info, *wildcard);
+    // The «init» transition (state 0 → body entry) is observable too, so
+    // counting handlers can weight it (fig. 9).
+    handler->OnTransition(info, *wildcard, automata::StateBit(cls.automaton.initial_state),
+                          cls.automaton.init_symbol, cls.initial_states);
+  }
+}
+
+void Runtime::CleanupClass(ThreadContext& ctx, uint32_t class_id) {
+  const CompiledClass& cls = classes_[class_id];
+  ClassState& state = StateFor(ctx, class_id);
+  if (!state.active) {
+    return;
+  }
+  ThreadContext& storage = ContextFor(ctx, class_id);
+  ClassInfo info{class_id, &cls.automaton};
+  const uint16_t cleanup_symbol = cls.automaton.cleanup_symbol;
+  for (Instance* instance : state.instances) {
+    if (StepInstance(cls, *instance, std::span<const uint16_t>(&cleanup_symbol, 1))) {
+      Bump(stats_.accepts);
+      for (EventHandler* handler : handlers_) {
+        handler->OnAccept(info, *instance);
+      }
+    } else {
+      ReportViolation(class_id, ViolationKind::kBadCleanup,
+                      "instance " + instance->Name(cls.automaton) +
+                          " had not completed when the bound closed");
+    }
+    storage.pool_.Free(instance);
+  }
+  state.instances.clear();
+  state.active = false;
+}
+
+bool Runtime::EnsureActive(ThreadContext& ctx, uint32_t class_id) {
+  const CompiledClass& cls = classes_[class_id];
+  ClassState& state = StateFor(ctx, class_id);
+  if (!options_.lazy_init) {
+    return state.active;
+  }
+  ThreadContext& storage = ContextFor(ctx, class_id);
+  auto it = storage.bound_epochs_.find(cls.start_key);
+  if (it == storage.bound_epochs_.end() || !it->second.open) {
+    return false;  // no bound currently open for this class
+  }
+  const uint64_t current = it->second.epoch;
+  if (state.active && state.epoch == current) {
+    return true;
+  }
+  if (!state.active && state.epoch == current) {
+    return false;  // already cleaned up within this bound
+  }
+  // First event for this class within a newly-opened bound: lazy «init».
+  ActivateClass(ctx, class_id);
+  if (!state.active) {
+    return false;  // pool overflow
+  }
+  state.epoch = current;
+  storage.active_classes_[cls.end_key].push_back(class_id);
+  return true;
+}
+
+// --- event dispatch ---
+
+void Runtime::HandleEvent(ThreadContext& ctx, const Candidate& candidate,
+                          const BindingSet& bindings) {
+  if (!EnsureActive(ctx, candidate.class_id)) {
+    return;
+  }
+  const uint16_t symbol = candidate.symbol;
+  bool stepped = DispatchToInstances(ctx, candidate.class_id, bindings,
+                                     std::span<const uint16_t>(&symbol, 1));
+  if (!stepped) {
+    if (classes_[candidate.class_id].automaton.strict) {
+      ReportViolation(candidate.class_id, ViolationKind::kStrictEvent,
+                      "event '" +
+                          classes_[candidate.class_id]
+                              .automaton.alphabet[candidate.symbol]
+                              .ToString() +
+                          "' had no valid transition");
+    } else {
+      Bump(stats_.ignored_events);
+    }
+  }
+}
+
+void Runtime::HandleSiteEvent(ThreadContext& ctx, uint32_t class_id,
+                              const BindingSet& bindings) {
+  if (!EnsureActive(ctx, class_id)) {
+    Bump(stats_.ignored_events);  // site reached outside its temporal bound
+    return;
+  }
+  const CompiledClass& cls = classes_[class_id];
+
+  // The assertion-site event plus any satisfied incallstack() predicates.
+  uint16_t symbols[1 + 16];
+  size_t symbol_count = 0;
+  if (cls.automaton.has_site) {
+    symbols[symbol_count++] = cls.automaton.site_symbol;
+  }
+  for (uint16_t variant : cls.site_variants) {
+    if (symbol_count >= sizeof(symbols) / sizeof(symbols[0])) {
+      break;
+    }
+    if (ctx.InCallStack(cls.automaton.alphabet[variant].function)) {
+      symbols[symbol_count++] = variant;
+    }
+  }
+  if (symbol_count == 0) {
+    if (!cls.automaton.has_site && cls.site_variants.empty()) {
+      // The assertion's expression references no site event (e.g. a pure
+      // TSEQUENCE or optional() form); the site marker carries no automaton
+      // meaning and is ignored.
+      Bump(stats_.ignored_events);
+    } else {
+      // incallstack()-only site, with no predicate satisfied: the site could
+      // not be consumed.
+      ReportViolation(class_id, ViolationKind::kBadSite,
+                      "assertion site with no satisfiable site event");
+    }
+    return;
+  }
+
+  bool stepped = DispatchToInstances(ctx, class_id, bindings,
+                                     std::span<const uint16_t>(symbols, symbol_count));
+  if (!stepped) {
+    // Paper §4.4.1 "Error": reaching the site with no instance able to
+    // consume it (e.g. the (vp3) case) is a violation.
+    std::string detail = "no instance could accept the assertion site";
+    ReportViolation(class_id, ViolationKind::kBadSite, detail);
+  }
+}
+
+bool Runtime::DispatchToInstances(ThreadContext& ctx, uint32_t class_id,
+                                  const BindingSet& bindings,
+                                  std::span<const uint16_t> symbols) {
+  const CompiledClass& cls = classes_[class_id];
+  ClassState& state = StateFor(ctx, class_id);
+  ThreadContext& storage = ContextFor(ctx, class_id);
+
+  // Pass 1: instances already bound to exactly these values.
+  bool any_exact = false;
+  bool any_step = false;
+  for (Instance* instance : state.instances) {
+    if (!instance->ExactMatch(bindings.entries, bindings.count)) {
+      continue;
+    }
+    any_exact = true;
+    if (StepInstance(cls, *instance, symbols)) {
+      any_step = true;
+    }
+  }
+  if (any_exact) {
+    return any_step;
+  }
+
+  // Pass 2: clone consistent instances, binding the event's new values
+  // (paper §4.4.1 "Clone"). The parent — typically (∗) — is retained.
+  ClassInfo info{class_id, &cls.automaton};
+  size_t existing = state.instances.size();
+  for (size_t i = 0; i < existing; i++) {
+    Instance* parent = state.instances[i];
+    if (!parent->ConsistentWith(bindings.entries, bindings.count)) {
+      continue;
+    }
+    Instance candidate = *parent;
+    for (size_t b = 0; b < bindings.count; b++) {
+      candidate.Bind(bindings.entries[b].var, bindings.entries[b].value);
+    }
+    // Deduplicate against instances created earlier in this event.
+    bool duplicate = false;
+    for (size_t j = existing; j < state.instances.size(); j++) {
+      if (state.instances[j]->bound_mask == candidate.bound_mask &&
+          state.instances[j]->values == candidate.values) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      continue;
+    }
+    if (!StepInstance(cls, candidate, symbols)) {
+      continue;  // the clone could not consume the event; discard it
+    }
+    Instance* clone = storage.pool_.Allocate(candidate);
+    if (clone == nullptr) {
+      Bump(stats_.overflows);
+      ReportViolation(class_id, ViolationKind::kOverflow, "no space to clone instance");
+      continue;
+    }
+    state.instances.push_back(clone);
+    any_step = true;
+    Bump(stats_.instances_cloned);
+    for (EventHandler* handler : handlers_) {
+      handler->OnClone(info, *parent, *clone);
+    }
+  }
+  return any_step;
+}
+
+bool Runtime::StepInstance(const CompiledClass& cls, Instance& instance,
+                           std::span<const uint16_t> symbols) {
+  ClassInfo info{cls.id, &cls.automaton};
+
+  if (options_.use_dfa) {
+    for (uint16_t symbol : symbols) {
+      uint32_t target = cls.dfa.Step(instance.dfa_state, symbol);
+      if (target == automata::Dfa::kNoTarget) {
+        continue;
+      }
+      automata::StateSet from = instance.states;
+      instance.dfa_state = target;
+      instance.states = cls.dfa.states[target].nfa_states;
+      Bump(stats_.transitions);
+      for (EventHandler* handler : handlers_) {
+        handler->OnTransition(info, instance, from, symbol, instance.states);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  automata::StateSet next = 0;
+  uint16_t stepped_symbol = symbols.empty() ? 0 : symbols[0];
+  for (uint16_t symbol : symbols) {
+    automata::StateSet result = cls.automaton.Step(instance.states, symbol);
+    if (result != 0 && next == 0) {
+      stepped_symbol = symbol;
+    }
+    next |= result;
+  }
+  if (next == 0) {
+    return false;
+  }
+  automata::StateSet from = instance.states;
+  instance.states = next;
+  Bump(stats_.transitions);
+  for (EventHandler* handler : handlers_) {
+    handler->OnTransition(info, instance, from, stepped_symbol, next);
+  }
+  return true;
+}
+
+// --- matching ---
+
+bool Runtime::MatchFunctionPattern(const automata::EventPattern& pattern,
+                                   std::span<const int64_t> args, bool have_return,
+                                   int64_t return_value, BindingSet* bindings) const {
+  if (pattern.args_specified) {
+    if (pattern.args.size() > args.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < pattern.args.size(); i++) {
+      if (!MatchArg(pattern.args[i], args[i], bindings)) {
+        return false;
+      }
+    }
+  }
+  if (pattern.match_return) {
+    if (!have_return) {
+      return false;
+    }
+    if (!MatchArg(pattern.return_match, return_value, bindings)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Runtime::MatchArg(const automata::ArgMatch& match, int64_t value,
+                       BindingSet* bindings) const {
+  switch (match.kind) {
+    case automata::ArgMatchKind::kAny:
+      return true;
+    case automata::ArgMatchKind::kLiteral:
+      return value == match.literal;
+    case automata::ArgMatchKind::kFlags:
+      return (static_cast<uint64_t>(value) & match.mask) == match.mask;
+    case automata::ArgMatchKind::kBitmask:
+      return (static_cast<uint64_t>(value) & ~match.mask) == 0;
+    case automata::ArgMatchKind::kVariable:
+      return bindings->count < kMaxVariables && bindings->Add(match.var, value);
+    case automata::ArgMatchKind::kIndirect: {
+      if (!options_.memory_reader) {
+        return false;
+      }
+      int64_t pointee = 0;
+      if (!options_.memory_reader(value, &pointee)) {
+        return false;
+      }
+      return bindings->count < kMaxVariables && bindings->Add(match.var, pointee);
+    }
+  }
+  return false;
+}
+
+void Runtime::ReportViolation(uint32_t class_id, ViolationKind kind,
+                              const std::string& detail) {
+  Bump(stats_.violations);
+  Violation violation;
+  violation.kind = kind;
+  violation.automaton = classes_[class_id].automaton.name;
+  violation.detail = detail;
+
+  ClassInfo info{class_id, &classes_[class_id].automaton};
+  for (EventHandler* handler : handlers_) {
+    handler->OnViolation(info, violation);
+  }
+  TESLA_LOG(kError) << "TESLA violation in '" << violation.automaton
+                    << "': " << ViolationKindName(kind) << " — " << detail;
+  if (options_.fail_stop) {
+    std::fprintf(stderr, "tesla: fail-stop on violation in '%s': %s (%s)\n",
+                 violation.automaton.c_str(), ViolationKindName(kind), detail.c_str());
+    std::abort();
+  }
+}
+
+// --- StderrHandler ---
+
+void StderrHandler::OnInstanceNew(const ClassInfo& cls, const Instance& instance) {
+  std::fprintf(stderr, "tesla: [%s] new instance %s\n", cls.automaton->name.c_str(),
+               instance.Name(*cls.automaton).c_str());
+}
+
+void StderrHandler::OnClone(const ClassInfo& cls, const Instance& parent,
+                            const Instance& clone) {
+  std::fprintf(stderr, "tesla: [%s] clone %s -> %s\n", cls.automaton->name.c_str(),
+               parent.Name(*cls.automaton).c_str(), clone.Name(*cls.automaton).c_str());
+}
+
+void StderrHandler::OnTransition(const ClassInfo& cls, const Instance& instance,
+                                 automata::StateSet from, uint16_t symbol,
+                                 automata::StateSet to) {
+  std::fprintf(stderr, "tesla: [%s] %s: 0x%llx --%s--> 0x%llx\n", cls.automaton->name.c_str(),
+               instance.Name(*cls.automaton).c_str(), static_cast<unsigned long long>(from),
+               cls.automaton->alphabet[symbol].ToString().c_str(),
+               static_cast<unsigned long long>(to));
+}
+
+void StderrHandler::OnAccept(const ClassInfo& cls, const Instance& instance) {
+  std::fprintf(stderr, "tesla: [%s] accept %s\n", cls.automaton->name.c_str(),
+               instance.Name(*cls.automaton).c_str());
+}
+
+void StderrHandler::OnViolation(const ClassInfo& cls, const Violation& violation) {
+  std::fprintf(stderr, "tesla: [%s] VIOLATION: %s — %s\n", violation.automaton.c_str(),
+               ViolationKindName(violation.kind), violation.detail.c_str());
+}
+
+}  // namespace tesla::runtime

@@ -1,0 +1,232 @@
+// libtesla: the TESLA run-time support library (paper §4.4).
+//
+// A Runtime holds compiled automaton classes registered from a Manifest and
+// manages their instances. Events arrive through the On*() entry points —
+// called either by generated event translators (the IR instrumentation path)
+// or by native instrumentation scope guards (see runtime/scope.h).
+//
+// Event serialisation contexts (§3.2):
+//   * per-thread automata store instances in a ThreadContext, one per
+//     (simulated or real) thread — serialisation is implicit;
+//   * global automata store instances in a runtime-owned context behind a
+//     spinlock — the explicit synchronisation whose cost fig. 12 measures.
+//
+// Instance lifecycle (§4.4.1): «init» on the bound's start event creates the
+// wildcard (∗) instance; events binding new variable values clone it; the
+// assertion-site event must be consumable by some matching instance or a
+// violation is reported; «cleanup» on the bound's end event checks automata
+// that passed their site, reports acceptance, and expunges all instances.
+#ifndef TESLA_RUNTIME_RUNTIME_H_
+#define TESLA_RUNTIME_RUNTIME_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/determinize.h"
+#include "automata/manifest.h"
+#include "runtime/handler.h"
+#include "runtime/instance.h"
+#include "runtime/options.h"
+#include "support/pool.h"
+#include "support/result.h"
+#include "support/spinlock.h"
+
+namespace tesla::runtime {
+
+class Runtime;
+
+// Per-serialisation-context storage for one automaton class.
+struct ClassState {
+  bool active = false;
+  uint64_t epoch = 0;  // bound epoch at activation (lazy-init bookkeeping)
+  std::vector<Instance*> instances;
+};
+
+// Lazy-init bookkeeping for one temporal bound (paper §5.2.2's optimisation:
+// "keeping a per-context record of common initialisation and cleanup events
+// and doing lazy initialisation of automaton instances after they received
+// their first non-initialisation event").
+struct BoundEpoch {
+  uint64_t epoch = 0;
+  bool open = false;
+};
+
+// One event-serialisation context: all per-thread automata instances for one
+// thread of execution, plus its instance pool and call-stack view. Simulated
+// kernels may host many ThreadContexts on one host thread.
+class ThreadContext {
+ public:
+  explicit ThreadContext(Runtime& runtime);
+  ~ThreadContext();
+
+  ThreadContext(const ThreadContext&) = delete;
+  ThreadContext& operator=(const ThreadContext&) = delete;
+
+  // incallstack() support: whether `function` is on this context's stack.
+  bool InCallStack(Symbol function) const {
+    auto it = stack_depth_.find(function);
+    return it != stack_depth_.end() && it->second > 0;
+  }
+
+  uint64_t pool_overflows() const { return pool_.overflows(); }
+
+ private:
+  friend class Runtime;
+
+  Runtime& runtime_;
+  std::vector<ClassState> classes_;
+  FixedPool<Instance> pool_;
+  std::unordered_map<uint64_t, BoundEpoch> bound_epochs_;  // keyed by start-event key
+  // Lazy cleanup: classes with live instances, grouped by end-event key.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> active_classes_;
+  std::unordered_map<Symbol, int> stack_depth_;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Compiles and registers every automaton in `manifest`. Must be called
+  // before ThreadContexts are created. Fails on automata with more than
+  // kMaxVariables variables or malformed bounds.
+  Status Register(const automata::Manifest& manifest);
+
+  // Looks up a registered automaton by name; returns -1 if absent.
+  int FindAutomaton(const std::string& name) const;
+
+  void AddHandler(EventHandler* handler) { handlers_.push_back(handler); }
+
+  // --- event entry points ---
+
+  void OnFunctionCall(ThreadContext& ctx, Symbol function, std::span<const int64_t> args);
+  void OnFunctionReturn(ThreadContext& ctx, Symbol function, std::span<const int64_t> args,
+                        int64_t return_value);
+  // A store to `object`'s field: `old_value` is the field's prior contents
+  // (the translator receives "a pointer to the field (and thus its current
+  // value) and the new value", §4.2), which lets compound-assignment patterns
+  // (+=, ++) match.
+  void OnFieldStore(ThreadContext& ctx, Symbol field, int64_t object, int64_t old_value,
+                    int64_t new_value);
+  // `automaton_id` is FindAutomaton()'s result; `site_bindings` carries the
+  // current values of the assertion's in-scope variables.
+  void OnAssertionSite(ThreadContext& ctx, uint32_t automaton_id,
+                       std::span<const Binding> site_bindings);
+
+  const RuntimeStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = RuntimeStats{}; }
+  const RuntimeOptions& options() const { return options_; }
+
+  size_t class_count() const { return classes_.size(); }
+  const automata::Automaton& automaton(uint32_t id) const { return classes_[id].automaton; }
+  const automata::Dfa& dfa(uint32_t id) const { return classes_[id].dfa; }
+
+ private:
+  friend class ThreadContext;
+
+  struct CompiledClass {
+    uint32_t id = 0;
+    automata::Automaton automaton;
+    automata::Dfa dfa;
+    bool is_global = false;
+    uint64_t start_key = 0;  // (function, kind) key of the «init» event
+    uint64_t end_key = 0;    // (function, kind) key of the «cleanup» event
+    std::vector<uint16_t> site_variants;  // incallstack() symbols
+    automata::StateSet initial_states = 0;
+    uint32_t initial_dfa_state = 0;
+  };
+
+  struct Candidate {
+    uint32_t class_id = 0;
+    uint16_t symbol = 0;
+  };
+
+  // An event's variable bindings: a fixed-size buffer, one slot per variable.
+  struct BindingSet {
+    Binding entries[kMaxVariables];
+    size_t count = 0;
+
+    // Returns false if `var` is already present with a different value.
+    bool Add(uint16_t var, int64_t value) {
+      for (size_t i = 0; i < count; i++) {
+        if (entries[i].var == var) {
+          return entries[i].value == value;
+        }
+      }
+      entries[count++] = Binding{var, value};
+      return true;
+    }
+  };
+
+  // Routing keys: function symbol + call/return discriminator.
+  static uint64_t CallKey(Symbol function) { return (uint64_t{function} << 1) | 1; }
+  static uint64_t ReturnKey(Symbol function) { return uint64_t{function} << 1; }
+
+  ThreadContext& ContextFor(ThreadContext& ctx, uint32_t class_id) {
+    return classes_[class_id].is_global ? *global_context_ : ctx;
+  }
+  ClassState& StateFor(ThreadContext& ctx, uint32_t class_id);
+
+  void ProcessFunctionEvent(ThreadContext& ctx, Symbol function, std::span<const int64_t> args,
+                            bool is_return, int64_t return_value);
+
+  void HandleBoundStart(ThreadContext& ctx, uint64_t key);
+  void HandleBoundEnd(ThreadContext& ctx, uint64_t key);
+  void ActivateClass(ThreadContext& ctx, uint32_t class_id);
+  void CleanupClass(ThreadContext& ctx, uint32_t class_id);
+  // Returns true if the class is (or, lazily, becomes) active.
+  bool EnsureActive(ThreadContext& ctx, uint32_t class_id);
+
+  void HandleEvent(ThreadContext& ctx, const Candidate& candidate, const BindingSet& bindings);
+  void HandleSiteEvent(ThreadContext& ctx, uint32_t class_id, const BindingSet& bindings);
+  // Shared instance-matching core: steps exact matches or clones consistent
+  // instances on any of `symbols`; returns true if any instance stepped.
+  bool DispatchToInstances(ThreadContext& ctx, uint32_t class_id, const BindingSet& bindings,
+                           std::span<const uint16_t> symbols);
+
+  bool StepInstance(const CompiledClass& cls, Instance& instance,
+                    std::span<const uint16_t> symbols);
+
+  bool MatchFunctionPattern(const automata::EventPattern& pattern,
+                            std::span<const int64_t> args, bool have_return,
+                            int64_t return_value, BindingSet* bindings) const;
+  bool MatchArg(const automata::ArgMatch& match, int64_t value, BindingSet* bindings) const;
+
+  void ReportViolation(uint32_t class_id, ViolationKind kind, const std::string& detail);
+  void Bump(uint64_t& counter, uint64_t amount = 1);
+
+  RuntimeOptions options_;
+  RuntimeStats stats_;
+  std::vector<CompiledClass> classes_;
+  std::vector<EventHandler*> handlers_;
+  std::unordered_map<std::string, uint32_t> by_name_;
+
+  std::unordered_map<uint64_t, std::vector<uint32_t>> classes_by_start_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> classes_by_end_;
+  // Per start key: bit 0 = some per-thread class uses it, bit 1 = some
+  // global class does. Lets the lazy bound-entry path run in O(1) instead of
+  // scanning every class sharing the bound.
+  std::unordered_map<uint64_t, uint8_t> bound_start_contexts_;
+  // end-event key → distinct start-event keys it closes (lazy bookkeeping).
+  std::unordered_map<uint64_t, std::vector<uint64_t>> bounds_closed_by_;
+  std::unordered_map<Symbol, std::vector<Candidate>> call_candidates_;
+  std::unordered_map<Symbol, std::vector<Candidate>> return_candidates_;
+  std::unordered_map<Symbol, std::vector<Candidate>> field_candidates_;
+  std::unordered_map<Symbol, bool> tracked_stack_functions_;
+  bool any_global_ = false;
+
+  // Global-context storage (shared across threads, spinlock-serialised).
+  Spinlock global_lock_;
+  std::unique_ptr<ThreadContext> global_context_;
+};
+
+}  // namespace tesla::runtime
+
+#endif  // TESLA_RUNTIME_RUNTIME_H_

@@ -1,0 +1,82 @@
+// Native (compiled-in) instrumentation helpers.
+//
+// The paper's instrumenter weaves hook calls into LLVM IR; our simulators are
+// ordinary C++, so they carry the equivalent of callee-side instrumentation
+// as RAII scope guards: constructing a FunctionScope fires the call event,
+// destruction fires the return event with the recorded return value. This is
+// exactly the shape of code the instrumenter emits ("instrumentation [added]
+// to the target function's entry basic block and before any return
+// instructions", §4.2).
+#ifndef TESLA_RUNTIME_SCOPE_H_
+#define TESLA_RUNTIME_SCOPE_H_
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+
+#include "runtime/runtime.h"
+#include "support/intern.h"
+
+namespace tesla::runtime {
+
+class FunctionScope {
+ public:
+  FunctionScope(Runtime* runtime, ThreadContext* ctx, Symbol function,
+                std::initializer_list<int64_t> args)
+      : runtime_(runtime), ctx_(ctx), function_(function), arg_count_(args.size()) {
+    size_t i = 0;
+    for (int64_t arg : args) {
+      if (i >= args_.size()) {
+        break;
+      }
+      args_[i++] = arg;
+    }
+    if (runtime_ != nullptr) {
+      runtime_->OnFunctionCall(*ctx_, function_,
+                               std::span<const int64_t>(args_.data(), arg_count_));
+    }
+  }
+
+  ~FunctionScope() {
+    if (runtime_ != nullptr) {
+      runtime_->OnFunctionReturn(*ctx_, function_,
+                                 std::span<const int64_t>(args_.data(), arg_count_),
+                                 return_value_);
+    }
+  }
+
+  FunctionScope(const FunctionScope&) = delete;
+  FunctionScope& operator=(const FunctionScope&) = delete;
+
+  // Records and passes through the function's return value.
+  template <typename T>
+  T Return(T value) {
+    return_value_ = static_cast<int64_t>(value);
+    return value;
+  }
+
+ private:
+  Runtime* runtime_;
+  ThreadContext* ctx_;
+  Symbol function_;
+  std::array<int64_t, 8> args_{};
+  size_t arg_count_;
+  int64_t return_value_ = 0;
+};
+
+// Fires a field-store event and performs the store. Usage:
+//   TeslaStoreField(rt, ctx, kSoStateField, (int64_t)so, &so->so_state, value);
+template <typename T>
+void StoreField(Runtime* runtime, ThreadContext* ctx, Symbol field, int64_t object, T* slot,
+                T new_value) {
+  T old_value = *slot;
+  *slot = new_value;
+  if (runtime != nullptr) {
+    runtime->OnFieldStore(*ctx, field, object, static_cast<int64_t>(old_value),
+                          static_cast<int64_t>(new_value));
+  }
+}
+
+}  // namespace tesla::runtime
+
+#endif  // TESLA_RUNTIME_SCOPE_H_

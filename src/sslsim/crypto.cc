@@ -1,0 +1,79 @@
+#include "sslsim/crypto.h"
+
+#include "runtime/scope.h"
+#include "support/hash.h"
+
+namespace tesla::sslsim {
+namespace {
+
+uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m) {
+  return static_cast<uint64_t>((static_cast<__uint128_t>(a) * b) % m);
+}
+
+uint64_t PowMod(uint64_t base, uint64_t exponent, uint64_t modulus) {
+  uint64_t result = 1;
+  base %= modulus;
+  while (exponent != 0) {
+    if (exponent & 1) {
+      result = MulMod(result, base, modulus);
+    }
+    base = MulMod(base, base, modulus);
+    exponent >>= 1;
+  }
+  return result;
+}
+
+Symbol VerifySymbol() {
+  static Symbol symbol = InternString("EVP_VerifyFinal");
+  return symbol;
+}
+
+}  // namespace
+
+void EvpMdCtx::Update(const void* data, size_t size) {
+  digest = FnvHashBytes(static_cast<const char*>(data), size, digest ^ kFnvOffsetBasis);
+}
+
+EvpKey EvpGenerateKey(uint64_t secret) {
+  EvpKey key;
+  key.public_key = PowMod(key.generator, secret, key.modulus);
+  return key;
+}
+
+Signature EvpSign(const EvpKey& key, uint64_t secret, uint64_t digest) {
+  // A toy discrete-log signature: r = g^digest, s = r^secret. Verification
+  // checks s == r^x via the public key relation s == PowMod(r, secret).
+  Signature signature;
+  signature.r.tag = Asn1Tag::kInteger;
+  signature.r.value = PowMod(key.generator, digest | 1, key.modulus);
+  signature.s.tag = Asn1Tag::kInteger;
+  signature.s.value = PowMod(signature.r.value, secret, key.modulus);
+  return signature;
+}
+
+int64_t EVP_VerifyFinal(const SslInstrumentation& instr, EvpMdCtx* ctx,
+                        const Signature* signature, int64_t sig_len, const EvpKey* pkey) {
+  runtime::FunctionScope scope(instr.rt, instr.ctx, VerifySymbol(),
+                               {reinterpret_cast<int64_t>(ctx),
+                                reinterpret_cast<int64_t>(signature), sig_len,
+                                reinterpret_cast<int64_t>(pkey)});
+  if (ctx == nullptr || signature == nullptr || pkey == nullptr || sig_len <= 0) {
+    return scope.Return(int64_t{-1});
+  }
+  // ASN.1 structure check: both signature halves must be INTEGERs. A forged
+  // tag is an *exceptional* failure — the tri-state −1 that CVE-2008-5077's
+  // callers conflated with success.
+  if (signature->r.tag != Asn1Tag::kInteger || signature->s.tag != Asn1Tag::kInteger) {
+    return scope.Return(int64_t{-1});
+  }
+  // The actual verification equation. We cannot recompute r^x without the
+  // secret, but the signer's s equals r^x, and public_key = g^x, so checking
+  // g^(digest|1)·x == s reduces to comparing PowMod(public_key, digest|1)
+  // with s (both equal g^(x·(digest|1))).
+  uint64_t expected = PowMod(pkey->public_key, ctx->digest | 1, pkey->modulus);
+  bool ok = expected == signature->s.value &&
+            signature->r.value == PowMod(pkey->generator, ctx->digest | 1, pkey->modulus);
+  return scope.Return(int64_t{ok ? 1 : 0});
+}
+
+}  // namespace tesla::sslsim

@@ -1,0 +1,72 @@
+// sslsim/crypto: a miniature libcrypto.
+//
+// Models the slice of OpenSSL's EVP layer that the paper's §3.5.1 use case
+// exercises: signature verification with a *tri-state* result — 1 (verified),
+// 0 (bad signature), −1 (exceptional failure, e.g. a malformed ASN.1
+// structure). CVE-2008-5077 existed because callers conflated −1 with
+// success.
+#ifndef TESLA_SSLSIM_CRYPTO_H_
+#define TESLA_SSLSIM_CRYPTO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace tesla::sslsim {
+
+// ASN.1 universal tags (the subset we parse).
+enum class Asn1Tag : uint8_t {
+  kInteger = 0x02,
+  kBitString = 0x03,
+  kSequence = 0x30,
+};
+
+// A DSA-like signature: SEQUENCE { INTEGER r, INTEGER s }. The malicious
+// server forges the tag of one integer (paper §3.5.1: "forging an ASN.1 tag
+// inside a DSA signature so that one of two large integers claimed to have
+// the BIT STRING type rather than INTEGER").
+struct Asn1Element {
+  Asn1Tag tag = Asn1Tag::kInteger;
+  uint64_t value = 0;
+};
+
+struct Signature {
+  Asn1Element r;
+  Asn1Element s;
+};
+
+struct EvpKey {
+  uint64_t modulus = 0xffffffffffffffc5ull;  // a 64-bit prime
+  uint64_t generator = 5;
+  uint64_t public_key = 0;  // g^x mod p
+};
+
+struct EvpMdCtx {
+  uint64_t digest = 0;
+
+  void Update(const void* data, size_t size);
+};
+
+// Instrumentation context shared by the three library layers: the TESLA
+// runtime plus the event-serialisation context of the calling thread. Null
+// runtime → uninstrumented build.
+struct SslInstrumentation {
+  runtime::Runtime* rt = nullptr;
+  runtime::ThreadContext* ctx = nullptr;
+};
+
+// Key generation / signing (used by the simulated server).
+EvpKey EvpGenerateKey(uint64_t secret);
+Signature EvpSign(const EvpKey& key, uint64_t secret, uint64_t digest);
+
+// Verifies `signature` over `ctx`'s accumulated digest.
+// Returns 1 on success, 0 when the signature does not verify, and −1 on an
+// exceptional failure (malformed ASN.1: a non-INTEGER tag inside the
+// signature). Instrumented callee-side when `instr.rt` is set.
+int64_t EVP_VerifyFinal(const SslInstrumentation& instr, EvpMdCtx* ctx,
+                        const Signature* signature, int64_t sig_len, const EvpKey* pkey);
+
+}  // namespace tesla::sslsim
+
+#endif  // TESLA_SSLSIM_CRYPTO_H_

@@ -1,0 +1,57 @@
+#include "sslsim/fetch.h"
+
+#include "automata/lower.h"
+#include "runtime/scope.h"
+
+namespace tesla::sslsim {
+namespace {
+
+Symbol MainSymbol() {
+  static Symbol symbol = InternString("main");
+  return symbol;
+}
+
+}  // namespace
+
+Result<automata::Manifest> FetchAssertions() {
+  automata::Manifest manifest;
+  auto automaton = automata::CompileAssertion(
+      "TESLA_WITHIN(main, previously("
+      "EVP_VerifyFinal(ANY(ptr), ANY(ptr), ANY(int), ANY(ptr)) == 1))",
+      {}, kVerifyAssertionName);
+  if (!automaton.ok()) {
+    return automaton.error();
+  }
+  manifest.Add(std::move(automaton.value()));
+  return manifest;
+}
+
+FetchResult FetchClient::FetchDocument(const Server& server) {
+  // The client's main execution: the fig. 6 temporal bound.
+  runtime::FunctionScope main_scope(instr_.rt, instr_.ctx, MainSymbol(), {});
+
+  FetchResult result;
+  Ssl ssl;
+  ssl.peer = &server;
+
+  if (SSL_connect(instr_, config_, &ssl) != 1) {
+    result.verify_result = ssl.last_verify_result;
+    return result;  // handshake visibly failed; nothing was fetched
+  }
+  result.verify_result = ssl.last_verify_result;
+
+  // Application data is about to flow: by now a key-exchange signature must
+  // have verified *successfully* (fig. 6's assertion site).
+  if (instr_.rt != nullptr) {
+    int id = instr_.rt->FindAutomaton(kVerifyAssertionName);
+    if (id >= 0) {
+      instr_.rt->OnAssertionSite(*instr_.ctx, static_cast<uint32_t>(id), {});
+    }
+  }
+
+  int64_t got = SSL_read(instr_, &ssl, &result.document);
+  result.ok = got >= 0;
+  return result;
+}
+
+}  // namespace tesla::sslsim

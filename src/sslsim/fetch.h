@@ -1,0 +1,51 @@
+// sslsim/fetch: a miniature libfetch client.
+//
+// The outermost library of §3.5.1's three-layer stack: libfetch uses libssl,
+// which uses libcrypto. The TESLA assertion (fig. 6) is written *here*, in
+// the client, yet drives instrumentation across the libssl/libcrypto API
+// boundary:
+//
+//   TESLA_WITHIN(main, previously(
+//       EVP_VerifyFinal(ANY(ptr), ANY(ptr), ANY(int), ANY(ptr)) == 1));
+#ifndef TESLA_SSLSIM_FETCH_H_
+#define TESLA_SSLSIM_FETCH_H_
+
+#include <string>
+
+#include "automata/manifest.h"
+#include "sslsim/ssl.h"
+#include "support/result.h"
+
+namespace tesla::sslsim {
+
+// The fig. 6 assertion, compiled; register this with the runtime driving a
+// FetchClient.
+Result<automata::Manifest> FetchAssertions();
+
+// Name of the fig. 6 automaton within FetchAssertions().
+inline constexpr const char* kVerifyAssertionName = "fetch.verify";
+
+struct FetchResult {
+  bool ok = false;
+  std::string document;
+  int64_t verify_result = -2;  // EVP_VerifyFinal's tri-state, for inspection
+};
+
+class FetchClient {
+ public:
+  FetchClient(SslInstrumentation instr, SslConfig config) : instr_(instr), config_(config) {}
+
+  // Retrieves a document from `server`; the whole retrieval runs within the
+  // client's `main` bound, with the fig. 6 assertion site after the TLS
+  // handshake (certificate/key-exchange verification must have succeeded by
+  // the time application data flows).
+  FetchResult FetchDocument(const Server& server);
+
+ private:
+  SslInstrumentation instr_;
+  SslConfig config_;
+};
+
+}  // namespace tesla::sslsim
+
+#endif  // TESLA_SSLSIM_FETCH_H_

@@ -1,0 +1,96 @@
+#include "sslsim/ssl.h"
+
+#include "runtime/scope.h"
+
+namespace tesla::sslsim {
+namespace {
+
+Symbol KeyExchangeSymbol() {
+  static Symbol symbol = InternString("ssl3_get_key_exchange");
+  return symbol;
+}
+Symbol ConnectSymbol() {
+  static Symbol symbol = InternString("SSL_connect");
+  return symbol;
+}
+Symbol ReadSymbol() {
+  static Symbol symbol = InternString("SSL_read");
+  return symbol;
+}
+
+}  // namespace
+
+Server Server::Honest(uint64_t secret, std::string document) {
+  Server server;
+  server.hello_.server_key = EvpGenerateKey(secret);
+  server.hello_.key_exchange_params = 0xd00dfeed;
+  EvpMdCtx digest;
+  digest.Update(&server.hello_.key_exchange_params,
+                sizeof(server.hello_.key_exchange_params));
+  server.hello_.key_exchange_signature =
+      EvpSign(server.hello_.server_key, secret, digest.digest);
+  server.hello_.document = std::move(document);
+  return server;
+}
+
+Server Server::Malicious(uint64_t secret, std::string document) {
+  Server server = Honest(secret, std::move(document));
+  // Forge the ASN.1 tag of `s`: the verifier now fails with −1 rather than 0,
+  // landing in the code path that buggy callers conflate with success.
+  server.hello_.key_exchange_signature.s.tag = Asn1Tag::kBitString;
+  return server;
+}
+
+int64_t ssl3_get_key_exchange(const SslInstrumentation& instr, const SslConfig& config,
+                              Ssl* ssl) {
+  runtime::FunctionScope scope(instr.rt, instr.ctx, KeyExchangeSymbol(),
+                               {reinterpret_cast<int64_t>(ssl)});
+  ssl->hello = ssl->peer->Hello();
+
+  EvpMdCtx digest;
+  digest.Update(&ssl->hello.key_exchange_params, sizeof(ssl->hello.key_exchange_params));
+
+  int64_t verify = EVP_VerifyFinal(instr, &digest, &ssl->hello.key_exchange_signature,
+                                   static_cast<int64_t>(sizeof(Signature)),
+                                   &ssl->hello.server_key);
+  ssl->last_verify_result = verify;
+
+  if (config.correct_verify_check) {
+    // The post-CVE-2008-5077 form: only 1 is success.
+    if (verify != 1) {
+      return scope.Return(int64_t{0});
+    }
+  } else {
+    // The historical bug: `if (!EVP_VerifyFinal(...))` — 0 fails, but the
+    // exceptional −1 sails through as success.
+    if (verify == 0) {
+      return scope.Return(int64_t{0});
+    }
+  }
+  return scope.Return(int64_t{1});
+}
+
+int64_t SSL_connect(const SslInstrumentation& instr, const SslConfig& config, Ssl* ssl) {
+  runtime::FunctionScope scope(instr.rt, instr.ctx, ConnectSymbol(),
+                               {reinterpret_cast<int64_t>(ssl)});
+  if (ssl->peer == nullptr) {
+    return scope.Return(int64_t{0});
+  }
+  if (ssl3_get_key_exchange(instr, config, ssl) != 1) {
+    return scope.Return(int64_t{0});
+  }
+  ssl->connected = true;
+  return scope.Return(int64_t{1});
+}
+
+int64_t SSL_read(const SslInstrumentation& instr, Ssl* ssl, std::string* out) {
+  runtime::FunctionScope scope(instr.rt, instr.ctx, ReadSymbol(),
+                               {reinterpret_cast<int64_t>(ssl)});
+  if (!ssl->connected) {
+    return scope.Return(int64_t{-1});
+  }
+  *out = ssl->hello.document;
+  return scope.Return(static_cast<int64_t>(out->size()));
+}
+
+}  // namespace tesla::sslsim

@@ -1,0 +1,69 @@
+// sslsim/ssl: a miniature libssl.
+//
+// Reproduces the handshake slice around OpenSSL 0.9.8's
+// ssl3_get_key_exchange, including the historical incorrect tri-state check
+// (CVE-2008-5077 class): `if (!EVP_VerifyFinal(...))` treats the exceptional
+// −1 result as success. The bug ships enabled (as it did historically); a
+// fixed client can opt out via SslConfig::correct_verify_check.
+#ifndef TESLA_SSLSIM_SSL_H_
+#define TESLA_SSLSIM_SSL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sslsim/crypto.h"
+
+namespace tesla::sslsim {
+
+// The "network": what a server presents during the handshake.
+struct ServerHello {
+  EvpKey server_key;
+  Signature key_exchange_signature;
+  uint64_t key_exchange_params = 0;  // the signed blob
+  std::string document;              // returned after the handshake
+};
+
+// A server endpoint; Connect() produces its hello.
+class Server {
+ public:
+  // An honest server signs its key-exchange parameters correctly.
+  static Server Honest(uint64_t secret, std::string document);
+  // The paper's malicious s_server: forges an ASN.1 tag inside the DSA
+  // signature so verification fails *exceptionally* (−1, not 0).
+  static Server Malicious(uint64_t secret, std::string document);
+
+  ServerHello Hello() const { return hello_; }
+
+ private:
+  ServerHello hello_;
+};
+
+struct Ssl {
+  const Server* peer = nullptr;
+  ServerHello hello;
+  bool connected = false;
+  int64_t last_verify_result = -2;  // for tests/introspection
+};
+
+struct SslConfig {
+  // false (default): the historical buggy check `if (!verify)`.
+  // true: the fixed check `if (verify != 1)`.
+  bool correct_verify_check = false;
+};
+
+// Handshake message processing: fetches the server's key exchange and
+// verifies its signature. Returns 1 on (apparent) success, 0 on failure —
+// with the buggy check, an exceptional −1 from EVP_VerifyFinal is treated as
+// success. Instrumented callee-side.
+int64_t ssl3_get_key_exchange(const SslInstrumentation& instr, const SslConfig& config,
+                              Ssl* ssl);
+
+// The application-facing connect; drives ssl3_get_key_exchange.
+int64_t SSL_connect(const SslInstrumentation& instr, const SslConfig& config, Ssl* ssl);
+
+// Reads the document over the (apparently) established connection.
+int64_t SSL_read(const SslInstrumentation& instr, Ssl* ssl, std::string* out);
+
+}  // namespace tesla::sslsim
+
+#endif  // TESLA_SSLSIM_SSL_H_

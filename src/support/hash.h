@@ -1,0 +1,48 @@
+// FNV-1a hashing and combination helpers.
+//
+// libtesla keys automaton instances by their bound variable values; a cheap,
+// deterministic hash keeps lookups out of the instrumented fast path's way.
+#ifndef TESLA_SUPPORT_HASH_H_
+#define TESLA_SUPPORT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tesla {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+constexpr uint64_t FnvHashBytes(const char* data, size_t size,
+                                uint64_t seed = kFnvOffsetBasis) {
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; i++) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+constexpr uint64_t FnvHashString(std::string_view text, uint64_t seed = kFnvOffsetBasis) {
+  return FnvHashBytes(text.data(), text.size(), seed);
+}
+
+constexpr uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // 64-bit variant of boost::hash_combine's mixing constant.
+  return seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 12) + (seed >> 4));
+}
+
+constexpr uint64_t HashU64(uint64_t value) {
+  // SplitMix64 finaliser: good avalanche for pointer-like keys.
+  value ^= value >> 30;
+  value *= 0xbf58476d1ce4e5b9ull;
+  value ^= value >> 27;
+  value *= 0x94d049bb133111ebull;
+  value ^= value >> 31;
+  return value;
+}
+
+}  // namespace tesla
+
+#endif  // TESLA_SUPPORT_HASH_H_

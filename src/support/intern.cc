@@ -1,0 +1,14 @@
+#include "support/intern.h"
+
+namespace tesla {
+
+StringInterner& GlobalInterner() {
+  static StringInterner interner;
+  return interner;
+}
+
+Symbol InternString(std::string_view text) { return GlobalInterner().Intern(text); }
+
+const std::string& SymbolName(Symbol symbol) { return GlobalInterner().Spelling(symbol); }
+
+}  // namespace tesla

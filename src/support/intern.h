@@ -1,0 +1,65 @@
+// String interning: maps strings to dense 32-bit symbols.
+//
+// The instrumenter and runtime key automata and events by function / field
+// names; interning makes those comparisons O(1) and the event structures
+// trivially copyable.
+#ifndef TESLA_SUPPORT_INTERN_H_
+#define TESLA_SUPPORT_INTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tesla {
+
+// A dense handle for an interned string. Symbol 0 is always the empty string.
+using Symbol = uint32_t;
+
+inline constexpr Symbol kNoSymbol = 0;
+
+class StringInterner {
+ public:
+  StringInterner() { Intern(""); }
+
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  Symbol Intern(std::string_view text) {
+    auto it = index_.find(std::string(text));
+    if (it != index_.end()) {
+      return it->second;
+    }
+    Symbol symbol = static_cast<Symbol>(strings_.size());
+    strings_.emplace_back(text);
+    index_.emplace(strings_.back(), symbol);
+    return symbol;
+  }
+
+  // Returns kNoSymbol when `text` has never been interned.
+  Symbol Lookup(std::string_view text) const {
+    auto it = index_.find(std::string(text));
+    return it == index_.end() ? kNoSymbol : it->second;
+  }
+
+  const std::string& Spelling(Symbol symbol) const { return strings_.at(symbol); }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, Symbol> index_;
+};
+
+// Process-wide interner. TESLA manifests name functions across translation
+// units, so the analyser, instrumenter and runtime must agree on symbols.
+StringInterner& GlobalInterner();
+
+// Shorthands over the global interner.
+Symbol InternString(std::string_view text);
+const std::string& SymbolName(Symbol symbol);
+
+}  // namespace tesla
+
+#endif  // TESLA_SUPPORT_INTERN_H_

@@ -1,0 +1,59 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tesla {
+namespace {
+
+LogLevel LevelFromEnvironment() {
+  const char* value = std::getenv("TESLA_DEBUG");
+  if (value == nullptr || value[0] == '\0') {
+    return LogLevel::kError;
+  }
+  if (value[0] >= '0' && value[0] <= '4' && value[1] == '\0') {
+    return static_cast<LogLevel>(value[0] - '0');
+  }
+  return LogLevel::kDebug;
+}
+
+std::atomic<int> g_level{-1};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarning:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kSilent:
+      return "silent";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel CurrentLogLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = static_cast<int>(LevelFromEnvironment());
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "tesla[%s]: %s\n", LevelTag(level), message.c_str());
+}
+
+}  // namespace tesla

@@ -1,0 +1,57 @@
+// Leveled stderr logging, gated by the TESLA_DEBUG environment variable.
+//
+// Paper §4.4.2: "In userspace, TESLA's default behaviour is to output event
+// information to stderr, controlled by the TESLA_DEBUG environment variable."
+#ifndef TESLA_SUPPORT_LOG_H_
+#define TESLA_SUPPORT_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace tesla {
+
+enum class LogLevel {
+  kSilent = 0,
+  kError = 1,
+  kWarning = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+// The current log level; initialised from TESLA_DEBUG on first use
+// (unset/empty → kError, "0".."4" → that level, any other value → kDebug).
+LogLevel CurrentLogLevel();
+void SetLogLevel(LogLevel level);
+
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tesla
+
+#define TESLA_LOG(level)                                       \
+  if (::tesla::CurrentLogLevel() < ::tesla::LogLevel::level) { \
+  } else                                                       \
+    ::tesla::internal::LogLine(::tesla::LogLevel::level)
+
+#endif  // TESLA_SUPPORT_LOG_H_

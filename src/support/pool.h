@@ -1,0 +1,83 @@
+// Fixed-capacity object pool with overflow accounting.
+//
+// Paper §4.4.1: "we preallocate a fixed-size memory block per thread, giving
+// a deterministic memory footprint, and report overflows so that we can
+// adjust preallocation size on the next run." FixedPool implements exactly
+// that contract: allocation never touches the heap after construction, and
+// exhaustion is counted rather than fatal.
+#ifndef TESLA_SUPPORT_POOL_H_
+#define TESLA_SUPPORT_POOL_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace tesla {
+
+template <typename T>
+class FixedPool {
+ public:
+  explicit FixedPool(size_t capacity)
+      : capacity_(capacity),
+        storage_(static_cast<Slot*>(::operator new[](capacity * sizeof(Slot)))) {
+    free_list_.reserve(capacity);
+    for (size_t i = 0; i < capacity_; i++) {
+      free_list_.push_back(&storage_[capacity_ - 1 - i]);
+    }
+  }
+
+  ~FixedPool() {
+    assert(live_ == 0 && "pool destroyed with live objects");
+    ::operator delete[](storage_);
+  }
+
+  FixedPool(const FixedPool&) = delete;
+  FixedPool& operator=(const FixedPool&) = delete;
+
+  // Returns nullptr (and bumps the overflow counter) when the pool is full.
+  template <typename... Args>
+  T* Allocate(Args&&... args) {
+    if (free_list_.empty()) {
+      overflows_++;
+      return nullptr;
+    }
+    Slot* slot = free_list_.back();
+    free_list_.pop_back();
+    live_++;
+    high_water_ = live_ > high_water_ ? live_ : high_water_;
+    return new (slot->bytes) T(std::forward<Args>(args)...);
+  }
+
+  void Free(T* object) {
+    assert(object != nullptr);
+    object->~T();
+    live_--;
+    free_list_.push_back(reinterpret_cast<Slot*>(object));
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t live() const { return live_; }
+  size_t high_water() const { return high_water_; }
+  uint64_t overflows() const { return overflows_; }
+  void ResetOverflows() { overflows_ = 0; }
+
+ private:
+  union Slot {
+    alignas(T) char bytes[sizeof(T)];
+  };
+
+  const size_t capacity_;
+  Slot* storage_;
+  std::vector<Slot*> free_list_;
+  size_t live_ = 0;
+  size_t high_water_ = 0;
+  uint64_t overflows_ = 0;
+};
+
+}  // namespace tesla
+
+#endif  // TESLA_SUPPORT_POOL_H_

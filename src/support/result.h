@@ -1,0 +1,89 @@
+// Result<T>: value-or-error return type used across TESLA's tooling layers.
+//
+// TESLA's analyser, parser and instrumenter report user-facing diagnostics
+// (bad assertion syntax, unknown function names, ...) rather than programmer
+// errors, so they return Result<T> instead of throwing.
+#ifndef TESLA_SUPPORT_RESULT_H_
+#define TESLA_SUPPORT_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tesla {
+
+// A diagnostic attached to a source location (1-based; 0 means "unknown").
+struct Error {
+  std::string message;
+  int line = 0;
+  int column = 0;
+
+  std::string ToString() const {
+    if (line == 0) {
+      return message;
+    }
+    return std::to_string(line) + ":" + std::to_string(column) + ": " + message;
+  }
+};
+
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return value;` / `return Error{...};`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : value_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), ok_(false) {}  // NOLINT
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const Error& error() const {
+    assert(!ok_);
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool ok_ = true;
+};
+
+}  // namespace tesla
+
+#endif  // TESLA_SUPPORT_RESULT_H_

@@ -1,0 +1,52 @@
+// A minimal test-and-set spinlock.
+//
+// libtesla's global-context store serialises events from all threads (paper
+// §3.2); the critical sections are a handful of loads and stores, so a
+// spinlock beats a mutex on the instrumented fast path and — matching the
+// paper's kernel deployment — never sleeps.
+#ifndef TESLA_SUPPORT_SPINLOCK_H_
+#define TESLA_SUPPORT_SPINLOCK_H_
+
+#include <atomic>
+
+namespace tesla {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() {
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) {
+        // Spin on a plain load to avoid cache-line ping-pong.
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// RAII guard, usable with either Spinlock or std::mutex-like types.
+template <typename Lock>
+class LockGuard {
+ public:
+  explicit LockGuard(Lock& lock) : lock_(lock) { lock_.lock(); }
+  ~LockGuard() { lock_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Lock& lock_;
+};
+
+}  // namespace tesla
+
+#endif  // TESLA_SUPPORT_SPINLOCK_H_

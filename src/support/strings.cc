@@ -1,0 +1,66 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace tesla {
+
+std::vector<std::string_view> SplitString(std::string_view text, char separator) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(separator, start);
+    if (end == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::string_view TrimWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    begin++;
+  }
+  size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    end--;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view separator) {
+  std::string joined;
+  for (size_t i = 0; i < parts.size(); i++) {
+    if (i > 0) {
+      joined.append(separator);
+    }
+    joined.append(parts[i]);
+  }
+  return joined;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  std::string buffer(text);
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buffer.c_str(), &end, 0);
+  if (errno != 0 || end != buffer.c_str() + buffer.size()) {
+    return false;
+  }
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+}  // namespace tesla

@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include "automata/determinize.h"
+#include "automata/dot.h"
+#include "automata/lower.h"
+#include "automata/manifest.h"
+#include "parser/parser.h"
+
+namespace tesla {
+namespace {
+
+using automata::Automaton;
+using automata::CompileAssertion;
+using automata::EventPattern;
+using automata::PatternKind;
+using automata::StateBit;
+using automata::StateSet;
+
+// Finds the symbol index of the (unique) pattern for `function` with `kind`,
+// or -1.
+int SymbolFor(const Automaton& automaton, PatternKind kind, const std::string& function) {
+  for (size_t i = 0; i < automaton.alphabet.size(); i++) {
+    const EventPattern& pattern = automaton.alphabet[i];
+    if (pattern.kind == kind && SymbolName(pattern.function) == function) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+TEST(Lower, PreviouslyShape) {
+  auto automaton = CompileAssertion("TESLA_WITHIN(f, previously(check(x) == 0))");
+  ASSERT_TRUE(automaton.ok()) << automaton.error().ToString();
+  EXPECT_TRUE(automaton->has_site);
+  // At least: 0 (pre-init), body entry, post-check, post-site, accept. The
+  // Glushkov construction may add unreachable helper states.
+  EXPECT_GE(automaton->state_count, 5u);
+  EXPECT_LE(automaton->state_count, 8u);
+  EXPECT_EQ(automaton->variables.size(), 1u);
+  EXPECT_EQ(automaton->variables[0], "x");
+
+  // From the instance-initial state, the site event must NOT be consumable
+  // (reaching the site without the check is the violation).
+  StateSet initial = automaton->InitialInstanceStates();
+  EXPECT_EQ(automaton->Step(initial, automaton->site_symbol), 0u);
+
+  // check(x)==0 then site then cleanup reaches accept.
+  int check = SymbolFor(*automaton, PatternKind::kFunctionReturn, "check");
+  ASSERT_GE(check, 0);
+  StateSet s = automaton->Step(initial, static_cast<uint16_t>(check));
+  ASSERT_NE(s, 0u);
+  s = automaton->Step(s, automaton->site_symbol);
+  ASSERT_NE(s, 0u);
+  s = automaton->Step(s, automaton->cleanup_symbol);
+  EXPECT_EQ(s, StateBit(automaton->accept_state));
+}
+
+TEST(Lower, BypassCleanupBeforeSite) {
+  // Paper §4.1: code paths that call foo but never pass through the assertion
+  // site must be allowed to close the bound.
+  auto automaton = CompileAssertion("TESLA_WITHIN(f, previously(check(x) == 0))");
+  ASSERT_TRUE(automaton.ok());
+  StateSet initial = automaton->InitialInstanceStates();
+
+  // Close immediately: fine.
+  EXPECT_NE(automaton->Step(initial, automaton->cleanup_symbol), 0u);
+
+  // check() then close without reaching the site: also fine (bypass).
+  int check = SymbolFor(*automaton, PatternKind::kFunctionReturn, "check");
+  StateSet s = automaton->Step(initial, static_cast<uint16_t>(check));
+  EXPECT_NE(automaton->Step(s, automaton->cleanup_symbol), 0u);
+}
+
+TEST(Lower, EventuallyRequiresCompletionAfterSite) {
+  auto automaton = CompileAssertion("TESLA_WITHIN(f, eventually(audit(x) == 0))");
+  ASSERT_TRUE(automaton.ok());
+  StateSet initial = automaton->InitialInstanceStates();
+
+  // Site passed but audit never happened: cleanup has no transition.
+  StateSet after_site = automaton->Step(initial, automaton->site_symbol);
+  ASSERT_NE(after_site, 0u);
+  EXPECT_EQ(automaton->Step(after_site, automaton->cleanup_symbol), 0u);
+
+  // Site then audit: cleanup accepts.
+  int audit = SymbolFor(*automaton, PatternKind::kFunctionReturn, "audit");
+  StateSet done = automaton->Step(after_site, static_cast<uint16_t>(audit));
+  ASSERT_NE(done, 0u);
+  EXPECT_NE(automaton->Step(done, automaton->cleanup_symbol), 0u);
+
+  // Never reaching the site is fine (bypass).
+  EXPECT_NE(automaton->Step(initial, automaton->cleanup_symbol), 0u);
+}
+
+TEST(Lower, RepeatedSiteVisitsAfterSatisfactionAreAllowed) {
+  auto automaton = CompileAssertion("TESLA_WITHIN(f, previously(check(x) == 0))");
+  ASSERT_TRUE(automaton.ok());
+  int check = SymbolFor(*automaton, PatternKind::kFunctionReturn, "check");
+  StateSet s = automaton->Step(automaton->InitialInstanceStates(), static_cast<uint16_t>(check));
+  s = automaton->Step(s, automaton->site_symbol);
+  ASSERT_NE(s, 0u);
+  // Second site visit within the same bound: self-loop keeps it alive.
+  StateSet again = automaton->Step(s, automaton->site_symbol);
+  EXPECT_NE(again, 0u);
+  EXPECT_NE(automaton->Step(again, automaton->cleanup_symbol), 0u);
+}
+
+TEST(Lower, OrCrossProductToleratesBothBranches) {
+  // Paper §3.4.2: "it is not an error for both checks to be performed".
+  auto automaton =
+      CompileAssertion("TESLA_WITHIN(f, previously(check_a(x) == 0 || check_b(x) == 0))");
+  ASSERT_TRUE(automaton.ok()) << automaton.error().ToString();
+  int a = SymbolFor(*automaton, PatternKind::kFunctionReturn, "check_a");
+  int b = SymbolFor(*automaton, PatternKind::kFunctionReturn, "check_b");
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+
+  // a then b then site then cleanup: both branches fired, still accepted.
+  StateSet s = automaton->InitialInstanceStates();
+  s = automaton->Step(s, static_cast<uint16_t>(a));
+  ASSERT_NE(s, 0u);
+  s = automaton->Step(s, static_cast<uint16_t>(b));
+  ASSERT_NE(s, 0u) << "cross-product must allow the second branch's event";
+  s = automaton->Step(s, automaton->site_symbol);
+  ASSERT_NE(s, 0u);
+  EXPECT_NE(automaton->Step(s, automaton->cleanup_symbol), 0u);
+
+  // Neither branch: the site must not be consumable.
+  EXPECT_EQ(automaton->Step(automaton->InitialInstanceStates(), automaton->site_symbol), 0u);
+}
+
+TEST(Lower, XorUnionKillsMixedBranches) {
+  auto automaton =
+      CompileAssertion("TESLA_WITHIN(f, previously(check_a(x) == 0 ^ check_b(x) == 0))");
+  ASSERT_TRUE(automaton.ok());
+  int a = SymbolFor(*automaton, PatternKind::kFunctionReturn, "check_a");
+  int b = SymbolFor(*automaton, PatternKind::kFunctionReturn, "check_b");
+
+  StateSet s = automaton->Step(automaton->InitialInstanceStates(), static_cast<uint16_t>(a));
+  ASSERT_NE(s, 0u);
+  // The exclusive form has no transition for the other branch.
+  EXPECT_EQ(automaton->Step(s, static_cast<uint16_t>(b)), 0u);
+  // One branch alone is accepted.
+  s = automaton->Step(s, automaton->site_symbol);
+  EXPECT_NE(automaton->Step(s, automaton->cleanup_symbol), 0u);
+}
+
+TEST(Lower, SequenceOrderEnforced) {
+  auto automaton = CompileAssertion("TESLA_WITHIN(f, TSEQUENCE(a(), b()))");
+  ASSERT_TRUE(automaton.ok());
+  int a = SymbolFor(*automaton, PatternKind::kFunctionCall, "a");
+  int b = SymbolFor(*automaton, PatternKind::kFunctionCall, "b");
+  StateSet initial = automaton->InitialInstanceStates();
+  // b before a: no transition.
+  EXPECT_EQ(automaton->Step(initial, static_cast<uint16_t>(b)), 0u);
+  StateSet s = automaton->Step(initial, static_cast<uint16_t>(a));
+  ASSERT_NE(s, 0u);
+  // a twice: no transition.
+  EXPECT_EQ(automaton->Step(s, static_cast<uint16_t>(a)), 0u);
+  s = automaton->Step(s, static_cast<uint16_t>(b));
+  ASSERT_NE(s, 0u);
+  EXPECT_NE(automaton->Step(s, automaton->cleanup_symbol), 0u);
+}
+
+TEST(Lower, SequenceWithoutSiteRequiresCompletionOnceStarted) {
+  auto automaton = CompileAssertion("TESLA_WITHIN(f, TSEQUENCE(a(), b()))");
+  ASSERT_TRUE(automaton.ok());
+  int a = SymbolFor(*automaton, PatternKind::kFunctionCall, "a");
+  StateSet initial = automaton->InitialInstanceStates();
+  // Nothing happened: bound may close.
+  EXPECT_NE(automaton->Step(initial, automaton->cleanup_symbol), 0u);
+  // a alone then close: violation (no transition).
+  StateSet s = automaton->Step(initial, static_cast<uint16_t>(a));
+  EXPECT_EQ(automaton->Step(s, automaton->cleanup_symbol), 0u);
+}
+
+TEST(Lower, OptionalIsSkippable) {
+  auto automaton = CompileAssertion("TESLA_WITHIN(f, TSEQUENCE(a(), optional(b()), c()))");
+  ASSERT_TRUE(automaton.ok());
+  int a = SymbolFor(*automaton, PatternKind::kFunctionCall, "a");
+  int b = SymbolFor(*automaton, PatternKind::kFunctionCall, "b");
+  int c = SymbolFor(*automaton, PatternKind::kFunctionCall, "c");
+
+  // a, c (skipping b) completes.
+  StateSet s = automaton->Step(automaton->InitialInstanceStates(), static_cast<uint16_t>(a));
+  StateSet skipped = automaton->Step(s, static_cast<uint16_t>(c));
+  ASSERT_NE(skipped, 0u);
+  EXPECT_NE(automaton->Step(skipped, automaton->cleanup_symbol), 0u);
+
+  // a, b, c also completes.
+  StateSet with_b = automaton->Step(s, static_cast<uint16_t>(b));
+  ASSERT_NE(with_b, 0u);
+  with_b = automaton->Step(with_b, static_cast<uint16_t>(c));
+  ASSERT_NE(with_b, 0u);
+  EXPECT_NE(automaton->Step(with_b, automaton->cleanup_symbol), 0u);
+}
+
+TEST(Lower, AtLeastZeroAllowsAnyInterleaving) {
+  auto automaton =
+      CompileAssertion("TESLA_WITHIN(f, previously(ATLEAST(0, push(ANY(ptr)), pop(ANY(ptr)))))");
+  ASSERT_TRUE(automaton.ok()) << automaton.error().ToString();
+  int push = SymbolFor(*automaton, PatternKind::kFunctionCall, "push");
+  int pop = SymbolFor(*automaton, PatternKind::kFunctionCall, "pop");
+
+  StateSet s = automaton->InitialInstanceStates();
+  // Zero events then site: fine.
+  EXPECT_NE(automaton->Step(s, automaton->site_symbol), 0u);
+  // Arbitrary interleavings stay alive.
+  for (int symbol : {push, pop, pop, push, push}) {
+    s = automaton->Step(s, static_cast<uint16_t>(symbol));
+    ASSERT_NE(s, 0u);
+  }
+  s = automaton->Step(s, automaton->site_symbol);
+  EXPECT_NE(s, 0u);
+}
+
+TEST(Lower, AtLeastNRequiresNEvents) {
+  auto automaton = CompileAssertion("TESLA_WITHIN(f, TSEQUENCE(ATLEAST(2, tick()), done()))");
+  ASSERT_TRUE(automaton.ok()) << automaton.error().ToString();
+  int tick = SymbolFor(*automaton, PatternKind::kFunctionCall, "tick");
+  int done = SymbolFor(*automaton, PatternKind::kFunctionCall, "done");
+
+  // One tick is not enough for done.
+  StateSet s = automaton->Step(automaton->InitialInstanceStates(), static_cast<uint16_t>(tick));
+  ASSERT_NE(s, 0u);
+  EXPECT_EQ(automaton->Step(s, static_cast<uint16_t>(done)), 0u);
+
+  // Two ticks suffice; three also work.
+  s = automaton->Step(s, static_cast<uint16_t>(tick));
+  ASSERT_NE(s, 0u);
+  StateSet two = automaton->Step(s, static_cast<uint16_t>(done));
+  EXPECT_NE(two, 0u);
+  StateSet three = automaton->Step(s, static_cast<uint16_t>(tick));
+  ASSERT_NE(three, 0u);
+  EXPECT_NE(automaton->Step(three, static_cast<uint16_t>(done)), 0u);
+}
+
+TEST(Lower, FlagsResolveThroughOptions) {
+  automata::LowerOptions options;
+  options.flags["IO_NOMACCHECK"] = 0x10;
+  auto automaton = CompileAssertion(
+      "TESLA_WITHIN(f, previously(called(vn_rdwr(ANY(ptr), flags(IO_NOMACCHECK)))))", options);
+  ASSERT_TRUE(automaton.ok()) << automaton.error().ToString();
+  int vn_rdwr = SymbolFor(*automaton, PatternKind::kFunctionCall, "vn_rdwr");
+  ASSERT_GE(vn_rdwr, 0);
+  EXPECT_EQ(automaton->alphabet[vn_rdwr].args[1].mask, 0x10u);
+
+  auto unknown =
+      CompileAssertion("TESLA_WITHIN(f, previously(called(vn_rdwr(flags(NO_SUCH_FLAG)))))");
+  EXPECT_FALSE(unknown.ok());
+}
+
+TEST(Lower, ConstantsResolveToLiterals) {
+  automata::LowerOptions options;
+  options.constants["NEXT_STATE"] = 7;
+  auto automaton = CompileAssertion("TESLA_WITHIN(f, s.foo = NEXT_STATE)", options);
+  ASSERT_TRUE(automaton.ok());
+  // One variable: the structure identity `s`; NEXT_STATE became a literal.
+  EXPECT_EQ(automaton->variables.size(), 1u);
+  int field = -1;
+  for (size_t i = 0; i < automaton->alphabet.size(); i++) {
+    if (automaton->alphabet[i].kind == PatternKind::kFieldAssign) {
+      field = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(field, 0);
+  EXPECT_EQ(automaton->alphabet[field].assign_value.kind, automata::ArgMatchKind::kLiteral);
+  EXPECT_EQ(automaton->alphabet[field].assign_value.literal, 7);
+}
+
+TEST(Lower, StrictModifierMarksAutomaton) {
+  auto automaton = CompileAssertion("TESLA_WITHIN(f, strict(TSEQUENCE(a(), b())))");
+  ASSERT_TRUE(automaton.ok());
+  EXPECT_TRUE(automaton->strict);
+}
+
+TEST(Lower, CallerCalleeSidesRecorded) {
+  auto automaton =
+      CompileAssertion("TESLA_WITHIN(f, TSEQUENCE(caller(call(ext)), callee(call(own))))");
+  ASSERT_TRUE(automaton.ok());
+  int ext = SymbolFor(*automaton, PatternKind::kFunctionCall, "ext");
+  int own = SymbolFor(*automaton, PatternKind::kFunctionCall, "own");
+  EXPECT_EQ(automaton->alphabet[ext].side, automata::CallSide::kCaller);
+  EXPECT_EQ(automaton->alphabet[own].side, automata::CallSide::kCallee);
+}
+
+TEST(Determinize, SubsetLabelsMatchPaperStyle) {
+  auto automaton = CompileAssertion(
+      "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_poll(ANY(ptr), so) == 0)", {}, "fig9",
+      "amd64_syscall");
+  ASSERT_TRUE(automaton.ok());
+  automata::Dfa dfa = automata::Determinize(*automaton);
+  ASSERT_GE(dfa.states.size(), 4u);
+  EXPECT_EQ(dfa.StateLabel(0), "NFA:0");
+  // Every reachable DFA state must be a nonempty NFA subset.
+  for (const auto& state : dfa.states) {
+    EXPECT_NE(state.nfa_states, 0u);
+  }
+}
+
+TEST(Determinize, DfaAndNfaAgreeOnRandomEventStrings) {
+  auto automaton = CompileAssertion(
+      "TESLA_WITHIN(f, previously(check_a(x) == 0 || TSEQUENCE(check_b(x) == 0, "
+      "check_c(x) == 0)))");
+  ASSERT_TRUE(automaton.ok()) << automaton.error().ToString();
+  automata::Dfa dfa = automata::Determinize(*automaton);
+
+  const size_t symbol_count = automaton->alphabet.size();
+  uint64_t rng = 12345;
+  auto next = [&rng, symbol_count] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint16_t>((rng >> 33) % symbol_count);
+  };
+
+  for (int trial = 0; trial < 200; trial++) {
+    StateSet nfa_state = StateBit(automaton->initial_state);
+    uint32_t dfa_state = 0;
+    bool dfa_dead = false;
+    for (int step = 0; step < 12; step++) {
+      uint16_t symbol = next();
+      StateSet nfa_next = automaton->Step(nfa_state, symbol);
+      uint32_t dfa_next = dfa_dead ? automata::Dfa::kNoTarget : dfa.Step(dfa_state, symbol);
+      EXPECT_EQ(nfa_next == 0, dfa_next == automata::Dfa::kNoTarget)
+          << "trial " << trial << " step " << step;
+      if (nfa_next == 0) {
+        break;
+      }
+      EXPECT_EQ(dfa.states[dfa_next].nfa_states, nfa_next);
+      nfa_state = nfa_next;
+      dfa_state = dfa_next;
+    }
+  }
+}
+
+TEST(Manifest, SerialiseRoundTrip) {
+  automata::LowerOptions options;
+  options.flags["IO_NOMACCHECK"] = 0x10;
+  automata::Manifest manifest;
+  const char* sources[] = {
+      "TESLA_WITHIN(f, previously(check(ANY(ptr), o, op) == 0))",
+      "TESLA_GLOBAL(call(g), returnfrom(g), eventually(audit(x) == 1))",
+      "TESLA_WITHIN(h, s.state = 3)",
+      "TESLA_WITHIN(k, previously(called(vn_rdwr(flags(IO_NOMACCHECK)))))",
+  };
+  for (const char* source : sources) {
+    auto automaton = CompileAssertion(source, options);
+    ASSERT_TRUE(automaton.ok()) << source;
+    manifest.Add(std::move(automaton.value()));
+  }
+
+  std::string text = manifest.Serialize();
+  auto parsed = automata::Manifest::Deserialize(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  ASSERT_EQ(parsed->automata.size(), manifest.automata.size());
+  for (size_t i = 0; i < manifest.automata.size(); i++) {
+    const Automaton& a = manifest.automata[i];
+    const Automaton& b = parsed->automata[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.context, b.context);
+    EXPECT_EQ(a.state_count, b.state_count);
+    EXPECT_EQ(a.accept_state, b.accept_state);
+    EXPECT_EQ(a.alphabet, b.alphabet);
+    EXPECT_EQ(a.transitions, b.transitions);
+    EXPECT_EQ(a.variables, b.variables);
+    EXPECT_EQ(a.has_site, b.has_site);
+  }
+  // Serialisation is stable.
+  EXPECT_EQ(parsed->Serialize(), text);
+}
+
+TEST(Manifest, RequirementsAggregation) {
+  automata::Manifest manifest;
+  auto first = CompileAssertion("TESLA_WITHIN(f, previously(check(x) == 0))", {}, "one");
+  auto second = CompileAssertion("TESLA_WITHIN(g, TSEQUENCE(s.state = 1, caller(call(ext))))",
+                                 {}, "two");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  manifest.Add(std::move(first.value()));
+  manifest.Add(std::move(second.value()));
+
+  auto requirements = manifest.ComputeRequirements();
+  EXPECT_TRUE(requirements.call_hooks.count(GlobalInterner().Lookup("f")) != 0);
+  EXPECT_TRUE(requirements.return_hooks.count(GlobalInterner().Lookup("check")) != 0);
+  EXPECT_TRUE(requirements.field_hooks.count(GlobalInterner().Lookup("state")) != 0);
+  EXPECT_TRUE(requirements.caller_side.count(GlobalInterner().Lookup("ext")) != 0);
+  EXPECT_TRUE(requirements.site_hooks.count("one") != 0);
+}
+
+TEST(Dot, RendersWeightedGraph) {
+  auto automaton = CompileAssertion(
+      "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_poll(ANY(ptr), so) == 0)", {}, "fig9",
+      "amd64_syscall");
+  ASSERT_TRUE(automaton.ok());
+  automata::Dfa dfa = automata::Determinize(*automaton);
+  automata::TransitionWeights weights;
+  weights[{0, automaton->init_symbol}] = 1000;
+  std::string dot = automata::ToDot(*automaton, dfa, &weights);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("(1000)"), std::string::npos);
+  EXPECT_NE(dot.find("NFA:0"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth"), std::string::npos);
+
+  std::string nfa_dot = automata::ToDotNfa(*automaton);
+  EXPECT_NE(nfa_dot.find("doublecircle"), std::string::npos);
+}
+
+TEST(Lower, StateLimitEnforced) {
+  // A deep OR of sequences explodes the product; expect a graceful error
+  // rather than an oversized automaton.
+  std::string expr = "previously(";
+  for (int i = 0; i < 7; i++) {
+    if (i > 0) expr += " || ";
+    expr += "TSEQUENCE(a" + std::to_string(i) + "(), b" + std::to_string(i) + "(), c" +
+            std::to_string(i) + "())";
+  }
+  expr += ")";
+  auto automaton = CompileAssertion("TESLA_WITHIN(f, " + expr + ")");
+  EXPECT_FALSE(automaton.ok());
+}
+
+}  // namespace
+}  // namespace tesla

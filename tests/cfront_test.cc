@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "cfront/cfront.h"
+#include "ir/interp.h"
+
+namespace tesla::cfront {
+namespace {
+
+// Compiles `source` and calls `entry`.
+int64_t RunSource(const std::string& source, const std::string& entry,
+            std::vector<int64_t> args = {}) {
+  Compiler compiler;
+  auto status = compiler.AddUnit(source, "test.c");
+  EXPECT_TRUE(status.ok()) << status.error().ToString();
+  auto verify = ir::Verify(compiler.module());
+  EXPECT_TRUE(verify.ok()) << verify.error().ToString();
+  ir::Interpreter interp(compiler.module());
+  auto result = interp.Call(entry, std::move(args));
+  EXPECT_TRUE(result.ok()) << result.error().ToString();
+  return result.ok() ? *result : INT64_MIN;
+}
+
+TEST(Cfront, ArithmeticAndLocals) {
+  EXPECT_EQ(RunSource("int f(int a, int b) { int c = a * b; return c + 2; }", "f", {5, 8}), 42);
+}
+
+TEST(Cfront, OperatorPrecedence) {
+  EXPECT_EQ(RunSource("int f() { return 2 + 3 * 4; }", "f"), 14);
+  EXPECT_EQ(RunSource("int f() { return (2 + 3) * 4; }", "f"), 20);
+  EXPECT_EQ(RunSource("int f() { return 10 - 2 - 3; }", "f"), 5);  // left associative
+  EXPECT_EQ(RunSource("int f() { return 7 % 3 + 10 / 2; }", "f"), 6);
+}
+
+TEST(Cfront, ComparisonsAndLogical) {
+  EXPECT_EQ(RunSource("int f(int a) { return a > 3 && a < 10; }", "f", {5}), 1);
+  EXPECT_EQ(RunSource("int f(int a) { return a > 3 && a < 10; }", "f", {11}), 0);
+  EXPECT_EQ(RunSource("int f(int a) { return a == 1 || a == 2; }", "f", {2}), 1);
+  EXPECT_EQ(RunSource("int f(int a) { return !a; }", "f", {0}), 1);
+  EXPECT_EQ(RunSource("int f(int a) { return -a; }", "f", {5}), -5);
+}
+
+TEST(Cfront, IfElse) {
+  const char* source = "int f(int a) { if (a > 0) { return 1; } else { return 2; } }";
+  EXPECT_EQ(RunSource(source, "f", {5}), 1);
+  EXPECT_EQ(RunSource(source, "f", {-5}), 2);
+}
+
+TEST(Cfront, IfWithoutElse) {
+  const char* source = "int f(int a) { int r = 0; if (a > 0) { r = 7; } return r; }";
+  EXPECT_EQ(RunSource(source, "f", {1}), 7);
+  EXPECT_EQ(RunSource(source, "f", {0}), 0);
+}
+
+TEST(Cfront, WhileLoop) {
+  const char* source =
+      "int f(int n) { int sum = 0; int i = 1; "
+      "while (i <= n) { sum = sum + i; i = i + 1; } return sum; }";
+  EXPECT_EQ(RunSource(source, "f", {10}), 55);
+  EXPECT_EQ(RunSource(source, "f", {0}), 0);
+}
+
+TEST(Cfront, FunctionCalls) {
+  const char* source =
+      "int square(int x) { return x * x; }\n"
+      "int f(int a) { return square(a) + square(a + 1); }";
+  EXPECT_EQ(RunSource(source, "f", {3}), 25);
+}
+
+TEST(Cfront, Recursion) {
+  const char* source = "int fib(int n) { if (n < 2) { return n; } "
+                       "return fib(n - 1) + fib(n - 2); }";
+  EXPECT_EQ(RunSource(source, "fib", {10}), 55);
+}
+
+TEST(Cfront, StructsAllocAndFields) {
+  const char* source =
+      "struct point { int x; int y; };\n"
+      "int f() { struct point *p = alloc(point); p->x = 4; p->y = 5;\n"
+      "  p->x += 2; p->y++; return p->x * 10 + p->y; }";
+  EXPECT_EQ(RunSource(source, "f"), 66);
+}
+
+TEST(Cfront, StructFieldDecrementAndCompound) {
+  const char* source =
+      "struct s { int n; };\n"
+      "int f() { struct s *p = alloc(s); p->n = 10; p->n -= 3; p->n--; return p->n; }";
+  EXPECT_EQ(RunSource(source, "f"), 6);
+}
+
+TEST(Cfront, CrossUnitCalls) {
+  Compiler compiler;
+  ASSERT_TRUE(compiler.AddUnit("int helper(int x) { return x * 2; }", "lib.c").ok());
+  ASSERT_TRUE(compiler.AddUnit("int main_fn() { return helper(21); }", "main.c").ok());
+  ir::Interpreter interp(compiler.module());
+  auto result = interp.Call("main_fn");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(Cfront, CommentsAreSkipped) {
+  EXPECT_EQ(RunSource("int f() { /* block\ncomment */ return 1; // line\n }", "f"), 1);
+}
+
+TEST(Cfront, TeslaAssertionProducesManifestAndSite) {
+  const char* source =
+      "int check(int x) { return 0; }\n"
+      "int enclosing(int o) {\n"
+      "  int r = check(o);\n"
+      "  TESLA_WITHIN(enclosing, previously(check(o) == 0));\n"
+      "  return r;\n"
+      "}";
+  Compiler compiler;
+  auto status = compiler.AddUnit(source, "unit.c");
+  ASSERT_TRUE(status.ok()) << status.error().ToString();
+  ASSERT_EQ(compiler.manifest().automata.size(), 1u);
+  EXPECT_EQ(compiler.manifest().automata[0].name, "unit.c:4");
+  ASSERT_EQ(compiler.sites().size(), 1u);
+  // The site call passes the in-scope `o` for automaton variable 0.
+  EXPECT_EQ(compiler.sites()[0].var_indices, std::vector<uint16_t>{0});
+
+  // The uninstrumented pseudo-call must not break execution: bind a no-op.
+  ir::Interpreter interp(compiler.module());
+  interp.BindHost(kInlineAssertionFn, [](std::span<const int64_t>) { return 0; });
+  auto result = interp.Call("enclosing", {7});
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(*result, 0);
+}
+
+TEST(Cfront, SyntaxErrorsCarryUnitName) {
+  Compiler compiler;
+  auto status = compiler.AddUnit("int f( {", "broken.c");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("broken.c"), std::string::npos);
+}
+
+TEST(Cfront, UnknownVariableRejected) {
+  Compiler compiler;
+  EXPECT_FALSE(compiler.AddUnit("int f() { return nope; }", "u.c").ok());
+}
+
+TEST(Cfront, UnknownStructRejected) {
+  Compiler compiler;
+  EXPECT_FALSE(compiler.AddUnit("int f() { struct nope *p = 0; return 0; }", "u.c").ok());
+}
+
+TEST(Cfront, MalformedAssertionRejected) {
+  Compiler compiler;
+  EXPECT_FALSE(
+      compiler.AddUnit("int f() { TESLA_WITHIN(f, previously(; return 0; }", "u.c").ok());
+}
+
+
+TEST(Cfront, ForLoop) {
+  const char* source =
+      "int f(int n) { int sum = 0; for (int i = 1; i <= n; i = i + 1) { sum = sum + i; } "
+      "return sum; }";
+  EXPECT_EQ(RunSource(source, "f", {10}), 55);
+  EXPECT_EQ(RunSource(source, "f", {0}), 0);
+}
+
+TEST(Cfront, ForLoopWithEmptyClauses) {
+  const char* source =
+      "int f() { int i = 0; for (;;) { i = i + 1; if (i == 7) { break; } } return i; }";
+  EXPECT_EQ(RunSource(source, "f"), 7);
+}
+
+TEST(Cfront, BreakLeavesInnermostLoop) {
+  const char* source =
+      "int f() { int total = 0;\n"
+      "  for (int i = 0; i < 3; i = i + 1) {\n"
+      "    int j = 0;\n"
+      "    while (j < 10) { j = j + 1; if (j == 2) { break; } }\n"
+      "    total = total + j;\n"
+      "  }\n"
+      "  return total; }";
+  EXPECT_EQ(RunSource(source, "f"), 6);  // inner loop always stops at j == 2
+}
+
+TEST(Cfront, ContinueSkipsToStep) {
+  const char* source =
+      "int f(int n) { int sum = 0;\n"
+      "  for (int i = 1; i <= n; i = i + 1) {\n"
+      "    if (i % 2 == 0) { continue; }\n"
+      "    sum = sum + i;\n"
+      "  }\n"
+      "  return sum; }";
+  EXPECT_EQ(RunSource(source, "f", {10}), 25);  // 1+3+5+7+9
+}
+
+TEST(Cfront, ContinueInWhileRetests) {
+  const char* source =
+      "int f() { int i = 0; int sum = 0;\n"
+      "  while (i < 6) { i = i + 1; if (i == 3) { continue; } sum = sum + i; }\n"
+      "  return sum; }";
+  EXPECT_EQ(RunSource(source, "f"), 18);  // 1+2+4+5+6
+}
+
+TEST(Cfront, BreakOutsideLoopRejected) {
+  Compiler compiler;
+  EXPECT_FALSE(compiler.AddUnit("int f() { break; return 0; }", "u.c").ok());
+  EXPECT_FALSE(compiler.AddUnit("int g() { continue; return 0; }", "u.c").ok());
+}
+
+TEST(Cfront, AssertionInsideForLoop) {
+  // One bound per call; the loop performs the check on even iterations only.
+  const char* source =
+      "int check(int x) { return 0; }\n"
+      "int f(int x) {\n"
+      "  for (int i = 0; i < 4; i = i + 1) { if (i == 2) { int r = check(x); r = r; } }\n"
+      "  TESLA_WITHIN(f, previously(check(x) == 0));\n"
+      "  return 0;\n"
+      "}";
+  Compiler compiler;
+  auto status = compiler.AddUnit(source, "loop.c");
+  ASSERT_TRUE(status.ok()) << status.error().ToString();
+  EXPECT_EQ(compiler.manifest().automata.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tesla::cfront

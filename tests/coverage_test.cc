@@ -1,0 +1,120 @@
+#include "runtime/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/lower.h"
+#include "automata/manifest.h"
+#include "runtime/runtime.h"
+
+namespace tesla {
+namespace {
+
+using runtime::Binding;
+using runtime::CountingHandler;
+using runtime::Runtime;
+using runtime::RuntimeOptions;
+using runtime::ThreadContext;
+
+RuntimeOptions TestOptions() {
+  RuntimeOptions options;
+  options.fail_stop = false;
+  return options;
+}
+
+Symbol S(const char* name) { return InternString(name); }
+
+struct Fixture {
+  Fixture() : rt(TestOptions()) {
+    auto automaton = automata::CompileAssertion(
+        "TESLA_WITHIN(syscall, previously(check(x) == 0))", {}, "cov");
+    EXPECT_TRUE(automaton.ok());
+    automata::Manifest manifest;
+    manifest.Add(std::move(automaton.value()));
+    EXPECT_TRUE(rt.Register(manifest).ok());
+    rt.AddHandler(&counter);
+    id = static_cast<uint32_t>(rt.FindAutomaton("cov"));
+  }
+  Runtime rt;
+  CountingHandler counter;
+  uint32_t id = 0;
+};
+
+TEST(Coverage, UnexercisedAutomatonHasZeroCoverage) {
+  Fixture f;
+  auto report =
+      runtime::ComputeCoverage(f.rt.automaton(f.id), f.rt.dfa(f.id), f.counter, f.id);
+  EXPECT_GT(report.total_transitions, 0u);
+  EXPECT_EQ(report.covered_transitions, 0u);
+  EXPECT_EQ(report.Ratio(), 0.0);
+}
+
+TEST(Coverage, PartialExecutionShowsPartialCoverage) {
+  Fixture f;
+  ThreadContext ctx(f.rt);
+  // A bound with a check but no site visit: the init/check/bypass-cleanup
+  // path is covered, the site path is not. (Note that under lazy init a
+  // bound with no events at all would leave the automaton untouched and the
+  // coverage at zero.)
+  f.rt.OnFunctionCall(ctx, S("syscall"), {});
+  int64_t args[] = {1};
+  f.rt.OnFunctionReturn(ctx, S("check"), args, 0);
+  f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);
+
+  auto report =
+      runtime::ComputeCoverage(f.rt.automaton(f.id), f.rt.dfa(f.id), f.counter, f.id);
+  EXPECT_GT(report.covered_transitions, 0u);
+  EXPECT_LT(report.covered_transitions, report.total_transitions);
+
+  // Covered transitions sort first and carry counts.
+  ASSERT_FALSE(report.transitions.empty());
+  EXPECT_GT(report.transitions.front().count, 0u);
+  EXPECT_EQ(report.transitions.back().count, 0u);
+}
+
+TEST(Coverage, FullPathRaisesCoverage) {
+  Fixture f;
+  ThreadContext ctx(f.rt);
+  f.rt.OnFunctionCall(ctx, S("syscall"), {});
+  f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);  // bypass path
+
+  auto bypass_only =
+      runtime::ComputeCoverage(f.rt.automaton(f.id), f.rt.dfa(f.id), f.counter, f.id);
+
+  f.rt.OnFunctionCall(ctx, S("syscall"), {});
+  int64_t args[] = {3};
+  f.rt.OnFunctionReturn(ctx, S("check"), args, 0);
+  Binding site[] = {{0, 3}};
+  f.rt.OnAssertionSite(ctx, f.id, site);
+  f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);  // full path
+
+  auto full = runtime::ComputeCoverage(f.rt.automaton(f.id), f.rt.dfa(f.id), f.counter, f.id);
+  EXPECT_GT(full.covered_transitions, bypass_only.covered_transitions);
+  EXPECT_GT(full.Ratio(), 0.5);
+
+  std::string text = full.ToString();
+  EXPECT_NE(text.find("coverage for 'cov'"), std::string::npos);
+  EXPECT_NE(text.find("NFA:"), std::string::npos);
+}
+
+TEST(Coverage, WeightsFeedDotRendering) {
+  Fixture f;
+  ThreadContext ctx(f.rt);
+  for (int i = 0; i < 42; i++) {
+    f.rt.OnFunctionCall(ctx, S("syscall"), {});
+    int64_t args[] = {i};
+    f.rt.OnFunctionReturn(ctx, S("check"), args, 0);
+    f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);
+  }
+  auto weights = runtime::CoverageWeights(f.rt.dfa(f.id), f.counter, f.id);
+  uint64_t total = 0;
+  for (const auto& [key, count] : weights) {
+    total += count;
+  }
+  EXPECT_EQ(total, f.rt.stats().transitions);
+
+  std::string dot = automata::ToDot(f.rt.automaton(f.id), f.rt.dfa(f.id), &weights);
+  EXPECT_NE(dot.find("(42)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tesla

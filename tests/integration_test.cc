@@ -1,0 +1,277 @@
+// Integration tests: multi-unit programs through the full pipeline, manifest
+// interchange through the filesystem, and cross-simulator scenarios.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "automata/manifest.h"
+#include "cfront/cfront.h"
+#include "instr/bridge.h"
+#include "instr/instrument.h"
+#include "ir/interp.h"
+#include "kernelsim/assertions.h"
+#include "kernelsim/kernel.h"
+#include "kernelsim/workloads.h"
+#include "objsim/appkit.h"
+#include "objsim/trace.h"
+#include "runtime/runtime.h"
+#include "sslsim/fetch.h"
+
+namespace tesla {
+namespace {
+
+runtime::RuntimeOptions TestOptions() {
+  runtime::RuntimeOptions options;
+  options.fail_stop = false;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Full pipeline over a 3-unit program with loops and struct state.
+// ---------------------------------------------------------------------------
+
+struct Program {
+  explicit Program(std::vector<std::pair<const char*, const char*>> units) {
+    cfront::Compiler compiler;
+    for (const auto& [name, source] : units) {
+      auto status = compiler.AddUnit(source, name);
+      EXPECT_TRUE(status.ok()) << name << ": " << status.error().ToString();
+    }
+    manifest = compiler.manifest();
+    auto result = instr::Instrument(std::move(compiler.module()), manifest,
+                                    std::vector<cfront::SiteInfo>(compiler.sites()));
+    EXPECT_TRUE(result.ok()) << result.error().ToString();
+    program = std::move(result.value());
+  }
+
+  runtime::RuntimeStats Run(const std::string& entry, std::vector<int64_t> args,
+                            int64_t expected) {
+    runtime::Runtime rt(TestOptions());
+    EXPECT_TRUE(rt.Register(manifest).ok());
+    runtime::ThreadContext ctx(rt);
+    ir::Interpreter interp(program.module);
+    instr::RuntimeBridge bridge(program, rt, ctx);
+    interp.SetDispatcher(&bridge);
+    auto result = interp.Call(entry, std::move(args));
+    EXPECT_TRUE(result.ok()) << result.error().ToString();
+    if (result.ok()) {
+      EXPECT_EQ(*result, expected);
+    }
+    return rt.stats();
+  }
+
+  automata::Manifest manifest;
+  instr::InstrumentedProgram program;
+};
+
+TEST(Integration, LoopedRequestsCloneAndCheckPerIteration) {
+  // Every loop iteration opens its own bound; TESLA must track each one
+  // independently (instances are expunged at every bound exit).
+  const char* service =
+      "int acl_check(int object) { if (object % 3 == 0) { return 1; } return 0; }\n"
+      "int serve(int object, int skip) {\n"
+      "  int granted = 0;\n"
+      "  if (!skip) { granted = acl_check(object); }\n"
+      "  if (granted != 0) { return -1; }\n"
+      "  TESLA_WITHIN(serve, previously(acl_check(object) == 0));\n"
+      "  return object;\n"
+      "}";
+  const char* driver =
+      "int drive(int n, int skip) {\n"
+      "  int i = 1;\n"
+      "  int total = 0;\n"
+      "  while (i <= n) {\n"
+      "    if (i % 3 != 0) { total = total + serve(i, skip); }\n"
+      "    i = i + 1;\n"
+      "  }\n"
+      "  return total;\n"
+      "}";
+  Program program({{"service.c", service}, {"driver.c", driver}});
+
+  // 1..10 excluding multiples of 3: 1+2+4+5+7+8+10 = 37.
+  auto clean = program.Run("drive", {10, 0}, 37);
+  EXPECT_EQ(clean.violations, 0u);
+  EXPECT_GE(clean.bound_entries, 7u);
+
+  auto buggy = program.Run("drive", {10, 1}, 37);
+  EXPECT_EQ(buggy.violations, 7u) << "every unguarded request must be caught";
+}
+
+TEST(Integration, StateMachineFieldAssertion) {
+  // A connection object must go CONNECTING(1) before ESTABLISHED(2).
+  const char* source =
+      "struct conn { int state; };\n"
+      "int establish(int skip_connecting) {\n"
+      "  struct conn *c = alloc(conn);\n"
+      "  if (!skip_connecting) { c->state = 1; }\n"
+      "  c->state = 2;\n"
+      "  TESLA_WITHIN(establish, previously(c.state = 1));\n"
+      "  return c->state;\n"
+      "}";
+  Program program(std::vector<std::pair<const char*, const char*>>{{"conn.c", source}});
+  EXPECT_EQ(program.Run("establish", {0}, 2).violations, 0u);
+  EXPECT_EQ(program.Run("establish", {1}, 2).violations, 1u);
+}
+
+TEST(Integration, ManifestRoundTripsThroughDisk) {
+  // Unit A's analyser output written to a .tesla file, re-read and used to
+  // instrument unit B's module — the cross-TU workflow of §4.1.
+  cfront::Compiler producer;
+  ASSERT_TRUE(producer
+                  .AddUnit("int client(int sig) {\n"
+                           "  int v = verify(sig); v = v;\n"
+                           "  TESLA_WITHIN(client, previously(verify(ANY(int)) == 1));\n"
+                           "  return 0;\n"
+                           "}",
+                           "client.c")
+                  .ok());
+
+  const std::string path = ::testing::TempDir() + "/integration.tesla";
+  {
+    std::ofstream out(path);
+    out << producer.manifest().Serialize();
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto reloaded = automata::Manifest::Deserialize(buffer.str());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().ToString();
+
+  auto instrumented = instr::Instrument(std::move(producer.module()), *reloaded,
+                                        std::vector<cfront::SiteInfo>(producer.sites()));
+  ASSERT_TRUE(instrumented.ok());
+
+  runtime::Runtime rt(TestOptions());
+  ASSERT_TRUE(rt.Register(*reloaded).ok());
+  runtime::ThreadContext ctx(rt);
+  ir::Interpreter interp(instrumented->module);
+  instr::RuntimeBridge bridge(*instrumented, rt, ctx);
+  interp.SetDispatcher(&bridge);
+  interp.BindHost("verify", [](std::span<const int64_t> args) {
+    return args.empty() || args[0] != 13 ? 1 : -1;
+  });
+  ASSERT_TRUE(interp.Call("client", {7}).ok());
+  EXPECT_EQ(rt.stats().violations, 0u);
+  ASSERT_TRUE(interp.Call("client", {13}).ok());
+  EXPECT_EQ(rt.stats().violations, 1u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// One runtime supervising several simulators at once (assertions can span
+// libraries — §3.5.1's core claim).
+// ---------------------------------------------------------------------------
+
+TEST(Integration, SingleRuntimeSupervisesKernelAndSsl) {
+  runtime::Runtime rt(TestOptions());
+  automata::Manifest combined;
+  auto kernel_manifest = kernelsim::KernelAssertions(kernelsim::kSetMacSocket);
+  ASSERT_TRUE(kernel_manifest.ok());
+  combined.Merge(std::move(kernel_manifest.value()));
+  auto ssl_manifest = sslsim::FetchAssertions();
+  ASSERT_TRUE(ssl_manifest.ok());
+  combined.Merge(std::move(ssl_manifest.value()));
+  ASSERT_TRUE(rt.Register(combined).ok());
+
+  // Kernel side: clean socket traffic.
+  kernelsim::KernelConfig config;
+  config.tesla = &rt;
+  kernelsim::Kernel kernel(config);
+  kernelsim::Proc* proc = kernel.NewProcess(0);
+  kernelsim::KThread td = kernel.NewThread(proc);
+  kernelsim::OltpTransactions(kernel, td, 25);
+  EXPECT_EQ(rt.stats().violations, 0u);
+
+  // SSL side, same runtime: the malicious server trips fig. 6.
+  runtime::ThreadContext ssl_ctx(rt);
+  sslsim::SslInstrumentation instr{&rt, &ssl_ctx};
+  sslsim::FetchClient client(instr, sslsim::SslConfig{});
+  sslsim::Server malicious = sslsim::Server::Malicious(5, "evil");
+  client.FetchDocument(malicious);
+  EXPECT_EQ(rt.stats().violations, 1u);
+}
+
+TEST(Integration, GuiSessionEndToEndWithBugToggled) {
+  for (bool bug : {false, true}) {
+    runtime::Runtime rt(TestOptions());
+    runtime::ThreadContext ctx(rt);
+    objsim::ObjcRuntime objc(objsim::TraceMode::kTesla);
+    objsim::AppKitConfig config;
+    config.cursor_unbalanced_bug = bug;
+    objsim::AppKit app(objc, config);
+    auto tesla = objsim::GuiTesla::Install(rt, ctx, app);
+    ASSERT_TRUE(tesla.ok());
+    (*tesla)->EnableTraceRecording(true);
+
+    std::vector<objsim::UiEvent> sweep;
+    for (int i = 0; i < 24; i++) {
+      sweep.push_back({objsim::UiEvent::Kind::kMouseMove, (i % 5) * 100 + 50, 50});
+    }
+    for (int frame = 0; frame < 4; frame++) {
+      app.RunLoopIteration(std::span<const objsim::UiEvent>(sweep.data(), sweep.size()));
+    }
+    // The tracing automaton never fires violations either way...
+    EXPECT_EQ(rt.stats().violations, 0u) << "bug=" << bug;
+    // ...but the trace separates the healthy and buggy builds.
+    int64_t imbalance = 0;
+    for (const auto& [iteration, delta] : (*tesla)->CursorImbalanceByIteration()) {
+      imbalance += delta;
+    }
+    if (bug) {
+      EXPECT_GT(imbalance, 1) << "bug=" << bug;
+    } else {
+      EXPECT_LE(imbalance, 1) << "bug=" << bug;
+    }
+  }
+}
+
+TEST(Integration, KernelWorkloadSweepAcrossAssertionSets) {
+  // Every assertion-set combination stays violation-free on the clean kernel.
+  const uint32_t sets[] = {
+      kernelsim::kSetMacFs,
+      kernelsim::kSetMacSocket,
+      kernelsim::kSetMacProc,
+      kernelsim::kSetMacFs | kernelsim::kSetMacSocket,
+      kernelsim::kSetMac,
+      kernelsim::kSetProc,
+      kernelsim::kSetAll,
+  };
+  for (uint32_t set : sets) {
+    runtime::Runtime rt(TestOptions());
+    auto manifest = kernelsim::KernelAssertions(set);
+    ASSERT_TRUE(manifest.ok());
+    ASSERT_TRUE(rt.Register(manifest.value()).ok());
+    kernelsim::KernelConfig config;
+    config.tesla = &rt;
+    kernelsim::Kernel kernel(config);
+    kernelsim::Proc* proc = kernel.NewProcess(0);
+    kernelsim::KThread td = kernel.NewThread(proc);
+
+    kernelsim::OpenCloseLoop(kernel, td, 25);
+    kernelsim::OltpTransactions(kernel, td, 25);
+    kernelsim::BuildCompile(kernel, td, 5, 1);
+    kernel.SysSetuid(td, 2);
+    kernel.SysExecve(td, "/bin/sh");
+    EXPECT_EQ(rt.stats().violations, 0u) << "set mask " << set;
+  }
+}
+
+TEST(Integration, InstrumentedProgramStillComputesCorrectly) {
+  // Instrumentation must be semantically transparent: fibonacci through an
+  // instrumented module returns the same values as uninstrumented.
+  const char* source =
+      "int fib(int n) {\n"
+      "  TESLA_WITHIN(fib, optional(called(fib)));\n"
+      "  if (n < 2) { return n; }\n"
+      "  return fib(n - 1) + fib(n - 2);\n"
+      "}";
+  Program program(std::vector<std::pair<const char*, const char*>>{{"fib.c", source}});
+  auto stats = program.Run("fib", {12}, 144);
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_GT(stats.events, 100u) << "recursion must generate plenty of events";
+}
+
+}  // namespace
+}  // namespace tesla

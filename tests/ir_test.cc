@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "ir/interp.h"
+#include "ir/ir.h"
+
+namespace tesla::ir {
+namespace {
+
+// Builds: fn add(a, b) { return a + b; }
+Module AddModule() {
+  Module module;
+  Function add;
+  add.name = InternString("add");
+  add.param_count = 2;
+  add.reg_count = 3;
+  Block block;
+  block.instrs.push_back(Instr{.op = Opcode::kBin, .bin = BinOp::kAdd, .dst = 2, .a = 0, .b = 1});
+  Instr ret;
+  ret.op = Opcode::kRet;
+  ret.a = 2;
+  block.instrs.push_back(ret);
+  add.blocks.push_back(std::move(block));
+  module.AddFunction(std::move(add));
+  return module;
+}
+
+TEST(Interp, Arithmetic) {
+  Module module = AddModule();
+  ASSERT_TRUE(Verify(module).ok());
+  Interpreter interp(module);
+  auto result = interp.Call("add", {20, 22});
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(Interp, AllBinaryOperators) {
+  struct Case {
+    BinOp op;
+    int64_t a, b, expected;
+  };
+  const Case cases[] = {
+      {BinOp::kAdd, 7, 5, 12},  {BinOp::kSub, 7, 5, 2},   {BinOp::kMul, 7, 5, 35},
+      {BinOp::kDiv, 7, 5, 1},   {BinOp::kMod, 7, 5, 2},   {BinOp::kAnd, 6, 3, 2},
+      {BinOp::kOr, 6, 3, 7},    {BinOp::kXor, 6, 3, 5},   {BinOp::kShl, 1, 4, 16},
+      {BinOp::kShr, 16, 4, 1},  {BinOp::kEq, 4, 4, 1},    {BinOp::kNe, 4, 4, 0},
+      {BinOp::kLt, 3, 4, 1},    {BinOp::kLe, 4, 4, 1},    {BinOp::kGt, 3, 4, 0},
+      {BinOp::kGe, 4, 4, 1},
+  };
+  for (const Case& c : cases) {
+    Module module;
+    Function fn;
+    fn.name = InternString("f");
+    fn.param_count = 2;
+    fn.reg_count = 3;
+    Block block;
+    block.instrs.push_back(Instr{.op = Opcode::kBin, .bin = c.op, .dst = 2, .a = 0, .b = 1});
+    Instr ret;
+    ret.op = Opcode::kRet;
+    ret.a = 2;
+    block.instrs.push_back(ret);
+    fn.blocks.push_back(std::move(block));
+    module.AddFunction(std::move(fn));
+    Interpreter interp(module);
+    auto result = interp.Call("f", {c.a, c.b});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, c.expected) << "op " << static_cast<int>(c.op);
+  }
+}
+
+TEST(Interp, DivisionByZeroTraps) {
+  Module module;
+  Function fn;
+  fn.name = InternString("f");
+  fn.param_count = 2;
+  fn.reg_count = 3;
+  Block block;
+  block.instrs.push_back(Instr{.op = Opcode::kBin, .bin = BinOp::kDiv, .dst = 2, .a = 0, .b = 1});
+  Instr ret;
+  ret.op = Opcode::kRet;
+  ret.a = 2;
+  block.instrs.push_back(ret);
+  fn.blocks.push_back(std::move(block));
+  module.AddFunction(std::move(fn));
+  Interpreter interp(module);
+  EXPECT_FALSE(interp.Call("f", {1, 0}).ok());
+}
+
+TEST(Interp, HostFunctionBinding) {
+  Module module;
+  Function fn;
+  fn.name = InternString("caller");
+  fn.param_count = 1;
+  fn.reg_count = 2;
+  Block block;
+  Instr call;
+  call.op = Opcode::kCall;
+  call.fn = InternString("host_double");
+  call.dst = 1;
+  call.args = {0};
+  block.instrs.push_back(std::move(call));
+  Instr ret;
+  ret.op = Opcode::kRet;
+  ret.a = 1;
+  block.instrs.push_back(ret);
+  fn.blocks.push_back(std::move(block));
+  module.AddFunction(std::move(fn));
+
+  Interpreter interp(module);
+  interp.BindHost("host_double",
+                  [](std::span<const int64_t> args) { return args.empty() ? 0 : args[0] * 2; });
+  auto result = interp.Call("caller", {21});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(Interp, UndefinedFunctionErrors) {
+  Module module = AddModule();
+  Interpreter interp(module);
+  EXPECT_FALSE(interp.Call("missing", {}).ok());
+}
+
+TEST(Interp, StepLimitStopsRunaways) {
+  // fn spin() { loop forever }
+  Module module;
+  Function fn;
+  fn.name = InternString("spin");
+  fn.reg_count = 1;
+  Block block;
+  block.instrs.push_back(Instr{.op = Opcode::kBr, .then_block = 0});
+  fn.blocks.push_back(std::move(block));
+  module.AddFunction(std::move(fn));
+  Interpreter interp(module);
+  interp.SetStepLimit(1000);
+  EXPECT_FALSE(interp.Call("spin", {}).ok());
+}
+
+TEST(Interp, StructAllocLoadStore) {
+  Module module;
+  StructType point;
+  point.name = "point";
+  point.fields = {{"x", InternString("x")}, {"y", InternString("y")}};
+  uint32_t type_id = module.AddStruct(std::move(point));
+
+  // fn f() { p = alloc point; p.y = 9; return p.y; }
+  Function fn;
+  fn.name = InternString("f");
+  fn.reg_count = 3;
+  Block block;
+  block.instrs.push_back(Instr{.op = Opcode::kAlloc, .dst = 0, .type_id = type_id});
+  block.instrs.push_back(Instr{.op = Opcode::kConst, .dst = 1, .imm = 9});
+  block.instrs.push_back(
+      Instr{.op = Opcode::kStoreField, .a = 0, .b = 1, .type_id = type_id, .field_index = 1});
+  block.instrs.push_back(
+      Instr{.op = Opcode::kLoadField, .dst = 2, .a = 0, .type_id = type_id, .field_index = 1});
+  Instr ret;
+  ret.op = Opcode::kRet;
+  ret.a = 2;
+  block.instrs.push_back(ret);
+  fn.blocks.push_back(std::move(block));
+  module.AddFunction(std::move(fn));
+
+  ASSERT_TRUE(Verify(module).ok());
+  Interpreter interp(module);
+  auto result = interp.Call("f", {});
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(*result, 9);
+}
+
+TEST(Interp, IndirectCallThroughFnAddr) {
+  Module module = AddModule();
+  Function fn;
+  fn.name = InternString("dispatch");
+  fn.param_count = 2;
+  fn.reg_count = 4;
+  Block block;
+  block.instrs.push_back(Instr{.op = Opcode::kFnAddr, .dst = 2, .fn = InternString("add")});
+  Instr call;
+  call.op = Opcode::kCallIndirect;
+  call.dst = 3;
+  call.a = 2;
+  call.args = {0, 1};
+  block.instrs.push_back(std::move(call));
+  Instr ret;
+  ret.op = Opcode::kRet;
+  ret.a = 3;
+  block.instrs.push_back(ret);
+  fn.blocks.push_back(std::move(block));
+  module.AddFunction(std::move(fn));
+
+  Interpreter interp(module);
+  auto result = interp.Call("dispatch", {40, 2});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(Interp, HookDispatch) {
+  struct Recorder : HookDispatcher {
+    std::vector<std::pair<uint32_t, std::vector<int64_t>>> hooks;
+    void OnHook(uint32_t hook_id, std::span<const int64_t> values) override {
+      hooks.emplace_back(hook_id, std::vector<int64_t>(values.begin(), values.end()));
+    }
+  };
+
+  Module module;
+  Function fn;
+  fn.name = InternString("f");
+  fn.param_count = 1;
+  fn.reg_count = 2;
+  Block block;
+  Instr hook;
+  hook.op = Opcode::kHook;
+  hook.hook_id = 7;
+  hook.args = {0};
+  block.instrs.push_back(std::move(hook));
+  block.instrs.push_back(Instr{.op = Opcode::kConst, .dst = 1, .imm = 0});
+  Instr ret;
+  ret.op = Opcode::kRet;
+  ret.a = 1;
+  block.instrs.push_back(ret);
+  fn.blocks.push_back(std::move(block));
+  module.AddFunction(std::move(fn));
+
+  Recorder recorder;
+  Interpreter interp(module);
+  interp.SetDispatcher(&recorder);
+  ASSERT_TRUE(interp.Call("f", {99}).ok());
+  ASSERT_EQ(recorder.hooks.size(), 1u);
+  EXPECT_EQ(recorder.hooks[0].first, 7u);
+  EXPECT_EQ(recorder.hooks[0].second, std::vector<int64_t>{99});
+}
+
+TEST(Verifier, CatchesMalformedFunctions) {
+  // Unterminated block.
+  {
+    Module module;
+    Function fn;
+    fn.name = InternString("f");
+    fn.reg_count = 1;
+    Block block;
+    block.instrs.push_back(Instr{.op = Opcode::kConst, .dst = 0, .imm = 0});
+    fn.blocks.push_back(std::move(block));
+    module.AddFunction(std::move(fn));
+    EXPECT_FALSE(Verify(module).ok());
+  }
+  // Register out of range.
+  {
+    Module module;
+    Function fn;
+    fn.name = InternString("f");
+    fn.reg_count = 1;
+    Block block;
+    block.instrs.push_back(Instr{.op = Opcode::kConst, .dst = 5, .imm = 0});
+    Instr ret;
+    ret.op = Opcode::kRet;
+    block.instrs.push_back(ret);
+    fn.blocks.push_back(std::move(block));
+    module.AddFunction(std::move(fn));
+    EXPECT_FALSE(Verify(module).ok());
+  }
+  // Branch target out of range.
+  {
+    Module module;
+    Function fn;
+    fn.name = InternString("f");
+    fn.reg_count = 1;
+    Block block;
+    block.instrs.push_back(Instr{.op = Opcode::kBr, .then_block = 9});
+    fn.blocks.push_back(std::move(block));
+    module.AddFunction(std::move(fn));
+    EXPECT_FALSE(Verify(module).ok());
+  }
+}
+
+}  // namespace
+}  // namespace tesla::ir

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "kernelsim/assertions.h"
+#include "kernelsim/kernel.h"
+#include "kernelsim/workloads.h"
+#include "runtime/runtime.h"
+
+namespace tesla::kernelsim {
+namespace {
+
+runtime::RuntimeOptions TestRuntimeOptions() {
+  runtime::RuntimeOptions options;
+  options.fail_stop = false;
+  return options;
+}
+
+struct InstrumentedKernel {
+  explicit InstrumentedKernel(uint32_t sets, BugConfig bugs = {},
+                              runtime::RuntimeOptions options = TestRuntimeOptions())
+      : rt(options) {
+    auto manifest = KernelAssertions(sets);
+    EXPECT_TRUE(manifest.ok()) << manifest.error().ToString();
+    EXPECT_TRUE(rt.Register(manifest.value()).ok());
+    KernelConfig config;
+    config.tesla = &rt;
+    config.bugs = bugs;
+    kernel = std::make_unique<Kernel>(config);
+  }
+
+  runtime::Runtime rt;
+  std::unique_ptr<Kernel> kernel;
+};
+
+TEST(Assertions, TableOneCounts) {
+  EXPECT_EQ(KernelAssertionSources(kSetMacFs).size(), 25u);
+  EXPECT_EQ(KernelAssertionSources(kSetMacSocket).size(), 11u);
+  EXPECT_EQ(KernelAssertionSources(kSetMacProc).size(), 10u);
+  EXPECT_EQ(KernelAssertionSources(kSetMac).size(), 48u);
+  EXPECT_EQ(KernelAssertionSources(kSetProc).size(), 37u);
+  EXPECT_EQ(KernelAssertionSources(kSetAll).size(), 96u);
+}
+
+TEST(Assertions, AllCompileAndRegister) {
+  auto manifest = KernelAssertions(kSetAll);
+  ASSERT_TRUE(manifest.ok()) << manifest.error().ToString();
+  EXPECT_EQ(manifest->automata.size(), 96u);
+  runtime::Runtime rt(TestRuntimeOptions());
+  EXPECT_TRUE(rt.Register(manifest.value()).ok());
+  EXPECT_EQ(rt.class_count(), 96u);
+}
+
+TEST(KernelBasics, OpenReadCloseWithoutInstrumentation) {
+  Kernel kernel(KernelConfig{});
+  Proc* proc = kernel.NewProcess(0);
+  KThread td = kernel.NewThread(proc);
+
+  int64_t fd = kernel.SysOpen(td, "/etc/passwd", kFRead);
+  ASSERT_GE(fd, 0);
+  EXPECT_GT(kernel.SysRead(td, fd, 100), 0);
+  EXPECT_EQ(kernel.SysClose(td, fd), kOk);
+  EXPECT_EQ(kernel.SysClose(td, fd), -kEbadf);
+  EXPECT_EQ(kernel.SysOpen(td, "/missing", kFRead), -kEnoent);
+}
+
+TEST(KernelBasics, MacPolicyDeniesUpwardAccess) {
+  Kernel kernel(KernelConfig{});
+  Proc* root_proc = kernel.NewProcess(0);
+  Proc* user = kernel.NewProcess(5);
+  KThread root_td = kernel.NewThread(root_proc);
+  KThread user_td = kernel.NewThread(user);
+
+  // Raise the label on a file; the user (label 5) may not read label-9 data.
+  Vnode* secret = kernel.Lookup("/data/file1");
+  ASSERT_NE(secret, nullptr);
+  secret->label = 9;
+  EXPECT_EQ(kernel.SysOpen(user_td, "/data/file1", kFRead), -kEperm);
+  EXPECT_GE(kernel.SysOpen(root_td, "/data/file1", kFRead), 0);
+}
+
+TEST(KernelBasics, SocketSendRecvPoll) {
+  Kernel kernel(KernelConfig{});
+  Proc* proc = kernel.NewProcess(0);
+  KThread td = kernel.NewThread(proc);
+
+  int64_t sock = kernel.SysSocket(td);
+  ASSERT_GE(sock, 0);
+  EXPECT_EQ(kernel.SysConnect(td, sock), kOk);
+  EXPECT_EQ(kernel.SysSend(td, sock, 64), 64);
+  EXPECT_EQ(kernel.SysPoll(td, sock, 1), 1);  // data buffered → readable
+  EXPECT_EQ(kernel.SysRecv(td, sock, 64), 64);
+  EXPECT_EQ(kernel.SysPoll(td, sock, 1), 0);  // drained
+}
+
+TEST(MacAssertions, CleanKernelHasNoViolations) {
+  InstrumentedKernel ik(kSetAll);
+  Proc* proc = ik.kernel->NewProcess(0);
+  KThread td = ik.kernel->NewThread(proc);
+
+  OpenCloseLoop(*ik.kernel, td, 50);
+  OltpTransactions(*ik.kernel, td, 50);
+  BuildCompile(*ik.kernel, td, 10, 1);
+  int64_t fd = ik.kernel->SysOpen(td, "/", kFRead);
+  ASSERT_GE(fd, 0);
+  EXPECT_GT(ik.kernel->SysReaddir(td, fd), 0);
+  ik.kernel->SysClose(td, fd);
+  EXPECT_EQ(ik.kernel->SysExecve(td, "/bin/sh"), kOk);
+  EXPECT_EQ(ik.kernel->SysKldload(td, "/lib/mod.ko"), kOk);
+  EXPECT_EQ(ik.kernel->SysKevent(td, 0, 1), -kEbadf);
+  EXPECT_EQ(ik.kernel->SysSetuid(td, 3), kOk);
+
+  EXPECT_EQ(ik.rt.stats().violations, 0u)
+      << "clean kernel must satisfy the full assertion suite";
+  EXPECT_GT(ik.rt.stats().accepts, 0u);
+}
+
+TEST(MacAssertions, KqueueMissingCheckDetected) {
+  // §3.5.2: "mac_socket_check_poll was being invoked for the select and poll
+  // system calls, but not kqueue."
+  BugConfig bugs;
+  bugs.kqueue_missing_mac_check = true;
+  InstrumentedKernel ik(kSetMacSocket, bugs);
+  Proc* proc = ik.kernel->NewProcess(0);
+  KThread td = ik.kernel->NewThread(proc);
+
+  int64_t sock = ik.kernel->SysSocket(td);
+  ASSERT_GE(sock, 0);
+
+  // poll and select still perform the check: no violation.
+  ik.kernel->SysPoll(td, sock, 1);
+  ik.kernel->SysSelect(td, sock, 1);
+  EXPECT_EQ(ik.rt.stats().violations, 0u);
+
+  // kqueue reaches sopoll_generic without the check: TESLA fires.
+  ik.kernel->SysKevent(td, sock, 1);
+  EXPECT_EQ(ik.rt.stats().violations, 1u);
+}
+
+TEST(MacAssertions, WrongCredentialDetected) {
+  // §3.5.2: "an error in one dynamic call graph caused the cached file_cred
+  // to be passed down instead of active_cred."
+  BugConfig bugs;
+  bugs.poll_uses_file_credential = true;
+  InstrumentedKernel ik(kSetMacSocket, bugs);
+  Proc* proc = ik.kernel->NewProcess(0);
+  KThread td = ik.kernel->NewThread(proc);
+
+  int64_t sock = ik.kernel->SysSocket(td);
+  ASSERT_GE(sock, 0);
+  // The socket was created under the original credential; change creds so
+  // the cached f_cred and the active credential diverge.
+  ASSERT_EQ(ik.kernel->SysSetuid(td, 0), kOk);
+
+  ik.kernel->SysPoll(td, sock, 1);
+  EXPECT_EQ(ik.rt.stats().violations, 1u)
+      << "poll authorised with the file credential must trip the assertion";
+}
+
+TEST(MacAssertions, WrongCredentialInvisibleWithoutCredChange) {
+  // With identical creator and active credentials the bug is latent — which
+  // is exactly why it survived until TESLA-style checking.
+  BugConfig bugs;
+  bugs.poll_uses_file_credential = true;
+  InstrumentedKernel ik(kSetMacSocket, bugs);
+  Proc* proc = ik.kernel->NewProcess(0);
+  KThread td = ik.kernel->NewThread(proc);
+
+  int64_t sock = ik.kernel->SysSocket(td);
+  ik.kernel->SysPoll(td, sock, 1);
+  EXPECT_EQ(ik.rt.stats().violations, 0u);
+}
+
+TEST(ProcAssertions, MissingSugidFlagDetected) {
+  // §3.5.2's `eventually` example: credential modification must set P_SUGID
+  // before the system call returns.
+  BugConfig bugs;
+  bugs.setuid_skips_sugid_flag = true;
+  InstrumentedKernel ik(kSetProc, bugs);
+  Proc* proc = ik.kernel->NewProcess(0);
+  KThread td = ik.kernel->NewThread(proc);
+
+  EXPECT_EQ(ik.kernel->SysSetuid(td, 7), kOk);
+  EXPECT_EQ(ik.rt.stats().violations, 1u);
+  EXPECT_EQ(proc->p_flag & kPSugid, 0u);
+}
+
+TEST(ProcAssertions, SugidFlagSatisfiedWhenSet) {
+  InstrumentedKernel ik(kSetProc);
+  Proc* proc = ik.kernel->NewProcess(0);
+  KThread td = ik.kernel->NewThread(proc);
+
+  EXPECT_EQ(ik.kernel->SysSetuid(td, 7), kOk);
+  EXPECT_EQ(ik.rt.stats().violations, 0u);
+  EXPECT_NE(proc->p_flag & kPSugid, 0u);
+}
+
+TEST(FsAssertions, Figure7PathsAllSatisfied) {
+  InstrumentedKernel ik(kSetMacFs);
+  Proc* proc = ik.kernel->NewProcess(0);
+  KThread td = ik.kernel->NewThread(proc);
+
+  // Path 1: plain open (mac_vnode_check_open).
+  int64_t fd = ik.kernel->SysOpen(td, "/etc/passwd", kFRead);
+  ASSERT_GE(fd, 0);
+  // Path 2: read with an explicit check.
+  EXPECT_GT(ik.kernel->SysRead(td, fd, 64), 0);
+  ik.kernel->SysClose(td, fd);
+  // Path 3: exec (mac_vnode_check_exec authorises the ufs_open, and the
+  // image read is vn_rdwr(IO_NOMACCHECK)).
+  EXPECT_EQ(ik.kernel->SysExecve(td, "/bin/sh"), kOk);
+  // Path 4: module load (mac_kld_check_load authorises the ufs_open).
+  EXPECT_EQ(ik.kernel->SysKldload(td, "/lib/mod.ko"), kOk);
+  // Path 5: readdir → internal ffs_read under incallstack(ufs_readdir).
+  int64_t dir = ik.kernel->SysOpen(td, "/", kFRead);
+  ASSERT_GE(dir, 0);
+  EXPECT_GT(ik.kernel->SysReaddir(td, dir), 0);
+  ik.kernel->SysClose(td, dir);
+
+  EXPECT_EQ(ik.rt.stats().violations, 0u);
+}
+
+TEST(Witness, DetectsLockOrderReversal) {
+  Witness witness;
+  LockClassId a = witness.RegisterClass("a");
+  LockClassId b = witness.RegisterClass("b");
+  Witness::ThreadLocks locks;
+
+  EXPECT_TRUE(witness.Acquire(locks, a));
+  EXPECT_TRUE(witness.Acquire(locks, b));  // establishes a → b
+  witness.Release(locks, b);
+  witness.Release(locks, a);
+
+  EXPECT_TRUE(witness.Acquire(locks, b));
+  EXPECT_FALSE(witness.Acquire(locks, a));  // b → a reverses the order
+  EXPECT_EQ(witness.reversals(), 1u);
+  ASSERT_EQ(witness.reports().size(), 1u);
+  EXPECT_NE(witness.reports()[0].find("reversal"), std::string::npos);
+}
+
+TEST(Witness, RecursiveAcquisitionAllowed) {
+  Witness witness;
+  LockClassId a = witness.RegisterClass("a");
+  Witness::ThreadLocks locks;
+  EXPECT_TRUE(witness.Acquire(locks, a));
+  EXPECT_TRUE(witness.Acquire(locks, a));
+  witness.Release(locks, a);
+  witness.Release(locks, a);
+  EXPECT_EQ(witness.reversals(), 0u);
+}
+
+TEST(Workloads, ProduceExpectedTraffic) {
+  Kernel kernel(KernelConfig{});
+  Proc* proc = kernel.NewProcess(0);
+  KThread td = kernel.NewThread(proc);
+
+  WorkloadResult oc = OpenCloseLoop(kernel, td, 100);
+  EXPECT_EQ(oc.syscalls, 200u);
+  EXPECT_EQ(oc.errors, 0u);
+
+  WorkloadResult oltp = OltpTransactions(kernel, td, 20);
+  EXPECT_EQ(oltp.errors, 0u);
+  EXPECT_GT(oltp.bytes, 0u);
+
+  WorkloadResult build = BuildCompile(kernel, td, 5, 2);
+  EXPECT_EQ(build.errors, 0u);
+  EXPECT_GT(build.bytes, 0u);
+  EXPECT_NE(build.compute_checksum, 0u);
+}
+
+TEST(Workloads, CleanUnderFullInstrumentationWithBothModes) {
+  for (bool lazy : {false, true}) {
+    runtime::RuntimeOptions options = TestRuntimeOptions();
+    options.lazy_init = lazy;
+    InstrumentedKernel ik(kSetAll, {}, options);
+    Proc* proc = ik.kernel->NewProcess(0);
+    KThread td = ik.kernel->NewThread(proc);
+
+    OltpTransactions(*ik.kernel, td, 30);
+    BuildCompile(*ik.kernel, td, 5, 1);
+    EXPECT_EQ(ik.rt.stats().violations, 0u) << "lazy=" << lazy;
+    if (!lazy) {
+      // Naive mode instantiates every syscall-bounded automaton per syscall.
+      EXPECT_GT(ik.rt.stats().instances_created, ik.rt.stats().bound_entries);
+    }
+  }
+}
+
+TEST(DebugKernel, WitnessWorkIsCharged) {
+  KernelConfig config;
+  config.debug_checks = true;
+  Kernel kernel(config);
+  Proc* proc = kernel.NewProcess(0);
+  KThread td = kernel.NewThread(proc);
+  OpenCloseLoop(kernel, td, 10);
+  EXPECT_GT(kernel.debug_work(), 0u);
+}
+
+}  // namespace
+}  // namespace tesla::kernelsim

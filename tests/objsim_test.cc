@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "objsim/appkit.h"
+#include "objsim/objc.h"
+#include "objsim/trace.h"
+#include "runtime/runtime.h"
+
+namespace tesla::objsim {
+namespace {
+
+runtime::RuntimeOptions TestRuntimeOptions() {
+  runtime::RuntimeOptions options;
+  options.fail_stop = false;
+  return options;
+}
+
+TEST(ObjcRuntime, MethodDispatchAndInheritance) {
+  ObjcRuntime rt;
+  ObjcClass* base = rt.DefineClass("Base");
+  ObjcClass* derived = rt.DefineClass("Derived", base);
+  rt.AddMethod(base, "ping", [](ObjcRuntime&, ObjcObject*, std::span<const int64_t>) {
+    return int64_t{1};
+  });
+  rt.AddMethod(derived, "pong", [](ObjcRuntime&, ObjcObject*, std::span<const int64_t>) {
+    return int64_t{2};
+  });
+
+  ObjcObject* object = rt.CreateObject<ObjcObject>(derived);
+  EXPECT_EQ(rt.MsgSend(object, "ping"), 1);   // inherited
+  EXPECT_EQ(rt.MsgSend(object, "pong"), 2);   // own
+  EXPECT_EQ(rt.MsgSend(object, "missing"), 0);  // unrecognised selector
+  EXPECT_EQ(rt.messages_sent(), 3u);
+}
+
+TEST(ObjcRuntime, MethodOverrideShadowsSuper) {
+  ObjcRuntime rt;
+  ObjcClass* base = rt.DefineClass("Base");
+  ObjcClass* derived = rt.DefineClass("Derived", base);
+  rt.AddMethod(base, "answer", [](ObjcRuntime&, ObjcObject*, std::span<const int64_t>) {
+    return int64_t{1};
+  });
+  rt.AddMethod(derived, "answer", [](ObjcRuntime&, ObjcObject*, std::span<const int64_t>) {
+    return int64_t{2};
+  });
+  ObjcObject* object = rt.CreateObject<ObjcObject>(derived);
+  EXPECT_EQ(rt.MsgSend(object, "answer"), 2);
+}
+
+TEST(ObjcRuntime, InterpositionFiresOnlyInTracingModes) {
+  for (TraceMode mode : {TraceMode::kRelease, TraceMode::kInterposed}) {
+    ObjcRuntime rt(mode);
+    ObjcClass* cls = rt.DefineClass("C");
+    rt.AddMethod(cls, "work", [](ObjcRuntime&, ObjcObject*, std::span<const int64_t>) {
+      return int64_t{7};
+    });
+    int pre_calls = 0;
+    int post_calls = 0;
+    InterpositionHook hook;
+    hook.pre = [&](ObjcObject*, Selector, std::span<const int64_t>) { pre_calls++; };
+    hook.post = [&](ObjcObject*, Selector, std::span<const int64_t>, int64_t result) {
+      post_calls++;
+      EXPECT_EQ(result, 7);
+    };
+    hook.want_return = true;
+    rt.Interpose("work", std::move(hook));
+
+    ObjcObject* object = rt.CreateObject<ObjcObject>(cls);
+    EXPECT_EQ(rt.MsgSend(object, "work"), 7);
+    if (mode == TraceMode::kRelease) {
+      EXPECT_EQ(pre_calls, 0) << "release dispatch must bypass the table";
+    } else {
+      EXPECT_EQ(pre_calls, 1);
+      EXPECT_EQ(post_calls, 1);
+    }
+  }
+}
+
+TEST(AppKit, RedrawsAndGraphicsStateBalance) {
+  ObjcRuntime rt;
+  AppKit app(rt, AppKitConfig{});
+
+  UiEvent expose{UiEvent::Kind::kExposeFull, 0, 0};
+  uint64_t ops = app.RunLoopIteration(std::span<const UiEvent>(&expose, 1));
+  EXPECT_GT(ops, 0u);
+  EXPECT_EQ(app.context()->save_count, app.context()->restore_count);
+  EXPECT_EQ(app.context()->stack.size(), 1u) << "graphics stack must balance";
+  EXPECT_EQ(app.run_loop()->iterations, 1u);
+
+  // Nothing dirty: a second iteration with no events draws nothing.
+  uint64_t idle_ops = app.RunLoopIteration({});
+  EXPECT_EQ(idle_ops, 0u);
+}
+
+TEST(AppKit, CursorBalancedWithoutBug) {
+  ObjcRuntime rt;
+  AppKit app(rt, AppKitConfig{});
+
+  std::vector<UiEvent> events;
+  for (int i = 0; i < 10; i++) {
+    events.push_back({UiEvent::Kind::kMouseMove, (i % 5) * 100 + 50, 50});
+  }
+  app.RunLoopIteration(std::span<const UiEvent>(events.data(), events.size()));
+  // Exactly one view is under the pointer at the end.
+  EXPECT_EQ(app.cursor_pushes(), app.cursor_pops() + 1);
+  EXPECT_EQ(app.cursor_stack_depth(), 1u);
+}
+
+TEST(AppKit, CursorBugDuplicatesPushes) {
+  ObjcRuntime rt;
+  AppKitConfig config;
+  config.cursor_unbalanced_bug = true;
+  AppKit app(rt, config);
+
+  std::vector<UiEvent> events;
+  for (int i = 0; i < 30; i++) {
+    events.push_back({UiEvent::Kind::kMouseMove, (i % 5) * 100 + 50, 50});
+  }
+  app.RunLoopIteration(std::span<const UiEvent>(events.data(), events.size()));
+  // Lost mouse-exited events leave extra cursors on the stack (§3.5.3).
+  EXPECT_GT(app.cursor_pushes(), app.cursor_pops() + 1);
+  EXPECT_GT(app.cursor_stack_depth(), 1u);
+}
+
+TEST(AppKit, NonLifoRestoreBug) {
+  ObjcRuntime rt;
+  AppKitConfig config;
+  config.backend_non_lifo_bug = true;
+  AppKit app(rt, config);
+
+  GraphicsContext* gc = app.context();
+  rt.MsgSend(gc, "saveGraphicsState");
+  rt.MsgSend(gc, "saveGraphicsState");
+  rt.MsgSend(gc, "saveGraphicsState");
+  // LIFO restore works; non-LIFO restore fails under the bug.
+  EXPECT_EQ(rt.MsgSend(gc, "restoreGraphicsStateToDepth", {3}), 0);
+  EXPECT_EQ(rt.MsgSend(gc, "restoreGraphicsStateToDepth", {1}), -1);
+  EXPECT_EQ(gc->non_lifo_failures, 1u);
+
+  // A healthy back end handles the same sequence.
+  ObjcRuntime rt2;
+  AppKit app2(rt2, AppKitConfig{});
+  GraphicsContext* gc2 = app2.context();
+  rt2.MsgSend(gc2, "saveGraphicsState");
+  rt2.MsgSend(gc2, "saveGraphicsState");
+  EXPECT_EQ(rt2.MsgSend(gc2, "restoreGraphicsStateToDepth", {1}), 0);
+  EXPECT_EQ(gc2->stack.size(), 1u);
+}
+
+TEST(GuiTesla, ManifestCoversAllSelectors) {
+  ObjcRuntime rt(TraceMode::kTesla);
+  AppKit app(rt, AppKitConfig{});
+  auto manifest = GuiManifest(app);
+  ASSERT_TRUE(manifest.ok()) << manifest.error().ToString();
+  ASSERT_EQ(manifest->automata.size(), 1u);
+  // ~110 instrumented selectors: 21 named + 80 filler.
+  EXPECT_GE(app.InstrumentedSelectors().size(), 100u);
+  // The automaton's alphabet holds init/cleanup/site plus one symbol per
+  // selector.
+  EXPECT_GE(manifest->automata[0].alphabet.size(), app.InstrumentedSelectors().size());
+  EXPECT_LE(manifest->automata[0].state_count, 8u)
+      << "ATLEAST(0, ...) must lower to a compact self-loop automaton";
+}
+
+TEST(GuiTesla, TraceRevealsCursorImbalance) {
+  runtime::Runtime tesla_rt(TestRuntimeOptions());
+  runtime::ThreadContext ctx(tesla_rt);
+  ObjcRuntime rt(TraceMode::kTesla);
+  AppKitConfig config;
+  config.cursor_unbalanced_bug = true;
+  AppKit app(rt, config);
+
+  auto tesla = GuiTesla::Install(tesla_rt, ctx, app);
+  ASSERT_TRUE(tesla.ok()) << tesla.error().ToString();
+  (*tesla)->EnableTraceRecording(true);
+
+  std::vector<UiEvent> events;
+  for (int i = 0; i < 12; i++) {
+    events.push_back({UiEvent::Kind::kMouseMove, (i % 4) * 100 + 50, 50});
+  }
+  for (int iteration = 0; iteration < 5; iteration++) {
+    app.RunLoopIteration(std::span<const UiEvent>(events.data(), events.size()));
+  }
+
+  // The fig. 8 tracing automaton accepts everything (it's a tracing net, not
+  // a checker)...
+  EXPECT_EQ(tesla_rt.stats().violations, 0u);
+  EXPECT_GT((*tesla)->total_events(), 0u);
+
+  // ...but the recorded trace diagnoses the bug: pushes exceed pops.
+  auto imbalance = (*tesla)->CursorImbalanceByIteration();
+  int64_t total = 0;
+  for (const auto& [iteration, delta] : imbalance) {
+    total += delta;
+  }
+  EXPECT_GT(total, 1) << "duplicated cursor pushes must show up in the trace";
+}
+
+TEST(GuiTesla, CleanRunTracksEventsWithoutViolations) {
+  runtime::Runtime tesla_rt(TestRuntimeOptions());
+  runtime::ThreadContext ctx(tesla_rt);
+  ObjcRuntime rt(TraceMode::kTesla);
+  AppKit app(rt, AppKitConfig{});
+
+  auto tesla = GuiTesla::Install(tesla_rt, ctx, app);
+  ASSERT_TRUE(tesla.ok());
+
+  UiEvent expose{UiEvent::Kind::kExposeFull, 0, 0};
+  for (int i = 0; i < 3; i++) {
+    app.RunLoopIteration(std::span<const UiEvent>(&expose, 1));
+  }
+  EXPECT_EQ(tesla_rt.stats().violations, 0u);
+  EXPECT_EQ(tesla_rt.stats().bound_entries, 3u);
+  EXPECT_GT(tesla_rt.stats().transitions, 0u);
+}
+
+
+TEST(GuiTesla, SaveRestoreProfilingFindsElidablePairs) {
+  // §3.5.3: profiling traces exposes save/restore pairs whose intervening
+  // work only touches colour and position — candidates for elision.
+  runtime::Runtime tesla_rt(TestRuntimeOptions());
+  runtime::ThreadContext ctx(tesla_rt);
+  ObjcRuntime rt(TraceMode::kTesla);
+  AppKitConfig config;
+  config.filler_method_count = 0;  // cells emit only colour/position traffic
+  AppKit app(rt, config);
+  auto tesla = GuiTesla::Install(tesla_rt, ctx, app);
+  ASSERT_TRUE(tesla.ok());
+  (*tesla)->EnableTraceRecording(true);
+
+  UiEvent expose{UiEvent::Kind::kExposeFull, 0, 0};
+  app.RunLoopIteration(std::span<const UiEvent>(&expose, 1));
+
+  auto profile = (*tesla)->AnalyseSaveRestorePairs();
+  EXPECT_GT(profile.total_pairs, 0u);
+  // Without auxiliary cell operations, every pair is elidable.
+  EXPECT_EQ(profile.elidable_pairs, profile.total_pairs);
+
+  // With filler methods the cells do real work between save and restore.
+  runtime::Runtime tesla_rt2(TestRuntimeOptions());
+  runtime::ThreadContext ctx2(tesla_rt2);
+  ObjcRuntime rt2(TraceMode::kTesla);
+  AppKit app2(rt2, AppKitConfig{});
+  auto tesla2 = GuiTesla::Install(tesla_rt2, ctx2, app2);
+  ASSERT_TRUE(tesla2.ok());
+  (*tesla2)->EnableTraceRecording(true);
+  app2.RunLoopIteration(std::span<const UiEvent>(&expose, 1));
+  auto busy = (*tesla2)->AnalyseSaveRestorePairs();
+  EXPECT_GT(busy.total_pairs, 0u);
+  EXPECT_LT(busy.elidable_pairs, busy.total_pairs);
+}
+
+}  // namespace
+}  // namespace tesla::objsim

@@ -1,0 +1,250 @@
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/ast.h"
+#include "parser/lexer.h"
+
+namespace tesla {
+namespace {
+
+using ast::AssignOp;
+using ast::BooleanOp;
+using ast::Context;
+using ast::ExprKind;
+using ast::FunctionEventKind;
+using ast::Modifier;
+using ast::ValueKind;
+
+TEST(Lexer, TokenisesOperators) {
+  auto tokens = parser::Tokenize("a == b || c ^ d.e += 1 ++ -- &x");
+  ASSERT_TRUE(tokens.ok()) << tokens.error().ToString();
+  std::vector<parser::TokenKind> kinds;
+  for (const auto& token : tokens.value()) {
+    kinds.push_back(token.kind);
+  }
+  EXPECT_EQ(kinds[1], parser::TokenKind::kEqualEqual);
+  EXPECT_EQ(kinds[3], parser::TokenKind::kPipePipe);
+  EXPECT_EQ(kinds[5], parser::TokenKind::kCaret);
+  EXPECT_EQ(kinds[7], parser::TokenKind::kDot);
+  EXPECT_EQ(kinds[9], parser::TokenKind::kPlusEqual);
+  EXPECT_EQ(kinds[11], parser::TokenKind::kPlusPlus);
+  EXPECT_EQ(kinds[12], parser::TokenKind::kMinusMinus);
+  EXPECT_EQ(kinds[13], parser::TokenKind::kAmpersand);
+}
+
+TEST(Lexer, HexAndNegativeIntegers) {
+  auto tokens = parser::Tokenize("0x10 -5 42");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].integer, 16);
+  EXPECT_EQ(tokens.value()[1].integer, -5);
+  EXPECT_EQ(tokens.value()[2].integer, 42);
+}
+
+TEST(Lexer, RejectsBareUnexpectedCharacter) {
+  EXPECT_FALSE(parser::Tokenize("a @ b").ok());
+  EXPECT_FALSE(parser::Tokenize("a + b").ok());  // '+' alone is not a token
+}
+
+TEST(Lexer, SkipsComments) {
+  auto tokens = parser::Tokenize("a // trailing comment\nb");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens.value().size(), 3u);  // a, b, end
+  EXPECT_EQ(tokens.value()[1].text, "b");
+}
+
+TEST(Parser, PaperFigure1) {
+  // TESLA_WITHIN(enclosing_fn, previously(security_check(ANY(ptr), o, op) == 0))
+  auto assertion = parser::ParseAssertion(
+      "TESLA_WITHIN(enclosing_fn, previously(security_check(ANY(ptr), o, op) == 0))");
+  ASSERT_TRUE(assertion.ok()) << assertion.error().ToString();
+  EXPECT_EQ(assertion->context, Context::kPerThread);
+  EXPECT_TRUE(assertion->start.is_call);
+  EXPECT_EQ(assertion->start.function, "enclosing_fn");
+  EXPECT_FALSE(assertion->end.is_call);
+  EXPECT_EQ(assertion->end.function, "enclosing_fn");
+
+  // previously(x) expands to TSEQUENCE(x, SITE).
+  const auto& sequence = *assertion->expr;
+  ASSERT_EQ(sequence.kind, ExprKind::kSequence);
+  ASSERT_EQ(sequence.children.size(), 2u);
+  const auto& event = *sequence.children[0];
+  EXPECT_EQ(event.kind, ExprKind::kFunctionEvent);
+  EXPECT_EQ(event.fn_kind, FunctionEventKind::kReturnValue);
+  EXPECT_EQ(event.function, "security_check");
+  ASSERT_EQ(event.args.size(), 3u);
+  EXPECT_EQ(event.args[0].kind, ValueKind::kAny);
+  EXPECT_EQ(event.args[1].kind, ValueKind::kVariable);
+  EXPECT_EQ(event.args[1].variable, "o");
+  EXPECT_EQ(event.return_pattern.kind, ValueKind::kLiteral);
+  EXPECT_EQ(event.return_pattern.literal, 0);
+  EXPECT_EQ(sequence.children[1]->kind, ExprKind::kAssertionSite);
+}
+
+TEST(Parser, PaperFigure4SyscallPreviously) {
+  parser::ParseOptions options;
+  options.syscall_bound_function = "amd64_syscall";
+  auto assertion = parser::ParseAssertion(
+      "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_poll(active_cred, so) == 0)", options);
+  ASSERT_TRUE(assertion.ok()) << assertion.error().ToString();
+  EXPECT_EQ(assertion->start.function, "amd64_syscall");
+  ASSERT_EQ(assertion->expr->kind, ExprKind::kSequence);
+  EXPECT_EQ(assertion->expr->children[1]->kind, ExprKind::kAssertionSite);
+}
+
+TEST(Parser, EventuallyPutsSiteFirst) {
+  auto expr = parser::ParseExpr("eventually(foo(x) == 0)");
+  ASSERT_TRUE(expr.ok());
+  ASSERT_EQ((*expr)->kind, ExprKind::kSequence);
+  EXPECT_EQ((*expr)->children[0]->kind, ExprKind::kAssertionSite);
+  EXPECT_EQ((*expr)->children[1]->kind, ExprKind::kFunctionEvent);
+}
+
+TEST(Parser, PaperFigure7MultiPathOr) {
+  parser::ParseOptions options;
+  options.syscall_bound_function = "amd64_syscall";
+  auto assertion = parser::ParseAssertion(
+      "TESLA_SYSCALL(incallstack(ufs_readdir)"
+      " || previously(called(vn_rdwr(ANY(ptr), vp, flags(IO_NOMACCHECK))))"
+      " || previously(mac_vnode_check_read(ANY(ptr), ANY(ptr), vp) == 0))",
+      options);
+  ASSERT_TRUE(assertion.ok()) << assertion.error().ToString();
+  const auto& boolean = *assertion->expr;
+  ASSERT_EQ(boolean.kind, ExprKind::kBoolean);
+  EXPECT_EQ(boolean.bool_op, BooleanOp::kOr);
+  ASSERT_EQ(boolean.children.size(), 3u);
+  EXPECT_EQ(boolean.children[0]->kind, ExprKind::kInCallStack);
+  EXPECT_EQ(boolean.children[0]->function, "ufs_readdir");
+  EXPECT_EQ(boolean.children[1]->kind, ExprKind::kSequence);
+}
+
+TEST(Parser, FieldAssignForms) {
+  auto simple = parser::ParseExpr("s.foo = 3");
+  ASSERT_TRUE(simple.ok());
+  EXPECT_EQ((*simple)->kind, ExprKind::kFieldAssign);
+  EXPECT_EQ((*simple)->struct_var, "s");
+  EXPECT_EQ((*simple)->field, "foo");
+  EXPECT_EQ((*simple)->assign_op, AssignOp::kAssign);
+  EXPECT_EQ((*simple)->assign_value.literal, 3);
+
+  auto compound = parser::ParseExpr("s.foo += 1");
+  ASSERT_TRUE(compound.ok());
+  EXPECT_EQ((*compound)->assign_op, AssignOp::kPlusEqual);
+
+  auto increment = parser::ParseExpr("s.count++");
+  ASSERT_TRUE(increment.ok());
+  EXPECT_EQ((*increment)->assign_op, AssignOp::kIncrement);
+
+  auto decrement = parser::ParseExpr("s.count--");
+  ASSERT_TRUE(decrement.ok());
+  EXPECT_EQ((*decrement)->assign_op, AssignOp::kDecrement);
+}
+
+TEST(Parser, AtLeastWithMethodEvents) {
+  auto expr = parser::ParseExpr("ATLEAST(0, push(ANY(ptr)), pop(ANY(ptr)))");
+  ASSERT_TRUE(expr.ok()) << expr.error().ToString();
+  EXPECT_EQ((*expr)->kind, ExprKind::kAtLeast);
+  EXPECT_EQ((*expr)->at_least, 0);
+  EXPECT_EQ((*expr)->children.size(), 2u);
+}
+
+TEST(Parser, AtLeastRejectsNegativeAndEmpty) {
+  EXPECT_FALSE(parser::ParseExpr("ATLEAST(-1, f())").ok());
+  EXPECT_FALSE(parser::ParseExpr("ATLEAST(2)").ok());
+}
+
+TEST(Parser, Modifiers) {
+  auto optional = parser::ParseExpr("optional(f())");
+  ASSERT_TRUE(optional.ok());
+  EXPECT_EQ((*optional)->modifier, Modifier::kOptional);
+
+  auto caller = parser::ParseExpr("caller(call(f))");
+  ASSERT_TRUE(caller.ok());
+  EXPECT_EQ((*caller)->modifier, Modifier::kCaller);
+
+  auto strict = parser::ParseExpr("strict(TSEQUENCE(a(), b()))");
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ((*strict)->modifier, Modifier::kStrict);
+}
+
+TEST(Parser, BareCallMatchesAnyArguments) {
+  auto expr = parser::ParseExpr("call(foo)");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind, ExprKind::kFunctionEvent);
+  EXPECT_FALSE((*expr)->args_specified);
+}
+
+TEST(Parser, ReturnFromWithArgs) {
+  auto expr = parser::ParseExpr("returnfrom(foo(x, 3))");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->fn_kind, FunctionEventKind::kReturn);
+  EXPECT_TRUE((*expr)->args_specified);
+  EXPECT_EQ((*expr)->args.size(), 2u);
+}
+
+TEST(Parser, MixedBooleanOperatorsRequireParens) {
+  EXPECT_FALSE(parser::ParseExpr("a() || b() ^ c()").ok());
+  EXPECT_TRUE(parser::ParseExpr("a() || (b() ^ c())").ok());
+}
+
+TEST(Parser, FlagsAndBitmaskValues) {
+  auto expr = parser::ParseExpr("f(flags(A | B), bitmask(C))");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->args[0].kind, ValueKind::kFlags);
+  EXPECT_EQ((*expr)->args[0].flag_names.size(), 2u);
+  EXPECT_EQ((*expr)->args[1].kind, ValueKind::kBitmask);
+}
+
+TEST(Parser, IndirectValue) {
+  auto expr = parser::ParseExpr("f(&err) == 1");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->args[0].kind, ValueKind::kIndirect);
+  EXPECT_EQ((*expr)->args[0].variable, "err");
+}
+
+TEST(Parser, GlobalAndPerThreadForms) {
+  auto global = parser::ParseAssertion("TESLA_GLOBAL(call(f), returnfrom(f), g())");
+  ASSERT_TRUE(global.ok());
+  EXPECT_EQ(global->context, Context::kGlobal);
+
+  auto perthread = parser::ParseAssertion("TESLA_PERTHREAD(call(f), returnfrom(f), g())");
+  ASSERT_TRUE(perthread.ok());
+  EXPECT_EQ(perthread->context, Context::kPerThread);
+
+  auto explicit_form =
+      parser::ParseAssertion("TESLA_ASSERT(global, call(f), returnfrom(f), g())");
+  ASSERT_TRUE(explicit_form.ok());
+  EXPECT_EQ(explicit_form->context, Context::kGlobal);
+}
+
+TEST(Parser, ErrorsCarryLocation) {
+  auto bad = parser::ParseAssertion("TESLA_WITHIN(foo, previously(security_check(");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_GT(bad.error().line, 0);
+}
+
+TEST(Parser, RejectsUnknownMacroAndTrailingInput) {
+  EXPECT_FALSE(parser::ParseAssertion("TESLA_BOGUS(call(f), returnfrom(f), g())").ok());
+  EXPECT_FALSE(parser::ParseAssertion("TESLA_WITHIN(f, g()) extra").ok());
+}
+
+TEST(Parser, FormatRoundTrip) {
+  const char* sources[] = {
+      "TESLA_WITHIN(foo, previously(check(ANY(ptr), o) == 0))",
+      "TESLA_GLOBAL(call(f), returnfrom(f), TSEQUENCE(a(), b(), c()))",
+      "TESLA_PERTHREAD(call(f), returnfrom(f), (a() ^ b()))",
+      "TESLA_WITHIN(f, optional(g(1, 2)))",
+      "TESLA_WITHIN(f, s.state = 3)",
+  };
+  for (const char* source : sources) {
+    auto first = parser::ParseAssertion(source);
+    ASSERT_TRUE(first.ok()) << source << ": " << first.error().ToString();
+    std::string formatted = parser::FormatAssertion(first.value());
+    auto second = parser::ParseAssertion(formatted);
+    ASSERT_TRUE(second.ok()) << formatted << ": " << second.error().ToString();
+    EXPECT_EQ(formatted, parser::FormatAssertion(second.value()));
+  }
+}
+
+}  // namespace
+}  // namespace tesla

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.h"
+#include "sslsim/fetch.h"
+
+namespace tesla::sslsim {
+namespace {
+
+runtime::RuntimeOptions TestRuntimeOptions() {
+  runtime::RuntimeOptions options;
+  options.fail_stop = false;
+  return options;
+}
+
+TEST(Crypto, SignVerifyRoundTrip) {
+  const uint64_t secret = 0xdeadbeef;
+  EvpKey key = EvpGenerateKey(secret);
+
+  EvpMdCtx digest;
+  uint64_t blob = 42;
+  digest.Update(&blob, sizeof(blob));
+  Signature signature = EvpSign(key, secret, digest.digest);
+
+  SslInstrumentation no_instr;
+  EXPECT_EQ(EVP_VerifyFinal(no_instr, &digest, &signature, sizeof(Signature), &key), 1);
+}
+
+TEST(Crypto, WrongDigestFailsWithZero) {
+  const uint64_t secret = 77;
+  EvpKey key = EvpGenerateKey(secret);
+  EvpMdCtx digest;
+  uint64_t blob = 1;
+  digest.Update(&blob, sizeof(blob));
+  Signature signature = EvpSign(key, secret, digest.digest);
+
+  EvpMdCtx other;
+  uint64_t tampered = 2;
+  other.Update(&tampered, sizeof(tampered));
+  SslInstrumentation no_instr;
+  EXPECT_EQ(EVP_VerifyFinal(no_instr, &other, &signature, sizeof(Signature), &key), 0);
+}
+
+TEST(Crypto, ForgedAsn1TagFailsExceptionally) {
+  const uint64_t secret = 99;
+  EvpKey key = EvpGenerateKey(secret);
+  EvpMdCtx digest;
+  uint64_t blob = 3;
+  digest.Update(&blob, sizeof(blob));
+  Signature signature = EvpSign(key, secret, digest.digest);
+  signature.s.tag = Asn1Tag::kBitString;  // the CVE-2008-5077 forgery
+
+  SslInstrumentation no_instr;
+  EXPECT_EQ(EVP_VerifyFinal(no_instr, &digest, &signature, sizeof(Signature), &key), -1);
+}
+
+TEST(Crypto, NullArgumentsFailExceptionally) {
+  SslInstrumentation no_instr;
+  EvpMdCtx digest;
+  Signature signature;
+  EvpKey key;
+  EXPECT_EQ(EVP_VerifyFinal(no_instr, nullptr, &signature, 8, &key), -1);
+  EXPECT_EQ(EVP_VerifyFinal(no_instr, &digest, nullptr, 8, &key), -1);
+  EXPECT_EQ(EVP_VerifyFinal(no_instr, &digest, &signature, 0, &key), -1);
+}
+
+TEST(Ssl, HonestHandshakeSucceeds) {
+  Server server = Server::Honest(123, "hello");
+  Ssl ssl;
+  ssl.peer = &server;
+  SslInstrumentation no_instr;
+  EXPECT_EQ(SSL_connect(no_instr, SslConfig{}, &ssl), 1);
+  EXPECT_EQ(ssl.last_verify_result, 1);
+  std::string document;
+  EXPECT_GT(SSL_read(no_instr, &ssl, &document), 0);
+  EXPECT_EQ(document, "hello");
+}
+
+TEST(Ssl, BuggyCheckTreatsExceptionAsSuccess) {
+  // The vulnerable client "connects" to the malicious server.
+  Server server = Server::Malicious(123, "pwned");
+  Ssl ssl;
+  ssl.peer = &server;
+  SslInstrumentation no_instr;
+  SslConfig buggy;  // correct_verify_check = false
+  EXPECT_EQ(SSL_connect(no_instr, buggy, &ssl), 1) << "the CVE: -1 conflated with success";
+  EXPECT_EQ(ssl.last_verify_result, -1);
+}
+
+TEST(Ssl, FixedCheckRejectsException) {
+  Server server = Server::Malicious(123, "pwned");
+  Ssl ssl;
+  ssl.peer = &server;
+  SslInstrumentation no_instr;
+  SslConfig fixed;
+  fixed.correct_verify_check = true;
+  EXPECT_EQ(SSL_connect(no_instr, fixed, &ssl), 0);
+}
+
+TEST(Fetch, TeslaCatchesTheCveAcrossLibraryBoundaries) {
+  // The paper's demonstration: the assertion lives in libfetch's client yet
+  // observes libcrypto's EVP_VerifyFinal through libssl.
+  runtime::Runtime rt(TestRuntimeOptions());
+  auto manifest = FetchAssertions();
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_TRUE(rt.Register(manifest.value()).ok());
+  runtime::ThreadContext ctx(rt);
+
+  SslInstrumentation instr{&rt, &ctx};
+  FetchClient client(instr, SslConfig{});  // vulnerable check
+
+  // Honest server: document fetched, assertion satisfied.
+  Server honest = Server::Honest(1, "<html>ok</html>");
+  FetchResult good = client.FetchDocument(honest);
+  EXPECT_TRUE(good.ok);
+  EXPECT_EQ(rt.stats().violations, 0u);
+
+  // Malicious server: the buggy client *believes* the handshake succeeded —
+  // but TESLA reports that no EVP_VerifyFinal returned 1.
+  Server malicious = Server::Malicious(1, "<html>evil</html>");
+  FetchResult bad = client.FetchDocument(malicious);
+  EXPECT_TRUE(bad.ok) << "without TESLA the client is silently compromised";
+  EXPECT_EQ(bad.verify_result, -1);
+  EXPECT_EQ(rt.stats().violations, 1u) << "fig. 6's assertion must fire";
+}
+
+TEST(Fetch, FixedClientNeverTripsAssertion) {
+  runtime::Runtime rt(TestRuntimeOptions());
+  auto manifest = FetchAssertions();
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_TRUE(rt.Register(manifest.value()).ok());
+  runtime::ThreadContext ctx(rt);
+
+  SslInstrumentation instr{&rt, &ctx};
+  SslConfig fixed;
+  fixed.correct_verify_check = true;
+  FetchClient client(instr, fixed);
+
+  Server malicious = Server::Malicious(1, "<html>evil</html>");
+  FetchResult result = client.FetchDocument(malicious);
+  EXPECT_FALSE(result.ok) << "the fixed client refuses the connection";
+  EXPECT_EQ(rt.stats().violations, 0u) << "no site is reached, so no violation";
+}
+
+}  // namespace
+}  // namespace tesla::sslsim
