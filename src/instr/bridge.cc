@@ -15,22 +15,28 @@ void RuntimeBridge::OnHook(uint32_t hook_id, std::span<const int64_t> values) {
   if (hook_id >= program_.translators.size()) {
     return;
   }
+  // Each generated translator marshals its hook payload into one unified
+  // Event record and hands it to the runtime's single entry point.
   const Translator& translator = program_.translators[hook_id];
   switch (translator.kind) {
     case Translator::Kind::kFunctionEntry:
     case Translator::Kind::kCallerPre:
-      rt_.OnFunctionCall(ctx_, translator.function, values);
+      rt_.OnEvent(ctx_, runtime::Event::Call(translator.function, values));
       break;
     case Translator::Kind::kFunctionExit:
     case Translator::Kind::kCallerPost: {
       // values = arguments... , return value.
+      if (values.empty()) {
+        return;
+      }
       std::span<const int64_t> args = values.subspan(0, values.size() - 1);
-      rt_.OnFunctionReturn(ctx_, translator.function, args, values.back());
+      rt_.OnEvent(ctx_, runtime::Event::Return(translator.function, args, values.back()));
       break;
     }
     case Translator::Kind::kFieldStore:
       if (values.size() >= 3) {
-        rt_.OnFieldStore(ctx_, translator.function, values[0], values[1], values[2]);
+        rt_.OnEvent(ctx_, runtime::Event::FieldStore(translator.function, values[0],
+                                                     values[1], values[2]));
       }
       break;
     case Translator::Kind::kSite: {
@@ -49,8 +55,8 @@ void RuntimeBridge::OnHook(uint32_t hook_id, std::span<const int64_t> values) {
            i++) {
         bindings[count++] = runtime::Binding{site.var_indices[i], values[i]};
       }
-      rt_.OnAssertionSite(ctx_, static_cast<uint32_t>(automaton),
-                          std::span<const runtime::Binding>(bindings, count));
+      rt_.OnEvent(ctx_, runtime::Event::Site(static_cast<uint32_t>(automaton),
+                                             std::span<const runtime::Binding>(bindings, count)));
       break;
     }
   }

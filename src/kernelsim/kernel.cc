@@ -105,9 +105,10 @@ void Kernel::Site(KThread& td, const std::string& name,
   if (it->second < 0) {
     return;  // assertion not registered in this kernel configuration
   }
-  std::vector<Binding> list(bindings);
-  tesla()->OnAssertionSite(*td.tesla, static_cast<uint32_t>(it->second),
-                           std::span<const Binding>(list.data(), list.size()));
+  tesla()->OnEvent(*td.tesla,
+                   runtime::Event::Site(static_cast<uint32_t>(it->second),
+                                        std::span<const Binding>(bindings.begin(),
+                                                                 bindings.size())));
 }
 
 // --- debug-kernel (WITNESS / INVARIANTS analogue) work ---

@@ -58,8 +58,8 @@ void GuiTesla::InterposeAll() {
       for (size_t i = 0; i < count; i++) {
         extended[i + 1] = args[i];
       }
-      self->rt_.OnFunctionCall(self->ctx_, symbol,
-                               std::span<const int64_t>(extended, count + 1));
+      self->rt_.OnEvent(self->ctx_, runtime::Event::Call(
+                                        symbol, std::span<const int64_t>(extended, count + 1)));
       if (self->record_trace_) {
         self->trace_.push_back(TraceEvent{selector, receiver->id, self->iteration_});
       }
@@ -72,14 +72,15 @@ void GuiTesla::InterposeAll() {
     InterpositionHook begin;
     begin.pre = [self](ObjcObject*, Selector, std::span<const int64_t>) {
       self->iteration_++;
-      self->rt_.OnFunctionCall(self->ctx_, InternString("beginIteration"), {});
+      self->rt_.OnEvent(self->ctx_, runtime::Event::Call(InternString("beginIteration"), {}));
     };
     app_.runtime().Interpose("beginIteration", std::move(begin));
 
     InterpositionHook end;
     end.want_return = true;
     end.post = [self](ObjcObject*, Selector, std::span<const int64_t>, int64_t result) {
-      self->rt_.OnFunctionReturn(self->ctx_, InternString("endIteration"), {}, result);
+      self->rt_.OnEvent(self->ctx_,
+                        runtime::Event::Return(InternString("endIteration"), {}, result));
     };
     app_.runtime().Interpose("endIteration", std::move(end));
   }
@@ -87,7 +88,8 @@ void GuiTesla::InterposeAll() {
   // The assertion site fires at the end of each iteration.
   app_.iteration_site = [self]() {
     if (self->automaton_id_ >= 0) {
-      self->rt_.OnAssertionSite(self->ctx_, static_cast<uint32_t>(self->automaton_id_), {});
+      self->rt_.OnEvent(self->ctx_,
+                        runtime::Event::Site(static_cast<uint32_t>(self->automaton_id_), {}));
     }
   };
 }

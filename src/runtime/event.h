@@ -1,0 +1,110 @@
+// The unified event spine (paper §4.2/§4.4): one trivially-copyable record
+// for every observation the instrumentation can make — function call,
+// function return, structure field store, assertion-site reach.
+//
+// Every emitter (generated event translators, native scope guards, the
+// simulators' compiled-in hooks) marshals into an Event and hands it to
+// Runtime::OnEvent(); the runtime routes it through its compiled dispatch
+// plan. Keeping the record flat and fixed-size means events can be queued,
+// batched or shipped across threads by memcpy — the load-bearing property
+// for future batching work.
+#ifndef TESLA_RUNTIME_EVENT_H_
+#define TESLA_RUNTIME_EVENT_H_
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+#include "runtime/instance.h"
+#include "support/intern.h"
+
+namespace tesla::runtime {
+
+enum class EventKind : uint8_t {
+  kFunctionCall = 0,
+  kFunctionReturn,
+  kFieldStore,     // values = {object, old value, new value}
+  kAssertionSite,  // target = automaton id; (vars[i], values[i]) = bindings
+};
+
+// Argument payload capacity. Longer argument lists are truncated and the
+// truncation is flagged so the runtime can account for it (RuntimeStats::
+// arg_truncations) — silent truncation would make a pattern on argument 9
+// unmatchable with no trace.
+inline constexpr size_t kMaxEventArgs = 8;
+static_assert(kMaxEventArgs >= static_cast<size_t>(kMaxVariables),
+              "site events must be able to carry one value per automaton variable");
+
+struct Event {
+  EventKind kind = EventKind::kFunctionCall;
+  uint8_t count = 0;       // live entries in values[] (and vars[] for sites)
+  bool truncated = false;  // argument list exceeded kMaxEventArgs
+  Symbol target = kNoSymbol;  // function / field symbol; site: automaton id
+  int64_t return_value = 0;   // kFunctionReturn only
+  int64_t values[kMaxEventArgs] = {};
+  uint16_t vars[kMaxEventArgs] = {};  // kAssertionSite: variable index per value
+
+  std::span<const int64_t> args() const { return {values, count}; }
+
+  static Event Call(Symbol function, std::span<const int64_t> args) {
+    Event event;
+    event.kind = EventKind::kFunctionCall;
+    event.target = function;
+    event.CopyValues(args);
+    return event;
+  }
+
+  static Event Return(Symbol function, std::span<const int64_t> args, int64_t return_value) {
+    Event event;
+    event.kind = EventKind::kFunctionReturn;
+    event.target = function;
+    event.return_value = return_value;
+    event.CopyValues(args);
+    return event;
+  }
+
+  static Event FieldStore(Symbol field, int64_t object, int64_t old_value, int64_t new_value) {
+    Event event;
+    event.kind = EventKind::kFieldStore;
+    event.target = field;
+    event.count = 3;
+    event.values[0] = object;
+    event.values[1] = old_value;
+    event.values[2] = new_value;
+    return event;
+  }
+
+  static Event Site(uint32_t automaton_id, std::span<const Binding> bindings) {
+    Event event;
+    event.kind = EventKind::kAssertionSite;
+    event.target = automaton_id;
+    if (bindings.size() > kMaxEventArgs) {
+      event.truncated = true;
+    }
+    event.count = static_cast<uint8_t>(
+        bindings.size() < kMaxEventArgs ? bindings.size() : kMaxEventArgs);
+    for (size_t i = 0; i < event.count; i++) {
+      event.vars[i] = bindings[i].var;
+      event.values[i] = bindings[i].value;
+    }
+    return event;
+  }
+
+ private:
+  void CopyValues(std::span<const int64_t> source) {
+    if (source.size() > kMaxEventArgs) {
+      truncated = true;
+    }
+    count = static_cast<uint8_t>(source.size() < kMaxEventArgs ? source.size()
+                                                               : kMaxEventArgs);
+    for (size_t i = 0; i < count; i++) {
+      values[i] = source[i];
+    }
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<Event>);
+
+}  // namespace tesla::runtime
+
+#endif  // TESLA_RUNTIME_EVENT_H_

@@ -33,6 +33,14 @@ struct RuntimeOptions {
   // deterministic memory footprint, and report overflows").
   size_t instances_per_context = 256;
 
+  // Global-automaton storage shards. Each global automaton class is assigned
+  // to one of `global_shards` contexts (class id modulo shard count), each
+  // behind its own spinlock, so independent global automata no longer
+  // serialise against each other (fig. 12's cost is per-shard, not
+  // process-wide). Clamped to [1, 64]; 1 reproduces the paper's single
+  // explicitly-synchronised store.
+  size_t global_shards = 8;
+
   MemoryReader memory_reader;
 };
 
@@ -62,6 +70,7 @@ struct RuntimeStats {
   uint64_t violations = 0;
   uint64_t overflows = 0;
   uint64_t ignored_events = 0;    // events with no consumable transition (non-strict)
+  uint64_t arg_truncations = 0;   // events whose argument list exceeded kMaxEventArgs
 };
 
 }  // namespace tesla::runtime

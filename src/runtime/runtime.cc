@@ -28,7 +28,10 @@ const char* ViolationKindName(ViolationKind kind) {
 ThreadContext::ThreadContext(Runtime& runtime)
     : runtime_(runtime),
       classes_(runtime.classes_.size()),
-      pool_(runtime.options_.instances_per_context) {}
+      pool_(runtime.options_.instances_per_context),
+      bound_epochs_(runtime.bound_slot_count_),
+      active_classes_(runtime.cleanup_slot_count_),
+      stack_depth_(runtime.stack_slot_count_, 0) {}
 
 ThreadContext::~ThreadContext() {
   for (ClassState& state : classes_) {
@@ -39,9 +42,18 @@ ThreadContext::~ThreadContext() {
   }
 }
 
+bool ThreadContext::InCallStack(Symbol function) const {
+  const int32_t slot = runtime_.StackSlotFor(function);
+  return slot >= 0 && static_cast<size_t>(slot) < stack_depth_.size() &&
+         stack_depth_[slot] > 0;
+}
+
 // --- Runtime ---
 
-Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {}
+Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
+  const size_t requested = options_.global_shards;
+  shard_count_ = static_cast<uint32_t>(requested < 1 ? 1 : (requested > 64 ? 64 : requested));
+}
 
 Runtime::~Runtime() = default;
 
@@ -90,43 +102,162 @@ Status Runtime::Register(const automata::Manifest& manifest) {
       if (symbol == cls.automaton.init_symbol || symbol == cls.automaton.cleanup_symbol) {
         continue;
       }
-      const automata::EventPattern& pattern = cls.automaton.alphabet[symbol];
-      switch (pattern.kind) {
-        case automata::PatternKind::kFunctionCall:
-          call_candidates_[pattern.function].push_back({id, symbol});
-          break;
-        case automata::PatternKind::kFunctionReturn:
-          return_candidates_[pattern.function].push_back({id, symbol});
-          break;
-        case automata::PatternKind::kFieldAssign:
-          field_candidates_[pattern.field].push_back({id, symbol});
-          break;
-        case automata::PatternKind::kInCallStack:
-          cls.site_variants.push_back(symbol);
-          tracked_stack_functions_[pattern.function] = true;
-          break;
-        case automata::PatternKind::kAssertionSite:
-          break;  // routed by automaton id via OnAssertionSite
+      if (cls.automaton.alphabet[symbol].kind == automata::PatternKind::kInCallStack) {
+        cls.site_variants.push_back(symbol);
       }
-    }
-
-    classes_by_start_[cls.start_key].push_back(id);
-    classes_by_end_[cls.end_key].push_back(id);
-    bound_start_contexts_[cls.start_key] |= cls.is_global ? 2 : 1;
-    auto& closed = bounds_closed_by_[cls.end_key];
-    if (std::find(closed.begin(), closed.end(), cls.start_key) == closed.end()) {
-      closed.push_back(cls.start_key);
-    }
-    if (cls.is_global) {
-      any_global_ = true;
     }
     by_name_.emplace(cls.automaton.name, id);
     classes_.push_back(std::move(cls));
   }
 
-  // (Re)create the shared global-context store now that classes are known.
-  global_context_ = std::make_unique<ThreadContext>(*this);
+  CompilePlan();
+
+  // (Re)create the sharded global stores now that classes and the plan are
+  // known; their contexts size themselves from the plan's slot counts.
+  shards_.clear();
+  shards_.reserve(shard_count_);
+  for (uint32_t i = 0; i < shard_count_; i++) {
+    auto shard = std::make_unique<GlobalShard>();
+    shard->context = std::make_unique<ThreadContext>(*this);
+    shards_.push_back(std::move(shard));
+  }
   return Status::Ok();
+}
+
+// Compiles all per-symbol routing into flat Symbol-indexed tables. Symbols
+// are dense interner indices; freezing the interner here pins the table
+// extent — anything interned later cannot name a registered pattern and
+// falls off the bounds check in O(1).
+void Runtime::CompilePlan() {
+  StringInterner& interner = GlobalInterner();
+  interner.Freeze();
+  const size_t symbols = interner.size();
+
+  function_plan_.assign(symbols * 2, KeyPlan{});
+  field_plan_.assign(symbols, KeyPlan{});
+  candidate_pool_.clear();
+  class_pool_.clear();
+  closed_bounds_pool_.clear();
+  bound_slot_count_ = 0;
+  cleanup_slot_count_ = 0;
+  stack_slot_count_ = 0;
+  any_global_ = false;
+
+  // Pass 1: dense slot assignment, shard placement, candidate gathering.
+  std::unordered_map<uint64_t, int32_t> bound_slots;
+  std::unordered_map<uint64_t, int32_t> cleanup_slots;
+  std::vector<std::vector<Candidate>> call_cands(symbols);
+  std::vector<std::vector<Candidate>> return_cands(symbols);
+  std::vector<std::vector<Candidate>> field_cands(symbols);
+
+  for (CompiledClass& cls : classes_) {
+    cls.bound_slot =
+        bound_slots.emplace(cls.start_key, static_cast<int32_t>(bound_slots.size()))
+            .first->second;
+    cls.cleanup_slot =
+        cleanup_slots.emplace(cls.end_key, static_cast<int32_t>(cleanup_slots.size()))
+            .first->second;
+    cls.shard = cls.is_global ? cls.id % shard_count_ : 0;
+    if (cls.is_global) {
+      any_global_ = true;
+    }
+
+    for (uint16_t symbol = 0; symbol < cls.automaton.alphabet.size(); symbol++) {
+      if (symbol == cls.automaton.init_symbol || symbol == cls.automaton.cleanup_symbol) {
+        continue;
+      }
+      const automata::EventPattern& pattern = cls.automaton.alphabet[symbol];
+      switch (pattern.kind) {
+        case automata::PatternKind::kFunctionCall:
+          call_cands[pattern.function].push_back({cls.id, symbol});
+          break;
+        case automata::PatternKind::kFunctionReturn:
+          return_cands[pattern.function].push_back({cls.id, symbol});
+          break;
+        case automata::PatternKind::kFieldAssign:
+          field_cands[pattern.field].push_back({cls.id, symbol});
+          break;
+        case automata::PatternKind::kInCallStack: {
+          KeyPlan& call_plan = function_plan_[CallKey(pattern.function)];
+          if (call_plan.stack_slot < 0) {
+            const int32_t slot = static_cast<int32_t>(stack_slot_count_++);
+            call_plan.stack_slot = slot;
+            function_plan_[ReturnKey(pattern.function)].stack_slot = slot;
+          }
+          break;
+        }
+        case automata::PatternKind::kAssertionSite:
+          break;  // routed by automaton id via site events
+      }
+    }
+  }
+  bound_slot_count_ = static_cast<uint32_t>(bound_slots.size());
+  cleanup_slot_count_ = static_cast<uint32_t>(cleanup_slots.size());
+  bound_slot_shards_.assign(bound_slot_count_, 0);
+  cleanup_slot_shards_.assign(cleanup_slot_count_, 0);
+
+  // Pass 2: bound routing per key.
+  std::vector<std::vector<uint32_t>> starts(symbols * 2);
+  std::vector<std::vector<uint32_t>> ends(symbols * 2);
+  std::vector<std::vector<int32_t>> closes(symbols * 2);
+  for (const CompiledClass& cls : classes_) {
+    starts[cls.start_key].push_back(cls.id);
+    ends[cls.end_key].push_back(cls.id);
+    auto& closed = closes[cls.end_key];
+    if (std::find(closed.begin(), closed.end(), cls.bound_slot) == closed.end()) {
+      closed.push_back(cls.bound_slot);
+    }
+    KeyPlan& start_plan = function_plan_[cls.start_key];
+    start_plan.bound_slot = cls.bound_slot;
+    start_plan.start_contexts |= cls.is_global ? 2 : 1;
+    function_plan_[cls.end_key].cleanup_slot = cls.cleanup_slot;
+    if (cls.is_global) {
+      bound_slot_shards_[cls.bound_slot] |= uint64_t{1} << cls.shard;
+      cleanup_slot_shards_[cls.cleanup_slot] |= uint64_t{1} << cls.shard;
+    }
+  }
+
+  // Pass 3: flatten the gathered lists into contiguous pools.
+  for (uint64_t key = 0; key < symbols * 2; key++) {
+    KeyPlan& plan = function_plan_[key];
+    const Symbol symbol = static_cast<Symbol>(key >> 1);
+    const auto& cands = (key & 1) != 0 ? call_cands[symbol] : return_cands[symbol];
+    plan.cand_first = static_cast<uint32_t>(candidate_pool_.size());
+    plan.cand_count = static_cast<uint32_t>(cands.size());
+    candidate_pool_.insert(candidate_pool_.end(), cands.begin(), cands.end());
+    plan.start_first = static_cast<uint32_t>(class_pool_.size());
+    plan.start_count = static_cast<uint32_t>(starts[key].size());
+    class_pool_.insert(class_pool_.end(), starts[key].begin(), starts[key].end());
+    plan.end_first = static_cast<uint32_t>(class_pool_.size());
+    plan.end_count = static_cast<uint32_t>(ends[key].size());
+    class_pool_.insert(class_pool_.end(), ends[key].begin(), ends[key].end());
+    plan.closes_first = static_cast<uint32_t>(closed_bounds_pool_.size());
+    plan.closes_count = static_cast<uint32_t>(closes[key].size());
+    closed_bounds_pool_.insert(closed_bounds_pool_.end(), closes[key].begin(),
+                               closes[key].end());
+  }
+  for (Symbol symbol = 0; symbol < symbols; symbol++) {
+    KeyPlan& plan = field_plan_[symbol];
+    plan.cand_first = static_cast<uint32_t>(candidate_pool_.size());
+    plan.cand_count = static_cast<uint32_t>(field_cands[symbol].size());
+    candidate_pool_.insert(candidate_pool_.end(), field_cands[symbol].begin(),
+                           field_cands[symbol].end());
+  }
+}
+
+void Runtime::EnsurePlanCapacity(ThreadContext& ctx) {
+  if (ctx.classes_.size() < classes_.size()) {
+    ctx.classes_.resize(classes_.size());
+  }
+  if (ctx.bound_epochs_.size() < bound_slot_count_) {
+    ctx.bound_epochs_.resize(bound_slot_count_);
+  }
+  if (ctx.active_classes_.size() < cleanup_slot_count_) {
+    ctx.active_classes_.resize(cleanup_slot_count_);
+  }
+  if (ctx.stack_depth_.size() < stack_slot_count_) {
+    ctx.stack_depth_.resize(stack_slot_count_, 0);
+  }
 }
 
 int Runtime::FindAutomaton(const std::string& name) const {
@@ -142,76 +273,73 @@ ClassState& Runtime::StateFor(ThreadContext& ctx, uint32_t class_id) {
   return storage.classes_[class_id];
 }
 
-// --- event entry points ---
+// --- the unified event entry point ---
 
-void Runtime::OnFunctionCall(ThreadContext& ctx, Symbol function,
-                             std::span<const int64_t> args) {
-  ProcessFunctionEvent(ctx, function, args, /*is_return=*/false, 0);
-}
-
-void Runtime::OnFunctionReturn(ThreadContext& ctx, Symbol function,
-                               std::span<const int64_t> args, int64_t return_value) {
-  ProcessFunctionEvent(ctx, function, args, /*is_return=*/true, return_value);
-}
-
-void Runtime::ProcessFunctionEvent(ThreadContext& ctx, Symbol function,
-                                   std::span<const int64_t> args, bool is_return,
-                                   int64_t return_value) {
+void Runtime::OnEvent(ThreadContext& ctx, const Event& event) {
   Bump(stats_.events);
-
-  if (!tracked_stack_functions_.empty() && tracked_stack_functions_.count(function) != 0) {
-    ctx.stack_depth_[function] += is_return ? -1 : 1;
+  if (event.truncated) {
+    Bump(stats_.arg_truncations);
   }
+  EnsurePlanCapacity(ctx);
+  switch (event.kind) {
+    case EventKind::kFunctionCall:
+    case EventKind::kFunctionReturn:
+      ProcessFunctionEvent(ctx, event);
+      break;
+    case EventKind::kFieldStore:
+      ProcessFieldEvent(ctx, event);
+      break;
+    case EventKind::kAssertionSite:
+      ProcessSiteEvent(ctx, event);
+      break;
+  }
+}
 
-  const uint64_t key = is_return ? ReturnKey(function) : CallKey(function);
+void Runtime::ProcessFunctionEvent(ThreadContext& ctx, const Event& event) {
+  const bool is_return = event.kind == EventKind::kFunctionReturn;
+  const uint64_t key = is_return ? ReturnKey(event.target) : CallKey(event.target);
+  if (key >= function_plan_.size()) {
+    return;  // interned after the plan was compiled: cannot name any pattern
+  }
+  const KeyPlan& plan = function_plan_[key];
 
-  // The global store serialises every event that might touch it (§3.2); we
-  // conservatively take the lock for the whole event when any global
-  // automaton is registered.
-  std::unique_ptr<LockGuard<Spinlock>> guard;
-  if (any_global_) {
-    guard = std::make_unique<LockGuard<Spinlock>>(global_lock_);
+  if (plan.stack_slot >= 0) {
+    ctx.stack_depth_[plan.stack_slot] += is_return ? -1 : 1;
   }
 
   // 1. «init» transitions for bounds opened by this event.
-  auto starts = classes_by_start_.find(key);
-  if (starts != classes_by_start_.end()) {
-    HandleBoundStart(ctx, key);
+  if (plan.bound_slot >= 0) {
+    HandleBoundStart(ctx, plan);
   }
 
   // 2. Body events.
-  const auto& index = is_return ? return_candidates_ : call_candidates_;
-  auto candidates = index.find(function);
-  if (candidates != index.end()) {
-    for (const Candidate& candidate : candidates->second) {
-      const automata::EventPattern& pattern =
-          classes_[candidate.class_id].automaton.alphabet[candidate.symbol];
-      BindingSet bindings;
-      if (MatchFunctionPattern(pattern, args, is_return, return_value, &bindings)) {
-        HandleEvent(ctx, candidate, bindings);
-      }
+  for (uint32_t i = 0; i < plan.cand_count; i++) {
+    const Candidate& candidate = candidate_pool_[plan.cand_first + i];
+    const automata::EventPattern& pattern =
+        classes_[candidate.class_id].automaton.alphabet[candidate.symbol];
+    BindingSet bindings;
+    if (MatchFunctionPattern(pattern, event.args(), is_return, event.return_value,
+                             &bindings)) {
+      HandleEvent(ctx, candidate, bindings);
     }
   }
 
   // 3. «cleanup» transitions for bounds closed by this event.
-  auto ends = classes_by_end_.find(key);
-  if (ends != classes_by_end_.end()) {
-    HandleBoundEnd(ctx, key);
+  if (plan.cleanup_slot >= 0) {
+    HandleBoundEnd(ctx, plan);
   }
 }
 
-void Runtime::OnFieldStore(ThreadContext& ctx, Symbol field, int64_t object, int64_t old_value,
-                           int64_t new_value) {
-  Bump(stats_.events);
-  auto candidates = field_candidates_.find(field);
-  if (candidates == field_candidates_.end()) {
+void Runtime::ProcessFieldEvent(ThreadContext& ctx, const Event& event) {
+  if (event.target >= field_plan_.size()) {
     return;
   }
-  std::unique_ptr<LockGuard<Spinlock>> guard;
-  if (any_global_) {
-    guard = std::make_unique<LockGuard<Spinlock>>(global_lock_);
-  }
-  for (const Candidate& candidate : candidates->second) {
+  const KeyPlan& plan = field_plan_[event.target];
+  const int64_t object = event.values[0];
+  const int64_t old_value = event.values[1];
+  const int64_t new_value = event.values[2];
+  for (uint32_t i = 0; i < plan.cand_count; i++) {
+    const Candidate& candidate = candidate_pool_[plan.cand_first + i];
     const automata::EventPattern& pattern =
         classes_[candidate.class_id].automaton.alphabet[candidate.symbol];
     BindingSet bindings;
@@ -242,83 +370,126 @@ void Runtime::OnFieldStore(ThreadContext& ctx, Symbol field, int64_t object, int
   }
 }
 
-void Runtime::OnAssertionSite(ThreadContext& ctx, uint32_t automaton_id,
-                              std::span<const Binding> site_bindings) {
-  Bump(stats_.events);
+void Runtime::ProcessSiteEvent(ThreadContext& ctx, const Event& event) {
+  const uint32_t automaton_id = event.target;
   if (automaton_id >= classes_.size()) {
     return;
   }
-  std::unique_ptr<LockGuard<Spinlock>> guard;
-  if (any_global_) {
-    guard = std::make_unique<LockGuard<Spinlock>>(global_lock_);
-  }
   BindingSet bindings;
-  for (const Binding& binding : site_bindings) {
-    if (!bindings.Add(binding.var, binding.value)) {
+  for (uint8_t i = 0; i < event.count; i++) {
+    if (!bindings.Add(event.vars[i], event.values[i])) {
       // Inconsistent caller-provided bindings; surface as a site violation.
       ReportViolation(automaton_id, ViolationKind::kBadSite, "inconsistent site bindings");
       return;
     }
   }
-  HandleSiteEvent(ctx, automaton_id, bindings);
+  const CompiledClass& cls = classes_[automaton_id];
+  if (cls.is_global) {
+    LockGuard<Spinlock> guard(shards_[cls.shard]->lock);
+    HandleSiteEvent(ctx, automaton_id, bindings);
+  } else {
+    HandleSiteEvent(ctx, automaton_id, bindings);
+  }
 }
 
 // --- bound lifecycle ---
 
-void Runtime::HandleBoundStart(ThreadContext& ctx, uint64_t key) {
+void Runtime::HandleBoundStart(ThreadContext& ctx, const KeyPlan& plan) {
   Bump(stats_.bound_entries);
   if (options_.lazy_init) {
     // O(1): bump the bound's epoch; instances materialise on first real
-    // event. Classes sharing the bound share the epoch entry, so the cost is
+    // event. Classes sharing the bound share the epoch slot, so the cost is
     // per-storage-context, not per-automaton.
-    uint8_t contexts = bound_start_contexts_.at(key);
-    if (contexts & 1) {
-      BoundEpoch& epoch = ctx.bound_epochs_[key];
+    if ((plan.start_contexts & 1) != 0) {
+      BoundEpoch& epoch = ctx.bound_epochs_[plan.bound_slot];
       epoch.epoch++;
       epoch.open = true;
     }
-    if (contexts & 2) {
-      BoundEpoch& epoch = global_context_->bound_epochs_[key];
-      epoch.epoch++;
-      epoch.open = true;
+    if ((plan.start_contexts & 2) != 0) {
+      uint64_t mask = bound_slot_shards_[plan.bound_slot];
+      for (uint32_t shard = 0; mask != 0; shard++, mask >>= 1) {
+        if ((mask & 1) == 0) {
+          continue;
+        }
+        GlobalShard& global = *shards_[shard];
+        LockGuard<Spinlock> guard(global.lock);
+        BoundEpoch& epoch = global.context->bound_epochs_[plan.bound_slot];
+        epoch.epoch++;
+        epoch.open = true;
+      }
     }
     return;
   }
   // Naive mode: touch every automaton sharing this bound (the per-syscall
   // cost fig. 13 measures).
-  for (uint32_t class_id : classes_by_start_.at(key)) {
+  for (uint32_t i = 0; i < plan.start_count; i++) {
+    ActivateClassSharded(ctx, class_pool_[plan.start_first + i]);
+  }
+}
+
+void Runtime::HandleBoundEnd(ThreadContext& ctx, const KeyPlan& plan) {
+  Bump(stats_.bound_exits);
+  if (!options_.lazy_init) {
+    for (uint32_t i = 0; i < plan.end_count; i++) {
+      CleanupClassSharded(ctx, class_pool_[plan.end_first + i]);
+    }
+    return;
+  }
+
+  // Per-thread pass: this context's live classes and open bounds.
+  {
+    auto& active = ctx.active_classes_[plan.cleanup_slot];
+    for (uint32_t class_id : active) {
+      CleanupClass(ctx, class_id);
+    }
+    active.clear();
+  }
+  uint64_t shard_mask = 0;
+  for (uint32_t i = 0; i < plan.closes_count; i++) {
+    const int32_t slot = closed_bounds_pool_[plan.closes_first + i];
+    ctx.bound_epochs_[slot].open = false;
+    shard_mask |= bound_slot_shards_[slot];
+  }
+  if (!any_global_) {
+    return;
+  }
+
+  // Global pass: only shards hosting classes that end or close a bound here.
+  shard_mask |= cleanup_slot_shards_[plan.cleanup_slot];
+  for (uint32_t shard = 0; shard_mask != 0; shard++, shard_mask >>= 1) {
+    if ((shard_mask & 1) == 0) {
+      continue;
+    }
+    GlobalShard& global = *shards_[shard];
+    LockGuard<Spinlock> guard(global.lock);
+    ThreadContext& storage = *global.context;
+    auto& active = storage.active_classes_[plan.cleanup_slot];
+    for (uint32_t class_id : active) {
+      CleanupClass(ctx, class_id);
+    }
+    active.clear();
+    for (uint32_t i = 0; i < plan.closes_count; i++) {
+      storage.bound_epochs_[closed_bounds_pool_[plan.closes_first + i]].open = false;
+    }
+  }
+}
+
+void Runtime::ActivateClassSharded(ThreadContext& ctx, uint32_t class_id) {
+  const CompiledClass& cls = classes_[class_id];
+  if (cls.is_global) {
+    LockGuard<Spinlock> guard(shards_[cls.shard]->lock);
+    ActivateClass(ctx, class_id);
+  } else {
     ActivateClass(ctx, class_id);
   }
 }
 
-void Runtime::HandleBoundEnd(ThreadContext& ctx, uint64_t key) {
-  Bump(stats_.bound_exits);
-  if (options_.lazy_init) {
-    for (bool global_pass : {false, true}) {
-      ThreadContext& storage = global_pass ? *global_context_ : ctx;
-      auto it = storage.active_classes_.find(key);
-      if (it != storage.active_classes_.end()) {
-        for (uint32_t class_id : it->second) {
-          CleanupClass(ctx, class_id);
-        }
-        it->second.clear();
-      }
-      auto closed = bounds_closed_by_.find(key);
-      if (closed != bounds_closed_by_.end()) {
-        for (uint64_t start_key : closed->second) {
-          auto epoch = storage.bound_epochs_.find(start_key);
-          if (epoch != storage.bound_epochs_.end()) {
-            epoch->second.open = false;
-          }
-        }
-      }
-      if (!any_global_) {
-        break;
-      }
-    }
-    return;
-  }
-  for (uint32_t class_id : classes_by_end_.at(key)) {
+void Runtime::CleanupClassSharded(ThreadContext& ctx, uint32_t class_id) {
+  const CompiledClass& cls = classes_[class_id];
+  if (cls.is_global) {
+    LockGuard<Spinlock> guard(shards_[cls.shard]->lock);
+    CleanupClass(ctx, class_id);
+  } else {
     CleanupClass(ctx, class_id);
   }
 }
@@ -389,11 +560,11 @@ bool Runtime::EnsureActive(ThreadContext& ctx, uint32_t class_id) {
     return state.active;
   }
   ThreadContext& storage = ContextFor(ctx, class_id);
-  auto it = storage.bound_epochs_.find(cls.start_key);
-  if (it == storage.bound_epochs_.end() || !it->second.open) {
+  const BoundEpoch& epoch_entry = storage.bound_epochs_[cls.bound_slot];
+  if (!epoch_entry.open) {
     return false;  // no bound currently open for this class
   }
-  const uint64_t current = it->second.epoch;
+  const uint64_t current = epoch_entry.epoch;
   if (state.active && state.epoch == current) {
     return true;
   }
@@ -406,7 +577,7 @@ bool Runtime::EnsureActive(ThreadContext& ctx, uint32_t class_id) {
     return false;  // pool overflow
   }
   state.epoch = current;
-  storage.active_classes_[cls.end_key].push_back(class_id);
+  storage.active_classes_[cls.cleanup_slot].push_back(class_id);
   return true;
 }
 
@@ -414,6 +585,17 @@ bool Runtime::EnsureActive(ThreadContext& ctx, uint32_t class_id) {
 
 void Runtime::HandleEvent(ThreadContext& ctx, const Candidate& candidate,
                           const BindingSet& bindings) {
+  const CompiledClass& cls = classes_[candidate.class_id];
+  if (cls.is_global) {
+    LockGuard<Spinlock> guard(shards_[cls.shard]->lock);
+    HandleEventLocked(ctx, candidate, bindings);
+  } else {
+    HandleEventLocked(ctx, candidate, bindings);
+  }
+}
+
+void Runtime::HandleEventLocked(ThreadContext& ctx, const Candidate& candidate,
+                                const BindingSet& bindings) {
   if (!EnsureActive(ctx, candidate.class_id)) {
     return;
   }

@@ -1,15 +1,26 @@
 // libtesla: the TESLA run-time support library (paper §4.4).
 //
 // A Runtime holds compiled automaton classes registered from a Manifest and
-// manages their instances. Events arrive through the On*() entry points —
-// called either by generated event translators (the IR instrumentation path)
-// or by native instrumentation scope guards (see runtime/scope.h).
+// manages their instances. Events arrive as unified Event records (see
+// runtime/event.h) through OnEvent() — built either by generated event
+// translators (the IR instrumentation path) or by native instrumentation
+// scope guards (see runtime/scope.h). The legacy On*() entry points are thin
+// wrappers that marshal into an Event.
+//
+// Dispatch plan: Register() compiles all per-symbol routing into flat
+// vectors indexed by (Symbol, call/return) keys — candidate lists, bound
+// start/end handling, tracked-call-stack slots. Symbols are dense interner
+// indices (the interner is frozen at Register() time), so the hot path
+// performs zero hash lookups: every event costs one or two vector indexings
+// plus the per-candidate pattern matches.
 //
 // Event serialisation contexts (§3.2):
 //   * per-thread automata store instances in a ThreadContext, one per
 //     (simulated or real) thread — serialisation is implicit;
-//   * global automata store instances in a runtime-owned context behind a
-//     spinlock — the explicit synchronisation whose cost fig. 12 measures.
+//   * global automata store instances in runtime-owned shard contexts, each
+//     behind its own spinlock — the explicit synchronisation whose cost
+//     fig. 12 measures. Automaton classes map to shards by id, so
+//     independent global automata no longer contend on one lock.
 //
 // Instance lifecycle (§4.4.1): «init» on the bound's start event creates the
 // wildcard (∗) instance; events binding new variable values clone it; the
@@ -28,6 +39,7 @@
 
 #include "automata/determinize.h"
 #include "automata/manifest.h"
+#include "runtime/event.h"
 #include "runtime/handler.h"
 #include "runtime/instance.h"
 #include "runtime/options.h"
@@ -57,7 +69,9 @@ struct BoundEpoch {
 
 // One event-serialisation context: all per-thread automata instances for one
 // thread of execution, plus its instance pool and call-stack view. Simulated
-// kernels may host many ThreadContexts on one host thread.
+// kernels may host many ThreadContexts on one host thread. The runtime's
+// global shards are ThreadContexts too, owned by the Runtime and guarded by
+// their shard's lock.
 class ThreadContext {
  public:
   explicit ThreadContext(Runtime& runtime);
@@ -67,10 +81,7 @@ class ThreadContext {
   ThreadContext& operator=(const ThreadContext&) = delete;
 
   // incallstack() support: whether `function` is on this context's stack.
-  bool InCallStack(Symbol function) const {
-    auto it = stack_depth_.find(function);
-    return it != stack_depth_.end() && it->second > 0;
-  }
+  bool InCallStack(Symbol function) const;
 
   uint64_t pool_overflows() const { return pool_.overflows(); }
 
@@ -80,10 +91,10 @@ class ThreadContext {
   Runtime& runtime_;
   std::vector<ClassState> classes_;
   FixedPool<Instance> pool_;
-  std::unordered_map<uint64_t, BoundEpoch> bound_epochs_;  // keyed by start-event key
-  // Lazy cleanup: classes with live instances, grouped by end-event key.
-  std::unordered_map<uint64_t, std::vector<uint32_t>> active_classes_;
-  std::unordered_map<Symbol, int> stack_depth_;
+  // Dense plan-slot indexed state (see Runtime's compiled dispatch plan):
+  std::vector<BoundEpoch> bound_epochs_;               // by bound slot
+  std::vector<std::vector<uint32_t>> active_classes_;  // live classes, by cleanup slot
+  std::vector<int32_t> stack_depth_;                   // by tracked-stack slot
 };
 
 class Runtime {
@@ -94,9 +105,10 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  // Compiles and registers every automaton in `manifest`. Must be called
-  // before ThreadContexts are created. Fails on automata with more than
-  // kMaxVariables variables or malformed bounds.
+  // Compiles and registers every automaton in `manifest`, then (re)compiles
+  // the dispatch plan. Must be called before ThreadContexts are created.
+  // Fails on automata with more than kMaxVariables variables or malformed
+  // bounds.
   Status Register(const automata::Manifest& manifest);
 
   // Looks up a registered automaton by name; returns -1 if absent.
@@ -104,21 +116,33 @@ class Runtime {
 
   void AddHandler(EventHandler* handler) { handlers_.push_back(handler); }
 
-  // --- event entry points ---
+  // --- the unified event entry point ---
 
-  void OnFunctionCall(ThreadContext& ctx, Symbol function, std::span<const int64_t> args);
+  void OnEvent(ThreadContext& ctx, const Event& event);
+
+  // --- legacy entry points (thin wrappers over OnEvent) ---
+
+  void OnFunctionCall(ThreadContext& ctx, Symbol function, std::span<const int64_t> args) {
+    OnEvent(ctx, Event::Call(function, args));
+  }
   void OnFunctionReturn(ThreadContext& ctx, Symbol function, std::span<const int64_t> args,
-                        int64_t return_value);
+                        int64_t return_value) {
+    OnEvent(ctx, Event::Return(function, args, return_value));
+  }
   // A store to `object`'s field: `old_value` is the field's prior contents
   // (the translator receives "a pointer to the field (and thus its current
   // value) and the new value", §4.2), which lets compound-assignment patterns
   // (+=, ++) match.
   void OnFieldStore(ThreadContext& ctx, Symbol field, int64_t object, int64_t old_value,
-                    int64_t new_value);
+                    int64_t new_value) {
+    OnEvent(ctx, Event::FieldStore(field, object, old_value, new_value));
+  }
   // `automaton_id` is FindAutomaton()'s result; `site_bindings` carries the
   // current values of the assertion's in-scope variables.
   void OnAssertionSite(ThreadContext& ctx, uint32_t automaton_id,
-                       std::span<const Binding> site_bindings);
+                       std::span<const Binding> site_bindings) {
+    OnEvent(ctx, Event::Site(automaton_id, site_bindings));
+  }
 
   const RuntimeStats& stats() const { return stats_; }
   void ResetStats() { stats_ = RuntimeStats{}; }
@@ -128,6 +152,9 @@ class Runtime {
   const automata::Automaton& automaton(uint32_t id) const { return classes_[id].automaton; }
   const automata::Dfa& dfa(uint32_t id) const { return classes_[id].dfa; }
 
+  // Number of global-context shards in use (≤ RuntimeOptions::global_shards).
+  uint32_t shard_count() const { return shard_count_; }
+
  private:
   friend class ThreadContext;
 
@@ -136,8 +163,11 @@ class Runtime {
     automata::Automaton automaton;
     automata::Dfa dfa;
     bool is_global = false;
+    uint32_t shard = 0;      // global classes: owning shard index
     uint64_t start_key = 0;  // (function, kind) key of the «init» event
     uint64_t end_key = 0;    // (function, kind) key of the «cleanup» event
+    int32_t bound_slot = -1;    // dense slot shared by classes with this start key
+    int32_t cleanup_slot = -1;  // dense slot shared by classes with this end key
     std::vector<uint16_t> site_variants;  // incallstack() symbols
     automata::StateSet initial_states = 0;
     uint32_t initial_dfa_state = 0;
@@ -146,6 +176,32 @@ class Runtime {
   struct Candidate {
     uint32_t class_id = 0;
     uint16_t symbol = 0;
+  };
+
+  // Compiled routing for one (symbol, call/return) key — or, in field_plan_,
+  // for one field symbol (only the candidate range is used there). All
+  // ranges index the flat pools below; every hot-path decision is a couple
+  // of loads from this one cache line.
+  struct KeyPlan {
+    uint32_t cand_first = 0;  // candidate_pool_ range
+    uint32_t cand_count = 0;
+    int32_t bound_slot = -1;    // ≥0: this key opens a temporal bound
+    int32_t cleanup_slot = -1;  // ≥0: this key closes a temporal bound
+    int32_t stack_slot = -1;    // ≥0: incallstack()-tracked function
+    uint8_t start_contexts = 0;  // bit0: per-thread classes start here; bit1: global
+    uint32_t start_first = 0;  // class_pool_ range: classes to activate (naive mode)
+    uint32_t start_count = 0;
+    uint32_t end_first = 0;  // class_pool_ range: classes to clean up (naive mode)
+    uint32_t end_count = 0;
+    uint32_t closes_first = 0;  // closed_bounds_pool_ range: bound slots closed here
+    uint32_t closes_count = 0;
+  };
+
+  // One global-automaton storage shard: a runtime-owned context behind its
+  // own lock (heap-allocated so the vector never needs to move a Spinlock).
+  struct GlobalShard {
+    Spinlock lock;
+    std::unique_ptr<ThreadContext> context;
   };
 
   // An event's variable bindings: a fixed-size buffer, one slot per variable.
@@ -169,22 +225,41 @@ class Runtime {
   static uint64_t CallKey(Symbol function) { return (uint64_t{function} << 1) | 1; }
   static uint64_t ReturnKey(Symbol function) { return uint64_t{function} << 1; }
 
+  // Recompiles the flat dispatch plan from classes_ (idempotent; run after
+  // every Register() so repeated registration stays legal).
+  void CompilePlan();
+  // Grows `ctx`'s slot-indexed vectors to the current plan's extents. Only
+  // does work when Register() ran after the context was created.
+  void EnsurePlanCapacity(ThreadContext& ctx);
+
   ThreadContext& ContextFor(ThreadContext& ctx, uint32_t class_id) {
-    return classes_[class_id].is_global ? *global_context_ : ctx;
+    const CompiledClass& cls = classes_[class_id];
+    return cls.is_global ? *shards_[cls.shard]->context : ctx;
   }
   ClassState& StateFor(ThreadContext& ctx, uint32_t class_id);
+  int32_t StackSlotFor(Symbol function) const {
+    const uint64_t key = CallKey(function);
+    return key < function_plan_.size() ? function_plan_[key].stack_slot : -1;
+  }
 
-  void ProcessFunctionEvent(ThreadContext& ctx, Symbol function, std::span<const int64_t> args,
-                            bool is_return, int64_t return_value);
+  void ProcessFunctionEvent(ThreadContext& ctx, const Event& event);
+  void ProcessFieldEvent(ThreadContext& ctx, const Event& event);
+  void ProcessSiteEvent(ThreadContext& ctx, const Event& event);
 
-  void HandleBoundStart(ThreadContext& ctx, uint64_t key);
-  void HandleBoundEnd(ThreadContext& ctx, uint64_t key);
+  void HandleBoundStart(ThreadContext& ctx, const KeyPlan& plan);
+  void HandleBoundEnd(ThreadContext& ctx, const KeyPlan& plan);
+  // Lock-aware wrappers: take the class's shard lock for global classes.
+  void ActivateClassSharded(ThreadContext& ctx, uint32_t class_id);
+  void CleanupClassSharded(ThreadContext& ctx, uint32_t class_id);
   void ActivateClass(ThreadContext& ctx, uint32_t class_id);
   void CleanupClass(ThreadContext& ctx, uint32_t class_id);
-  // Returns true if the class is (or, lazily, becomes) active.
+  // Returns true if the class is (or, lazily, becomes) active. For global
+  // classes the caller must hold the class's shard lock.
   bool EnsureActive(ThreadContext& ctx, uint32_t class_id);
 
   void HandleEvent(ThreadContext& ctx, const Candidate& candidate, const BindingSet& bindings);
+  void HandleEventLocked(ThreadContext& ctx, const Candidate& candidate,
+                         const BindingSet& bindings);
   void HandleSiteEvent(ThreadContext& ctx, uint32_t class_id, const BindingSet& bindings);
   // Shared instance-matching core: steps exact matches or clones consistent
   // instances on any of `symbols`; returns true if any instance stepped.
@@ -208,23 +283,24 @@ class Runtime {
   std::vector<EventHandler*> handlers_;
   std::unordered_map<std::string, uint32_t> by_name_;
 
-  std::unordered_map<uint64_t, std::vector<uint32_t>> classes_by_start_;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> classes_by_end_;
-  // Per start key: bit 0 = some per-thread class uses it, bit 1 = some
-  // global class does. Lets the lazy bound-entry path run in O(1) instead of
-  // scanning every class sharing the bound.
-  std::unordered_map<uint64_t, uint8_t> bound_start_contexts_;
-  // end-event key → distinct start-event keys it closes (lazy bookkeeping).
-  std::unordered_map<uint64_t, std::vector<uint64_t>> bounds_closed_by_;
-  std::unordered_map<Symbol, std::vector<Candidate>> call_candidates_;
-  std::unordered_map<Symbol, std::vector<Candidate>> return_candidates_;
-  std::unordered_map<Symbol, std::vector<Candidate>> field_candidates_;
-  std::unordered_map<Symbol, bool> tracked_stack_functions_;
+  // --- the compiled dispatch plan (rebuilt by CompilePlan()) ---
+  std::vector<KeyPlan> function_plan_;  // by (symbol << 1) | is_call
+  std::vector<KeyPlan> field_plan_;     // by field symbol (candidates only)
+  std::vector<Candidate> candidate_pool_;
+  std::vector<uint32_t> class_pool_;         // naive-mode start/end class lists
+  std::vector<int32_t> closed_bounds_pool_;  // bound slots closed per end key
+  // Shard masks, by slot: which shards host global classes sharing the slot.
+  std::vector<uint64_t> bound_slot_shards_;
+  std::vector<uint64_t> cleanup_slot_shards_;
+  uint32_t bound_slot_count_ = 0;
+  uint32_t cleanup_slot_count_ = 0;
+  uint32_t stack_slot_count_ = 0;
   bool any_global_ = false;
 
-  // Global-context storage (shared across threads, spinlock-serialised).
-  Spinlock global_lock_;
-  std::unique_ptr<ThreadContext> global_context_;
+  // Global-context storage, sharded (shared across threads, each shard
+  // spinlock-serialised).
+  uint32_t shard_count_ = 1;
+  std::vector<std::unique_ptr<GlobalShard>> shards_;
 };
 
 }  // namespace tesla::runtime

@@ -7,13 +7,17 @@
 // exactly the shape of code the instrumenter emits ("instrumentation [added]
 // to the target function's entry basic block and before any return
 // instructions", §4.2).
+//
+// Both guards marshal through the unified Event record: the scope builds its
+// Event once at entry and replays the same (possibly truncated, and counted
+// as such) argument payload on return.
 #ifndef TESLA_RUNTIME_SCOPE_H_
 #define TESLA_RUNTIME_SCOPE_H_
 
-#include <array>
 #include <cstdint>
 #include <initializer_list>
 
+#include "runtime/event.h"
 #include "runtime/runtime.h"
 #include "support/intern.h"
 
@@ -23,25 +27,19 @@ class FunctionScope {
  public:
   FunctionScope(Runtime* runtime, ThreadContext* ctx, Symbol function,
                 std::initializer_list<int64_t> args)
-      : runtime_(runtime), ctx_(ctx), function_(function), arg_count_(args.size()) {
-    size_t i = 0;
-    for (int64_t arg : args) {
-      if (i >= args_.size()) {
-        break;
-      }
-      args_[i++] = arg;
-    }
+      : runtime_(runtime),
+        ctx_(ctx),
+        event_(Event::Call(function, std::span<const int64_t>(args.begin(), args.size()))) {
     if (runtime_ != nullptr) {
-      runtime_->OnFunctionCall(*ctx_, function_,
-                               std::span<const int64_t>(args_.data(), arg_count_));
+      runtime_->OnEvent(*ctx_, event_);
     }
   }
 
   ~FunctionScope() {
     if (runtime_ != nullptr) {
-      runtime_->OnFunctionReturn(*ctx_, function_,
-                                 std::span<const int64_t>(args_.data(), arg_count_),
-                                 return_value_);
+      event_.kind = EventKind::kFunctionReturn;
+      event_.return_value = return_value_;
+      runtime_->OnEvent(*ctx_, event_);
     }
   }
 
@@ -58,9 +56,7 @@ class FunctionScope {
  private:
   Runtime* runtime_;
   ThreadContext* ctx_;
-  Symbol function_;
-  std::array<int64_t, 8> args_{};
-  size_t arg_count_;
+  Event event_;
   int64_t return_value_ = 0;
 };
 
@@ -72,8 +68,8 @@ void StoreField(Runtime* runtime, ThreadContext* ctx, Symbol field, int64_t obje
   T old_value = *slot;
   *slot = new_value;
   if (runtime != nullptr) {
-    runtime->OnFieldStore(*ctx, field, object, static_cast<int64_t>(old_value),
-                          static_cast<int64_t>(new_value));
+    runtime->OnEvent(*ctx, Event::FieldStore(field, object, static_cast<int64_t>(old_value),
+                                             static_cast<int64_t>(new_value)));
   }
 }
 

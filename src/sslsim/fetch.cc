@@ -45,7 +45,7 @@ FetchResult FetchClient::FetchDocument(const Server& server) {
   if (instr_.rt != nullptr) {
     int id = instr_.rt->FindAutomaton(kVerifyAssertionName);
     if (id >= 0) {
-      instr_.rt->OnAssertionSite(*instr_.ctx, static_cast<uint32_t>(id), {});
+      instr_.rt->OnEvent(*instr_.ctx, runtime::Event::Site(static_cast<uint32_t>(id), {}));
     }
   }
 

@@ -2,7 +2,10 @@
 //
 // The instrumenter and runtime key automata and events by function / field
 // names; interning makes those comparisons O(1) and the event structures
-// trivially copyable.
+// trivially copyable. Because symbols are handed out densely from 0, a
+// frozen interner doubles as the index space for flat dispatch tables: the
+// runtime snapshots the symbol count with Freeze() at Register() time and
+// routes events through vectors indexed by Symbol instead of hash maps.
 #ifndef TESLA_SUPPORT_INTERN_H_
 #define TESLA_SUPPORT_INTERN_H_
 
@@ -19,6 +22,16 @@ using Symbol = uint32_t;
 
 inline constexpr Symbol kNoSymbol = 0;
 
+// Transparent (heterogeneous) hashing: lets the interner probe its index
+// with a string_view directly, so Intern()/Lookup() of an already-interned
+// name never allocates a temporary std::string.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view text) const noexcept {
+    return std::hash<std::string_view>{}(text);
+  }
+};
+
 class StringInterner {
  public:
   StringInterner() { Intern(""); }
@@ -27,7 +40,7 @@ class StringInterner {
   StringInterner& operator=(const StringInterner&) = delete;
 
   Symbol Intern(std::string_view text) {
-    auto it = index_.find(std::string(text));
+    auto it = index_.find(text);
     if (it != index_.end()) {
       return it->second;
     }
@@ -39,9 +52,22 @@ class StringInterner {
 
   // Returns kNoSymbol when `text` has never been interned.
   Symbol Lookup(std::string_view text) const {
-    auto it = index_.find(std::string(text));
+    auto it = index_.find(text);
     return it == index_.end() ? kNoSymbol : it->second;
   }
+
+  // Marks the dense prefix [0, size()) as stable and returns its extent.
+  // Interning stays legal afterwards (late-loaded units keep working), but
+  // table-based consumers size their flat arrays to frozen_size() and treat
+  // later symbols as unroutable, which is exactly right: a symbol interned
+  // after the dispatch plan was compiled cannot name any registered pattern.
+  Symbol Freeze() {
+    frozen_size_ = static_cast<Symbol>(strings_.size());
+    return frozen_size_;
+  }
+
+  Symbol frozen_size() const { return frozen_size_; }
+  bool frozen() const { return frozen_size_ != 0; }
 
   const std::string& Spelling(Symbol symbol) const { return strings_.at(symbol); }
 
@@ -49,7 +75,8 @@ class StringInterner {
 
  private:
   std::vector<std::string> strings_;
-  std::unordered_map<std::string, Symbol> index_;
+  std::unordered_map<std::string, Symbol, TransparentStringHash, std::equal_to<>> index_;
+  Symbol frozen_size_ = 0;
 };
 
 // Process-wide interner. TESLA manifests name functions across translation

@@ -1,0 +1,140 @@
+// Multithreaded stress test for the sharded global-context store.
+//
+// N real threads each drive their own global automaton class (disjoint
+// function alphabets), so every per-class outcome is deterministic even
+// though the threads hammer the runtime — and the shard locks — in parallel.
+// The aggregate statistics must therefore be identical to a single-threaded
+// replay of the same per-class event streams. Run under -fsanitize=thread in
+// CI, this doubles as the data-race check for the dispatch plan and the
+// shard locking protocol.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/lower.h"
+#include "automata/manifest.h"
+#include "runtime/runtime.h"
+
+namespace tesla {
+namespace {
+
+constexpr int kClasses = 8;
+constexpr int kIterations = 2000;
+
+struct ClassSymbols {
+  Symbol enter;
+  Symbol check;
+  Symbol exit;
+  uint32_t id;
+};
+
+automata::Manifest MakeManifest() {
+  automata::Manifest manifest;
+  for (int g = 0; g < kClasses; g++) {
+    const std::string n = std::to_string(g);
+    const std::string source = "TESLA_GLOBAL(call(enter" + n + "), returnfrom(exit" + n +
+                               "), previously(check" + n + "(x) == 0))";
+    auto automaton = automata::CompileAssertion(source, {}, "conc-" + n);
+    EXPECT_TRUE(automaton.ok()) << automaton.error().ToString();
+    manifest.Add(std::move(automaton.value()));
+  }
+  return manifest;
+}
+
+// Interned up front on the main thread: the global interner is not
+// synchronised, and worker threads must only read symbols.
+std::vector<ClassSymbols> ResolveSymbols(runtime::Runtime& rt) {
+  std::vector<ClassSymbols> symbols;
+  for (int g = 0; g < kClasses; g++) {
+    const std::string n = std::to_string(g);
+    ClassSymbols s;
+    s.enter = InternString("enter" + n);
+    s.check = InternString("check" + n);
+    s.exit = InternString("exit" + n);
+    s.id = static_cast<uint32_t>(rt.FindAutomaton("conc-" + n));
+    EXPECT_GE(rt.FindAutomaton("conc-" + n), 0);
+    symbols.push_back(s);
+  }
+  return symbols;
+}
+
+// One class's full event stream: every 5th bound skips the check, so the
+// site deterministically fires a violation; all others accept.
+void DriveClass(runtime::Runtime& rt, runtime::ThreadContext& ctx, const ClassSymbols& s) {
+  for (int i = 0; i < kIterations; i++) {
+    rt.OnFunctionCall(ctx, s.enter, {});
+    if (i % 5 != 4) {
+      int64_t args[] = {i % 7};
+      rt.OnFunctionReturn(ctx, s.check, args, 0);
+    }
+    runtime::Binding site[] = {{0, i % 7}};
+    rt.OnAssertionSite(ctx, s.id, site);
+    rt.OnFunctionReturn(ctx, s.exit, {}, 0);
+  }
+}
+
+struct Totals {
+  uint64_t accepts;
+  uint64_t violations;
+  uint64_t instances_created;
+  uint64_t bound_entries;
+  uint64_t bound_exits;
+};
+
+Totals RunWorkload(size_t shards, bool threaded) {
+  runtime::RuntimeOptions options;
+  options.fail_stop = false;
+  options.global_shards = shards;
+  runtime::Runtime rt(options);
+  automata::Manifest manifest = MakeManifest();
+  EXPECT_TRUE(rt.Register(manifest).ok());
+  std::vector<ClassSymbols> symbols = ResolveSymbols(rt);
+
+  if (threaded) {
+    std::vector<std::thread> workers;
+    for (int g = 0; g < kClasses; g++) {
+      workers.emplace_back([&rt, &symbols, g] {
+        runtime::ThreadContext ctx(rt);
+        DriveClass(rt, ctx, symbols[g]);
+      });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  } else {
+    runtime::ThreadContext ctx(rt);
+    for (int g = 0; g < kClasses; g++) {
+      DriveClass(rt, ctx, symbols[g]);
+    }
+  }
+
+  const runtime::RuntimeStats& stats = rt.stats();
+  return Totals{stats.accepts, stats.violations, stats.instances_created,
+                stats.bound_entries, stats.bound_exits};
+}
+
+class ConcurrencyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ConcurrencyTest, ThreadedCountsMatchSingleThreadedReplay) {
+  const size_t shards = GetParam();
+  Totals threaded = RunWorkload(shards, /*threaded=*/true);
+  Totals replay = RunWorkload(shards, /*threaded=*/false);
+
+  // Sanity: the workload produced real activity on both sides.
+  EXPECT_GT(threaded.accepts, 0u);
+  EXPECT_GT(threaded.violations, 0u);
+
+  EXPECT_EQ(threaded.accepts, replay.accepts);
+  EXPECT_EQ(threaded.violations, replay.violations);
+  EXPECT_EQ(threaded.instances_created, replay.instances_created);
+  EXPECT_EQ(threaded.bound_entries, replay.bound_entries);
+  EXPECT_EQ(threaded.bound_exits, replay.bound_exits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ConcurrencyTest,
+                         ::testing::Values(size_t{1}, size_t{4}, size_t{8}));
+
+}  // namespace
+}  // namespace tesla

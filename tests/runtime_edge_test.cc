@@ -366,6 +366,26 @@ TEST(RuntimeEdge, FieldIncrementAndDecrementPatterns) {
   EXPECT_EQ(f.rt.stats().violations, 1u);
 }
 
+TEST(RuntimeEdge, FunctionScopeCountsArgumentTruncation) {
+  Fixture f("TESLA_WITHIN(syscall, previously(check(x) == 0))");
+  ThreadContext ctx(f.rt);
+  {
+    runtime::FunctionScope wide(&f.rt, &ctx, S("wide_fn"),
+                                {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  }
+  // A truncated scope fires two truncated events: its call and its return.
+  EXPECT_EQ(f.rt.stats().arg_truncations, 2u);
+  {
+    runtime::FunctionScope narrow(&f.rt, &ctx, S("narrow_fn"), {1, 2, 3});
+  }
+  EXPECT_EQ(f.rt.stats().arg_truncations, 2u);
+  {
+    runtime::FunctionScope exact(&f.rt, &ctx, S("exact_fn"),
+                                 {1, 2, 3, 4, 5, 6, 7, 8});
+  }
+  EXPECT_EQ(f.rt.stats().arg_truncations, 2u);
+}
+
 void FailStopScenario() {
   RuntimeOptions options;
   options.fail_stop = true;  // paper default
