@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "automata/lower.h"
+#include "bench/bench_util.h"
 #include "runtime/runtime.h"
 
 namespace {
@@ -90,6 +91,33 @@ void BM_UnmatchedEvent(benchmark::State& state) {
 }
 BENCHMARK(BM_UnmatchedEvent);
 
+// Console output as usual, plus every run captured into the shared JSON
+// schema (bench/README.md) so the ablations diff like the figure benches.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(tesla::bench::JsonReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      report_->Add(run.benchmark_name(), run.GetAdjustedRealTime(), "ns/op");
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  tesla::bench::JsonReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  tesla::bench::JsonReport report("ablation_runtime");
+  JsonCapturingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return report.Write() ? 0 : 1;
+}

@@ -12,6 +12,7 @@
 
 #include "automata/determinize.h"
 #include "automata/dot.h"
+#include "bench/bench_util.h"
 #include "runtime/coverage.h"
 #include "kernelsim/assertions.h"
 #include "kernelsim/kernel.h"
@@ -93,5 +94,15 @@ int main() {
 
   std::printf("---- DOT (render with graphviz) ----\n%s",
               automata::ToDot(automaton, dfa, &weights).c_str());
+
+  bench::JsonReport report("fig09_weights");
+  report.Add("observed_transitions", static_cast<double>(total), "transitions");
+  report.Add("runtime_transitions", static_cast<double>(rt.stats().transitions),
+             "transitions");
+  report.Add("weighted_edges", static_cast<double>(weights.size()), "edges");
+  report.Add("violations", static_cast<double>(rt.stats().violations), "violations");
+  if (!report.Write()) {
+    return 1;
+  }
   return rt.stats().violations == 0 ? 0 : 1;
 }

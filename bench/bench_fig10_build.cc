@@ -8,6 +8,7 @@
 // further build optimisation").
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "buildsim/buildsim.h"
 
 int main() {
@@ -39,6 +40,14 @@ int main() {
   std::printf("hooks woven into the program: %llu\n",
               static_cast<unsigned long long>(times->instrumented_hooks));
 
+  tesla::bench::JsonReport report("fig10_build");
+  report.Add("clean_default", times->clean_default_s * 1e3, "ms");
+  report.Add("clean_tesla", times->clean_tesla_s * 1e3, "ms");
+  report.Add("incremental_default", times->incremental_default_s * 1e3, "ms");
+  report.Add("incremental_tesla", times->incremental_tesla_s * 1e3, "ms");
+  report.Add("clean_slowdown", times->CleanSlowdown(), "x");
+  report.Add("incremental_slowdown", times->IncrementalSlowdown(), "x");
+
   // Ablation: restrict re-instrumentation to affected units. A sparse corpus
   // (one assertion) shows the achievable win; the dense corpus above shows
   // why §5.1 calls one-to-many re-instrumentation "a fundamental problem" —
@@ -61,6 +70,8 @@ int main() {
                 smart_times->incremental_tesla_s > 0
                     ? naive_times->incremental_tesla_s / smart_times->incremental_tesla_s
                     : 0.0);
+    report.Add("sparse_incremental_naive", naive_times->incremental_tesla_s * 1e3, "ms");
+    report.Add("sparse_incremental_smart", smart_times->incremental_tesla_s * 1e3, "ms");
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -70,6 +70,7 @@ int main() {
 
   std::printf("Figure 11a: lmbench-style open/close microbenchmark\n");
   bench::PrintHeader("time per open+close pair", "us/pair");
+  bench::JsonReport report("fig11a_syscall");
   double base = 0;
   for (const Config& config : configs) {
     double micros = MeasureConfig(config);
@@ -80,8 +81,9 @@ int main() {
       base = micros;
     }
     bench::PrintRow(config.label, micros, base);
+    report.Add(std::string("open_close.") + config.label, micros, "us/pair");
   }
   std::printf("\npaper's shape: Debug ~2-3x Release; TESLA sets grow with assertion count;\n");
   std::printf("All is the slowest TESLA bar and All(Debug) adds the debug cost on top.\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

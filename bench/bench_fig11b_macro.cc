@@ -77,6 +77,7 @@ int main() {
   std::printf("%-18s %16s %16s\n", "------------------", "----------------",
               "----------------");
 
+  bench::JsonReport report("fig11b_macro");
   Times base;
   for (const Config& config : configs) {
     Times times = MeasureConfig(config);
@@ -88,8 +89,10 @@ int main() {
     }
     std::printf("%-18s %15.3fx %15.3fx\n", config.label, times.oltp / base.oltp,
                 times.build / base.build);
+    report.Add(std::string("oltp.") + config.label, times.oltp / base.oltp, "x_vs_release");
+    report.Add(std::string("build.") + config.label, times.build / base.build, "x_vs_release");
   }
   std::printf("\npaper's shape: socket-intensive OLTP reacts to MS, FS/compute-intensive\n");
   std::printf("builds react to MF; the full suite stays near the Debug baseline (<=1.35x).\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -61,7 +61,8 @@ double MeasureSingleThread(const char* source) {
   }
   runtime::ThreadContext ctx(*rt);
   uint32_t id = static_cast<uint32_t>(rt->FindAutomaton("ctx-bench"));
-  return bench::TimePerOp([&](int n) { DriveEvents(*rt, ctx, id, n); }, 0.2) * 1e6;
+  double min_seconds = bench::SmokeMode() ? 0.01 : 0.2;
+  return bench::TimePerOp([&](int n) { DriveEvents(*rt, ctx, id, n); }, min_seconds) * 1e6;
 }
 
 double MeasureMultiThread(const char* source, int threads, int per_thread) {
@@ -162,7 +163,7 @@ int main() {
   bench::PrintRow("Global", global, per_thread);
 
   const int threads = 4;
-  const int per_thread_iters = 20000;
+  const int per_thread_iters = bench::SmokeMode() ? 2000 : 20000;
   bench::PrintHeader("4 threads, per bound (contended)", "us/bound");
   double mt_local = MeasureMultiThread(kPerThreadSource, threads, per_thread_iters);
   double mt_global = MeasureMultiThread(kGlobalSource, threads, per_thread_iters);
@@ -182,5 +183,13 @@ int main() {
   std::printf("serialisation; contention widens the gap. Sharding the global store\n");
   std::printf("removes cross-automaton contention without changing per-class\n");
   std::printf("serialisation semantics.\n");
-  return 0;
+
+  bench::JsonReport report("fig12_contexts");
+  report.Add("single_thread.per_thread", per_thread, "us/bound");
+  report.Add("single_thread.global", global, "us/bound");
+  report.Add("contended_4t.per_thread", mt_local, "us/bound");
+  report.Add("contended_4t.global", mt_global, "us/bound");
+  report.Add("independent_4t.global_1_shard", one_shard, "us/bound");
+  report.Add("independent_4t.global_8_shards", many_shards, "us/bound");
+  return report.Write() ? 0 : 1;
 }

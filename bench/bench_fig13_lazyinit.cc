@@ -50,6 +50,7 @@ Harness MakeKernel(bool lazy) {
 
 int main() {
   std::printf("Figure 13: naive (Pre) vs lazy-init (Post) libtesla, full assertion suite\n");
+  bench::JsonReport report("fig13_lazyinit");
 
   // (a) microbenchmarks.
   std::printf("\n(a) microbenchmarks, us per operation\n");
@@ -63,6 +64,8 @@ int main() {
         [&](int n) { OpenCloseLoop(*post.kernel, *post.td, n); }, 0.15) * 1e6;
     std::printf("%-24s %12.3f %12.3f %9.1fx\n", "MAC open/close", pre_oc, post_oc,
                 post_oc > 0 ? pre_oc / post_oc : 0.0);
+    report.Add("micro.open_close.pre", pre_oc, "us/op");
+    report.Add("micro.open_close.post", post_oc, "us/op");
 
     auto poll_loop = [](Harness& harness, int n) {
       int64_t sock = harness.kernel->SysSocket(*harness.td);
@@ -77,6 +80,8 @@ int main() {
         bench::TimePerOp([&](int n) { poll_loop(post, n); }, 0.15) * 1e6;
     std::printf("%-24s %12.3f %12.3f %9.1fx\n", "MAC poll", pre_poll, post_poll,
                 post_poll > 0 ? pre_poll / post_poll : 0.0);
+    report.Add("micro.poll.pre", pre_poll, "us/op");
+    report.Add("micro.poll.post", post_poll, "us/op");
   }
 
   // (b) macrobenchmarks, normalised against an uninstrumented kernel.
@@ -106,9 +111,13 @@ int main() {
                 post_oltp / base_oltp);
     std::printf("%-24s %11.2fx %11.2fx\n", "Build (FS/compute)", pre_build / base_build,
                 post_build / base_build);
+    report.Add("macro.oltp.pre", pre_oltp / base_oltp, "x_vs_release");
+    report.Add("macro.oltp.post", post_oltp / base_oltp, "x_vs_release");
+    report.Add("macro.build.pre", pre_build / base_build, "x_vs_release");
+    report.Add("macro.build.post", post_build / base_build, "x_vs_release");
   }
 
   std::printf("\npaper's shape: micro ~100x -> <7x; OLTP ~10x -> near baseline;\n");
   std::printf("builds ~2x -> <10%% overhead.\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

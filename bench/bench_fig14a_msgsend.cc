@@ -80,16 +80,20 @@ int main() {
 
   std::printf("Figure 14a: Objective-C message send cost by mode\n");
   bench::PrintHeader("tight message-send loop", "ns/message");
+  bench::JsonReport report("fig14a_msgsend");
   double release = MeasureMode(TraceMode::kRelease, nullptr, nullptr);
+  double tracing = MeasureMode(TraceMode::kTracingCompiled, nullptr, nullptr);
+  double interposed = MeasureMode(TraceMode::kInterposed, nullptr, nullptr);
+  double tesla_mode = MeasureMode(TraceMode::kTesla, &tesla_rt, &ctx);
   bench::PrintRow("Release (no tracing)", release, release);
-  bench::PrintRow("Tracing compiled in", MeasureMode(TraceMode::kTracingCompiled, nullptr,
-                                                     nullptr),
-                  release);
-  bench::PrintRow("Trivial interposition", MeasureMode(TraceMode::kInterposed, nullptr,
-                                                       nullptr),
-                  release);
-  bench::PrintRow("TESLA automaton", MeasureMode(TraceMode::kTesla, &tesla_rt, &ctx), release);
+  bench::PrintRow("Tracing compiled in", tracing, release);
+  bench::PrintRow("Trivial interposition", interposed, release);
+  bench::PrintRow("TESLA automaton", tesla_mode, release);
+  report.Add("msgsend.release", release, "ns/message");
+  report.Add("msgsend.tracing_compiled", tracing, "ns/message");
+  report.Add("msgsend.interposed", interposed, "ns/message");
+  report.Add("msgsend.tesla", tesla_mode, "ns/message");
   std::printf("\npaper's shape: each mode adds cost; TESLA is the most expensive\n");
   std::printf("(paper: up to 16x on message sends).\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 // registers with libtesla.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "kernelsim/assertions.h"
 #include "runtime/runtime.h"
 
@@ -33,10 +34,13 @@ int main() {
   std::printf("Table 1: Assertion sets referenced in figure 11\n");
   std::printf("%-8s %-28s %10s\n", "Symbol", "Description", "Assertions");
   std::printf("%-8s %-28s %10s\n", "------", "----------------------------", "----------");
+  tesla::bench::JsonReport report("table1_assertions");
   bool all_ok = true;
   for (const TableRow& row : rows) {
     size_t count = KernelAssertionSources(row.sets).size();
     std::printf("%-8s %-28s %10zu\n", row.symbol, row.description, count);
+    report.Add(std::string("assertion_sets.") + row.symbol, static_cast<double>(count),
+               "assertions");
 
     auto manifest = KernelAssertions(row.sets);
     if (!manifest.ok()) {
@@ -57,5 +61,6 @@ int main() {
   }
   std::printf("\nPaper's counts: MF=25 MS=11 MP=10 M=48 P=37 All=96\n");
   std::printf("%s\n", all_ok ? "All assertion sets compile and register." : "ERRORS above.");
+  all_ok = report.Write() && all_ok;
   return all_ok ? 0 : 1;
 }

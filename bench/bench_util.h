@@ -11,9 +11,15 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
+
+// Baked in by bench/CMakeLists.txt from `git rev-parse --short HEAD`.
+#ifndef TESLA_GIT_SHA
+#define TESLA_GIT_SHA "unknown"
+#endif
 
 namespace tesla::bench {
 
@@ -63,6 +69,78 @@ inline void PrintHeader(const std::string& title, const std::string& value_unit)
 
 inline void PrintRow(const std::string& label, double value, double base) {
   std::printf("%-28s %14.3f %9.2fx\n", label.c_str(), value, base > 0 ? value / base : 0.0);
+}
+
+// Machine-readable results. Every bench binary, alongside its human-readable
+// table, writes BENCH_<name>.json into $TESLA_BENCH_JSON_DIR (default: the
+// current directory) so CI and regression tooling can diff runs without
+// scraping stdout. Schema: bench/README.md.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void Add(const std::string& metric, double value, const std::string& unit) {
+    results_.push_back({metric, value, unit});
+  }
+
+  // Writes the report; returns false (after perror) if the file can't be
+  // opened. Call once at the end of main().
+  bool Write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("TESLA_BENCH_JSON_DIR"); env != nullptr && *env != '\0') {
+      dir = env;
+    }
+    std::string path = dir + "/BENCH_" + bench_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::perror(path.c_str());
+      return false;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"git_sha\": \"%s\",\n  \"results\": [\n",
+                 Escape(bench_).c_str(), Escape(TESLA_GIT_SHA).c_str());
+    for (size_t i = 0; i < results_.size(); i++) {
+      const Result& r = results_[i];
+      std::fprintf(out, "    {\"metric\": \"%s\", \"value\": %.9g, \"unit\": \"%s\"}%s\n",
+                   Escape(r.metric).c_str(), r.value, Escape(r.unit).c_str(),
+                   i + 1 < results_.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Result {
+    std::string metric;
+    double value;
+    std::string unit;
+  };
+
+  static std::string Escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';  // metrics are code-controlled; control chars never valid
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<Result> results_;
+};
+
+// True when the caller asked for a fast smoke run (CI): iteration counts and
+// instance populations should be scaled down so the binary finishes in
+// seconds while still exercising every code path.
+inline bool SmokeMode() {
+  const char* env = std::getenv("TESLA_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && *env != '0';
 }
 
 inline double Percentile(std::vector<double> values, double p) {

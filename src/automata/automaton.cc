@@ -157,6 +157,19 @@ std::vector<uint16_t> Automaton::VariablesBoundBy(uint16_t symbol) const {
   return bound;
 }
 
+uint32_t Automaton::CloneBoundMask() const {
+  uint32_t mask = 0;
+  for (uint16_t symbol = 0; symbol < alphabet.size(); symbol++) {
+    if (symbol == init_symbol || symbol == cleanup_symbol) {
+      continue;
+    }
+    for (uint16_t var : VariablesBoundBy(symbol)) {
+      mask |= 1u << var;
+    }
+  }
+  return mask;
+}
+
 std::string Automaton::ToString() const {
   std::ostringstream out;
   out << "automaton " << name << " (" << state_count << " states, " << alphabet.size()

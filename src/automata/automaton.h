@@ -88,6 +88,13 @@ class Automaton {
   // Variable indices bound by each symbol's patterns (for clone bookkeeping).
   std::vector<uint16_t> VariablesBoundBy(uint16_t symbol) const;
 
+  // The automaton's *key variables*: the union of variables bound by any
+  // body symbol (everything except «init»/«cleanup») — i.e. the variables a
+  // clone event can bind. The runtime keys its per-class instance index on
+  // exactly this set; an instance with all key variables bound is fully
+  // differentiated and probe-able in O(1).
+  uint32_t CloneBoundMask() const;
+
   std::string ToString() const;
 };
 

@@ -28,6 +28,13 @@ struct RuntimeOptions {
   // Ablation: step the determinised DFA instead of simulating NFA state sets.
   bool use_dfa = false;
 
+  // Binding-keyed instance index: events whose bindings cover a class's key
+  // variables probe a per-class hash index (one bucket visit, O(matching))
+  // instead of scanning every live instance twice (O(live)). Off reproduces
+  // the naive scan; the differential tests drive both modes through
+  // identical schedules and require event-for-event agreement.
+  bool instance_index = true;
+
   // Instances preallocated per event-serialisation context (§4.4.1:
   // "we preallocate a fixed-size memory block per thread, giving a
   // deterministic memory footprint, and report overflows").
@@ -71,6 +78,9 @@ struct RuntimeStats {
   uint64_t overflows = 0;
   uint64_t ignored_events = 0;    // events with no consumable transition (non-strict)
   uint64_t arg_truncations = 0;   // events whose argument list exceeded kMaxEventArgs
+  uint64_t index_probes = 0;      // dispatches answered by one index-bucket probe
+  uint64_t index_scans = 0;       // indexed classes falling back to a full scan
+  uint64_t site_variant_truncations = 0;  // incallstack() variants dropped at a site
 };
 
 }  // namespace tesla::runtime

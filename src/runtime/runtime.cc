@@ -28,15 +28,15 @@ const char* ViolationKindName(ViolationKind kind) {
 ThreadContext::ThreadContext(Runtime& runtime)
     : runtime_(runtime),
       classes_(runtime.classes_.size()),
-      pool_(runtime.options_.instances_per_context),
+      store_(runtime.options_.instances_per_context),
       bound_epochs_(runtime.bound_slot_count_),
       active_classes_(runtime.cleanup_slot_count_),
       stack_depth_(runtime.stack_slot_count_, 0) {}
 
 ThreadContext::~ThreadContext() {
   for (ClassState& state : classes_) {
-    for (Instance* instance : state.instances) {
-      pool_.Free(instance);
+    for (uint32_t slot : state.instances) {
+      store_.Free(slot);
     }
     state.instances.clear();
   }
@@ -151,6 +151,15 @@ void Runtime::CompilePlan() {
   std::vector<std::vector<Candidate>> field_cands(symbols);
 
   for (CompiledClass& cls : classes_) {
+    // Key-variable analysis: the variables clone events can bind form the
+    // instance index's key tuple (kept as an ascending list for extraction).
+    cls.key_mask = cls.automaton.CloneBoundMask();
+    cls.key_count = 0;
+    for (uint8_t var = 0; var < kMaxVariables; var++) {
+      if ((cls.key_mask & (1u << var)) != 0) {
+        cls.key_vars[cls.key_count++] = var;
+      }
+    }
     cls.bound_slot =
         bound_slots.emplace(cls.start_key, static_cast<int32_t>(bound_slots.size()))
             .first->second;
@@ -377,8 +386,10 @@ void Runtime::ProcessSiteEvent(ThreadContext& ctx, const Event& event) {
   }
   BindingSet bindings;
   for (uint8_t i = 0; i < event.count; i++) {
-    if (!bindings.Add(event.vars[i], event.values[i])) {
-      // Inconsistent caller-provided bindings; surface as a site violation.
+    // Variable indices beyond kMaxVariables cannot name an automaton
+    // variable and would corrupt instance bound masks; treat them like
+    // inconsistent caller-provided bindings and surface a site violation.
+    if (event.vars[i] >= kMaxVariables || !bindings.Add(event.vars[i], event.values[i])) {
       ReportViolation(automaton_id, ViolationKind::kBadSite, "inconsistent site bindings");
       return;
     }
@@ -499,31 +510,37 @@ void Runtime::ActivateClass(ThreadContext& ctx, uint32_t class_id) {
   ClassState& state = StateFor(ctx, class_id);
   ThreadContext& storage = ContextFor(ctx, class_id);
 
-  for (Instance* instance : state.instances) {
-    storage.pool_.Free(instance);
+  for (uint32_t slot : state.instances) {
+    storage.store_.Free(slot);
   }
   state.instances.clear();
+  state.index.Clear();
+  state.unkeyed.clear();
 
-  Instance* wildcard = storage.pool_.Allocate();
-  if (wildcard == nullptr) {
+  uint32_t wildcard = storage.store_.Allocate();
+  if (wildcard == kNoSlot) {
     Bump(stats_.overflows);
     ReportViolation(class_id, ViolationKind::kOverflow, "no space for (*) instance");
     state.active = false;
     return;
   }
-  wildcard->states = cls.initial_states;
-  wildcard->dfa_state = cls.initial_dfa_state;
+  storage.store_.states(wildcard) = cls.initial_states;
+  storage.store_.dfa_state(wildcard) = cls.initial_dfa_state;
   state.instances.push_back(wildcard);
+  IndexInstance(storage, cls, state, wildcard);
   state.active = true;
   Bump(stats_.instances_created);
   Bump(stats_.transitions);  // the «init» transition itself
-  ClassInfo info{class_id, &cls.automaton};
-  for (EventHandler* handler : handlers_) {
-    handler->OnInstanceNew(info, *wildcard);
-    // The «init» transition (state 0 → body entry) is observable too, so
-    // counting handlers can weight it (fig. 9).
-    handler->OnTransition(info, *wildcard, automata::StateBit(cls.automaton.initial_state),
-                          cls.automaton.init_symbol, cls.initial_states);
+  if (!handlers_.empty()) {
+    ClassInfo info{class_id, &cls.automaton};
+    const Instance view = storage.store_.Materialize(wildcard);
+    for (EventHandler* handler : handlers_) {
+      handler->OnInstanceNew(info, view);
+      // The «init» transition (state 0 → body entry) is observable too, so
+      // counting handlers can weight it (fig. 9).
+      handler->OnTransition(info, view, automata::StateBit(cls.automaton.initial_state),
+                            cls.automaton.init_symbol, cls.initial_states);
+    }
   }
 }
 
@@ -536,20 +553,25 @@ void Runtime::CleanupClass(ThreadContext& ctx, uint32_t class_id) {
   ThreadContext& storage = ContextFor(ctx, class_id);
   ClassInfo info{class_id, &cls.automaton};
   const uint16_t cleanup_symbol = cls.automaton.cleanup_symbol;
-  for (Instance* instance : state.instances) {
-    if (StepInstance(cls, *instance, std::span<const uint16_t>(&cleanup_symbol, 1))) {
+  for (uint32_t slot : state.instances) {
+    if (StepSlot(cls, storage, slot, std::span<const uint16_t>(&cleanup_symbol, 1))) {
       Bump(stats_.accepts);
-      for (EventHandler* handler : handlers_) {
-        handler->OnAccept(info, *instance);
+      if (!handlers_.empty()) {
+        const Instance view = storage.store_.Materialize(slot);
+        for (EventHandler* handler : handlers_) {
+          handler->OnAccept(info, view);
+        }
       }
     } else {
       ReportViolation(class_id, ViolationKind::kBadCleanup,
-                      "instance " + instance->Name(cls.automaton) +
+                      "instance " + storage.store_.Materialize(slot).Name(cls.automaton) +
                           " had not completed when the bound closed");
     }
-    storage.pool_.Free(instance);
+    storage.store_.Free(slot);
   }
   state.instances.clear();
+  state.index.Clear();
+  state.unkeyed.clear();
   state.active = false;
 }
 
@@ -626,16 +648,39 @@ void Runtime::HandleSiteEvent(ThreadContext& ctx, uint32_t class_id,
 
   // The assertion-site event plus any satisfied incallstack() predicates.
   uint16_t symbols[1 + 16];
+  constexpr size_t kMaxSiteSymbols = sizeof(symbols) / sizeof(symbols[0]);
   size_t symbol_count = 0;
+  size_t dropped_variants = 0;
   if (cls.automaton.has_site) {
     symbols[symbol_count++] = cls.automaton.site_symbol;
   }
   for (uint16_t variant : cls.site_variants) {
-    if (symbol_count >= sizeof(symbols) / sizeof(symbols[0])) {
-      break;
+    if (!ctx.InCallStack(cls.automaton.alphabet[variant].function)) {
+      continue;
     }
-    if (ctx.InCallStack(cls.automaton.alphabet[variant].function)) {
-      symbols[symbol_count++] = variant;
+    if (symbol_count >= kMaxSiteSymbols) {
+      // A satisfied predicate the fixed buffer cannot carry: the automaton
+      // may miss a legitimate transition. Account for every drop and say so
+      // once — silent truncation made an assertion on variant 17
+      // unmatchable with no trace.
+      dropped_variants++;
+      continue;
+    }
+    symbols[symbol_count++] = variant;
+  }
+  if (dropped_variants > 0) {
+    Bump(stats_.site_variant_truncations, dropped_variants);
+    if (!std::atomic_ref<bool>(site_truncation_reported_).exchange(true,
+                                                                   std::memory_order_relaxed)) {
+      const std::string message =
+          "assertion site for '" + cls.automaton.name + "' satisfied more than " +
+          std::to_string(kMaxSiteSymbols) + " incallstack() variants; excess variants are "
+          "dropped and counted in RuntimeStats::site_variant_truncations";
+      TESLA_LOG(kWarning) << "tesla: " << message;
+      ClassInfo info{class_id, &cls.automaton};
+      for (EventHandler* handler : handlers_) {
+        handler->OnWarning(info, message);
+      }
     }
   }
   if (symbol_count == 0) {
@@ -663,47 +708,103 @@ void Runtime::HandleSiteEvent(ThreadContext& ctx, uint32_t class_id,
   }
 }
 
+namespace {
+
+// The set of variables an event's bindings name, as a bit mask. Pattern
+// variables are bounded by kMaxVariables at Register() time and site
+// variables are range-checked in ProcessSiteEvent, so shifts are safe.
+uint32_t BindingsVarMask(const Binding* entries, size_t count) {
+  uint32_t mask = 0;
+  for (size_t i = 0; i < count; i++) {
+    mask |= 1u << entries[i].var;
+  }
+  return mask;
+}
+
+}  // namespace
+
 bool Runtime::DispatchToInstances(ThreadContext& ctx, uint32_t class_id,
                                   const BindingSet& bindings,
                                   std::span<const uint16_t> symbols) {
   const CompiledClass& cls = classes_[class_id];
   ClassState& state = StateFor(ctx, class_id);
   ThreadContext& storage = ContextFor(ctx, class_id);
-
-  // Pass 1: instances already bound to exactly these values.
-  bool any_exact = false;
-  bool any_step = false;
-  for (Instance* instance : state.instances) {
-    if (!instance->ExactMatch(bindings.entries, bindings.count)) {
-      continue;
+  if (options_.instance_index && cls.key_mask != 0) {
+    if (BindingsVarMask(bindings.entries, bindings.count) == cls.key_mask) {
+      Bump(stats_.index_probes);
+      return DispatchIndexed(storage, cls, state, bindings, symbols);
     }
-    any_exact = true;
-    if (StepInstance(cls, *instance, symbols)) {
-      any_step = true;
+    // An event binding a strict subset (or superset) of the key variables
+    // cannot be answered by one bucket; fall back to the scan. The index
+    // stays coherent because clone insertion goes through IndexInstance.
+    Bump(stats_.index_scans);
+  }
+  return DispatchScan(storage, cls, state, bindings, symbols);
+}
+
+// Fast path: the event binds exactly the class's key variables, so the
+// exact-match set of the naive pass-1 is precisely one index bucket, and —
+// when that bucket is empty — every possible clone parent of pass-2 sits in
+// the unkeyed tail (a fully-keyed instance consistent with the bindings
+// would carry the probed tuple and hence be in the bucket). An event
+// touching one socket therefore steps O(1) instances no matter how many
+// other sockets are live.
+bool Runtime::DispatchIndexed(ThreadContext& storage, const CompiledClass& cls,
+                              ClassState& state, const BindingSet& bindings,
+                              std::span<const uint16_t> symbols) {
+  int64_t key[kMaxVariables];
+  for (uint8_t i = 0; i < cls.key_count; i++) {
+    for (size_t b = 0; b < bindings.count; b++) {
+      if (bindings.entries[b].var == cls.key_vars[i]) {
+        key[i] = bindings.entries[b].value;
+        break;
+      }
     }
   }
-  if (any_exact) {
+  const uint64_t hash = HashKeyTuple(key, cls.key_count);
+  auto key_equals = [&](uint32_t slot) {
+    const auto& values = storage.store_.values(slot);
+    for (uint8_t i = 0; i < cls.key_count; i++) {
+      if (values[cls.key_vars[i]] != key[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Pass 1 (exact matches) = the probed bucket.
+  uint32_t head = state.index.Find(hash, key_equals);
+  if (head != kNoSlot) {
+    bool any_step = false;
+    for (uint32_t slot = head; slot != kNoSlot; slot = storage.store_.next(slot)) {
+      if (StepSlot(cls, storage, slot, symbols)) {
+        any_step = true;
+      }
+    }
     return any_step;
   }
 
-  // Pass 2: clone consistent instances, binding the event's new values
-  // (paper §4.4.1 "Clone"). The parent — typically (∗) — is retained.
-  ClassInfo info{class_id, &cls.automaton};
-  size_t existing = state.instances.size();
-  for (size_t i = 0; i < existing; i++) {
-    Instance* parent = state.instances[i];
-    if (!parent->ConsistentWith(bindings.entries, bindings.count)) {
+  // Pass 2 (paper §4.4.1 "Clone"): parents come from the unkeyed tail only.
+  // Clones bind every key variable, so they land in the probed bucket — the
+  // tail never grows while we walk it, and intra-event deduplication is a
+  // walk of the bucket's fresh chain.
+  bool any_step = false;
+  ClassInfo info{cls.id, &cls.automaton};
+  const size_t unkeyed_count = state.unkeyed.size();
+  uint32_t new_head = kNoSlot;
+  for (size_t i = 0; i < unkeyed_count; i++) {
+    const uint32_t parent = state.unkeyed[i];
+    if (!storage.store_.ConsistentWith(parent, bindings.entries, bindings.count)) {
       continue;
     }
-    Instance candidate = *parent;
+    Instance candidate = storage.store_.Materialize(parent);
     for (size_t b = 0; b < bindings.count; b++) {
       candidate.Bind(bindings.entries[b].var, bindings.entries[b].value);
     }
-    // Deduplicate against instances created earlier in this event.
     bool duplicate = false;
-    for (size_t j = existing; j < state.instances.size(); j++) {
-      if (state.instances[j]->bound_mask == candidate.bound_mask &&
-          state.instances[j]->values == candidate.values) {
+    for (uint32_t s = new_head; s != kNoSlot; s = storage.store_.next(s)) {
+      if (storage.store_.bound_mask(s) == candidate.bound_mask &&
+          storage.store_.values(s) == candidate.values) {
         duplicate = true;
         break;
       }
@@ -714,39 +815,139 @@ bool Runtime::DispatchToInstances(ThreadContext& ctx, uint32_t class_id,
     if (!StepInstance(cls, candidate, symbols)) {
       continue;  // the clone could not consume the event; discard it
     }
-    Instance* clone = storage.pool_.Allocate(candidate);
-    if (clone == nullptr) {
+    uint32_t slot = storage.store_.Allocate();
+    if (slot == kNoSlot) {
       Bump(stats_.overflows);
-      ReportViolation(class_id, ViolationKind::kOverflow, "no space to clone instance");
+      ReportViolation(cls.id, ViolationKind::kOverflow, "no space to clone instance");
       continue;
     }
-    state.instances.push_back(clone);
+    storage.store_.Assign(slot, candidate);
+    state.instances.push_back(slot);
+    storage.store_.next(slot) = state.index.InsertHead(hash, key_equals, slot);
+    new_head = slot;
     any_step = true;
     Bump(stats_.instances_cloned);
-    for (EventHandler* handler : handlers_) {
-      handler->OnClone(info, *parent, *clone);
+    if (!handlers_.empty()) {
+      const Instance parent_view = storage.store_.Materialize(parent);
+      for (EventHandler* handler : handlers_) {
+        handler->OnClone(info, parent_view, candidate);
+      }
     }
   }
   return any_step;
 }
 
-bool Runtime::StepInstance(const CompiledClass& cls, Instance& instance,
-                           std::span<const uint16_t> symbols) {
-  ClassInfo info{cls.id, &cls.automaton};
+// Naive scan (the seed's algorithm, now over SoA slots): used when the index
+// is disabled, the class binds no variables, or the event's bindings do not
+// cover the key tuple. Keeps the index coherent for later fast-path events.
+bool Runtime::DispatchScan(ThreadContext& storage, const CompiledClass& cls, ClassState& state,
+                           const BindingSet& bindings, std::span<const uint16_t> symbols) {
+  // Pass 1: instances already bound to exactly these values.
+  bool any_exact = false;
+  bool any_step = false;
+  for (uint32_t slot : state.instances) {
+    if (!storage.store_.ExactMatch(slot, bindings.entries, bindings.count)) {
+      continue;
+    }
+    any_exact = true;
+    if (StepSlot(cls, storage, slot, symbols)) {
+      any_step = true;
+    }
+  }
+  if (any_exact) {
+    return any_step;
+  }
 
+  // Pass 2: clone consistent instances, binding the event's new values
+  // (paper §4.4.1 "Clone"). The parent — typically (∗) — is retained.
+  ClassInfo info{cls.id, &cls.automaton};
+  size_t existing = state.instances.size();
+  for (size_t i = 0; i < existing; i++) {
+    const uint32_t parent = state.instances[i];
+    if (!storage.store_.ConsistentWith(parent, bindings.entries, bindings.count)) {
+      continue;
+    }
+    Instance candidate = storage.store_.Materialize(parent);
+    for (size_t b = 0; b < bindings.count; b++) {
+      candidate.Bind(bindings.entries[b].var, bindings.entries[b].value);
+    }
+    // Deduplicate against instances created earlier in this event.
+    bool duplicate = false;
+    for (size_t j = existing; j < state.instances.size(); j++) {
+      const uint32_t other = state.instances[j];
+      if (storage.store_.bound_mask(other) == candidate.bound_mask &&
+          storage.store_.values(other) == candidate.values) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      continue;
+    }
+    if (!StepInstance(cls, candidate, symbols)) {
+      continue;  // the clone could not consume the event; discard it
+    }
+    uint32_t slot = storage.store_.Allocate();
+    if (slot == kNoSlot) {
+      Bump(stats_.overflows);
+      ReportViolation(cls.id, ViolationKind::kOverflow, "no space to clone instance");
+      continue;
+    }
+    storage.store_.Assign(slot, candidate);
+    state.instances.push_back(slot);
+    IndexInstance(storage, cls, state, slot);
+    any_step = true;
+    Bump(stats_.instances_cloned);
+    if (!handlers_.empty()) {
+      const Instance parent_view = storage.store_.Materialize(parent);
+      for (EventHandler* handler : handlers_) {
+        handler->OnClone(info, parent_view, candidate);
+      }
+    }
+  }
+  return any_step;
+}
+
+void Runtime::IndexInstance(ThreadContext& storage, const CompiledClass& cls,
+                            ClassState& state, uint32_t slot) {
+  if (!options_.instance_index || cls.key_mask == 0) {
+    return;  // classes without key variables use the flat list only
+  }
+  if ((storage.store_.bound_mask(slot) & cls.key_mask) != cls.key_mask) {
+    state.unkeyed.push_back(slot);  // wildcard / partially bound: linear tail
+    return;
+  }
+  int64_t key[kMaxVariables];
+  const auto& values = storage.store_.values(slot);
+  for (uint8_t i = 0; i < cls.key_count; i++) {
+    key[i] = values[cls.key_vars[i]];
+  }
+  auto key_equals = [&](uint32_t other) {
+    const auto& other_values = storage.store_.values(other);
+    for (uint8_t i = 0; i < cls.key_count; i++) {
+      if (other_values[cls.key_vars[i]] != key[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  storage.store_.next(slot) =
+      state.index.InsertHead(HashKeyTuple(key, cls.key_count), key_equals, slot);
+}
+
+bool Runtime::StepCore(const CompiledClass& cls, automata::StateSet& states,
+                       uint32_t& dfa_state, std::span<const uint16_t> symbols,
+                       automata::StateSet* from_out, uint16_t* symbol_out) {
   if (options_.use_dfa) {
     for (uint16_t symbol : symbols) {
-      uint32_t target = cls.dfa.Step(instance.dfa_state, symbol);
+      uint32_t target = cls.dfa.Step(dfa_state, symbol);
       if (target == automata::Dfa::kNoTarget) {
         continue;
       }
-      automata::StateSet from = instance.states;
-      instance.dfa_state = target;
-      instance.states = cls.dfa.states[target].nfa_states;
-      Bump(stats_.transitions);
-      for (EventHandler* handler : handlers_) {
-        handler->OnTransition(info, instance, from, symbol, instance.states);
-      }
+      *from_out = states;
+      *symbol_out = symbol;
+      dfa_state = target;
+      states = cls.dfa.states[target].nfa_states;
       return true;
     }
     return false;
@@ -755,7 +956,7 @@ bool Runtime::StepInstance(const CompiledClass& cls, Instance& instance,
   automata::StateSet next = 0;
   uint16_t stepped_symbol = symbols.empty() ? 0 : symbols[0];
   for (uint16_t symbol : symbols) {
-    automata::StateSet result = cls.automaton.Step(instance.states, symbol);
+    automata::StateSet result = cls.automaton.Step(states, symbol);
     if (result != 0 && next == 0) {
       stepped_symbol = symbol;
     }
@@ -764,11 +965,44 @@ bool Runtime::StepInstance(const CompiledClass& cls, Instance& instance,
   if (next == 0) {
     return false;
   }
-  automata::StateSet from = instance.states;
-  instance.states = next;
+  *from_out = states;
+  *symbol_out = stepped_symbol;
+  states = next;
+  return true;
+}
+
+bool Runtime::StepSlot(const CompiledClass& cls, ThreadContext& storage, uint32_t slot,
+                       std::span<const uint16_t> symbols) {
+  automata::StateSet from = 0;
+  uint16_t symbol = 0;
+  if (!StepCore(cls, storage.store_.states(slot), storage.store_.dfa_state(slot), symbols,
+                &from, &symbol)) {
+    return false;
+  }
   Bump(stats_.transitions);
-  for (EventHandler* handler : handlers_) {
-    handler->OnTransition(info, instance, from, stepped_symbol, next);
+  if (!handlers_.empty()) {
+    ClassInfo info{cls.id, &cls.automaton};
+    const Instance view = storage.store_.Materialize(slot);
+    for (EventHandler* handler : handlers_) {
+      handler->OnTransition(info, view, from, symbol, view.states);
+    }
+  }
+  return true;
+}
+
+bool Runtime::StepInstance(const CompiledClass& cls, Instance& instance,
+                           std::span<const uint16_t> symbols) {
+  automata::StateSet from = 0;
+  uint16_t symbol = 0;
+  if (!StepCore(cls, instance.states, instance.dfa_state, symbols, &from, &symbol)) {
+    return false;
+  }
+  Bump(stats_.transitions);
+  if (!handlers_.empty()) {
+    ClassInfo info{cls.id, &cls.automaton};
+    for (EventHandler* handler : handlers_) {
+      handler->OnTransition(info, instance, from, symbol, instance.states);
+    }
   }
   return true;
 }
@@ -877,6 +1111,11 @@ void StderrHandler::OnAccept(const ClassInfo& cls, const Instance& instance) {
 void StderrHandler::OnViolation(const ClassInfo& cls, const Violation& violation) {
   std::fprintf(stderr, "tesla: [%s] VIOLATION: %s — %s\n", violation.automaton.c_str(),
                ViolationKindName(violation.kind), violation.detail.c_str());
+}
+
+void StderrHandler::OnWarning(const ClassInfo& cls, const std::string& message) {
+  std::fprintf(stderr, "tesla: [%s] warning: %s\n", cls.automaton->name.c_str(),
+               message.c_str());
 }
 
 }  // namespace tesla::runtime

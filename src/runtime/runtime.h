@@ -42,6 +42,7 @@
 #include "runtime/event.h"
 #include "runtime/handler.h"
 #include "runtime/instance.h"
+#include "runtime/instance_store.h"
 #include "runtime/options.h"
 #include "support/pool.h"
 #include "support/result.h"
@@ -51,11 +52,19 @@ namespace tesla::runtime {
 
 class Runtime;
 
-// Per-serialisation-context storage for one automaton class.
+// Per-serialisation-context storage for one automaton class. Instances are
+// slots into the owning context's InstanceStore; `instances` is the full
+// population in creation order (the cleanup sweep and the naive scan walk
+// it), while the binding-keyed index partitions the same population into
+// keyed buckets (all key variables bound; chained through the store's
+// next() links) and the short unkeyed tail (the (∗) wildcard and partial
+// bindings — the only possible clone parents on the indexed fast path).
 struct ClassState {
   bool active = false;
   uint64_t epoch = 0;  // bound epoch at activation (lazy-init bookkeeping)
-  std::vector<Instance*> instances;
+  std::vector<uint32_t> instances;
+  KeyIndex index;
+  std::vector<uint32_t> unkeyed;
 };
 
 // Lazy-init bookkeeping for one temporal bound (paper §5.2.2's optimisation:
@@ -83,14 +92,14 @@ class ThreadContext {
   // incallstack() support: whether `function` is on this context's stack.
   bool InCallStack(Symbol function) const;
 
-  uint64_t pool_overflows() const { return pool_.overflows(); }
+  uint64_t pool_overflows() const { return store_.overflows(); }
 
  private:
   friend class Runtime;
 
   Runtime& runtime_;
   std::vector<ClassState> classes_;
-  FixedPool<Instance> pool_;
+  InstanceStore store_;
   // Dense plan-slot indexed state (see Runtime's compiled dispatch plan):
   std::vector<BoundEpoch> bound_epochs_;               // by bound slot
   std::vector<std::vector<uint32_t>> active_classes_;  // live classes, by cleanup slot
@@ -171,6 +180,12 @@ class Runtime {
     std::vector<uint16_t> site_variants;  // incallstack() symbols
     automata::StateSet initial_states = 0;
     uint32_t initial_dfa_state = 0;
+    // Key-variable analysis (computed once per class in CompilePlan()): the
+    // variables clone events can bind, i.e. the instance index's key tuple.
+    // key_vars holds the same set as an ascending list for tuple extraction.
+    uint32_t key_mask = 0;
+    uint8_t key_count = 0;
+    std::array<uint8_t, kMaxVariables> key_vars{};
   };
 
   struct Candidate {
@@ -263,11 +278,28 @@ class Runtime {
   void HandleSiteEvent(ThreadContext& ctx, uint32_t class_id, const BindingSet& bindings);
   // Shared instance-matching core: steps exact matches or clones consistent
   // instances on any of `symbols`; returns true if any instance stepped.
+  // Routes to the index probe when the event's bindings cover the class's
+  // key variables, otherwise to the (semantics-identical) linear scan.
   bool DispatchToInstances(ThreadContext& ctx, uint32_t class_id, const BindingSet& bindings,
                            std::span<const uint16_t> symbols);
+  bool DispatchIndexed(ThreadContext& storage, const CompiledClass& cls, ClassState& state,
+                       const BindingSet& bindings, std::span<const uint16_t> symbols);
+  bool DispatchScan(ThreadContext& storage, const CompiledClass& cls, ClassState& state,
+                    const BindingSet& bindings, std::span<const uint16_t> symbols);
 
+  // Files a freshly created slot under the class's index partition (keyed
+  // bucket or unkeyed tail). `instances` membership is the caller's job.
+  void IndexInstance(ThreadContext& storage, const CompiledClass& cls, ClassState& state,
+                     uint32_t slot);
+
+  // Steps a stored instance (slot form) or a stack-built clone candidate.
+  bool StepSlot(const CompiledClass& cls, ThreadContext& storage, uint32_t slot,
+                std::span<const uint16_t> symbols);
   bool StepInstance(const CompiledClass& cls, Instance& instance,
                     std::span<const uint16_t> symbols);
+  bool StepCore(const CompiledClass& cls, automata::StateSet& states, uint32_t& dfa_state,
+                std::span<const uint16_t> symbols, automata::StateSet* from_out,
+                uint16_t* symbol_out);
 
   bool MatchFunctionPattern(const automata::EventPattern& pattern,
                             std::span<const int64_t> args, bool have_return,
@@ -279,6 +311,7 @@ class Runtime {
 
   RuntimeOptions options_;
   RuntimeStats stats_;
+  bool site_truncation_reported_ = false;  // once-only OnWarning latch
   std::vector<CompiledClass> classes_;
   std::vector<EventHandler*> handlers_;
   std::unordered_map<std::string, uint32_t> by_name_;

@@ -78,6 +78,60 @@ class FixedPool {
   uint64_t overflows_ = 0;
 };
 
+// Fixed-capacity *slot* allocator: the index-based sibling of FixedPool.
+//
+// SlotPool hands out dense uint32 slot ids instead of pointers, which lets a
+// client keep the per-object fields in structure-of-arrays form (parallel
+// vectors indexed by slot) so that hot loops touch only the arrays they need.
+// Same contract as FixedPool: no heap traffic after construction, exhaustion
+// is counted (kNoSlot) rather than fatal.
+class SlotPool {
+ public:
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
+  explicit SlotPool(size_t capacity) : capacity_(capacity) {
+    free_list_.reserve(capacity);
+    for (size_t i = 0; i < capacity; i++) {
+      free_list_.push_back(static_cast<uint32_t>(capacity - 1 - i));
+    }
+  }
+
+  SlotPool(const SlotPool&) = delete;
+  SlotPool& operator=(const SlotPool&) = delete;
+
+  // Returns kNoSlot (and bumps the overflow counter) when the pool is full.
+  uint32_t Allocate() {
+    if (free_list_.empty()) {
+      overflows_++;
+      return kNoSlot;
+    }
+    uint32_t slot = free_list_.back();
+    free_list_.pop_back();
+    live_++;
+    high_water_ = live_ > high_water_ ? live_ : high_water_;
+    return slot;
+  }
+
+  void Free(uint32_t slot) {
+    assert(slot < capacity_);
+    live_--;
+    free_list_.push_back(slot);
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t live() const { return live_; }
+  size_t high_water() const { return high_water_; }
+  uint64_t overflows() const { return overflows_; }
+  void ResetOverflows() { overflows_ = 0; }
+
+ private:
+  const size_t capacity_;
+  std::vector<uint32_t> free_list_;
+  size_t live_ = 0;
+  size_t high_water_ = 0;
+  uint64_t overflows_ = 0;
+};
+
 }  // namespace tesla
 
 #endif  // TESLA_SUPPORT_POOL_H_

@@ -1,0 +1,356 @@
+// Differential coverage for the binding-keyed instance index: the indexed
+// fast path (RuntimeOptions::instance_index, default on) must agree
+// event-for-event with the naive two-pass scan it replaces. Both modes are
+// driven through identical pseudo-random schedules and compared on every
+// semantically observable quantity after every event; index_probes and
+// index_scans are excluded (they intentionally differ between modes).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/lower.h"
+#include "automata/manifest.h"
+#include "runtime/handler.h"
+#include "runtime/runtime.h"
+
+namespace tesla {
+namespace {
+
+using automata::CompileAssertion;
+using runtime::Binding;
+using runtime::CountingHandler;
+using runtime::Runtime;
+using runtime::RuntimeOptions;
+using runtime::RuntimeStats;
+using runtime::ThreadContext;
+using runtime::Violation;
+
+Symbol S(const char* name) { return InternString(name); }
+
+RuntimeOptions TestOptions() {
+  RuntimeOptions options;
+  options.fail_stop = false;
+  return options;
+}
+
+// One runtime + handler, compiled from `source` with the given options.
+struct Side {
+  Side(const std::string& source, RuntimeOptions options) : rt(options) {
+    auto automaton = CompileAssertion(source, {}, "diff");
+    EXPECT_TRUE(automaton.ok()) << automaton.error().ToString();
+    automata::Manifest manifest;
+    manifest.Add(std::move(automaton.value()));
+    EXPECT_TRUE(rt.Register(manifest).ok());
+    id = static_cast<uint32_t>(rt.FindAutomaton("diff"));
+    rt.AddHandler(&handler);
+    ctx = std::make_unique<ThreadContext>(rt);
+  }
+  Runtime rt;
+  CountingHandler handler;
+  std::unique_ptr<ThreadContext> ctx;
+  uint32_t id = 0;
+};
+
+// Indexed and naive runtimes built from the same source; Check() compares
+// all semantic stats fields plus the violation-kind sequence.
+struct Pair {
+  explicit Pair(const std::string& source, RuntimeOptions options = TestOptions())
+      : indexed(source, WithIndex(options, true)), naive(source, WithIndex(options, false)) {}
+
+  static RuntimeOptions WithIndex(RuntimeOptions options, bool on) {
+    options.instance_index = on;
+    return options;
+  }
+
+  void Check(const char* where) {
+    const RuntimeStats& a = indexed.rt.stats();
+    const RuntimeStats& b = naive.rt.stats();
+    ASSERT_EQ(a.events, b.events) << where;
+    ASSERT_EQ(a.bound_entries, b.bound_entries) << where;
+    ASSERT_EQ(a.bound_exits, b.bound_exits) << where;
+    ASSERT_EQ(a.instances_created, b.instances_created) << where;
+    ASSERT_EQ(a.instances_cloned, b.instances_cloned) << where;
+    ASSERT_EQ(a.transitions, b.transitions) << where;
+    ASSERT_EQ(a.accepts, b.accepts) << where;
+    ASSERT_EQ(a.violations, b.violations) << where;
+    ASSERT_EQ(a.overflows, b.overflows) << where;
+    ASSERT_EQ(a.ignored_events, b.ignored_events) << where;
+    ASSERT_EQ(a.arg_truncations, b.arg_truncations) << where;
+    ASSERT_EQ(a.site_variant_truncations, b.site_variant_truncations) << where;
+    // index_probes / index_scans are deliberately NOT compared: the naive
+    // side never touches the index, so they differ by construction.
+
+    const std::vector<Violation>& va = indexed.handler.violations();
+    const std::vector<Violation>& vb = naive.handler.violations();
+    ASSERT_EQ(va.size(), vb.size()) << where;
+    for (size_t i = 0; i < va.size(); i++) {
+      ASSERT_EQ(va[i].kind, vb[i].kind) << where << " violation " << i;
+      ASSERT_EQ(va[i].automaton, vb[i].automaton) << where << " violation " << i;
+    }
+  }
+
+  Side indexed;
+  Side naive;
+};
+
+// ---------------------------------------------------------------------------
+// Randomized differential schedules.
+
+TEST(InstanceIndex, RandomizedOneVariableAgrees) {
+  Pair p("TESLA_WITHIN(syscall, previously(check(x) == 0))");
+
+  uint64_t rng = 7;
+  for (int round = 0; round < 400; round++) {
+    rng = rng * 6364136223846793005ull + 1;
+    int action = static_cast<int>((rng >> 33) % 4);
+    int64_t value = static_cast<int64_t>((rng >> 40) % 5);
+    int64_t args[] = {value};
+    Binding site[] = {{0, value}};
+
+    for (Side* s : {&p.indexed, &p.naive}) {
+      switch (action) {
+        case 0:
+          s->rt.OnFunctionCall(*s->ctx, S("syscall"), {});
+          break;
+        case 1:
+          s->rt.OnFunctionReturn(*s->ctx, S("check"), args, 0);
+          break;
+        case 2:
+          s->rt.OnAssertionSite(*s->ctx, s->id, site);
+          break;
+        case 3:
+          s->rt.OnFunctionReturn(*s->ctx, S("syscall"), {}, 0);
+          break;
+      }
+    }
+    p.Check("round");
+  }
+  // The schedule must actually have exercised the fast path.
+  EXPECT_GT(p.indexed.rt.stats().index_probes, 0u);
+  EXPECT_EQ(p.naive.rt.stats().index_probes, 0u);
+}
+
+TEST(InstanceIndex, RandomizedTwoVariableWithPartialBindingsAgrees) {
+  // pair(x, y) binds both variables on clone events, but assertion sites
+  // sometimes supply only x: those dispatches cannot use the index and must
+  // take the fall-back scan, which has to agree with the naive mode too.
+  Pair p("TESLA_WITHIN(syscall, previously(pair(x, y) == 0))");
+
+  uint64_t rng = 12345;
+  for (int round = 0; round < 400; round++) {
+    rng = rng * 6364136223846793005ull + 1;
+    int action = static_cast<int>((rng >> 33) % 5);
+    int64_t x = static_cast<int64_t>((rng >> 40) % 4);
+    int64_t y = static_cast<int64_t>((rng >> 45) % 4);
+    int64_t args[] = {x, y};
+    Binding full[] = {{0, x}, {1, y}};
+    Binding partial[] = {{0, x}};
+
+    for (Side* s : {&p.indexed, &p.naive}) {
+      switch (action) {
+        case 0:
+          s->rt.OnFunctionCall(*s->ctx, S("syscall"), {});
+          break;
+        case 1:
+          s->rt.OnFunctionReturn(*s->ctx, S("pair"), args, 0);
+          break;
+        case 2:
+          s->rt.OnAssertionSite(*s->ctx, s->id, full);
+          break;
+        case 3:
+          s->rt.OnAssertionSite(*s->ctx, s->id, partial);
+          break;
+        case 4:
+          s->rt.OnFunctionReturn(*s->ctx, S("syscall"), {}, 0);
+          break;
+      }
+    }
+    p.Check("round");
+  }
+  EXPECT_GT(p.indexed.rt.stats().index_probes, 0u);  // fully-bound sites
+  EXPECT_GT(p.indexed.rt.stats().index_scans, 0u);   // partially-bound sites
+}
+
+TEST(InstanceIndex, RandomizedGlobalAutomatonAgrees) {
+  Pair p("TESLA_GLOBAL(call(syscall), returnfrom(syscall), previously(check(x) == 0))");
+
+  uint64_t rng = 4242;
+  for (int round = 0; round < 300; round++) {
+    rng = rng * 6364136223846793005ull + 1;
+    int action = static_cast<int>((rng >> 33) % 4);
+    int64_t value = static_cast<int64_t>((rng >> 40) % 4);
+    int64_t args[] = {value};
+    Binding site[] = {{0, value}};
+
+    for (Side* s : {&p.indexed, &p.naive}) {
+      switch (action) {
+        case 0:
+          s->rt.OnFunctionCall(*s->ctx, S("syscall"), {});
+          break;
+        case 1:
+          s->rt.OnFunctionReturn(*s->ctx, S("check"), args, 0);
+          break;
+        case 2:
+          s->rt.OnAssertionSite(*s->ctx, s->id, site);
+          break;
+        case 3:
+          s->rt.OnFunctionReturn(*s->ctx, S("syscall"), {}, 0);
+          break;
+      }
+    }
+    p.Check("round");
+  }
+  EXPECT_GT(p.indexed.rt.stats().index_probes, 0u);
+}
+
+TEST(InstanceIndex, RandomizedDfaModeAgrees) {
+  RuntimeOptions options = TestOptions();
+  options.use_dfa = true;
+  Pair p("TESLA_WITHIN(syscall, previously(ca(x) == 0 || cb(x) == 0))", options);
+
+  uint64_t rng = 555;
+  for (int round = 0; round < 300; round++) {
+    rng = rng * 6364136223846793005ull + 1;
+    int action = static_cast<int>((rng >> 33) % 5);
+    int64_t value = static_cast<int64_t>((rng >> 40) % 4);
+    int64_t args[] = {value};
+    Binding site[] = {{0, value}};
+
+    for (Side* s : {&p.indexed, &p.naive}) {
+      switch (action) {
+        case 0:
+          s->rt.OnFunctionCall(*s->ctx, S("syscall"), {});
+          break;
+        case 1:
+          s->rt.OnFunctionReturn(*s->ctx, S("ca"), args, 0);
+          break;
+        case 2:
+          s->rt.OnFunctionReturn(*s->ctx, S("cb"), args, 0);
+          break;
+        case 3:
+          s->rt.OnAssertionSite(*s->ctx, s->id, site);
+          break;
+        case 4:
+          s->rt.OnFunctionReturn(*s->ctx, S("syscall"), {}, 0);
+          break;
+      }
+    }
+    p.Check("round");
+  }
+}
+
+TEST(InstanceIndex, RandomizedOverflowPressureAgrees) {
+  // A tiny pool: both modes must report the same kOverflow violations and
+  // the same overflow counts even when most clones are dropped.
+  RuntimeOptions options = TestOptions();
+  options.instances_per_context = 3;
+  Pair p("TESLA_WITHIN(syscall, previously(check(x) == 0))", options);
+
+  uint64_t rng = 31337;
+  for (int round = 0; round < 300; round++) {
+    rng = rng * 6364136223846793005ull + 1;
+    // Biased towards clone events so the tiny pool actually fills within a
+    // bound: 0 = enter, 1..5 = check, 6 = site, 7 = exit.
+    int roll = static_cast<int>((rng >> 33) % 8);
+    int action = roll == 0 ? 0 : roll <= 5 ? 1 : roll == 6 ? 2 : 3;
+    int64_t value = static_cast<int64_t>((rng >> 40) % 16);
+    int64_t args[] = {value};
+    Binding site[] = {{0, value}};
+
+    for (Side* s : {&p.indexed, &p.naive}) {
+      switch (action) {
+        case 0:
+          s->rt.OnFunctionCall(*s->ctx, S("syscall"), {});
+          break;
+        case 1:
+          s->rt.OnFunctionReturn(*s->ctx, S("check"), args, 0);
+          break;
+        case 2:
+          s->rt.OnAssertionSite(*s->ctx, s->id, site);
+          break;
+        case 3:
+          s->rt.OnFunctionReturn(*s->ctx, S("syscall"), {}, 0);
+          break;
+      }
+    }
+    p.Check("round");
+  }
+  EXPECT_GT(p.indexed.rt.stats().overflows, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Directed checks on index engagement and fall-back routing.
+
+TEST(InstanceIndex, FastPathEngagesForFullyBoundDispatch) {
+  RuntimeOptions options = TestOptions();
+  Side s("TESLA_WITHIN(syscall, previously(check(x) == 0))", options);
+
+  s.rt.OnFunctionCall(*s.ctx, S("syscall"), {});
+  int64_t args[] = {42};
+  s.rt.OnFunctionReturn(*s.ctx, S("check"), args, 0);
+  EXPECT_GT(s.rt.stats().index_probes, 0u);
+  EXPECT_EQ(s.rt.stats().index_scans, 0u);
+
+  Binding site[] = {{0, 42}};
+  s.rt.OnAssertionSite(*s.ctx, s.id, site);
+  s.rt.OnFunctionReturn(*s.ctx, S("syscall"), {}, 0);
+  EXPECT_EQ(s.rt.stats().violations, 0u);
+}
+
+TEST(InstanceIndex, PartialBindingFallsBackToScan) {
+  Side s("TESLA_WITHIN(syscall, previously(pair(x, y) == 0))", TestOptions());
+
+  s.rt.OnFunctionCall(*s.ctx, S("syscall"), {});
+  int64_t args[] = {1, 2};
+  s.rt.OnFunctionReturn(*s.ctx, S("pair"), args, 0);
+  uint64_t scans_before = s.rt.stats().index_scans;
+
+  // Only x bound at the site: mask mismatch, must take the scan path.
+  Binding partial[] = {{0, 1}};
+  s.rt.OnAssertionSite(*s.ctx, s.id, partial);
+  EXPECT_GT(s.rt.stats().index_scans, scans_before);
+}
+
+TEST(InstanceIndex, IndexDisabledNeverProbes) {
+  RuntimeOptions options = TestOptions();
+  options.instance_index = false;
+  Side s("TESLA_WITHIN(syscall, previously(check(x) == 0))", options);
+
+  s.rt.OnFunctionCall(*s.ctx, S("syscall"), {});
+  int64_t args[] = {1};
+  s.rt.OnFunctionReturn(*s.ctx, S("check"), args, 0);
+  Binding site[] = {{0, 1}};
+  s.rt.OnAssertionSite(*s.ctx, s.id, site);
+  s.rt.OnFunctionReturn(*s.ctx, S("syscall"), {}, 0);
+  EXPECT_EQ(s.rt.stats().index_probes, 0u);
+  EXPECT_EQ(s.rt.stats().index_scans, 0u);
+  EXPECT_EQ(s.rt.stats().violations, 0u);
+}
+
+TEST(InstanceIndex, ManyDistinctKeysStayIndependent) {
+  // Grow the index through several rehashes and verify per-key isolation:
+  // each bound value must only satisfy its own assertion site.
+  RuntimeOptions options = TestOptions();
+  options.instances_per_context = 512;
+  Side s("TESLA_WITHIN(syscall, previously(check(x) == 0))", options);
+
+  s.rt.OnFunctionCall(*s.ctx, S("syscall"), {});
+  for (int64_t v = 0; v < 200; v += 2) {  // bind even values only
+    int64_t args[] = {v};
+    s.rt.OnFunctionReturn(*s.ctx, S("check"), args, 0);
+  }
+  uint64_t violations = 0;
+  for (int64_t v = 0; v < 200; v++) {
+    Binding site[] = {{0, v}};
+    s.rt.OnAssertionSite(*s.ctx, s.id, site);
+    if (v % 2 != 0) violations++;  // odd values were never bound
+    ASSERT_EQ(s.rt.stats().violations, violations) << "v=" << v;
+  }
+  s.rt.OnFunctionReturn(*s.ctx, S("syscall"), {}, 0);
+}
+
+}  // namespace
+}  // namespace tesla

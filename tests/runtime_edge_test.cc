@@ -168,6 +168,77 @@ TEST(RuntimeEdge, OverflowRecoversOnNextBound) {
   EXPECT_EQ(f.rt.stats().violations, violations_before);
 }
 
+TEST(RuntimeEdge, OverflowReportsViolationKindAndMatchesContextCounter) {
+  // When the per-thread pool is exhausted, dropped clones must surface as
+  // kOverflow violations through handlers, and the per-context overflow
+  // counter must agree with the aggregated runtime statistic.
+  RuntimeOptions options = TestOptions();
+  options.instances_per_context = 2;
+  Fixture f("TESLA_WITHIN(syscall, previously(check(x) == 0))", options);
+  runtime::CountingHandler handler;
+  f.rt.AddHandler(&handler);
+  ThreadContext ctx(f.rt);
+
+  f.rt.OnFunctionCall(ctx, S("syscall"), {});
+  for (int64_t v = 0; v < 8; v++) {
+    int64_t args[] = {v};
+    f.rt.OnFunctionReturn(ctx, S("check"), args, 0);
+  }
+  EXPECT_GT(ctx.pool_overflows(), 0u);
+  EXPECT_EQ(f.rt.stats().overflows, ctx.pool_overflows());
+  // Every overflow was reported as a violation of kind kOverflow.
+  size_t overflow_violations = 0;
+  for (const runtime::Violation& v : handler.violations()) {
+    if (v.kind == ViolationKind::kOverflow) overflow_violations++;
+  }
+  EXPECT_EQ(overflow_violations, f.rt.stats().overflows);
+
+  // Instances that DID fit keep working: value 0 was admitted before the
+  // pool filled, so its assertion site must not raise a violation.
+  uint64_t violations_before = f.rt.stats().violations;
+  Binding site[] = {{0, 0}};
+  f.rt.OnAssertionSite(ctx, f.id, site);
+  EXPECT_EQ(f.rt.stats().violations, violations_before);
+  f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);
+}
+
+TEST(RuntimeEdge, GlobalShardOverflowReportsAndRecovers) {
+  // Global automata store instances in runtime-owned shard contexts, not the
+  // caller's ThreadContext: overflow accounting and recovery must work there
+  // too. The shard pool drains at bound exit like the per-thread one.
+  RuntimeOptions options = TestOptions();
+  options.instances_per_context = 2;
+  Fixture f("TESLA_GLOBAL(call(syscall), returnfrom(syscall), previously(check(x) == 0))",
+            options);
+  runtime::CountingHandler handler;
+  f.rt.AddHandler(&handler);
+  ThreadContext ctx(f.rt);
+
+  f.rt.OnFunctionCall(ctx, S("syscall"), {});
+  for (int64_t v = 0; v < 8; v++) {
+    int64_t args[] = {v};
+    f.rt.OnFunctionReturn(ctx, S("check"), args, 0);
+  }
+  EXPECT_GT(f.rt.stats().overflows, 0u);
+  EXPECT_EQ(ctx.pool_overflows(), 0u);  // the thread-local pool was untouched
+  size_t overflow_violations = 0;
+  for (const runtime::Violation& v : handler.violations()) {
+    if (v.kind == ViolationKind::kOverflow) overflow_violations++;
+  }
+  EXPECT_EQ(overflow_violations, f.rt.stats().overflows);
+  f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);
+
+  // The shard drains at cleanup; the next bound binds and checks normally.
+  uint64_t violations_before = f.rt.stats().violations;
+  f.rt.OnFunctionCall(ctx, S("syscall"), {});
+  int64_t args[] = {42};
+  f.rt.OnFunctionReturn(ctx, S("check"), args, 0);
+  Binding site[] = {{0, 42}};
+  f.rt.OnAssertionSite(ctx, f.id, site);
+  f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);
+  EXPECT_EQ(f.rt.stats().violations, violations_before);
+}
+
 TEST(RuntimeEdge, TwoVariableBindingRequiresBothToMatch) {
   Fixture f("TESLA_WITHIN(syscall, previously(grant(subject, object) == 0))");
   ThreadContext ctx(f.rt);
