@@ -1,0 +1,248 @@
+// Flight-recorder overhead and replay throughput.
+//
+// The trace subsystem's contract is "forensics for nearly free": the
+// per-event cost of trace_mode=flight-recorder over off must stay within a
+// ~15 ns budget (BENCH_trace.json records the measured delta, and
+// tools/bench_diff.py gates regressions in CI). This harness measures:
+//
+//   * ns/event with tracing off, flight-recorder and full-capture — the
+//     same fully-bound assertion-site dispatch bench_instances uses, so the
+//     deltas isolate the Record() call on the OnEvent hot path;
+//   * ns/event through the batch entry point (Runtime::OnEvents) vs the
+//     one-at-a-time path — the batch should never be slower;
+//   * replay throughput: capture a run, then drive the capture through a
+//     fresh Runtime via trace::Replay and require an exact reproduction.
+//
+// Set TESLA_BENCH_REPLAY_FILE=<capture> to additionally time replay of an
+// externally captured file (resolved through its recorded origin).
+// TESLA_BENCH_SMOKE=1 shrinks populations and timing windows for CI.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/lower.h"
+#include "bench/bench_util.h"
+#include "runtime/runtime.h"
+#include "trace/replay.h"
+
+namespace {
+
+using namespace tesla;
+
+constexpr const char* kSource =
+    "TESLA_PERTHREAD(call(syscall), returnfrom(syscall), previously(check(x) == 0))";
+constexpr const char* kBenchName = "trace-bench";
+
+std::unique_ptr<runtime::Runtime> MakeRuntime(trace::TraceMode mode) {
+  runtime::RuntimeOptions options;
+  options.fail_stop = false;
+  options.instances_per_context = 20000;
+  options.trace_mode = mode;
+  // Per-event cost must stay representative past the cap, so keep the cap
+  // high enough that the timing loop mostly exercises the append path.
+  options.trace_capture_limit = 1 << 21;
+  auto rt = std::make_unique<runtime::Runtime>(options);
+  auto automaton = automata::CompileAssertion(kSource, {}, kBenchName);
+  if (!automaton.ok()) {
+    std::fprintf(stderr, "compile: %s\n", automaton.error().ToString().c_str());
+    return nullptr;
+  }
+  automata::Manifest manifest;
+  manifest.Add(std::move(automaton.value()));
+  if (!rt->Register(manifest).ok()) {
+    return nullptr;
+  }
+  return rt;
+}
+
+// ns per fully-bound assertion-site dispatch under `mode`.
+double MeasureMode(trace::TraceMode mode, double min_seconds) {
+  auto rt = MakeRuntime(mode);
+  if (rt == nullptr) {
+    return -1;
+  }
+  runtime::ThreadContext ctx(*rt);
+  uint32_t id = static_cast<uint32_t>(rt->FindAutomaton(kBenchName));
+  Symbol syscall = InternString("syscall");
+  Symbol check = InternString("check");
+
+  rt->OnFunctionCall(ctx, syscall, {});
+  int64_t args[] = {0};
+  rt->OnFunctionReturn(ctx, check, args, 0);
+
+  double per_event = tesla::bench::TimePerOp(
+      [&](int iterations) {
+        for (int i = 0; i < iterations; i++) {
+          runtime::Binding site[] = {{0, 0}};
+          rt->OnAssertionSite(ctx, id, site);
+        }
+      },
+      min_seconds);
+  if (rt->stats().violations != 0 || rt->stats().overflows != 0) {
+    std::fprintf(stderr, "unexpected violations/overflows in mode %s\n",
+                 trace::TraceModeName(mode));
+    return -1;
+  }
+  return per_event * 1e9;
+}
+
+// ns per event through OnEvents (true) or one-at-a-time OnEvent (false).
+double MeasureBatch(bool batched, double min_seconds) {
+  auto rt = MakeRuntime(trace::TraceMode::kOff);
+  if (rt == nullptr) {
+    return -1;
+  }
+  runtime::ThreadContext ctx(*rt);
+  uint32_t id = static_cast<uint32_t>(rt->FindAutomaton(kBenchName));
+  Symbol syscall = InternString("syscall");
+  Symbol check = InternString("check");
+
+  rt->OnFunctionCall(ctx, syscall, {});
+  int64_t args[] = {0};
+  rt->OnFunctionReturn(ctx, check, args, 0);
+
+  constexpr int kBatch = 256;
+  std::vector<runtime::Event> batch;
+  runtime::Binding site[] = {{0, 0}};
+  for (int i = 0; i < kBatch; i++) {
+    batch.push_back(runtime::Event::Site(id, site));
+  }
+
+  double per_batch = tesla::bench::TimePerOp(
+      [&](int iterations) {
+        for (int i = 0; i < iterations; i++) {
+          if (batched) {
+            rt->OnEvents(ctx, std::span<const runtime::Event>(batch.data(), batch.size()));
+          } else {
+            for (const runtime::Event& event : batch) {
+              rt->OnEvent(ctx, event);
+            }
+          }
+        }
+      },
+      min_seconds);
+  return per_batch / kBatch * 1e9;
+}
+
+// Captures a run of `events` site dispatches, then times replaying it
+// (runtime construction + registration + full event replay, per iteration).
+// Returns ns/event; sets `matched` to the reproduction check's outcome.
+double MeasureReplay(int events, double min_seconds, bool* matched) {
+  auto rt = MakeRuntime(trace::TraceMode::kFullCapture);
+  if (rt == nullptr) {
+    return -1;
+  }
+  {
+    runtime::ThreadContext ctx(*rt);
+    uint32_t id = static_cast<uint32_t>(rt->FindAutomaton(kBenchName));
+    Symbol syscall = InternString("syscall");
+    Symbol check = InternString("check");
+    rt->OnFunctionCall(ctx, syscall, {});
+    int64_t args[] = {0};
+    rt->OnFunctionReturn(ctx, check, args, 0);
+    for (int i = 0; i < events; i++) {
+      runtime::Binding site[] = {{0, 0}};
+      rt->OnAssertionSite(ctx, id, site);
+    }
+  }
+
+  std::string dir = ".";
+  if (const char* env = std::getenv("TESLA_BENCH_JSON_DIR"); env != nullptr && *env != '\0') {
+    dir = env;
+  }
+  const std::string path = dir + "/bench_trace.capture";
+  // The bench automaton is not a known origin; the origin string is only
+  // read back by ReplayFile, which this harness does not use for it.
+  if (auto status = trace::WriteCapture(path, "bench:trace", *rt); !status.ok()) {
+    std::fprintf(stderr, "capture: %s\n", status.error().ToString().c_str());
+    return -1;
+  }
+  auto read = trace::TraceFile::Read(path);
+  if (!read.ok()) {
+    std::fprintf(stderr, "read: %s\n", read.error().ToString().c_str());
+    return -1;
+  }
+  trace::TraceFile file = std::move(read.value());
+  file.InternAndRemap();
+
+  *matched = true;
+  double per_replay = tesla::bench::TimePerOp(
+      [&](int iterations) {
+        for (int i = 0; i < iterations; i++) {
+          runtime::Runtime replay_rt(trace::ReplayOptions(file));
+          auto automaton = automata::CompileAssertion(kSource, {}, kBenchName);
+          automata::Manifest manifest;
+          manifest.Add(std::move(automaton.value()));
+          if (!replay_rt.Register(manifest).ok()) {
+            std::abort();
+          }
+          auto result = trace::Replay(file, replay_rt);
+          if (!result.ok() || !result.value().matched) {
+            *matched = false;
+          }
+        }
+      },
+      min_seconds);
+  std::remove(path.c_str());
+  return per_replay / file.records.size() * 1e9;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = tesla::bench::SmokeMode();
+  const double min_seconds = smoke ? 0.02 : 0.2;
+  tesla::bench::JsonReport report("trace");
+
+  tesla::bench::PrintHeader("trace: per-event overhead by trace_mode", "ns/event");
+  const double off = MeasureMode(trace::TraceMode::kOff, min_seconds);
+  const double flight = MeasureMode(trace::TraceMode::kFlightRecorder, min_seconds);
+  const double full = MeasureMode(trace::TraceMode::kFullCapture, min_seconds);
+  tesla::bench::PrintRow("off", off, off);
+  tesla::bench::PrintRow("flight-recorder", flight, off);
+  tesla::bench::PrintRow("full-capture", full, off);
+  std::printf("flight-recorder overhead: %.2f ns/event (budget: 15)\n", flight - off);
+  report.Add("ns_per_event_off", off, "ns");
+  report.Add("ns_per_event_flight", flight, "ns");
+  report.Add("ns_per_event_full", full, "ns");
+  report.Add("flight_overhead_ns", flight - off, "ns");
+
+  tesla::bench::PrintHeader("trace: batch vs single-event ingestion", "ns/event");
+  const double single = MeasureBatch(false, min_seconds);
+  const double batched = MeasureBatch(true, min_seconds);
+  tesla::bench::PrintRow("OnEvent x N", single, single);
+  tesla::bench::PrintRow("OnEvents (batch 256)", batched, single);
+  report.Add("ns_per_event_single", single, "ns");
+  report.Add("ns_per_event_batch", batched, "ns");
+
+  tesla::bench::PrintHeader("trace: capture replay", "ns/event");
+  bool matched = false;
+  const double replay =
+      MeasureReplay(smoke ? 2000 : 20000, smoke ? 0.02 : 0.1, &matched);
+  tesla::bench::PrintRow("replay (fresh runtime)", replay, replay);
+  std::printf("replay reproduction: %s\n", matched ? "exact" : "DIVERGED");
+  report.Add("ns_per_event_replay", replay, "ns");
+
+  if (const char* external = std::getenv("TESLA_BENCH_REPLAY_FILE");
+      external != nullptr && *external != '\0') {
+    auto begin = tesla::bench::Clock::now();
+    auto result = trace::ReplayFile(external);
+    const double elapsed = tesla::bench::SecondsSince(begin);
+    if (!result.ok()) {
+      std::fprintf(stderr, "replay %s: %s\n", external, result.error().ToString().c_str());
+    } else {
+      const double ns =
+          elapsed * 1e9 / static_cast<double>(result.value().events_replayed);
+      std::printf("external capture %s: %.1f ns/event, %s\n", external, ns,
+                  result.value().matched ? "exact" : "DIVERGED");
+      report.Add("ns_per_event_replay_external", ns, "ns");
+    }
+  }
+
+  const bool ok = off > 0 && flight > 0 && full > 0 && single > 0 && batched > 0 &&
+                  replay > 0 && matched;
+  report.Write();
+  return ok ? 0 : 1;
+}

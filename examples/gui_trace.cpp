@@ -7,11 +7,13 @@
 // cursor push/pop bug: mouse-entered events not paired with mouse-exited
 // events push duplicate cursors, leaving the UI in the wrong state.
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "objsim/appkit.h"
 #include "objsim/trace.h"
 #include "runtime/runtime.h"
+#include "trace/replay.h"
 
 namespace {
 
@@ -28,9 +30,20 @@ std::vector<UiEvent> MouseSweep(int steps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out <path>: record the whole run and write a replayable capture.
+  const char* trace_out = nullptr;
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out = argv[i + 1];
+    }
+  }
+
   runtime::RuntimeOptions options;
   options.fail_stop = false;
+  if (trace_out != nullptr) {
+    options.trace_mode = tesla::trace::TraceMode::kFullCapture;
+  }
   runtime::Runtime tesla_rt(options);
   runtime::ThreadContext ctx(tesla_rt);
 
@@ -101,5 +114,15 @@ int main() {
                   ? "mouse-entered events are not correctly paired with mouse-exited "
                     "events;\nthe same cursors are pushed onto the cursor stack multiple times."
                   : "cursor traffic is balanced.");
+  if (trace_out != nullptr) {
+    if (auto status = tesla::trace::WriteCapture(trace_out, "objsim:gui", tesla_rt);
+        !status.ok()) {
+      std::fprintf(stderr, "trace capture: %s\n", status.error().ToString().c_str());
+      return 1;
+    }
+    std::printf("\ntrace capture written to %s (%llu events)\n", trace_out,
+                static_cast<unsigned long long>(tesla_rt.stats().events));
+  }
+
   return total_imbalance > 1 ? 0 : 1;
 }

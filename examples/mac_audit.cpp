@@ -8,12 +8,14 @@
 //     credential instead of the active thread credential;
 //   * a credential change forgets to set P_SUGID (an `eventually` property).
 #include <cstdio>
+#include <cstring>
 
 #include "kernelsim/assertions.h"
 #include "kernelsim/kernel.h"
 #include "kernelsim/workloads.h"
 #include "runtime/runtime.h"
 #include "support/log.h"
+#include "trace/replay.h"
 
 namespace {
 
@@ -36,11 +38,22 @@ class AuditLog : public runtime::EventHandler {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out <path>: record the whole run and write a replayable capture.
+  const char* trace_out = nullptr;
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out = argv[i + 1];
+    }
+  }
+
   // Violations are reported through our handler; silence the default log.
   SetLogLevel(LogLevel::kSilent);
   runtime::RuntimeOptions options;
   options.fail_stop = false;  // audit mode: record every mismatch
+  if (trace_out != nullptr) {
+    options.trace_mode = trace::TraceMode::kFullCapture;
+  }
   runtime::Runtime rt(options);
 
   auto manifest = KernelAssertions(kSetAll);
@@ -106,6 +119,15 @@ int main() {
               static_cast<unsigned long long>(rt.stats().transitions),
               static_cast<unsigned long long>(rt.stats().instances_created),
               static_cast<unsigned long long>(rt.stats().instances_cloned));
+  if (trace_out != nullptr) {
+    if (auto status = trace::WriteCapture(trace_out, "kernelsim:all", rt); !status.ok()) {
+      std::fprintf(stderr, "trace capture: %s\n", status.error().ToString().c_str());
+      return 1;
+    }
+    std::printf("  trace capture written to %s (%llu events)\n", trace_out,
+                static_cast<unsigned long long>(rt.stats().events));
+  }
+
   // The sugid bug fires once per setuid call (two calls above).
   return audit.count() >= 3 ? 0 : 1;
 }

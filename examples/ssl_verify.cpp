@@ -7,10 +7,12 @@
 // libssl/libcrypto boundary — catches the compromise the client itself
 // cannot see.
 #include <cstdio>
+#include <cstring>
 
 #include "runtime/runtime.h"
 #include "support/log.h"
 #include "sslsim/fetch.h"
+#include "trace/replay.h"
 
 namespace {
 
@@ -33,11 +35,22 @@ class ViolationPrinter : public runtime::EventHandler {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out <path>: record the whole run and write a replayable capture.
+  const char* trace_out = nullptr;
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out = argv[i + 1];
+    }
+  }
+
   // Violations are reported through our handler; silence the default log.
   SetLogLevel(LogLevel::kSilent);
   runtime::RuntimeOptions options;
   options.fail_stop = false;
+  if (trace_out != nullptr) {
+    options.trace_mode = trace::TraceMode::kFullCapture;
+  }
   runtime::Runtime rt(options);
   auto manifest = FetchAssertions();
   if (!manifest.ok() || !rt.Register(manifest.value()).ok()) {
@@ -80,6 +93,15 @@ int main() {
   std::printf("  connection %s; TESLA violations: %s\n",
               rejected.ok ? "succeeded (!)" : "refused",
               printer.fired() ? "YES" : "none (no site reached)");
+
+  if (trace_out != nullptr) {
+    if (auto status = trace::WriteCapture(trace_out, "sslsim:fetch", rt); !status.ok()) {
+      std::fprintf(stderr, "trace capture: %s\n", status.error().ToString().c_str());
+      return 1;
+    }
+    std::printf("\ntrace capture written to %s (%llu events)\n", trace_out,
+                static_cast<unsigned long long>(rt.stats().events));
+  }
 
   return caught && !rejected.ok ? 0 : 1;
 }

@@ -33,7 +33,8 @@ std::string SymbolLabel(const Automaton& automaton, uint16_t symbol) {
 
 }  // namespace
 
-std::string ToDot(const Automaton& automaton, const Dfa& dfa, const TransitionWeights* weights) {
+std::string ToDot(const Automaton& automaton, const Dfa& dfa, const TransitionWeights* weights,
+                  StateSet highlight) {
   std::ostringstream out;
   out << "digraph \"" << EscapeLabel(automaton.name) << "\" {\n";
   out << "  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n";
@@ -42,6 +43,9 @@ std::string ToDot(const Automaton& automaton, const Dfa& dfa, const TransitionWe
         << "\\\"\"";
     if (dfa.states[state].contains_accept) {
       out << ", peripheries=2";
+    }
+    if ((dfa.states[state].nfa_states & highlight) != 0) {
+      out << ", style=filled, fillcolor=\"#ffd0d0\"";
     }
     out << "];\n";
   }

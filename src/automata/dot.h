@@ -17,8 +17,11 @@ namespace tesla::automata {
 // Counts of observed transitions, keyed by (from DFA state, symbol).
 using TransitionWeights = std::map<std::pair<uint32_t, uint16_t>, uint64_t>;
 
+// `highlight` is an NFA state set (e.g. the states live when a violation was
+// reported): every DFA state whose NFA set intersects it is filled, so the
+// rendered graph shows where the automaton was when things went wrong.
 std::string ToDot(const Automaton& automaton, const Dfa& dfa,
-                  const TransitionWeights* weights = nullptr);
+                  const TransitionWeights* weights = nullptr, StateSet highlight = 0);
 
 // NFA-level rendering (one node per NFA state).
 std::string ToDotNfa(const Automaton& automaton);

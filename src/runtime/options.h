@@ -6,6 +6,8 @@
 #include <functional>
 #include <string>
 
+#include "trace/record.h"
+
 namespace tesla::runtime {
 
 // Reads one 64-bit value through a pointer-valued event argument; used by
@@ -48,6 +50,17 @@ struct RuntimeOptions {
   // explicitly-synchronised store.
   size_t global_shards = 8;
 
+  // Flight recorder / trace capture (src/trace). kFlightRecorder keeps the
+  // last `trace_ring_capacity` events per context in wait-free SPSC rings so
+  // violations carry a temporal backtrace; kFullCapture additionally retains
+  // the complete event history (up to `trace_capture_limit` records per
+  // context) for writing a replayable capture file.
+  trace::TraceMode trace_mode = trace::TraceMode::kOff;
+  size_t trace_ring_capacity = 4096;
+  size_t trace_capture_limit = 1 << 20;
+  // Events shown in a violation's temporal backtrace.
+  size_t trace_backtrace_events = 16;
+
   MemoryReader memory_reader;
 };
 
@@ -62,6 +75,11 @@ struct Violation {
   ViolationKind kind = ViolationKind::kBadSite;
   std::string automaton;
   std::string detail;
+  // Violation forensics (trace_mode != off): the temporal backtrace of the
+  // last recorded events relevant to the violating automaton, followed by
+  // the automaton's DOT graph with the states live at the violation
+  // highlighted. Empty when the flight recorder is off.
+  std::string backtrace;
 };
 
 const char* ViolationKindName(ViolationKind kind);
@@ -80,7 +98,10 @@ struct RuntimeStats {
   uint64_t arg_truncations = 0;   // events whose argument list exceeded kMaxEventArgs
   uint64_t index_probes = 0;      // dispatches answered by one index-bucket probe
   uint64_t index_scans = 0;       // indexed classes falling back to a full scan
-  uint64_t site_variant_truncations = 0;  // incallstack() variants dropped at a site
+  // incallstack() variants dropped at a site. Always zero since the site
+  // symbol buffer became growable (SmallVector); kept so stats consumers and
+  // the trace-file footer keep a stable schema.
+  uint64_t site_variant_truncations = 0;
 };
 
 }  // namespace tesla::runtime

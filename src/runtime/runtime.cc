@@ -5,9 +5,38 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "automata/dot.h"
 #include "support/log.h"
+#include "support/smallvec.h"
+#include "trace/forensics.h"
 
 namespace tesla::runtime {
+namespace {
+
+// A shard-lock guard that engages only when asked: per-event acquisitions
+// are skipped when OnEvents() already holds every shard lock for the batch
+// (the spinlock is not recursive).
+class ShardGuard {
+ public:
+  ShardGuard(Spinlock& lock, bool engage) : lock_(engage ? &lock : nullptr) {
+    if (lock_ != nullptr) {
+      lock_->lock();
+    }
+  }
+  ~ShardGuard() {
+    if (lock_ != nullptr) {
+      lock_->unlock();
+    }
+  }
+
+  ShardGuard(const ShardGuard&) = delete;
+  ShardGuard& operator=(const ShardGuard&) = delete;
+
+ private:
+  Spinlock* lock_;
+};
+
+}  // namespace
 
 const char* ViolationKindName(ViolationKind kind) {
   switch (kind) {
@@ -31,7 +60,11 @@ ThreadContext::ThreadContext(Runtime& runtime)
       store_(runtime.options_.instances_per_context),
       bound_epochs_(runtime.bound_slot_count_),
       active_classes_(runtime.cleanup_slot_count_),
-      stack_depth_(runtime.stack_slot_count_, 0) {}
+      stack_depth_(runtime.stack_slot_count_, 0) {
+  if (runtime.recorder_ != nullptr) {
+    trace_ = runtime.recorder_->RegisterContext();
+  }
+}
 
 ThreadContext::~ThreadContext() {
   for (ClassState& state : classes_) {
@@ -50,9 +83,15 @@ bool ThreadContext::InCallStack(Symbol function) const {
 
 // --- Runtime ---
 
+thread_local const Runtime* Runtime::batch_shard_owner_ = nullptr;
+
 Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   const size_t requested = options_.global_shards;
   shard_count_ = static_cast<uint32_t>(requested < 1 ? 1 : (requested > 64 ? 64 : requested));
+  if (options_.trace_mode != trace::TraceMode::kOff) {
+    recorder_ = std::make_unique<trace::Recorder>(trace::TraceConfig{
+        options_.trace_mode, options_.trace_ring_capacity, options_.trace_capture_limit});
+  }
 }
 
 Runtime::~Runtime() = default;
@@ -171,6 +210,30 @@ void Runtime::CompilePlan() {
       any_global_ = true;
     }
 
+    // Forensics filter: every function/field symbol the class's patterns
+    // name, bound init/cleanup functions included.
+    cls.trace_symbols.clear();
+    auto add_trace_symbol = [&cls](uint32_t symbol) {
+      if (std::find(cls.trace_symbols.begin(), cls.trace_symbols.end(), symbol) ==
+          cls.trace_symbols.end()) {
+        cls.trace_symbols.push_back(symbol);
+      }
+    };
+    for (const automata::EventPattern& pattern : cls.automaton.alphabet) {
+      switch (pattern.kind) {
+        case automata::PatternKind::kFunctionCall:
+        case automata::PatternKind::kFunctionReturn:
+        case automata::PatternKind::kInCallStack:
+          add_trace_symbol(pattern.function);
+          break;
+        case automata::PatternKind::kFieldAssign:
+          add_trace_symbol(pattern.field);
+          break;
+        case automata::PatternKind::kAssertionSite:
+          break;
+      }
+    }
+
     for (uint16_t symbol = 0; symbol < cls.automaton.alphabet.size(); symbol++) {
       if (symbol == cls.automaton.init_symbol || symbol == cls.automaton.cleanup_symbol) {
         continue;
@@ -285,11 +348,46 @@ ClassState& Runtime::StateFor(ThreadContext& ctx, uint32_t class_id) {
 // --- the unified event entry point ---
 
 void Runtime::OnEvent(ThreadContext& ctx, const Event& event) {
+  EnsurePlanCapacity(ctx);
+  DispatchEvent(ctx, event);
+}
+
+void Runtime::OnEvents(ThreadContext& ctx, std::span<const Event> events) {
+  if (events.empty()) {
+    return;
+  }
+  EnsurePlanCapacity(ctx);
+  if (any_global_ && batch_shard_owner_ != this) {
+    // Take every shard lock once for the whole batch, in ascending order
+    // (concurrent batches on other threads acquire in the same order, so
+    // there is no cycle). The per-event acquisitions inside DispatchEvent
+    // see ShardLocksHeld() and elide themselves.
+    for (auto& shard : shards_) {
+      shard->lock.lock();
+    }
+    batch_shard_owner_ = this;
+    for (const Event& event : events) {
+      DispatchEvent(ctx, event);
+    }
+    batch_shard_owner_ = nullptr;
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+      (*it)->lock.unlock();
+    }
+    return;
+  }
+  for (const Event& event : events) {
+    DispatchEvent(ctx, event);
+  }
+}
+
+void Runtime::DispatchEvent(ThreadContext& ctx, const Event& event) {
   Bump(stats_.events);
   if (event.truncated) {
     Bump(stats_.arg_truncations);
   }
-  EnsurePlanCapacity(ctx);
+  if (recorder_ != nullptr && ctx.trace_ != nullptr) {
+    recorder_->Record(*ctx.trace_, event);
+  }
   switch (event.kind) {
     case EventKind::kFunctionCall:
     case EventKind::kFunctionReturn:
@@ -395,12 +493,8 @@ void Runtime::ProcessSiteEvent(ThreadContext& ctx, const Event& event) {
     }
   }
   const CompiledClass& cls = classes_[automaton_id];
-  if (cls.is_global) {
-    LockGuard<Spinlock> guard(shards_[cls.shard]->lock);
-    HandleSiteEvent(ctx, automaton_id, bindings);
-  } else {
-    HandleSiteEvent(ctx, automaton_id, bindings);
-  }
+  ShardGuard guard(shards_[cls.shard]->lock, cls.is_global && !ShardLocksHeld());
+  HandleSiteEvent(ctx, automaton_id, bindings);
 }
 
 // --- bound lifecycle ---
@@ -423,7 +517,7 @@ void Runtime::HandleBoundStart(ThreadContext& ctx, const KeyPlan& plan) {
           continue;
         }
         GlobalShard& global = *shards_[shard];
-        LockGuard<Spinlock> guard(global.lock);
+        ShardGuard guard(global.lock, !ShardLocksHeld());
         BoundEpoch& epoch = global.context->bound_epochs_[plan.bound_slot];
         epoch.epoch++;
         epoch.open = true;
@@ -472,7 +566,7 @@ void Runtime::HandleBoundEnd(ThreadContext& ctx, const KeyPlan& plan) {
       continue;
     }
     GlobalShard& global = *shards_[shard];
-    LockGuard<Spinlock> guard(global.lock);
+    ShardGuard guard(global.lock, !ShardLocksHeld());
     ThreadContext& storage = *global.context;
     auto& active = storage.active_classes_[plan.cleanup_slot];
     for (uint32_t class_id : active) {
@@ -487,22 +581,14 @@ void Runtime::HandleBoundEnd(ThreadContext& ctx, const KeyPlan& plan) {
 
 void Runtime::ActivateClassSharded(ThreadContext& ctx, uint32_t class_id) {
   const CompiledClass& cls = classes_[class_id];
-  if (cls.is_global) {
-    LockGuard<Spinlock> guard(shards_[cls.shard]->lock);
-    ActivateClass(ctx, class_id);
-  } else {
-    ActivateClass(ctx, class_id);
-  }
+  ShardGuard guard(shards_[cls.shard]->lock, cls.is_global && !ShardLocksHeld());
+  ActivateClass(ctx, class_id);
 }
 
 void Runtime::CleanupClassSharded(ThreadContext& ctx, uint32_t class_id) {
   const CompiledClass& cls = classes_[class_id];
-  if (cls.is_global) {
-    LockGuard<Spinlock> guard(shards_[cls.shard]->lock);
-    CleanupClass(ctx, class_id);
-  } else {
-    CleanupClass(ctx, class_id);
-  }
+  ShardGuard guard(shards_[cls.shard]->lock, cls.is_global && !ShardLocksHeld());
+  CleanupClass(ctx, class_id);
 }
 
 void Runtime::ActivateClass(ThreadContext& ctx, uint32_t class_id) {
@@ -565,7 +651,8 @@ void Runtime::CleanupClass(ThreadContext& ctx, uint32_t class_id) {
     } else {
       ReportViolation(class_id, ViolationKind::kBadCleanup,
                       "instance " + storage.store_.Materialize(slot).Name(cls.automaton) +
-                          " had not completed when the bound closed");
+                          " had not completed when the bound closed",
+                      storage.store_.states(slot));
     }
     storage.store_.Free(slot);
   }
@@ -608,12 +695,8 @@ bool Runtime::EnsureActive(ThreadContext& ctx, uint32_t class_id) {
 void Runtime::HandleEvent(ThreadContext& ctx, const Candidate& candidate,
                           const BindingSet& bindings) {
   const CompiledClass& cls = classes_[candidate.class_id];
-  if (cls.is_global) {
-    LockGuard<Spinlock> guard(shards_[cls.shard]->lock);
-    HandleEventLocked(ctx, candidate, bindings);
-  } else {
-    HandleEventLocked(ctx, candidate, bindings);
-  }
+  ShardGuard guard(shards_[cls.shard]->lock, cls.is_global && !ShardLocksHeld());
+  HandleEventLocked(ctx, candidate, bindings);
 }
 
 void Runtime::HandleEventLocked(ThreadContext& ctx, const Candidate& candidate,
@@ -626,12 +709,18 @@ void Runtime::HandleEventLocked(ThreadContext& ctx, const Candidate& candidate,
                                      std::span<const uint16_t>(&symbol, 1));
   if (!stepped) {
     if (classes_[candidate.class_id].automaton.strict) {
+      ThreadContext& storage = ContextFor(ctx, candidate.class_id);
+      automata::StateSet live = 0;
+      for (uint32_t slot : StateFor(ctx, candidate.class_id).instances) {
+        live |= storage.store_.states(slot);
+      }
       ReportViolation(candidate.class_id, ViolationKind::kStrictEvent,
                       "event '" +
                           classes_[candidate.class_id]
                               .automaton.alphabet[candidate.symbol]
                               .ToString() +
-                          "' had no valid transition");
+                          "' had no valid transition",
+                      live);
     } else {
       Bump(stats_.ignored_events);
     }
@@ -647,43 +736,20 @@ void Runtime::HandleSiteEvent(ThreadContext& ctx, uint32_t class_id,
   const CompiledClass& cls = classes_[class_id];
 
   // The assertion-site event plus any satisfied incallstack() predicates.
-  uint16_t symbols[1 + 16];
-  constexpr size_t kMaxSiteSymbols = sizeof(symbols) / sizeof(symbols[0]);
-  size_t symbol_count = 0;
-  size_t dropped_variants = 0;
+  // The symbol list keeps the common handful of variants inline and grows
+  // past that, so no satisfied predicate is ever dropped —
+  // RuntimeStats::site_variant_truncations can only be zero now, and is
+  // kept solely so ablations and old reports keep their schema.
+  SmallVector<uint16_t, 17> symbols;
   if (cls.automaton.has_site) {
-    symbols[symbol_count++] = cls.automaton.site_symbol;
+    symbols.push_back(cls.automaton.site_symbol);
   }
   for (uint16_t variant : cls.site_variants) {
-    if (!ctx.InCallStack(cls.automaton.alphabet[variant].function)) {
-      continue;
-    }
-    if (symbol_count >= kMaxSiteSymbols) {
-      // A satisfied predicate the fixed buffer cannot carry: the automaton
-      // may miss a legitimate transition. Account for every drop and say so
-      // once — silent truncation made an assertion on variant 17
-      // unmatchable with no trace.
-      dropped_variants++;
-      continue;
-    }
-    symbols[symbol_count++] = variant;
-  }
-  if (dropped_variants > 0) {
-    Bump(stats_.site_variant_truncations, dropped_variants);
-    if (!std::atomic_ref<bool>(site_truncation_reported_).exchange(true,
-                                                                   std::memory_order_relaxed)) {
-      const std::string message =
-          "assertion site for '" + cls.automaton.name + "' satisfied more than " +
-          std::to_string(kMaxSiteSymbols) + " incallstack() variants; excess variants are "
-          "dropped and counted in RuntimeStats::site_variant_truncations";
-      TESLA_LOG(kWarning) << "tesla: " << message;
-      ClassInfo info{class_id, &cls.automaton};
-      for (EventHandler* handler : handlers_) {
-        handler->OnWarning(info, message);
-      }
+    if (ctx.InCallStack(cls.automaton.alphabet[variant].function)) {
+      symbols.push_back(variant);
     }
   }
-  if (symbol_count == 0) {
+  if (symbols.empty()) {
     if (!cls.automaton.has_site && cls.site_variants.empty()) {
       // The assertion's expression references no site event (e.g. a pure
       // TSEQUENCE or optional() form); the site marker carries no automaton
@@ -699,12 +765,18 @@ void Runtime::HandleSiteEvent(ThreadContext& ctx, uint32_t class_id,
   }
 
   bool stepped = DispatchToInstances(ctx, class_id, bindings,
-                                     std::span<const uint16_t>(symbols, symbol_count));
+                                     std::span<const uint16_t>(symbols.data(), symbols.size()));
   if (!stepped) {
     // Paper §4.4.1 "Error": reaching the site with no instance able to
-    // consume it (e.g. the (vp3) case) is a violation.
-    std::string detail = "no instance could accept the assertion site";
-    ReportViolation(class_id, ViolationKind::kBadSite, detail);
+    // consume it (e.g. the (vp3) case) is a violation. The union of live
+    // instance states tells forensics where the automaton got stuck.
+    ThreadContext& storage = ContextFor(ctx, class_id);
+    automata::StateSet live = 0;
+    for (uint32_t slot : StateFor(ctx, class_id).instances) {
+      live |= storage.store_.states(slot);
+    }
+    ReportViolation(class_id, ViolationKind::kBadSite,
+                    "no instance could accept the assertion site", live);
   }
 }
 
@@ -1060,13 +1132,18 @@ bool Runtime::MatchArg(const automata::ArgMatch& match, int64_t value,
   return false;
 }
 
-void Runtime::ReportViolation(uint32_t class_id, ViolationKind kind,
-                              const std::string& detail) {
+void Runtime::ReportViolation(uint32_t class_id, ViolationKind kind, const std::string& detail,
+                              automata::StateSet highlight) {
   Bump(stats_.violations);
   Violation violation;
   violation.kind = kind;
   violation.automaton = classes_[class_id].automaton.name;
   violation.detail = detail;
+  if (recorder_ != nullptr) {
+    violation.backtrace = BuildForensics(class_id, highlight);
+    LockGuard<Spinlock> guard(violation_log_lock_);
+    violation_log_.emplace_back(kind, violation.automaton);
+  }
 
   ClassInfo info{class_id, &classes_[class_id].automaton};
   for (EventHandler* handler : handlers_) {
@@ -1077,8 +1154,22 @@ void Runtime::ReportViolation(uint32_t class_id, ViolationKind kind,
   if (options_.fail_stop) {
     std::fprintf(stderr, "tesla: fail-stop on violation in '%s': %s (%s)\n",
                  violation.automaton.c_str(), ViolationKindName(kind), detail.c_str());
+    if (!violation.backtrace.empty()) {
+      std::fprintf(stderr, "%s", violation.backtrace.c_str());
+    }
     std::abort();
   }
+}
+
+std::string Runtime::BuildForensics(uint32_t class_id, automata::StateSet highlight) const {
+  const CompiledClass& cls = classes_[class_id];
+  const trace::Snapshot snapshot = recorder_->Harvest();
+  std::string report =
+      trace::RenderBacktrace(snapshot, cls.automaton, class_id, cls.trace_symbols,
+                             options_.trace_backtrace_events, trace::InternerResolver());
+  report += "automaton state at the violation (DOT; live states highlighted):\n";
+  report += automata::ToDot(cls.automaton, cls.dfa, nullptr, highlight);
+  return report;
 }
 
 // --- StderrHandler ---
@@ -1111,6 +1202,9 @@ void StderrHandler::OnAccept(const ClassInfo& cls, const Instance& instance) {
 void StderrHandler::OnViolation(const ClassInfo& cls, const Violation& violation) {
   std::fprintf(stderr, "tesla: [%s] VIOLATION: %s — %s\n", violation.automaton.c_str(),
                ViolationKindName(violation.kind), violation.detail.c_str());
+  if (!violation.backtrace.empty()) {
+    std::fprintf(stderr, "%s", violation.backtrace.c_str());
+  }
 }
 
 void StderrHandler::OnWarning(const ClassInfo& cls, const std::string& message) {

@@ -47,6 +47,7 @@
 #include "support/pool.h"
 #include "support/result.h"
 #include "support/spinlock.h"
+#include "trace/recorder.h"
 
 namespace tesla::runtime {
 
@@ -104,6 +105,10 @@ class ThreadContext {
   std::vector<BoundEpoch> bound_epochs_;               // by bound slot
   std::vector<std::vector<uint32_t>> active_classes_;  // live classes, by cleanup slot
   std::vector<int32_t> stack_depth_;                   // by tracked-stack slot
+  // Flight-recorder log for events entering through this context (null when
+  // tracing is off). Owned by the runtime's Recorder, which outlives us —
+  // the history survives context teardown for capture and forensics.
+  trace::ContextLog* trace_ = nullptr;
 };
 
 class Runtime {
@@ -128,6 +133,14 @@ class Runtime {
   // --- the unified event entry point ---
 
   void OnEvent(ThreadContext& ctx, const Event& event);
+
+  // Batch ingestion: semantically identical to calling OnEvent once per
+  // element, but amortises the per-call overheads — plan-capacity checks run
+  // once, and when global automata are registered every shard lock is taken
+  // once for the whole batch instead of once per event (nested per-event
+  // acquisitions are elided via the batch-owner check). The replay path and
+  // event-queue front-ends feed this.
+  void OnEvents(ThreadContext& ctx, std::span<const Event> events);
 
   // --- legacy entry points (thin wrappers over OnEvent) ---
 
@@ -164,6 +177,19 @@ class Runtime {
   // Number of global-context shards in use (≤ RuntimeOptions::global_shards).
   uint32_t shard_count() const { return shard_count_; }
 
+  // The flight recorder (null when RuntimeOptions::trace_mode is off).
+  trace::Recorder* recorder() { return recorder_.get(); }
+  const trace::Recorder* recorder() const { return recorder_.get(); }
+
+  // The violation sequence observed while tracing was active: (kind,
+  // automaton name) in report order. Captures embed it so replays can check
+  // they reproduce not just the stats but the same failures in the same
+  // order. Empty when trace_mode is off.
+  std::vector<std::pair<ViolationKind, std::string>> violation_log() const {
+    LockGuard<Spinlock> guard(violation_log_lock_);
+    return violation_log_;
+  }
+
  private:
   friend class ThreadContext;
 
@@ -186,6 +212,10 @@ class Runtime {
     uint32_t key_mask = 0;
     uint8_t key_count = 0;
     std::array<uint8_t, kMaxVariables> key_vars{};
+    // Every function/field symbol the class's patterns name (including the
+    // bound's init/cleanup functions): the forensics filter for "events
+    // relevant to this automaton".
+    std::vector<uint32_t> trace_symbols;
   };
 
   struct Candidate {
@@ -257,9 +287,19 @@ class Runtime {
     return key < function_plan_.size() ? function_plan_[key].stack_slot : -1;
   }
 
+  // OnEvent minus the per-call capacity check: the shared core of the
+  // one-at-a-time and batch entry points (records to the flight recorder,
+  // then routes by kind).
+  void DispatchEvent(ThreadContext& ctx, const Event& event);
+
   void ProcessFunctionEvent(ThreadContext& ctx, const Event& event);
   void ProcessFieldEvent(ThreadContext& ctx, const Event& event);
   void ProcessSiteEvent(ThreadContext& ctx, const Event& event);
+
+  // True when the calling thread holds every shard lock via OnEvents();
+  // per-event lock acquisitions must then be elided (the spinlock is not
+  // recursive).
+  bool ShardLocksHeld() const { return batch_shard_owner_ == this; }
 
   void HandleBoundStart(ThreadContext& ctx, const KeyPlan& plan);
   void HandleBoundEnd(ThreadContext& ctx, const KeyPlan& plan);
@@ -306,12 +346,17 @@ class Runtime {
                             int64_t return_value, BindingSet* bindings) const;
   bool MatchArg(const automata::ArgMatch& match, int64_t value, BindingSet* bindings) const;
 
-  void ReportViolation(uint32_t class_id, ViolationKind kind, const std::string& detail);
+  // `highlight`: the automaton states live at the violation (0 when the call
+  // site cannot cheaply know them) — rendered into the forensic DOT graph.
+  void ReportViolation(uint32_t class_id, ViolationKind kind, const std::string& detail,
+                       automata::StateSet highlight = 0);
+  // Harvests the flight recorder and renders the temporal backtrace plus the
+  // highlighted DOT graph for one violating class.
+  std::string BuildForensics(uint32_t class_id, automata::StateSet highlight) const;
   void Bump(uint64_t& counter, uint64_t amount = 1);
 
   RuntimeOptions options_;
   RuntimeStats stats_;
-  bool site_truncation_reported_ = false;  // once-only OnWarning latch
   std::vector<CompiledClass> classes_;
   std::vector<EventHandler*> handlers_;
   std::unordered_map<std::string, uint32_t> by_name_;
@@ -334,6 +379,17 @@ class Runtime {
   // spinlock-serialised).
   uint32_t shard_count_ = 1;
   std::vector<std::unique_ptr<GlobalShard>> shards_;
+
+  // The flight recorder (trace_mode != off) and the violation sequence it
+  // captures alongside the event stream.
+  std::unique_ptr<trace::Recorder> recorder_;
+  mutable Spinlock violation_log_lock_;
+  std::vector<std::pair<ViolationKind, std::string>> violation_log_;
+
+  // The runtime whose OnEvents() batch currently holds all shard locks on
+  // this thread (null when none). Thread-local so concurrent batches on
+  // different threads still serialise on the shard locks themselves.
+  static thread_local const Runtime* batch_shard_owner_;
 };
 
 }  // namespace tesla::runtime

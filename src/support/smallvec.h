@@ -1,0 +1,59 @@
+// A small-size-optimised growable array for trivially-copyable elements.
+//
+// Hot paths that gather a handful of items (e.g. the assertion-site symbol
+// list with its incallstack() variants) want a fixed inline buffer with zero
+// allocations in the common case — but a hard ceiling silently truncates the
+// rare workload that exceeds it. SmallVector keeps the first InlineCapacity
+// elements inline and spills the whole sequence to the heap only past that,
+// so data() stays contiguous and no element is ever dropped.
+#ifndef TESLA_SUPPORT_SMALLVEC_H_
+#define TESLA_SUPPORT_SMALLVEC_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace tesla {
+
+template <typename T, size_t InlineCapacity>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector only supports trivially-copyable elements");
+
+ public:
+  void push_back(const T& value) {
+    if (heap_.empty()) {
+      if (size_ < InlineCapacity) {
+        inline_[size_++] = value;
+        return;
+      }
+      // First spill: move the inline prefix to the heap so the sequence
+      // stays contiguous.
+      heap_.reserve(InlineCapacity * 2);
+      heap_.assign(inline_, inline_ + size_);
+    }
+    heap_.push_back(value);
+    size_++;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T* data() const { return heap_.empty() ? inline_ : heap_.data(); }
+  T* data() { return heap_.empty() ? inline_ : heap_.data(); }
+
+  const T& operator[](size_t index) const { return data()[index]; }
+  T& operator[](size_t index) { return data()[index]; }
+
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+ private:
+  T inline_[InlineCapacity];
+  std::vector<T> heap_;
+  size_t size_ = 0;
+};
+
+}  // namespace tesla
+
+#endif  // TESLA_SUPPORT_SMALLVEC_H_

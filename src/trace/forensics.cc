@@ -1,0 +1,100 @@
+#include "trace/forensics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/intern.h"
+
+namespace tesla::trace {
+
+SymbolResolver InternerResolver() {
+  return [](uint32_t symbol) -> std::string {
+    const StringInterner& interner = GlobalInterner();
+    if (symbol < interner.size()) {
+      return interner.Spelling(symbol);
+    }
+    return "sym#" + std::to_string(symbol);
+  };
+}
+
+std::string DescribeRecord(const TraceRecord& record, const SymbolResolver& resolve) {
+  std::ostringstream out;
+  out << "#" << record.seq << " [ctx " << record.ctx << "] ";
+  const auto kind = static_cast<runtime::EventKind>(record.kind);
+  switch (kind) {
+    case runtime::EventKind::kFunctionCall:
+    case runtime::EventKind::kFunctionReturn: {
+      out << (kind == runtime::EventKind::kFunctionCall ? "call " : "ret  ");
+      out << resolve(record.target) << "(";
+      for (uint8_t i = 0; i < record.count; i++) {
+        out << (i == 0 ? "" : ", ") << record.values[i];
+      }
+      if ((record.flags & kFlagTruncated) != 0) {
+        out << (record.count == 0 ? "..." : ", ...");
+      }
+      out << ")";
+      if (kind == runtime::EventKind::kFunctionReturn) {
+        out << " = " << record.return_value;
+      }
+      break;
+    }
+    case runtime::EventKind::kFieldStore:
+      out << "store " << resolve(record.target) << " obj=" << record.values[0] << " "
+          << record.values[1] << " -> " << record.values[2];
+      break;
+    case runtime::EventKind::kAssertionSite:
+      out << "site  automaton#" << record.target;
+      for (uint8_t i = 0; i < record.count; i++) {
+        out << (i == 0 ? " " : ", ") << "v" << record.vars[i] << "=" << record.values[i];
+      }
+      break;
+  }
+  return out.str();
+}
+
+std::vector<TraceRecord> FilterRelevant(std::span<const TraceRecord> records,
+                                        uint32_t class_id, std::span<const uint32_t> symbols,
+                                        size_t max_events) {
+  // Walk backwards so huge full-capture snapshots cost O(relevant tail), then
+  // restore chronological order.
+  std::vector<TraceRecord> relevant;
+  for (size_t i = records.size(); i-- > 0 && relevant.size() < max_events;) {
+    const TraceRecord& record = records[i];
+    const auto kind = static_cast<runtime::EventKind>(record.kind);
+    if (kind == runtime::EventKind::kAssertionSite) {
+      if (record.target == class_id) {
+        relevant.push_back(record);
+      }
+      continue;
+    }
+    if (std::find(symbols.begin(), symbols.end(), record.target) != symbols.end()) {
+      relevant.push_back(record);
+    }
+  }
+  std::reverse(relevant.begin(), relevant.end());
+  return relevant;
+}
+
+std::string RenderBacktrace(const Snapshot& snapshot, const automata::Automaton& automaton,
+                            uint32_t class_id, std::span<const uint32_t> symbols,
+                            size_t max_events, const SymbolResolver& resolve) {
+  std::vector<TraceRecord> relevant =
+      FilterRelevant(snapshot.records, class_id, symbols, max_events);
+  std::ostringstream out;
+  out << "temporal backtrace for '" << automaton.name << "' (" << relevant.size()
+      << " relevant of " << snapshot.produced << " recorded events";
+  if (snapshot.dropped > 0) {
+    out << ", " << snapshot.dropped << " outside the flight-recorder window";
+  }
+  out << "):\n";
+  if (relevant.empty()) {
+    out << "  (no relevant events recorded)\n";
+    return out.str();
+  }
+  for (const TraceRecord& record : relevant) {
+    out << "  " << DescribeRecord(record, resolve) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tesla::trace

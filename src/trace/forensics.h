@@ -1,0 +1,49 @@
+// Violation forensics: turning a flight-recorder snapshot into the "temporal
+// backtrace" a developer actually wants next to "assertion failed in state 4"
+// (paper §"Debugging with TESLA"; fig. 8's per-instance lifecycles).
+//
+// The renderer is deliberately decoupled from the Runtime: it consumes a
+// Snapshot, the violating automaton, and the class's relevant symbol set (the
+// functions and fields its dispatch plan listens to), so it can run inside
+// ReportViolation, in the tesla-trace CLI, and in tests without dragging the
+// runtime into the trace library.
+#ifndef TESLA_TRACE_FORENSICS_H_
+#define TESLA_TRACE_FORENSICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "automata/automaton.h"
+#include "trace/recorder.h"
+
+namespace tesla::trace {
+
+// Maps a symbol id to a printable name. The default resolver reads the
+// process-wide interner and degrades to "sym#N" for ids it has never seen
+// (e.g. when dumping a foreign trace file without remapping).
+using SymbolResolver = std::function<std::string(uint32_t symbol)>;
+
+SymbolResolver InternerResolver();
+
+// One trace record, one line: "#17 [ctx 0] call  syscall(3, 0x2)".
+std::string DescribeRecord(const TraceRecord& record, const SymbolResolver& resolve);
+
+// The records relevant to `class_id`: function/field records naming one of
+// `symbols`, plus assertion-site records targeting the class. Returns the
+// most recent `max_events`, oldest first.
+std::vector<TraceRecord> FilterRelevant(std::span<const TraceRecord> records,
+                                        uint32_t class_id, std::span<const uint32_t> symbols,
+                                        size_t max_events);
+
+// The human-readable temporal backtrace: the relevant tail of `snapshot`,
+// one DescribeRecord line per event, with drop accounting in the header.
+std::string RenderBacktrace(const Snapshot& snapshot, const automata::Automaton& automaton,
+                            uint32_t class_id, std::span<const uint32_t> symbols,
+                            size_t max_events, const SymbolResolver& resolve);
+
+}  // namespace tesla::trace
+
+#endif  // TESLA_TRACE_FORENSICS_H_

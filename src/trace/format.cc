@@ -1,0 +1,282 @@
+#include "trace/format.h"
+
+#include <cstring>
+
+namespace tesla::trace {
+namespace {
+
+constexpr uint8_t kEndMarker = 0xFF;
+
+void PutVarint(std::vector<uint8_t>& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+uint64_t Zigzag(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
+}
+
+int64_t Unzigzag(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+void PutString(std::vector<uint8_t>& out, const std::string& text) {
+  PutVarint(out, text.size());
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+// Bounds-checked sequential reader over the loaded file bytes.
+struct Cursor {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+  bool failed = false;
+
+  bool Varint(uint64_t* value) {
+    uint64_t result = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos >= size) {
+        failed = true;
+        return false;
+      }
+      const uint8_t byte = data[pos++];
+      result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        *value = result;
+        return true;
+      }
+    }
+    failed = true;
+    return false;
+  }
+
+  bool Byte(uint8_t* value) {
+    if (pos >= size) {
+      failed = true;
+      return false;
+    }
+    *value = data[pos++];
+    return true;
+  }
+
+  bool String(std::string* text) {
+    uint64_t length = 0;
+    if (!Varint(&length) || size - pos < length) {
+      failed = true;
+      return false;
+    }
+    text->assign(reinterpret_cast<const char*>(data + pos), static_cast<size_t>(length));
+    pos += static_cast<size_t>(length);
+    return true;
+  }
+};
+
+}  // namespace
+
+TraceWriter::~TraceWriter() {
+  if (out_ != nullptr) {
+    std::fclose(out_);
+  }
+}
+
+Status TraceWriter::Open(const std::string& path, const std::string& origin,
+                         const CaptureOptions& options, const StringInterner& interner) {
+  out_ = std::fopen(path.c_str(), "wb");
+  if (out_ == nullptr) {
+    return Error{"cannot open trace file '" + path + "' for writing"};
+  }
+  buffer_.clear();
+  buffer_.insert(buffer_.end(), kTraceMagic, kTraceMagic + sizeof(kTraceMagic));
+  PutString(buffer_, origin);
+  const uint8_t flags = static_cast<uint8_t>(options.lazy_init ? 1 : 0) |
+                        static_cast<uint8_t>(options.use_dfa ? 2 : 0) |
+                        static_cast<uint8_t>(options.instance_index ? 4 : 0);
+  buffer_.push_back(flags);
+  PutVarint(buffer_, options.instances_per_context);
+  PutVarint(buffer_, options.global_shards);
+  PutVarint(buffer_, interner.size());
+  for (Symbol symbol = 0; symbol < interner.size(); symbol++) {
+    PutString(buffer_, interner.Spelling(symbol));
+  }
+  std::fwrite(buffer_.data(), 1, buffer_.size(), out_);
+  prev_seq_ = 0;
+  return Status::Ok();
+}
+
+void TraceWriter::Append(const TraceRecord& record) {
+  buffer_.clear();
+  buffer_.push_back(record.kind);
+  buffer_.push_back(record.flags);
+  PutVarint(buffer_, record.ctx);
+  PutVarint(buffer_, record.seq - prev_seq_);
+  prev_seq_ = record.seq;
+  PutVarint(buffer_, record.target);
+  buffer_.push_back(record.count);
+  for (uint8_t i = 0; i < record.count; i++) {
+    PutVarint(buffer_, Zigzag(record.values[i]));
+  }
+  if (static_cast<runtime::EventKind>(record.kind) == runtime::EventKind::kAssertionSite) {
+    for (uint8_t i = 0; i < record.count; i++) {
+      PutVarint(buffer_, record.vars[i]);
+    }
+  }
+  if (static_cast<runtime::EventKind>(record.kind) == runtime::EventKind::kFunctionReturn) {
+    PutVarint(buffer_, Zigzag(record.return_value));
+  }
+  std::fwrite(buffer_.data(), 1, buffer_.size(), out_);
+}
+
+Status TraceWriter::Finish(const SemanticSummary& summary) {
+  buffer_.clear();
+  buffer_.push_back(kEndMarker);
+  PutVarint(buffer_, summary.dropped);
+  for (const StatsField& field : kStatsFields) {
+    PutVarint(buffer_, summary.stats.*field.field);
+  }
+  PutVarint(buffer_, summary.violations.size());
+  for (const auto& [kind, automaton] : summary.violations) {
+    buffer_.push_back(static_cast<uint8_t>(kind));
+    PutString(buffer_, automaton);
+  }
+  std::fwrite(buffer_.data(), 1, buffer_.size(), out_);
+  const bool ok = std::fflush(out_) == 0 && std::ferror(out_) == 0;
+  std::fclose(out_);
+  out_ = nullptr;
+  if (!ok) {
+    return Error{"I/O error while writing trace file"};
+  }
+  return Status::Ok();
+}
+
+Result<TraceFile> TraceFile::Read(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    return Error{"cannot open trace file '" + path + "'"};
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t chunk[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), in)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  std::fclose(in);
+
+  if (bytes.size() < sizeof(kTraceMagic) ||
+      std::memcmp(bytes.data(), kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    return Error{"'" + path + "' is not a TESLA trace capture (bad magic)"};
+  }
+
+  TraceFile file;
+  file.version = kTraceVersion;
+  Cursor cursor{bytes.data(), bytes.size(), sizeof(kTraceMagic)};
+
+  uint8_t flags = 0;
+  uint64_t value = 0;
+  cursor.String(&file.origin);
+  cursor.Byte(&flags);
+  file.options.lazy_init = (flags & 1) != 0;
+  file.options.use_dfa = (flags & 2) != 0;
+  file.options.instance_index = (flags & 4) != 0;
+  cursor.Varint(&file.options.instances_per_context);
+  cursor.Varint(&file.options.global_shards);
+
+  uint64_t symbol_count = 0;
+  cursor.Varint(&symbol_count);
+  if (cursor.failed || symbol_count > bytes.size()) {
+    return Error{"truncated trace header in '" + path + "'"};
+  }
+  file.symbols.resize(static_cast<size_t>(symbol_count));
+  for (auto& symbol : file.symbols) {
+    cursor.String(&symbol);
+  }
+
+  uint64_t seq = 0;
+  while (!cursor.failed) {
+    uint8_t kind = 0;
+    if (!cursor.Byte(&kind)) {
+      return Error{"trace stream in '" + path + "' ended without a footer"};
+    }
+    if (kind == kEndMarker) {
+      break;
+    }
+    if (kind > static_cast<uint8_t>(runtime::EventKind::kAssertionSite)) {
+      return Error{"corrupt record kind in '" + path + "'"};
+    }
+    TraceRecord record;
+    record.kind = kind;
+    cursor.Byte(&record.flags);
+    cursor.Varint(&value);
+    record.ctx = static_cast<uint32_t>(value);
+    cursor.Varint(&value);
+    seq += value;
+    record.seq = seq;
+    cursor.Varint(&value);
+    record.target = static_cast<uint32_t>(value);
+    cursor.Byte(&record.count);
+    if (record.count > runtime::kMaxEventArgs) {
+      return Error{"corrupt record arity in '" + path + "'"};
+    }
+    for (uint8_t i = 0; i < record.count; i++) {
+      cursor.Varint(&value);
+      record.values[i] = Unzigzag(value);
+    }
+    if (static_cast<runtime::EventKind>(kind) == runtime::EventKind::kAssertionSite) {
+      for (uint8_t i = 0; i < record.count; i++) {
+        cursor.Varint(&value);
+        record.vars[i] = static_cast<uint16_t>(value);
+      }
+    }
+    if (static_cast<runtime::EventKind>(kind) == runtime::EventKind::kFunctionReturn) {
+      cursor.Varint(&value);
+      record.return_value = Unzigzag(value);
+    }
+    if (cursor.failed) {
+      return Error{"truncated record in '" + path + "'"};
+    }
+    file.records.push_back(record);
+  }
+
+  cursor.Varint(&file.summary.dropped);
+  for (const StatsField& field : kStatsFields) {
+    cursor.Varint(&value);
+    file.summary.stats.*field.field = value;
+  }
+  uint64_t violation_count = 0;
+  cursor.Varint(&violation_count);
+  if (cursor.failed || violation_count > bytes.size()) {
+    return Error{"truncated footer in '" + path + "'"};
+  }
+  file.summary.violations.reserve(static_cast<size_t>(violation_count));
+  for (uint64_t i = 0; i < violation_count; i++) {
+    uint8_t kind = 0;
+    std::string automaton;
+    cursor.Byte(&kind);
+    cursor.String(&automaton);
+    file.summary.violations.emplace_back(static_cast<runtime::ViolationKind>(kind),
+                                         std::move(automaton));
+  }
+  if (cursor.failed) {
+    return Error{"truncated footer in '" + path + "'"};
+  }
+  return file;
+}
+
+void TraceFile::InternAndRemap() {
+  std::vector<uint32_t> remap(symbols.size());
+  for (size_t i = 0; i < symbols.size(); i++) {
+    remap[i] = InternString(symbols[i]);
+  }
+  for (TraceRecord& record : records) {
+    if (static_cast<runtime::EventKind>(record.kind) == runtime::EventKind::kAssertionSite) {
+      continue;  // site targets are automaton ids, not symbols
+    }
+    if (record.target < remap.size()) {
+      record.target = remap[record.target];
+    }
+  }
+}
+
+}  // namespace tesla::trace

@@ -1,0 +1,128 @@
+// The binary trace-capture format (versioned, self-describing, compact).
+//
+// A capture file turns a recorded run into a deterministic repro and a bench
+// input: it carries everything a fresh process needs to replay the event
+// stream through a fresh Runtime and check that the semantics agree.
+//
+// Layout (all integers varint/LEB128, signed values zigzag-encoded):
+//
+//   magic "TSLATRC1" (8 bytes)        version gate: the '1' is the version
+//   origin   string                   e.g. "kernelsim:all" — names the
+//                                     manifest a replayer must register
+//   options                           the semantics-bearing RuntimeOptions:
+//     flags byte (lazy_init | use_dfa<<1 | instance_index<<2)
+//     instances_per_context, global_shards
+//   symbols  count, then count strings   the capture process's interner
+//                                     table; record targets index into it
+//   records  per record: kind byte (0xFF terminates the stream),
+//     flags byte, ctx, seq delta (vs previous record), target, count,
+//     count zigzag values, count vars (sites only),
+//     zigzag return_value (returns only)
+//   footer   dropped, the 14 RuntimeStats fields in declaration order,
+//     violation count, then (kind byte, automaton-name string) each
+//
+// Strings are varint length + bytes. Seq deltas are non-negative because the
+// writer is handed a sequence-sorted snapshot.
+#ifndef TESLA_TRACE_FORMAT_H_
+#define TESLA_TRACE_FORMAT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/options.h"
+#include "support/intern.h"
+#include "support/result.h"
+#include "trace/record.h"
+
+namespace tesla::trace {
+
+inline constexpr char kTraceMagic[8] = {'T', 'S', 'L', 'A', 'T', 'R', 'C', '1'};
+inline constexpr uint32_t kTraceVersion = 1;
+
+// The footer's RuntimeStats fields, in declaration order. The writer, the
+// reader, the replay comparator and the CLI's stats dump all walk this one
+// table, so the wire schema and every consumer move together.
+struct StatsField {
+  const char* name;
+  uint64_t runtime::RuntimeStats::* field;
+};
+
+inline constexpr StatsField kStatsFields[] = {
+    {"events", &runtime::RuntimeStats::events},
+    {"bound_entries", &runtime::RuntimeStats::bound_entries},
+    {"bound_exits", &runtime::RuntimeStats::bound_exits},
+    {"instances_created", &runtime::RuntimeStats::instances_created},
+    {"instances_cloned", &runtime::RuntimeStats::instances_cloned},
+    {"transitions", &runtime::RuntimeStats::transitions},
+    {"accepts", &runtime::RuntimeStats::accepts},
+    {"violations", &runtime::RuntimeStats::violations},
+    {"overflows", &runtime::RuntimeStats::overflows},
+    {"ignored_events", &runtime::RuntimeStats::ignored_events},
+    {"arg_truncations", &runtime::RuntimeStats::arg_truncations},
+    {"index_probes", &runtime::RuntimeStats::index_probes},
+    {"index_scans", &runtime::RuntimeStats::index_scans},
+    {"site_variant_truncations", &runtime::RuntimeStats::site_variant_truncations},
+};
+
+// The subset of RuntimeOptions that changes replay semantics.
+struct CaptureOptions {
+  bool lazy_init = true;
+  bool use_dfa = false;
+  bool instance_index = true;
+  uint64_t instances_per_context = 256;
+  uint64_t global_shards = 8;
+};
+
+// What the original run observed; replay must reproduce it event for event.
+struct SemanticSummary {
+  uint64_t dropped = 0;  // capture-side drops (nonzero ⇒ replay may diverge)
+  runtime::RuntimeStats stats;
+  std::vector<std::pair<runtime::ViolationKind, std::string>> violations;
+};
+
+class TraceWriter {
+ public:
+  TraceWriter() = default;
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  // Writes the header, including the interner's current table.
+  Status Open(const std::string& path, const std::string& origin,
+              const CaptureOptions& options, const StringInterner& interner);
+
+  void Append(const TraceRecord& record);
+
+  // Writes the end marker and footer, and closes the file.
+  Status Finish(const SemanticSummary& summary);
+
+ private:
+  std::FILE* out_ = nullptr;
+  uint64_t prev_seq_ = 0;
+  std::vector<uint8_t> buffer_;
+};
+
+// A fully parsed capture.
+struct TraceFile {
+  uint32_t version = 0;
+  std::string origin;
+  CaptureOptions options;
+  std::vector<std::string> symbols;  // index = symbol id in the capture process
+  std::vector<TraceRecord> records;
+  SemanticSummary summary;
+
+  static Result<TraceFile> Read(const std::string& path);
+
+  // Interns every embedded symbol into this process's interner and rewrites
+  // record targets accordingly. Must run before Runtime::Register() so the
+  // replaying dispatch plan covers every recorded symbol.
+  void InternAndRemap();
+};
+
+}  // namespace tesla::trace
+
+#endif  // TESLA_TRACE_FORMAT_H_

@@ -1,0 +1,45 @@
+#include "trace/origins.h"
+
+#include "kernelsim/assertions.h"
+#include "objsim/appkit.h"
+#include "objsim/trace.h"
+#include "sslsim/fetch.h"
+
+namespace tesla::trace {
+
+Result<automata::Manifest> ManifestForOrigin(const std::string& origin) {
+  if (origin == "kernelsim:all") {
+    return kernelsim::KernelAssertions(kernelsim::kSetAll);
+  }
+  if (origin == "kernelsim:mac") {
+    return kernelsim::KernelAssertions(kernelsim::kSetMac);
+  }
+  if (origin == "kernelsim:proc") {
+    return kernelsim::KernelAssertions(kernelsim::kSetProc);
+  }
+  if (origin == "kernelsim:test") {
+    return kernelsim::KernelAssertions(kernelsim::kSetTest);
+  }
+  if (origin == "sslsim:fetch") {
+    return sslsim::FetchAssertions();
+  }
+  if (origin == "objsim:gui") {
+    // The GUI manifest is derived from the instrumented selector table, which
+    // only depends on the AppKit build, not on any run-time state.
+    objsim::ObjcRuntime objc(objsim::TraceMode::kTesla);
+    objsim::AppKit app(objc, objsim::AppKitConfig{});
+    return objsim::GuiManifest(app);
+  }
+  std::string known;
+  for (const std::string& name : KnownOrigins()) {
+    known += known.empty() ? name : ", " + name;
+  }
+  return Error{"unknown capture origin '" + origin + "' (known: " + known + ")"};
+}
+
+std::vector<std::string> KnownOrigins() {
+  return {"kernelsim:all",  "kernelsim:mac", "kernelsim:proc",
+          "kernelsim:test", "sslsim:fetch",  "objsim:gui"};
+}
+
+}  // namespace tesla::trace

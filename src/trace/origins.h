@@ -1,0 +1,31 @@
+// Capture origins: mapping the origin string embedded in a trace file back to
+// the assertion manifest the capture was recorded against.
+//
+// A capture is only replayable if the fresh Runtime registers the same
+// automata the recording Runtime had; the origin string ("kernelsim:all",
+// "sslsim:fetch", "objsim:gui") names that manifest without serialising it.
+// This lives in the replay library (not the trace core) because resolving an
+// origin drags in the simulators.
+#ifndef TESLA_TRACE_ORIGINS_H_
+#define TESLA_TRACE_ORIGINS_H_
+
+#include <string>
+#include <vector>
+
+#include "automata/manifest.h"
+#include "support/result.h"
+
+namespace tesla::trace {
+
+// Resolves `origin` to its manifest. Known origins:
+//   kernelsim:all | kernelsim:mac | kernelsim:proc | kernelsim:test
+//   sslsim:fetch
+//   objsim:gui
+Result<automata::Manifest> ManifestForOrigin(const std::string& origin);
+
+// The origins ManifestForOrigin() accepts (for CLI help and error messages).
+std::vector<std::string> KnownOrigins();
+
+}  // namespace tesla::trace
+
+#endif  // TESLA_TRACE_ORIGINS_H_

@@ -1,0 +1,82 @@
+// tesla::trace — the flight-recorder record (paper §"Debugging with TESLA").
+//
+// A bare "assertion failed in state 4" is nearly useless without the event
+// history that drove the automaton there; trace-based assertion checking
+// treats the recorded trace as the first-class artifact. TraceRecord is the
+// unit of that artifact: a runtime::Event plus the provenance replay and
+// forensics need — the originating context and a global monotonic sequence
+// number that totally orders events across all contexts.
+//
+// The record is trivially copyable and exactly a whole number of 64-bit
+// words, so the SPSC ring can publish it as a burst of relaxed atomic word
+// stores (wait-free, tear-detectable) and the binary format can varint-pack
+// it field by field.
+#ifndef TESLA_TRACE_RECORD_H_
+#define TESLA_TRACE_RECORD_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "runtime/event.h"
+
+namespace tesla::trace {
+
+// How much the runtime records on the OnEvent hot path.
+enum class TraceMode : uint8_t {
+  kOff = 0,             // no recording; the recorder is never constructed
+  kFlightRecorder = 1,  // per-context SPSC rings, oldest records overwritten
+  kFullCapture = 2,     // unbounded per-context logs for trace-file capture
+};
+
+const char* TraceModeName(TraceMode mode);
+
+struct TraceRecord {
+  uint64_t seq = 0;    // global monotonic sequence (total order across rings)
+  uint32_t ctx = 0;    // originating context id (recorder-assigned, dense)
+  uint32_t target = 0; // function/field symbol; assertion site: automaton id
+  int64_t return_value = 0;
+  int64_t values[runtime::kMaxEventArgs] = {};
+  uint16_t vars[runtime::kMaxEventArgs] = {};
+  uint8_t kind = 0;    // runtime::EventKind
+  uint8_t count = 0;   // live entries in values[] (and vars[] for sites)
+  uint8_t flags = 0;   // kFlagTruncated
+  uint8_t reserved[5] = {};
+};
+
+inline constexpr uint8_t kFlagTruncated = 0x1;
+
+inline constexpr size_t kRecordWords = sizeof(TraceRecord) / sizeof(uint64_t);
+static_assert(sizeof(TraceRecord) % sizeof(uint64_t) == 0,
+              "ring slots are published as whole 64-bit words");
+static_assert(std::is_trivially_copyable_v<TraceRecord>);
+
+inline TraceRecord MakeRecord(uint64_t seq, uint32_t ctx, const runtime::Event& event) {
+  TraceRecord record;
+  record.seq = seq;
+  record.ctx = ctx;
+  record.target = event.target;
+  record.return_value = event.return_value;
+  record.kind = static_cast<uint8_t>(event.kind);
+  record.count = event.count;
+  record.flags = event.truncated ? kFlagTruncated : 0;
+  std::memcpy(record.values, event.values, sizeof(record.values));
+  std::memcpy(record.vars, event.vars, sizeof(record.vars));
+  return record;
+}
+
+inline runtime::Event ToEvent(const TraceRecord& record) {
+  runtime::Event event;
+  event.kind = static_cast<runtime::EventKind>(record.kind);
+  event.count = record.count;
+  event.truncated = (record.flags & kFlagTruncated) != 0;
+  event.target = record.target;
+  event.return_value = record.return_value;
+  std::memcpy(event.values, record.values, sizeof(event.values));
+  std::memcpy(event.vars, record.vars, sizeof(event.vars));
+  return event;
+}
+
+}  // namespace tesla::trace
+
+#endif  // TESLA_TRACE_RECORD_H_

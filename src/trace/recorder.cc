@@ -1,0 +1,53 @@
+#include "trace/recorder.h"
+
+#include <algorithm>
+
+namespace tesla::trace {
+
+const char* TraceModeName(TraceMode mode) {
+  switch (mode) {
+    case TraceMode::kOff:
+      return "off";
+    case TraceMode::kFlightRecorder:
+      return "flight-recorder";
+    case TraceMode::kFullCapture:
+      return "full-capture";
+  }
+  return "?";
+}
+
+Snapshot Recorder::Harvest() const {
+  Snapshot snapshot;
+  snapshot.epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Freeze the registry membership; logs themselves are harvested without
+  // stopping their producers.
+  std::vector<ContextLog*> logs;
+  {
+    LockGuard<Spinlock> guard(registry_lock_);
+    logs.reserve(logs_.size());
+    for (const auto& log : logs_) {
+      logs.push_back(log.get());
+    }
+  }
+
+  for (ContextLog* log : logs) {
+    if (config_.mode == TraceMode::kFullCapture) {
+      LockGuard<Spinlock> guard(log->capture_lock_);
+      snapshot.produced += log->capture_.size() + log->capture_dropped_;
+      snapshot.dropped += log->capture_dropped_;
+      snapshot.records.insert(snapshot.records.end(), log->capture_.begin(),
+                              log->capture_.end());
+      continue;
+    }
+    TraceRing::HarvestStats stats = log->ring_.Harvest(snapshot.records);
+    snapshot.produced += stats.produced;
+    snapshot.dropped += stats.overwritten + stats.torn;
+  }
+
+  std::sort(snapshot.records.begin(), snapshot.records.end(),
+            [](const TraceRecord& a, const TraceRecord& b) { return a.seq < b.seq; });
+  return snapshot;
+}
+
+}  // namespace tesla::trace

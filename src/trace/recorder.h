@@ -1,0 +1,119 @@
+// The flight recorder: per-context trace logs behind one global sequence.
+//
+// The Runtime owns one Recorder (when RuntimeOptions::trace_mode is not off);
+// every ThreadContext registers itself at construction and receives a
+// ContextLog it writes through on the OnEvent hot path. ContextLogs outlive
+// their contexts — simulated threads come and go, but their history must
+// survive until the capture is written or a violation is dissected.
+//
+// Two recording modes:
+//  * flight recorder — each context writes its SPSC ring; the last
+//    ring-capacity events per context are always available, older history is
+//    overwritten (and the loss accounted). The write is wait-free.
+//  * full capture — each context appends to an unbounded (capped by
+//    `capture_limit`) log under a per-context spinlock; nothing is lost, and
+//    the harvest is the byte-exact input for the binary trace writer.
+//
+// Harvest() freezes a view without stopping writers: it stamps a new harvest
+// epoch, collects every log (ring harvest or capture copy), merges across
+// contexts and sorts by the global sequence. Concurrent writers keep writing;
+// records that race the harvest are dropped from the snapshot and counted,
+// never torn.
+#ifndef TESLA_TRACE_RECORDER_H_
+#define TESLA_TRACE_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/event.h"
+#include "support/spinlock.h"
+#include "trace/record.h"
+#include "trace/ring.h"
+
+namespace tesla::trace {
+
+struct TraceConfig {
+  TraceMode mode = TraceMode::kFlightRecorder;
+  size_t ring_capacity = 4096;      // per-context, flight-recorder mode
+  size_t capture_limit = 1 << 20;   // per-context record cap, full capture
+};
+
+// One context's recording state. Created by Recorder::RegisterContext and
+// owned by the Recorder for its whole lifetime.
+class ContextLog {
+ public:
+  // Full capture never reads the ring, so it gets the minimum allocation.
+  ContextLog(uint32_t id, const TraceConfig& config)
+      : id_(id), ring_(config.mode == TraceMode::kFullCapture ? 0 : config.ring_capacity) {}
+
+  uint32_t id() const { return id_; }
+
+ private:
+  friend class Recorder;
+
+  uint32_t id_;
+  TraceRing ring_;
+  mutable Spinlock capture_lock_;
+  std::vector<TraceRecord> capture_;
+  uint64_t capture_dropped_ = 0;
+};
+
+// A frozen view of all per-context histories, merged and sequence-ordered.
+struct Snapshot {
+  uint64_t epoch = 0;     // harvest epoch (monotone per recorder)
+  uint64_t produced = 0;  // records ever recorded, all contexts
+  uint64_t dropped = 0;   // overwritten + torn + capture-cap drops
+  std::vector<TraceRecord> records;
+};
+
+class Recorder {
+ public:
+  explicit Recorder(TraceConfig config) : config_(config) {}
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  TraceMode mode() const { return config_.mode; }
+  const TraceConfig& config() const { return config_; }
+
+  // Thread-safe; the returned log stays valid for the Recorder's lifetime.
+  ContextLog* RegisterContext() {
+    LockGuard<Spinlock> guard(registry_lock_);
+    logs_.push_back(std::make_unique<ContextLog>(static_cast<uint32_t>(logs_.size()), config_));
+    return logs_.back().get();
+  }
+
+  // The hot path: one relaxed fetch_add for the global order, then either a
+  // wait-free ring push (flight recorder) or a locked append (full capture).
+  void Record(ContextLog& log, const runtime::Event& event) {
+    const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    const TraceRecord record = MakeRecord(seq, log.id_, event);
+    if (config_.mode == TraceMode::kFullCapture) {
+      LockGuard<Spinlock> guard(log.capture_lock_);
+      if (log.capture_.size() < config_.capture_limit) {
+        log.capture_.push_back(record);
+      } else {
+        log.capture_dropped_++;
+      }
+      return;
+    }
+    log.ring_.Push(record);
+  }
+
+  Snapshot Harvest() const;
+
+  uint64_t records_produced() const { return seq_.load(std::memory_order_relaxed); }
+
+ private:
+  TraceConfig config_;
+  std::atomic<uint64_t> seq_{0};
+  mutable std::atomic<uint64_t> epoch_{0};
+  mutable Spinlock registry_lock_;
+  std::vector<std::unique_ptr<ContextLog>> logs_;
+};
+
+}  // namespace tesla::trace
+
+#endif  // TESLA_TRACE_RECORDER_H_

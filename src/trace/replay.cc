@@ -1,0 +1,156 @@
+#include "trace/replay.h"
+
+#include <map>
+#include <memory>
+#include <span>
+
+#include "support/intern.h"
+#include "trace/origins.h"
+
+namespace tesla::trace {
+namespace {
+
+class ViolationCollector : public runtime::EventHandler {
+ public:
+  void OnViolation(const runtime::ClassInfo& cls,
+                   const runtime::Violation& violation) override {
+    violations_.emplace_back(violation.kind, violation.automaton);
+  }
+
+  std::vector<std::pair<runtime::ViolationKind, std::string>> take() {
+    return std::move(violations_);
+  }
+
+ private:
+  std::vector<std::pair<runtime::ViolationKind, std::string>> violations_;
+};
+
+}  // namespace
+
+Status WriteCapture(const std::string& path, const std::string& origin,
+                    const runtime::Runtime& rt) {
+  const Recorder* recorder = rt.recorder();
+  if (recorder == nullptr || recorder->mode() != TraceMode::kFullCapture) {
+    return Error{"writing a capture requires trace_mode = full-capture"};
+  }
+  const Snapshot snapshot = recorder->Harvest();
+
+  CaptureOptions options;
+  const runtime::RuntimeOptions& ro = rt.options();
+  options.lazy_init = ro.lazy_init;
+  options.use_dfa = ro.use_dfa;
+  options.instance_index = ro.instance_index;
+  options.instances_per_context = ro.instances_per_context;
+  options.global_shards = ro.global_shards;
+
+  TraceWriter writer;
+  if (Status status = writer.Open(path, origin, options, GlobalInterner()); !status.ok()) {
+    return status;
+  }
+  for (const TraceRecord& record : snapshot.records) {
+    writer.Append(record);
+  }
+  SemanticSummary summary;
+  summary.dropped = snapshot.dropped;
+  summary.stats = rt.stats();
+  summary.violations = rt.violation_log();
+  return writer.Finish(summary);
+}
+
+runtime::RuntimeOptions ReplayOptions(const TraceFile& file) {
+  runtime::RuntimeOptions options;
+  options.lazy_init = file.options.lazy_init;
+  options.use_dfa = file.options.use_dfa;
+  options.instance_index = file.options.instance_index;
+  options.instances_per_context = static_cast<size_t>(file.options.instances_per_context);
+  options.global_shards = static_cast<size_t>(file.options.global_shards);
+  options.fail_stop = false;
+  options.trace_mode = TraceMode::kOff;
+  return options;
+}
+
+Result<ReplayResult> Replay(const TraceFile& file, runtime::Runtime& rt) {
+  ViolationCollector collector;
+  rt.AddHandler(&collector);
+
+  // One replay context per capture context, fed in global sequence order and
+  // batched by runs of the same context — the batch path (OnEvents) is both
+  // the fast path and the code under differential test here.
+  std::map<uint32_t, std::unique_ptr<runtime::ThreadContext>> contexts;
+  std::vector<runtime::Event> batch;
+  ReplayResult result;
+  size_t i = 0;
+  while (i < file.records.size()) {
+    const uint32_t ctx_id = file.records[i].ctx;
+    batch.clear();
+    while (i < file.records.size() && file.records[i].ctx == ctx_id) {
+      batch.push_back(ToEvent(file.records[i]));
+      i++;
+    }
+    std::unique_ptr<runtime::ThreadContext>& ctx = contexts[ctx_id];
+    if (ctx == nullptr) {
+      ctx = std::make_unique<runtime::ThreadContext>(rt);
+    }
+    rt.OnEvents(*ctx, std::span<const runtime::Event>(batch.data(), batch.size()));
+    result.events_replayed += batch.size();
+  }
+  contexts.clear();
+
+  result.stats = rt.stats();
+  result.violations = collector.take();
+  result.matched = true;
+  if (file.summary.dropped > 0) {
+    result.matched = false;
+    result.divergence += "capture dropped " + std::to_string(file.summary.dropped) +
+                         " records; the replayed history is incomplete\n";
+  }
+  for (const StatsField& field : kStatsFields) {
+    const uint64_t want = file.summary.stats.*field.field;
+    const uint64_t got = result.stats.*field.field;
+    if (want != got) {
+      result.matched = false;
+      result.divergence += std::string(field.name) + ": capture " + std::to_string(want) +
+                           " vs replay " + std::to_string(got) + "\n";
+    }
+  }
+  if (file.summary.violations.size() != result.violations.size()) {
+    result.matched = false;
+    result.divergence += "violation count: capture " +
+                         std::to_string(file.summary.violations.size()) + " vs replay " +
+                         std::to_string(result.violations.size()) + "\n";
+  } else {
+    for (size_t v = 0; v < result.violations.size(); v++) {
+      if (file.summary.violations[v] != result.violations[v]) {
+        result.matched = false;
+        result.divergence += "violation #" + std::to_string(v) + ": capture (" +
+                             std::string(runtime::ViolationKindName(
+                                 file.summary.violations[v].first)) +
+                             ", " + file.summary.violations[v].second + ") vs replay (" +
+                             std::string(runtime::ViolationKindName(
+                                 result.violations[v].first)) +
+                             ", " + result.violations[v].second + ")\n";
+      }
+    }
+  }
+  return result;
+}
+
+Result<ReplayResult> ReplayFile(const std::string& path) {
+  Result<TraceFile> read = TraceFile::Read(path);
+  if (!read.ok()) {
+    return read.error();
+  }
+  TraceFile file = std::move(read.value());
+  Result<automata::Manifest> manifest = ManifestForOrigin(file.origin);
+  if (!manifest.ok()) {
+    return manifest.error();
+  }
+  file.InternAndRemap();
+  runtime::Runtime rt(ReplayOptions(file));
+  if (Status status = rt.Register(manifest.value()); !status.ok()) {
+    return status.error();
+  }
+  return Replay(file, rt);
+}
+
+}  // namespace tesla::trace

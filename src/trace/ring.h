@@ -1,0 +1,106 @@
+// A single-producer flight-recorder ring of TraceRecords.
+//
+// The producer is the one thread driving events through a ThreadContext; the
+// consumer is a (possibly concurrent) snapshotter harvesting the ring after a
+// violation. Writes are wait-free: serialise the record into the slot as
+// relaxed 64-bit word stores, then publish the new head with one release
+// store. The ring never blocks the producer — when full it overwrites the
+// oldest record, and the overwritten history is accounted for at harvest.
+//
+// Harvest copies the window [head-capacity, head) without stopping the
+// producer, then re-reads the head: any copied record whose slot the producer
+// may have begun rewriting during the copy is discarded and counted as torn.
+// A record at index i is rewritten only by the write of index i+capacity,
+// which starts no earlier than the head reaching i+capacity — so records with
+// i + capacity > head_after are guaranteed intact. No retries, no per-slot
+// version words, and every load/store the two sides share is atomic.
+#ifndef TESLA_TRACE_RING_H_
+#define TESLA_TRACE_RING_H_
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace tesla::trace {
+
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity) {
+    size_t rounded = 8;
+    while (rounded < capacity) {
+      rounded *= 2;
+    }
+    capacity_ = rounded;
+    mask_ = rounded - 1;
+    words_ = std::make_unique<std::atomic<uint64_t>[]>(capacity_ * kRecordWords);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  // Producer side. Wait-free: word stores plus one release publish.
+  void Push(const TraceRecord& record) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t words[kRecordWords];
+    std::memcpy(words, &record, sizeof(record));
+    std::atomic<uint64_t>* slot = &words_[(head & mask_) * kRecordWords];
+    for (size_t i = 0; i < kRecordWords; i++) {
+      slot[i].store(words[i], std::memory_order_relaxed);
+    }
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  struct HarvestStats {
+    uint64_t produced = 0;     // records ever pushed
+    uint64_t overwritten = 0;  // lost to wrap before the harvest began
+    uint64_t torn = 0;         // discarded: possibly rewritten mid-copy
+  };
+
+  // Consumer side: appends the surviving window to `out`, oldest first.
+  HarvestStats Harvest(std::vector<TraceRecord>& out) const {
+    const uint64_t h1 = head_.load(std::memory_order_acquire);
+    const uint64_t begin = h1 > capacity_ ? h1 - capacity_ : 0;
+
+    std::vector<TraceRecord> copied;
+    copied.reserve(static_cast<size_t>(h1 - begin));
+    for (uint64_t i = begin; i < h1; i++) {
+      uint64_t words[kRecordWords];
+      const std::atomic<uint64_t>* slot = &words_[(i & mask_) * kRecordWords];
+      for (size_t w = 0; w < kRecordWords; w++) {
+        words[w] = slot[w].load(std::memory_order_relaxed);
+      }
+      TraceRecord record;
+      std::memcpy(&record, words, sizeof(record));
+      copied.push_back(record);
+    }
+
+    const uint64_t h2 = head_.load(std::memory_order_acquire);
+    // Index i survives iff its overwriter (index i+capacity) had not started
+    // when we finished: i + capacity > h2.
+    const uint64_t valid_from = h2 >= capacity_ ? h2 - capacity_ + 1 : 0;
+
+    HarvestStats stats;
+    stats.produced = h1;
+    stats.overwritten = begin;
+    for (uint64_t i = begin; i < h1; i++) {
+      if (i < valid_from) {
+        stats.torn++;
+        continue;
+      }
+      out.push_back(copied[static_cast<size_t>(i - begin)]);
+    }
+    return stats;
+  }
+
+ private:
+  std::unique_ptr<std::atomic<uint64_t>[]> words_;
+  size_t capacity_ = 0;
+  uint64_t mask_ = 0;
+  std::atomic<uint64_t> head_{0};
+};
+
+}  // namespace tesla::trace
+
+#endif  // TESLA_TRACE_RING_H_

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Tolerance-based diff of two BENCH_*.json reports.
+
+Compares a freshly generated report against a committed reference and fails
+(exit 1) when any gated metric regressed beyond the tolerance. Gated metrics
+are the per-event timings (unit ``ns`` / ``ns/event`` or metric name
+containing ``ns_per_event``): for those, higher is worse. Other metrics are
+printed for information only.
+
+A metric counts as a regression only when BOTH hold, so micro-benchmark noise
+on small absolute values cannot fail a build by ratio alone:
+
+  * fresh > reference * (1 + tolerance)
+  * fresh - reference > abs-slack (nanoseconds)
+
+Usage:
+  bench_diff.py [--tolerance 0.25] [--abs-slack 5.0] reference.json fresh.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path) as fh:
+        report = json.load(fh)
+    return {r["metric"]: (float(r["value"]), r.get("unit", "")) for r in report["results"]}
+
+
+def is_gated(metric, unit):
+    return unit.startswith("ns") or "ns_per_event" in metric
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("reference", help="committed reference BENCH_*.json")
+    parser.add_argument("fresh", help="freshly generated BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default: 0.25 = +25%%)")
+    parser.add_argument("--abs-slack", type=float, default=5.0,
+                        help="ignore regressions smaller than this many ns (default: 5)")
+    parser.add_argument("--skip", action="append", default=[], metavar="METRIC",
+                        help="report this metric but never gate on it (repeatable); for "
+                             "metrics that are not comparable between run configurations, "
+                             "e.g. smoke-mode replay amortising setup over fewer events")
+    args = parser.parse_args()
+
+    reference = load_results(args.reference)
+    fresh = load_results(args.fresh)
+
+    regressions = []
+    print(f"{'metric':<34} {'reference':>12} {'fresh':>12} {'delta':>9}  verdict")
+    for metric in sorted(set(reference) | set(fresh)):
+        if metric not in reference:
+            print(f"{metric:<34} {'-':>12} {fresh[metric][0]:>12.2f} {'':>9}  new metric")
+            continue
+        if metric not in fresh:
+            print(f"{metric:<34} {reference[metric][0]:>12.2f} {'-':>12} {'':>9}  MISSING")
+            regressions.append(f"{metric}: missing from fresh report")
+            continue
+        ref_value, unit = reference[metric]
+        new_value, _ = fresh[metric]
+        delta = new_value - ref_value
+        ratio = new_value / ref_value if ref_value else float("inf")
+        if metric in args.skip:
+            verdict = "skipped"
+        elif not is_gated(metric, unit):
+            verdict = "info"
+        elif ratio > 1 + args.tolerance and delta > args.abs_slack:
+            verdict = f"REGRESSED ({ratio:.2f}x > {1 + args.tolerance:.2f}x)"
+            regressions.append(f"{metric}: {ref_value:.2f} -> {new_value:.2f} ns ({ratio:.2f}x)")
+        else:
+            verdict = "ok"
+        print(f"{metric:<34} {ref_value:>12.2f} {new_value:>12.2f} {delta:>+9.2f}  {verdict}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond +{args.tolerance * 100:.0f}%:",
+              file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
