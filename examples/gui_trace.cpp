@@ -8,8 +8,10 @@
 // events push duplicate cursors, leaving the UI in the wrong state.
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "metrics/snapshot.h"
 #include "objsim/appkit.h"
 #include "objsim/trace.h"
 #include "runtime/runtime.h"
@@ -28,14 +30,37 @@ std::vector<UiEvent> MouseSweep(int steps) {
   return events;
 }
 
+// Writes the runtime's merged metrics snapshot to `path`: JSON when the path
+// ends in ".json", Prometheus text exposition otherwise.
+bool WriteMetrics(const char* path, const runtime::Runtime& rt) {
+  const std::string name = path;
+  const bool json = name.size() >= 5 && name.compare(name.size() - 5, 5, ".json") == 0;
+  const metrics::Snapshot snapshot = rt.CollectMetrics();
+  const std::string out = json ? metrics::ToJson(snapshot) : metrics::ToPrometheus(snapshot);
+  std::FILE* file = std::fopen(path, "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "metrics: cannot open '%s' for writing\n", path);
+    return false;
+  }
+  std::fwrite(out.data(), 1, out.size(), file);
+  std::fclose(file);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // --trace-out <path>: record the whole run and write a replayable capture.
+  // --metrics-out <path>: write the metrics snapshot (.json → JSON, else
+  // Prometheus text) after the session ends.
   const char* trace_out = nullptr;
+  const char* metrics_out = nullptr;
   for (int i = 1; i + 1 < argc; i++) {
     if (std::strcmp(argv[i], "--trace-out") == 0) {
       trace_out = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_out = argv[i + 1];
     }
   }
 
@@ -43,6 +68,9 @@ int main(int argc, char** argv) {
   options.fail_stop = false;
   if (trace_out != nullptr) {
     options.trace_mode = tesla::trace::TraceMode::kFullCapture;
+  }
+  if (metrics_out != nullptr) {
+    options.metrics_mode = metrics::MetricsMode::kFull;
   }
   runtime::Runtime tesla_rt(options);
   runtime::ThreadContext ctx(tesla_rt);
@@ -122,6 +150,12 @@ int main(int argc, char** argv) {
     }
     std::printf("\ntrace capture written to %s (%llu events)\n", trace_out,
                 static_cast<unsigned long long>(tesla_rt.stats().events));
+  }
+  if (metrics_out != nullptr) {
+    if (!WriteMetrics(metrics_out, tesla_rt)) {
+      return 1;
+    }
+    std::printf("\nmetrics written to %s\n", metrics_out);
   }
 
   return total_imbalance > 1 ? 0 : 1;

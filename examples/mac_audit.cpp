@@ -9,10 +9,12 @@
 //   * a credential change forgets to set P_SUGID (an `eventually` property).
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "kernelsim/assertions.h"
 #include "kernelsim/kernel.h"
 #include "kernelsim/workloads.h"
+#include "metrics/snapshot.h"
 #include "runtime/runtime.h"
 #include "support/log.h"
 #include "trace/replay.h"
@@ -36,14 +38,37 @@ class AuditLog : public runtime::EventHandler {
   uint64_t count_ = 0;
 };
 
+// Writes the runtime's merged metrics snapshot to `path`: JSON when the path
+// ends in ".json", Prometheus text exposition otherwise.
+bool WriteMetrics(const char* path, const runtime::Runtime& rt) {
+  const std::string name = path;
+  const bool json = name.size() >= 5 && name.compare(name.size() - 5, 5, ".json") == 0;
+  const metrics::Snapshot snapshot = rt.CollectMetrics();
+  const std::string out = json ? metrics::ToJson(snapshot) : metrics::ToPrometheus(snapshot);
+  std::FILE* file = std::fopen(path, "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "metrics: cannot open '%s' for writing\n", path);
+    return false;
+  }
+  std::fwrite(out.data(), 1, out.size(), file);
+  std::fclose(file);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // --trace-out <path>: record the whole run and write a replayable capture.
+  // --metrics-out <path>: write the metrics snapshot (.json → JSON, else
+  // Prometheus text) after the workloads finish.
   const char* trace_out = nullptr;
+  const char* metrics_out = nullptr;
   for (int i = 1; i + 1 < argc; i++) {
     if (std::strcmp(argv[i], "--trace-out") == 0) {
       trace_out = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_out = argv[i + 1];
     }
   }
 
@@ -53,6 +78,9 @@ int main(int argc, char** argv) {
   options.fail_stop = false;  // audit mode: record every mismatch
   if (trace_out != nullptr) {
     options.trace_mode = trace::TraceMode::kFullCapture;
+  }
+  if (metrics_out != nullptr) {
+    options.metrics_mode = metrics::MetricsMode::kFull;
   }
   runtime::Runtime rt(options);
 
@@ -126,6 +154,12 @@ int main(int argc, char** argv) {
     }
     std::printf("  trace capture written to %s (%llu events)\n", trace_out,
                 static_cast<unsigned long long>(rt.stats().events));
+  }
+  if (metrics_out != nullptr) {
+    if (!WriteMetrics(metrics_out, rt)) {
+      return 1;
+    }
+    std::printf("  metrics written to %s\n", metrics_out);
   }
 
   // The sugid bug fires once per setuid call (two calls above).

@@ -1,0 +1,146 @@
+#include "metrics/collector.h"
+
+namespace tesla::metrics {
+
+const char* MetricsModeName(MetricsMode mode) {
+  switch (mode) {
+    case MetricsMode::kOff:
+      return "off";
+    case MetricsMode::kCounters:
+      return "counters";
+    case MetricsMode::kFull:
+      return "counters+histograms";
+  }
+  return "?";
+}
+
+uint64_t HistogramData::QuantileNs(double q) const {
+  if (count == 0) {
+    return 0;
+  }
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (size_t bucket = 0; bucket < kHistogramBuckets; bucket++) {
+    seen += buckets[bucket];
+    if (seen > rank) {
+      return BucketUpperNs(bucket);
+    }
+  }
+  return BucketUpperNs(kHistogramBuckets - 1);
+}
+
+uint64_t HistogramData::MaxNs() const {
+  for (size_t bucket = kHistogramBuckets; bucket-- > 0;) {
+    if (buckets[bucket] != 0) {
+      return BucketUpperNs(bucket);
+    }
+  }
+  return 0;
+}
+
+Shard::Shard(size_t class_capacity, bool histograms) : class_capacity_(class_capacity) {
+  if (class_capacity_ > 0) {
+    counters_ =
+        std::make_unique<std::atomic<uint64_t>[]>(class_capacity_ * kClassCounterCount);
+  }
+  if (histograms) {
+    histograms_ = std::make_unique<Histogram[]>(kEventKinds);
+  }
+}
+
+Shard* Collector::RegisterShard() {
+  LockGuard<Spinlock> guard(lock_);
+  shards_.push_back(std::make_unique<Shard>(class_capacity_, histograms_enabled()));
+  return shards_.back().get();
+}
+
+void Collector::EnsureClassCapacity(size_t count) {
+  LockGuard<Spinlock> guard(lock_);
+  if (count > class_capacity_) {
+    class_capacity_ = count;
+    spill_.resize(count * kClassCounterCount, 0);
+  }
+}
+
+void Collector::InstallCoverage(size_t bits) {
+  const size_t words = (bits + 63) / 64;
+  auto fresh = words > 0 ? std::make_unique<std::atomic<uint64_t>[]>(words) : nullptr;
+  LockGuard<Spinlock> guard(lock_);
+  coverage_ = std::move(fresh);
+  coverage_bits_ = bits;
+}
+
+void Collector::BumpSpill(uint32_t class_id, ClassCounter kind, uint64_t amount) {
+  LockGuard<Spinlock> guard(lock_);
+  const size_t cell = class_id * kClassCounterCount + static_cast<size_t>(kind);
+  if (cell < spill_.size()) {
+    spill_[cell] += amount;
+  }
+}
+
+void Collector::MergeCounters(size_t class_count, uint64_t* out) const {
+  const size_t cells = class_count * kClassCounterCount;
+  for (size_t i = 0; i < cells; i++) {
+    out[i] = 0;
+  }
+  LockGuard<Spinlock> guard(lock_);
+  for (const auto& shard : shards_) {
+    const size_t shard_cells =
+        (shard->class_capacity_ < class_count ? shard->class_capacity_ : class_count) *
+        kClassCounterCount;
+    for (size_t i = 0; i < shard_cells; i++) {
+      out[i] += shard->counters_[i].load(std::memory_order_relaxed);
+    }
+  }
+  const size_t spill_cells = spill_.size() < cells ? spill_.size() : cells;
+  for (size_t i = 0; i < spill_cells; i++) {
+    out[i] += spill_[i];
+  }
+}
+
+void Collector::MergeHistograms(HistogramData* out) const {
+  for (size_t kind = 0; kind < kEventKinds; kind++) {
+    out[kind] = HistogramData{};
+  }
+  LockGuard<Spinlock> guard(lock_);
+  for (const auto& shard : shards_) {
+    if (shard->histograms_ == nullptr) {
+      continue;
+    }
+    for (size_t kind = 0; kind < kEventKinds; kind++) {
+      const Shard::Histogram& hist = shard->histograms_[kind];
+      out[kind].count += hist.count.load(std::memory_order_relaxed);
+      out[kind].sum_ns += hist.sum_ns.load(std::memory_order_relaxed);
+      for (size_t bucket = 0; bucket < kHistogramBuckets; bucket++) {
+        out[kind].buckets[bucket] += hist.buckets[bucket].load(std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+void Collector::Reset() {
+  LockGuard<Spinlock> guard(lock_);
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < shard->class_capacity_ * kClassCounterCount; i++) {
+      shard->counters_[i].store(0, std::memory_order_relaxed);
+    }
+    if (shard->histograms_ != nullptr) {
+      for (size_t kind = 0; kind < kEventKinds; kind++) {
+        Shard::Histogram& hist = shard->histograms_[kind];
+        hist.count.store(0, std::memory_order_relaxed);
+        hist.sum_ns.store(0, std::memory_order_relaxed);
+        for (size_t bucket = 0; bucket < kHistogramBuckets; bucket++) {
+          hist.buckets[bucket].store(0, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  for (uint64_t& cell : spill_) {
+    cell = 0;
+  }
+  for (size_t word = 0; word < (coverage_bits_ + 63) / 64; word++) {
+    coverage_[word].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace tesla::metrics

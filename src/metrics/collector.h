@@ -1,0 +1,163 @@
+// The metrics collector: sharded hot-path recording, merge-on-snapshot.
+//
+// One Collector per Runtime (when RuntimeOptions::metrics_mode is not off).
+// Every event-serialisation context registers a Shard and writes its own
+// counters and histograms through it; shards outlive their contexts (the
+// Collector owns them), so short-lived simulated threads still contribute to
+// the merged totals. A shard has exactly one writer at a time — per-thread
+// contexts are single-threaded by contract, and the runtime's global shard
+// contexts are serialised by their shard lock — so the write path is a
+// relaxed atomic load + store pair (no RMW, no fence, no lock), and the
+// merger's concurrent relaxed loads see word-consistent monotone values.
+//
+// The transition-coverage bitmap is collector-global rather than sharded:
+// bits are idempotent, and the stamp checks before setting, so after warmup
+// the hot path pays one load per transition. The layout (one dense bit per
+// statically-valid DFA transition, per class) is installed at plan-compile
+// time; see Runtime::CompilePlan().
+//
+// Late registration: a shard sizes its counter block for the classes known
+// when it was created. If automata are registered afterwards, the runtime
+// re-registers the context's shard (the stale block stays behind and is
+// still merged); bumps that race the transition spill into a central,
+// lock-guarded table so nothing is ever dropped.
+#ifndef TESLA_METRICS_COLLECTOR_H_
+#define TESLA_METRICS_COLLECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "support/spinlock.h"
+
+namespace tesla::metrics {
+
+// Merged view of one dispatch-latency histogram (also the exposition form).
+struct HistogramData {
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  uint64_t buckets[kHistogramBuckets] = {};
+
+  // Bucket-resolution quantile: the upper bound of the bucket holding the
+  // q-th sample (0 when empty). Power-of-2 buckets give ≤2x relative error.
+  uint64_t QuantileNs(double q) const;
+  // Upper bound of the highest occupied bucket (0 when empty).
+  uint64_t MaxNs() const;
+};
+
+// One context's recording block. Created by Collector::RegisterShard and
+// owned by the Collector for its whole lifetime.
+class Shard {
+ public:
+  Shard(size_t class_capacity, bool histograms);
+
+  size_t class_capacity() const { return class_capacity_; }
+
+  // Single-writer increment: relaxed load + relaxed store. The caller must
+  // ensure class_id < class_capacity() (see Collector::BumpSpill otherwise).
+  void Bump(uint32_t class_id, ClassCounter kind, uint64_t amount = 1) {
+    std::atomic<uint64_t>& cell =
+        counters_[class_id * kClassCounterCount + static_cast<size_t>(kind)];
+    cell.store(cell.load(std::memory_order_relaxed) + amount, std::memory_order_relaxed);
+  }
+
+  void RecordLatency(size_t event_kind, uint64_t ns) {
+    Histogram& hist = histograms_[event_kind];
+    Add(hist.count);
+    Add(hist.sum_ns, ns);
+    Add(hist.buckets[BucketFor(ns)]);
+  }
+
+ private:
+  friend class Collector;
+
+  struct Histogram {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_ns{0};
+    std::atomic<uint64_t> buckets[kHistogramBuckets]{};
+  };
+
+  static void Add(std::atomic<uint64_t>& cell, uint64_t amount = 1) {
+    cell.store(cell.load(std::memory_order_relaxed) + amount, std::memory_order_relaxed);
+  }
+
+  size_t class_capacity_;
+  // class_capacity_ * kClassCounterCount cells, class-major.
+  std::unique_ptr<std::atomic<uint64_t>[]> counters_;
+  // Allocated only in kFull mode (4 * 66 words otherwise wasted per context).
+  std::unique_ptr<Histogram[]> histograms_;
+};
+
+class Collector {
+ public:
+  explicit Collector(MetricsMode mode) : mode_(mode) {}
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  MetricsMode mode() const { return mode_; }
+  bool histograms_enabled() const { return mode_ == MetricsMode::kFull; }
+
+  // Thread-safe; the returned shard stays valid for the Collector's lifetime
+  // and is sized for the classes known now (EnsureClassCapacity).
+  Shard* RegisterShard();
+
+  // Grows the central spill table (and the capacity granted to future
+  // shards) to `count` classes. Called at Register() time, before contexts.
+  void EnsureClassCapacity(size_t count);
+
+  // (Re)installs the coverage bitmap: `bits` statically-valid-transition
+  // slots, all cleared. Called from plan compilation; any previously stamped
+  // coverage is reset (the plan's bit layout changed).
+  void InstallCoverage(size_t bits);
+
+  // Hot path: idempotent bit set. Check-before-set keeps the warm cost to
+  // one relaxed load; the fetch_or only runs the first time a bit fires.
+  void StampCoverage(uint32_t bit) {
+    std::atomic<uint64_t>& word = coverage_[bit >> 6];
+    const uint64_t mask = uint64_t{1} << (bit & 63);
+    if ((word.load(std::memory_order_relaxed) & mask) == 0) {
+      word.fetch_or(mask, std::memory_order_relaxed);
+    }
+  }
+
+  bool CoverageBit(uint32_t bit) const {
+    return bit < coverage_bits_ &&
+           (coverage_[bit >> 6].load(std::memory_order_relaxed) &
+            (uint64_t{1} << (bit & 63))) != 0;
+  }
+  size_t coverage_bits() const { return coverage_bits_; }
+
+  // Cold-path bump for callers without a (large-enough) shard: violations
+  // reported outside any context, and events racing a late Register().
+  void BumpSpill(uint32_t class_id, ClassCounter kind, uint64_t amount = 1);
+
+  // Sums every shard's and the spill table's counters for classes
+  // [0, class_count) into `out` (class-major, kClassCounterCount per class).
+  void MergeCounters(size_t class_count, uint64_t* out) const;
+
+  // Sums every shard's histograms into `out[kEventKinds]`.
+  void MergeHistograms(HistogramData* out) const;
+
+  // Zeroes all counters, histograms and the coverage bitmap (snapshot-delta
+  // support; see Runtime::ResetStats()). Concurrent writers keep writing —
+  // like stats resets anywhere, call this at a quiescent point for exact
+  // deltas.
+  void Reset();
+
+ private:
+  MetricsMode mode_;
+  mutable Spinlock lock_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t class_capacity_ = 0;
+  std::vector<uint64_t> spill_;  // class-major, guarded by lock_
+
+  std::unique_ptr<std::atomic<uint64_t>[]> coverage_;
+  size_t coverage_bits_ = 0;
+};
+
+}  // namespace tesla::metrics
+
+#endif  // TESLA_METRICS_COLLECTOR_H_

@@ -1,0 +1,93 @@
+// tesla::metrics — always-on observability for the assertion runtime.
+//
+// The paper's evaluation (§5, figs. 11–14) is built on numbers the runtime
+// should be able to report about itself continuously: how often each
+// automaton class fires, what each event costs, and which temporal clauses
+// are ever exercised. This module supplies the vocabulary shared by the
+// collector (hot-path recording), the snapshot (merge + exposition) and the
+// runtime options: the recording mode, the per-class counter schema, and the
+// log-bucketed latency histogram layout.
+//
+// Design lineage: Fay's low-overhead aggregated probes (counters merged at
+// read time, never a lock on the write path) and Dapper's always-on
+// production tracing. Everything here is written by exactly one thread per
+// shard with relaxed atomics and merged only when a snapshot is taken.
+#ifndef TESLA_METRICS_METRICS_H_
+#define TESLA_METRICS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace tesla::metrics {
+
+// How much the runtime records on the OnEvent hot path (mirrors
+// trace::TraceMode's off/flight-recorder/full-capture ladder).
+enum class MetricsMode : uint8_t {
+  kOff = 0,       // no collector; zero bytes, zero cycles
+  kCounters = 1,  // per-class counters + transition-coverage bitmap (~ns/event)
+  kFull = 2,      // counters + per-event-kind dispatch-latency histograms
+};
+
+const char* MetricsModeName(MetricsMode mode);
+
+// The per-automaton-class counter schema. One X-macro is the single source
+// of truth for the enum, the merge loops and both exposition formats — a
+// counter added here appears everywhere or nowhere.
+#define TESLA_CLASS_COUNTERS(X)                                              \
+  X(instances_created, "automaton instances created ((*) activations)")      \
+  X(instances_cloned, "instances cloned by binding events")                  \
+  X(transitions, "automaton transitions taken")                              \
+  X(accepts, "instances accepted at bound cleanup")                          \
+  X(violations, "violations reported against this class")                    \
+  X(index_probes, "dispatches answered by one index-bucket probe")           \
+  X(index_scans, "indexed dispatches falling back to a full scan")
+
+enum class ClassCounter : uint8_t {
+#define TESLA_METRICS_ENUM(name, desc) name,
+  TESLA_CLASS_COUNTERS(TESLA_METRICS_ENUM)
+#undef TESLA_METRICS_ENUM
+};
+
+inline constexpr size_t kClassCounterCount = 0
+#define TESLA_METRICS_COUNT(name, desc) +1
+    TESLA_CLASS_COUNTERS(TESLA_METRICS_COUNT)
+#undef TESLA_METRICS_COUNT
+    ;
+
+inline constexpr const char* kClassCounterNames[kClassCounterCount] = {
+#define TESLA_METRICS_NAME(name, desc) #name,
+    TESLA_CLASS_COUNTERS(TESLA_METRICS_NAME)
+#undef TESLA_METRICS_NAME
+};
+
+inline constexpr const char* kClassCounterHelp[kClassCounterCount] = {
+#define TESLA_METRICS_HELP(name, desc) desc,
+    TESLA_CLASS_COUNTERS(TESLA_METRICS_HELP)
+#undef TESLA_METRICS_HELP
+};
+
+// Dispatch-latency histograms: HDR-style power-of-2 buckets. A sample of `ns`
+// nanoseconds lands in bucket floor(log2(ns)) (bucket 0 holds 0–1 ns), so 64
+// buckets cover every uint64 duration with ≤2x relative error — enough for
+// p50/p99/max summaries without per-sample storage.
+inline constexpr size_t kHistogramBuckets = 64;
+
+inline constexpr size_t BucketFor(uint64_t ns) {
+  return ns == 0 ? 0 : 64 - static_cast<size_t>(__builtin_clzll(ns)) - 1;
+}
+
+// Upper bound (inclusive) of a bucket, for exposition ("le" labels).
+inline constexpr uint64_t BucketUpperNs(size_t bucket) {
+  return bucket >= 63 ? UINT64_MAX : (uint64_t{2} << bucket) - 1;
+}
+
+// Histograms are kept per event kind so a slow class of event (assertion
+// sites stepping many instances) cannot hide behind cheap ones.
+inline constexpr size_t kEventKinds = 4;  // runtime::EventKind values
+inline constexpr const char* kEventKindNames[kEventKinds] = {
+    "call", "return", "field_store", "assertion_site"};
+
+}  // namespace tesla::metrics
+
+#endif  // TESLA_METRICS_METRICS_H_

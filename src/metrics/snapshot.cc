@@ -1,0 +1,274 @@
+#include "metrics/snapshot.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+namespace tesla::metrics {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) {
+    out->append(buf, static_cast<size_t>(n) < sizeof(buf) ? static_cast<size_t>(n)
+                                                          : sizeof(buf) - 1);
+  }
+}
+
+// JSON string escaping (control characters, quote, backslash).
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          AppendF(out, "\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Prometheus label-value escaping: backslash, double-quote and newline.
+void AppendPromLabel(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '\\' || c == '"') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToJson(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  AppendF(&out, "{\n  \"mode\": \"%s\",\n  \"stats\": {", MetricsModeName(snapshot.mode));
+  bool first = true;
+#define TESLA_STATS_JSON(name, desc)                                    \
+  AppendF(&out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",", #name,    \
+          snapshot.stats.name);                                         \
+  first = false;
+  TESLA_RUNTIME_STATS(TESLA_STATS_JSON)
+#undef TESLA_STATS_JSON
+  out.append("\n  },\n  \"classes\": [");
+  for (size_t c = 0; c < snapshot.classes.size(); c++) {
+    const ClassSnapshot& cls = snapshot.classes[c];
+    AppendF(&out, "%s\n    {\"name\": ", c == 0 ? "" : ",");
+    AppendJsonString(&out, cls.name);
+    out.append(", \"counters\": {");
+    for (size_t k = 0; k < kClassCounterCount; k++) {
+      AppendF(&out, "%s\"%s\": %" PRIu64, k == 0 ? "" : ", ", kClassCounterNames[k],
+              cls.counters[k]);
+    }
+    AppendF(&out, "},\n     \"coverage\": {\"total\": %zu, \"fired\": %zu, \"transitions\": [",
+            cls.transitions.size(), cls.CoveredTransitions());
+    for (size_t t = 0; t < cls.transitions.size(); t++) {
+      const TransitionCoverage& tc = cls.transitions[t];
+      AppendF(&out, "%s\n       {\"state\": %u, \"symbol\": %u, \"fired\": %s, \"description\": ",
+              t == 0 ? "" : ",", tc.state, tc.symbol, tc.fired ? "true" : "false");
+      AppendJsonString(&out, tc.description);
+      out.push_back('}');
+    }
+    out.append(cls.transitions.empty() ? "]}}" : "\n     ]}}");
+  }
+  out.append(snapshot.classes.empty() ? "],\n" : "\n  ],\n");
+  out.append("  \"histograms\": {");
+  if (snapshot.mode == MetricsMode::kFull) {
+    for (size_t kind = 0; kind < kEventKinds; kind++) {
+      const HistogramData& hist = snapshot.histograms[kind];
+      AppendF(&out, "%s\n    \"%s\": {\"count\": %" PRIu64 ", \"sum_ns\": %" PRIu64
+                    ", \"buckets\": [",
+              kind == 0 ? "" : ",", kEventKindNames[kind], hist.count, hist.sum_ns);
+      bool first_bucket = true;
+      for (size_t bucket = 0; bucket < kHistogramBuckets; bucket++) {
+        if (hist.buckets[bucket] == 0) {
+          continue;
+        }
+        AppendF(&out, "%s[%" PRIu64 ", %" PRIu64 "]", first_bucket ? "" : ", ",
+                BucketUpperNs(bucket), hist.buckets[bucket]);
+        first_bucket = false;
+      }
+      out.append("]}");
+    }
+    out.append("\n  }\n}\n");
+  } else {
+    out.append("}\n}\n");
+  }
+  return out;
+}
+
+std::string ToPrometheus(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+
+  // Global counters: one family per RuntimeStats field.
+#define TESLA_STATS_PROM(name, desc)                                       \
+  AppendF(&out,                                                            \
+          "# HELP tesla_%s_total %s\n# TYPE tesla_%s_total counter\n"      \
+          "tesla_%s_total %" PRIu64 "\n",                                  \
+          #name, desc, #name, #name, snapshot.stats.name);
+  TESLA_RUNTIME_STATS(TESLA_STATS_PROM)
+#undef TESLA_STATS_PROM
+
+  // Per-class counters, labelled by automaton name.
+  for (size_t k = 0; k < kClassCounterCount; k++) {
+    AppendF(&out, "# HELP tesla_class_%s_total %s\n# TYPE tesla_class_%s_total counter\n",
+            kClassCounterNames[k], kClassCounterHelp[k], kClassCounterNames[k]);
+    for (const ClassSnapshot& cls : snapshot.classes) {
+      AppendF(&out, "tesla_class_%s_total{automaton=\"", kClassCounterNames[k]);
+      AppendPromLabel(&out, cls.name);
+      AppendF(&out, "\"} %" PRIu64 "\n", cls.counters[k]);
+    }
+  }
+
+  // Transition coverage: static total and fired count per class. Gauges —
+  // fired can move back to zero across a ResetStats().
+  out.append(
+      "# HELP tesla_coverage_transitions statically-valid automaton transitions\n"
+      "# TYPE tesla_coverage_transitions gauge\n");
+  for (const ClassSnapshot& cls : snapshot.classes) {
+    out.append("tesla_coverage_transitions{automaton=\"");
+    AppendPromLabel(&out, cls.name);
+    AppendF(&out, "\"} %zu\n", cls.transitions.size());
+  }
+  out.append(
+      "# HELP tesla_coverage_transitions_fired transitions observed at least once\n"
+      "# TYPE tesla_coverage_transitions_fired gauge\n");
+  for (const ClassSnapshot& cls : snapshot.classes) {
+    out.append("tesla_coverage_transitions_fired{automaton=\"");
+    AppendPromLabel(&out, cls.name);
+    AppendF(&out, "\"} %zu\n", cls.CoveredTransitions());
+  }
+
+  // Dispatch-latency histograms, Prometheus histogram convention: cumulative
+  // le buckets, then _sum and _count. Only present when histograms ran.
+  if (snapshot.mode == MetricsMode::kFull) {
+    out.append(
+        "# HELP tesla_dispatch_latency_ns event dispatch latency, nanoseconds\n"
+        "# TYPE tesla_dispatch_latency_ns histogram\n");
+    for (size_t kind = 0; kind < kEventKinds; kind++) {
+      const HistogramData& hist = snapshot.histograms[kind];
+      size_t top = 0;
+      for (size_t bucket = 0; bucket < kHistogramBuckets; bucket++) {
+        if (hist.buckets[bucket] != 0) {
+          top = bucket;
+        }
+      }
+      uint64_t cumulative = 0;
+      for (size_t bucket = 0; bucket <= top; bucket++) {
+        cumulative += hist.buckets[bucket];
+        AppendF(&out,
+                "tesla_dispatch_latency_ns_bucket{kind=\"%s\",le=\"%" PRIu64
+                "\"} %" PRIu64 "\n",
+                kEventKindNames[kind], BucketUpperNs(bucket), cumulative);
+      }
+      AppendF(&out,
+              "tesla_dispatch_latency_ns_bucket{kind=\"%s\",le=\"+Inf\"} %" PRIu64 "\n",
+              kEventKindNames[kind], hist.count);
+      AppendF(&out, "tesla_dispatch_latency_ns_sum{kind=\"%s\"} %" PRIu64 "\n",
+              kEventKindNames[kind], hist.sum_ns);
+      AppendF(&out, "tesla_dispatch_latency_ns_count{kind=\"%s\"} %" PRIu64 "\n",
+              kEventKindNames[kind], hist.count);
+    }
+  }
+  return out;
+}
+
+std::string RenderText(const Snapshot& snapshot) {
+  std::string out;
+  AppendF(&out, "metrics mode: %s\n", MetricsModeName(snapshot.mode));
+
+  out.append("\nglobal stats:\n");
+#define TESLA_STATS_TEXT(name, desc) \
+  AppendF(&out, "  %-25s %12" PRIu64 "   %s\n", #name, snapshot.stats.name, desc);
+  TESLA_RUNTIME_STATS(TESLA_STATS_TEXT)
+#undef TESLA_STATS_TEXT
+
+  if (!snapshot.classes.empty()) {
+    out.append("\nper-class counters:\n");
+    AppendF(&out, "  %-40s", "automaton");
+    for (size_t k = 0; k < kClassCounterCount; k++) {
+      AppendF(&out, " %12s", kClassCounterNames[k]);
+    }
+    out.push_back('\n');
+    for (const ClassSnapshot& cls : snapshot.classes) {
+      AppendF(&out, "  %-40s", cls.name.c_str());
+      for (size_t k = 0; k < kClassCounterCount; k++) {
+        AppendF(&out, " %12" PRIu64, cls.counters[k]);
+      }
+      out.push_back('\n');
+    }
+  }
+
+  if (snapshot.mode == MetricsMode::kFull) {
+    out.append("\ndispatch latency (ns, bucket upper bounds):\n");
+    AppendF(&out, "  %-16s %12s %10s %10s %10s\n", "event kind", "count", "p50", "p99",
+            "max");
+    for (size_t kind = 0; kind < kEventKinds; kind++) {
+      const HistogramData& hist = snapshot.histograms[kind];
+      AppendF(&out, "  %-16s %12" PRIu64 " %10" PRIu64 " %10" PRIu64 " %10" PRIu64 "\n",
+              kEventKindNames[kind], hist.count, hist.QuantileNs(0.50),
+              hist.QuantileNs(0.99), hist.MaxNs());
+    }
+  }
+
+  if (!snapshot.classes.empty()) {
+    out.append("\ntransition coverage:\n");
+    for (const ClassSnapshot& cls : snapshot.classes) {
+      AppendF(&out, "  %s: %zu/%zu transitions (%.0f%%)\n", cls.name.c_str(),
+              cls.CoveredTransitions(), cls.transitions.size(),
+              100.0 * cls.CoverageRatio());
+      for (const TransitionCoverage& tc : cls.transitions) {
+        AppendF(&out, "    [%s] %s\n", tc.fired ? "x" : " ", tc.description.c_str());
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderUncovered(const Snapshot& snapshot) {
+  std::string out;
+  for (const ClassSnapshot& cls : snapshot.classes) {
+    if (cls.transitions.empty() || cls.CoveredTransitions() == cls.transitions.size()) {
+      continue;
+    }
+    AppendF(&out, "%s: %zu uncovered transition(s) — possible dead clauses:\n",
+            cls.name.c_str(), cls.transitions.size() - cls.CoveredTransitions());
+    for (const TransitionCoverage& tc : cls.transitions) {
+      if (!tc.fired) {
+        AppendF(&out, "  %s\n", tc.description.c_str());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tesla::metrics

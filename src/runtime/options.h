@@ -6,6 +6,7 @@
 #include <functional>
 #include <string>
 
+#include "metrics/metrics.h"
 #include "trace/record.h"
 
 namespace tesla::runtime {
@@ -61,6 +62,13 @@ struct RuntimeOptions {
   // Events shown in a violation's temporal backtrace.
   size_t trace_backtrace_events = 16;
 
+  // Continuous observability (src/metrics). kCounters keeps per-class
+  // counters and the transition-coverage bitmap (a few ns/event, sharded
+  // single-writer cells merged only at snapshot time); kFull additionally
+  // times every dispatch into log-bucketed per-event-kind histograms (two
+  // clock reads per event). Snapshots: Runtime::CollectMetrics().
+  metrics::MetricsMode metrics_mode = metrics::MetricsMode::kOff;
+
   MemoryReader memory_reader;
 };
 
@@ -84,25 +92,51 @@ struct Violation {
 
 const char* ViolationKindName(ViolationKind kind);
 
+// The global RuntimeStats schema. This X-macro is the single source of truth
+// for the struct itself, the trace-capture footer table (trace::kStatsFields)
+// and the metrics exposition — a counter added or removed here moves every
+// consumer at once, so a field can never be silently dropped from the wire.
+// Order matters: it is the footer's field order.
+//
+// Notes on individual fields:
+//   * accepts — automaton acceptance (§4.4.2 finalisation).
+//   * ignored_events — events with no consumable transition (non-strict).
+//   * arg_truncations — argument lists exceeding kMaxEventArgs.
+//   * site_variant_truncations — incallstack() variants dropped at a site;
+//     always zero since the site symbol buffer became growable, kept so
+//     stats consumers and the trace-file footer keep a stable schema.
+#define TESLA_RUNTIME_STATS(X)                                                \
+  X(events, "program events examined")                                        \
+  X(bound_entries, "temporal-bound entries (init transitions or lazy epoch bumps)") \
+  X(bound_exits, "temporal-bound exits (cleanup sweeps)")                     \
+  X(instances_created, "automaton instances created")                         \
+  X(instances_cloned, "automaton instances cloned")                           \
+  X(transitions, "automaton transitions taken")                               \
+  X(accepts, "automaton acceptances")                                         \
+  X(violations, "assertion violations reported")                              \
+  X(overflows, "instance-pool overflows (events dropped)")                    \
+  X(ignored_events, "events consumable by no instance (non-strict)")          \
+  X(arg_truncations, "events with truncated argument lists")                  \
+  X(index_probes, "dispatches answered by one index-bucket probe")            \
+  X(index_scans, "indexed dispatches falling back to a full scan")            \
+  X(site_variant_truncations, "incallstack() site variants dropped (always 0)")
+
 struct RuntimeStats {
-  uint64_t events = 0;            // program events examined
-  uint64_t bound_entries = 0;     // «init» transitions (or lazy epoch bumps)
-  uint64_t bound_exits = 0;       // «cleanup» sweeps
-  uint64_t instances_created = 0;
-  uint64_t instances_cloned = 0;
-  uint64_t transitions = 0;
-  uint64_t accepts = 0;           // automaton acceptance (§4.4.2 finalisation)
-  uint64_t violations = 0;
-  uint64_t overflows = 0;
-  uint64_t ignored_events = 0;    // events with no consumable transition (non-strict)
-  uint64_t arg_truncations = 0;   // events whose argument list exceeded kMaxEventArgs
-  uint64_t index_probes = 0;      // dispatches answered by one index-bucket probe
-  uint64_t index_scans = 0;       // indexed classes falling back to a full scan
-  // incallstack() variants dropped at a site. Always zero since the site
-  // symbol buffer became growable (SmallVector); kept so stats consumers and
-  // the trace-file footer keep a stable schema.
-  uint64_t site_variant_truncations = 0;
+#define TESLA_STATS_MEMBER(name, desc) uint64_t name = 0;
+  TESLA_RUNTIME_STATS(TESLA_STATS_MEMBER)
+#undef TESLA_STATS_MEMBER
 };
+
+inline constexpr size_t kRuntimeStatsFieldCount = 0
+#define TESLA_STATS_COUNT(name, desc) +1
+    TESLA_RUNTIME_STATS(TESLA_STATS_COUNT)
+#undef TESLA_STATS_COUNT
+    ;
+
+// Every field is one uint64_t: anything else would desynchronise the
+// generated field tables from the struct layout.
+static_assert(sizeof(RuntimeStats) == kRuntimeStatsFieldCount * sizeof(uint64_t),
+              "RuntimeStats must contain exactly the TESLA_RUNTIME_STATS fields");
 
 }  // namespace tesla::runtime
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -64,6 +65,9 @@ ThreadContext::ThreadContext(Runtime& runtime)
   if (runtime.recorder_ != nullptr) {
     trace_ = runtime.recorder_->RegisterContext();
   }
+  if (runtime.collector_ != nullptr) {
+    metrics_ = runtime.collector_->RegisterShard();
+  }
 }
 
 ThreadContext::~ThreadContext() {
@@ -91,6 +95,10 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   if (options_.trace_mode != trace::TraceMode::kOff) {
     recorder_ = std::make_unique<trace::Recorder>(trace::TraceConfig{
         options_.trace_mode, options_.trace_ring_capacity, options_.trace_capture_limit});
+  }
+  if (options_.metrics_mode != metrics::MetricsMode::kOff) {
+    collector_ = std::make_unique<metrics::Collector>(options_.metrics_mode);
+    time_dispatch_ = collector_->histograms_enabled();
   }
 }
 
@@ -315,6 +323,31 @@ void Runtime::CompilePlan() {
     candidate_pool_.insert(candidate_pool_.end(), field_cands[symbol].begin(),
                            field_cands[symbol].end());
   }
+
+  // Pass 4 (metrics on): transition-coverage layout. Each class owns a dense
+  // cov_states × cov_symbols bit grid, 64-aligned so no bitmap word is
+  // shared between classes, plus the DFA table flattened to the same
+  // indexing for NFA-mode stepping. Reinstalling clears any stamped bits —
+  // the bit layout just changed.
+  if (collector_ != nullptr) {
+    collector_->EnsureClassCapacity(classes_.size());
+    size_t bits = 0;
+    for (CompiledClass& cls : classes_) {
+      cls.cov_states = static_cast<uint32_t>(cls.dfa.states.size());
+      cls.cov_symbols = cls.dfa.symbol_count;
+      cls.cov_first = static_cast<uint32_t>(bits);
+      const size_t grid = static_cast<size_t>(cls.cov_states) * cls.cov_symbols;
+      bits += (grid + 63) & ~size_t{63};
+      cls.dfa_flat.resize(grid);
+      for (uint32_t state = 0; state < cls.cov_states; state++) {
+        for (uint32_t symbol = 0; symbol < cls.cov_symbols; symbol++) {
+          cls.dfa_flat[state * cls.cov_symbols + symbol] =
+              cls.dfa.states[state].transitions[symbol];
+        }
+      }
+    }
+    collector_->InstallCoverage(bits);
+  }
 }
 
 void Runtime::EnsurePlanCapacity(ThreadContext& ctx) {
@@ -330,11 +363,88 @@ void Runtime::EnsurePlanCapacity(ThreadContext& ctx) {
   if (ctx.stack_depth_.size() < stack_slot_count_) {
     ctx.stack_depth_.resize(stack_slot_count_, 0);
   }
+  // A Register() after this context was created: swap in a shard sized for
+  // the new classes (the stale block stays behind and is still merged).
+  if (collector_ != nullptr && ctx.metrics_ != nullptr &&
+      ctx.metrics_->class_capacity() < classes_.size()) {
+    ctx.metrics_ = collector_->RegisterShard();
+  }
 }
 
 int Runtime::FindAutomaton(const std::string& name) const {
   auto it = by_name_.find(name);
   return it == by_name_.end() ? -1 : static_cast<int>(it->second);
+}
+
+// --- stats & metrics snapshots ---
+
+void Runtime::ResetStats() {
+  stats_ = RuntimeStats{};
+  // RuntimeStats::overflows is fed by per-context pool tallies; a reset that
+  // leaves those behind would double-report them through pool_overflows()
+  // style accessors. Per-thread contexts are their owners' to reset; the
+  // runtime rewinds its own shard contexts.
+  for (auto& shard : shards_) {
+    ShardGuard guard(shard->lock, !ShardLocksHeld());
+    shard->context->store_.ResetOverflows();
+  }
+  if (collector_ != nullptr) {
+    collector_->Reset();
+  }
+}
+
+uint64_t Runtime::shard_pool_overflows() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    ShardGuard guard(shard->lock, !ShardLocksHeld());
+    total += shard->context->store_.overflows();
+  }
+  return total;
+}
+
+metrics::Snapshot Runtime::CollectMetrics() const {
+  metrics::Snapshot snapshot;
+  snapshot.stats = stats_;
+  if (collector_ == nullptr) {
+    return snapshot;
+  }
+  snapshot.mode = collector_->mode();
+
+  std::vector<uint64_t> counters(classes_.size() * metrics::kClassCounterCount, 0);
+  if (!classes_.empty()) {
+    collector_->MergeCounters(classes_.size(), counters.data());
+  }
+  snapshot.classes.reserve(classes_.size());
+  for (const CompiledClass& cls : classes_) {
+    metrics::ClassSnapshot entry;
+    entry.name = cls.automaton.name;
+    for (size_t k = 0; k < metrics::kClassCounterCount; k++) {
+      entry.counters[k] = counters[cls.id * metrics::kClassCounterCount + k];
+    }
+    for (uint32_t state = 0; state < cls.cov_states; state++) {
+      for (uint32_t symbol = 0; symbol < cls.cov_symbols; symbol++) {
+        const uint32_t target = cls.dfa_flat[state * cls.cov_symbols + symbol];
+        if (target == automata::Dfa::kNoTarget) {
+          continue;
+        }
+        metrics::TransitionCoverage transition;
+        transition.state = state;
+        transition.symbol = static_cast<uint16_t>(symbol);
+        transition.fired =
+            collector_->CoverageBit(cls.cov_first + state * cls.cov_symbols + symbol);
+        const char* role = symbol == cls.automaton.init_symbol      ? "«init» "
+                           : symbol == cls.automaton.cleanup_symbol ? "«cleanup» "
+                                                                    : "";
+        transition.description = cls.dfa.StateLabel(state) + " --" + role +
+                                 cls.automaton.alphabet[symbol].ToString() + "--> " +
+                                 cls.dfa.StateLabel(target);
+        entry.transitions.push_back(std::move(transition));
+      }
+    }
+    snapshot.classes.push_back(std::move(entry));
+  }
+  collector_->MergeHistograms(snapshot.histograms);
+  return snapshot;
 }
 
 ClassState& Runtime::StateFor(ThreadContext& ctx, uint32_t class_id) {
@@ -388,6 +498,13 @@ void Runtime::DispatchEvent(ThreadContext& ctx, const Event& event) {
   if (recorder_ != nullptr && ctx.trace_ != nullptr) {
     recorder_->Record(*ctx.trace_, event);
   }
+  // kFull mode: two clock reads bracket the dispatch, bucketed per event
+  // kind into the entry context's shard.
+  const bool timed = time_dispatch_ && ctx.metrics_ != nullptr;
+  std::chrono::steady_clock::time_point start;
+  if (timed) {
+    start = std::chrono::steady_clock::now();
+  }
   switch (event.kind) {
     case EventKind::kFunctionCall:
     case EventKind::kFunctionReturn:
@@ -399,6 +516,13 @@ void Runtime::DispatchEvent(ThreadContext& ctx, const Event& event) {
     case EventKind::kAssertionSite:
       ProcessSiteEvent(ctx, event);
       break;
+  }
+  if (timed) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const int64_t ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    ctx.metrics_->RecordLatency(static_cast<size_t>(event.kind),
+                                ns > 0 ? static_cast<uint64_t>(ns) : 0);
   }
 }
 
@@ -617,6 +741,12 @@ void Runtime::ActivateClass(ThreadContext& ctx, uint32_t class_id) {
   state.active = true;
   Bump(stats_.instances_created);
   Bump(stats_.transitions);  // the «init» transition itself
+  BumpClass(storage, class_id, metrics::ClassCounter::instances_created);
+  BumpClass(storage, class_id, metrics::ClassCounter::transitions);
+  if (collector_ != nullptr) {
+    // The «init» transition leaves DFA state 0 (the pre-bound start state).
+    StampStep(cls, 0, cls.automaton.init_symbol);
+  }
   if (!handlers_.empty()) {
     ClassInfo info{class_id, &cls.automaton};
     const Instance view = storage.store_.Materialize(wildcard);
@@ -642,6 +772,7 @@ void Runtime::CleanupClass(ThreadContext& ctx, uint32_t class_id) {
   for (uint32_t slot : state.instances) {
     if (StepSlot(cls, storage, slot, std::span<const uint16_t>(&cleanup_symbol, 1))) {
       Bump(stats_.accepts);
+      BumpClass(storage, class_id, metrics::ClassCounter::accepts);
       if (!handlers_.empty()) {
         const Instance view = storage.store_.Materialize(slot);
         for (EventHandler* handler : handlers_) {
@@ -804,12 +935,14 @@ bool Runtime::DispatchToInstances(ThreadContext& ctx, uint32_t class_id,
   if (options_.instance_index && cls.key_mask != 0) {
     if (BindingsVarMask(bindings.entries, bindings.count) == cls.key_mask) {
       Bump(stats_.index_probes);
+      BumpClass(storage, class_id, metrics::ClassCounter::index_probes);
       return DispatchIndexed(storage, cls, state, bindings, symbols);
     }
     // An event binding a strict subset (or superset) of the key variables
     // cannot be answered by one bucket; fall back to the scan. The index
     // stays coherent because clone insertion goes through IndexInstance.
     Bump(stats_.index_scans);
+    BumpClass(storage, class_id, metrics::ClassCounter::index_scans);
   }
   return DispatchScan(storage, cls, state, bindings, symbols);
 }
@@ -884,7 +1017,7 @@ bool Runtime::DispatchIndexed(ThreadContext& storage, const CompiledClass& cls,
     if (duplicate) {
       continue;
     }
-    if (!StepInstance(cls, candidate, symbols)) {
+    if (!StepInstance(cls, storage, candidate, symbols)) {
       continue;  // the clone could not consume the event; discard it
     }
     uint32_t slot = storage.store_.Allocate();
@@ -899,6 +1032,7 @@ bool Runtime::DispatchIndexed(ThreadContext& storage, const CompiledClass& cls,
     new_head = slot;
     any_step = true;
     Bump(stats_.instances_cloned);
+    BumpClass(storage, cls.id, metrics::ClassCounter::instances_cloned);
     if (!handlers_.empty()) {
       const Instance parent_view = storage.store_.Materialize(parent);
       for (EventHandler* handler : handlers_) {
@@ -956,7 +1090,7 @@ bool Runtime::DispatchScan(ThreadContext& storage, const CompiledClass& cls, Cla
     if (duplicate) {
       continue;
     }
-    if (!StepInstance(cls, candidate, symbols)) {
+    if (!StepInstance(cls, storage, candidate, symbols)) {
       continue;  // the clone could not consume the event; discard it
     }
     uint32_t slot = storage.store_.Allocate();
@@ -970,6 +1104,7 @@ bool Runtime::DispatchScan(ThreadContext& storage, const CompiledClass& cls, Cla
     IndexInstance(storage, cls, state, slot);
     any_step = true;
     Bump(stats_.instances_cloned);
+    BumpClass(storage, cls.id, metrics::ClassCounter::instances_cloned);
     if (!handlers_.empty()) {
       const Instance parent_view = storage.store_.Materialize(parent);
       for (EventHandler* handler : handlers_) {
@@ -1018,6 +1153,9 @@ bool Runtime::StepCore(const CompiledClass& cls, automata::StateSet& states,
       }
       *from_out = states;
       *symbol_out = symbol;
+      if (collector_ != nullptr) {
+        StampStep(cls, dfa_state, symbol);
+      }
       dfa_state = target;
       states = cls.dfa.states[target].nfa_states;
       return true;
@@ -1040,6 +1178,20 @@ bool Runtime::StepCore(const CompiledClass& cls, automata::StateSet& states,
   *from_out = states;
   *symbol_out = stepped_symbol;
   states = next;
+  if (collector_ != nullptr) {
+    // Mirror the step onto the determinised automaton: one load in the
+    // flattened table keeps the instance's dfa_state current in NFA mode, so
+    // coverage bits address the same (state, symbol) grid in both ablations
+    // and a capture replays to identical coverage. A multi-symbol union with
+    // no single-symbol DFA edge (possible with incallstack() variants)
+    // leaves the mirror alone and stamps nothing — coverage may undercount
+    // there, never misattribute.
+    const uint32_t target = cls.dfa_flat[dfa_state * cls.cov_symbols + stepped_symbol];
+    if (target != automata::Dfa::kNoTarget) {
+      StampStep(cls, dfa_state, stepped_symbol);
+      dfa_state = target;
+    }
+  }
   return true;
 }
 
@@ -1052,6 +1204,7 @@ bool Runtime::StepSlot(const CompiledClass& cls, ThreadContext& storage, uint32_
     return false;
   }
   Bump(stats_.transitions);
+  BumpClass(storage, cls.id, metrics::ClassCounter::transitions);
   if (!handlers_.empty()) {
     ClassInfo info{cls.id, &cls.automaton};
     const Instance view = storage.store_.Materialize(slot);
@@ -1062,14 +1215,15 @@ bool Runtime::StepSlot(const CompiledClass& cls, ThreadContext& storage, uint32_
   return true;
 }
 
-bool Runtime::StepInstance(const CompiledClass& cls, Instance& instance,
-                           std::span<const uint16_t> symbols) {
+bool Runtime::StepInstance(const CompiledClass& cls, ThreadContext& storage,
+                           Instance& instance, std::span<const uint16_t> symbols) {
   automata::StateSet from = 0;
   uint16_t symbol = 0;
   if (!StepCore(cls, instance.states, instance.dfa_state, symbols, &from, &symbol)) {
     return false;
   }
   Bump(stats_.transitions);
+  BumpClass(storage, cls.id, metrics::ClassCounter::transitions);
   if (!handlers_.empty()) {
     ClassInfo info{cls.id, &cls.automaton};
     for (EventHandler* handler : handlers_) {
@@ -1135,6 +1289,11 @@ bool Runtime::MatchArg(const automata::ArgMatch& match, int64_t value,
 void Runtime::ReportViolation(uint32_t class_id, ViolationKind kind, const std::string& detail,
                               automata::StateSet highlight) {
   Bump(stats_.violations);
+  if (collector_ != nullptr) {
+    // No storage context is in scope here; the lock-guarded spill table is
+    // fine for a path that already formats strings.
+    collector_->BumpSpill(class_id, metrics::ClassCounter::violations);
+  }
   Violation violation;
   violation.kind = kind;
   violation.automaton = classes_[class_id].automaton.name;

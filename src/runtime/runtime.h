@@ -39,6 +39,8 @@
 
 #include "automata/determinize.h"
 #include "automata/manifest.h"
+#include "metrics/collector.h"
+#include "metrics/snapshot.h"
 #include "runtime/event.h"
 #include "runtime/handler.h"
 #include "runtime/instance.h"
@@ -109,6 +111,11 @@ class ThreadContext {
   // tracing is off). Owned by the runtime's Recorder, which outlives us —
   // the history survives context teardown for capture and forensics.
   trace::ContextLog* trace_ = nullptr;
+  // Metrics shard for counters/histograms recorded through this context
+  // (null when RuntimeOptions::metrics_mode is off). Owned by the runtime's
+  // Collector; single-writer — per-thread contexts by contract, global shard
+  // contexts by their shard lock.
+  metrics::Shard* metrics_ = nullptr;
 };
 
 class Runtime {
@@ -167,8 +174,27 @@ class Runtime {
   }
 
   const RuntimeStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = RuntimeStats{}; }
+  // Zeroes the global stats *and* every derived tally a stats consumer can
+  // observe: the per-shard instance-pool overflow counts and the metrics
+  // collector's counters, histograms and coverage bitmap. Call at a
+  // quiescent point for exact deltas.
+  void ResetStats();
   const RuntimeOptions& options() const { return options_; }
+
+  // The metrics collector (null when RuntimeOptions::metrics_mode is off).
+  metrics::Collector* collector() { return collector_.get(); }
+  const metrics::Collector* collector() const { return collector_.get(); }
+
+  // Merges every shard into one snapshot and joins it with the static
+  // automaton structure (class names, statically-valid DFA transitions and
+  // their coverage bits). Cheap enough to call from a scrape handler.
+  metrics::Snapshot CollectMetrics() const;
+
+  // Sum of the global shard contexts' instance-pool overflow tallies (the
+  // per-context counts behind RuntimeStats::overflows); reset by
+  // ResetStats(). Exposed so stats-reset consumers can verify the derived
+  // counters really rewound.
+  uint64_t shard_pool_overflows() const;
 
   size_t class_count() const { return classes_.size(); }
   const automata::Automaton& automaton(uint32_t id) const { return classes_[id].automaton; }
@@ -216,6 +242,16 @@ class Runtime {
     // bound's init/cleanup functions): the forensics filter for "events
     // relevant to this automaton".
     std::vector<uint32_t> trace_symbols;
+    // Transition-coverage layout (metrics on only). The class owns a dense
+    // bit grid of cov_states × cov_symbols slots starting at cov_first in
+    // the collector's bitmap — bit = cov_first + dfa_state*cov_symbols +
+    // symbol. dfa_flat is the DFA transition table flattened to the same
+    // indexing (kNoTarget for invalid), so NFA-mode stepping can advance the
+    // mirrored DFA state with a single load.
+    uint32_t cov_first = 0;
+    uint32_t cov_symbols = 0;
+    uint32_t cov_states = 0;
+    std::vector<uint32_t> dfa_flat;
   };
 
   struct Candidate {
@@ -333,9 +369,11 @@ class Runtime {
                      uint32_t slot);
 
   // Steps a stored instance (slot form) or a stack-built clone candidate.
+  // `storage` is the context owning (or about to own) the instance — the
+  // metrics shard the transition is attributed to.
   bool StepSlot(const CompiledClass& cls, ThreadContext& storage, uint32_t slot,
                 std::span<const uint16_t> symbols);
-  bool StepInstance(const CompiledClass& cls, Instance& instance,
+  bool StepInstance(const CompiledClass& cls, ThreadContext& storage, Instance& instance,
                     std::span<const uint16_t> symbols);
   bool StepCore(const CompiledClass& cls, automata::StateSet& states, uint32_t& dfa_state,
                 std::span<const uint16_t> symbols, automata::StateSet* from_out,
@@ -354,6 +392,27 @@ class Runtime {
   // highlighted DOT graph for one violating class.
   std::string BuildForensics(uint32_t class_id, automata::StateSet highlight) const;
   void Bump(uint64_t& counter, uint64_t amount = 1);
+
+  // Per-class metrics bump, attributed to `storage`'s shard. One null check
+  // when metrics are off; the spill path only runs for events racing a late
+  // Register() (the shard predates the class).
+  void BumpClass(ThreadContext& storage, uint32_t class_id, metrics::ClassCounter kind) {
+    metrics::Shard* shard = storage.metrics_;
+    if (shard == nullptr) {
+      return;
+    }
+    if (class_id < shard->class_capacity()) {
+      shard->Bump(class_id, kind);
+    } else {
+      collector_->BumpSpill(class_id, kind);
+    }
+  }
+
+  // Stamps the coverage bit for a taken DFA transition. After warmup this is
+  // one relaxed load (the bit is already set).
+  void StampStep(const CompiledClass& cls, uint32_t from_dfa, uint16_t symbol) {
+    collector_->StampCoverage(cls.cov_first + from_dfa * cls.cov_symbols + symbol);
+  }
 
   RuntimeOptions options_;
   RuntimeStats stats_;
@@ -379,6 +438,13 @@ class Runtime {
   // spinlock-serialised).
   uint32_t shard_count_ = 1;
   std::vector<std::unique_ptr<GlobalShard>> shards_;
+
+  // The metrics collector (metrics_mode != off); owns every context's shard
+  // and the transition-coverage bitmap.
+  std::unique_ptr<metrics::Collector> collector_;
+  // Cached collector_->histograms_enabled(): the per-event timing decision
+  // must not cost a pointer chase when metrics are off.
+  bool time_dispatch_ = false;
 
   // The flight recorder (trace_mode != off) and the violation sequence it
   // captures alongside the event stream.

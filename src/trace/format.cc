@@ -141,6 +141,43 @@ Status TraceWriter::Finish(const SemanticSummary& summary) {
     buffer_.push_back(static_cast<uint8_t>(kind));
     PutString(buffer_, automaton);
   }
+  buffer_.push_back(summary.has_metrics ? 1 : 0);
+  if (summary.has_metrics) {
+    const metrics::Snapshot& snap = summary.metrics;
+    buffer_.push_back(static_cast<uint8_t>(snap.mode));
+    PutVarint(buffer_, snap.classes.size());
+    for (const metrics::ClassSnapshot& cls : snap.classes) {
+      PutString(buffer_, cls.name);
+      for (size_t k = 0; k < metrics::kClassCounterCount; k++) {
+        PutVarint(buffer_, cls.counters[k]);
+      }
+      PutVarint(buffer_, cls.transitions.size());
+      for (const metrics::TransitionCoverage& transition : cls.transitions) {
+        PutVarint(buffer_, transition.state);
+        PutVarint(buffer_, transition.symbol);
+        buffer_.push_back(transition.fired ? 1 : 0);
+        PutString(buffer_, transition.description);
+      }
+    }
+    if (snap.mode == metrics::MetricsMode::kFull) {
+      for (size_t kind = 0; kind < metrics::kEventKinds; kind++) {
+        const metrics::HistogramData& hist = snap.histograms[kind];
+        PutVarint(buffer_, hist.count);
+        PutVarint(buffer_, hist.sum_ns);
+        uint64_t occupied = 0;
+        for (uint64_t count : hist.buckets) {
+          occupied += count != 0 ? 1 : 0;
+        }
+        PutVarint(buffer_, occupied);
+        for (size_t bucket = 0; bucket < metrics::kHistogramBuckets; bucket++) {
+          if (hist.buckets[bucket] != 0) {
+            PutVarint(buffer_, bucket);
+            PutVarint(buffer_, hist.buckets[bucket]);
+          }
+        }
+      }
+    }
+  }
   std::fwrite(buffer_.data(), 1, buffer_.size(), out_);
   const bool ok = std::fflush(out_) == 0 && std::ferror(out_) == 0;
   std::fclose(out_);
@@ -164,13 +201,16 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
   }
   std::fclose(in);
 
+  // "TSLATRC<digit>": v1 files are still readable — they end after the
+  // violation list, with no metrics section.
   if (bytes.size() < sizeof(kTraceMagic) ||
-      std::memcmp(bytes.data(), kTraceMagic, sizeof(kTraceMagic)) != 0) {
+      std::memcmp(bytes.data(), kTraceMagic, sizeof(kTraceMagic) - 1) != 0 ||
+      (bytes[7] != '1' && bytes[7] != '2')) {
     return Error{"'" + path + "' is not a TESLA trace capture (bad magic)"};
   }
 
   TraceFile file;
-  file.version = kTraceVersion;
+  file.version = bytes[7] - '0';
   Cursor cursor{bytes.data(), bytes.size(), sizeof(kTraceMagic)};
 
   uint8_t flags = 0;
@@ -260,6 +300,70 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
   }
   if (cursor.failed) {
     return Error{"truncated footer in '" + path + "'"};
+  }
+
+  if (file.version >= 2) {
+    uint8_t has_metrics = 0;
+    cursor.Byte(&has_metrics);
+    if (has_metrics != 0) {
+      file.summary.has_metrics = true;
+      metrics::Snapshot& snap = file.summary.metrics;
+      snap.stats = file.summary.stats;
+      uint8_t mode = 0;
+      cursor.Byte(&mode);
+      snap.mode = static_cast<metrics::MetricsMode>(mode);
+      uint64_t class_count = 0;
+      cursor.Varint(&class_count);
+      if (cursor.failed || class_count > bytes.size()) {
+        return Error{"truncated metrics section in '" + path + "'"};
+      }
+      snap.classes.resize(static_cast<size_t>(class_count));
+      for (metrics::ClassSnapshot& cls : snap.classes) {
+        cursor.String(&cls.name);
+        for (size_t k = 0; k < metrics::kClassCounterCount; k++) {
+          cursor.Varint(&cls.counters[k]);
+        }
+        uint64_t transition_count = 0;
+        cursor.Varint(&transition_count);
+        if (cursor.failed || transition_count > bytes.size()) {
+          return Error{"truncated metrics section in '" + path + "'"};
+        }
+        cls.transitions.resize(static_cast<size_t>(transition_count));
+        for (metrics::TransitionCoverage& transition : cls.transitions) {
+          uint8_t fired = 0;
+          cursor.Varint(&value);
+          transition.state = static_cast<uint32_t>(value);
+          cursor.Varint(&value);
+          transition.symbol = static_cast<uint16_t>(value);
+          cursor.Byte(&fired);
+          transition.fired = fired != 0;
+          cursor.String(&transition.description);
+        }
+      }
+      if (snap.mode == metrics::MetricsMode::kFull) {
+        for (size_t kind = 0; kind < metrics::kEventKinds; kind++) {
+          metrics::HistogramData& hist = snap.histograms[kind];
+          cursor.Varint(&hist.count);
+          cursor.Varint(&hist.sum_ns);
+          uint64_t occupied = 0;
+          cursor.Varint(&occupied);
+          if (cursor.failed || occupied > metrics::kHistogramBuckets) {
+            return Error{"truncated metrics section in '" + path + "'"};
+          }
+          for (uint64_t i = 0; i < occupied; i++) {
+            uint64_t bucket = 0;
+            cursor.Varint(&bucket);
+            cursor.Varint(&value);
+            if (bucket < metrics::kHistogramBuckets) {
+              hist.buckets[bucket] = value;
+            }
+          }
+        }
+      }
+      if (cursor.failed) {
+        return Error{"truncated metrics section in '" + path + "'"};
+      }
+    }
   }
   return file;
 }

@@ -6,7 +6,9 @@
 //
 // Layout (all integers varint/LEB128, signed values zigzag-encoded):
 //
-//   magic "TSLATRC1" (8 bytes)        version gate: the '1' is the version
+//   magic "TSLATRC2" (8 bytes)        version gate: the trailing digit is
+//                                     the version (v1 files are still read;
+//                                     they simply carry no metrics section)
 //   origin   string                   e.g. "kernelsim:all" — names the
 //                                     manifest a replayer must register
 //   options                           the semantics-bearing RuntimeOptions:
@@ -18,8 +20,17 @@
 //     flags byte, ctx, seq delta (vs previous record), target, count,
 //     count zigzag values, count vars (sites only),
 //     zigzag return_value (returns only)
-//   footer   dropped, the 14 RuntimeStats fields in declaration order,
-//     violation count, then (kind byte, automaton-name string) each
+//   footer   dropped, the RuntimeStats fields in declaration order
+//     (kRuntimeStatsFieldCount of them), violation count, then
+//     (kind byte, automaton-name string) each
+//   metrics  (v2) presence byte; when 1: mode byte, class count, then per
+//     class: name string, the per-class counters in TESLA_CLASS_COUNTERS
+//     order, transition count, then per statically-valid transition:
+//     state, symbol, fired byte, description string. In kFull mode, per
+//     event kind: sample count, ns sum, occupied-bucket count, then
+//     (bucket index, count) pairs. Descriptions are embedded so a coverage
+//     report needs no origin-manifest resolution, and replays can diff
+//     coverage bit for bit.
 //
 // Strings are varint length + bytes. Seq deltas are non-negative because the
 // writer is handed a sequence-sorted snapshot.
@@ -32,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "metrics/snapshot.h"
 #include "runtime/options.h"
 #include "support/intern.h"
 #include "support/result.h"
@@ -39,33 +51,28 @@
 
 namespace tesla::trace {
 
-inline constexpr char kTraceMagic[8] = {'T', 'S', 'L', 'A', 'T', 'R', 'C', '1'};
-inline constexpr uint32_t kTraceVersion = 1;
+inline constexpr char kTraceMagic[8] = {'T', 'S', 'L', 'A', 'T', 'R', 'C', '2'};
+inline constexpr uint32_t kTraceVersion = 2;
 
-// The footer's RuntimeStats fields, in declaration order. The writer, the
-// reader, the replay comparator and the CLI's stats dump all walk this one
-// table, so the wire schema and every consumer move together.
+// The footer's RuntimeStats fields, in declaration order — generated from
+// the TESLA_RUNTIME_STATS X-macro in runtime/options.h, so a RuntimeStats
+// counter cannot be added (or dropped) without the capture footer, the
+// replay comparator, the CLI's stats dump and the metrics exposition all
+// moving with it.
 struct StatsField {
   const char* name;
   uint64_t runtime::RuntimeStats::* field;
 };
 
 inline constexpr StatsField kStatsFields[] = {
-    {"events", &runtime::RuntimeStats::events},
-    {"bound_entries", &runtime::RuntimeStats::bound_entries},
-    {"bound_exits", &runtime::RuntimeStats::bound_exits},
-    {"instances_created", &runtime::RuntimeStats::instances_created},
-    {"instances_cloned", &runtime::RuntimeStats::instances_cloned},
-    {"transitions", &runtime::RuntimeStats::transitions},
-    {"accepts", &runtime::RuntimeStats::accepts},
-    {"violations", &runtime::RuntimeStats::violations},
-    {"overflows", &runtime::RuntimeStats::overflows},
-    {"ignored_events", &runtime::RuntimeStats::ignored_events},
-    {"arg_truncations", &runtime::RuntimeStats::arg_truncations},
-    {"index_probes", &runtime::RuntimeStats::index_probes},
-    {"index_scans", &runtime::RuntimeStats::index_scans},
-    {"site_variant_truncations", &runtime::RuntimeStats::site_variant_truncations},
+#define TESLA_STATS_FIELD(name, desc) {#name, &runtime::RuntimeStats::name},
+    TESLA_RUNTIME_STATS(TESLA_STATS_FIELD)
+#undef TESLA_STATS_FIELD
 };
+
+static_assert(sizeof(kStatsFields) / sizeof(kStatsFields[0]) ==
+                  runtime::kRuntimeStatsFieldCount,
+              "footer schema out of sync with RuntimeStats");
 
 // The subset of RuntimeOptions that changes replay semantics.
 struct CaptureOptions {
@@ -81,6 +88,11 @@ struct SemanticSummary {
   uint64_t dropped = 0;  // capture-side drops (nonzero ⇒ replay may diverge)
   runtime::RuntimeStats stats;
   std::vector<std::pair<runtime::ViolationKind, std::string>> violations;
+  // The capture run's metrics snapshot (v2, metrics_mode != off only).
+  // Per-class counters and the transition-coverage table are deterministic
+  // and replay-comparable; histograms are wall-clock and informational.
+  bool has_metrics = false;
+  metrics::Snapshot metrics;
 };
 
 class TraceWriter {

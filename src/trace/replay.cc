@@ -54,6 +54,10 @@ Status WriteCapture(const std::string& path, const std::string& origin,
   summary.dropped = snapshot.dropped;
   summary.stats = rt.stats();
   summary.violations = rt.violation_log();
+  if (rt.collector() != nullptr) {
+    summary.has_metrics = true;
+    summary.metrics = rt.CollectMetrics();
+  }
   return writer.Finish(summary);
 }
 
@@ -66,6 +70,11 @@ runtime::RuntimeOptions ReplayOptions(const TraceFile& file) {
   options.global_shards = static_cast<size_t>(file.options.global_shards);
   options.fail_stop = false;
   options.trace_mode = TraceMode::kOff;
+  // A capture with an embedded metrics footer is replayed with counters on
+  // so per-class counters and transition coverage can be diffed. Histograms
+  // stay off — they time the replayer, not the original run.
+  options.metrics_mode = file.summary.has_metrics ? metrics::MetricsMode::kCounters
+                                                  : metrics::MetricsMode::kOff;
   return options;
 }
 
@@ -113,6 +122,48 @@ Result<ReplayResult> Replay(const TraceFile& file, runtime::Runtime& rt) {
                            " vs replay " + std::to_string(got) + "\n";
     }
   }
+  if (file.summary.has_metrics && rt.collector() != nullptr) {
+    result.metrics = rt.CollectMetrics();
+    const metrics::Snapshot& want = file.summary.metrics;
+    if (want.classes.size() != result.metrics.classes.size()) {
+      result.matched = false;
+      result.divergence += "metrics class count: capture " +
+                           std::to_string(want.classes.size()) + " vs replay " +
+                           std::to_string(result.metrics.classes.size()) + "\n";
+    } else {
+      for (size_t c = 0; c < want.classes.size(); c++) {
+        const metrics::ClassSnapshot& a = want.classes[c];
+        const metrics::ClassSnapshot& b = result.metrics.classes[c];
+        for (size_t k = 0; k < metrics::kClassCounterCount; k++) {
+          if (a.counters[k] != b.counters[k]) {
+            result.matched = false;
+            result.divergence += "metrics " + a.name + "." +
+                                 metrics::kClassCounterNames[k] + ": capture " +
+                                 std::to_string(a.counters[k]) + " vs replay " +
+                                 std::to_string(b.counters[k]) + "\n";
+          }
+        }
+        if (a.transitions.size() != b.transitions.size()) {
+          result.matched = false;
+          result.divergence += "metrics " + a.name + " coverage grid: capture " +
+                               std::to_string(a.transitions.size()) + " vs replay " +
+                               std::to_string(b.transitions.size()) + " transitions\n";
+          continue;
+        }
+        for (size_t t = 0; t < a.transitions.size(); t++) {
+          if (a.transitions[t].fired != b.transitions[t].fired) {
+            result.matched = false;
+            result.divergence += "coverage " + a.name + " [" +
+                                 a.transitions[t].description + "]: capture " +
+                                 (a.transitions[t].fired ? "fired" : "never") +
+                                 " vs replay " +
+                                 (b.transitions[t].fired ? "fired" : "never") + "\n";
+          }
+        }
+      }
+    }
+  }
+
   if (file.summary.violations.size() != result.violations.size()) {
     result.matched = false;
     result.divergence += "violation count: capture " +

@@ -36,6 +36,11 @@ struct ReplayResult {
   std::vector<std::pair<runtime::ViolationKind, std::string>> violations;
   bool matched = false;    // stats and violation sequence agree with the capture
   std::string divergence;  // per-field mismatch report ("" when matched)
+  // When the capture embeds a metrics footer, the replay runs with counters
+  // on and its snapshot lands here; per-class counters and transition
+  // coverage are folded into the matched/divergence verdict (histograms are
+  // wall-clock and never compared).
+  metrics::Snapshot metrics;
 };
 
 // RuntimeOptions reproducing the capture's semantics: the recorded

@@ -1,0 +1,378 @@
+// tesla::metrics: per-class counters, transition coverage, histograms,
+// exposition formats, the capture-footer round trip, and ResetStats hygiene.
+#include "metrics/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "automata/lower.h"
+#include "automata/manifest.h"
+#include "kernelsim/assertions.h"
+#include "kernelsim/kernel.h"
+#include "kernelsim/workloads.h"
+#include "metrics/collector.h"
+#include "metrics/metrics.h"
+#include "runtime/runtime.h"
+#include "support/log.h"
+#include "trace/format.h"
+#include "trace/replay.h"
+
+namespace tesla {
+namespace {
+
+using metrics::ClassCounter;
+using metrics::MetricsMode;
+using runtime::Binding;
+using runtime::Runtime;
+using runtime::RuntimeOptions;
+using runtime::ThreadContext;
+
+Symbol S(const char* name) { return InternString(name); }
+
+RuntimeOptions TestOptions(MetricsMode mode) {
+  RuntimeOptions options;
+  options.fail_stop = false;
+  options.metrics_mode = mode;
+  return options;
+}
+
+struct Fixture {
+  explicit Fixture(const char* source, RuntimeOptions options) : rt(options) {
+    auto automaton = automata::CompileAssertion(source, {}, "m");
+    EXPECT_TRUE(automaton.ok());
+    automata::Manifest manifest;
+    manifest.Add(std::move(automaton.value()));
+    EXPECT_TRUE(rt.Register(manifest).ok());
+    id = static_cast<uint32_t>(rt.FindAutomaton("m"));
+  }
+  Runtime rt;
+  uint32_t id = 0;
+};
+
+uint64_t Counter(const metrics::ClassSnapshot& cls, ClassCounter kind) {
+  return cls.counters[static_cast<size_t>(kind)];
+}
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr && *dir != '\0' ? dir : "/tmp") + "/" + name;
+}
+
+TEST(Metrics, BucketMath) {
+  EXPECT_EQ(metrics::BucketFor(0), 0u);
+  EXPECT_EQ(metrics::BucketFor(1), 0u);
+  EXPECT_EQ(metrics::BucketFor(2), 1u);
+  EXPECT_EQ(metrics::BucketFor(3), 1u);
+  EXPECT_EQ(metrics::BucketFor(1024), 10u);
+  EXPECT_EQ(metrics::BucketFor(UINT64_MAX), 63u);
+  EXPECT_EQ(metrics::BucketUpperNs(0), 1u);
+  EXPECT_EQ(metrics::BucketUpperNs(1), 3u);
+  EXPECT_EQ(metrics::BucketUpperNs(10), 2047u);
+  EXPECT_EQ(metrics::BucketUpperNs(63), UINT64_MAX);
+  // Every sample lands in a bucket whose range contains it.
+  for (uint64_t ns : {0ull, 1ull, 7ull, 100ull, 65536ull, 123456789ull}) {
+    size_t bucket = metrics::BucketFor(ns);
+    EXPECT_LE(ns, metrics::BucketUpperNs(bucket));
+    if (bucket > 0) {
+      EXPECT_GT(ns, metrics::BucketUpperNs(bucket - 1));
+    }
+  }
+}
+
+TEST(Metrics, OffModeHasNoCollector) {
+  Fixture f("TESLA_WITHIN(syscall, previously(check(x) == 0))",
+            TestOptions(MetricsMode::kOff));
+  EXPECT_EQ(f.rt.collector(), nullptr);
+  ThreadContext ctx(f.rt);
+  f.rt.OnFunctionCall(ctx, S("syscall"), {});
+  f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);
+  // CollectMetrics still reports global stats; classes stay empty.
+  metrics::Snapshot snapshot = f.rt.CollectMetrics();
+  EXPECT_EQ(snapshot.mode, MetricsMode::kOff);
+  EXPECT_GT(snapshot.stats.events, 0u);
+  EXPECT_TRUE(snapshot.classes.empty());
+}
+
+TEST(Metrics, CountersTrackInstanceLifecycle) {
+  Fixture f("TESLA_WITHIN(syscall, previously(check(x) == 0))",
+            TestOptions(MetricsMode::kCounters));
+  ASSERT_NE(f.rt.collector(), nullptr);
+  ThreadContext ctx(f.rt);
+
+  f.rt.OnFunctionCall(ctx, S("syscall"), {});
+  for (int64_t v = 0; v < 3; v++) {
+    int64_t args[] = {v};
+    f.rt.OnFunctionReturn(ctx, S("check"), args, 0);
+  }
+  Binding site[] = {{0, 1}};
+  f.rt.OnAssertionSite(ctx, f.id, site);
+  f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);
+
+  metrics::Snapshot snapshot = f.rt.CollectMetrics();
+  ASSERT_EQ(snapshot.classes.size(), 1u);
+  const metrics::ClassSnapshot& cls = snapshot.classes[0];
+  EXPECT_EQ(cls.name, "m");
+  EXPECT_GE(Counter(cls, ClassCounter::instances_created), 1u);
+  EXPECT_GE(Counter(cls, ClassCounter::instances_cloned), 3u);
+  EXPECT_GT(Counter(cls, ClassCounter::transitions), 0u);
+  EXPECT_GE(Counter(cls, ClassCounter::accepts), 1u);
+  EXPECT_EQ(Counter(cls, ClassCounter::violations), 0u);
+  // Per-class transitions also feed the global stat; the per-class view can
+  // never exceed what the runtime counted overall.
+  EXPECT_LE(Counter(cls, ClassCounter::transitions), snapshot.stats.transitions);
+}
+
+TEST(Metrics, DeadOrAlternativeIsListedUncovered) {
+  // Only the a() arm of the disjunction is ever driven; every transition
+  // mentioning b() must be reported never-fired — the paper's "logical
+  // coverage" signal that an alternative is dead in practice.
+  Fixture f("TESLA_WITHIN(syscall, previously(a(x) == 0 || b(x) == 0))",
+            TestOptions(MetricsMode::kCounters));
+  ThreadContext ctx(f.rt);
+  for (int64_t v = 0; v < 4; v++) {
+    f.rt.OnFunctionCall(ctx, S("syscall"), {});
+    int64_t args[] = {v};
+    f.rt.OnFunctionReturn(ctx, S("a"), args, 0);
+    Binding site[] = {{0, v}};
+    f.rt.OnAssertionSite(ctx, f.id, site);
+    f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);
+  }
+  EXPECT_EQ(f.rt.stats().violations, 0u);
+
+  metrics::Snapshot snapshot = f.rt.CollectMetrics();
+  ASSERT_EQ(snapshot.classes.size(), 1u);
+  const metrics::ClassSnapshot& cls = snapshot.classes[0];
+  EXPECT_GT(cls.CoveredTransitions(), 0u);
+  EXPECT_LT(cls.CoveredTransitions(), cls.transitions.size());
+
+  bool saw_fired_a = false;
+  bool saw_dead_b = false;
+  for (const metrics::TransitionCoverage& t : cls.transitions) {
+    if (t.description.find("a(") != std::string::npos && t.fired) {
+      saw_fired_a = true;
+    }
+    if (t.description.find("b(") != std::string::npos) {
+      EXPECT_FALSE(t.fired) << "dead alternative fired: " << t.description;
+      saw_dead_b = true;
+    }
+  }
+  EXPECT_TRUE(saw_fired_a);
+  EXPECT_TRUE(saw_dead_b);
+
+  // The dead-clause report names the class and at least one b() transition.
+  const std::string uncovered = metrics::RenderUncovered(snapshot);
+  EXPECT_NE(uncovered.find("m"), std::string::npos);
+  EXPECT_NE(uncovered.find("b("), std::string::npos);
+}
+
+TEST(Metrics, FullyExercisedAutomatonReportsFullCoverage) {
+  Fixture f("TESLA_WITHIN(syscall, previously(check(x) == 0))",
+            TestOptions(MetricsMode::kCounters));
+  ThreadContext ctx(f.rt);
+
+  // Drive every statically-valid path: the bypass bound (no check), the
+  // checked bound with a site visit, repeated checks (self-loops), and a
+  // checked bound that exits without a site.
+  f.rt.OnFunctionCall(ctx, S("syscall"), {});
+  f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);
+
+  for (int round = 0; round < 2; round++) {
+    f.rt.OnFunctionCall(ctx, S("syscall"), {});
+    for (int64_t v = 0; v < 3; v++) {
+      int64_t args[] = {v};
+      f.rt.OnFunctionReturn(ctx, S("check"), args, 0);
+      f.rt.OnFunctionReturn(ctx, S("check"), args, 0);  // repeat: self-loop
+    }
+    Binding site[] = {{0, 1}};
+    f.rt.OnAssertionSite(ctx, f.id, site);
+    f.rt.OnAssertionSite(ctx, f.id, site);  // repeat: post-site self-loop
+    f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);
+  }
+
+  metrics::Snapshot snapshot = f.rt.CollectMetrics();
+  ASSERT_EQ(snapshot.classes.size(), 1u);
+  const metrics::ClassSnapshot& cls = snapshot.classes[0];
+  for (const metrics::TransitionCoverage& t : cls.transitions) {
+    EXPECT_TRUE(t.fired) << "never fired: " << t.description;
+  }
+  EXPECT_EQ(cls.CoveredTransitions(), cls.transitions.size());
+  EXPECT_DOUBLE_EQ(cls.CoverageRatio(), 1.0);
+  // Nothing to report: the dead-clause listing is empty.
+  EXPECT_TRUE(metrics::RenderUncovered(snapshot).empty());
+}
+
+TEST(Metrics, HistogramsRecordDispatchLatency) {
+  Fixture f("TESLA_WITHIN(syscall, previously(check(x) == 0))",
+            TestOptions(MetricsMode::kFull));
+  ThreadContext ctx(f.rt);
+  for (int64_t v = 0; v < 32; v++) {
+    f.rt.OnFunctionCall(ctx, S("syscall"), {});
+    int64_t args[] = {v};
+    f.rt.OnFunctionReturn(ctx, S("check"), args, 0);
+    Binding site[] = {{0, v}};
+    f.rt.OnAssertionSite(ctx, f.id, site);
+    f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);
+  }
+
+  metrics::Snapshot snapshot = f.rt.CollectMetrics();
+  // EventKind order: call, return, field_store, assertion_site.
+  const metrics::HistogramData& calls = snapshot.histograms[0];
+  const metrics::HistogramData& returns = snapshot.histograms[1];
+  const metrics::HistogramData& sites = snapshot.histograms[3];
+  EXPECT_EQ(calls.count, 32u);
+  EXPECT_EQ(returns.count, 64u);  // one check + one syscall return per round
+  EXPECT_EQ(sites.count, 32u);
+  uint64_t total = 0;
+  for (size_t kind = 0; kind < metrics::kEventKinds; kind++) {
+    total += snapshot.histograms[kind].count;
+  }
+  EXPECT_EQ(total, f.rt.stats().events);
+  // Quantiles are ordered and bounded by the maximum.
+  EXPECT_LE(sites.QuantileNs(0.50), sites.QuantileNs(0.99));
+  EXPECT_LE(sites.QuantileNs(0.99), sites.MaxNs());
+}
+
+TEST(Metrics, ResetStatsClearsShardPoolsAndCollector) {
+  // A global automaton stores instances in runtime-owned shard contexts.
+  // Overflow the shard pool, then verify ResetStats rewinds the derived
+  // per-shard tallies and the metrics collector along with RuntimeStats —
+  // a reset that left them behind would double-report on the next snapshot.
+  SetLogLevel(LogLevel::kSilent);
+  RuntimeOptions options = TestOptions(MetricsMode::kCounters);
+  options.instances_per_context = 2;
+  Fixture f("TESLA_GLOBAL(call(syscall), returnfrom(syscall), previously(check(x) == 0))",
+            options);
+  ThreadContext ctx(f.rt);
+
+  f.rt.OnFunctionCall(ctx, S("syscall"), {});
+  for (int64_t v = 0; v < 8; v++) {
+    int64_t args[] = {v};
+    f.rt.OnFunctionReturn(ctx, S("check"), args, 0);
+  }
+  EXPECT_GT(f.rt.stats().overflows, 0u);
+  EXPECT_EQ(f.rt.shard_pool_overflows(), f.rt.stats().overflows);
+  metrics::Snapshot before = f.rt.CollectMetrics();
+  ASSERT_EQ(before.classes.size(), 1u);
+  EXPECT_GT(Counter(before.classes[0], ClassCounter::transitions), 0u);
+  EXPECT_GT(before.classes[0].CoveredTransitions(), 0u);
+
+  f.rt.ResetStats();
+
+  EXPECT_EQ(f.rt.stats().events, 0u);
+  EXPECT_EQ(f.rt.stats().overflows, 0u);
+  EXPECT_EQ(f.rt.shard_pool_overflows(), 0u);
+  metrics::Snapshot after = f.rt.CollectMetrics();
+  ASSERT_EQ(after.classes.size(), 1u);
+  for (size_t k = 0; k < metrics::kClassCounterCount; k++) {
+    EXPECT_EQ(after.classes[0].counters[k], 0u) << metrics::kClassCounterNames[k];
+  }
+  EXPECT_EQ(after.classes[0].CoveredTransitions(), 0u);
+
+  // The runtime keeps working after the reset and the counters start fresh.
+  f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);
+  f.rt.OnFunctionCall(ctx, S("syscall"), {});
+  int64_t args[] = {42};
+  f.rt.OnFunctionReturn(ctx, S("check"), args, 0);
+  f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);
+  metrics::Snapshot fresh = f.rt.CollectMetrics();
+  EXPECT_GT(Counter(fresh.classes[0], ClassCounter::transitions), 0u);
+  EXPECT_LT(Counter(fresh.classes[0], ClassCounter::transitions),
+            Counter(before.classes[0], ClassCounter::transitions));
+}
+
+TEST(Metrics, ExpositionFormatsAreWellFormed) {
+  Fixture f("TESLA_WITHIN(syscall, previously(check(x) == 0))",
+            TestOptions(MetricsMode::kFull));
+  ThreadContext ctx(f.rt);
+  f.rt.OnFunctionCall(ctx, S("syscall"), {});
+  int64_t args[] = {7};
+  f.rt.OnFunctionReturn(ctx, S("check"), args, 0);
+  f.rt.OnFunctionReturn(ctx, S("syscall"), {}, 0);
+  metrics::Snapshot snapshot = f.rt.CollectMetrics();
+
+  const std::string json = metrics::ToJson(snapshot);
+  EXPECT_NE(json.find("\"mode\": \"counters+histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"m\""), std::string::npos);
+  EXPECT_NE(json.find("\"coverage\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+
+  const std::string prom = metrics::ToPrometheus(snapshot);
+  EXPECT_NE(prom.find("# TYPE tesla_events_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("tesla_events_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("tesla_class_transitions_total{automaton=\"m\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE tesla_coverage_transitions gauge"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE tesla_dispatch_latency_ns histogram"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+
+  const std::string text = metrics::RenderText(snapshot);
+  EXPECT_NE(text.find("metrics mode: counters+histograms"), std::string::npos);
+  EXPECT_NE(text.find("per-class counters:"), std::string::npos);
+  EXPECT_NE(text.find("transition coverage:"), std::string::npos);
+}
+
+TEST(Metrics, JsonEscapesHostileAutomatonNames) {
+  metrics::Snapshot snapshot;
+  snapshot.mode = MetricsMode::kCounters;
+  metrics::ClassSnapshot cls;
+  cls.name = "quote\" backslash\\ newline\n";
+  for (size_t k = 0; k < metrics::kClassCounterCount; k++) {
+    cls.counters[k] = 0;
+  }
+  snapshot.classes.push_back(cls);
+  const std::string json = metrics::ToJson(snapshot);
+  EXPECT_NE(json.find("quote\\\" backslash\\\\ newline\\n"), std::string::npos);
+  const std::string prom = metrics::ToPrometheus(snapshot);
+  EXPECT_NE(prom.find("quote\\\" backslash\\\\ newline\\n"), std::string::npos);
+}
+
+TEST(Metrics, CaptureFooterRoundTripsAndReplayMatches) {
+  // Record a kernelsim run with counters on; the capture footer must carry
+  // the exact snapshot, and a replay must reproduce it byte-for-byte (the
+  // acceptance bar: counters and coverage are deterministic functions of the
+  // event sequence).
+  SetLogLevel(LogLevel::kSilent);
+  const std::string path = TempPath("tesla_metrics_roundtrip.trace");
+  RuntimeOptions options = TestOptions(MetricsMode::kCounters);
+  options.trace_mode = trace::TraceMode::kFullCapture;
+  Runtime rt(options);
+  auto manifest = kernelsim::KernelAssertions(kernelsim::kSetAll);
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_TRUE(rt.Register(manifest.value()).ok());
+
+  kernelsim::KernelConfig config;
+  config.tesla = &rt;
+  config.bugs.kqueue_missing_mac_check = true;
+  kernelsim::Kernel kernel(config);
+  kernelsim::Proc* proc = kernel.NewProcess(0);
+  kernelsim::KThread td = kernel.NewThread(proc);
+  kernelsim::OpenCloseLoop(kernel, td, 10);
+  int64_t sock = kernel.SysSocket(td);
+  kernel.SysConnect(td, sock);
+  kernel.SysPoll(td, sock, 1);
+  kernel.SysKevent(td, sock, 1);  // bug: poll without MAC check
+  ASSERT_GE(rt.stats().violations, 1u);
+
+  ASSERT_TRUE(trace::WriteCapture(path, "kernelsim:all", rt).ok());
+  const std::string recorded = metrics::ToJson(rt.CollectMetrics());
+
+  // The footer deserialises to the identical snapshot.
+  auto read = trace::TraceFile::Read(path);
+  ASSERT_TRUE(read.ok()) << read.error().ToString();
+  ASSERT_EQ(read.value().version, 2);
+  ASSERT_TRUE(read.value().summary.has_metrics);
+  EXPECT_EQ(metrics::ToJson(read.value().summary.metrics), recorded);
+
+  // Replaying reproduces counters and coverage exactly.
+  auto replayed = trace::ReplayFile(path);
+  ASSERT_TRUE(replayed.ok()) << replayed.error().ToString();
+  EXPECT_TRUE(replayed.value().matched) << replayed.value().divergence;
+  EXPECT_EQ(metrics::ToJson(replayed.value().metrics), recorded);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tesla

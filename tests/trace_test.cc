@@ -4,6 +4,7 @@
 // equivalence, growable site-variant buffers, and violation forensics.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -114,8 +115,18 @@ TEST(TraceRing, PartialFillHarvestsEverything) {
 TEST(TraceRing, HarvestDuringConcurrentWritesNeverTears) {
   constexpr uint64_t kPushes = 200000;
   TraceRing ring(64);
-  std::thread producer([&ring] {
+  // The producer stalls at the halfway mark until the consumer has harvested
+  // at least once: on a loaded machine the producer could otherwise finish
+  // before the first harvest, and the test would never observe a harvest
+  // racing live writes.
+  std::atomic<bool> harvested_once{false};
+  std::thread producer([&ring, &harvested_once] {
     for (uint64_t seq = 0; seq < kPushes; seq++) {
+      if (seq == kPushes / 2) {
+        while (!harvested_once.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      }
       ring.Push(SeqRecord(seq));
     }
   });
@@ -137,6 +148,7 @@ TEST(TraceRing, HarvestDuringConcurrentWritesNeverTears) {
       prev_seq = record.seq;
     }
     harvests++;
+    harvested_once.store(true, std::memory_order_release);
   }
   producer.join();
   EXPECT_GT(harvests, 1u);

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Minimal linter for Prometheus text exposition format 0.0.4.
+
+Validates the output of ``--metrics-out`` / ``tesla-trace stats --prom``
+without requiring a Prometheus install:
+
+  * every sample's metric family has a # HELP and # TYPE line, and the TYPE
+    precedes the first sample of that family;
+  * TYPE is one of counter/gauge/histogram/summary/untyped;
+  * counter sample names end in ``_total``; histogram samples use the
+    ``_bucket``/``_sum``/``_count`` suffixes and bucket counts are
+    monotonically non-decreasing in ``le`` order, ending at ``+Inf``;
+  * every sample value parses as a float and counters/bucket counts are
+    non-negative;
+  * label syntax is well-formed (key="value" with closed quotes).
+
+Usage: prom_lint.py <file> [<file> ...]   (exit 1 on any violation)
+"""
+
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>.*)\})?'
+    r'\s+(?P<value>\S+)'
+    r'(?:\s+(?P<timestamp>-?\d+))?$')
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(?:,|$)')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def base_family(name, types):
+    """Maps a sample name to its metric family name."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(path):
+    errors = []
+    helps = {}
+    types = {}
+    # family -> list of (le, count) for histogram bucket monotonicity.
+    buckets = {}
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                errors.append(f"{lineno}: HELP line missing text: {line!r}")
+            else:
+                helps[parts[2]] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"{lineno}: malformed TYPE line: {line!r}")
+                continue
+            if parts[3] not in VALID_TYPES:
+                errors.append(f"{lineno}: invalid TYPE {parts[3]!r} for {parts[2]}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"{lineno}: unparseable sample line: {line!r}")
+            continue
+        name = match.group("name")
+        labels_text = match.group("labels")
+        labels = {}
+        if labels_text is not None:
+            consumed = sum(len(m.group(0)) for m in LABEL_RE.finditer(labels_text))
+            labels = dict(LABEL_RE.findall(labels_text))
+            if consumed != len(labels_text):
+                errors.append(f"{lineno}: malformed labels {{{labels_text}}}")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            errors.append(f"{lineno}: value {match.group('value')!r} is not a float")
+            continue
+
+        family = base_family(name, types)
+        if family not in types:
+            errors.append(f"{lineno}: sample {name} has no preceding # TYPE line")
+            continue
+        if family not in helps:
+            errors.append(f"{lineno}: sample {name} has no # HELP line")
+        kind = types[family]
+        if kind == "counter":
+            if not name.endswith("_total"):
+                errors.append(f"{lineno}: counter sample {name} should end in _total")
+            if value < 0 or math.isnan(value):
+                errors.append(f"{lineno}: counter {name} has invalid value {value}")
+        elif kind == "histogram":
+            if not name.endswith(HISTOGRAM_SUFFIXES):
+                errors.append(f"{lineno}: histogram sample {name} has no "
+                              f"_bucket/_sum/_count suffix")
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"{lineno}: histogram bucket {name} missing le label")
+                else:
+                    le = float("inf") if labels["le"] == "+Inf" else float(labels["le"])
+                    key = (family, tuple(sorted((k, v) for k, v in labels.items()
+                                                if k != "le")))
+                    buckets.setdefault(key, []).append((lineno, le, value))
+            if value < 0 or math.isnan(value):
+                errors.append(f"{lineno}: histogram {name} has invalid value {value}")
+
+    for (family, _series), series in buckets.items():
+        if series != sorted(series, key=lambda entry: entry[1]):
+            errors.append(f"{family}: buckets not in increasing le order")
+        last = -1.0
+        for lineno, le, count in series:
+            if count < last:
+                errors.append(f"{lineno}: {family} bucket le={le} count {count} "
+                              f"below previous bucket ({last}) — not cumulative")
+            last = count
+        if not series or not math.isinf(series[-1][1]):
+            errors.append(f"{family}: bucket series does not end with le=\"+Inf\"")
+
+    samples = sum(1 for line in lines
+                  if line.strip() and not line.startswith("#"))
+    return errors, samples, len(types)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in sys.argv[1:]:
+        errors, samples, families = lint(path)
+        if errors:
+            failed = True
+            print(f"{path}: {len(errors)} problem(s):", file=sys.stderr)
+            for error in errors:
+                print(f"  {path}:{error}", file=sys.stderr)
+        else:
+            print(f"{path}: OK ({samples} samples across {families} families)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,23 @@
 // tesla-trace: inspect and replay TESLA trace captures.
 //
 //   tesla-trace dump   <file>   print the header and every record
-//   tesla-trace stats  <file>   print the capture's semantic summary
+//   tesla-trace stats  <file>   print the capture's semantic summary and,
+//                               for v2 captures with an embedded metrics
+//                               footer, the per-class counters, latency
+//                               histograms and transition-coverage table
+//                               (--json / --prom re-emit that snapshot as
+//                               JSON or Prometheus text instead)
 //   tesla-trace replay <file>   re-run the events through a fresh Runtime
-//                               and verify stats + violations match;
-//                               exit 0 on an exact reproduction
+//                               and verify stats, violations and — when the
+//                               capture embeds metrics — per-class counters
+//                               and transition coverage all match; exit 0 on
+//                               an exact reproduction
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "metrics/snapshot.h"
 #include "support/log.h"
 #include "trace/forensics.h"
 #include "trace/format.h"
@@ -22,7 +30,8 @@ using namespace tesla;
 using namespace tesla::trace;
 
 int Usage() {
-  std::fprintf(stderr, "usage: tesla-trace {dump|stats|replay} <capture-file>\n");
+  std::fprintf(stderr,
+               "usage: tesla-trace {dump|stats|replay} <capture-file> [--json|--prom]\n");
   std::fprintf(stderr, "known origins:");
   for (const std::string& origin : KnownOrigins()) {
     std::fprintf(stderr, " %s", origin.c_str());
@@ -68,9 +77,27 @@ int Dump(const TraceFile& file) {
   return 0;
 }
 
-int Stats(const TraceFile& file) {
+int Stats(const TraceFile& file, const std::string& format) {
+  if (format == "--json" || format == "--prom") {
+    if (!file.summary.has_metrics) {
+      std::fprintf(stderr, "tesla-trace: capture has no metrics footer "
+                           "(record with metrics_mode != off)\n");
+      return 1;
+    }
+    const std::string out = format == "--json" ? metrics::ToJson(file.summary.metrics)
+                                               : metrics::ToPrometheus(file.summary.metrics);
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return 0;
+  }
   PrintHeader(file);
   PrintSummary(file);
+  if (file.summary.has_metrics) {
+    std::printf("\n%s", metrics::RenderText(file.summary.metrics).c_str());
+    const std::string uncovered = metrics::RenderUncovered(file.summary.metrics);
+    if (!uncovered.empty()) {
+      std::printf("\n%s", uncovered.c_str());
+    }
+  }
   return 0;
 }
 
@@ -88,18 +115,27 @@ int Replay(const std::string& path) {
     std::printf("DIVERGED:\n%s", result.divergence.c_str());
     return 1;
   }
-  std::printf("capture reproduced exactly: stats and violation sequence match\n");
+  if (!result.metrics.classes.empty()) {
+    std::printf("capture reproduced exactly: stats, violation sequence, per-class "
+                "counters and transition coverage match\n");
+  } else {
+    std::printf("capture reproduced exactly: stats and violation sequence match\n");
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
+  if (argc != 3 && argc != 4) {
     return Usage();
   }
   const std::string command = argv[1];
   const std::string path = argv[2];
+  const std::string format = argc == 4 ? argv[3] : "";
+  if (!format.empty() && (command != "stats" || (format != "--json" && format != "--prom"))) {
+    return Usage();
+  }
   if (command == "replay") {
     return Replay(path);
   }
@@ -111,5 +147,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "tesla-trace: %s\n", read.error().ToString().c_str());
     return 1;
   }
-  return command == "dump" ? Dump(read.value()) : Stats(read.value());
+  return command == "dump" ? Dump(read.value()) : Stats(read.value(), format);
 }
