@@ -8,12 +8,14 @@
 // events push duplicate cursors, leaving the UI in the wrong state.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "metrics/snapshot.h"
 #include "objsim/appkit.h"
 #include "objsim/trace.h"
+#include "queue/queue.h"
 #include "runtime/runtime.h"
 #include "trace/replay.h"
 
@@ -53,14 +55,18 @@ int main(int argc, char** argv) {
   // --trace-out <path>: record the whole run and write a replayable capture.
   // --metrics-out <path>: write the metrics snapshot (.json → JSON, else
   // Prometheus text) after the session ends.
+  // --async-queue: dispatch through a tesla::queue consumer thread instead
+  // of inline on the run-loop thread.
   const char* trace_out = nullptr;
   const char* metrics_out = nullptr;
-  for (int i = 1; i + 1 < argc; i++) {
-    if (std::strcmp(argv[i], "--trace-out") == 0) {
-      trace_out = argv[i + 1];
-    }
-    if (std::strcmp(argv[i], "--metrics-out") == 0) {
-      metrics_out = argv[i + 1];
+  bool async_queue = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--async-queue") == 0) {
+      async_queue = true;
     }
   }
 
@@ -72,8 +78,18 @@ int main(int argc, char** argv) {
   if (metrics_out != nullptr) {
     options.metrics_mode = metrics::MetricsMode::kFull;
   }
+  options.async_queue = async_queue;
   runtime::Runtime tesla_rt(options);
   runtime::ThreadContext ctx(tesla_rt);
+
+  // With --async-queue the interposed AppKit messages pay only an SPSC
+  // enqueue; Stop() below flushes before the trace is analysed.
+  std::unique_ptr<queue::EventQueue> queue;
+  if (options.async_queue) {
+    queue = std::make_unique<queue::EventQueue>(
+        tesla_rt, queue::QueueOptions::FromRuntime(options));
+    queue->Start();
+  }
 
   ObjcRuntime objc(TraceMode::kTesla);
   AppKitConfig config;
@@ -95,6 +111,12 @@ int main(int argc, char** argv) {
   std::vector<UiEvent> sweep = MouseSweep(18);
   for (int frame = 0; frame < 6; frame++) {
     app.RunLoopIteration(std::span<const UiEvent>(sweep.data(), sweep.size()));
+  }
+
+  // Flush and stop before the analysis: every interposed message has been
+  // dispatched, so the trace below matches an inline run.
+  if (queue != nullptr) {
+    queue->Stop();
   }
 
   std::printf("run-loop iterations: %llu, messages traced: %llu, violations: %llu\n\n",

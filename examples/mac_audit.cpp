@@ -11,10 +11,13 @@
 #include <cstring>
 #include <string>
 
+#include <memory>
+
 #include "kernelsim/assertions.h"
 #include "kernelsim/kernel.h"
 #include "kernelsim/workloads.h"
 #include "metrics/snapshot.h"
+#include "queue/queue.h"
 #include "runtime/runtime.h"
 #include "support/log.h"
 #include "trace/replay.h"
@@ -61,14 +64,18 @@ int main(int argc, char** argv) {
   // --trace-out <path>: record the whole run and write a replayable capture.
   // --metrics-out <path>: write the metrics snapshot (.json → JSON, else
   // Prometheus text) after the workloads finish.
+  // --async-queue: dispatch through a tesla::queue consumer thread instead
+  // of inline on the simulated kernel's thread.
   const char* trace_out = nullptr;
   const char* metrics_out = nullptr;
-  for (int i = 1; i + 1 < argc; i++) {
-    if (std::strcmp(argv[i], "--trace-out") == 0) {
-      trace_out = argv[i + 1];
-    }
-    if (std::strcmp(argv[i], "--metrics-out") == 0) {
-      metrics_out = argv[i + 1];
+  bool async_queue = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--async-queue") == 0) {
+      async_queue = true;
     }
   }
 
@@ -82,7 +89,22 @@ int main(int argc, char** argv) {
   if (metrics_out != nullptr) {
     options.metrics_mode = metrics::MetricsMode::kFull;
   }
+  options.async_queue = async_queue;
   runtime::Runtime rt(options);
+
+  // With --async-queue the kernel's instrumentation pays only an SPSC
+  // enqueue; this consumer thread absorbs dispatch. Flush() is the
+  // checkpoint barrier before each violation-count read below.
+  std::unique_ptr<queue::EventQueue> queue;
+  if (options.async_queue) {
+    queue = std::make_unique<queue::EventQueue>(rt, queue::QueueOptions::FromRuntime(options));
+    queue->Start();
+  }
+  auto checkpoint = [&queue] {
+    if (queue != nullptr) {
+      queue->Flush();
+    }
+  };
 
   auto manifest = KernelAssertions(kSetAll);
   if (!manifest.ok()) {
@@ -102,8 +124,9 @@ int main(int argc, char** argv) {
   config.bugs.poll_uses_file_credential = true;
   config.bugs.setuid_skips_sugid_flag = true;
   Kernel kernel(config);
-  std::printf("kernel booted with %zu TESLA automata and 3 injected bugs\n\n",
-              rt.class_count());
+  std::printf("kernel booted with %zu TESLA automata and 3 injected bugs%s\n\n",
+              rt.class_count(),
+              queue != nullptr ? " (async ingestion queue)" : "");
 
   Proc* proc = kernel.NewProcess(0);
   KThread td = kernel.NewThread(proc);
@@ -111,6 +134,7 @@ int main(int argc, char** argv) {
   std::printf("== background workloads (clean paths) ==\n");
   OpenCloseLoop(kernel, td, 200);
   BuildCompile(kernel, td, 20, 1);
+  checkpoint();
   std::printf("  open/close and build traffic: %llu violations (expected 0)\n\n",
               static_cast<unsigned long long>(audit.count()));
 
@@ -120,24 +144,34 @@ int main(int argc, char** argv) {
   kernel.SysSend(td, sock, 64);
   kernel.SysPoll(td, sock, 1);
   kernel.SysSelect(td, sock, 1);
+  checkpoint();
   std::printf("  still %llu violations — poll/select do perform the MAC check\n\n",
               static_cast<unsigned long long>(audit.count()));
 
   std::printf("== bug 1: kqueue-based polling ==\n");
   kernel.SysKevent(td, sock, 1);
+  checkpoint();
 
   std::printf("\n== bug 2: poll after a credential change ==\n");
   // The socket's cached f_cred now differs from the active credential; the
   // buggy call graph authorises with the wrong one.
   kernel.SysSetuid(td, 0);
+  checkpoint();
   uint64_t before = audit.count();
   kernel.SysPoll(td, sock, 1);
+  checkpoint();
   if (audit.count() == before) {
     std::printf("  (no violation reported?)\n");
   }
 
   std::printf("\n== bug 3: setuid without P_SUGID (eventually-property) ==\n");
   kernel.SysSetuid(td, 5);
+
+  // Flush and stop before the summary: every enqueued event is dispatched,
+  // so the stats, capture and metrics below match an inline run.
+  if (queue != nullptr) {
+    queue->Stop();
+  }
 
   std::printf("\n== audit summary ==\n");
   std::printf("  violations: %llu (3 distinct bugs)\n",

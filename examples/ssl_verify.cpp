@@ -8,9 +8,11 @@
 // cannot see.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "metrics/snapshot.h"
+#include "queue/queue.h"
 #include "runtime/runtime.h"
 #include "support/log.h"
 #include "sslsim/fetch.h"
@@ -58,14 +60,18 @@ int main(int argc, char** argv) {
   // --trace-out <path>: record the whole run and write a replayable capture.
   // --metrics-out <path>: write the metrics snapshot (.json → JSON, else
   // Prometheus text) after the fetches finish.
+  // --async-queue: dispatch through a tesla::queue consumer thread instead
+  // of inline on the fetching thread.
   const char* trace_out = nullptr;
   const char* metrics_out = nullptr;
-  for (int i = 1; i + 1 < argc; i++) {
-    if (std::strcmp(argv[i], "--trace-out") == 0) {
-      trace_out = argv[i + 1];
-    }
-    if (std::strcmp(argv[i], "--metrics-out") == 0) {
-      metrics_out = argv[i + 1];
+  bool async_queue = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--async-queue") == 0) {
+      async_queue = true;
     }
   }
 
@@ -79,7 +85,22 @@ int main(int argc, char** argv) {
   if (metrics_out != nullptr) {
     options.metrics_mode = metrics::MetricsMode::kFull;
   }
+  options.async_queue = async_queue;
   runtime::Runtime rt(options);
+
+  // With --async-queue the fetch path pays only an SPSC enqueue; Flush() is
+  // the checkpoint barrier before each violation read below.
+  std::unique_ptr<queue::EventQueue> queue;
+  if (options.async_queue) {
+    queue = std::make_unique<queue::EventQueue>(rt, queue::QueueOptions::FromRuntime(options));
+    queue->Start();
+  }
+  auto checkpoint = [&queue] {
+    if (queue != nullptr) {
+      queue->Flush();
+    }
+  };
+
   auto manifest = FetchAssertions();
   if (!manifest.ok() || !rt.Register(manifest.value()).ok()) {
     std::fprintf(stderr, "failed to register the fig. 6 assertion\n");
@@ -98,6 +119,7 @@ int main(int argc, char** argv) {
   std::printf("== fetching from an honest server ==\n");
   Server honest = Server::Honest(0x5eed, "<html>the real page</html>");
   FetchResult good = vulnerable_client.FetchDocument(honest);
+  checkpoint();
   std::printf("  fetched: %s (EVP_VerifyFinal returned %lld)\n",
               good.document.c_str(), static_cast<long long>(good.verify_result));
   std::printf("  TESLA violations: %s\n\n", printer.fired() ? "YES" : "none");
@@ -106,6 +128,7 @@ int main(int argc, char** argv) {
   printer.Reset();
   Server malicious = Server::Malicious(0x5eed, "<html>attacker content</html>");
   FetchResult bad = vulnerable_client.FetchDocument(malicious);
+  checkpoint();
   std::printf("  the client *believes* it fetched: %s\n", bad.document.c_str());
   std::printf("  EVP_VerifyFinal actually returned %lld (exceptional failure)\n",
               static_cast<long long>(bad.verify_result));
@@ -118,6 +141,12 @@ int main(int argc, char** argv) {
   fixed.correct_verify_check = true;
   FetchClient fixed_client(instr, fixed);
   FetchResult rejected = fixed_client.FetchDocument(malicious);
+
+  // Flush and stop before the verdicts: the capture and metrics below then
+  // match an inline run exactly.
+  if (queue != nullptr) {
+    queue->Stop();
+  }
   std::printf("  connection %s; TESLA violations: %s\n",
               rejected.ok ? "succeeded (!)" : "refused",
               printer.fired() ? "YES" : "none (no site reached)");

@@ -72,7 +72,7 @@ std::string ToJson(const Snapshot& snapshot) {
   out.reserve(4096);
   AppendF(&out, "{\n  \"mode\": \"%s\",\n  \"stats\": {", MetricsModeName(snapshot.mode));
   bool first = true;
-#define TESLA_STATS_JSON(name, desc)                                    \
+#define TESLA_STATS_JSON(name, desc, replay)                                    \
   AppendF(&out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",", #name,    \
           snapshot.stats.name);                                         \
   first = false;
@@ -130,7 +130,7 @@ std::string ToPrometheus(const Snapshot& snapshot) {
   out.reserve(4096);
 
   // Global counters: one family per RuntimeStats field.
-#define TESLA_STATS_PROM(name, desc)                                       \
+#define TESLA_STATS_PROM(name, desc, replay)                                       \
   AppendF(&out,                                                            \
           "# HELP tesla_%s_total %s\n# TYPE tesla_%s_total counter\n"      \
           "tesla_%s_total %" PRIu64 "\n",                                  \
@@ -207,7 +207,7 @@ std::string RenderText(const Snapshot& snapshot) {
   AppendF(&out, "metrics mode: %s\n", MetricsModeName(snapshot.mode));
 
   out.append("\nglobal stats:\n");
-#define TESLA_STATS_TEXT(name, desc) \
+#define TESLA_STATS_TEXT(name, desc, replay) \
   AppendF(&out, "  %-25s %12" PRIu64 "   %s\n", #name, snapshot.stats.name, desc);
   TESLA_RUNTIME_STATS(TESLA_STATS_TEXT)
 #undef TESLA_STATS_TEXT

@@ -1,0 +1,230 @@
+#include "queue/queue.h"
+
+#include <chrono>
+
+namespace tesla::queue {
+namespace {
+
+// Process-wide queue id source. Ids are never reused, so a thread_local
+// producer cache stamped with an id can never alias a destroyed queue.
+std::atomic<uint64_t> next_queue_id{1};
+
+}  // namespace
+
+QueueOptions QueueOptions::FromRuntime(const runtime::RuntimeOptions& options) {
+  QueueOptions queue;
+  queue.on_full = options.queue_drop_on_full ? OnFull::kDrop : OnFull::kBlock;
+  queue.ring_capacity = options.queue_ring_capacity;
+  queue.batch_events = options.queue_batch_events;
+  return queue;
+}
+
+EventQueue::EventQueue(runtime::Runtime& rt, QueueOptions options)
+    : rt_(rt),
+      options_(options),
+      id_(next_queue_id.fetch_add(1, std::memory_order_relaxed)) {
+  if (options_.ring_capacity == 0) {
+    options_.ring_capacity = 1;
+  }
+  if (options_.batch_events == 0) {
+    options_.batch_events = 1;
+  }
+}
+
+EventQueue::~EventQueue() { Stop(); }
+
+void EventQueue::Start() {
+  if (running_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  consumer_ = std::thread(&EventQueue::ConsumerMain, this);
+  if (options_.install_hook) {
+    rt_.SetIngestHook(&EventQueue::IngestThunk, this);
+  }
+}
+
+void EventQueue::Stop() {
+  if (!running_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (options_.install_hook) {
+    rt_.SetIngestHook(nullptr, nullptr);
+  }
+  // Reject new enqueues (and release any kBlock spinner) before asking the
+  // consumer to flush, so the "empty round after observing stop" exit
+  // condition is a real flush barrier rather than a race with producers.
+  running_.store(false, std::memory_order_release);
+  stop_.store(true, std::memory_order_release);
+  consumer_.join();
+}
+
+void EventQueue::Flush() const {
+  const uint64_t target = totals().enqueued;
+  while (running_.load(std::memory_order_acquire) &&
+         dispatched_.load(std::memory_order_acquire) < target) {
+    std::this_thread::yield();
+  }
+}
+
+bool EventQueue::IngestThunk(void* state, runtime::ThreadContext& ctx,
+                             const runtime::Event& event) {
+  return static_cast<EventQueue*>(state)->Enqueue(ctx, event);
+}
+
+EventQueue::Producer& EventQueue::LocalProducer() {
+  static thread_local uint64_t cached_queue = 0;
+  static thread_local Producer* cached = nullptr;
+  if (cached_queue != id_) {
+    cached = &RegisterProducer();
+    cached_queue = id_;
+  }
+  return *cached;
+}
+
+EventQueue::Producer& EventQueue::RegisterProducer() {
+  const std::thread::id self = std::this_thread::get_id();
+  LockGuard<Spinlock> guard(producers_lock_);
+  // Re-registration (the thread's cache was evicted by another queue) must
+  // find the existing producer: a second ring for the same thread would
+  // break its FIFO guarantee.
+  for (auto& producer : producers_) {
+    if (producer->owner == self) {
+      return *producer;
+    }
+  }
+  producers_.push_back(std::make_unique<Producer>(options_.ring_capacity, self));
+  return *producers_.back();
+}
+
+bool EventQueue::Enqueue(runtime::ThreadContext& ctx, const runtime::Event& event) {
+  Producer& producer = LocalProducer();
+  if (!running_.load(std::memory_order_acquire)) {
+    producer.rejected.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (producer.ring.TryPush(&ctx, event)) {
+    producer.enqueued.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (options_.on_full == QueueOptions::OnFull::kDrop) {
+    producer.dropped.fetch_add(1, std::memory_order_relaxed);
+    rt_.AccountQueueDrops(1);
+    return true;  // taken by policy: dropped, never dispatched inline
+  }
+  // kBlock: wait for the consumer to free a slot. Bails out (rejecting the
+  // event) if the queue stops while we wait, so Stop() can never deadlock
+  // against a blocked producer.
+  while (true) {
+    std::this_thread::yield();
+    if (!running_.load(std::memory_order_acquire)) {
+      producer.rejected.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (producer.ring.TryPush(&ctx, event)) {
+      producer.enqueued.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+}
+
+void EventQueue::ConsumerMain() {
+  std::vector<QueueRecord> batch;
+  std::vector<runtime::Event> scratch;
+  std::vector<Producer*> round;
+  batch.reserve(options_.batch_events);
+  scratch.reserve(options_.batch_events);
+  int idle_rounds = 0;
+  while (true) {
+    // Observe the stop flag *before* draining: events pushed before Stop()
+    // flipped it are then guaranteed to be seen by this or a later round,
+    // and an empty round after the observation means every ring is flushed.
+    const bool stopping = stop_.load(std::memory_order_acquire);
+
+    round.clear();
+    {
+      LockGuard<Spinlock> guard(producers_lock_);
+      for (auto& producer : producers_) {
+        round.push_back(producer.get());
+      }
+    }
+
+    size_t drained = 0;
+    for (Producer* producer : round) {
+      batch.clear();
+      if (producer->ring.Pop(batch, options_.batch_events) == 0) {
+        continue;
+      }
+      drained += batch.size();
+      DispatchBatch(batch, scratch);
+    }
+
+    if (drained != 0) {
+      idle_rounds = 0;
+      continue;
+    }
+    if (stopping) {
+      return;
+    }
+    // Idle: spin briefly (a producer is probably mid-burst), then back off
+    // so an idle queue doesn't burn a core.
+    if (++idle_rounds < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+}
+
+void EventQueue::DispatchBatch(const std::vector<QueueRecord>& batch,
+                               std::vector<runtime::Event>& scratch) {
+  // A ring is per-thread, so a popped batch is almost always one run; the
+  // split only matters for direct Enqueue() callers juggling contexts.
+  size_t i = 0;
+  while (i < batch.size()) {
+    runtime::ThreadContext* ctx = batch[i].ctx;
+    scratch.clear();
+    size_t j = i;
+    while (j < batch.size() && batch[j].ctx == ctx) {
+      scratch.push_back(batch[j].event);
+      j++;
+    }
+    rt_.OnEvents(*ctx, std::span<const runtime::Event>(scratch.data(), scratch.size()));
+    rt_.AccountQueueBatch(j - i);
+    dispatched_.fetch_add(j - i, std::memory_order_release);
+    i = j;
+  }
+}
+
+ProducerStats EventQueue::totals() const {
+  ProducerStats total;
+  LockGuard<Spinlock> guard(producers_lock_);
+  for (const auto& producer : producers_) {
+    total.enqueued += producer->enqueued.load(std::memory_order_relaxed);
+    total.dropped += producer->dropped.load(std::memory_order_relaxed);
+    total.rejected += producer->rejected.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<ProducerStats> EventQueue::producer_stats() const {
+  std::vector<ProducerStats> out;
+  LockGuard<Spinlock> guard(producers_lock_);
+  out.reserve(producers_.size());
+  for (const auto& producer : producers_) {
+    ProducerStats stats;
+    stats.enqueued = producer->enqueued.load(std::memory_order_relaxed);
+    stats.dropped = producer->dropped.load(std::memory_order_relaxed);
+    stats.rejected = producer->rejected.load(std::memory_order_relaxed);
+    out.push_back(stats);
+  }
+  return out;
+}
+
+size_t EventQueue::producer_count() const {
+  LockGuard<Spinlock> guard(producers_lock_);
+  return producers_.size();
+}
+
+}  // namespace tesla::queue

@@ -1,0 +1,165 @@
+// tesla::queue — the bounded asynchronous ingestion front-end.
+//
+// The paper's runtime sits inline on every instrumented call (§4.3): the
+// thread that executed the call also pays pattern matching, instance
+// updates and, for global automata, lock acquisition. An EventQueue moves
+// all of that off the instrumented hot path: producer threads enqueue
+// trivially-copyable runtime::Events into per-producer SPSC rings
+// (src/queue/ring.h) and a single consumer thread drains rounds of all
+// rings, feeding each run of same-context records through
+// Runtime::OnEvents() in batches. Instrumented callers pay only the
+// enqueue — tens of nanoseconds — regardless of how expensive dispatch is.
+//
+// Interposition. Start() installs a Runtime ingest hook, so the existing
+// entry points (scope guards, simulators, generated translators) route
+// through the queue with no caller changes; a hook return of false (queue
+// not running) falls back to inline dispatch. The hook runs before the
+// runtime touches the context, so while the queue is running the consumer
+// thread is the *only* mutator of every ThreadContext — producers just copy
+// the event and the context pointer into their ring.
+//
+// Ordering. Each producer's ring is FIFO and the consumer drains rings in
+// registration order, so events from one producer are dispatched in exactly
+// the order they were enqueued: per-producer violation order is
+// deterministic, matching what an inline run on that thread would report.
+// No order is defined *between* producers — the same as inline dispatch,
+// where cross-thread interleaving was already scheduler-chosen.
+//
+// Backpressure. A full ring either blocks the producer until the consumer
+// frees slots (QueueOptions::OnFull::kBlock — lossless, bounded memory) or
+// drops the event (kDrop — lossless callers, bounded latency), counted
+// per-producer and folded into RuntimeStats::queue_drops so the metrics
+// exposition surfaces it.
+//
+// Shutdown. Stop() uninstalls the hook, then lets the consumer drain every
+// ring to empty before joining: all accepted events are dispatched
+// (flush-on-stop), after which Enqueue() rejects. Producers must quiesce
+// (stop emitting) before Stop() for the flush guarantee to be total, and
+// every ThreadContext enqueued through must outlive Stop().
+#ifndef TESLA_QUEUE_QUEUE_H_
+#define TESLA_QUEUE_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "queue/ring.h"
+#include "runtime/runtime.h"
+#include "support/spinlock.h"
+
+namespace tesla::queue {
+
+struct QueueOptions {
+  // What a producer does when its ring is full: block until the consumer
+  // catches up, or drop the event (counted per producer and in
+  // RuntimeStats::queue_drops).
+  enum class OnFull { kBlock, kDrop };
+  OnFull on_full = OnFull::kBlock;
+
+  // Per-producer ring capacity in events: at least this many worst-case
+  // records always fit (records are variable-length, so small events pack
+  // denser — see ring.h).
+  size_t ring_capacity = 4096;
+
+  // Upper bound on events handed to one Runtime::OnEvents() call. Bounds
+  // shard-lock hold times when global automata are registered.
+  size_t batch_events = 256;
+
+  // Interpose on Runtime::OnEvent via the ingest hook (Start/Stop install
+  // and remove it). Off for callers that feed Enqueue() directly.
+  bool install_hook = true;
+
+  // Maps the RuntimeOptions queue knobs (options.h) onto a QueueOptions.
+  static QueueOptions FromRuntime(const runtime::RuntimeOptions& options);
+};
+
+// Per-producer accounting, all monotonic.
+struct ProducerStats {
+  uint64_t enqueued = 0;  // accepted into the ring
+  uint64_t dropped = 0;   // OnFull::kDrop with a full ring
+  uint64_t rejected = 0;  // Enqueue() while the queue was not running
+};
+
+class EventQueue {
+ public:
+  explicit EventQueue(runtime::Runtime& rt, QueueOptions options = {});
+  ~EventQueue();  // Stops if still running.
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Spawns the consumer thread and (install_hook) interposes on OnEvent.
+  // Idempotent while running; a stopped queue may be restarted.
+  void Start();
+
+  // Uninstalls the hook, flushes every ring (all accepted events are
+  // dispatched) and joins the consumer. Idempotent.
+  void Stop();
+
+  // Blocks until every event enqueued before the call has been dispatched,
+  // without stopping the queue — a checkpoint barrier for callers that want
+  // to read violation counts or stats mid-run. Only meaningful while the
+  // caller's producers are quiescent (otherwise the target moves). Returns
+  // immediately when the queue is not running. Dispatches completed before
+  // Flush() returns happen-before the return (release/acquire on the
+  // dispatched counter).
+  void Flush() const;
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Producer-side entry: copies `event` into the calling thread's ring.
+  // True when the queue took ownership (including a policy drop); false
+  // when the queue is not running — the caller should dispatch inline.
+  bool Enqueue(runtime::ThreadContext& ctx, const runtime::Event& event);
+
+  // Accounting snapshots (safe to call concurrently with producers).
+  ProducerStats totals() const;
+  std::vector<ProducerStats> producer_stats() const;
+  size_t producer_count() const;
+
+ private:
+  struct Producer {
+    Producer(size_t capacity, std::thread::id id) : ring(capacity), owner(id) {}
+    QueueRing ring;
+    std::thread::id owner;
+    // Written by the owning producer thread, read by stats snapshots.
+    std::atomic<uint64_t> enqueued{0};
+    std::atomic<uint64_t> dropped{0};
+    std::atomic<uint64_t> rejected{0};
+  };
+
+  // The calling thread's producer, registering it on first use. Cached in a
+  // thread_local keyed by the queue's process-unique id, so the cache can
+  // never alias a different (or destroyed) EventQueue.
+  Producer& LocalProducer();
+  Producer& RegisterProducer();
+
+  static bool IngestThunk(void* state, runtime::ThreadContext& ctx,
+                          const runtime::Event& event);
+
+  void ConsumerMain();
+  // Dispatches one popped batch, splitting it into runs of records sharing
+  // a serialisation context.
+  void DispatchBatch(const std::vector<QueueRecord>& batch,
+                     std::vector<runtime::Event>& scratch);
+
+  runtime::Runtime& rt_;
+  QueueOptions options_;
+  const uint64_t id_;  // process-unique, for the thread_local producer cache
+
+  std::atomic<bool> running_{false};  // gates Enqueue
+  std::atomic<bool> stop_{false};     // tells the consumer to flush and exit
+  // Events the consumer has fed through OnEvents, cumulative across
+  // restarts (as the producer counters are). Drives Flush().
+  std::atomic<uint64_t> dispatched_{0};
+  std::thread consumer_;
+
+  mutable Spinlock producers_lock_;  // guards the vector, not the rings
+  std::vector<std::unique_ptr<Producer>> producers_;
+};
+
+}  // namespace tesla::queue
+
+#endif  // TESLA_QUEUE_QUEUE_H_

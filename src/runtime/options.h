@@ -62,6 +62,21 @@ struct RuntimeOptions {
   // Events shown in a violation's temporal backtrace.
   size_t trace_backtrace_events = 16;
 
+  // Asynchronous ingestion (src/queue, layered above the runtime): when
+  // async_queue is set, frontends construct an EventQueue over this runtime
+  // so instrumented callers pay only an SPSC-ring enqueue and one consumer
+  // thread runs all dispatch. The knobs live here so one options struct
+  // configures a whole run (the runtime itself never reads them; see
+  // queue::QueueOptions::FromRuntime).
+  bool async_queue = false;
+  // Per-producer ring slots (rounded up to a power of two).
+  size_t queue_ring_capacity = 4096;
+  // Max events per consumer Runtime::OnEvents() batch.
+  size_t queue_batch_events = 256;
+  // Full-ring policy: false blocks the producer (lossless), true drops the
+  // event and counts it (RuntimeStats::queue_drops).
+  bool queue_drop_on_full = false;
+
   // Continuous observability (src/metrics). kCounters keeps per-class
   // counters and the transition-coverage bitmap (a few ns/event, sharded
   // single-writer cells merged only at snapshot time); kFull additionally
@@ -96,7 +111,16 @@ const char* ViolationKindName(ViolationKind kind);
 // for the struct itself, the trace-capture footer table (trace::kStatsFields)
 // and the metrics exposition — a counter added or removed here moves every
 // consumer at once, so a field can never be silently dropped from the wire.
-// Order matters: it is the footer's field order.
+// Order matters: it is the footer's field order, and captures written by
+// older builds carry a prefix of this list (see trace/format.h) — new
+// counters may only be appended, never inserted or reordered.
+//
+// The third column is replay comparability: 1 when a faithful replay of the
+// captured event stream must reproduce the counter exactly, 0 for counters
+// fed by ingestion-side or wall-clock machinery (the async queue front-end,
+// dispatch timing) that a replay legitimately does not reproduce. Replay
+// still records and displays the 0-column fields; it just never calls a
+// mismatch a divergence.
 //
 // Notes on individual fields:
 //   * accepts — automaton acceptance (§4.4.2 finalisation).
@@ -105,30 +129,45 @@ const char* ViolationKindName(ViolationKind kind);
 //   * site_variant_truncations — incallstack() variants dropped at a site;
 //     always zero since the site symbol buffer became growable, kept so
 //     stats consumers and the trace-file footer keep a stable schema.
+//   * unmatched_returns — kFunctionReturn with no tracked call to match
+//     (stream starts mid-call, e.g. a wrapped flight-recorder capture);
+//     the per-context stack depth is clamped at zero instead of going
+//     negative and poisoning incallstack() for the rest of the run.
+//   * negative_latencies — dispatch timings whose clock delta came back
+//     negative; the sample is clamped into bucket 0, and counted here so a
+//     stepped clock cannot quietly drag the histogram p50 down.
+//   * queue_* — the tesla::queue async ingestion front-end: events
+//     delivered through consumer batches, events dropped at enqueue under
+//     the drop policy, and OnEvents batches dispatched.
 #define TESLA_RUNTIME_STATS(X)                                                \
-  X(events, "program events examined")                                        \
-  X(bound_entries, "temporal-bound entries (init transitions or lazy epoch bumps)") \
-  X(bound_exits, "temporal-bound exits (cleanup sweeps)")                     \
-  X(instances_created, "automaton instances created")                         \
-  X(instances_cloned, "automaton instances cloned")                           \
-  X(transitions, "automaton transitions taken")                               \
-  X(accepts, "automaton acceptances")                                         \
-  X(violations, "assertion violations reported")                              \
-  X(overflows, "instance-pool overflows (events dropped)")                    \
-  X(ignored_events, "events consumable by no instance (non-strict)")          \
-  X(arg_truncations, "events with truncated argument lists")                  \
-  X(index_probes, "dispatches answered by one index-bucket probe")            \
-  X(index_scans, "indexed dispatches falling back to a full scan")            \
-  X(site_variant_truncations, "incallstack() site variants dropped (always 0)")
+  X(events, "program events examined", 1)                                     \
+  X(bound_entries, "temporal-bound entries (init transitions or lazy epoch bumps)", 1) \
+  X(bound_exits, "temporal-bound exits (cleanup sweeps)", 1)                  \
+  X(instances_created, "automaton instances created", 1)                      \
+  X(instances_cloned, "automaton instances cloned", 1)                        \
+  X(transitions, "automaton transitions taken", 1)                            \
+  X(accepts, "automaton acceptances", 1)                                      \
+  X(violations, "assertion violations reported", 1)                           \
+  X(overflows, "instance-pool overflows (events dropped)", 1)                 \
+  X(ignored_events, "events consumable by no instance (non-strict)", 1)       \
+  X(arg_truncations, "events with truncated argument lists", 1)               \
+  X(index_probes, "dispatches answered by one index-bucket probe", 1)         \
+  X(index_scans, "indexed dispatches falling back to a full scan", 1)         \
+  X(site_variant_truncations, "incallstack() site variants dropped (always 0)", 1) \
+  X(unmatched_returns, "function returns with no matching tracked call", 1)   \
+  X(negative_latencies, "dispatch timings with a negative clock delta (clamped)", 0) \
+  X(queue_events, "events delivered through the async ingestion queue", 0)    \
+  X(queue_drops, "events dropped at enqueue (async queue, drop policy)", 0)   \
+  X(queue_batches, "consumer batches dispatched by the async queue", 0)
 
 struct RuntimeStats {
-#define TESLA_STATS_MEMBER(name, desc) uint64_t name = 0;
+#define TESLA_STATS_MEMBER(name, desc, replay) uint64_t name = 0;
   TESLA_RUNTIME_STATS(TESLA_STATS_MEMBER)
 #undef TESLA_STATS_MEMBER
 };
 
 inline constexpr size_t kRuntimeStatsFieldCount = 0
-#define TESLA_STATS_COUNT(name, desc) +1
+#define TESLA_STATS_COUNT(name, desc, replay) +1
     TESLA_RUNTIME_STATS(TESLA_STATS_COUNT)
 #undef TESLA_STATS_COUNT
     ;

@@ -458,6 +458,14 @@ ClassState& Runtime::StateFor(ThreadContext& ctx, uint32_t class_id) {
 // --- the unified event entry point ---
 
 void Runtime::OnEvent(ThreadContext& ctx, const Event& event) {
+  // The ingest hook runs before the context is touched at all: with the
+  // async queue installed, the producer thread only copies the event into a
+  // ring while the consumer thread is the context's sole mutator.
+  if (IngestHook hook = ingest_hook_.load(std::memory_order_acquire)) {
+    if (hook(ingest_state_.load(std::memory_order_acquire), ctx, event)) {
+      return;
+    }
+  }
   EnsurePlanCapacity(ctx);
   DispatchEvent(ctx, event);
 }
@@ -471,17 +479,28 @@ void Runtime::OnEvents(ThreadContext& ctx, std::span<const Event> events) {
     // Take every shard lock once for the whole batch, in ascending order
     // (concurrent batches on other threads acquire in the same order, so
     // there is no cycle). The per-event acquisitions inside DispatchEvent
-    // see ShardLocksHeld() and elide themselves.
-    for (auto& shard : shards_) {
-      shard->lock.lock();
-    }
-    batch_shard_owner_ = this;
+    // see ShardLocksHeld() and elide themselves. The guard releases in
+    // reverse order and clears the owner even when a violation handler
+    // throws out of DispatchEvent — a leaked shard lock (or a stale owner
+    // marking locks as held that aren't) deadlocks every later dispatch.
+    struct BatchShardLocks {
+      Runtime& rt;
+      explicit BatchShardLocks(Runtime& runtime) : rt(runtime) {
+        for (auto& shard : rt.shards_) {
+          shard->lock.lock();
+        }
+        Runtime::batch_shard_owner_ = &rt;
+      }
+      ~BatchShardLocks() {
+        Runtime::batch_shard_owner_ = nullptr;
+        for (auto it = rt.shards_.rbegin(); it != rt.shards_.rend(); ++it) {
+          (*it)->lock.unlock();
+        }
+      }
+    };
+    BatchShardLocks locks(*this);
     for (const Event& event : events) {
       DispatchEvent(ctx, event);
-    }
-    batch_shard_owner_ = nullptr;
-    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
-      (*it)->lock.unlock();
     }
     return;
   }
@@ -521,6 +540,12 @@ void Runtime::DispatchEvent(ThreadContext& ctx, const Event& event) {
     const auto elapsed = std::chrono::steady_clock::now() - start;
     const int64_t ns =
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    if (ns < 0) {
+      // A stepped clock produced a negative delta. The sample still lands
+      // in bucket 0 (dropping it would skew sample counts), but it is
+      // counted so a depressed p50 can be traced to the clock, not TESLA.
+      Bump(stats_.negative_latencies);
+    }
     ctx.metrics_->RecordLatency(static_cast<size_t>(event.kind),
                                 ns > 0 ? static_cast<uint64_t>(ns) : 0);
   }
@@ -535,7 +560,15 @@ void Runtime::ProcessFunctionEvent(ThreadContext& ctx, const Event& event) {
   const KeyPlan& plan = function_plan_[key];
 
   if (plan.stack_slot >= 0) {
-    ctx.stack_depth_[plan.stack_slot] += is_return ? -1 : 1;
+    int32_t& depth = ctx.stack_depth_[plan.stack_slot];
+    if (is_return && depth == 0) {
+      // A return with no tracked call: the stream started mid-call (e.g. a
+      // wrapped flight-recorder capture). Clamp instead of going negative,
+      // which would poison incallstack() for the rest of the run.
+      Bump(stats_.unmatched_returns);
+    } else {
+      depth += is_return ? -1 : 1;
+    }
   }
 
   // 1. «init» transitions for bounds opened by this event.

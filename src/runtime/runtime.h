@@ -30,6 +30,7 @@
 #ifndef TESLA_RUNTIME_RUNTIME_H_
 #define TESLA_RUNTIME_RUNTIME_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -140,6 +141,32 @@ class Runtime {
   // --- the unified event entry point ---
 
   void OnEvent(ThreadContext& ctx, const Event& event);
+
+  // Async ingestion interposition (src/queue). When a hook is installed,
+  // OnEvent offers every event to it *before* touching the context or any
+  // dispatch state; a true return means the hook took ownership (queued it
+  // for dispatch elsewhere) and OnEvent returns immediately. A false return
+  // falls back to inline dispatch. A plain function pointer plus state —
+  // not std::function — so the uninstalled fast path is one relaxed-ish
+  // atomic load. Install with SetIngestHook(hook, state); uninstall with
+  // SetIngestHook(nullptr, nullptr) — the queue drains in-flight events
+  // itself before uninstalling.
+  using IngestHook = bool (*)(void* state, ThreadContext& ctx, const Event& event);
+  void SetIngestHook(IngestHook hook, void* state) {
+    // State first, hook second: a reader that observes the hook (acquire)
+    // is guaranteed to observe its matching state.
+    ingest_state_.store(state, std::memory_order_release);
+    ingest_hook_.store(hook, std::memory_order_release);
+  }
+
+  // Queue-side accounting (folded into RuntimeStats so the existing
+  // exposition formats surface it): a consumer batch of `events` events
+  // dispatched, and `dropped` events rejected at enqueue.
+  void AccountQueueBatch(uint64_t events) {
+    Bump(stats_.queue_events, events);
+    Bump(stats_.queue_batches);
+  }
+  void AccountQueueDrops(uint64_t dropped) { Bump(stats_.queue_drops, dropped); }
 
   // Batch ingestion: semantically identical to calling OnEvent once per
   // element, but amortises the per-call overheads — plan-capacity checks run
@@ -416,6 +443,9 @@ class Runtime {
 
   RuntimeOptions options_;
   RuntimeStats stats_;
+  // Async ingestion interposition (SetIngestHook): read first in OnEvent.
+  std::atomic<IngestHook> ingest_hook_{nullptr};
+  std::atomic<void*> ingest_state_{nullptr};
   std::vector<CompiledClass> classes_;
   std::vector<EventHandler*> handlers_;
   std::unordered_map<std::string, uint32_t> by_name_;

@@ -9,11 +9,13 @@
 #ifndef TESLA_SUPPORT_INTERN_H_
 #define TESLA_SUPPORT_INTERN_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace tesla {
 
@@ -32,6 +34,12 @@ struct TransparentStringHash {
   }
 };
 
+// Thread-safe: interning happens at parse/registration/instrumentation
+// time, never on the dispatch hot path (events carry Symbols), so one
+// mutex over the table is plenty — but producers feeding the async queue
+// may intern from any thread, so it must be there. The spellings live in a
+// deque: references handed out by Spelling() stay valid across later
+// Intern() calls.
 class StringInterner {
  public:
   StringInterner() { Intern(""); }
@@ -40,6 +48,7 @@ class StringInterner {
   StringInterner& operator=(const StringInterner&) = delete;
 
   Symbol Intern(std::string_view text) {
+    std::lock_guard<std::mutex> guard(mutex_);
     auto it = index_.find(text);
     if (it != index_.end()) {
       return it->second;
@@ -52,6 +61,7 @@ class StringInterner {
 
   // Returns kNoSymbol when `text` has never been interned.
   Symbol Lookup(std::string_view text) const {
+    std::lock_guard<std::mutex> guard(mutex_);
     auto it = index_.find(text);
     return it == index_.end() ? kNoSymbol : it->second;
   }
@@ -62,21 +72,29 @@ class StringInterner {
   // later symbols as unroutable, which is exactly right: a symbol interned
   // after the dispatch plan was compiled cannot name any registered pattern.
   Symbol Freeze() {
-    frozen_size_ = static_cast<Symbol>(strings_.size());
-    return frozen_size_;
+    std::lock_guard<std::mutex> guard(mutex_);
+    frozen_size_.store(static_cast<Symbol>(strings_.size()), std::memory_order_relaxed);
+    return frozen_size_.load(std::memory_order_relaxed);
   }
 
-  Symbol frozen_size() const { return frozen_size_; }
-  bool frozen() const { return frozen_size_ != 0; }
+  Symbol frozen_size() const { return frozen_size_.load(std::memory_order_relaxed); }
+  bool frozen() const { return frozen_size() != 0; }
 
-  const std::string& Spelling(Symbol symbol) const { return strings_.at(symbol); }
+  const std::string& Spelling(Symbol symbol) const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return strings_.at(symbol);
+  }
 
-  size_t size() const { return strings_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return strings_.size();
+  }
 
  private:
-  std::vector<std::string> strings_;
+  mutable std::mutex mutex_;
+  std::deque<std::string> strings_;
   std::unordered_map<std::string, Symbol, TransparentStringHash, std::equal_to<>> index_;
-  Symbol frozen_size_ = 0;
+  std::atomic<Symbol> frozen_size_{0};
 };
 
 // Process-wide interner. TESLA manifests name functions across translation

@@ -133,6 +133,9 @@ Status TraceWriter::Finish(const SemanticSummary& summary) {
   buffer_.clear();
   buffer_.push_back(kEndMarker);
   PutVarint(buffer_, summary.dropped);
+  // v3 footers are self-describing: the field count precedes the fields, so
+  // a reader built before a future schema append can still parse the file.
+  PutVarint(buffer_, runtime::kRuntimeStatsFieldCount);
   for (const StatsField& field : kStatsFields) {
     PutVarint(buffer_, summary.stats.*field.field);
   }
@@ -201,11 +204,12 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
   }
   std::fclose(in);
 
-  // "TSLATRC<digit>": v1 files are still readable — they end after the
-  // violation list, with no metrics section.
+  // "TSLATRC<digit>": v1/v2 files are still readable — v1 ends after the
+  // violation list with no metrics section, and both carry the fixed
+  // legacy stats footer instead of the self-describing v3 one.
   if (bytes.size() < sizeof(kTraceMagic) ||
       std::memcmp(bytes.data(), kTraceMagic, sizeof(kTraceMagic) - 1) != 0 ||
-      (bytes[7] != '1' && bytes[7] != '2')) {
+      (bytes[7] != '1' && bytes[7] != '2' && bytes[7] != '3')) {
     return Error{"'" + path + "' is not a TESLA trace capture (bad magic)"};
   }
 
@@ -280,9 +284,22 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
   }
 
   cursor.Varint(&file.summary.dropped);
-  for (const StatsField& field : kStatsFields) {
+  // v3 footers lead with a field count; v1/v2 carry exactly the legacy
+  // prefix of today's schema. Either way, fields we don't know about (a
+  // capture from a newer build) are read and discarded, and fields the
+  // capture predates stay zero.
+  uint64_t footer_fields = kLegacyFooterStatsFields;
+  if (file.version >= 3) {
+    cursor.Varint(&footer_fields);
+    if (cursor.failed || footer_fields > bytes.size()) {
+      return Error{"truncated footer in '" + path + "'"};
+    }
+  }
+  for (uint64_t i = 0; i < footer_fields; i++) {
     cursor.Varint(&value);
-    file.summary.stats.*field.field = value;
+    if (i < runtime::kRuntimeStatsFieldCount) {
+      file.summary.stats.*kStatsFields[i].field = value;
+    }
   }
   uint64_t violation_count = 0;
   cursor.Varint(&violation_count);

@@ -6,9 +6,11 @@
 //
 // Layout (all integers varint/LEB128, signed values zigzag-encoded):
 //
-//   magic "TSLATRC2" (8 bytes)        version gate: the trailing digit is
-//                                     the version (v1 files are still read;
-//                                     they simply carry no metrics section)
+//   magic "TSLATRC3" (8 bytes)        version gate: the trailing digit is
+//                                     the version (v1/v2 files are still
+//                                     read; v1 carries no metrics section,
+//                                     and both carry the legacy 14-field
+//                                     stats footer)
 //   origin   string                   e.g. "kernelsim:all" — names the
 //                                     manifest a replayer must register
 //   options                           the semantics-bearing RuntimeOptions:
@@ -20,8 +22,9 @@
 //     flags byte, ctx, seq delta (vs previous record), target, count,
 //     count zigzag values, count vars (sites only),
 //     zigzag return_value (returns only)
-//   footer   dropped, the RuntimeStats fields in declaration order
-//     (kRuntimeStatsFieldCount of them), violation count, then
+//   footer   dropped, the RuntimeStats field count (v3+; v1/v2 have no
+//     count and carry exactly kLegacyFooterStatsFields fields), the
+//     RuntimeStats fields in declaration order, violation count, then
 //     (kind byte, automaton-name string) each
 //   metrics  (v2) presence byte; when 1: mode byte, class count, then per
 //     class: name string, the per-class counters in TESLA_CLASS_COUNTERS
@@ -51,21 +54,25 @@
 
 namespace tesla::trace {
 
-inline constexpr char kTraceMagic[8] = {'T', 'S', 'L', 'A', 'T', 'R', 'C', '2'};
-inline constexpr uint32_t kTraceVersion = 2;
+inline constexpr char kTraceMagic[8] = {'T', 'S', 'L', 'A', 'T', 'R', 'C', '3'};
+inline constexpr uint32_t kTraceVersion = 3;
 
 // The footer's RuntimeStats fields, in declaration order — generated from
 // the TESLA_RUNTIME_STATS X-macro in runtime/options.h, so a RuntimeStats
 // counter cannot be added (or dropped) without the capture footer, the
 // replay comparator, the CLI's stats dump and the metrics exposition all
-// moving with it.
+// moving with it. `replay_compared` mirrors the X-macro's third column:
+// ingestion-side and wall-clock counters are carried in the footer but a
+// replay is not expected to reproduce them.
 struct StatsField {
   const char* name;
   uint64_t runtime::RuntimeStats::* field;
+  bool replay_compared;
 };
 
 inline constexpr StatsField kStatsFields[] = {
-#define TESLA_STATS_FIELD(name, desc) {#name, &runtime::RuntimeStats::name},
+#define TESLA_STATS_FIELD(name, desc, replay) \
+  {#name, &runtime::RuntimeStats::name, replay != 0},
     TESLA_RUNTIME_STATS(TESLA_STATS_FIELD)
 #undef TESLA_STATS_FIELD
 };
@@ -73,6 +80,14 @@ inline constexpr StatsField kStatsFields[] = {
 static_assert(sizeof(kStatsFields) / sizeof(kStatsFields[0]) ==
                   runtime::kRuntimeStatsFieldCount,
               "footer schema out of sync with RuntimeStats");
+
+// v1/v2 captures carry exactly the first 14 RuntimeStats fields (the schema
+// at the time those formats were current); v3 footers are self-describing —
+// they lead with a field count, so future appends stay readable. The
+// RuntimeStats X-macro may therefore only ever append.
+inline constexpr size_t kLegacyFooterStatsFields = 14;
+static_assert(runtime::kRuntimeStatsFieldCount >= kLegacyFooterStatsFields,
+              "RuntimeStats fields may be appended, never removed");
 
 // The subset of RuntimeOptions that changes replay semantics.
 struct CaptureOptions {

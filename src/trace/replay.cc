@@ -114,6 +114,9 @@ Result<ReplayResult> Replay(const TraceFile& file, runtime::Runtime& rt) {
                          " records; the replayed history is incomplete\n";
   }
   for (const StatsField& field : kStatsFields) {
+    if (!field.replay_compared) {
+      continue;  // ingestion-side / wall-clock counters; see options.h
+    }
     const uint64_t want = file.summary.stats.*field.field;
     const uint64_t got = result.stats.*field.field;
     if (want != got) {

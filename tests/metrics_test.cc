@@ -362,7 +362,7 @@ TEST(Metrics, CaptureFooterRoundTripsAndReplayMatches) {
   // The footer deserialises to the identical snapshot.
   auto read = trace::TraceFile::Read(path);
   ASSERT_TRUE(read.ok()) << read.error().ToString();
-  ASSERT_EQ(read.value().version, 2);
+  ASSERT_EQ(read.value().version, trace::kTraceVersion);
   ASSERT_TRUE(read.value().summary.has_metrics);
   EXPECT_EQ(metrics::ToJson(read.value().summary.metrics), recorded);
 

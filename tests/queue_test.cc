@@ -1,0 +1,376 @@
+// tesla::queue — differential, lifecycle and concurrency coverage.
+//
+// The central claim of the async front-end is that it changes *where*
+// dispatch happens, never *what* it computes: the differential test drives
+// the identical per-class event streams inline and through the queue and
+// requires identical per-class metrics counters and the identical violation
+// multiset. The lifecycle tests pin the queue's edges — enqueue-after-Stop
+// is rejected, drop-policy accounting is exact under a saturated ring, and
+// Stop() flushes every accepted event. The multi-producer test runs under
+// -fsanitize=thread in CI as the data-race check for the ring protocol and
+// the ingest hook.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/lower.h"
+#include "automata/manifest.h"
+#include "metrics/metrics.h"
+#include "queue/queue.h"
+#include "runtime/runtime.h"
+#include "support/log.h"
+#include "trace/record.h"
+
+namespace tesla {
+namespace {
+
+constexpr int kClasses = 6;
+constexpr int kIterations = 500;
+
+struct ClassSymbols {
+  Symbol enter;
+  Symbol check;
+  Symbol exit;
+  uint32_t id;
+};
+
+// Disjoint per-class alphabets: each class's outcome depends only on its own
+// stream, so per-class counters are deterministic no matter how producer
+// streams interleave at the consumer.
+automata::Manifest MakeManifest() {
+  automata::Manifest manifest;
+  for (int g = 0; g < kClasses; g++) {
+    const std::string n = std::to_string(g);
+    const std::string source = "TESLA_GLOBAL(call(qenter" + n + "), returnfrom(qexit" + n +
+                               "), previously(qcheck" + n + "(x) == 0))";
+    auto automaton = automata::CompileAssertion(source, {}, "queue-" + n);
+    EXPECT_TRUE(automaton.ok()) << automaton.error().ToString();
+    manifest.Add(std::move(automaton.value()));
+  }
+  return manifest;
+}
+
+std::vector<ClassSymbols> ResolveSymbols(runtime::Runtime& rt) {
+  std::vector<ClassSymbols> symbols;
+  for (int g = 0; g < kClasses; g++) {
+    const std::string n = std::to_string(g);
+    ClassSymbols s;
+    s.enter = InternString("qenter" + n);
+    s.check = InternString("qcheck" + n);
+    s.exit = InternString("qexit" + n);
+    s.id = static_cast<uint32_t>(rt.FindAutomaton("queue-" + n));
+    EXPECT_GE(rt.FindAutomaton("queue-" + n), 0);
+    symbols.push_back(s);
+  }
+  return symbols;
+}
+
+// Every 5th bound skips the check, so the site deterministically violates;
+// all others accept.
+void DriveClass(runtime::Runtime& rt, runtime::ThreadContext& ctx, const ClassSymbols& s) {
+  for (int i = 0; i < kIterations; i++) {
+    rt.OnFunctionCall(ctx, s.enter, {});
+    if (i % 5 != 4) {
+      int64_t args[] = {i % 7};
+      rt.OnFunctionReturn(ctx, s.check, args, 0);
+    }
+    runtime::Binding site[] = {{0, i % 7}};
+    rt.OnAssertionSite(ctx, s.id, site);
+    rt.OnFunctionReturn(ctx, s.exit, {}, 0);
+  }
+}
+
+struct WorkloadResult {
+  runtime::RuntimeStats stats;
+  metrics::Snapshot metrics;
+  std::vector<std::pair<runtime::ViolationKind, std::string>> violations;  // sorted
+};
+
+WorkloadResult RunWorkload(bool async) {
+  SetLogLevel(LogLevel::kSilent);
+  runtime::RuntimeOptions options;
+  options.fail_stop = false;
+  options.global_shards = 4;
+  options.metrics_mode = metrics::MetricsMode::kCounters;
+  options.trace_mode = trace::TraceMode::kFlightRecorder;
+  runtime::Runtime rt(options);
+  automata::Manifest manifest = MakeManifest();
+  EXPECT_TRUE(rt.Register(manifest).ok());
+  std::vector<ClassSymbols> symbols = ResolveSymbols(rt);
+
+  // Contexts are created up front and outlive Stop(), as the queue requires.
+  std::vector<std::unique_ptr<runtime::ThreadContext>> contexts;
+  for (int g = 0; g < kClasses; g++) {
+    contexts.push_back(std::make_unique<runtime::ThreadContext>(rt));
+  }
+
+  std::unique_ptr<queue::EventQueue> q;
+  if (async) {
+    queue::QueueOptions queue_options;
+    queue_options.ring_capacity = 512;  // small enough that producers block
+    q = std::make_unique<queue::EventQueue>(rt, queue_options);
+    q->Start();
+  }
+
+  std::vector<std::thread> workers;
+  for (int g = 0; g < kClasses; g++) {
+    workers.emplace_back([&rt, &symbols, &contexts, g] {
+      DriveClass(rt, *contexts[g], symbols[g]);
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  if (q != nullptr) {
+    q->Stop();
+    const queue::ProducerStats totals = q->totals();
+    EXPECT_EQ(totals.dropped, 0u);   // blocking policy: lossless
+    EXPECT_EQ(totals.rejected, 0u);  // producers quiesced before Stop
+    EXPECT_EQ(rt.stats().queue_events, totals.enqueued);
+  }
+
+  WorkloadResult result;
+  result.stats = rt.stats();
+  result.metrics = rt.CollectMetrics();
+  result.violations = rt.violation_log();
+  std::sort(result.violations.begin(), result.violations.end());
+  return result;
+}
+
+TEST(QueueDifferential, AsyncMatchesSyncCountersAndViolations) {
+  WorkloadResult sync = RunWorkload(/*async=*/false);
+  WorkloadResult async = RunWorkload(/*async=*/true);
+
+  // Sanity: the workload produced real activity, and the async run really
+  // went through the queue.
+  EXPECT_GT(sync.stats.violations, 0u);
+  EXPECT_GT(sync.stats.accepts, 0u);
+  EXPECT_EQ(async.stats.queue_events, sync.stats.events);
+  EXPECT_GT(async.stats.queue_batches, 0u);
+  EXPECT_EQ(sync.stats.queue_events, 0u);
+
+  // The replay-compared stats agree exactly.
+  EXPECT_EQ(async.stats.events, sync.stats.events);
+  EXPECT_EQ(async.stats.accepts, sync.stats.accepts);
+  EXPECT_EQ(async.stats.violations, sync.stats.violations);
+  EXPECT_EQ(async.stats.instances_created, sync.stats.instances_created);
+  EXPECT_EQ(async.stats.bound_entries, sync.stats.bound_entries);
+  EXPECT_EQ(async.stats.bound_exits, sync.stats.bound_exits);
+  EXPECT_EQ(async.stats.transitions, sync.stats.transitions);
+
+  // Per-class metrics counters are identical, class by class.
+  ASSERT_EQ(async.metrics.classes.size(), sync.metrics.classes.size());
+  for (size_t c = 0; c < sync.metrics.classes.size(); c++) {
+    EXPECT_EQ(async.metrics.classes[c].name, sync.metrics.classes[c].name);
+    for (size_t k = 0; k < metrics::kClassCounterCount; k++) {
+      EXPECT_EQ(async.metrics.classes[c].counters[k], sync.metrics.classes[c].counters[k])
+          << sync.metrics.classes[c].name << "." << metrics::kClassCounterNames[k];
+    }
+  }
+
+  // The violation *multiset* is identical (cross-producer order is
+  // scheduler-chosen in both modes, so only the multiset is defined).
+  EXPECT_EQ(async.violations, sync.violations);
+}
+
+// Runs under TSan in CI: many producers hammer the hook, the rings and the
+// blocking backpressure path at once while the consumer dispatches.
+TEST(QueueConcurrency, ManyBlockedProducersAreClean) {
+  runtime::RuntimeOptions options;
+  options.fail_stop = false;
+  options.global_shards = 4;
+  runtime::Runtime rt(options);
+  automata::Manifest manifest = MakeManifest();
+  ASSERT_TRUE(rt.Register(manifest).ok());
+  std::vector<ClassSymbols> symbols = ResolveSymbols(rt);
+
+  std::vector<std::unique_ptr<runtime::ThreadContext>> contexts;
+  for (int g = 0; g < kClasses; g++) {
+    contexts.push_back(std::make_unique<runtime::ThreadContext>(rt));
+  }
+
+  queue::QueueOptions queue_options;
+  queue_options.ring_capacity = 64;  // force the blocking path constantly
+  queue_options.batch_events = 32;
+  queue::EventQueue q(rt, queue_options);
+  q.Start();
+
+  std::vector<std::thread> workers;
+  for (int g = 0; g < kClasses; g++) {
+    workers.emplace_back([&rt, &symbols, &contexts, g] {
+      DriveClass(rt, *contexts[g], symbols[g]);
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  q.Stop();
+
+  const queue::ProducerStats totals = q.totals();
+  EXPECT_EQ(q.producer_count(), static_cast<size_t>(kClasses));
+  EXPECT_EQ(totals.dropped, 0u);
+  EXPECT_EQ(rt.stats().events, totals.enqueued);
+  EXPECT_EQ(rt.stats().queue_events, totals.enqueued);
+  EXPECT_GT(rt.stats().violations, 0u);
+}
+
+TEST(QueueLifecycle, EnqueueAfterStopIsRejected) {
+  runtime::RuntimeOptions options;
+  options.fail_stop = false;
+  runtime::Runtime rt(options);
+  automata::Manifest manifest = MakeManifest();
+  ASSERT_TRUE(rt.Register(manifest).ok());
+  std::vector<ClassSymbols> symbols = ResolveSymbols(rt);
+  runtime::ThreadContext ctx(rt);
+
+  queue::EventQueue q(rt);
+  q.Start();
+  ASSERT_TRUE(q.Enqueue(ctx, runtime::Event::Call(symbols[0].enter, {})));
+  q.Stop();
+
+  // Direct enqueue after Stop: rejected and counted.
+  EXPECT_FALSE(q.Enqueue(ctx, runtime::Event::Call(symbols[0].enter, {})));
+  const queue::ProducerStats totals = q.totals();
+  EXPECT_EQ(totals.enqueued, 1u);
+  EXPECT_EQ(totals.rejected, 1u);
+
+  // The hook was uninstalled, so the runtime's entry points fall back to
+  // inline dispatch instead of silently losing events.
+  const uint64_t before = rt.stats().events;
+  rt.OnFunctionCall(ctx, symbols[0].enter, {});
+  EXPECT_EQ(rt.stats().events, before + 1);
+  EXPECT_EQ(rt.stats().queue_events, 1u);
+}
+
+// Blocks the consumer inside a violation handler so the test can saturate a
+// tiny ring deterministically.
+class GateHandler : public runtime::EventHandler {
+ public:
+  void OnViolation(const runtime::ClassInfo&, const runtime::Violation&) override {
+    blocked_.store(true, std::memory_order_release);
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+  void WaitUntilBlocked() {
+    while (!blocked_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  std::atomic<bool> blocked_{false};
+};
+
+TEST(QueueLifecycle, DropAccountingIsExactUnderSaturation) {
+  runtime::RuntimeOptions options;
+  options.fail_stop = false;
+  runtime::Runtime rt(options);
+  automata::Manifest manifest = MakeManifest();
+  ASSERT_TRUE(rt.Register(manifest).ok());
+  std::vector<ClassSymbols> symbols = ResolveSymbols(rt);
+  GateHandler gate;
+  rt.AddHandler(&gate);
+  runtime::ThreadContext ctx(rt);
+
+  queue::QueueOptions queue_options;
+  queue_options.on_full = queue::QueueOptions::OnFull::kDrop;
+  queue_options.ring_capacity = 8;
+  queue_options.batch_events = 4;
+  queue_options.install_hook = false;
+  queue::EventQueue q(rt, queue_options);
+  q.Start();
+
+  // A bound whose site violates (no check event): the consumer parks in the
+  // gate while dispatching it, and stops draining.
+  uint64_t attempted = 0;
+  ASSERT_TRUE(q.Enqueue(ctx, runtime::Event::Call(symbols[0].enter, {})));
+  runtime::Binding site[] = {{0, 3}};
+  ASSERT_TRUE(q.Enqueue(ctx, runtime::Event::Site(symbols[0].id, site)));
+  attempted += 2;
+  gate.WaitUntilBlocked();
+
+  // The consumer is parked, so the ring must saturate. Records are
+  // variable-length (ring.h): an 8-event ring is 128 words and a bare call
+  // serialises to 2, so at most 64 of the burst can be accepted — every
+  // further enqueue must take the drop path.
+  constexpr uint64_t kRingWords = 128;  // 8 events × 13 worst-case words, rounded up
+  constexpr uint64_t kBareCallWords = 2;
+  constexpr uint64_t kBurst = 200;
+  for (uint64_t i = 0; i < kBurst; i++) {
+    EXPECT_TRUE(q.Enqueue(ctx, runtime::Event::Call(symbols[0].enter, {})));
+  }
+  attempted += kBurst;
+
+  const queue::ProducerStats saturated = q.totals();
+  EXPECT_GT(saturated.dropped, 0u);
+  EXPECT_GE(saturated.dropped, kBurst - kRingWords / kBareCallWords);
+
+  gate.Open();
+  q.Stop();
+
+  // Exactness: every attempt is accounted as exactly one of enqueued or
+  // dropped, the runtime's counters agree with the queue's, and every
+  // accepted event was dispatched by the flush.
+  const queue::ProducerStats totals = q.totals();
+  EXPECT_EQ(totals.enqueued + totals.dropped, attempted);
+  EXPECT_EQ(totals.rejected, 0u);
+  EXPECT_EQ(rt.stats().queue_drops, totals.dropped);
+  EXPECT_EQ(rt.stats().queue_events, totals.enqueued);
+  EXPECT_EQ(rt.stats().events, totals.enqueued);
+}
+
+TEST(QueueLifecycle, StopFlushesEveryAcceptedEvent) {
+  runtime::RuntimeOptions options;
+  options.fail_stop = false;
+  runtime::Runtime rt(options);
+  automata::Manifest manifest = MakeManifest();
+  ASSERT_TRUE(rt.Register(manifest).ok());
+  std::vector<ClassSymbols> symbols = ResolveSymbols(rt);
+  runtime::ThreadContext ctx(rt);
+
+  queue::QueueOptions queue_options;
+  queue_options.ring_capacity = 4096;
+  queue_options.install_hook = false;
+  queue::EventQueue q(rt, queue_options);
+  q.Start();
+
+  // Enqueue a burst and Stop() immediately: the flush must deliver all of
+  // it, in order, before Stop returns.
+  constexpr int kBounds = 500;
+  for (int i = 0; i < kBounds; i++) {
+    ASSERT_TRUE(q.Enqueue(ctx, runtime::Event::Call(symbols[0].enter, {})));
+    int64_t args[] = {1};
+    ASSERT_TRUE(q.Enqueue(ctx, runtime::Event::Return(symbols[0].check, args, 0)));
+    runtime::Binding site[] = {{0, 1}};
+    ASSERT_TRUE(q.Enqueue(ctx, runtime::Event::Site(symbols[0].id, site)));
+    ASSERT_TRUE(q.Enqueue(ctx, runtime::Event::Return(symbols[0].exit, {}, 0)));
+  }
+  q.Stop();
+
+  EXPECT_EQ(rt.stats().events, static_cast<uint64_t>(kBounds) * 4);
+  EXPECT_EQ(rt.stats().queue_events, static_cast<uint64_t>(kBounds) * 4);
+  // ≥: both the wildcard instance and the bound clone can accept per bound.
+  EXPECT_GE(rt.stats().accepts, static_cast<uint64_t>(kBounds));
+  EXPECT_EQ(rt.stats().violations, 0u);
+  EXPECT_EQ(q.totals().dropped, 0u);
+}
+
+}  // namespace
+}  // namespace tesla

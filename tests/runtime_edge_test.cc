@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "automata/lower.h"
 #include "automata/manifest.h"
@@ -455,6 +457,83 @@ TEST(RuntimeEdge, FunctionScopeCountsArgumentTruncation) {
                                  {1, 2, 3, 4, 5, 6, 7, 8});
   }
   EXPECT_EQ(f.rt.stats().arg_truncations, 2u);
+}
+
+TEST(RuntimeEdge, ThrowingViolationHandlerReleasesBatchShardLocks) {
+  // Regression: OnEvents' global-batch path takes every shard lock and marks
+  // the thread as batch owner before dispatching. It used to unlock with
+  // straight-line code, so a violation handler throwing out of the batch
+  // leaked all shard locks and the stale owner — and the next global
+  // dispatch on any other thread deadlocked on the first shard's spinlock.
+  struct ThrowingHandler : runtime::EventHandler {
+    void OnViolation(const runtime::ClassInfo&, const runtime::Violation&) override {
+      throw std::runtime_error("violation handler bailed");
+    }
+  };
+  Fixture f("TESLA_GLOBAL(call(begin_txn), returnfrom(end_txn), previously(lock(x) == 0))");
+  ThrowingHandler handler;
+  f.rt.AddHandler(&handler);
+  ThreadContext ctx(f.rt);
+
+  // A batch whose site violates mid-way: the handler's exception unwinds
+  // out of OnEvents while the batch still holds every shard lock.
+  std::vector<runtime::Event> bad;
+  bad.push_back(runtime::Event::Call(S("begin_txn"), {}));
+  Binding site[] = {{0, 1}};
+  bad.push_back(runtime::Event::Site(f.id, site));
+  EXPECT_THROW(f.rt.OnEvents(ctx, bad), std::runtime_error);
+  EXPECT_EQ(f.rt.stats().violations, 1u);
+
+  // A second batch on another thread must make progress (pre-fix: deadlock
+  // here, with the test hanging on the shard spinlock).
+  std::atomic<bool> completed{false};
+  std::thread other([&f, &completed] {
+    ThreadContext ctx2(f.rt);
+    std::vector<runtime::Event> good;
+    good.push_back(runtime::Event::Call(S("begin_txn"), {}));
+    int64_t args[] = {2};
+    good.push_back(runtime::Event::Return(S("lock"), args, 0));
+    Binding site2[] = {{0, 2}};
+    good.push_back(runtime::Event::Site(f.id, site2));
+    good.push_back(runtime::Event::Return(S("end_txn"), {}, 0));
+    f.rt.OnEvents(ctx2, good);
+    completed.store(true);
+  });
+  other.join();
+  EXPECT_TRUE(completed.load());
+  EXPECT_EQ(f.rt.stats().violations, 1u);  // the good batch was clean
+}
+
+TEST(RuntimeEdge, UnmatchedReturnClampsStackDepth) {
+  // Regression: a kFunctionReturn with no tracked call drove stack_depth_
+  // negative, and every later incallstack() check on that slot was poisoned
+  // (depth 1 read as 0). A replayed flight-recorder capture whose ring
+  // wrapped mid-call starts with exactly this shape — the batch below is
+  // that capture's event stream.
+  Fixture f("TESLA_WITHIN(syscall, incallstack(inner) || previously(check(x) == 0))");
+  ThreadContext ctx(f.rt);
+
+  std::vector<runtime::Event> stream;
+  // The wrap point: `inner`'s return survives, its call did not.
+  stream.push_back(runtime::Event::Return(S("inner"), {}, 0));
+  // A normal bound afterwards, with the site reached under incallstack(inner).
+  stream.push_back(runtime::Event::Call(S("syscall"), {}));
+  stream.push_back(runtime::Event::Call(S("inner"), {}));
+  Binding site[] = {{0, 1}};
+  stream.push_back(runtime::Event::Site(f.id, site));
+  stream.push_back(runtime::Event::Return(S("inner"), {}, 0));
+  stream.push_back(runtime::Event::Return(S("syscall"), {}, 0));
+  f.rt.OnEvents(ctx, stream);
+
+  // Pre-fix: depth went -1, the later call only restored it to 0, the site
+  // saw incallstack(inner) == false and reported a bogus violation.
+  EXPECT_EQ(f.rt.stats().violations, 0u);
+  EXPECT_EQ(f.rt.stats().unmatched_returns, 1u);
+
+  // Balanced streams never touch the counter.
+  f.rt.OnFunctionCall(ctx, S("inner"), {});
+  f.rt.OnFunctionReturn(ctx, S("inner"), {}, 0);
+  EXPECT_EQ(f.rt.stats().unmatched_returns, 1u);
 }
 
 void FailStopScenario() {
