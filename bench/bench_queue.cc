@@ -16,9 +16,22 @@
 // BENCH_queue.json: enqueue is at least 5× cheaper than inline dispatch.
 // The consumer-side dispatch throughput is reported for context — the queue
 // moves the cost, it does not reduce the total.
+//
+// The second half of the harness measures what shard-owned multi-consumer
+// dispatch does to that total: a 1→N consumer sweep over a workload of
+// eight disjoint-alphabet global automata spread across eight shards, four
+// producer threads feeding the queue. Aggregate drain throughput is
+// computed from per-consumer *thread-CPU* time (ConsumerStats::busy_ns):
+// total events divided by the busiest consumer's dispatch time — the
+// critical-path model, which equals wall-clock throughput once the machine
+// has at least as many cores as consumers, and remains meaningful (and is
+// reported honestly) when it does not. The DESIGN.md contract, self-gated
+// below and in CI: ≥3× aggregate throughput at 4 consumers vs 1.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "automata/lower.h"
@@ -176,6 +189,147 @@ double MeasureEnqueueNs(double min_seconds, double* consumer_ns) {
   return best_per_event * 1e9;
 }
 
+// --- Consumer sweep -------------------------------------------------------
+
+// Eight global classes with disjoint alphabets, one per shard: per-shard
+// dispatch work partitions cleanly across consumer-owned shards, which is
+// the workload shape the ownership refactor targets (many independent
+// assertions, as in the paper's Table 1 deployments).
+constexpr int kSweepClasses = 8;
+constexpr int kSweepProducers = 4;
+constexpr int kSweepEventsPerBound = 4;  // enter, check, site, exit
+
+struct SweepWorkload {
+  std::unique_ptr<runtime::Runtime> rt;
+  uint32_t ids[kSweepClasses] = {};
+  Symbol enter[kSweepClasses], check[kSweepClasses], exit[kSweepClasses];
+};
+
+SweepWorkload MakeSweepWorkload() {
+  runtime::RuntimeOptions options;
+  options.fail_stop = false;
+  options.global_shards = kSweepClasses;
+  SweepWorkload w;
+  w.rt = std::make_unique<runtime::Runtime>(options);
+  automata::Manifest manifest;
+  for (int k = 0; k < kSweepClasses; k++) {
+    const std::string n = std::to_string(k);
+    const std::string source = "TESLA_GLOBAL(call(senter" + n + "), returnfrom(sexit" + n +
+                               "), previously(scheck" + n + "(x) == 0))";
+    auto automaton = automata::CompileAssertion(source, {}, "sweep-" + n);
+    if (!automaton.ok()) {
+      std::fprintf(stderr, "compile: %s\n", automaton.error().ToString().c_str());
+      w.rt = nullptr;
+      return w;
+    }
+    manifest.Add(std::move(automaton.value()));
+  }
+  if (!w.rt->Register(manifest).ok()) {
+    w.rt = nullptr;
+    return w;
+  }
+  for (int k = 0; k < kSweepClasses; k++) {
+    const std::string n = std::to_string(k);
+    w.ids[k] = static_cast<uint32_t>(w.rt->FindAutomaton("sweep-" + n));
+    w.enter[k] = InternString("senter" + n);
+    w.check[k] = InternString("scheck" + n);
+    w.exit[k] = InternString("sexit" + n);
+  }
+  return w;
+}
+
+// One accepting bound of sweep class `k`: 4 events, deterministic accept.
+void DriveSweepBound(runtime::Runtime& rt, runtime::ThreadContext& ctx,
+                     const SweepWorkload& w, int k, int64_t v) {
+  rt.OnFunctionCall(ctx, w.enter[k], {});
+  int64_t args[] = {v % 7};
+  rt.OnFunctionReturn(ctx, w.check[k], args, 0);
+  runtime::Binding site[] = {{0, v % 7}};
+  rt.OnAssertionSite(ctx, w.ids[k], site);
+  rt.OnFunctionReturn(ctx, w.exit[k], {}, 0);
+}
+
+struct SweepResult {
+  double ns_per_event = -1;  // critical path: busiest consumer's busy_ns / events
+  double mev_per_s = 0;
+  double wall_seconds = 0;
+  uint64_t events = 0;
+  uint64_t forwards = 0;
+  uint64_t steals = 0;
+};
+
+// Drains the whole sweep workload through `consumers` drain threads and
+// reports aggregate throughput on the dispatch critical path.
+SweepResult MeasureDrain(size_t consumers, int bounds_per_class) {
+  SweepResult result;
+  SweepWorkload w = MakeSweepWorkload();
+  if (w.rt == nullptr) {
+    return result;
+  }
+  // Contexts outlive Stop(), as the queue requires of enqueued-through
+  // contexts.
+  std::vector<std::unique_ptr<runtime::ThreadContext>> contexts;
+  for (int p = 0; p < kSweepProducers; p++) {
+    contexts.push_back(std::make_unique<runtime::ThreadContext>(*w.rt));
+  }
+
+  queue::QueueOptions options;
+  options.ring_capacity = 1 << 14;
+  options.consumers = consumers;
+  options.install_hook = true;
+  queue::EventQueue q(*w.rt, options);
+  q.Start();
+
+  // Producer p drives classes p and p + 4 (both owned by consumer p mod 4
+  // in the 4-consumer configuration): every producer's shard-stage work
+  // lands on one owner, and the owners partition the eight shards evenly.
+  const auto wall_begin = bench::Clock::now();
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kSweepProducers; p++) {
+    producers.emplace_back([&w, &contexts, bounds_per_class, p] {
+      runtime::ThreadContext& ctx = *contexts[p];
+      for (int i = 0; i < bounds_per_class; i++) {
+        DriveSweepBound(*w.rt, ctx, w, p, i);
+        DriveSweepBound(*w.rt, ctx, w, p + kSweepProducers, i);
+      }
+    });
+  }
+  for (std::thread& producer : producers) {
+    producer.join();
+  }
+  q.Stop();
+  result.wall_seconds = bench::SecondsSince(wall_begin);
+
+  const uint64_t expected = static_cast<uint64_t>(kSweepProducers) * 2 *
+                            bounds_per_class * kSweepEventsPerBound;
+  const runtime::RuntimeStats& stats = w.rt->stats();
+  if (stats.violations != 0 || q.totals().dropped != 0 ||
+      stats.queue_events != q.totals().enqueued || stats.queue_events != expected) {
+    std::fprintf(stderr,
+                 "sweep diverged at %zu consumers (events=%llu expected=%llu "
+                 "violations=%llu dropped=%llu)\n",
+                 consumers, static_cast<unsigned long long>(stats.queue_events),
+                 static_cast<unsigned long long>(expected),
+                 static_cast<unsigned long long>(stats.violations),
+                 static_cast<unsigned long long>(q.totals().dropped));
+    return result;
+  }
+
+  uint64_t max_busy = 0;
+  for (const queue::ConsumerStats& consumer : q.consumer_stats()) {
+    max_busy = std::max(max_busy, consumer.busy_ns);
+  }
+  if (max_busy == 0) {
+    return result;
+  }
+  result.events = stats.queue_events;
+  result.forwards = stats.queue_forwards;
+  result.steals = stats.queue_steals;
+  result.ns_per_event = static_cast<double>(max_busy) / static_cast<double>(result.events);
+  result.mev_per_s = 1e3 / result.ns_per_event;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -203,14 +357,57 @@ int main() {
   std::printf("caller pays one SPSC TryPush (word stores + release publish) while the\n");
   std::printf("consumer thread absorbs matching, instance updates and shard locking.\n");
 
+  // Consumer sweep: aggregate drain throughput at 1, 2 and 4 consumers.
+  const int bounds_per_class = smoke ? 2000 : 60000;
+  std::printf("\nShard-owned multi-consumer drain (8 classes / 8 shards, %d producers,\n"
+              "%d bounds per class%s); throughput on the dispatch critical path\n"
+              "(busiest consumer's thread-CPU time):\n\n",
+              kSweepProducers, bounds_per_class, smoke ? ", smoke" : "");
+  std::printf("%-12s %14s %14s %10s %12s %8s\n", "consumers", "ns/event", "Mev/s",
+              "vs c1", "forwards", "steals");
+  const size_t sweep_points[] = {1, 2, 4};
+  SweepResult sweep[3];
+  bool sweep_ok = true;
+  for (int i = 0; i < 3; i++) {
+    sweep[i] = MeasureDrain(sweep_points[i], bounds_per_class);
+    if (sweep[i].ns_per_event <= 0) {
+      sweep_ok = false;
+      continue;
+    }
+    std::printf("%-12zu %14.1f %14.2f %9.2fx %12llu %8llu\n", sweep_points[i],
+                sweep[i].ns_per_event, sweep[i].mev_per_s,
+                sweep[0].ns_per_event > 0 ? sweep[0].ns_per_event / sweep[i].ns_per_event : 0,
+                static_cast<unsigned long long>(sweep[i].forwards),
+                static_cast<unsigned long long>(sweep[i].steals));
+  }
+  const double drain_speedup =
+      sweep_ok ? sweep[0].ns_per_event / sweep[2].ns_per_event : 0;
+  std::printf("\nexpected shape: shard ownership lets consumers drain without the\n");
+  std::printf("global-shard spinlock, so aggregate throughput scales until forwarding\n");
+  std::printf("overhead bites — >= 3x at 4 consumers on this workload.\n");
+
   bench::JsonReport report("queue");
   report.Add("inline.ns_per_event", inline_ns, "ns/event");
   report.Add("enqueue.ns_per_event", enqueue_ns, "ns/event");
   report.Add("consumer.ns_per_event", consumer_ns, "ns/event");
   report.Add("producer_speedup", speedup, "x");
-  bool ok = report.Write();
+  if (sweep_ok) {
+    for (int i = 0; i < 3; i++) {
+      const std::string prefix = "drain.c" + std::to_string(sweep_points[i]);
+      report.Add(prefix + ".ns_per_event", sweep[i].ns_per_event, "ns/event");
+      report.Add(prefix + ".mev_per_s", sweep[i].mev_per_s, "Mev/s");
+    }
+    report.Add("drain.speedup_c4", drain_speedup, "x");
+  }
+  bool ok = report.Write() && sweep_ok;
   if (speedup < 5.0) {
     std::fprintf(stderr, "FAIL: producer-side speedup %.1fx < 5x\n", speedup);
+    ok = false;
+  }
+  // The multi-consumer contract is a steady-state claim; smoke mode's tiny
+  // run still prints the sweep but only the full run gates on it.
+  if (!smoke && sweep_ok && drain_speedup < 3.0) {
+    std::fprintf(stderr, "FAIL: 4-consumer drain speedup %.1fx < 3x\n", drain_speedup);
     ok = false;
   }
   return ok ? 0 : 1;

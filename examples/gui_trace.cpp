@@ -7,6 +7,7 @@
 // cursor push/pop bug: mouse-entered events not paired with mouse-exited
 // events push duplicate cursors, leaving the UI in the wrong state.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -55,11 +56,14 @@ int main(int argc, char** argv) {
   // --trace-out <path>: record the whole run and write a replayable capture.
   // --metrics-out <path>: write the metrics snapshot (.json → JSON, else
   // Prometheus text) after the session ends.
-  // --async-queue: dispatch through a tesla::queue consumer thread instead
-  // of inline on the run-loop thread.
+  // --async-queue: dispatch through tesla::queue drain threads instead of
+  // inline on the run-loop thread.
+  // --queue-consumers=N: drain threads for --async-queue (shard-owning
+  // multi-consumer dispatch; default 1).
   const char* trace_out = nullptr;
   const char* metrics_out = nullptr;
   bool async_queue = false;
+  size_t queue_consumers = 1;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
@@ -67,6 +71,8 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--async-queue") == 0) {
       async_queue = true;
+    } else if (std::strncmp(argv[i], "--queue-consumers=", 18) == 0) {
+      queue_consumers = static_cast<size_t>(std::strtoul(argv[i] + 18, nullptr, 10));
     }
   }
 
@@ -79,17 +85,9 @@ int main(int argc, char** argv) {
     options.metrics_mode = metrics::MetricsMode::kFull;
   }
   options.async_queue = async_queue;
+  options.queue_consumers = queue_consumers;
   runtime::Runtime tesla_rt(options);
   runtime::ThreadContext ctx(tesla_rt);
-
-  // With --async-queue the interposed AppKit messages pay only an SPSC
-  // enqueue; Stop() below flushes before the trace is analysed.
-  std::unique_ptr<queue::EventQueue> queue;
-  if (options.async_queue) {
-    queue = std::make_unique<queue::EventQueue>(
-        tesla_rt, queue::QueueOptions::FromRuntime(options));
-    queue->Start();
-  }
 
   ObjcRuntime objc(TraceMode::kTesla);
   AppKitConfig config;
@@ -103,6 +101,17 @@ int main(int argc, char** argv) {
   }
   GuiTesla& tesla = **installed;
   tesla.EnableTraceRecording(true);
+
+  // With --async-queue the interposed AppKit messages pay only an SPSC
+  // enqueue; Stop() below flushes before the trace is analysed. Started
+  // after Install(): consumer shard ownership is computed from the
+  // compiled plan.
+  std::unique_ptr<queue::EventQueue> queue;
+  if (options.async_queue) {
+    queue = std::make_unique<queue::EventQueue>(
+        tesla_rt, queue::QueueOptions::FromRuntime(options));
+    queue->Start();
+  }
 
   std::printf("instrumented %zu selectors via runtime interposition (fig. 8)\n\n",
               app.InstrumentedSelectors().size());

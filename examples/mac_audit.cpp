@@ -7,7 +7,9 @@
 //   * one dynamic call graph authorises polls with the file's cached
 //     credential instead of the active thread credential;
 //   * a credential change forgets to set P_SUGID (an `eventually` property).
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -33,12 +35,14 @@ class AuditLog : public runtime::EventHandler {
     std::printf("  !! TESLA: %s — automaton '%s' (%s)\n",
                 runtime::ViolationKindName(violation.kind), violation.automaton.c_str(),
                 violation.detail.c_str());
-    count_++;
+    count_.fetch_add(1, std::memory_order_relaxed);
   }
-  uint64_t count() const { return count_; }
+  // Atomic: with --queue-consumers > 1 violations are reported from several
+  // drain threads.
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t count_ = 0;
+  std::atomic<uint64_t> count_{0};
 };
 
 // Writes the runtime's merged metrics snapshot to `path`: JSON when the path
@@ -64,11 +68,14 @@ int main(int argc, char** argv) {
   // --trace-out <path>: record the whole run and write a replayable capture.
   // --metrics-out <path>: write the metrics snapshot (.json → JSON, else
   // Prometheus text) after the workloads finish.
-  // --async-queue: dispatch through a tesla::queue consumer thread instead
-  // of inline on the simulated kernel's thread.
+  // --async-queue: dispatch through tesla::queue drain threads instead of
+  // inline on the simulated kernel's thread.
+  // --queue-consumers=N: drain threads for --async-queue (shard-owning
+  // multi-consumer dispatch; default 1).
   const char* trace_out = nullptr;
   const char* metrics_out = nullptr;
   bool async_queue = false;
+  size_t queue_consumers = 1;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
@@ -76,6 +83,8 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--async-queue") == 0) {
       async_queue = true;
+    } else if (std::strncmp(argv[i], "--queue-consumers=", 18) == 0) {
+      queue_consumers = static_cast<size_t>(std::strtoul(argv[i] + 18, nullptr, 10));
     }
   }
 
@@ -90,21 +99,8 @@ int main(int argc, char** argv) {
     options.metrics_mode = metrics::MetricsMode::kFull;
   }
   options.async_queue = async_queue;
+  options.queue_consumers = queue_consumers;
   runtime::Runtime rt(options);
-
-  // With --async-queue the kernel's instrumentation pays only an SPSC
-  // enqueue; this consumer thread absorbs dispatch. Flush() is the
-  // checkpoint barrier before each violation-count read below.
-  std::unique_ptr<queue::EventQueue> queue;
-  if (options.async_queue) {
-    queue = std::make_unique<queue::EventQueue>(rt, queue::QueueOptions::FromRuntime(options));
-    queue->Start();
-  }
-  auto checkpoint = [&queue] {
-    if (queue != nullptr) {
-      queue->Flush();
-    }
-  };
 
   auto manifest = KernelAssertions(kSetAll);
   if (!manifest.ok()) {
@@ -117,6 +113,21 @@ int main(int argc, char** argv) {
   }
   AuditLog audit;
   rt.AddHandler(&audit);
+
+  // With --async-queue the kernel's instrumentation pays only an SPSC
+  // enqueue; the drain threads absorb dispatch. Started after Register():
+  // consumer shard ownership is computed from the compiled plan. Flush() is
+  // the checkpoint barrier before each violation-count read below.
+  std::unique_ptr<queue::EventQueue> queue;
+  if (options.async_queue) {
+    queue = std::make_unique<queue::EventQueue>(rt, queue::QueueOptions::FromRuntime(options));
+    queue->Start();
+  }
+  auto checkpoint = [&queue] {
+    if (queue != nullptr) {
+      queue->Flush();
+    }
+  };
 
   KernelConfig config;
   config.tesla = &rt;

@@ -6,7 +6,9 @@
 // The fig. 6 assertion — written in the client, instrumenting across the
 // libssl/libcrypto boundary — catches the compromise the client itself
 // cannot see.
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -28,13 +30,15 @@ class ViolationPrinter : public runtime::EventHandler {
   void OnViolation(const runtime::ClassInfo& cls, const runtime::Violation& violation) override {
     std::printf("  !! TESLA: %s — '%s'\n", runtime::ViolationKindName(violation.kind),
                 violation.automaton.c_str());
-    fired_ = true;
+    fired_.store(true, std::memory_order_relaxed);
   }
-  bool fired() const { return fired_; }
-  void Reset() { fired_ = false; }
+  // Atomic: with --queue-consumers > 1 violations are reported from several
+  // drain threads.
+  bool fired() const { return fired_.load(std::memory_order_relaxed); }
+  void Reset() { fired_.store(false, std::memory_order_relaxed); }
 
  private:
-  bool fired_ = false;
+  std::atomic<bool> fired_{false};
 };
 
 // Writes the runtime's merged metrics snapshot to `path`: JSON when the path
@@ -60,11 +64,14 @@ int main(int argc, char** argv) {
   // --trace-out <path>: record the whole run and write a replayable capture.
   // --metrics-out <path>: write the metrics snapshot (.json → JSON, else
   // Prometheus text) after the fetches finish.
-  // --async-queue: dispatch through a tesla::queue consumer thread instead
-  // of inline on the fetching thread.
+  // --async-queue: dispatch through tesla::queue drain threads instead of
+  // inline on the fetching thread.
+  // --queue-consumers=N: drain threads for --async-queue (shard-owning
+  // multi-consumer dispatch; default 1).
   const char* trace_out = nullptr;
   const char* metrics_out = nullptr;
   bool async_queue = false;
+  size_t queue_consumers = 1;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
@@ -72,6 +79,8 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--async-queue") == 0) {
       async_queue = true;
+    } else if (std::strncmp(argv[i], "--queue-consumers=", 18) == 0) {
+      queue_consumers = static_cast<size_t>(std::strtoul(argv[i] + 18, nullptr, 10));
     }
   }
 
@@ -86,10 +95,22 @@ int main(int argc, char** argv) {
     options.metrics_mode = metrics::MetricsMode::kFull;
   }
   options.async_queue = async_queue;
+  options.queue_consumers = queue_consumers;
   runtime::Runtime rt(options);
 
-  // With --async-queue the fetch path pays only an SPSC enqueue; Flush() is
-  // the checkpoint barrier before each violation read below.
+  auto manifest = FetchAssertions();
+  if (!manifest.ok() || !rt.Register(manifest.value()).ok()) {
+    std::fprintf(stderr, "failed to register the fig. 6 assertion\n");
+    return 1;
+  }
+  ViolationPrinter printer;
+  rt.AddHandler(&printer);
+  runtime::ThreadContext ctx(rt);
+
+  // With --async-queue the fetch path pays only an SPSC enqueue. Started
+  // after Register(): consumer shard ownership is computed from the
+  // compiled plan. Flush() is the checkpoint barrier before each violation
+  // read below.
   std::unique_ptr<queue::EventQueue> queue;
   if (options.async_queue) {
     queue = std::make_unique<queue::EventQueue>(rt, queue::QueueOptions::FromRuntime(options));
@@ -100,15 +121,6 @@ int main(int argc, char** argv) {
       queue->Flush();
     }
   };
-
-  auto manifest = FetchAssertions();
-  if (!manifest.ok() || !rt.Register(manifest.value()).ok()) {
-    std::fprintf(stderr, "failed to register the fig. 6 assertion\n");
-    return 1;
-  }
-  ViolationPrinter printer;
-  rt.AddHandler(&printer);
-  runtime::ThreadContext ctx(rt);
 
   std::printf("fig. 6 assertion registered:\n  %s\n\n",
               rt.automaton(0).source_text.c_str());

@@ -78,7 +78,32 @@ std::string ToJson(const Snapshot& snapshot) {
   first = false;
   TESLA_RUNTIME_STATS(TESLA_STATS_JSON)
 #undef TESLA_STATS_JSON
-  out.append("\n  },\n  \"classes\": [");
+  out.append("\n  },");
+  if (!snapshot.queue_producers.empty() || !snapshot.queue_consumers.empty()) {
+    out.append("\n  \"queue\": {\n    \"producers\": [");
+    for (size_t p = 0; p < snapshot.queue_producers.size(); p++) {
+      const QueueProducerSnapshot& producer = snapshot.queue_producers[p];
+      AppendF(&out,
+              "%s\n      {\"enqueued\": %" PRIu64 ", \"dropped\": %" PRIu64
+              ", \"rejected\": %" PRIu64 ", \"blocked_spins\": %" PRIu64 "}",
+              p == 0 ? "" : ",", producer.enqueued, producer.dropped,
+              producer.rejected, producer.blocked_spins);
+    }
+    out.append(snapshot.queue_producers.empty() ? "],\n    \"consumers\": ["
+                                                : "\n    ],\n    \"consumers\": [");
+    for (size_t c = 0; c < snapshot.queue_consumers.size(); c++) {
+      const QueueConsumerSnapshot& consumer = snapshot.queue_consumers[c];
+      AppendF(&out,
+              "%s\n      {\"batches\": %" PRIu64 ", \"events\": %" PRIu64
+              ", \"forwards_in\": %" PRIu64 ", \"forwards_out\": %" PRIu64
+              ", \"steals\": %" PRIu64 ", \"busy_ns\": %" PRIu64 "}",
+              c == 0 ? "" : ",", consumer.batches, consumer.events,
+              consumer.forwards_in, consumer.forwards_out, consumer.steals,
+              consumer.busy_ns);
+    }
+    out.append(snapshot.queue_consumers.empty() ? "]\n  }," : "\n    ]\n  },");
+  }
+  out.append("\n  \"classes\": [");
   for (size_t c = 0; c < snapshot.classes.size(); c++) {
     const ClassSnapshot& cls = snapshot.classes[c];
     AppendF(&out, "%s\n    {\"name\": ", c == 0 ? "" : ",");
@@ -137,6 +162,71 @@ std::string ToPrometheus(const Snapshot& snapshot) {
           #name, desc, #name, #name, snapshot.stats.name);
   TESLA_RUNTIME_STATS(TESLA_STATS_PROM)
 #undef TESLA_STATS_PROM
+
+  // Async-queue accounting, labelled by producer/consumer index. Families
+  // are emitted only when a queue augmenter filled the vectors, so a
+  // queue-less runtime's exposition is unchanged.
+  if (!snapshot.queue_producers.empty()) {
+    static constexpr struct {
+      const char* name;
+      const char* help;
+      uint64_t QueueProducerSnapshot::*field;
+    } kProducerSeries[] = {
+        {"enqueued", "events accepted into the producer's ring",
+         &QueueProducerSnapshot::enqueued},
+        {"dropped", "events dropped at enqueue (OnFull::kDrop policy)",
+         &QueueProducerSnapshot::dropped},
+        {"rejected", "events rejected while the queue was not running",
+         &QueueProducerSnapshot::rejected},
+        {"blocked_spins", "full-ring wait iterations (OnFull::kBlock backpressure)",
+         &QueueProducerSnapshot::blocked_spins},
+    };
+    for (const auto& series : kProducerSeries) {
+      AppendF(&out,
+              "# HELP tesla_queue_producer_%s_total %s\n"
+              "# TYPE tesla_queue_producer_%s_total counter\n",
+              series.name, series.help, series.name);
+      for (size_t p = 0; p < snapshot.queue_producers.size(); p++) {
+        AppendF(&out, "tesla_queue_producer_%s_total{producer=\"%zu\"} %" PRIu64 "\n",
+                series.name, p, snapshot.queue_producers[p].*series.field);
+      }
+    }
+  }
+  if (!snapshot.queue_consumers.empty()) {
+    static constexpr struct {
+      const char* name;
+      const char* help;
+      uint64_t QueueConsumerSnapshot::*field;
+    } kConsumerSeries[] = {
+        {"batches", "OnEvents batches dispatched by the consumer",
+         &QueueConsumerSnapshot::batches},
+        {"events", "records dispatched by the consumer (context stage)",
+         &QueueConsumerSnapshot::events},
+        {"forwards_in", "forwarded records dispatched (shard stage)",
+         &QueueConsumerSnapshot::forwards_in},
+        {"forwards_out", "records forwarded to other consumers",
+         &QueueConsumerSnapshot::forwards_out},
+        {"steals", "batches stolen from other consumers' producers",
+         &QueueConsumerSnapshot::steals},
+    };
+    for (const auto& series : kConsumerSeries) {
+      AppendF(&out,
+              "# HELP tesla_queue_consumer_%s_total %s\n"
+              "# TYPE tesla_queue_consumer_%s_total counter\n",
+              series.name, series.help, series.name);
+      for (size_t c = 0; c < snapshot.queue_consumers.size(); c++) {
+        AppendF(&out, "tesla_queue_consumer_%s_total{consumer=\"%zu\"} %" PRIu64 "\n",
+                series.name, c, snapshot.queue_consumers[c].*series.field);
+      }
+    }
+    out.append(
+        "# HELP tesla_queue_consumer_busy_seconds_total thread-CPU time spent dispatching\n"
+        "# TYPE tesla_queue_consumer_busy_seconds_total counter\n");
+    for (size_t c = 0; c < snapshot.queue_consumers.size(); c++) {
+      AppendF(&out, "tesla_queue_consumer_busy_seconds_total{consumer=\"%zu\"} %.9f\n",
+              c, static_cast<double>(snapshot.queue_consumers[c].busy_ns) / 1e9);
+    }
+  }
 
   // Per-class counters, labelled by automaton name.
   for (size_t k = 0; k < kClassCounterCount; k++) {
@@ -211,6 +301,32 @@ std::string RenderText(const Snapshot& snapshot) {
   AppendF(&out, "  %-25s %12" PRIu64 "   %s\n", #name, snapshot.stats.name, desc);
   TESLA_RUNTIME_STATS(TESLA_STATS_TEXT)
 #undef TESLA_STATS_TEXT
+
+  if (!snapshot.queue_producers.empty()) {
+    out.append("\nqueue producers:\n");
+    AppendF(&out, "  %-10s %12s %12s %12s %14s\n", "producer", "enqueued", "dropped",
+            "rejected", "blocked_spins");
+    for (size_t p = 0; p < snapshot.queue_producers.size(); p++) {
+      const QueueProducerSnapshot& producer = snapshot.queue_producers[p];
+      AppendF(&out, "  %-10zu %12" PRIu64 " %12" PRIu64 " %12" PRIu64 " %14" PRIu64 "\n",
+              p, producer.enqueued, producer.dropped, producer.rejected,
+              producer.blocked_spins);
+    }
+  }
+  if (!snapshot.queue_consumers.empty()) {
+    out.append("\nqueue consumers:\n");
+    AppendF(&out, "  %-10s %10s %10s %12s %13s %8s %12s\n", "consumer", "batches",
+            "events", "forwards_in", "forwards_out", "steals", "busy_ms");
+    for (size_t c = 0; c < snapshot.queue_consumers.size(); c++) {
+      const QueueConsumerSnapshot& consumer = snapshot.queue_consumers[c];
+      AppendF(&out,
+              "  %-10zu %10" PRIu64 " %10" PRIu64 " %12" PRIu64 " %13" PRIu64
+              " %8" PRIu64 " %12.2f\n",
+              c, consumer.batches, consumer.events, consumer.forwards_in,
+              consumer.forwards_out, consumer.steals,
+              static_cast<double>(consumer.busy_ns) / 1e6);
+    }
+  }
 
   if (!snapshot.classes.empty()) {
     out.append("\nper-class counters:\n");

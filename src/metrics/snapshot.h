@@ -57,11 +57,34 @@ struct ClassSnapshot {
   }
 };
 
+// Async-queue accounting, filled in by the queue's metrics augmenter
+// (Runtime::SetMetricsAugmenter) when an EventQueue is attached to the
+// runtime; empty vectors mean "no queue" and suppress the queue sections in
+// every exposition format. Producer i is the i-th registered producer
+// thread; consumer i is drain thread i.
+struct QueueProducerSnapshot {
+  uint64_t enqueued = 0;       // accepted into the ring
+  uint64_t dropped = 0;        // rejected by the OnFull::kDrop policy
+  uint64_t rejected = 0;       // Enqueue() while the queue was not running
+  uint64_t blocked_spins = 0;  // OnFull::kBlock wait iterations (backpressure)
+};
+
+struct QueueConsumerSnapshot {
+  uint64_t batches = 0;       // OnEvents batches dispatched
+  uint64_t events = 0;        // records dispatched in the context stage
+  uint64_t forwards_in = 0;   // forwarded records dispatched (shard stage)
+  uint64_t forwards_out = 0;  // records forwarded to other consumers
+  uint64_t steals = 0;        // batches stolen from other consumers' producers
+  uint64_t busy_ns = 0;       // thread-CPU time spent dispatching
+};
+
 struct Snapshot {
   MetricsMode mode = MetricsMode::kOff;
   runtime::RuntimeStats stats;
   std::vector<ClassSnapshot> classes;
   HistogramData histograms[kEventKinds];
+  std::vector<QueueProducerSnapshot> queue_producers;
+  std::vector<QueueConsumerSnapshot> queue_consumers;
 };
 
 std::string ToJson(const Snapshot& snapshot);

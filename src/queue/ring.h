@@ -101,6 +101,16 @@ class QueueRing {
   // In words, not events.
   size_t capacity() const { return capacity_; }
 
+  // Approximate backlog in words, readable from any thread (both indices
+  // are loaded fresh, so this is exact at some instant between the loads).
+  // Used by idle consumers sizing up a ring before stealing a batch; the
+  // steal itself still goes through the claiming protocol in queue.cc, so
+  // staleness here costs at most a wasted (or missed) steal attempt.
+  size_t ApproxWords() const {
+    return static_cast<size_t>(head_.load(std::memory_order_acquire) -
+                               tail_.load(std::memory_order_acquire));
+  }
+
   // Producer side. Wait-free; false means the ring is full *right now* (the
   // caller blocks or drops — this class never decides).
   bool TryPush(runtime::ThreadContext* ctx, const runtime::Event& event) {

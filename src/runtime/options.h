@@ -76,6 +76,11 @@ struct RuntimeOptions {
   // Full-ring policy: false blocks the producer (lossless), true drops the
   // event and counts it (RuntimeStats::queue_drops).
   bool queue_drop_on_full = false;
+  // Drain threads. Each consumer owns the global shards whose index is
+  // congruent to it modulo the consumer count (see Runtime shard ownership):
+  // owned shards skip their spinlock on the drain hot path. 1 reproduces the
+  // original single-consumer queue.
+  size_t queue_consumers = 1;
 
   // Continuous observability (src/metrics). kCounters keeps per-class
   // counters and the transition-coverage bitmap (a few ns/event, sharded
@@ -138,7 +143,16 @@ const char* ViolationKindName(ViolationKind kind);
 //     stepped clock cannot quietly drag the histogram p50 down.
 //   * queue_* — the tesla::queue async ingestion front-end: events
 //     delivered through consumer batches, events dropped at enqueue under
-//     the drop policy, and OnEvents batches dispatched.
+//     the drop policy, and OnEvents batches dispatched. With multiple drain
+//     threads (queue_consumers > 1) these are sums over every consumer —
+//     queue_batches in particular counts each consumer's OnEvents calls, so
+//     it is a per-consumer sum, not a single thread's cadence.
+//   * queue_forwards / queue_steals — multi-consumer routing: records
+//     forwarded to the consumer owning a touched shard, and whole batches
+//     stolen from a skewed producer's ring by an idle consumer.
+//   * shard_handoffs — inline (non-queue) dispatches that landed on a shard
+//     currently owned by a consumer and had to run the locked handoff
+//     protocol to intrude on it.
 #define TESLA_RUNTIME_STATS(X)                                                \
   X(events, "program events examined", 1)                                     \
   X(bound_entries, "temporal-bound entries (init transitions or lazy epoch bumps)", 1) \
@@ -158,7 +172,10 @@ const char* ViolationKindName(ViolationKind kind);
   X(negative_latencies, "dispatch timings with a negative clock delta (clamped)", 0) \
   X(queue_events, "events delivered through the async ingestion queue", 0)    \
   X(queue_drops, "events dropped at enqueue (async queue, drop policy)", 0)   \
-  X(queue_batches, "consumer batches dispatched by the async queue", 0)
+  X(queue_batches, "OnEvents batches dispatched by the async queue (summed over consumers)", 0) \
+  X(queue_forwards, "records forwarded between queue consumers for shard-stage dispatch", 0) \
+  X(queue_steals, "producer batches stolen by an idle queue consumer", 0)     \
+  X(shard_handoffs, "inline dispatches that intruded on a consumer-owned shard", 0)
 
 struct RuntimeStats {
 #define TESLA_STATS_MEMBER(name, desc, replay) uint64_t name = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -12,21 +13,23 @@
 #include "trace/forensics.h"
 
 namespace tesla::runtime {
-namespace {
 
-// A shard-lock guard that engages only when asked: per-event acquisitions
-// are skipped when OnEvents() already holds every shard lock for the batch
-// (the spinlock is not recursive).
-class ShardGuard {
+// A shard guard that engages only when asked: per-event acquisitions are
+// skipped when a batch entry point already holds the shard for the whole
+// batch (the spinlock is not recursive). Engaged acquisition always runs
+// the intruder side of the ownership protocol — correct whether the shard
+// is consumer-owned or plain locked.
+class Runtime::ShardGuard {
  public:
-  ShardGuard(Spinlock& lock, bool engage) : lock_(engage ? &lock : nullptr) {
-    if (lock_ != nullptr) {
-      lock_->lock();
+  ShardGuard(const Runtime& rt, uint32_t shard, bool engage)
+      : rt_(rt), shard_(engage ? rt.shards_[shard].get() : nullptr) {
+    if (shard_ != nullptr) {
+      rt_.LockShardAsIntruder(*shard_);
     }
   }
   ~ShardGuard() {
-    if (lock_ != nullptr) {
-      lock_->unlock();
+    if (shard_ != nullptr) {
+      rt_.UnlockShardAsIntruder(*shard_);
     }
   }
 
@@ -34,10 +37,9 @@ class ShardGuard {
   ShardGuard& operator=(const ShardGuard&) = delete;
 
  private:
-  Spinlock* lock_;
+  const Runtime& rt_;
+  GlobalShard* shard_;
 };
-
-}  // namespace
 
 const char* ViolationKindName(ViolationKind kind) {
   switch (kind) {
@@ -87,7 +89,37 @@ bool ThreadContext::InCallStack(Symbol function) const {
 
 // --- Runtime ---
 
-thread_local const Runtime* Runtime::batch_shard_owner_ = nullptr;
+thread_local const Runtime* Runtime::engaged_runtime_ = nullptr;
+thread_local uint64_t Runtime::engaged_shards_ = 0;
+thread_local const Runtime* Runtime::scope_runtime_ = nullptr;
+thread_local const DispatchScope* Runtime::active_scope_ = nullptr;
+
+// The intruder side of the shard-ownership protocol (see GlobalShard in
+// runtime.h for the full memory-ordering argument). The first owner_active
+// load must be seq_cst: it has to order after the owner's claim store in
+// the single total order, or it could read a stale false while the owner is
+// mid-claim. The spin itself is rare — the owner retreats as soon as it
+// observes the intruder count.
+void Runtime::LockShardAsIntruder(GlobalShard& shard) const {
+  shard.intruders.fetch_add(1, std::memory_order_seq_cst);
+  shard.lock.lock();
+  if (shard.owner_id.load(std::memory_order_relaxed) >= 0) {
+    // An inline/sync dispatch landed on a consumer-owned shard: the handoff
+    // path. stats_ is logically mutable here (const accessors intrude too).
+    std::atomic_ref<uint64_t>(const_cast<uint64_t&>(stats_.shard_handoffs))
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  while (shard.owner_active.load(std::memory_order_seq_cst)) {
+    // Owner mid-claim: it will see our intruder announcement and retreat.
+  }
+}
+
+void Runtime::UnlockShardAsIntruder(GlobalShard& shard) const {
+  // Unlock before decrementing: the owner's fast claim reads intruders == 0
+  // as "no one is in (or can be entering) the critical section".
+  shard.lock.unlock();
+  shard.intruders.fetch_sub(1, std::memory_order_release);
+}
 
 Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   const size_t requested = options_.global_shards;
@@ -190,6 +222,44 @@ void Runtime::CompilePlan() {
   stack_slot_count_ = 0;
   any_global_ = false;
 
+  // Shard partition: a global class whose site dispatch reads the
+  // producer's call stack (incallstack() variants) is *pinned* — it must be
+  // handled in the context stage of a scoped dispatch, under its lock. A
+  // pinned and an unpinned class must never share a shard context: the two
+  // stages of one scoped record would race on shared bound-epoch slots. So
+  // the top shards are reserved for pinned classes when both kinds exist;
+  // with a single shard the whole store degrades to pinned (always locked).
+  bool any_pinned = false;
+  bool any_unpinned = false;
+  for (CompiledClass& cls : classes_) {
+    cls.pinned = cls.is_global && !cls.site_variants.empty();
+    any_pinned |= cls.pinned;
+    any_unpinned |= cls.is_global && !cls.pinned;
+  }
+  uint32_t pinned_shards = 0;
+  if (any_pinned) {
+    if (shard_count_ == 1 || !any_unpinned) {
+      pinned_shards = shard_count_;
+      for (CompiledClass& cls : classes_) {
+        cls.pinned = cls.is_global;
+      }
+    } else {
+      pinned_shards = shard_count_ >= 8 ? shard_count_ / 8 : 1;
+    }
+  }
+  const uint32_t unpinned_shards = shard_count_ - pinned_shards;
+  pinned_shard_mask_ = 0;
+  unpinned_shard_mask_ = 0;
+  if (any_pinned || any_unpinned) {
+    for (uint32_t s = 0; s < shard_count_; s++) {
+      if (s < unpinned_shards) {
+        unpinned_shard_mask_ |= uint64_t{1} << s;
+      } else {
+        pinned_shard_mask_ |= uint64_t{1} << s;
+      }
+    }
+  }
+
   // Pass 1: dense slot assignment, shard placement, candidate gathering.
   std::unordered_map<uint64_t, int32_t> bound_slots;
   std::unordered_map<uint64_t, int32_t> cleanup_slots;
@@ -213,9 +283,12 @@ void Runtime::CompilePlan() {
     cls.cleanup_slot =
         cleanup_slots.emplace(cls.end_key, static_cast<int32_t>(cleanup_slots.size()))
             .first->second;
-    cls.shard = cls.is_global ? cls.id % shard_count_ : 0;
     if (cls.is_global) {
+      cls.shard = cls.pinned ? unpinned_shards + cls.id % pinned_shards
+                             : cls.id % unpinned_shards;
       any_global_ = true;
+    } else {
+      cls.shard = 0;
     }
 
     // Forensics filter: every function/field symbol the class's patterns
@@ -315,6 +388,26 @@ void Runtime::CompilePlan() {
     plan.closes_count = static_cast<uint32_t>(closes[key].size());
     closed_bounds_pool_.insert(closed_bounds_pool_.end(), closes[key].begin(),
                                closes[key].end());
+
+    // The unpinned shards any event with this key can touch — candidates
+    // plus the bound slots it opens or closes (ShardStageMask's answer).
+    uint64_t touched = 0;
+    for (const Candidate& cand : cands) {
+      const CompiledClass& cls = classes_[cand.class_id];
+      if (cls.is_global && !cls.pinned) {
+        touched |= uint64_t{1} << cls.shard;
+      }
+    }
+    if (plan.bound_slot >= 0) {
+      touched |= bound_slot_shards_[plan.bound_slot];
+    }
+    if (plan.cleanup_slot >= 0) {
+      touched |= cleanup_slot_shards_[plan.cleanup_slot];
+      for (int32_t slot : closes[key]) {
+        touched |= bound_slot_shards_[slot];
+      }
+    }
+    plan.touched_shards = touched & unpinned_shard_mask_;
   }
   for (Symbol symbol = 0; symbol < symbols; symbol++) {
     KeyPlan& plan = field_plan_[symbol];
@@ -322,6 +415,14 @@ void Runtime::CompilePlan() {
     plan.cand_count = static_cast<uint32_t>(field_cands[symbol].size());
     candidate_pool_.insert(candidate_pool_.end(), field_cands[symbol].begin(),
                            field_cands[symbol].end());
+    uint64_t touched = 0;
+    for (const Candidate& cand : field_cands[symbol]) {
+      const CompiledClass& cls = classes_[cand.class_id];
+      if (cls.is_global && !cls.pinned) {
+        touched |= uint64_t{1} << cls.shard;
+      }
+    }
+    plan.touched_shards = touched & unpinned_shard_mask_;
   }
 
   // Pass 4 (metrics on): transition-coverage layout. Each class owns a dense
@@ -384,9 +485,9 @@ void Runtime::ResetStats() {
   // leaves those behind would double-report them through pool_overflows()
   // style accessors. Per-thread contexts are their owners' to reset; the
   // runtime rewinds its own shard contexts.
-  for (auto& shard : shards_) {
-    ShardGuard guard(shard->lock, !ShardLocksHeld());
-    shard->context->store_.ResetOverflows();
+  for (uint32_t s = 0; s < shards_.size(); s++) {
+    ShardGuard guard(*this, s, !ShardHeld(s));
+    shards_[s]->context->store_.ResetOverflows();
   }
   if (collector_ != nullptr) {
     collector_->Reset();
@@ -395,17 +496,40 @@ void Runtime::ResetStats() {
 
 uint64_t Runtime::shard_pool_overflows() const {
   uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    ShardGuard guard(shard->lock, !ShardLocksHeld());
-    total += shard->context->store_.overflows();
+  for (uint32_t s = 0; s < shards_.size(); s++) {
+    ShardGuard guard(*this, s, !ShardHeld(s));
+    total += shards_[s]->context->store_.overflows();
   }
   return total;
+}
+
+void Runtime::SetMetricsAugmenter(MetricsAugmenter augmenter) {
+  LockGuard<Spinlock> guard(augmenter_lock_);
+  metrics_augmenter_ = std::move(augmenter);
+}
+
+void Runtime::AssignShardOwners(uint32_t consumers) {
+  if (consumers == 0) {
+    consumers = 1;
+  }
+  for (uint32_t s = 0; s < shards_.size(); s++) {
+    const bool owned = ((unpinned_shard_mask_ >> s) & 1) != 0;
+    shards_[s]->owner_id.store(owned ? static_cast<int32_t>(s % consumers) : -1,
+                               std::memory_order_release);
+  }
+}
+
+void Runtime::ReleaseShardOwners() {
+  for (auto& shard : shards_) {
+    shard->owner_id.store(-1, std::memory_order_release);
+  }
 }
 
 metrics::Snapshot Runtime::CollectMetrics() const {
   metrics::Snapshot snapshot;
   snapshot.stats = stats_;
   if (collector_ == nullptr) {
+    AugmentSnapshot(snapshot);
     return snapshot;
   }
   snapshot.mode = collector_->mode();
@@ -444,7 +568,19 @@ metrics::Snapshot Runtime::CollectMetrics() const {
     snapshot.classes.push_back(std::move(entry));
   }
   collector_->MergeHistograms(snapshot.histograms);
+  AugmentSnapshot(snapshot);
   return snapshot;
+}
+
+void Runtime::AugmentSnapshot(metrics::Snapshot& snapshot) const {
+  MetricsAugmenter augmenter;
+  {
+    LockGuard<Spinlock> guard(augmenter_lock_);
+    augmenter = metrics_augmenter_;
+  }
+  if (augmenter) {
+    augmenter(snapshot);
+  }
 }
 
 ClassState& Runtime::StateFor(ThreadContext& ctx, uint32_t class_id) {
@@ -475,26 +611,30 @@ void Runtime::OnEvents(ThreadContext& ctx, std::span<const Event> events) {
     return;
   }
   EnsurePlanCapacity(ctx);
-  if (any_global_ && batch_shard_owner_ != this) {
-    // Take every shard lock once for the whole batch, in ascending order
+  if (any_global_ && engaged_runtime_ != this) {
+    // Take every shard once for the whole batch, in ascending order
     // (concurrent batches on other threads acquire in the same order, so
-    // there is no cycle). The per-event acquisitions inside DispatchEvent
-    // see ShardLocksHeld() and elide themselves. The guard releases in
-    // reverse order and clears the owner even when a violation handler
-    // throws out of DispatchEvent — a leaked shard lock (or a stale owner
-    // marking locks as held that aren't) deadlocks every later dispatch.
+    // there is no cycle), running the intruder protocol on each — correct
+    // whether a shard is consumer-owned or plain locked. The per-event
+    // acquisitions inside DispatchEvent see ShardHeld() and elide
+    // themselves. The guard releases in reverse order and clears the
+    // engagement even when a violation handler throws out of DispatchEvent
+    // — a leaked shard lock (or stale engagement bits marking shards as
+    // held that aren't) deadlocks every later dispatch.
     struct BatchShardLocks {
       Runtime& rt;
       explicit BatchShardLocks(Runtime& runtime) : rt(runtime) {
         for (auto& shard : rt.shards_) {
-          shard->lock.lock();
+          rt.LockShardAsIntruder(*shard);
         }
-        Runtime::batch_shard_owner_ = &rt;
+        Runtime::engaged_runtime_ = &rt;
+        Runtime::engaged_shards_ = ~uint64_t{0};
       }
       ~BatchShardLocks() {
-        Runtime::batch_shard_owner_ = nullptr;
+        Runtime::engaged_runtime_ = nullptr;
+        Runtime::engaged_shards_ = 0;
         for (auto it = rt.shards_.rbegin(); it != rt.shards_.rend(); ++it) {
-          (*it)->lock.unlock();
+          rt.UnlockShardAsIntruder(**it);
         }
       }
     };
@@ -509,17 +649,132 @@ void Runtime::OnEvents(ThreadContext& ctx, std::span<const Event> events) {
   }
 }
 
-void Runtime::DispatchEvent(ThreadContext& ctx, const Event& event) {
-  Bump(stats_.events);
-  if (event.truncated) {
-    Bump(stats_.arg_truncations);
+void Runtime::OnEventsScoped(ThreadContext& ctx, std::span<const Event> events,
+                             const DispatchScope& scope) {
+  if (events.empty()) {
+    return;
   }
-  if (recorder_ != nullptr && ctx.trace_ != nullptr) {
-    recorder_->Record(*ctx.trace_, event);
+  if (scope.context) {
+    // Only the context stage may grow the producer's context: the plan is
+    // frozen before consumers run, so this is a no-op in steady state, and
+    // the shard stage must not write another consumer's home context.
+    EnsurePlanCapacity(ctx);
+  }
+  // Publish the scope for the duration (restoring any outer frame so a
+  // handler re-entering dispatch cannot inherit a stale scope).
+  struct ScopeFrame {
+    const Runtime* prev_runtime;
+    const DispatchScope* prev_scope;
+    ScopeFrame(const Runtime& rt, const DispatchScope& scope)
+        : prev_runtime(scope_runtime_), prev_scope(active_scope_) {
+      scope_runtime_ = &rt;
+      active_scope_ = &scope;
+    }
+    ~ScopeFrame() {
+      scope_runtime_ = prev_runtime;
+      active_scope_ = prev_scope;
+    }
+  };
+  ScopeFrame frame(*this, scope);
+
+  const uint64_t mask = AllowedShardMask();
+  if (mask != 0 && engaged_runtime_ != this) {
+    // Claim the scope's shards for the whole batch, ascending. Shards this
+    // thread owns (the queue routed them here) are claimed with the owner
+    // fast path — no lock when no intruder is present; the rest (pinned
+    // shards in the context stage) run the intruder protocol. The caller
+    // guarantees no other thread owner-claims the same shard concurrently.
+    struct BatchOwnership {
+      Runtime& rt;
+      uint64_t mask;
+      uint64_t locked = 0;
+      BatchOwnership(Runtime& runtime, uint64_t m) : rt(runtime), mask(m) {
+        for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+          const uint32_t s = static_cast<uint32_t>(std::countr_zero(rest));
+          GlobalShard& shard = *rt.shards_[s];
+          if (shard.owner_id.load(std::memory_order_relaxed) < 0) {
+            rt.LockShardAsIntruder(shard);
+            locked |= uint64_t{1} << s;
+            continue;
+          }
+          // Owner fast claim: announce, then check for intruders (the
+          // Dekker pairing documented on GlobalShard).
+          shard.owner_active.store(true, std::memory_order_seq_cst);
+          if (shard.intruders.load(std::memory_order_seq_cst) != 0) {
+            // Retreat before blocking, or a spinning intruder deadlocks.
+            shard.owner_active.store(false, std::memory_order_release);
+            rt.LockShardAsIntruder(shard);
+            locked |= uint64_t{1} << s;
+          }
+        }
+        Runtime::engaged_runtime_ = &rt;
+        Runtime::engaged_shards_ = mask;
+      }
+      ~BatchOwnership() {
+        Runtime::engaged_runtime_ = nullptr;
+        Runtime::engaged_shards_ = 0;
+        for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+          const uint32_t s = static_cast<uint32_t>(std::countr_zero(rest));
+          GlobalShard& shard = *rt.shards_[s];
+          if (((locked >> s) & 1) != 0) {
+            rt.UnlockShardAsIntruder(shard);
+          } else {
+            shard.owner_active.store(false, std::memory_order_release);
+          }
+        }
+      }
+    };
+    BatchOwnership ownership(*this, mask);
+    for (const Event& event : events) {
+      DispatchEvent(ctx, event);
+    }
+    return;
+  }
+  for (const Event& event : events) {
+    DispatchEvent(ctx, event);
+  }
+}
+
+uint64_t Runtime::ShardStageMask(const Event& event) const {
+  switch (event.kind) {
+    case EventKind::kFunctionCall:
+    case EventKind::kFunctionReturn: {
+      const uint64_t key = event.kind == EventKind::kFunctionReturn
+                               ? ReturnKey(event.target)
+                               : CallKey(event.target);
+      return key < function_plan_.size() ? function_plan_[key].touched_shards : 0;
+    }
+    case EventKind::kFieldStore:
+      return event.target < field_plan_.size() ? field_plan_[event.target].touched_shards
+                                               : 0;
+    case EventKind::kAssertionSite: {
+      if (event.target >= classes_.size()) {
+        return 0;
+      }
+      const CompiledClass& cls = classes_[event.target];
+      return cls.is_global && !cls.pinned ? uint64_t{1} << cls.shard : 0;
+    }
+  }
+  return 0;
+}
+
+void Runtime::DispatchEvent(ThreadContext& ctx, const Event& event) {
+  // Event-level bookkeeping — the global event count, the flight recorder,
+  // dispatch timing — happens exactly once per event, in the context stage
+  // (a shard-stage pass of the same record skips it).
+  const bool context_stage = ScopeContext();
+  if (context_stage) {
+    Bump(stats_.events);
+    if (event.truncated) {
+      Bump(stats_.arg_truncations);
+    }
+    if (recorder_ != nullptr && ctx.trace_ != nullptr) {
+      recorder_->Record(*ctx.trace_, event);
+    }
   }
   // kFull mode: two clock reads bracket the dispatch, bucketed per event
   // kind into the entry context's shard.
-  const bool timed = time_dispatch_ && ctx.metrics_ != nullptr;
+  const bool timed = context_stage && time_dispatch_ && ctx.metrics_ != nullptr;
   std::chrono::steady_clock::time_point start;
   if (timed) {
     start = std::chrono::steady_clock::now();
@@ -559,7 +814,7 @@ void Runtime::ProcessFunctionEvent(ThreadContext& ctx, const Event& event) {
   }
   const KeyPlan& plan = function_plan_[key];
 
-  if (plan.stack_slot >= 0) {
+  if (plan.stack_slot >= 0 && ScopeContext()) {
     int32_t& depth = ctx.stack_depth_[plan.stack_slot];
     if (is_return && depth == 0) {
       // A return with no tracked call: the stream started mid-call (e.g. a
@@ -579,6 +834,9 @@ void Runtime::ProcessFunctionEvent(ThreadContext& ctx, const Event& event) {
   // 2. Body events.
   for (uint32_t i = 0; i < plan.cand_count; i++) {
     const Candidate& candidate = candidate_pool_[plan.cand_first + i];
+    if (!ClassInScope(classes_[candidate.class_id])) {
+      continue;  // another stage of this record dispatches it
+    }
     const automata::EventPattern& pattern =
         classes_[candidate.class_id].automaton.alphabet[candidate.symbol];
     BindingSet bindings;
@@ -604,6 +862,9 @@ void Runtime::ProcessFieldEvent(ThreadContext& ctx, const Event& event) {
   const int64_t new_value = event.values[2];
   for (uint32_t i = 0; i < plan.cand_count; i++) {
     const Candidate& candidate = candidate_pool_[plan.cand_first + i];
+    if (!ClassInScope(classes_[candidate.class_id])) {
+      continue;
+    }
     const automata::EventPattern& pattern =
         classes_[candidate.class_id].automaton.alphabet[candidate.symbol];
     BindingSet bindings;
@@ -645,37 +906,45 @@ void Runtime::ProcessSiteEvent(ThreadContext& ctx, const Event& event) {
     // variable and would corrupt instance bound masks; treat them like
     // inconsistent caller-provided bindings and surface a site violation.
     if (event.vars[i] >= kMaxVariables || !bindings.Add(event.vars[i], event.values[i])) {
-      ReportViolation(automaton_id, ViolationKind::kBadSite, "inconsistent site bindings");
+      if (ScopeContext()) {
+        ReportViolation(automaton_id, ViolationKind::kBadSite, "inconsistent site bindings");
+      }
       return;
     }
   }
   const CompiledClass& cls = classes_[automaton_id];
-  ShardGuard guard(shards_[cls.shard]->lock, cls.is_global && !ShardLocksHeld());
+  if (!ClassInScope(cls)) {
+    return;
+  }
+  ShardGuard guard(*this, cls.shard, cls.is_global && !ShardHeld(cls.shard));
   HandleSiteEvent(ctx, automaton_id, bindings);
 }
 
 // --- bound lifecycle ---
 
 void Runtime::HandleBoundStart(ThreadContext& ctx, const KeyPlan& plan) {
-  Bump(stats_.bound_entries);
+  if (ScopeContext()) {
+    Bump(stats_.bound_entries);
+  }
   if (options_.lazy_init) {
     // O(1): bump the bound's epoch; instances materialise on first real
     // event. Classes sharing the bound share the epoch slot, so the cost is
-    // per-storage-context, not per-automaton.
-    if ((plan.start_contexts & 1) != 0) {
+    // per-storage-context, not per-automaton. Each scoped stage bumps only
+    // the storage contexts it owns — the producer's context with the
+    // context stage, each shard with its owner's pass.
+    if ((plan.start_contexts & 1) != 0 && ScopeContext()) {
       BoundEpoch& epoch = ctx.bound_epochs_[plan.bound_slot];
       epoch.epoch++;
       epoch.open = true;
     }
     if ((plan.start_contexts & 2) != 0) {
-      uint64_t mask = bound_slot_shards_[plan.bound_slot];
+      uint64_t mask = bound_slot_shards_[plan.bound_slot] & AllowedShardMask();
       for (uint32_t shard = 0; mask != 0; shard++, mask >>= 1) {
         if ((mask & 1) == 0) {
           continue;
         }
-        GlobalShard& global = *shards_[shard];
-        ShardGuard guard(global.lock, !ShardLocksHeld());
-        BoundEpoch& epoch = global.context->bound_epochs_[plan.bound_slot];
+        ShardGuard guard(*this, shard, !ShardHeld(shard));
+        BoundEpoch& epoch = shards_[shard]->context->bound_epochs_[plan.bound_slot];
         epoch.epoch++;
         epoch.open = true;
       }
@@ -685,21 +954,32 @@ void Runtime::HandleBoundStart(ThreadContext& ctx, const KeyPlan& plan) {
   // Naive mode: touch every automaton sharing this bound (the per-syscall
   // cost fig. 13 measures).
   for (uint32_t i = 0; i < plan.start_count; i++) {
-    ActivateClassSharded(ctx, class_pool_[plan.start_first + i]);
+    const uint32_t class_id = class_pool_[plan.start_first + i];
+    if (!ClassInScope(classes_[class_id])) {
+      continue;
+    }
+    ActivateClassSharded(ctx, class_id);
   }
 }
 
 void Runtime::HandleBoundEnd(ThreadContext& ctx, const KeyPlan& plan) {
-  Bump(stats_.bound_exits);
+  const bool context_stage = ScopeContext();
+  if (context_stage) {
+    Bump(stats_.bound_exits);
+  }
   if (!options_.lazy_init) {
     for (uint32_t i = 0; i < plan.end_count; i++) {
-      CleanupClassSharded(ctx, class_pool_[plan.end_first + i]);
+      const uint32_t class_id = class_pool_[plan.end_first + i];
+      if (!ClassInScope(classes_[class_id])) {
+        continue;
+      }
+      CleanupClassSharded(ctx, class_id);
     }
     return;
   }
 
   // Per-thread pass: this context's live classes and open bounds.
-  {
+  if (context_stage) {
     auto& active = ctx.active_classes_[plan.cleanup_slot];
     for (uint32_t class_id : active) {
       CleanupClass(ctx, class_id);
@@ -709,27 +989,40 @@ void Runtime::HandleBoundEnd(ThreadContext& ctx, const KeyPlan& plan) {
   uint64_t shard_mask = 0;
   for (uint32_t i = 0; i < plan.closes_count; i++) {
     const int32_t slot = closed_bounds_pool_[plan.closes_first + i];
-    ctx.bound_epochs_[slot].open = false;
+    if (context_stage) {
+      ctx.bound_epochs_[slot].open = false;
+    }
     shard_mask |= bound_slot_shards_[slot];
   }
   if (!any_global_) {
     return;
   }
 
-  // Global pass: only shards hosting classes that end or close a bound here.
+  // Global pass: only shards hosting classes that end or close a bound
+  // here, restricted to the active scope's shards (the other stages of a
+  // scoped record sweep their own).
   shard_mask |= cleanup_slot_shards_[plan.cleanup_slot];
+  shard_mask &= AllowedShardMask();
   for (uint32_t shard = 0; shard_mask != 0; shard++, shard_mask >>= 1) {
     if ((shard_mask & 1) == 0) {
       continue;
     }
-    GlobalShard& global = *shards_[shard];
-    ShardGuard guard(global.lock, !ShardLocksHeld());
-    ThreadContext& storage = *global.context;
+    ShardGuard guard(*this, shard, !ShardHeld(shard));
+    ThreadContext& storage = *shards_[shard]->context;
     auto& active = storage.active_classes_[plan.cleanup_slot];
-    for (uint32_t class_id : active) {
-      CleanupClass(ctx, class_id);
+    // Classes outside the scope (possible only when pinned and unpinned
+    // classes share a shard, i.e. the degraded all-pinned partition) stay
+    // listed for their own stage's sweep.
+    size_t kept = 0;
+    for (size_t i = 0; i < active.size(); i++) {
+      const uint32_t class_id = active[i];
+      if (ClassInScope(classes_[class_id])) {
+        CleanupClass(ctx, class_id);
+      } else {
+        active[kept++] = class_id;
+      }
     }
-    active.clear();
+    active.resize(kept);
     for (uint32_t i = 0; i < plan.closes_count; i++) {
       storage.bound_epochs_[closed_bounds_pool_[plan.closes_first + i]].open = false;
     }
@@ -738,13 +1031,13 @@ void Runtime::HandleBoundEnd(ThreadContext& ctx, const KeyPlan& plan) {
 
 void Runtime::ActivateClassSharded(ThreadContext& ctx, uint32_t class_id) {
   const CompiledClass& cls = classes_[class_id];
-  ShardGuard guard(shards_[cls.shard]->lock, cls.is_global && !ShardLocksHeld());
+  ShardGuard guard(*this, cls.shard, cls.is_global && !ShardHeld(cls.shard));
   ActivateClass(ctx, class_id);
 }
 
 void Runtime::CleanupClassSharded(ThreadContext& ctx, uint32_t class_id) {
   const CompiledClass& cls = classes_[class_id];
-  ShardGuard guard(shards_[cls.shard]->lock, cls.is_global && !ShardLocksHeld());
+  ShardGuard guard(*this, cls.shard, cls.is_global && !ShardHeld(cls.shard));
   CleanupClass(ctx, class_id);
 }
 
@@ -859,7 +1152,7 @@ bool Runtime::EnsureActive(ThreadContext& ctx, uint32_t class_id) {
 void Runtime::HandleEvent(ThreadContext& ctx, const Candidate& candidate,
                           const BindingSet& bindings) {
   const CompiledClass& cls = classes_[candidate.class_id];
-  ShardGuard guard(shards_[cls.shard]->lock, cls.is_global && !ShardLocksHeld());
+  ShardGuard guard(*this, cls.shard, cls.is_global && !ShardHeld(cls.shard));
   HandleEventLocked(ctx, candidate, bindings);
 }
 

@@ -22,6 +22,19 @@
 //     fig. 12 measures. Automaton classes map to shards by id, so
 //     independent global automata no longer contend on one lock.
 //
+// Shard ownership (async multi-consumer dispatch, src/queue): a shard is
+// either *locked* — the legacy state; every toucher takes its spinlock — or
+// *owned* by one queue consumer. The owner claims its shards per batch with
+// two fetch-free atomics (owner_active + an intruder count) and, when no
+// inline caller is intruding, skips the spinlock entirely: the owner is the
+// shard's single writer. Inline callers that land on an owned shard run the
+// handoff protocol — announce themselves as intruders, take the lock, and
+// wait for the owner to retreat (RuntimeStats::shard_handoffs counts these).
+// Consumers restrict a dispatch pass to the shards they own via a
+// DispatchScope; see OnEventsScoped(). Classes whose site dispatch must read
+// the *producer's* call stack (incallstack() variants) are pinned to
+// dedicated always-locked shards handled in the context stage.
+//
 // Instance lifecycle (§4.4.1): «init» on the bound's start event creates the
 // wildcard (∗) instance; events binding new variable values clone it; the
 // assertion-site event must be consumable by some matching instance or a
@@ -55,6 +68,22 @@
 namespace tesla::runtime {
 
 class Runtime;
+
+// Restricts one dispatch pass to a slice of the runtime's state. The async
+// queue splits each record into two stages that may run on different
+// consumer threads:
+//   * the *context* stage (context = true) — everything anchored to the
+//     producer's ThreadContext: per-thread classes, pinned global classes
+//     (incallstack() site variants need the producer's stack), event-level
+//     stats/trace/timing, and the per-event bookkeeping that must happen
+//     exactly once;
+//   * the *shard* stage (context = false) — unpinned global classes living
+//     on the shards in shard_mask, run by the consumer owning them.
+// Inline dispatch uses no scope (both stages at once, all shards).
+struct DispatchScope {
+  bool context = true;
+  uint64_t shard_mask = ~uint64_t{0};
+};
 
 // Per-serialisation-context storage for one automaton class. Instances are
 // slots into the owning context's InstanceStore; `instances` is the full
@@ -167,6 +196,8 @@ class Runtime {
     Bump(stats_.queue_batches);
   }
   void AccountQueueDrops(uint64_t dropped) { Bump(stats_.queue_drops, dropped); }
+  void AccountQueueForwards(uint64_t forwards) { Bump(stats_.queue_forwards, forwards); }
+  void AccountQueueSteals(uint64_t steals) { Bump(stats_.queue_steals, steals); }
 
   // Batch ingestion: semantically identical to calling OnEvent once per
   // element, but amortises the per-call overheads — plan-capacity checks run
@@ -175,6 +206,35 @@ class Runtime {
   // acquisitions are elided via the batch-owner check). The replay path and
   // event-queue front-ends feed this.
   void OnEvents(ThreadContext& ctx, std::span<const Event> events);
+
+  // Scope-restricted batch dispatch for the async queue's two-stage routing
+  // (see DispatchScope). The caller promises that for every event in the
+  // batch, the work outside `scope` is (or will be) dispatched elsewhere —
+  // the queue forwards records to the consumers owning the other shards.
+  // Shards inside the scope's mask that this runtime registered as owned by
+  // a consumer are claimed with the ownership fast path; everything else is
+  // locked as an intruder.
+  void OnEventsScoped(ThreadContext& ctx, std::span<const Event> events,
+                      const DispatchScope& scope);
+
+  // The unpinned global shards `event` can touch, as a bit mask — the
+  // queue's routing key: a consumer forwards the record to the owner of
+  // every touched shard outside its own set. Conservative (a superset of
+  // the shards the dispatch will really lock) and cheap: one plan lookup.
+  uint64_t ShardStageMask(const Event& event) const;
+
+  // Shards hosting only unpinned global classes — the shards eligible for
+  // consumer ownership. Pinned classes (incallstack() site variants need
+  // the producer context's stack) live outside this mask and are always
+  // dispatched in the context stage under their locks.
+  uint64_t unpinned_shard_mask() const { return unpinned_shard_mask_; }
+
+  // Marks each unpinned shard s as owned by consumer (s % consumers); the
+  // owner id is bookkeeping for the handoff counter, the protocol itself is
+  // per-batch (owner_active). Called by EventQueue::Start()/Stop(); a
+  // runtime has at most one owning queue at a time.
+  void AssignShardOwners(uint32_t consumers);
+  void ReleaseShardOwners();
 
   // --- legacy entry points (thin wrappers over OnEvent) ---
 
@@ -217,6 +277,13 @@ class Runtime {
   // their coverage bits). Cheap enough to call from a scrape handler.
   metrics::Snapshot CollectMetrics() const;
 
+  // Lets a front-end (the async queue) append its own sections — per-
+  // producer and per-consumer tallies — to every CollectMetrics() snapshot.
+  // One augmenter at a time; pass nullptr to clear. The callback must be
+  // safe to invoke from any thread calling CollectMetrics().
+  using MetricsAugmenter = std::function<void(metrics::Snapshot&)>;
+  void SetMetricsAugmenter(MetricsAugmenter augmenter);
+
   // Sum of the global shard contexts' instance-pool overflow tallies (the
   // per-context counts behind RuntimeStats::overflows); reset by
   // ResetStats(). Exposed so stats-reset consumers can verify the derived
@@ -251,6 +318,11 @@ class Runtime {
     automata::Automaton automaton;
     automata::Dfa dfa;
     bool is_global = false;
+    // Global classes with incallstack() site variants must dispatch where
+    // the producer's call stack is visible: they are *pinned* — placed on
+    // shards excluded from consumer ownership and handled in the context
+    // stage of a scoped dispatch.
+    bool pinned = false;
     uint32_t shard = 0;      // global classes: owning shard index
     uint64_t start_key = 0;  // (function, kind) key of the «init» event
     uint64_t end_key = 0;    // (function, kind) key of the «cleanup» event
@@ -303,12 +375,50 @@ class Runtime {
     uint32_t end_count = 0;
     uint32_t closes_first = 0;  // closed_bounds_pool_ range: bound slots closed here
     uint32_t closes_count = 0;
+    // Union of the *unpinned* global shards any event with this key can
+    // touch: candidate classes' shards plus the bound/cleanup slot masks it
+    // opens or closes. ShardStageMask()'s answer — the queue's routing key.
+    uint64_t touched_shards = 0;
   };
 
   // One global-automaton storage shard: a runtime-owned context behind its
   // own lock (heap-allocated so the vector never needs to move a Spinlock).
+  //
+  // Ownership protocol (see the header comment). The spinlock serialises
+  // *intruders* — inline/sync callers and non-owning scoped passes. The
+  // owning consumer claims the shard per batch without the lock:
+  //
+  //   owner, per batch:   owner_active.store(true, seq_cst);
+  //                       if (intruders.load(seq_cst) == 0) → lock-free claim
+  //                       else retreat (owner_active = false) and take the
+  //                       lock like everyone else;
+  //                       release: owner_active.store(false, release).
+  //   intruder, always:   intruders.fetch_add(1, seq_cst);
+  //                       lock.lock();
+  //                       while (owner_active.load(seq_cst)) spin;  // owner
+  //                       ... critical section under the lock ...   // retreats
+  //                       lock.unlock();
+  //                       intruders.fetch_sub(1, release);
+  //
+  // The seq_cst store-then-load on each side (owner_active/intruders,
+  // Dekker-style) guarantees at least one side sees the other: either the
+  // owner sees the intruder and falls back to the lock, or the intruder
+  // sees owner_active and waits for the owner's release store (the
+  // intruder's load sits after the owner's store in the seq_cst order, so
+  // it cannot read the stale false). Every hand-over then gives the usual
+  // release/acquire happens-before edge — the owner's release of
+  // owner_active, or the intruder's unlock + release-decrement that the
+  // owner's next seq_cst intruders load acquires — so the shard's plain
+  // state stays single-writer without fences TSan cannot model.
+  // Deadlock-free: the owner retreats *before* blocking on the lock, and
+  // everyone acquires multi-shard sets in ascending index order.
   struct GlobalShard {
     Spinlock lock;
+    std::atomic<uint32_t> intruders{0};
+    std::atomic<bool> owner_active{false};
+    // Who owns this shard (-1: locked/legacy). Bookkeeping only — used to
+    // count handoffs and by tests; the claim protocol never reads it.
+    std::atomic<int32_t> owner_id{-1};
     std::unique_ptr<ThreadContext> context;
   };
 
@@ -359,10 +469,52 @@ class Runtime {
   void ProcessFieldEvent(ThreadContext& ctx, const Event& event);
   void ProcessSiteEvent(ThreadContext& ctx, const Event& event);
 
-  // True when the calling thread holds every shard lock via OnEvents();
-  // per-event lock acquisitions must then be elided (the spinlock is not
-  // recursive).
-  bool ShardLocksHeld() const { return batch_shard_owner_ == this; }
+  // True when the calling thread already holds (locked or owner-claimed)
+  // `shard` via a batch entry point; per-event acquisitions must then be
+  // elided (the spinlock is not recursive).
+  bool ShardHeld(uint32_t shard) const {
+    return engaged_runtime_ == this && ((engaged_shards_ >> shard) & 1) != 0;
+  }
+
+  // The active scope's view of the plan (thread-local; null scope — or a
+  // scope belonging to a different Runtime — means full inline semantics).
+  const DispatchScope* ActiveScope() const {
+    return scope_runtime_ == this ? active_scope_ : nullptr;
+  }
+  bool ScopeContext() const {
+    const DispatchScope* scope = ActiveScope();
+    return scope == nullptr || scope->context;
+  }
+  bool ClassInScope(const CompiledClass& cls) const {
+    const DispatchScope* scope = ActiveScope();
+    if (scope == nullptr) {
+      return true;
+    }
+    if (!cls.is_global || cls.pinned) {
+      return scope->context;
+    }
+    return ((scope->shard_mask >> cls.shard) & 1) != 0;
+  }
+  // Shards the active scope may touch: pinned shards ride with the context
+  // stage, unpinned shards follow the scope's mask.
+  uint64_t AllowedShardMask() const {
+    const DispatchScope* scope = ActiveScope();
+    if (scope == nullptr) {
+      return ~uint64_t{0};
+    }
+    return (scope->context ? pinned_shard_mask_ : 0) |
+           (scope->shard_mask & unpinned_shard_mask_);
+  }
+
+  // The intruder side of the shard-ownership protocol (see GlobalShard).
+  // Const (with the handoff counter bumped through an atomic_ref) so const
+  // accessors like shard_pool_overflows() can intrude too.
+  void LockShardAsIntruder(GlobalShard& shard) const;
+  void UnlockShardAsIntruder(GlobalShard& shard) const;
+  class ShardGuard;
+
+  // Runs the registered metrics augmenter (if any) over `snapshot`.
+  void AugmentSnapshot(metrics::Snapshot& snapshot) const;
 
   void HandleBoundStart(ThreadContext& ctx, const KeyPlan& plan);
   void HandleBoundEnd(ThreadContext& ctx, const KeyPlan& plan);
@@ -463,6 +615,12 @@ class Runtime {
   uint32_t cleanup_slot_count_ = 0;
   uint32_t stack_slot_count_ = 0;
   bool any_global_ = false;
+  // Shard partition (CompilePlan): pinned classes segregate onto their own
+  // shards so a pinned and an unpinned class never share a shard context —
+  // the context and shard stages of a scoped dispatch would otherwise race
+  // on shared bound-epoch slots.
+  uint64_t pinned_shard_mask_ = 0;
+  uint64_t unpinned_shard_mask_ = 0;
 
   // Global-context storage, sharded (shared across threads, each shard
   // spinlock-serialised).
@@ -482,10 +640,20 @@ class Runtime {
   mutable Spinlock violation_log_lock_;
   std::vector<std::pair<ViolationKind, std::string>> violation_log_;
 
-  // The runtime whose OnEvents() batch currently holds all shard locks on
-  // this thread (null when none). Thread-local so concurrent batches on
-  // different threads still serialise on the shard locks themselves.
-  static thread_local const Runtime* batch_shard_owner_;
+  // Snapshot augmentation (SetMetricsAugmenter): the async queue's hook for
+  // folding its per-producer/per-consumer tallies into CollectMetrics().
+  mutable Spinlock augmenter_lock_;
+  MetricsAugmenter metrics_augmenter_;
+
+  // The runtime whose batch entry point currently holds shards on this
+  // thread, and which shards (a bit per index). Thread-local so concurrent
+  // batches on other threads still serialise on the shards themselves.
+  static thread_local const Runtime* engaged_runtime_;
+  static thread_local uint64_t engaged_shards_;
+  // The DispatchScope restricting dispatch on this thread (null: full) and
+  // the runtime it belongs to.
+  static thread_local const Runtime* scope_runtime_;
+  static thread_local const DispatchScope* active_scope_;
 };
 
 }  // namespace tesla::runtime
