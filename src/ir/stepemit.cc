@@ -1,0 +1,99 @@
+#include "ir/stepemit.h"
+
+namespace tesla::ir {
+
+namespace {
+
+// Frame layout: r0 = state, r1 = symbol (params), r2 = constant scratch,
+// r3 = compare scratch.
+constexpr Reg kState = 0;
+constexpr Reg kSymbol = 1;
+constexpr Reg kImm = 2;
+constexpr Reg kCmp = 3;
+
+Instr Const(int64_t imm) {
+  Instr instr;
+  instr.op = Opcode::kConst;
+  instr.dst = kImm;
+  instr.imm = imm;
+  return instr;
+}
+
+Instr Eq(Reg a) {
+  Instr instr;
+  instr.op = Opcode::kBin;
+  instr.bin = BinOp::kEq;
+  instr.dst = kCmp;
+  instr.a = a;
+  instr.b = kImm;
+  return instr;
+}
+
+Instr CondBr(uint32_t then_block, uint32_t else_block) {
+  Instr instr;
+  instr.op = Opcode::kCondBr;
+  instr.a = kCmp;
+  instr.then_block = then_block;
+  instr.else_block = else_block;
+  return instr;
+}
+
+Instr Ret() {
+  Instr instr;
+  instr.op = Opcode::kRet;
+  instr.a = kImm;
+  return instr;
+}
+
+}  // namespace
+
+Function* EmitStepFunction(Module& module, const automata::StepLowering& lowering,
+                           const std::string& name) {
+  const auto& live = lowering.live_symbols;
+  const size_t tests = live.size();
+
+  // Block layout: one symbol-test block per live symbol (entry is the first
+  // test), then the shared miss block, then each symbol's edge chain — one
+  // compare block and one return block per DFA edge. Dead symbols have no
+  // test block at all: they fall off the chain into the miss return, the
+  // same pruning the bytecode tier applies via a zero entry offset.
+  const uint32_t miss = static_cast<uint32_t>(tests == 0 ? 1 : tests);
+  std::vector<uint32_t> body_first(tests);
+  uint32_t next = miss + 1;
+  for (size_t i = 0; i < tests; i++) {
+    body_first[i] = next;
+    next += 2 * static_cast<uint32_t>(lowering.symbol_edges[live[i]].size());
+  }
+
+  Function fn;
+  fn.name = InternString(name);
+  fn.param_count = 2;
+  fn.reg_count = 4;
+  fn.blocks.resize(next);
+
+  if (tests == 0) {
+    // No transitions at all: the entry *is* the miss return (block 0), with
+    // the reserved miss block as an unreachable duplicate to keep the layout
+    // uniform.
+    fn.blocks[0].instrs = {Const(kStepMiss), Ret()};
+  }
+  for (size_t i = 0; i < tests; i++) {
+    Block& test = fn.blocks[i];
+    const uint32_t next_test = i + 1 < tests ? static_cast<uint32_t>(i + 1) : miss;
+    test.instrs = {Const(live[i]), Eq(kSymbol), CondBr(body_first[i], next_test)};
+
+    const auto& edges = lowering.symbol_edges[live[i]];
+    for (size_t e = 0; e < edges.size(); e++) {
+      const uint32_t check = body_first[i] + 2 * static_cast<uint32_t>(e);
+      const uint32_t hit = check + 1;
+      const uint32_t on_miss = e + 1 < edges.size() ? check + 2 : miss;
+      fn.blocks[check].instrs = {Const(edges[e].from), Eq(kState), CondBr(hit, on_miss)};
+      fn.blocks[hit].instrs = {Const(edges[e].to), Ret()};
+    }
+  }
+  fn.blocks[miss].instrs = {Const(kStepMiss), Ret()};
+
+  return module.AddFunction(std::move(fn));
+}
+
+}  // namespace tesla::ir

@@ -15,10 +15,28 @@
 
 #include "automata/determinize.h"
 #include "automata/dot.h"
+#include "metrics/collector.h"
 #include "runtime/handler.h"
 #include "runtime/runtime.h"
 
 namespace tesla::runtime {
+
+// --- tier-independent transition stamping ---
+//
+// Every stepping tier (runtime/step.h) and the «init» path stamp taken
+// transitions through this one helper, so the coverage bitmap is
+// bit-identical whichever tier stepped the instance — the invariant the
+// step-tier differential test pins down. The bit layout is the class's
+// dense (dfa_state × symbol) grid installed by Runtime::CompilePlan():
+// bit = cov_first + dfa_state * cov_symbols + symbol. NFA-mode tiers stamp
+// via the mirrored dfa_flat state, and a multi-symbol union with no
+// single-symbol DFA edge stamps nothing — coverage may undercount, never
+// misattribute. After warmup the stamp is one relaxed load (the bit is
+// already set; see metrics::Collector::StampCoverage).
+inline void StampTransition(metrics::Collector* collector, uint32_t cov_first,
+                            uint32_t cov_symbols, uint32_t dfa_state, uint16_t symbol) {
+  collector->StampCoverage(cov_first + dfa_state * cov_symbols + symbol);
+}
 
 struct TransitionCoverage {
   uint32_t from_state = 0;    // DFA state index

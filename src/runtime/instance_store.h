@@ -8,10 +8,11 @@
 //
 // InstanceStore splits the record: the fields the stepping hot path reads
 // (NFA state set, DFA state, bound-variable mask) live in one dense 16-byte
-// `Hot` entry per slot, while the bound *values* live out-of-line — the
-// exact-match pass touches one cache line per instance, four instances per
-// line. Slots come from a SlotPool (fixed capacity, counted overflow, §4.4.1's
-// deterministic-footprint contract).
+// `InstanceHot` entry per slot (the layout is defined in runtime/step.h so
+// the batch step kernels can walk the array directly), while the bound
+// *values* live out-of-line — the exact-match pass touches one cache line per
+// instance, four instances per line. Slots come from a SlotPool (fixed
+// capacity, counted overflow, §4.4.1's deterministic-footprint contract).
 //
 // KeyIndex is a compact open-addressing hash map from an instance's *key
 // tuple* — the values of the class's key variables, those bound by clone
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "runtime/instance.h"
+#include "runtime/step.h"
 #include "support/hash.h"
 #include "support/pool.h"
 
@@ -51,7 +53,7 @@ class InstanceStore {
     if (slot == kNoSlot) {
       return kNoSlot;
     }
-    hot_[slot] = Hot{};
+    hot_[slot] = InstanceHot{};
     values_[slot] = {};
     next_[slot] = kNoSlot;
     return slot;
@@ -61,6 +63,8 @@ class InstanceStore {
 
   automata::StateSet& states(uint32_t slot) { return hot_[slot].states; }
   uint32_t& dfa_state(uint32_t slot) { return hot_[slot].dfa_state; }
+  // Raw hot array, for StepProgram::RunBatch's slot loop.
+  InstanceHot* hot_data() { return hot_.data(); }
   uint32_t bound_mask(uint32_t slot) const { return hot_[slot].bound_mask; }
   const std::array<int64_t, kMaxVariables>& values(uint32_t slot) const {
     return values_[slot];
@@ -125,15 +129,8 @@ class InstanceStore {
   void ResetOverflows() { pool_.ResetOverflows(); }
 
  private:
-  struct Hot {
-    automata::StateSet states = 0;  // NFA state set (fig. 9's "NFA:1,3")
-    uint32_t dfa_state = 0;         // used in DFA-stepping mode
-    uint32_t bound_mask = 0;
-  };
-  static_assert(sizeof(Hot) == 16, "four instances per cache line");
-
   SlotPool pool_;
-  std::vector<Hot> hot_;
+  std::vector<InstanceHot> hot_;
   std::vector<std::array<int64_t, kMaxVariables>> values_;  // out-of-line
   std::vector<uint32_t> next_;  // bucket chains, threaded per slot
 };

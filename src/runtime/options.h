@@ -18,6 +18,26 @@ namespace tesla::runtime {
 // supply process-memory access.
 using MemoryReader = std::function<bool(int64_t address, int64_t* value)>;
 
+// How a registered class's step function executes (see runtime/step.h and
+// DESIGN.md "Stepping tiers"). Every tier is semantically identical —
+// verdicts, RuntimeStats and coverage bitmaps are bit-for-bit equal; the
+// differential tests enforce it — so the knob is purely a speed/ablation
+// choice.
+enum class StepTier : uint8_t {
+  // The reference walk: per-state edge vectors for NFA simulation,
+  // Dfa::Step for the use_dfa ablation. The seed's algorithm.
+  kInterpreted = 0,
+  // A threaded interpreter over compact per-class bytecode: dead symbols
+  // pruned, single-transition symbols collapsed to one compare, dense rows
+  // inlined as immediates. Computed-goto dispatch where the compiler
+  // supports it.
+  kThreaded = 1,
+  // Per-shape specialised kernels picked at Register() time: branchless
+  // table lookups for DFA-trackable classes (table-in-registers for small
+  // automata), mask-and-union tables for incallstack() classes.
+  kSpecialised = 2,
+};
+
 struct RuntimeOptions {
   // Lazy automaton-instance initialisation (paper §5.2.2, fig. 13): bound
   // entry/exit only touch automata that received a non-initialisation event
@@ -37,6 +57,18 @@ struct RuntimeOptions {
   // the naive scan; the differential tests drive both modes through
   // identical schedules and require event-for-event agreement.
   bool instance_index = true;
+
+  // Below this live-instance population, a keyed class skips the index
+  // probe and falls through to the flat chain walk: hashing the key tuple
+  // costs more than scanning a handful of instances (BENCH_instances.json
+  // put the crossover between 1 and 10 live instances). Counted as
+  // RuntimeStats::index_scans. 0 probes unconditionally; the crossover test
+  // checks the probe decision stays monotone in the population.
+  size_t index_min_population = 8;
+
+  // Step-function execution tier (see StepTier). The default is the best
+  // available: per-class specialised kernels, compiled at Register() time.
+  StepTier step_tier = StepTier::kSpecialised;
 
   // Instances preallocated per event-serialisation context (§4.4.1:
   // "we preallocate a fixed-size memory block per thread, giving a

@@ -8,6 +8,8 @@
 #include <cstdlib>
 
 #include "automata/dot.h"
+#include "automata/stepc.h"
+#include "runtime/coverage.h"
 #include "support/log.h"
 #include "support/smallvec.h"
 #include "trace/forensics.h"
@@ -93,6 +95,7 @@ thread_local const Runtime* Runtime::engaged_runtime_ = nullptr;
 thread_local uint64_t Runtime::engaged_shards_ = 0;
 thread_local const Runtime* Runtime::scope_runtime_ = nullptr;
 thread_local const DispatchScope* Runtime::active_scope_ = nullptr;
+thread_local Runtime::StatsFrame* Runtime::stats_frame_ = nullptr;
 
 // The intruder side of the shard-ownership protocol (see GlobalShard in
 // runtime.h for the full memory-ordering argument). The first owner_active
@@ -136,8 +139,23 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
 
 Runtime::~Runtime() = default;
 
-void Runtime::Bump(uint64_t& counter, uint64_t amount) {
-  std::atomic_ref<uint64_t>(counter).fetch_add(amount, std::memory_order_relaxed);
+void Runtime::FlushStatsFrame(StatsFrame& frame) {
+  uint64_t* counters = reinterpret_cast<uint64_t*>(&stats_);
+  for (size_t i = 0; i < kRuntimeStatsFieldCount; i++) {
+    if (frame.delta[i] != 0) {
+      std::atomic_ref<uint64_t>(counters[i]).fetch_add(frame.delta[i],
+                                                       std::memory_order_relaxed);
+      frame.delta[i] = 0;
+    }
+  }
+}
+
+void Runtime::FlushThreadStats() {
+  for (StatsFrame* frame = stats_frame_; frame != nullptr; frame = frame->prev) {
+    if (frame->runtime == this) {
+      FlushStatsFrame(*frame);
+    }
+  }
 }
 
 Status Runtime::Register(const automata::Manifest& manifest) {
@@ -233,6 +251,7 @@ void Runtime::CompilePlan() {
   bool any_unpinned = false;
   for (CompiledClass& cls : classes_) {
     cls.pinned = cls.is_global && !cls.site_variants.empty();
+    cls.site_fast = cls.automaton.has_site && cls.site_variants.empty();
     any_pinned |= cls.pinned;
     any_unpinned |= cls.is_global && !cls.pinned;
   }
@@ -425,29 +444,47 @@ void Runtime::CompilePlan() {
     plan.touched_shards = touched & unpinned_shard_mask_;
   }
 
-  // Pass 4 (metrics on): transition-coverage layout. Each class owns a dense
-  // cov_states × cov_symbols bit grid, 64-aligned so no bitmap word is
-  // shared between classes, plus the DFA table flattened to the same
-  // indexing for NFA-mode stepping. Reinstalling clears any stamped bits —
-  // the bit layout just changed.
-  if (collector_ != nullptr) {
-    collector_->EnsureClassCapacity(classes_.size());
-    size_t bits = 0;
-    for (CompiledClass& cls : classes_) {
-      cls.cov_states = static_cast<uint32_t>(cls.dfa.states.size());
-      cls.cov_symbols = cls.dfa.symbol_count;
-      cls.cov_first = static_cast<uint32_t>(bits);
-      const size_t grid = static_cast<size_t>(cls.cov_states) * cls.cov_symbols;
-      bits += (grid + 63) & ~size_t{63};
-      cls.dfa_flat.resize(grid);
-      for (uint32_t state = 0; state < cls.cov_states; state++) {
-        for (uint32_t symbol = 0; symbol < cls.cov_symbols; symbol++) {
-          cls.dfa_flat[state * cls.cov_symbols + symbol] =
-              cls.dfa.states[state].transitions[symbol];
-        }
+  // Pass 4: flattened DFA tables and (metrics on) the transition-coverage
+  // layout. dfa_flat — the DFA transition table in (state × symbol) indexing
+  // — is built unconditionally: the step-program lowering reads it whether
+  // or not metrics are on. The coverage layout gives each class a dense
+  // cov_states × cov_symbols bit grid over the same indexing, 64-aligned so
+  // no bitmap word is shared between classes. Reinstalling clears any
+  // stamped bits — the bit layout just changed.
+  size_t bits = 0;
+  for (CompiledClass& cls : classes_) {
+    cls.cov_states = static_cast<uint32_t>(cls.dfa.states.size());
+    cls.cov_symbols = cls.dfa.symbol_count;
+    const size_t grid = static_cast<size_t>(cls.cov_states) * cls.cov_symbols;
+    cls.dfa_flat.resize(grid);
+    for (uint32_t state = 0; state < cls.cov_states; state++) {
+      for (uint32_t symbol = 0; symbol < cls.cov_symbols; symbol++) {
+        cls.dfa_flat[state * cls.cov_symbols + symbol] =
+            cls.dfa.states[state].transitions[symbol];
       }
     }
+    if (collector_ != nullptr) {
+      cls.cov_first = static_cast<uint32_t>(bits);
+      bits += (grid + 63) & ~size_t{63};
+    }
+  }
+  if (collector_ != nullptr) {
+    collector_->EnsureClassCapacity(classes_.size());
     collector_->InstallCoverage(bits);
+  }
+
+  // Pass 5: compile each class's step program (runtime/step.h). Recompiled
+  // for every class on every Register(): classes_ may have reallocated, so
+  // even previously compiled programs need their interpreted-tier
+  // automaton/DFA pointers refreshed.
+  for (CompiledClass& cls : classes_) {
+    StepCompileOptions step_options;
+    step_options.tier = options_.step_tier;
+    step_options.use_dfa = options_.use_dfa;
+    step_options.coverage = collector_ != nullptr;
+    step_options.cov_first = cls.cov_first;
+    cls.step = CompileStepProgram(cls.automaton, cls.dfa,
+                                  automata::LowerStep(cls.automaton, cls.dfa), step_options);
   }
 }
 
@@ -583,12 +620,8 @@ void Runtime::AugmentSnapshot(metrics::Snapshot& snapshot) const {
   }
 }
 
-ClassState& Runtime::StateFor(ThreadContext& ctx, uint32_t class_id) {
-  ThreadContext& storage = ContextFor(ctx, class_id);
-  if (storage.classes_.size() <= class_id) {
-    storage.classes_.resize(classes_.size());
-  }
-  return storage.classes_[class_id];
+void Runtime::GrowClassStates(ThreadContext& storage) {
+  storage.classes_.resize(classes_.size());
 }
 
 // --- the unified event entry point ---
@@ -611,6 +644,16 @@ void Runtime::OnEvents(ThreadContext& ctx, std::span<const Event> events) {
     return;
   }
   EnsurePlanCapacity(ctx);
+  // Batch the stats alongside the locks: every Bump in the batch becomes a
+  // plain add into a thread-local frame, flushed once on exit (StatsBatch).
+  StatsBatch stats_batch(*this);
+  // With no flight recorder, no dispatch timing and no active scope, every
+  // event's DispatchEvent prologue is the same few checks — hoist them out
+  // of the loop (DispatchBatchPlain). The three inputs are fixed for the
+  // runtime/context lifetime, so one test covers the whole batch.
+  const bool plain = ActiveScope() == nullptr &&
+                     (recorder_ == nullptr || ctx.trace_ == nullptr) &&
+                     !(time_dispatch_ && ctx.metrics_ != nullptr);
   if (any_global_ && engaged_runtime_ != this) {
     // Take every shard once for the whole batch, in ascending order
     // (concurrent batches on other threads acquire in the same order, so
@@ -639,13 +682,45 @@ void Runtime::OnEvents(ThreadContext& ctx, std::span<const Event> events) {
       }
     };
     BatchShardLocks locks(*this);
-    for (const Event& event : events) {
-      DispatchEvent(ctx, event);
+    if (plain) {
+      DispatchBatchPlain(ctx, events);
+    } else {
+      for (const Event& event : events) {
+        DispatchEvent(ctx, event);
+      }
     }
     return;
   }
+  if (plain) {
+    DispatchBatchPlain(ctx, events);
+  } else {
+    for (const Event& event : events) {
+      DispatchEvent(ctx, event);
+    }
+  }
+}
+
+void Runtime::DispatchBatchPlain(ThreadContext& ctx, std::span<const Event> events) {
+  // The whole batch is counted up front (one Bump instead of one per event);
+  // a violation handler observing stats mid-batch sees the batch's event
+  // count already applied, which is the documented batch semantics.
+  Bump(stats_.events, events.size());
   for (const Event& event : events) {
-    DispatchEvent(ctx, event);
+    if (event.truncated) [[unlikely]] {
+      Bump(stats_.arg_truncations);
+    }
+    switch (event.kind) {
+      case EventKind::kFunctionCall:
+      case EventKind::kFunctionReturn:
+        ProcessFunctionEvent(ctx, event);
+        break;
+      case EventKind::kFieldStore:
+        ProcessFieldEvent(ctx, event);
+        break;
+      case EventKind::kAssertionSite:
+        ProcessSiteEvent(ctx, event);
+        break;
+    }
   }
 }
 
@@ -660,6 +735,8 @@ void Runtime::OnEventsScoped(ThreadContext& ctx, std::span<const Event> events,
     // the shard stage must not write another consumer's home context.
     EnsurePlanCapacity(ctx);
   }
+  // Batch the stats for the whole scoped pass (see StatsBatch).
+  StatsBatch stats_batch(*this);
   // Publish the scope for the duration (restoring any outer frame so a
   // handler re-entering dispatch cannot inherit a stale scope).
   struct ScopeFrame {
@@ -900,6 +977,48 @@ void Runtime::ProcessSiteEvent(ThreadContext& ctx, const Event& event) {
   if (automaton_id >= classes_.size()) {
     return;
   }
+  const CompiledClass& fast_cls = classes_[automaton_id];
+  if (event.count == 0 && fast_cls.site_fast && !fast_cls.is_global && handlers_.empty() &&
+      ActiveScope() == nullptr) [[likely]] {
+    // Flattened steady-state path: an unbound site event on a per-thread
+    // class whose site event is just the site symbol, with no handlers and
+    // no scoped dispatch. Such an event exact-matches every live instance,
+    // so the whole HandleSiteEvent → DispatchToInstances → DispatchScan
+    // cascade reduces to one batch kernel call — this is where the
+    // sub-30 ns/event dispatch budget is won. Anything off the steady state
+    // (inactive class, lazy activation pending, empty population) falls
+    // through to the generic path below, which handles it identically.
+    ClassState& state = StateFor(ctx, automaton_id);
+    bool active = state.active;
+    if (options_.lazy_init) {
+      const BoundEpoch& epoch = ctx.bound_epochs_[fast_cls.bound_slot];
+      active = active && epoch.open && state.epoch == epoch.epoch;
+    }
+    if (active && !state.instances.empty()) {
+      if (options_.instance_index && fast_cls.key_mask != 0) {
+        // An unbound event cannot cover the key tuple: always a scan.
+        Bump(stats_.index_scans);
+        BumpClass(ctx, automaton_id, metrics::ClassCounter::index_scans);
+      }
+      const uint32_t stepped = fast_cls.step.RunBatch(
+          collector_.get(), ctx.store_.hot_data(), state.instances.data(),
+          state.instances.size(),
+          std::span<const uint16_t>(&fast_cls.automaton.site_symbol, 1));
+      if (stepped != 0) [[likely]] {
+        Bump(stats_.transitions, stepped);
+        BumpClass(ctx, automaton_id, metrics::ClassCounter::transitions, stepped);
+        return;
+      }
+      // Paper §4.4.1 "Error": no instance could consume the site.
+      automata::StateSet live = 0;
+      for (uint32_t slot : state.instances) {
+        live |= ctx.store_.states(slot);
+      }
+      ReportViolation(automaton_id, ViolationKind::kBadSite,
+                      "no instance could accept the assertion site", live);
+      return;
+    }
+  }
   BindingSet bindings;
   for (uint8_t i = 0; i < event.count; i++) {
     // Variable indices beyond kMaxVariables cannot name an automaton
@@ -1071,7 +1190,8 @@ void Runtime::ActivateClass(ThreadContext& ctx, uint32_t class_id) {
   BumpClass(storage, class_id, metrics::ClassCounter::transitions);
   if (collector_ != nullptr) {
     // The «init» transition leaves DFA state 0 (the pre-bound start state).
-    StampStep(cls, 0, cls.automaton.init_symbol);
+    StampTransition(collector_.get(), cls.cov_first, cls.cov_symbols, 0,
+                    cls.automaton.init_symbol);
   }
   if (!handlers_.empty()) {
     ClassInfo info{class_id, &cls.automaton};
@@ -1121,11 +1241,14 @@ void Runtime::CleanupClass(ThreadContext& ctx, uint32_t class_id) {
 
 bool Runtime::EnsureActive(ThreadContext& ctx, uint32_t class_id) {
   const CompiledClass& cls = classes_[class_id];
-  ClassState& state = StateFor(ctx, class_id);
+  return EnsureActive(ctx, cls, ContextFor(ctx, class_id), StateFor(ctx, class_id));
+}
+
+bool Runtime::EnsureActive(ThreadContext& ctx, const CompiledClass& cls,
+                           ThreadContext& storage, ClassState& state) {
   if (!options_.lazy_init) {
     return state.active;
   }
-  ThreadContext& storage = ContextFor(ctx, class_id);
   const BoundEpoch& epoch_entry = storage.bound_epochs_[cls.bound_slot];
   if (!epoch_entry.open) {
     return false;  // no bound currently open for this class
@@ -1138,12 +1261,12 @@ bool Runtime::EnsureActive(ThreadContext& ctx, uint32_t class_id) {
     return false;  // already cleaned up within this bound
   }
   // First event for this class within a newly-opened bound: lazy «init».
-  ActivateClass(ctx, class_id);
+  ActivateClass(ctx, cls.id);
   if (!state.active) {
     return false;  // pool overflow
   }
   state.epoch = current;
-  storage.active_classes_[cls.cleanup_slot].push_back(class_id);
+  storage.active_classes_[cls.cleanup_slot].push_back(cls.id);
   return true;
 }
 
@@ -1186,50 +1309,60 @@ void Runtime::HandleEventLocked(ThreadContext& ctx, const Candidate& candidate,
 
 void Runtime::HandleSiteEvent(ThreadContext& ctx, uint32_t class_id,
                               const BindingSet& bindings) {
-  if (!EnsureActive(ctx, class_id)) {
+  // Resolve the class's storage context and state once; everything below —
+  // activation check, dispatch, the stuck-automaton report — reuses them.
+  const CompiledClass& cls = classes_[class_id];
+  ThreadContext& storage = ContextFor(ctx, class_id);
+  ClassState& state = StateFor(ctx, class_id);
+  if (!EnsureActive(ctx, cls, storage, state)) {
     Bump(stats_.ignored_events);  // site reached outside its temporal bound
     return;
   }
-  const CompiledClass& cls = classes_[class_id];
 
   // The assertion-site event plus any satisfied incallstack() predicates.
-  // The symbol list keeps the common handful of variants inline and grows
-  // past that, so no satisfied predicate is ever dropped —
-  // RuntimeStats::site_variant_truncations can only be zero now, and is
-  // kept solely so ablations and old reports keep their schema.
+  // Classes with no incallstack() variants (the common shape) dispatch the
+  // site symbol straight from the automaton; otherwise the symbol list keeps
+  // the common handful of variants inline and grows past that, so no
+  // satisfied predicate is ever dropped — RuntimeStats::site_variant_truncations
+  // can only be zero now, and is kept solely so ablations and old reports
+  // keep their schema.
   SmallVector<uint16_t, 17> symbols;
-  if (cls.automaton.has_site) {
-    symbols.push_back(cls.automaton.site_symbol);
-  }
-  for (uint16_t variant : cls.site_variants) {
-    if (ctx.InCallStack(cls.automaton.alphabet[variant].function)) {
-      symbols.push_back(variant);
-    }
-  }
-  if (symbols.empty()) {
-    if (!cls.automaton.has_site && cls.site_variants.empty()) {
+  std::span<const uint16_t> symbol_span;
+  if (cls.site_variants.empty()) [[likely]] {
+    if (!cls.automaton.has_site) {
       // The assertion's expression references no site event (e.g. a pure
       // TSEQUENCE or optional() form); the site marker carries no automaton
       // meaning and is ignored.
       Bump(stats_.ignored_events);
-    } else {
+      return;
+    }
+    symbol_span = std::span<const uint16_t>(&cls.automaton.site_symbol, 1);
+  } else {
+    if (cls.automaton.has_site) {
+      symbols.push_back(cls.automaton.site_symbol);
+    }
+    for (uint16_t variant : cls.site_variants) {
+      if (ctx.InCallStack(cls.automaton.alphabet[variant].function)) {
+        symbols.push_back(variant);
+      }
+    }
+    if (symbols.empty()) {
       // incallstack()-only site, with no predicate satisfied: the site could
       // not be consumed.
       ReportViolation(class_id, ViolationKind::kBadSite,
                       "assertion site with no satisfiable site event");
+      return;
     }
-    return;
+    symbol_span = std::span<const uint16_t>(symbols.data(), symbols.size());
   }
 
-  bool stepped = DispatchToInstances(ctx, class_id, bindings,
-                                     std::span<const uint16_t>(symbols.data(), symbols.size()));
+  bool stepped = DispatchToInstances(storage, cls, state, bindings, symbol_span);
   if (!stepped) {
     // Paper §4.4.1 "Error": reaching the site with no instance able to
     // consume it (e.g. the (vp3) case) is a violation. The union of live
     // instance states tells forensics where the automaton got stuck.
-    ThreadContext& storage = ContextFor(ctx, class_id);
     automata::StateSet live = 0;
-    for (uint32_t slot : StateFor(ctx, class_id).instances) {
+    for (uint32_t slot : state.instances) {
       live |= storage.store_.states(slot);
     }
     ReportViolation(class_id, ViolationKind::kBadSite,
@@ -1256,19 +1389,34 @@ bool Runtime::DispatchToInstances(ThreadContext& ctx, uint32_t class_id,
                                   const BindingSet& bindings,
                                   std::span<const uint16_t> symbols) {
   const CompiledClass& cls = classes_[class_id];
-  ClassState& state = StateFor(ctx, class_id);
-  ThreadContext& storage = ContextFor(ctx, class_id);
+  return DispatchToInstances(ContextFor(ctx, class_id), cls, StateFor(ctx, class_id), bindings,
+                             symbols);
+}
+
+bool Runtime::DispatchToInstances(ThreadContext& storage, const CompiledClass& cls,
+                                  ClassState& state, const BindingSet& bindings,
+                                  std::span<const uint16_t> symbols) {
+  const uint32_t class_id = cls.id;
   if (options_.instance_index && cls.key_mask != 0) {
-    if (BindingsVarMask(bindings.entries, bindings.count) == cls.key_mask) {
+    if (state.instances.size() < options_.index_min_population) {
+      // Below the crossover population, hashing the key tuple costs more
+      // than walking the handful of live instances (BENCH_instances.json);
+      // fall through to the scan. The index stays coherent — IndexInstance
+      // still files every clone — so the probe path is valid again the
+      // moment the population grows past the threshold.
+      Bump(stats_.index_scans);
+      BumpClass(storage, class_id, metrics::ClassCounter::index_scans);
+    } else if (BindingsVarMask(bindings.entries, bindings.count) == cls.key_mask) {
       Bump(stats_.index_probes);
       BumpClass(storage, class_id, metrics::ClassCounter::index_probes);
       return DispatchIndexed(storage, cls, state, bindings, symbols);
+    } else {
+      // An event binding a strict subset (or superset) of the key variables
+      // cannot be answered by one bucket; fall back to the scan. The index
+      // stays coherent because clone insertion goes through IndexInstance.
+      Bump(stats_.index_scans);
+      BumpClass(storage, class_id, metrics::ClassCounter::index_scans);
     }
-    // An event binding a strict subset (or superset) of the key variables
-    // cannot be answered by one bucket; fall back to the scan. The index
-    // stays coherent because clone insertion goes through IndexInstance.
-    Bump(stats_.index_scans);
-    BumpClass(storage, class_id, metrics::ClassCounter::index_scans);
   }
   return DispatchScan(storage, cls, state, bindings, symbols);
 }
@@ -1374,6 +1522,26 @@ bool Runtime::DispatchIndexed(ThreadContext& storage, const CompiledClass& cls,
 // cover the key tuple. Keeps the index coherent for later fast-path events.
 bool Runtime::DispatchScan(ThreadContext& storage, const CompiledClass& cls, ClassState& state,
                            const BindingSet& bindings, std::span<const uint16_t> symbols) {
+  if (bindings.count == 0 && handlers_.empty()) {
+    // An unbound event (the common assertion-site shape) exact-matches every
+    // live instance, so pass 1 degenerates to stepping the whole population
+    // and pass 2 never runs (any instance at all is an exact match). With no
+    // handlers subscribed the walk is one batch kernel call — the per-slot
+    // match/step/bump round trip is replaced by the kernel's own slot loop
+    // and a single aggregated transition count.
+    if (state.instances.empty()) {
+      return false;
+    }
+    const uint32_t stepped =
+        cls.step.RunBatch(collector_.get(), storage.store_.hot_data(), state.instances.data(),
+                          state.instances.size(), symbols);
+    if (stepped != 0) {
+      Bump(stats_.transitions, stepped);
+      BumpClass(storage, cls.id, metrics::ClassCounter::transitions, stepped);
+    }
+    return stepped != 0;
+  }
+
   // Pass 1: instances already bound to exactly these values.
   bool any_exact = false;
   bool any_step = false;
@@ -1466,59 +1634,6 @@ void Runtime::IndexInstance(ThreadContext& storage, const CompiledClass& cls,
   };
   storage.store_.next(slot) =
       state.index.InsertHead(HashKeyTuple(key, cls.key_count), key_equals, slot);
-}
-
-bool Runtime::StepCore(const CompiledClass& cls, automata::StateSet& states,
-                       uint32_t& dfa_state, std::span<const uint16_t> symbols,
-                       automata::StateSet* from_out, uint16_t* symbol_out) {
-  if (options_.use_dfa) {
-    for (uint16_t symbol : symbols) {
-      uint32_t target = cls.dfa.Step(dfa_state, symbol);
-      if (target == automata::Dfa::kNoTarget) {
-        continue;
-      }
-      *from_out = states;
-      *symbol_out = symbol;
-      if (collector_ != nullptr) {
-        StampStep(cls, dfa_state, symbol);
-      }
-      dfa_state = target;
-      states = cls.dfa.states[target].nfa_states;
-      return true;
-    }
-    return false;
-  }
-
-  automata::StateSet next = 0;
-  uint16_t stepped_symbol = symbols.empty() ? 0 : symbols[0];
-  for (uint16_t symbol : symbols) {
-    automata::StateSet result = cls.automaton.Step(states, symbol);
-    if (result != 0 && next == 0) {
-      stepped_symbol = symbol;
-    }
-    next |= result;
-  }
-  if (next == 0) {
-    return false;
-  }
-  *from_out = states;
-  *symbol_out = stepped_symbol;
-  states = next;
-  if (collector_ != nullptr) {
-    // Mirror the step onto the determinised automaton: one load in the
-    // flattened table keeps the instance's dfa_state current in NFA mode, so
-    // coverage bits address the same (state, symbol) grid in both ablations
-    // and a capture replays to identical coverage. A multi-symbol union with
-    // no single-symbol DFA edge (possible with incallstack() variants)
-    // leaves the mirror alone and stamps nothing — coverage may undercount
-    // there, never misattribute.
-    const uint32_t target = cls.dfa_flat[dfa_state * cls.cov_symbols + stepped_symbol];
-    if (target != automata::Dfa::kNoTarget) {
-      StampStep(cls, dfa_state, stepped_symbol);
-      dfa_state = target;
-    }
-  }
-  return true;
 }
 
 bool Runtime::StepSlot(const CompiledClass& cls, ThreadContext& storage, uint32_t slot,
@@ -1615,6 +1730,10 @@ bool Runtime::MatchArg(const automata::ArgMatch& match, int64_t value,
 void Runtime::ReportViolation(uint32_t class_id, ViolationKind kind, const std::string& detail,
                               automata::StateSet highlight) {
   Bump(stats_.violations);
+  // A violation handler (or the fail-stop abort below) may read stats();
+  // push any batched deltas out so it sees everything that led up to the
+  // violation, including the violation itself.
+  FlushThreadStats();
   if (collector_ != nullptr) {
     // No storage context is in scope here; the lock-guarded spill table is
     // fine for a path that already formats strings.

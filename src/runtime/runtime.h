@@ -60,6 +60,7 @@
 #include "runtime/instance.h"
 #include "runtime/instance_store.h"
 #include "runtime/options.h"
+#include "runtime/step.h"
 #include "support/pool.h"
 #include "support/result.h"
 #include "support/spinlock.h"
@@ -329,6 +330,11 @@ class Runtime {
     int32_t bound_slot = -1;    // dense slot shared by classes with this start key
     int32_t cleanup_slot = -1;  // dense slot shared by classes with this end key
     std::vector<uint16_t> site_variants;  // incallstack() symbols
+    // Computed in CompilePlan(): the class's site event is exactly the
+    // automaton's site symbol (no incallstack() variants to evaluate), so an
+    // unbound site event on an already-active per-thread class can take the
+    // flattened steady-state path in ProcessSiteEvent.
+    bool site_fast = false;
     automata::StateSet initial_states = 0;
     uint32_t initial_dfa_state = 0;
     // Key-variable analysis (computed once per class in CompilePlan()): the
@@ -351,6 +357,9 @@ class Runtime {
     uint32_t cov_symbols = 0;
     uint32_t cov_states = 0;
     std::vector<uint32_t> dfa_flat;
+    // The compiled step function (see runtime/step.h): lowered from the
+    // frozen automaton at Register() time, tier per RuntimeOptions::step_tier.
+    StepProgram step;
   };
 
   struct Candidate {
@@ -454,7 +463,16 @@ class Runtime {
     const CompiledClass& cls = classes_[class_id];
     return cls.is_global ? *shards_[cls.shard]->context : ctx;
   }
-  ClassState& StateFor(ThreadContext& ctx, uint32_t class_id);
+  // Inline (it sits on every event's dispatch path, usually twice); the grow
+  // branch only fires for a context created before a later Register().
+  ClassState& StateFor(ThreadContext& ctx, uint32_t class_id) {
+    ThreadContext& storage = ContextFor(ctx, class_id);
+    if (storage.classes_.size() <= class_id) [[unlikely]] {
+      GrowClassStates(storage);
+    }
+    return storage.classes_[class_id];
+  }
+  void GrowClassStates(ThreadContext& storage);
   int32_t StackSlotFor(Symbol function) const {
     const uint64_t key = CallKey(function);
     return key < function_plan_.size() ? function_plan_[key].stack_slot : -1;
@@ -464,6 +482,10 @@ class Runtime {
   // one-at-a-time and batch entry points (records to the flight recorder,
   // then routes by kind).
   void DispatchEvent(ThreadContext& ctx, const Event& event);
+  // The batch loop with DispatchEvent's per-event prologue hoisted out —
+  // valid only with no active scope, no flight recorder on this context and
+  // no dispatch timing (OnEvents checks once per batch).
+  void DispatchBatchPlain(ThreadContext& ctx, std::span<const Event> events);
 
   void ProcessFunctionEvent(ThreadContext& ctx, const Event& event);
   void ProcessFieldEvent(ThreadContext& ctx, const Event& event);
@@ -524,8 +546,12 @@ class Runtime {
   void ActivateClass(ThreadContext& ctx, uint32_t class_id);
   void CleanupClass(ThreadContext& ctx, uint32_t class_id);
   // Returns true if the class is (or, lazily, becomes) active. For global
-  // classes the caller must hold the class's shard lock.
+  // classes the caller must hold the class's shard lock. The hoisted form
+  // takes the class/storage/state the caller already resolved — the
+  // per-event site path computes them exactly once.
   bool EnsureActive(ThreadContext& ctx, uint32_t class_id);
+  bool EnsureActive(ThreadContext& ctx, const CompiledClass& cls, ThreadContext& storage,
+                    ClassState& state);
 
   void HandleEvent(ThreadContext& ctx, const Candidate& candidate, const BindingSet& bindings);
   void HandleEventLocked(ThreadContext& ctx, const Candidate& candidate,
@@ -537,6 +563,8 @@ class Runtime {
   // key variables, otherwise to the (semantics-identical) linear scan.
   bool DispatchToInstances(ThreadContext& ctx, uint32_t class_id, const BindingSet& bindings,
                            std::span<const uint16_t> symbols);
+  bool DispatchToInstances(ThreadContext& storage, const CompiledClass& cls, ClassState& state,
+                           const BindingSet& bindings, std::span<const uint16_t> symbols);
   bool DispatchIndexed(ThreadContext& storage, const CompiledClass& cls, ClassState& state,
                        const BindingSet& bindings, std::span<const uint16_t> symbols);
   bool DispatchScan(ThreadContext& storage, const CompiledClass& cls, ClassState& state,
@@ -554,9 +582,12 @@ class Runtime {
                 std::span<const uint16_t> symbols);
   bool StepInstance(const CompiledClass& cls, ThreadContext& storage, Instance& instance,
                     std::span<const uint16_t> symbols);
+  // One indirect call into the class's compiled step program (runtime/step.h).
   bool StepCore(const CompiledClass& cls, automata::StateSet& states, uint32_t& dfa_state,
                 std::span<const uint16_t> symbols, automata::StateSet* from_out,
-                uint16_t* symbol_out);
+                uint16_t* symbol_out) {
+    return cls.step.Run(collector_.get(), states, dfa_state, symbols, from_out, symbol_out);
+  }
 
   bool MatchFunctionPattern(const automata::EventPattern& pattern,
                             std::span<const int64_t> args, bool have_return,
@@ -570,27 +601,66 @@ class Runtime {
   // Harvests the flight recorder and renders the temporal backtrace plus the
   // highlighted DOT graph for one violating class.
   std::string BuildForensics(uint32_t class_id, automata::StateSet highlight) const;
-  void Bump(uint64_t& counter, uint64_t amount = 1);
+
+  // Stats batching: the batch entry points open a per-thread StatsFrame so
+  // every Bump inside the batch is one plain add into a local delta array
+  // instead of an atomic RMW on the shared RuntimeStats cache lines; the
+  // frame flushes its nonzero deltas on close. RuntimeStats is uint64_t-only
+  // (the X-macro static_assert), so a counter's index is its offset from the
+  // struct base. Frames chain (a handler may re-enter a batch entry point)
+  // and carry their runtime, so a frame for another Runtime never absorbs
+  // this one's counts. ReportViolation flushes mid-batch: a violation
+  // handler reading stats() must see everything that led up to it.
+  struct StatsFrame {
+    const Runtime* runtime = nullptr;
+    StatsFrame* prev = nullptr;
+    uint64_t delta[kRuntimeStatsFieldCount] = {};
+  };
+  class StatsBatch {
+   public:
+    explicit StatsBatch(Runtime& runtime) : runtime_(runtime) {
+      frame_.runtime = &runtime;
+      frame_.prev = stats_frame_;
+      stats_frame_ = &frame_;
+    }
+    ~StatsBatch() {
+      stats_frame_ = frame_.prev;
+      runtime_.FlushStatsFrame(frame_);
+    }
+    StatsBatch(const StatsBatch&) = delete;
+    StatsBatch& operator=(const StatsBatch&) = delete;
+
+   private:
+    Runtime& runtime_;
+    StatsFrame frame_;
+  };
+  void FlushStatsFrame(StatsFrame& frame);
+  // Flushes every frame on this thread's chain that belongs to this runtime.
+  void FlushThreadStats();
+
+  void Bump(uint64_t& counter, uint64_t amount = 1) {
+    StatsFrame* frame = stats_frame_;
+    if (frame != nullptr && frame->runtime == this) {
+      frame->delta[&counter - reinterpret_cast<uint64_t*>(&stats_)] += amount;
+      return;
+    }
+    std::atomic_ref<uint64_t>(counter).fetch_add(amount, std::memory_order_relaxed);
+  }
 
   // Per-class metrics bump, attributed to `storage`'s shard. One null check
   // when metrics are off; the spill path only runs for events racing a late
   // Register() (the shard predates the class).
-  void BumpClass(ThreadContext& storage, uint32_t class_id, metrics::ClassCounter kind) {
+  void BumpClass(ThreadContext& storage, uint32_t class_id, metrics::ClassCounter kind,
+                 uint64_t amount = 1) {
     metrics::Shard* shard = storage.metrics_;
     if (shard == nullptr) {
       return;
     }
     if (class_id < shard->class_capacity()) {
-      shard->Bump(class_id, kind);
+      shard->Bump(class_id, kind, amount);
     } else {
-      collector_->BumpSpill(class_id, kind);
+      collector_->BumpSpill(class_id, kind, amount);
     }
-  }
-
-  // Stamps the coverage bit for a taken DFA transition. After warmup this is
-  // one relaxed load (the bit is already set).
-  void StampStep(const CompiledClass& cls, uint32_t from_dfa, uint16_t symbol) {
-    collector_->StampCoverage(cls.cov_first + from_dfa * cls.cov_symbols + symbol);
   }
 
   RuntimeOptions options_;
@@ -654,6 +724,8 @@ class Runtime {
   // the runtime it belongs to.
   static thread_local const Runtime* scope_runtime_;
   static thread_local const DispatchScope* active_scope_;
+  // The innermost open stats batch on this thread (see StatsBatch).
+  static thread_local StatsFrame* stats_frame_;
 };
 
 }  // namespace tesla::runtime

@@ -33,6 +33,11 @@ Symbol S(const char* name) { return InternString(name); }
 RuntimeOptions TestOptions() {
   RuntimeOptions options;
   options.fail_stop = false;
+  // These schedules keep only a handful of instances live; pin the probe
+  // threshold to zero so the indexed side actually takes the probe path the
+  // differential exists to compare. The default threshold is covered by
+  // ProbeDecisionIsMonotoneInPopulation below.
+  options.index_min_population = 0;
   return options;
 }
 
@@ -328,6 +333,46 @@ TEST(InstanceIndex, IndexDisabledNeverProbes) {
   EXPECT_EQ(s.rt.stats().index_probes, 0u);
   EXPECT_EQ(s.rt.stats().index_scans, 0u);
   EXPECT_EQ(s.rt.stats().violations, 0u);
+}
+
+TEST(InstanceIndex, ProbeDecisionIsMonotoneInPopulation) {
+  // With the default index_min_population, a fully-bound dispatch must scan
+  // below the threshold, probe at or above it, and never flip back to
+  // scanning as the population grows (the decision is monotone in the live
+  // count). The live population at the site is the wildcard plus one clone
+  // per bound value.
+  const size_t threshold = RuntimeOptions{}.index_min_population;
+  ASSERT_GT(threshold, 1u);  // the small-population fallthrough is on by default
+  bool probed_before = false;
+  for (size_t clones = 1; clones <= 2 * threshold; clones++) {
+    RuntimeOptions options;
+    options.fail_stop = false;
+    Side s("TESLA_WITHIN(syscall, previously(check(x) == 0))", options);
+    s.rt.OnFunctionCall(*s.ctx, S("syscall"), {});
+    for (size_t v = 0; v < clones; v++) {
+      int64_t args[] = {static_cast<int64_t>(v)};
+      s.rt.OnFunctionReturn(*s.ctx, S("check"), args, 0);
+    }
+    s.rt.ResetStats();
+    Binding site[] = {{0, 0}};
+    s.rt.OnAssertionSite(*s.ctx, s.id, site);
+    const bool probed = s.rt.stats().index_probes > 0;
+    const bool scanned = s.rt.stats().index_scans > 0;
+    ASSERT_NE(probed, scanned) << "clones=" << clones;  // exactly one path taken
+    ASSERT_EQ(probed, clones + 1 >= threshold) << "clones=" << clones;
+    ASSERT_TRUE(probed || !probed_before) << "clones=" << clones;  // monotone
+    probed_before = probed;
+    s.rt.OnFunctionReturn(*s.ctx, S("syscall"), {}, 0);
+    EXPECT_EQ(s.rt.stats().violations, 0u) << "clones=" << clones;
+  }
+
+  // Threshold zero probes unconditionally, even for the first dispatch.
+  Side s("TESLA_WITHIN(syscall, previously(check(x) == 0))", TestOptions());
+  s.rt.OnFunctionCall(*s.ctx, S("syscall"), {});
+  int64_t args[] = {7};
+  s.rt.OnFunctionReturn(*s.ctx, S("check"), args, 0);
+  EXPECT_GT(s.rt.stats().index_probes, 0u);
+  EXPECT_EQ(s.rt.stats().index_scans, 0u);
 }
 
 TEST(InstanceIndex, ManyDistinctKeysStayIndependent) {

@@ -239,7 +239,10 @@ TEST(Buildsim, CorpusCompilesAndMeasures) {
   ASSERT_EQ(corpus.unit_sources.size(), 6u);
 
   buildsim::BuildOptions build_options;
-  build_options.incremental_repeats = 1;
+  // Incremental rebuilds are microseconds; the minimum over several repeats
+  // keeps one scheduler blip (e.g. a parallel ctest run) from inverting the
+  // slowdown ratios below.
+  build_options.incremental_repeats = 8;
   auto times = buildsim::MeasureBuild(corpus, build_options);
   ASSERT_TRUE(times.ok()) << times.error().ToString();
   EXPECT_GT(times->clean_default_s, 0.0);
@@ -260,7 +263,8 @@ TEST(Buildsim, SmartIncrementalIsCheaper) {
   buildsim::Corpus corpus = buildsim::GenerateCorpus(corpus_options);
 
   buildsim::BuildOptions naive;
-  naive.incremental_repeats = 2;
+  // Min over several repeats: see CorpusCompilesAndMeasures.
+  naive.incremental_repeats = 8;
   buildsim::BuildOptions smart = naive;
   smart.smart_incremental = true;
 
