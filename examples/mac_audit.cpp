@@ -15,6 +15,7 @@
 
 #include <memory>
 
+#include "ipc/publisher.h"
 #include "kernelsim/assertions.h"
 #include "kernelsim/kernel.h"
 #include "kernelsim/workloads.h"
@@ -72,8 +73,13 @@ int main(int argc, char** argv) {
   // inline on the simulated kernel's thread.
   // --queue-consumers=N: drain threads for --async-queue (shard-owning
   // multi-consumer dispatch; default 1).
+  // --shm <name>: publish every event into a named shm segment instead of
+  // checking in-process — an external sidecar (`tesla-trace attach <name>`)
+  // performs all dispatch and reports the verdicts. At exit the publisher
+  // waits for a sidecar to attach, so start one.
   const char* trace_out = nullptr;
   const char* metrics_out = nullptr;
+  const char* shm_name = nullptr;
   bool async_queue = false;
   size_t queue_consumers = 1;
   for (int i = 1; i < argc; i++) {
@@ -81,6 +87,8 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--shm") == 0 && i + 1 < argc) {
+      shm_name = argv[++i];
     } else if (std::strcmp(argv[i], "--async-queue") == 0) {
       async_queue = true;
     } else if (std::strncmp(argv[i], "--queue-consumers=", 18) == 0) {
@@ -119,9 +127,23 @@ int main(int argc, char** argv) {
   // consumer shard ownership is computed from the compiled plan. Flush() is
   // the checkpoint barrier before each violation-count read below.
   std::unique_ptr<queue::EventQueue> queue;
-  if (options.async_queue) {
+  if (options.async_queue && shm_name == nullptr) {
     queue = std::make_unique<queue::EventQueue>(rt, queue::QueueOptions::FromRuntime(options));
     queue->Start();
+  }
+
+  // With --shm nothing is checked here: every event ships to the sidecar,
+  // which owns the verdicts. Local violation counts stay zero by design.
+  std::unique_ptr<ipc::ShmPublisher> publisher;
+  if (shm_name != nullptr) {
+    publisher = std::make_unique<ipc::ShmPublisher>(
+        rt, shm_name, ipc::PublisherOptions::FromRuntime(options));
+    if (auto status = publisher->Start("kernelsim:all"); !status.ok()) {
+      std::fprintf(stderr, "shm publisher: %s\n", status.error().ToString().c_str());
+      return 1;
+    }
+    std::printf("publishing events to shm '%s' — attach with: tesla-trace attach %s\n",
+                shm_name, shm_name);
   }
   auto checkpoint = [&queue] {
     if (queue != nullptr) {
@@ -182,6 +204,16 @@ int main(int argc, char** argv) {
   // so the stats, capture and metrics below match an inline run.
   if (queue != nullptr) {
     queue->Stop();
+  }
+  if (publisher != nullptr) {
+    const ipc::PublisherStats stats = publisher->stats();
+    std::printf("\n== shm publisher ==\n");
+    std::printf("  published %llu events (%llu dropped), waiting for the sidecar...\n",
+                static_cast<unsigned long long>(stats.published),
+                static_cast<unsigned long long>(stats.dropped));
+    publisher->Stop();  // blocks until a consumer has attached
+    std::printf("  segment closed; the sidecar owns the verdicts\n");
+    return 0;  // violation counting happened out-of-process
   }
 
   std::printf("\n== audit summary ==\n");

@@ -1,0 +1,246 @@
+#include "ipc/shm.h"
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "trace/format.h"  // ErrorCode values for coded errors
+
+namespace tesla::ipc {
+namespace {
+
+constexpr size_t AlignUp(size_t value, size_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+uint64_t RoundUpPow2(uint64_t value) {
+  uint64_t pow2 = 1;
+  while (pow2 < value) {
+    pow2 <<= 1;
+  }
+  return pow2;
+}
+
+// POSIX wants a name of the form "/name" with no further slashes.
+Result<std::string> NormaliseName(const std::string& name) {
+  std::string normalised = name;
+  if (normalised.empty() || normalised == "/") {
+    return Error{"shm name must be non-empty", 0, 0, trace::kErrUnreadable};
+  }
+  if (normalised[0] != '/') {
+    normalised = "/" + normalised;
+  }
+  if (normalised.find('/', 1) != std::string::npos) {
+    return Error{"shm name '" + name + "' must not contain '/' beyond the leading one",
+                 0, 0, trace::kErrUnreadable};
+  }
+  return normalised;
+}
+
+struct Offsets {
+  size_t symtab = 0;
+  size_t manifest = 0;
+  size_t lanes = 0;
+  size_t words = 0;
+  size_t total = 0;
+};
+
+Offsets ComputeOffsets(uint32_t lane_count, uint64_t lane_words, size_t symtab_bytes,
+                       size_t manifest_bytes) {
+  Offsets offsets;
+  offsets.symtab = AlignUp(sizeof(ShmHeader), 8);
+  offsets.manifest = offsets.symtab + symtab_bytes;
+  // LaneControl demands cacheline alignment; the word arrays follow the
+  // controls (whose size is a multiple of 64) so they inherit it.
+  offsets.lanes = AlignUp(offsets.manifest + manifest_bytes, 64);
+  offsets.words = offsets.lanes + static_cast<size_t>(lane_count) * sizeof(LaneControl);
+  offsets.total =
+      offsets.words + static_cast<size_t>(lane_count) * static_cast<size_t>(lane_words) * 8;
+  return offsets;
+}
+
+}  // namespace
+
+ShmSegment::~ShmSegment() {
+  if (base_ != nullptr) {
+    ::munmap(base_, mapped_bytes_);
+  }
+  if (owner_) {
+    Unlink(name_);
+  }
+}
+
+void ShmSegment::Unlink(const std::string& name) {
+  Result<std::string> normalised = NormaliseName(name);
+  if (normalised.ok()) {
+    ::shm_unlink(normalised.value().c_str());
+  }
+}
+
+Result<std::unique_ptr<ShmSegment>> ShmSegment::Create(const std::string& name,
+                                                       const Geometry& geometry) {
+  Result<std::string> normalised = NormaliseName(name);
+  if (!normalised.ok()) {
+    return normalised.error();
+  }
+  if (geometry.lane_count == 0 || geometry.lane_count > kShmMaxLanes) {
+    return Error{"shm lane count must be in [1, " + std::to_string(kShmMaxLanes) + "]",
+                 0, 0, trace::kErrUnreadable};
+  }
+  uint64_t lane_words = RoundUpPow2(geometry.lane_words);
+  if (lane_words < 2 * kShmMaxRecordWords) {
+    lane_words = RoundUpPow2(2 * kShmMaxRecordWords);
+  }
+
+  const int fd = ::shm_open(normalised.value().c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+  if (fd < 0) {
+    const bool exists = errno == EEXIST;
+    return Error{"shm_open('" + normalised.value() + "') failed: " +
+                     std::string(std::strerror(errno)) +
+                     (exists ? " (leftover segment from a crashed publisher? "
+                               "remove it from /dev/shm)"
+                             : ""),
+                 0, 0, trace::kErrUnreadable};
+  }
+
+  const Offsets offsets = ComputeOffsets(geometry.lane_count, lane_words,
+                                         geometry.symtab_bytes, geometry.manifest_bytes);
+  if (::ftruncate(fd, static_cast<off_t>(offsets.total)) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    ::shm_unlink(normalised.value().c_str());
+    return Error{"ftruncate(shm, " + std::to_string(offsets.total) + ") failed: " + detail,
+                 0, 0, trace::kErrUnreadable};
+  }
+  void* base = ::mmap(nullptr, offsets.total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    ::shm_unlink(normalised.value().c_str());
+    return Error{"mmap(shm) failed: " + std::string(std::strerror(errno)), 0, 0,
+                 trace::kErrUnreadable};
+  }
+
+  auto segment = std::unique_ptr<ShmSegment>(new ShmSegment());
+  segment->name_ = normalised.value();
+  segment->base_ = static_cast<uint8_t*>(base);
+  segment->mapped_bytes_ = offsets.total;
+  segment->owner_ = true;
+  segment->symtab_offset_ = offsets.symtab;
+  segment->manifest_offset_ = offsets.manifest;
+  segment->lanes_offset_ = offsets.lanes;
+  segment->words_offset_ = offsets.words;
+
+  // The mapping is zero-filled; placement-new gives the header (and its
+  // atomics) defined values, then the geometry fields are filled in before
+  // any other process can observe state != kInitialising.
+  ShmHeader* header = new (base) ShmHeader();
+  std::memcpy(header->magic, kShmMagic, sizeof(kShmMagic));
+  header->version = kShmVersion;
+  header->lane_count = geometry.lane_count;
+  header->lane_words = lane_words;
+  header->symtab_bytes = geometry.symtab_bytes;
+  header->manifest_bytes = geometry.manifest_bytes;
+  segment->header_ = header;
+  for (uint32_t lane = 0; lane < geometry.lane_count; lane++) {
+    new (segment->base_ + offsets.lanes + lane * sizeof(LaneControl)) LaneControl();
+  }
+  return segment;
+}
+
+Result<std::unique_ptr<ShmSegment>> ShmSegment::OpenExisting(const std::string& name) {
+  Result<std::string> normalised = NormaliseName(name);
+  if (!normalised.ok()) {
+    return normalised.error();
+  }
+  const int fd = ::shm_open(normalised.value().c_str(), O_RDWR, 0);
+  if (fd < 0) {
+    return Error{"shm_open('" + normalised.value() + "') failed: " +
+                     std::string(std::strerror(errno)),
+                 0, 0, trace::kErrUnreadable};
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return Error{"fstat(shm) failed: " + detail, 0, 0, trace::kErrUnreadable};
+  }
+  if (static_cast<size_t>(st.st_size) < sizeof(ShmHeader)) {
+    ::close(fd);
+    return Error{"shm segment '" + normalised.value() +
+                     "' is smaller than its header (creator still initialising?)",
+                 0, 0, trace::kErrCorrupt};
+  }
+  void* base =
+      ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    return Error{"mmap(shm) failed: " + std::string(std::strerror(errno)), 0, 0,
+                 trace::kErrUnreadable};
+  }
+
+  auto segment = std::unique_ptr<ShmSegment>(new ShmSegment());
+  segment->name_ = normalised.value();
+  segment->base_ = static_cast<uint8_t*>(base);
+  segment->mapped_bytes_ = static_cast<size_t>(st.st_size);
+  segment->header_ = reinterpret_cast<ShmHeader*>(base);
+  segment->owner_ = false;
+  // Offsets stay zero until ValidateGeometry() — the header's geometry
+  // fields are only stable once state is kLive.
+  return segment;
+}
+
+Status ShmSegment::ValidateGeometry() {
+  const ShmHeader& header = *header_;
+  if (std::memcmp(header.magic, kShmMagic, sizeof(kShmMagic)) != 0) {
+    return Error{"shm segment '" + name_ + "': bad magic (not a TESLA shm segment)", 0, 0,
+                 trace::kErrCorrupt};
+  }
+  if (header.version != kShmVersion) {
+    return Error{"shm segment '" + name_ + "' is format v" + std::to_string(header.version) +
+                     "; this build speaks v" + std::to_string(kShmVersion),
+                 0, 0, trace::kErrVersionMismatch};
+  }
+  if (header.lane_count == 0 || header.lane_count > kShmMaxLanes) {
+    return Error{"shm segment '" + name_ + "': invalid lane count " +
+                     std::to_string(header.lane_count),
+                 0, 0, trace::kErrCorrupt};
+  }
+  if (header.lane_words < 2 * kShmMaxRecordWords ||
+      (header.lane_words & (header.lane_words - 1)) != 0) {
+    return Error{"shm segment '" + name_ + "': invalid lane size " +
+                     std::to_string(header.lane_words) + " words",
+                 0, 0, trace::kErrCorrupt};
+  }
+  const Offsets offsets =
+      ComputeOffsets(header.lane_count, header.lane_words,
+                     static_cast<size_t>(header.symtab_bytes),
+                     static_cast<size_t>(header.manifest_bytes));
+  if (offsets.total > mapped_bytes_ || offsets.manifest < offsets.symtab ||
+      offsets.words < offsets.lanes) {
+    return Error{"shm segment '" + name_ + "': geometry exceeds the mapped " +
+                     std::to_string(mapped_bytes_) + " bytes",
+                 0, 0, trace::kErrCorrupt};
+  }
+  symtab_offset_ = offsets.symtab;
+  manifest_offset_ = offsets.manifest;
+  lanes_offset_ = offsets.lanes;
+  words_offset_ = offsets.words;
+  return Status::Ok();
+}
+
+LaneControl* ShmSegment::lane_control(uint32_t lane) {
+  return reinterpret_cast<LaneControl*>(base_ + lanes_offset_ + lane * sizeof(LaneControl));
+}
+
+std::atomic<uint64_t>* ShmSegment::lane_words(uint32_t lane) {
+  return reinterpret_cast<std::atomic<uint64_t>*>(
+      base_ + words_offset_ +
+      static_cast<size_t>(lane) * static_cast<size_t>(header_->lane_words) * 8);
+}
+
+}  // namespace tesla::ipc

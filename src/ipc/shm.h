@@ -1,0 +1,318 @@
+// tesla::ipc shared-memory segment: the cross-process capture transport.
+//
+// A named POSIX shm segment carries TESLA events from an instrumented
+// process (the *publisher*, src/ipc/publisher.h) to a sidecar checker it
+// does not link against (the *subscriber*, src/ipc/subscriber.h — driven by
+// `tesla-trace attach`). The segment is self-describing in the same spirit
+// as a TSLATRC v4 capture: besides the event lanes it embeds everything a
+// fresh process needs to dispatch the stream — the publisher's interner
+// table (so symbol ids remap), the serialised manifest (so the assertion
+// set registers), the semantics-bearing runtime options and the origin
+// string.
+//
+// Layout (offsets computed from the header's geometry fields):
+//
+//   ShmHeader                  magic "TSLASHM1", version, geometry, options,
+//                              origin, and the live coordination atomics
+//   symbol table               varint count, then count varint-length-
+//                              prefixed spellings — the publisher interner's
+//                              frozen prefix [0, symbol_count), written
+//                              before the segment goes live (the "interner
+//                              generation" the subscriber remaps against)
+//   manifest                   manifest_bytes of .tesla text (may be empty)
+//   LaneControl × lane_count   per-lane head/tail, a cacheline each
+//   lane words                 lane_count rings of lane_words 64-bit words
+//
+// Lanes are SPSC rings speaking the tesla::queue word format
+// (src/queue/ring.h) minus the leading ThreadContext-pointer word — a
+// pointer is meaningless across address spaces; the subscriber gives each
+// lane its own ThreadContext instead, which preserves the paper's
+// per-thread serialisation semantics because a lane has exactly one
+// producer thread. Record:
+//
+//   word 0   header: kind | count<<8 | flags (truncated / has return /
+//            has vars) | target symbol << 32
+//   …        count argument values
+//   [1]      return value, when non-zero
+//   [0–2]    vars packed four per word, when any is non-zero (site events)
+//
+// Synchronisation is exactly the ring's: the producer relaxed-stores the
+// record words then release-publishes head; the consumer acquire-loads head,
+// decodes, release-publishes tail. The atomics live in the mapped region —
+// std::atomic<uint64_t> is address-free on every platform we build for
+// (static_asserted below), so the protocol works across processes.
+//
+// Attach/detach protocol:
+//   * the publisher creates the segment (O_CREAT|O_EXCL), writes geometry,
+//     symbols, manifest and options, then release-stores state = kLive;
+//   * a subscriber opens the name, acquire-loads state until kLive (bounded
+//     wait), validates magic/version/geometry against the mapped size, and
+//     fetch_add's consumer_attached;
+//   * the publisher's clean shutdown stores state = kClosed *after* its
+//     producers quiesce; the subscriber drains every lane to empty after
+//     observing kClosed, then detaches;
+//   * producer death without kClosed is detected by the subscriber via
+//     kill(producer_pid, 0) == ESRCH — the drain loop reports it and
+//     salvages whatever the lanes still hold;
+//   * the publisher shm_unlink()s the name once a consumer has attached
+//     (an mmap keeps the segment alive until both sides unmap).
+#ifndef TESLA_IPC_SHM_H_
+#define TESLA_IPC_SHM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/event.h"
+#include "support/result.h"
+
+namespace tesla::ipc {
+
+inline constexpr char kShmMagic[8] = {'T', 'S', 'L', 'A', 'S', 'H', 'M', '1'};
+inline constexpr uint32_t kShmVersion = 1;
+inline constexpr uint32_t kShmMaxLanes = 64;
+inline constexpr size_t kShmOriginBytes = 120;
+
+// Worst case record: header + 8 values + return + 2 packed-vars words.
+inline constexpr size_t kShmMaxRecordWords =
+    1 + runtime::kMaxEventArgs + 1 + (runtime::kMaxEventArgs + 3) / 4;
+
+// Header word flags (same bit positions as queue::QueueRing).
+inline constexpr uint64_t kShmHeaderTruncated = uint64_t{1} << 16;
+inline constexpr uint64_t kShmHeaderHasReturn = uint64_t{1} << 17;
+inline constexpr uint64_t kShmHeaderHasVars = uint64_t{1} << 18;
+
+enum class ShmState : uint32_t {
+  kInitialising = 0,  // creator is still writing geometry/symbols/manifest
+  kLive = 1,          // publisher accepting events
+  kClosed = 2,        // clean shutdown: drain to empty, then detach
+};
+
+// One lane's indices, a cacheline per side so the producer's head stores
+// never bounce the consumer's tail line.
+struct LaneControl {
+  alignas(64) std::atomic<uint64_t> head;
+  alignas(64) std::atomic<uint64_t> tail;
+};
+static_assert(sizeof(LaneControl) == 128, "one cacheline per side");
+
+struct ShmHeader {
+  // --- immutable after state becomes kLive ---
+  char magic[8];
+  uint32_t version = 0;
+  uint32_t lane_count = 0;
+  uint64_t lane_words = 0;  // per lane, power of two
+  uint64_t symtab_bytes = 0;
+  uint64_t manifest_bytes = 0;
+  uint32_t symbol_count = 0;  // interner generation: spellings serialised
+  // The semantics-bearing runtime options (same encoding as a capture's
+  // options section): lazy_init | use_dfa<<1 | instance_index<<2.
+  uint8_t opt_flags = 0;
+  uint8_t pad_[3] = {};
+  uint64_t instances_per_context = 0;
+  uint64_t global_shards = 0;
+  char origin[kShmOriginBytes] = {};  // NUL-terminated
+
+  // --- live coordination ---
+  std::atomic<uint32_t> state{0};         // ShmState
+  std::atomic<int32_t> producer_pid{0};   // for death detection
+  std::atomic<uint32_t> lanes_allocated{0};
+  std::atomic<uint32_t> consumer_attached{0};
+  std::atomic<uint64_t> dropped{0};        // full-lane drops (drop policy)
+  std::atomic<uint64_t> lane_overflow{0};  // events from threads past lane_count
+};
+
+static_assert(std::atomic<uint64_t>::is_always_lock_free &&
+                  std::atomic<uint32_t>::is_always_lock_free,
+              "shm coordination requires address-free lock-free atomics");
+
+// Producer-side view of one lane. Mirrors queue::QueueRing::TryPush with the
+// context word dropped; `cached_tail` lives here (process-local), not in the
+// shared region.
+struct LaneWriter {
+  LaneControl* ctl = nullptr;
+  std::atomic<uint64_t>* words = nullptr;
+  uint64_t mask = 0;
+  uint64_t cached_tail = 0;
+
+  bool TryPush(const runtime::Event& event) {
+    uint64_t vars_packed[2] = {0, 0};
+    for (size_t i = 0; i < event.count; i++) {
+      vars_packed[i / 4] |= static_cast<uint64_t>(event.vars[i]) << (16 * (i % 4));
+    }
+    const bool has_return = event.return_value != 0;
+    const bool has_vars = (vars_packed[0] | vars_packed[1]) != 0;
+    const size_t need = 1 + event.count + (has_return ? 1 : 0) +
+                        (has_vars ? (event.count + 3) / 4 : 0);
+
+    const uint64_t head = ctl->head.load(std::memory_order_relaxed);
+    const uint64_t capacity = mask + 1;
+    if (head + need - cached_tail > capacity) {
+      cached_tail = ctl->tail.load(std::memory_order_acquire);
+      if (head + need - cached_tail > capacity) {
+        return false;
+      }
+    }
+
+    uint64_t pos = head;
+    auto put = [&](uint64_t word) {
+      words[pos & mask].store(word, std::memory_order_relaxed);
+      pos++;
+    };
+    put(static_cast<uint64_t>(event.kind) | (static_cast<uint64_t>(event.count) << 8) |
+        (event.truncated ? kShmHeaderTruncated : 0) |
+        (has_return ? kShmHeaderHasReturn : 0) | (has_vars ? kShmHeaderHasVars : 0) |
+        (static_cast<uint64_t>(event.target) << 32));
+    for (size_t i = 0; i < event.count; i++) {
+      put(static_cast<uint64_t>(event.values[i]));
+    }
+    if (has_return) {
+      put(static_cast<uint64_t>(event.return_value));
+    }
+    if (has_vars) {
+      for (size_t i = 0; i < (event.count + 3u) / 4; i++) {
+        put(vars_packed[i]);
+      }
+    }
+    ctl->head.store(pos, std::memory_order_release);
+    return true;
+  }
+};
+
+// Consumer-side view of one lane.
+struct LaneReader {
+  LaneControl* ctl = nullptr;
+  std::atomic<uint64_t>* words = nullptr;
+  uint64_t mask = 0;
+  uint64_t cached_head = 0;
+
+  bool Empty() {
+    const uint64_t tail = ctl->tail.load(std::memory_order_relaxed);
+    if (cached_head != tail) {
+      return false;
+    }
+    cached_head = ctl->head.load(std::memory_order_acquire);
+    return cached_head == tail;
+  }
+
+  // Appends up to `max` decoded events; returns the number popped. Whole
+  // records only (the producer publishes record-at-a-time), so decoding
+  // below head never reads unwritten words.
+  size_t Pop(std::vector<runtime::Event>& out, size_t max) {
+    const uint64_t tail = ctl->tail.load(std::memory_order_relaxed);
+    if (cached_head == tail) {
+      cached_head = ctl->head.load(std::memory_order_acquire);
+      if (cached_head == tail) {
+        return 0;
+      }
+    }
+    uint64_t pos = tail;
+    size_t popped = 0;
+    uint64_t vars_scratch = 0;
+    auto take = [&] {
+      const uint64_t word = words[pos & mask].load(std::memory_order_relaxed);
+      pos++;
+      return word;
+    };
+    while (pos != cached_head && popped < max) {
+      runtime::Event event;
+      const uint64_t header = take();
+      event.kind = static_cast<runtime::EventKind>(header & 0xff);
+      event.count = static_cast<uint8_t>((header >> 8) & 0xff);
+      event.truncated = (header & kShmHeaderTruncated) != 0;
+      event.target = static_cast<Symbol>(header >> 32);
+      for (size_t i = 0; i < event.count; i++) {
+        event.values[i] = static_cast<int64_t>(take());
+      }
+      if ((header & kShmHeaderHasReturn) != 0) {
+        event.return_value = static_cast<int64_t>(take());
+      }
+      if ((header & kShmHeaderHasVars) != 0) {
+        for (size_t i = 0; i < event.count; i++) {
+          if (i % 4 == 0) {
+            vars_scratch = take();
+          }
+          event.vars[i] = static_cast<uint16_t>(vars_scratch >> (16 * (i % 4)));
+        }
+      }
+      out.push_back(event);
+      popped++;
+    }
+    ctl->tail.store(pos, std::memory_order_release);
+    return popped;
+  }
+};
+
+// The mapped segment. Create() is the publisher side (owns the name and
+// unlinks it), OpenExisting() the subscriber side (maps an existing name and
+// validates its geometry). Both unmap on destruction.
+class ShmSegment {
+ public:
+  struct Geometry {
+    uint32_t lane_count = 1;
+    uint64_t lane_words = 1 << 16;  // rounded up to a power of two by Create
+    size_t symtab_bytes = 0;
+    size_t manifest_bytes = 0;
+  };
+
+  ~ShmSegment();
+
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+
+  // Creates and maps a fresh segment (state = kInitialising, header geometry
+  // filled in). The caller writes symbols/manifest/options, then publishes
+  // with header().state.store(kLive, release). Fails (kErrUnreadable-coded
+  // errors) on OS-level shm failures, including a leftover segment of the
+  // same name.
+  static Result<std::unique_ptr<ShmSegment>> Create(const std::string& name,
+                                                    const Geometry& geometry);
+
+  // Maps an existing segment. Only the mapped size is checked here — the
+  // creator may still be writing the header; call ValidateGeometry() after
+  // observing state ≥ kLive (the subscriber layers its bounded wait on top).
+  static Result<std::unique_ptr<ShmSegment>> OpenExisting(const std::string& name);
+
+  // Validates magic, version, lane geometry and that the whole layout fits
+  // the mapped size, then computes the region offsets. Must be called (once)
+  // on an OpenExisting() segment after an acquire load of header().state
+  // observed kLive or kClosed — the geometry fields are immutable from then
+  // on. Errors carry trace::ErrorCode values (kErrVersionMismatch for a
+  // newer segment version, kErrCorrupt otherwise).
+  Status ValidateGeometry();
+
+  // Removes the name (idempotent; the mapping stays valid).
+  static void Unlink(const std::string& name);
+
+  ShmHeader& header() { return *header_; }
+  const ShmHeader& header() const { return *header_; }
+  uint8_t* symtab() { return base_ + symtab_offset_; }
+  const uint8_t* symtab() const { return base_ + symtab_offset_; }
+  uint8_t* manifest() { return base_ + manifest_offset_; }
+  const uint8_t* manifest() const { return base_ + manifest_offset_; }
+  LaneControl* lane_control(uint32_t lane);
+  std::atomic<uint64_t>* lane_words(uint32_t lane);
+  const std::string& name() const { return name_; }
+  bool owner() const { return owner_; }
+
+ private:
+  ShmSegment() = default;
+  Status MapAndValidate(int fd, bool created, const Geometry* geometry);
+
+  std::string name_;  // normalised ("/"-prefixed)
+  uint8_t* base_ = nullptr;
+  size_t mapped_bytes_ = 0;
+  ShmHeader* header_ = nullptr;
+  size_t symtab_offset_ = 0;
+  size_t manifest_offset_ = 0;
+  size_t lanes_offset_ = 0;  // LaneControl array
+  size_t words_offset_ = 0;  // lane word arrays
+  bool owner_ = false;
+};
+
+}  // namespace tesla::ipc
+
+#endif  // TESLA_IPC_SHM_H_

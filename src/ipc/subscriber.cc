@@ -1,0 +1,238 @@
+#include "ipc/subscriber.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <span>
+#include <thread>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "support/intern.h"
+#include "trace/wire.h"
+
+namespace tesla::ipc {
+
+Result<std::unique_ptr<ShmSubscriber>> ShmSubscriber::Attach(const std::string& name,
+                                                             int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  Error last_error{"shm attach never attempted"};
+  std::unique_ptr<ShmSegment> segment;
+  for (;;) {
+    Result<std::unique_ptr<ShmSegment>> opened = ShmSegment::OpenExisting(name);
+    if (opened.ok()) {
+      // Wait (within the same deadline) for the creator to finish writing.
+      ShmHeader& header = opened.value()->header();
+      for (;;) {
+        const uint32_t state = header.state.load(std::memory_order_acquire);
+        if (state == static_cast<uint32_t>(ShmState::kLive) ||
+            state == static_cast<uint32_t>(ShmState::kClosed)) {
+          segment = std::move(opened.value());
+          break;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      if (segment != nullptr) {
+        break;
+      }
+      last_error = Error{"shm segment '" + name + "' never became live", 0, 0,
+                         trace::kErrUnreadable};
+    } else {
+      last_error = opened.error();
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return last_error;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  if (Status status = segment->ValidateGeometry(); !status.ok()) {
+    return status.error();
+  }
+
+  auto subscriber = std::unique_ptr<ShmSubscriber>(new ShmSubscriber());
+  const ShmHeader& header = segment->header();
+
+  // Decode the symbol table through the same hardened cursor the capture
+  // reader uses — the segment was written by another process and is as
+  // untrusted as a file.
+  trace::Cursor cursor{segment->symtab(), static_cast<size_t>(header.symtab_bytes)};
+  uint64_t symbol_count = 0;
+  cursor.Varint(&symbol_count);
+  if (!cursor.FitsRemaining(symbol_count)) {
+    return Error{"shm segment '" + segment->name() + "': symbol table overruns its region",
+                 0, 0, trace::kErrCorrupt};
+  }
+  if (symbol_count != header.symbol_count) {
+    return Error{"shm segment '" + segment->name() + "': symbol table count " +
+                     std::to_string(symbol_count) + " disagrees with header " +
+                     std::to_string(header.symbol_count),
+                 0, 0, trace::kErrCorrupt};
+  }
+  subscriber->spellings_.reserve(static_cast<size_t>(symbol_count));
+  for (uint64_t i = 0; i < symbol_count; i++) {
+    std::string spelling;
+    if (!cursor.String(&spelling)) {
+      return Error{"shm segment '" + segment->name() + "': truncated symbol table", 0, 0,
+                   trace::kErrCorrupt};
+    }
+    subscriber->spellings_.push_back(std::move(spelling));
+  }
+
+  subscriber->info_.origin = std::string(
+      header.origin, strnlen(header.origin, kShmOriginBytes));
+  subscriber->info_.manifest_text.assign(
+      reinterpret_cast<const char*>(segment->manifest()),
+      static_cast<size_t>(header.manifest_bytes));
+  subscriber->info_.options.lazy_init = (header.opt_flags & 1) != 0;
+  subscriber->info_.options.use_dfa = (header.opt_flags & 2) != 0;
+  subscriber->info_.options.instance_index = (header.opt_flags & 4) != 0;
+  subscriber->info_.options.instances_per_context = header.instances_per_context;
+  subscriber->info_.options.global_shards = header.global_shards;
+  subscriber->info_.lane_count = header.lane_count;
+  subscriber->info_.symbol_count = header.symbol_count;
+  subscriber->info_.producer_pid = header.producer_pid.load(std::memory_order_relaxed);
+
+  subscriber->readers_.resize(header.lane_count);
+  for (uint32_t lane = 0; lane < header.lane_count; lane++) {
+    subscriber->readers_[lane].ctl = segment->lane_control(lane);
+    subscriber->readers_[lane].words = segment->lane_words(lane);
+    subscriber->readers_[lane].mask = header.lane_words - 1;
+  }
+
+  segment->header().consumer_attached.fetch_add(1, std::memory_order_acq_rel);
+  subscriber->segment_ = std::move(segment);
+  return subscriber;
+}
+
+runtime::RuntimeOptions ShmSubscriber::PublisherRuntimeOptions() const {
+  runtime::RuntimeOptions options;
+  options.lazy_init = info_.options.lazy_init;
+  options.use_dfa = info_.options.use_dfa;
+  options.instance_index = info_.options.instance_index;
+  options.instances_per_context = static_cast<size_t>(info_.options.instances_per_context);
+  options.global_shards = static_cast<size_t>(info_.options.global_shards);
+  return options;
+}
+
+void ShmSubscriber::InternSymbols() {
+  if (interned_) {
+    return;
+  }
+  remap_.reserve(spellings_.size());
+  for (const std::string& spelling : spellings_) {
+    remap_.push_back(InternString(spelling));
+  }
+  interned_ = true;
+}
+
+size_t ShmSubscriber::PollLane(uint32_t lane, std::vector<runtime::Event>& out,
+                               size_t max) {
+  const size_t start = out.size();
+  const size_t popped = readers_[lane].Pop(out, max);
+  for (size_t i = start; i < out.size(); i++) {
+    runtime::Event& event = out[i];
+    if (event.kind == runtime::EventKind::kAssertionSite) {
+      continue;  // target is an automaton id; registration order carries it
+    }
+    if (event.target < remap_.size()) {
+      event.target = remap_[event.target];
+    } else {
+      unknown_symbols_++;
+    }
+  }
+  return popped;
+}
+
+bool ShmSubscriber::closed() const {
+  return segment_->header().state.load(std::memory_order_acquire) ==
+         static_cast<uint32_t>(ShmState::kClosed);
+}
+
+bool ShmSubscriber::ProducerDead() const {
+  if (closed()) {
+    return false;
+  }
+  const int32_t pid = segment_->header().producer_pid.load(std::memory_order_relaxed);
+  if (pid <= 0) {
+    return false;
+  }
+  return ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
+}
+
+uint64_t ShmSubscriber::dropped() const {
+  return segment_->header().dropped.load(std::memory_order_relaxed);
+}
+
+uint64_t ShmSubscriber::lane_overflow() const {
+  return segment_->header().lane_overflow.load(std::memory_order_relaxed);
+}
+
+DrainReport DrainAll(ShmSubscriber& subscriber, runtime::Runtime& rt,
+                     size_t batch_events) {
+  if (batch_events == 0) {
+    batch_events = 1;
+  }
+  DrainReport report;
+  const uint32_t lanes = subscriber.info().lane_count;
+  // One dispatch context per lane: a lane is one producer thread's ordered
+  // stream, so this reproduces the publisher's per-thread serialisation.
+  std::vector<std::unique_ptr<runtime::ThreadContext>> contexts(lanes);
+  std::vector<runtime::Event> batch;
+  batch.reserve(batch_events);
+  uint64_t idle_sweeps = 0;
+  for (;;) {
+    // Observe the close flag *before* sweeping: everything published before
+    // kClosed is visible once we see it, so one empty sweep after the
+    // observation proves the lanes are dry.
+    const bool was_closed = subscriber.closed();
+    uint64_t swept = 0;
+    for (uint32_t lane = 0; lane < lanes; lane++) {
+      for (;;) {
+        batch.clear();
+        if (subscriber.PollLane(lane, batch, batch_events) == 0) {
+          break;
+        }
+        if (contexts[lane] == nullptr) {
+          contexts[lane] = std::make_unique<runtime::ThreadContext>(rt);
+        }
+        rt.OnEvents(*contexts[lane],
+                    std::span<const runtime::Event>(batch.data(), batch.size()));
+        rt.AccountQueueBatch(batch.size());
+        report.events += batch.size();
+        report.batches++;
+        swept += batch.size();
+      }
+    }
+    if (swept != 0) {
+      idle_sweeps = 0;
+      continue;
+    }
+    if (was_closed) {
+      break;
+    }
+    // Throttled death check: a publisher that crashed never sets kClosed.
+    if (++idle_sweeps % 64 == 0 && subscriber.ProducerDead()) {
+      report.producer_died = true;
+      // The pid check races the final publishes only if the producer died
+      // mid-push, and a dead producer publishes nothing more — one last
+      // sweep below the loop would see an already-consistent lane, and the
+      // sweep we just completed was empty. Salvage is complete.
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  report.producer_dropped = subscriber.dropped();
+  report.lane_overflow = subscriber.lane_overflow();
+  if (report.producer_dropped != 0) {
+    rt.AccountQueueDrops(report.producer_dropped);
+  }
+  return report;
+}
+
+}  // namespace tesla::ipc

@@ -114,6 +114,23 @@ struct RuntimeOptions {
   // original single-consumer queue.
   size_t queue_consumers = 1;
 
+  // Cross-process publication (src/ipc, layered above the runtime like the
+  // async queue): when shm_publish names a POSIX shm segment, frontends
+  // construct a ShmPublisher over this runtime so every event is shipped to
+  // an external sidecar checker (`tesla-trace attach <name>`) instead of
+  // being dispatched in-process. The runtime itself never reads these; see
+  // ipc::PublisherOptions::FromRuntime.
+  std::string shm_publish;
+  // SPSC lanes in the segment — the max producer threads that can publish
+  // concurrently (threads beyond this drop events, counted in the header).
+  size_t shm_lanes = 8;
+  // Per-lane capacity in events (worst-case records; rounded up to a power
+  // of two of words).
+  size_t shm_lane_capacity = 1 << 14;
+  // Full-lane policy: false blocks the producer until the sidecar drains
+  // (lossless), true drops the event and counts it.
+  bool shm_drop_on_full = false;
+
   // Continuous observability (src/metrics). kCounters keeps per-class
   // counters and the transition-coverage bitmap (a few ns/event, sharded
   // single-writer cells merged only at snapshot time); kFull additionally

@@ -562,6 +562,15 @@ void Runtime::ReleaseShardOwners() {
   }
 }
 
+std::string Runtime::ManifestText() const {
+  automata::Manifest manifest;
+  manifest.automata.reserve(classes_.size());
+  for (const CompiledClass& cls : classes_) {
+    manifest.automata.push_back(cls.automaton);
+  }
+  return manifest.Serialize();
+}
+
 metrics::Snapshot Runtime::CollectMetrics() const {
   metrics::Snapshot snapshot;
   snapshot.stats = stats_;

@@ -291,6 +291,13 @@ class Runtime {
   // counters really rewound.
   uint64_t shard_pool_overflows() const;
 
+  // The registered automata re-serialised in the .tesla text format, in
+  // registration order — so assertion-site targets (automaton ids) resolve
+  // by position on a fresh Register() of the deserialised result. Cold path:
+  // capture writers embed this so their files are self-describing
+  // (trace/format.h's v4 manifest section, ipc's shm header).
+  std::string ManifestText() const;
+
   size_t class_count() const { return classes_.size(); }
   const automata::Automaton& automaton(uint32_t id) const { return classes_[id].automaton; }
   const automata::Dfa& dfa(uint32_t id) const { return classes_[id].dfa; }

@@ -18,6 +18,11 @@ struct Error {
   std::string message;
   int line = 0;
   int column = 0;
+  // Optional machine-readable failure class (0: unclassified). Layers that
+  // need to branch on *why* something failed — the tesla-trace CLI maps
+  // trace::ErrorCode values to distinct exit codes — set this; everything
+  // else ignores it, and aggregate-initialised Error{...} literals leave it 0.
+  int code = 0;
 
   std::string ToString() const {
     if (line == 0) {

@@ -2,77 +2,16 @@
 
 #include <cstring>
 
+#include "trace/wire.h"
+
 namespace tesla::trace {
 namespace {
 
 constexpr uint8_t kEndMarker = 0xFF;
 
-void PutVarint(std::vector<uint8_t>& out, uint64_t value) {
-  while (value >= 0x80) {
-    out.push_back(static_cast<uint8_t>(value) | 0x80);
-    value >>= 7;
-  }
-  out.push_back(static_cast<uint8_t>(value));
+Error Corrupt(const std::string& path, const std::string& what) {
+  return Error{"'" + path + "': " + what, 0, 0, kErrCorrupt};
 }
-
-uint64_t Zigzag(int64_t value) {
-  return (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
-}
-
-int64_t Unzigzag(uint64_t value) {
-  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
-}
-
-void PutString(std::vector<uint8_t>& out, const std::string& text) {
-  PutVarint(out, text.size());
-  out.insert(out.end(), text.begin(), text.end());
-}
-
-// Bounds-checked sequential reader over the loaded file bytes.
-struct Cursor {
-  const uint8_t* data;
-  size_t size;
-  size_t pos = 0;
-  bool failed = false;
-
-  bool Varint(uint64_t* value) {
-    uint64_t result = 0;
-    for (int shift = 0; shift < 64; shift += 7) {
-      if (pos >= size) {
-        failed = true;
-        return false;
-      }
-      const uint8_t byte = data[pos++];
-      result |= static_cast<uint64_t>(byte & 0x7F) << shift;
-      if ((byte & 0x80) == 0) {
-        *value = result;
-        return true;
-      }
-    }
-    failed = true;
-    return false;
-  }
-
-  bool Byte(uint8_t* value) {
-    if (pos >= size) {
-      failed = true;
-      return false;
-    }
-    *value = data[pos++];
-    return true;
-  }
-
-  bool String(std::string* text) {
-    uint64_t length = 0;
-    if (!Varint(&length) || size - pos < length) {
-      failed = true;
-      return false;
-    }
-    text->assign(reinterpret_cast<const char*>(data + pos), static_cast<size_t>(length));
-    pos += static_cast<size_t>(length);
-    return true;
-  }
-};
 
 }  // namespace
 
@@ -83,10 +22,11 @@ TraceWriter::~TraceWriter() {
 }
 
 Status TraceWriter::Open(const std::string& path, const std::string& origin,
-                         const CaptureOptions& options, const StringInterner& interner) {
+                         const CaptureOptions& options, const StringInterner& interner,
+                         const std::string& manifest_text) {
   out_ = std::fopen(path.c_str(), "wb");
   if (out_ == nullptr) {
-    return Error{"cannot open trace file '" + path + "' for writing"};
+    return Error{"cannot open trace file '" + path + "' for writing", 0, 0, kErrUnreadable};
   }
   buffer_.clear();
   buffer_.insert(buffer_.end(), kTraceMagic, kTraceMagic + sizeof(kTraceMagic));
@@ -97,6 +37,7 @@ Status TraceWriter::Open(const std::string& path, const std::string& origin,
   buffer_.push_back(flags);
   PutVarint(buffer_, options.instances_per_context);
   PutVarint(buffer_, options.global_shards);
+  PutString(buffer_, manifest_text);
   PutVarint(buffer_, interner.size());
   for (Symbol symbol = 0; symbol < interner.size(); symbol++) {
     PutString(buffer_, interner.Spelling(symbol));
@@ -194,7 +135,7 @@ Status TraceWriter::Finish(const SemanticSummary& summary) {
 Result<TraceFile> TraceFile::Read(const std::string& path) {
   std::FILE* in = std::fopen(path.c_str(), "rb");
   if (in == nullptr) {
-    return Error{"cannot open trace file '" + path + "'"};
+    return Error{"cannot open trace file '" + path + "'", 0, 0, kErrUnreadable};
   }
   std::vector<uint8_t> bytes;
   uint8_t chunk[1 << 16];
@@ -202,52 +143,75 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
   while ((got = std::fread(chunk, 1, sizeof(chunk), in)) > 0) {
     bytes.insert(bytes.end(), chunk, chunk + got);
   }
+  const bool read_error = std::ferror(in) != 0;
   std::fclose(in);
+  if (read_error) {
+    return Error{"I/O error while reading '" + path + "'", 0, 0, kErrUnreadable};
+  }
 
-  // "TSLATRC<digit>": v1/v2 files are still readable — v1 ends after the
-  // violation list with no metrics section, and both carry the fixed
-  // legacy stats footer instead of the self-describing v3 one.
+  // "TSLATRC<digit>": v1–v3 files are still readable — v1 ends after the
+  // violation list with no metrics section, v1/v2 carry the fixed legacy
+  // stats footer instead of the self-describing one, and only v4 embeds a
+  // manifest. A well-formed magic with a *newer* digit is a version
+  // mismatch, reported as such (distinct exit code in the CLI) rather than
+  // as corruption.
   if (bytes.size() < sizeof(kTraceMagic) ||
-      std::memcmp(bytes.data(), kTraceMagic, sizeof(kTraceMagic) - 1) != 0 ||
-      (bytes[7] != '1' && bytes[7] != '2' && bytes[7] != '3')) {
-    return Error{"'" + path + "' is not a TESLA trace capture (bad magic)"};
+      std::memcmp(bytes.data(), kTraceMagic, sizeof(kTraceMagic) - 1) != 0) {
+    return Corrupt(path, "not a TESLA trace capture (bad magic)");
+  }
+  if (bytes[7] < '1' || bytes[7] > '9') {
+    return Corrupt(path, "not a TESLA trace capture (bad version byte)");
+  }
+  if (bytes[7] > '0' + kTraceVersion) {
+    return Error{"'" + path + "' is a TSLATRC v" + std::string(1, bytes[7]) +
+                     " capture; this build reads up to v" + std::to_string(kTraceVersion),
+                 0, 0, kErrVersionMismatch};
   }
 
   TraceFile file;
-  file.version = bytes[7] - '0';
+  file.version = static_cast<uint32_t>(bytes[7] - '0');
   Cursor cursor{bytes.data(), bytes.size(), sizeof(kTraceMagic)};
 
   uint8_t flags = 0;
   uint64_t value = 0;
   cursor.String(&file.origin);
   cursor.Byte(&flags);
+  if (!cursor.failed && (flags & ~uint8_t{7}) != 0) {
+    return Corrupt(path, "invalid options flags");
+  }
   file.options.lazy_init = (flags & 1) != 0;
   file.options.use_dfa = (flags & 2) != 0;
   file.options.instance_index = (flags & 4) != 0;
   cursor.Varint(&file.options.instances_per_context);
   cursor.Varint(&file.options.global_shards);
+  if (file.version >= 4) {
+    cursor.String(&file.manifest_text);
+  }
 
   uint64_t symbol_count = 0;
   cursor.Varint(&symbol_count);
-  if (cursor.failed || symbol_count > bytes.size()) {
-    return Error{"truncated trace header in '" + path + "'"};
+  if (!cursor.FitsRemaining(symbol_count)) {
+    return Corrupt(path, "truncated trace header");
   }
   file.symbols.resize(static_cast<size_t>(symbol_count));
   for (auto& symbol : file.symbols) {
     cursor.String(&symbol);
+  }
+  if (cursor.failed) {
+    return Corrupt(path, "truncated symbol table");
   }
 
   uint64_t seq = 0;
   while (!cursor.failed) {
     uint8_t kind = 0;
     if (!cursor.Byte(&kind)) {
-      return Error{"trace stream in '" + path + "' ended without a footer"};
+      return Corrupt(path, "trace stream ended without a footer");
     }
     if (kind == kEndMarker) {
       break;
     }
     if (kind > static_cast<uint8_t>(runtime::EventKind::kAssertionSite)) {
-      return Error{"corrupt record kind in '" + path + "'"};
+      return Corrupt(path, "corrupt record kind");
     }
     TraceRecord record;
     record.kind = kind;
@@ -260,8 +224,8 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
     cursor.Varint(&value);
     record.target = static_cast<uint32_t>(value);
     cursor.Byte(&record.count);
-    if (record.count > runtime::kMaxEventArgs) {
-      return Error{"corrupt record arity in '" + path + "'"};
+    if (!cursor.failed && record.count > runtime::kMaxEventArgs) {
+      return Corrupt(path, "corrupt record arity");
     }
     for (uint8_t i = 0; i < record.count; i++) {
       cursor.Varint(&value);
@@ -278,21 +242,21 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
       record.return_value = Unzigzag(value);
     }
     if (cursor.failed) {
-      return Error{"truncated record in '" + path + "'"};
+      return Corrupt(path, "truncated record");
     }
     file.records.push_back(record);
   }
 
   cursor.Varint(&file.summary.dropped);
-  // v3 footers lead with a field count; v1/v2 carry exactly the legacy
+  // v3+ footers lead with a field count; v1/v2 carry exactly the legacy
   // prefix of today's schema. Either way, fields we don't know about (a
   // capture from a newer build) are read and discarded, and fields the
   // capture predates stay zero.
   uint64_t footer_fields = kLegacyFooterStatsFields;
   if (file.version >= 3) {
     cursor.Varint(&footer_fields);
-    if (cursor.failed || footer_fields > bytes.size()) {
-      return Error{"truncated footer in '" + path + "'"};
+    if (!cursor.FitsRemaining(footer_fields)) {
+      return Corrupt(path, "truncated footer");
     }
   }
   for (uint64_t i = 0; i < footer_fields; i++) {
@@ -303,8 +267,8 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
   }
   uint64_t violation_count = 0;
   cursor.Varint(&violation_count);
-  if (cursor.failed || violation_count > bytes.size()) {
-    return Error{"truncated footer in '" + path + "'"};
+  if (!cursor.FitsRemaining(violation_count, 2)) {  // kind byte + empty string
+    return Corrupt(path, "truncated footer");
   }
   file.summary.violations.reserve(static_cast<size_t>(violation_count));
   for (uint64_t i = 0; i < violation_count; i++) {
@@ -312,27 +276,45 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
     std::string automaton;
     cursor.Byte(&kind);
     cursor.String(&automaton);
+    if (cursor.failed) {
+      return Corrupt(path, "truncated footer");
+    }
+    if (kind > static_cast<uint8_t>(runtime::ViolationKind::kOverflow)) {
+      return Corrupt(path, "invalid violation kind");
+    }
     file.summary.violations.emplace_back(static_cast<runtime::ViolationKind>(kind),
                                          std::move(automaton));
   }
   if (cursor.failed) {
-    return Error{"truncated footer in '" + path + "'"};
+    return Corrupt(path, "truncated footer");
   }
 
   if (file.version >= 2) {
+    // The presence byte is mandatory in v2+ — a capture ending before it was
+    // cut mid-footer, even though every field so far decoded cleanly.
     uint8_t has_metrics = 0;
     cursor.Byte(&has_metrics);
+    if (cursor.failed) {
+      return Corrupt(path, "truncated footer");
+    }
+    if (has_metrics > 1) {
+      return Corrupt(path, "invalid metrics presence byte");
+    }
     if (has_metrics != 0) {
       file.summary.has_metrics = true;
       metrics::Snapshot& snap = file.summary.metrics;
       snap.stats = file.summary.stats;
       uint8_t mode = 0;
       cursor.Byte(&mode);
+      if (!cursor.failed && mode > static_cast<uint8_t>(metrics::MetricsMode::kFull)) {
+        return Corrupt(path, "invalid metrics mode");
+      }
       snap.mode = static_cast<metrics::MetricsMode>(mode);
       uint64_t class_count = 0;
       cursor.Varint(&class_count);
-      if (cursor.failed || class_count > bytes.size()) {
-        return Error{"truncated metrics section in '" + path + "'"};
+      // Every class carries at least a name length and its counter varints.
+      if (!cursor.FitsRemaining(class_count, 1 + metrics::kClassCounterCount)) {
+        return Corrupt(path, "truncated metrics section");
       }
       snap.classes.resize(static_cast<size_t>(class_count));
       for (metrics::ClassSnapshot& cls : snap.classes) {
@@ -342,8 +324,9 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
         }
         uint64_t transition_count = 0;
         cursor.Varint(&transition_count);
-        if (cursor.failed || transition_count > bytes.size()) {
-          return Error{"truncated metrics section in '" + path + "'"};
+        // state + symbol + fired + description length: ≥ 4 bytes each.
+        if (!cursor.FitsRemaining(transition_count, 4)) {
+          return Corrupt(path, "truncated metrics section");
         }
         cls.transitions.resize(static_cast<size_t>(transition_count));
         for (metrics::TransitionCoverage& transition : cls.transitions) {
@@ -365,7 +348,7 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
           uint64_t occupied = 0;
           cursor.Varint(&occupied);
           if (cursor.failed || occupied > metrics::kHistogramBuckets) {
-            return Error{"truncated metrics section in '" + path + "'"};
+            return Corrupt(path, "truncated metrics section");
           }
           for (uint64_t i = 0; i < occupied; i++) {
             uint64_t bucket = 0;
@@ -378,7 +361,7 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
         }
       }
       if (cursor.failed) {
-        return Error{"truncated metrics section in '" + path + "'"};
+        return Corrupt(path, "truncated metrics section");
       }
     }
   }

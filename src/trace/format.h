@@ -6,16 +6,23 @@
 //
 // Layout (all integers varint/LEB128, signed values zigzag-encoded):
 //
-//   magic "TSLATRC3" (8 bytes)        version gate: the trailing digit is
-//                                     the version (v1/v2 files are still
+//   magic "TSLATRC4" (8 bytes)        version gate: the trailing digit is
+//                                     the version (v1–v3 files are still
 //                                     read; v1 carries no metrics section,
-//                                     and both carry the legacy 14-field
-//                                     stats footer)
+//                                     v1/v2 carry the legacy 14-field
+//                                     stats footer, and v1–v3 have no
+//                                     embedded manifest)
 //   origin   string                   e.g. "kernelsim:all" — names the
 //                                     manifest a replayer must register
 //   options                           the semantics-bearing RuntimeOptions:
 //     flags byte (lazy_init | use_dfa<<1 | instance_index<<2)
 //     instances_per_context, global_shards
+//   manifest string (v4)              the registered manifest, serialised in
+//     the .tesla text format (automata/manifest.h), in registration order —
+//     so assertion-site targets (automaton ids) resolve by position. Makes
+//     the capture *self-describing*: a replayer prefers this over resolving
+//     the origin, so user assertion sets replay on machines with no
+//     built-in manifest. Empty when the writer had none to embed.
 //   symbols  count, then count strings   the capture process's interner
 //                                     table; record targets index into it
 //   records  per record: kind byte (0xFF terminates the stream),
@@ -54,8 +61,20 @@
 
 namespace tesla::trace {
 
-inline constexpr char kTraceMagic[8] = {'T', 'S', 'L', 'A', 'T', 'R', 'C', '3'};
-inline constexpr uint32_t kTraceVersion = 3;
+inline constexpr char kTraceMagic[8] = {'T', 'S', 'L', 'A', 'T', 'R', 'C', '4'};
+inline constexpr uint32_t kTraceVersion = 4;
+
+// Machine-readable Error::code values (support/result.h) attached by the
+// trace readers and origin resolver, so callers — the tesla-trace CLI in
+// particular — can map failure *classes* to distinct exit codes without
+// parsing message strings.
+enum ErrorCode : int {
+  kErrNone = 0,
+  kErrUnreadable = 1,       // the file cannot be opened or read at the OS level
+  kErrCorrupt = 2,          // bad magic, truncated section, invalid enum value
+  kErrVersionMismatch = 3,  // a TSLATRC capture newer than this reader
+  kErrUnknownOrigin = 4,    // ManifestForOrigin() has no resolution
+};
 
 // The footer's RuntimeStats fields, in declaration order — generated from
 // the TESLA_RUNTIME_STATS X-macro in runtime/options.h, so a RuntimeStats
@@ -119,8 +138,12 @@ class TraceWriter {
   TraceWriter& operator=(const TraceWriter&) = delete;
 
   // Writes the header, including the interner's current table.
+  // `manifest_text` is the registered manifest serialised in the .tesla text
+  // format (empty: the capture is not self-describing and replays only
+  // against a resolvable origin).
   Status Open(const std::string& path, const std::string& origin,
-              const CaptureOptions& options, const StringInterner& interner);
+              const CaptureOptions& options, const StringInterner& interner,
+              const std::string& manifest_text = std::string());
 
   void Append(const TraceRecord& record);
 
@@ -138,10 +161,18 @@ struct TraceFile {
   uint32_t version = 0;
   std::string origin;
   CaptureOptions options;
+  // The embedded manifest (v4; empty for older captures or writers with
+  // nothing to embed). When present, replay prefers it over resolving
+  // `origin` — the capture carries its own assertion set.
+  std::string manifest_text;
   std::vector<std::string> symbols;  // index = symbol id in the capture process
   std::vector<TraceRecord> records;
   SemanticSummary summary;
 
+  // Fails with an ErrorCode-tagged Error: kErrUnreadable (OS-level open or
+  // read failure), kErrVersionMismatch (a TSLATRC file newer than this
+  // reader), or kErrCorrupt (bad magic, truncated or invalid sections —
+  // every length and enum field is validated before use).
   static Result<TraceFile> Read(const std::string& path);
 
   // Interns every embedded symbol into this process's interner and rewrites

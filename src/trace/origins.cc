@@ -1,13 +1,49 @@
 #include "trace/origins.h"
 
+#include <cstdio>
+
 #include "kernelsim/assertions.h"
 #include "objsim/appkit.h"
 #include "objsim/trace.h"
 #include "sslsim/fetch.h"
+#include "trace/format.h"
 
 namespace tesla::trace {
+namespace {
+
+// file:<path> — a serialised .tesla manifest on disk.
+Result<automata::Manifest> ManifestFromFile(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    return Error{"cannot open manifest file '" + path + "'", 0, 0, kErrUnreadable};
+  }
+  std::string text;
+  char chunk[1 << 14];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), in)) > 0) {
+    text.append(chunk, got);
+  }
+  const bool read_error = std::ferror(in) != 0;
+  std::fclose(in);
+  if (read_error) {
+    return Error{"I/O error while reading manifest '" + path + "'", 0, 0, kErrUnreadable};
+  }
+  Result<automata::Manifest> manifest = automata::Manifest::Deserialize(text);
+  if (!manifest.ok()) {
+    Error error = manifest.error();
+    error.message = "manifest '" + path + "': " + error.message;
+    error.code = kErrCorrupt;
+    return error;
+  }
+  return manifest;
+}
+
+}  // namespace
 
 Result<automata::Manifest> ManifestForOrigin(const std::string& origin) {
+  if (origin.rfind("file:", 0) == 0) {
+    return ManifestFromFile(origin.substr(5));
+  }
   if (origin == "kernelsim:all") {
     return kernelsim::KernelAssertions(kernelsim::kSetAll);
   }
@@ -34,7 +70,9 @@ Result<automata::Manifest> ManifestForOrigin(const std::string& origin) {
   for (const std::string& name : KnownOrigins()) {
     known += known.empty() ? name : ", " + name;
   }
-  return Error{"unknown capture origin '" + origin + "' (known: " + known + ")"};
+  return Error{"unknown capture origin '" + origin + "' (known: " + known +
+                   ", or file:<manifest.tesla>)",
+               0, 0, kErrUnknownOrigin};
 }
 
 std::vector<std::string> KnownOrigins() {

@@ -21,9 +21,16 @@ namespace tesla::trace {
 //   kernelsim:all | kernelsim:mac | kernelsim:proc | kernelsim:test
 //   sslsim:fetch
 //   objsim:gui
+//   file:<path>   — a serialised .tesla manifest on disk (teslac analyse /
+//                   teslac run --emit-manifest / tesla-trace emit-manifest),
+//                   so user assertion sets replay with no built-in manifest
+// Failures carry an ErrorCode (trace/format.h): kErrUnknownOrigin for an
+// unresolvable name, kErrUnreadable/kErrCorrupt for a file: path that cannot
+// be opened or parsed.
 Result<automata::Manifest> ManifestForOrigin(const std::string& origin);
 
-// The origins ManifestForOrigin() accepts (for CLI help and error messages).
+// The built-in origins ManifestForOrigin() accepts (for CLI help and error
+// messages; the `file:<path>` form is additionally always accepted).
 std::vector<std::string> KnownOrigins();
 
 }  // namespace tesla::trace

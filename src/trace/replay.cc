@@ -44,7 +44,11 @@ Status WriteCapture(const std::string& path, const std::string& origin,
   options.global_shards = ro.global_shards;
 
   TraceWriter writer;
-  if (Status status = writer.Open(path, origin, options, GlobalInterner()); !status.ok()) {
+  // Embedding the registered manifest makes the capture self-describing:
+  // replay prefers it over resolving `origin`, so the file replays on any
+  // machine — including user assertion sets no build ships a manifest for.
+  if (Status status = writer.Open(path, origin, options, GlobalInterner(), rt.ManifestText());
+      !status.ok()) {
     return status;
   }
   for (const TraceRecord& record : snapshot.records) {
@@ -195,7 +199,13 @@ Result<ReplayResult> ReplayFile(const std::string& path) {
     return read.error();
   }
   TraceFile file = std::move(read.value());
-  Result<automata::Manifest> manifest = ManifestForOrigin(file.origin);
+  // v4 captures are self-describing: the embedded manifest wins, so the
+  // origin string is informational and replay needs no built-in manifest.
+  // Older captures (or writers that embedded nothing) fall back to origin
+  // resolution — including the file:<path> form.
+  Result<automata::Manifest> manifest =
+      file.manifest_text.empty() ? ManifestForOrigin(file.origin)
+                                 : automata::Manifest::Deserialize(file.manifest_text);
   if (!manifest.ok()) {
     return manifest.error();
   }

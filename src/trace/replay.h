@@ -56,8 +56,9 @@ runtime::RuntimeOptions ReplayOptions(const TraceFile& file);
 // further events after this returns.
 Result<ReplayResult> Replay(const TraceFile& file, runtime::Runtime& rt);
 
-// Convenience: read `path`, resolve its origin manifest, build a matching
-// Runtime and replay.
+// Convenience: read `path`, obtain its manifest (the embedded v4 manifest
+// when present, else the resolved origin — see trace/origins.h), build a
+// matching Runtime and replay.
 Result<ReplayResult> ReplayFile(const std::string& path);
 
 }  // namespace tesla::trace

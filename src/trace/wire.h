@@ -1,0 +1,109 @@
+// Shared wire primitives for TESLA's binary interchange surfaces.
+//
+// The TSLATRC capture format (trace/format.cc) and the shared-memory
+// transport's embedded symbol table (src/ipc) speak the same low-level
+// vocabulary: LEB128 varints, zigzag-coded signed values, and
+// length-prefixed strings. Both read *untrusted* bytes — a capture handed to
+// `tesla-trace merge` or a shm segment created by another process — so the
+// single reader here is bounds-checked on every access: a truncated or
+// bit-flipped input can only ever set `failed`, never index out of bounds.
+//
+// Cursor discipline: every accessor returns false and latches `failed` on
+// exhaustion; callers may batch several reads and test `failed` once, since
+// a failed cursor never advances past `size` and subsequent reads keep
+// failing. Length fields must still be validated against the *remaining*
+// input by the caller before trusting them for allocation (see
+// Cursor::FitsRemaining).
+#ifndef TESLA_TRACE_WIRE_H_
+#define TESLA_TRACE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tesla::trace {
+
+inline void PutVarint(std::vector<uint8_t>& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+inline uint64_t Zigzag(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
+}
+
+inline int64_t Unzigzag(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+inline void PutString(std::vector<uint8_t>& out, const std::string& text) {
+  PutVarint(out, text.size());
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+// Bounds-checked sequential reader over a loaded byte buffer.
+struct Cursor {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+  bool failed = false;
+
+  size_t remaining() const { return failed ? 0 : size - pos; }
+
+  // Sanity bound for count fields: a collection of `count` elements, each at
+  // least `min_bytes_each` bytes on the wire, cannot outnumber the bytes
+  // left to read. Rejecting early keeps a flipped count byte from turning
+  // into a multi-gigabyte resize before the per-element reads fail.
+  bool FitsRemaining(uint64_t count, size_t min_bytes_each = 1) {
+    if (failed || count > remaining() / (min_bytes_each == 0 ? 1 : min_bytes_each)) {
+      failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool Varint(uint64_t* value) {
+    uint64_t result = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos >= size) {
+        failed = true;
+        return false;
+      }
+      const uint8_t byte = data[pos++];
+      result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        *value = result;
+        return true;
+      }
+    }
+    failed = true;  // > 10 continuation bytes: not a valid LEB128 uint64
+    return false;
+  }
+
+  bool Byte(uint8_t* value) {
+    if (pos >= size) {
+      failed = true;
+      return false;
+    }
+    *value = data[pos++];
+    return true;
+  }
+
+  bool String(std::string* text) {
+    uint64_t length = 0;
+    if (!Varint(&length) || size - pos < length) {
+      failed = true;
+      return false;
+    }
+    text->assign(reinterpret_cast<const char*>(data + pos), static_cast<size_t>(length));
+    pos += static_cast<size_t>(length);
+    return true;
+  }
+};
+
+}  // namespace tesla::trace
+
+#endif  // TESLA_TRACE_WIRE_H_

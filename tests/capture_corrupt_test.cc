@@ -1,0 +1,169 @@
+// Adversarial TSLATRC reader coverage: a capture truncated at every byte
+// boundary and bit-flipped at every byte must produce a clean Result error
+// (or, for payload-only flips, a successful parse) — never a crash, hang or
+// out-of-bounds read. This is the test the hardened reader exists for: a
+// sidecar or merge job ingests captures from machines it does not control.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/event.h"
+#include "support/intern.h"
+#include "trace/format.h"
+
+namespace tesla {
+namespace {
+
+using runtime::Binding;
+using runtime::Event;
+using trace::TraceFile;
+using trace::TraceRecord;
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr && *dir != '\0' ? dir : "/tmp") + "/" + name + "." +
+         std::to_string(::getpid());
+}
+
+// A small but fully-featured capture: symbols, a v4 embedded manifest
+// section, records of every kind (args, return values, site vars, a
+// truncation flag), stats, violations — every parser path is on the attack
+// surface.
+std::vector<uint8_t> ValidCaptureBytes() {
+  const std::string path = TempPath("tesla_corrupt_seed");
+  trace::CaptureOptions options;
+  options.global_shards = 3;
+
+  trace::TraceWriter writer;
+  const std::string manifest_text = "synthetic-manifest-payload (not parsed by Read)";
+  EXPECT_TRUE(
+      writer.Open(path, "test:corrupt", options, GlobalInterner(), manifest_text).ok());
+  uint64_t seq = 0;
+  int64_t args[] = {1, -2, 3};
+  writer.Append(trace::MakeRecord(seq++, 0, Event::Call(InternString("corrupt_fn"), args)));
+  writer.Append(
+      trace::MakeRecord(seq++, 1, Event::Return(InternString("corrupt_fn"), args, -7)));
+  writer.Append(trace::MakeRecord(
+      seq++, 0, Event::FieldStore(InternString("corrupt_field"), 10, 20, 30)));
+  Binding bindings[] = {{1, -5}, {0, 8}};
+  writer.Append(trace::MakeRecord(seq++, 2, Event::Site(3, bindings)));
+  int64_t many[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  writer.Append(trace::MakeRecord(seq++, 0, Event::Call(InternString("corrupt_fn"), many)));
+
+  trace::SemanticSummary summary;
+  summary.dropped = 1;
+  uint64_t value = 11;
+  for (const trace::StatsField& field : trace::kStatsFields) {
+    summary.stats.*field.field = value++;
+  }
+  summary.violations.emplace_back(runtime::ViolationKind::kBadSite, "corrupt-test");
+  EXPECT_TRUE(writer.Finish(summary).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  EXPECT_GT(bytes.size(), 64u);
+  return bytes;
+}
+
+void WriteBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Read() must classify every failure with one of the reader's error codes —
+// an uncoded error would map to the CLI's generic exit 1 and defeat the
+// scriptable exit-code contract.
+void ExpectCleanFailure(const Error& error) {
+  EXPECT_TRUE(error.code == trace::kErrUnreadable || error.code == trace::kErrCorrupt ||
+              error.code == trace::kErrVersionMismatch)
+      << "uncoded error: " << error.ToString();
+}
+
+TEST(CorruptCapture, EveryTruncationFailsCleanly) {
+  const std::vector<uint8_t> bytes = ValidCaptureBytes();
+  const std::string path = TempPath("tesla_corrupt_trunc");
+  {
+    WriteBytes(path, bytes);
+    auto intact = TraceFile::Read(path);
+    ASSERT_TRUE(intact.ok()) << intact.error().ToString();
+    ASSERT_EQ(intact.value().records.size(), 5u);
+    ASSERT_EQ(intact.value().summary.violations.size(), 1u);
+  }
+  for (size_t cut = 0; cut < bytes.size(); cut++) {
+    WriteBytes(path, std::vector<uint8_t>(bytes.begin(),
+                                          bytes.begin() + static_cast<long>(cut)));
+    auto read = TraceFile::Read(path);
+    ASSERT_FALSE(read.ok()) << "truncation at byte " << cut << " parsed as valid";
+    ExpectCleanFailure(read.error());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorruptCapture, EveryByteFlipIsHandled) {
+  const std::vector<uint8_t> bytes = ValidCaptureBytes();
+  const std::string path = TempPath("tesla_corrupt_flip");
+  size_t parsed = 0, rejected = 0;
+  for (size_t at = 0; at < bytes.size(); at++) {
+    std::vector<uint8_t> mutated = bytes;
+    mutated[at] ^= 0xff;
+    WriteBytes(path, mutated);
+    // Either verdict is acceptable — a payload flip yields different but
+    // well-formed data — but the reader must return, not crash, and tag any
+    // rejection with a real error code.
+    auto read = TraceFile::Read(path);
+    if (read.ok()) {
+      parsed++;
+    } else {
+      rejected++;
+      ExpectCleanFailure(read.error());
+    }
+  }
+  // The structural prefix (magic, version, section lengths) must reject.
+  EXPECT_GT(rejected, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CorruptCapture, FlippedLengthFieldsNeverOverread) {
+  // Target the varint length bytes specifically: set the continuation bit
+  // and max out the payload, the classic overread-inducing mutation.
+  const std::vector<uint8_t> bytes = ValidCaptureBytes();
+  const std::string path = TempPath("tesla_corrupt_len");
+  for (size_t at = 8; at < bytes.size(); at++) {
+    std::vector<uint8_t> mutated = bytes;
+    mutated[at] = 0xff;  // varint: "huge value, more bytes follow"
+    WriteBytes(path, mutated);
+    auto read = TraceFile::Read(path);
+    if (!read.ok()) {
+      ExpectCleanFailure(read.error());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorruptCapture, EmptyAndGarbageFilesRejected) {
+  const std::string path = TempPath("tesla_corrupt_misc");
+  WriteBytes(path, {});
+  auto empty = TraceFile::Read(path);
+  ASSERT_FALSE(empty.ok());
+  ExpectCleanFailure(empty.error());
+
+  WriteBytes(path, std::vector<uint8_t>(4096, 0x41));
+  auto garbage = TraceFile::Read(path);
+  ASSERT_FALSE(garbage.ok());
+  ExpectCleanFailure(garbage.error());
+  std::remove(path.c_str());
+
+  auto missing = TraceFile::Read("/nonexistent/capture.cap");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, trace::kErrUnreadable);
+}
+
+}  // namespace
+}  // namespace tesla

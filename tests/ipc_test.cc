@@ -1,0 +1,434 @@
+// tesla::ipc coverage: the shm lane record format, the publisher/subscriber
+// attach protocol, lane assignment and overflow accounting, producer-death
+// salvage, and — the load-bearing property — a sidecar drain reaching
+// verdicts, counters and transition coverage identical to inline dispatch.
+// CI runs this binary under TSan: the cross-process protocol is exercised
+// cross-thread here, which checks the same atomics.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/lower.h"
+#include "automata/manifest.h"
+#include "ipc/publisher.h"
+#include "ipc/shm.h"
+#include "ipc/subscriber.h"
+#include "kernelsim/assertions.h"
+#include "kernelsim/kernel.h"
+#include "kernelsim/workloads.h"
+#include "metrics/snapshot.h"
+#include "runtime/handler.h"
+#include "runtime/runtime.h"
+#include "support/log.h"
+#include "trace/format.h"
+
+namespace tesla {
+namespace {
+
+using ipc::LaneReader;
+using ipc::LaneWriter;
+using ipc::PublisherOptions;
+using ipc::ShmPublisher;
+using ipc::ShmSegment;
+using ipc::ShmState;
+using ipc::ShmSubscriber;
+using runtime::Binding;
+using runtime::Event;
+using runtime::Runtime;
+using runtime::RuntimeOptions;
+using runtime::ThreadContext;
+
+Symbol S(const char* name) { return InternString(name); }
+
+// Segment names are process-unique: a crashed earlier run's leftover name
+// would make Create() fail with EEXIST.
+std::string ShmName(const char* tag) {
+  return std::string("tesla_test_") + tag + "_" + std::to_string(::getpid());
+}
+
+RuntimeOptions TestOptions() {
+  RuntimeOptions options;
+  options.fail_stop = false;
+  return options;
+}
+
+bool EventsEqual(const Event& a, const Event& b) {
+  if (a.kind != b.kind || a.count != b.count || a.truncated != b.truncated ||
+      a.target != b.target || a.return_value != b.return_value) {
+    return false;
+  }
+  for (size_t i = 0; i < a.count; i++) {
+    if (a.values[i] != b.values[i] || a.vars[i] != b.vars[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ShmRing, PushPopRoundTripsAllEventShapes) {
+  const std::string name = ShmName("ring");
+  ShmSegment::Geometry geometry;
+  geometry.lane_count = 1;
+  geometry.lane_words = 256;
+  auto created = ShmSegment::Create(name, geometry);
+  ASSERT_TRUE(created.ok()) << created.error().ToString();
+  ShmSegment& segment = *created.value();
+
+  LaneWriter writer{segment.lane_control(0), segment.lane_words(0),
+                    segment.header().lane_words - 1};
+  LaneReader reader{segment.lane_control(0), segment.lane_words(0),
+                    segment.header().lane_words - 1};
+
+  std::vector<Event> pushed;
+  pushed.push_back(Event::Call(S("shm_fn"), {}));
+  int64_t args[] = {1, -2, 0x7fffffffffffffff, -4};
+  pushed.push_back(Event::Call(S("shm_fn"), args));
+  pushed.push_back(Event::Return(S("shm_fn"), args, -77));
+  pushed.push_back(Event::Return(S("shm_fn"), {}, 0));  // return value zero
+  pushed.push_back(Event::FieldStore(S("shm_field"), 10, -20, 30));
+  Binding bindings[] = {{2, -9}, {0, 4}, {1, 0}};
+  pushed.push_back(Event::Site(7, bindings));
+  int64_t many[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};  // > kMaxEventArgs: truncated
+  pushed.push_back(Event::Call(S("shm_fn"), many));
+  int64_t full[] = {11, 12, 13, 14, 15, 16, 17, 18};  // exactly kMaxEventArgs
+  pushed.push_back(Event::Return(S("shm_fn"), full, 99));
+
+  for (const Event& event : pushed) {
+    ASSERT_TRUE(writer.TryPush(event));
+  }
+  std::vector<Event> popped;
+  EXPECT_EQ(reader.Pop(popped, 100), pushed.size());
+  ASSERT_EQ(popped.size(), pushed.size());
+  for (size_t i = 0; i < pushed.size(); i++) {
+    EXPECT_TRUE(EventsEqual(pushed[i], popped[i])) << "event " << i;
+  }
+  EXPECT_TRUE(reader.Empty());
+  ShmSegment::Unlink(name);
+}
+
+TEST(ShmRing, FullLaneRejectsThenResumesAfterDrain) {
+  const std::string name = ShmName("full");
+  ShmSegment::Geometry geometry;
+  geometry.lane_count = 1;
+  geometry.lane_words = 8;  // Create rounds up to 2 * kShmMaxRecordWords = 32
+  auto created = ShmSegment::Create(name, geometry);
+  ASSERT_TRUE(created.ok());
+  ShmSegment& segment = *created.value();
+  const uint64_t mask = segment.header().lane_words - 1;
+
+  LaneWriter writer{segment.lane_control(0), segment.lane_words(0), mask};
+  LaneReader reader{segment.lane_control(0), segment.lane_words(0), mask};
+
+  int64_t args[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const Event fat = Event::Return(S("full_fn"), args, 1);  // kShmMaxRecordWords words
+  size_t accepted = 0;
+  while (writer.TryPush(fat)) {
+    accepted++;
+  }
+  EXPECT_GE(accepted, 2u);
+  EXPECT_FALSE(writer.TryPush(fat));
+
+  std::vector<Event> out;
+  EXPECT_EQ(reader.Pop(out, 1), 1u);  // one record of headroom
+  EXPECT_TRUE(writer.TryPush(fat));
+  out.clear();
+  while (reader.Pop(out, 100) > 0) {  // a Pop sees the head as of its call
+  }
+  EXPECT_EQ(out.size(), accepted);
+  for (const Event& event : out) {
+    EXPECT_TRUE(EventsEqual(fat, event));
+  }
+  ShmSegment::Unlink(name);
+}
+
+// The acceptance property of the whole transport: an uninstrumented sidecar
+// draining the shm stream must reach exactly the verdicts, per-class
+// counters and transition coverage of inline dispatch over the same
+// (deterministic) kernel workload.
+TEST(Sidecar, DrainMatchesInlineDispatchExactly) {
+  SetLogLevel(LogLevel::kSilent);
+
+  auto drive = [](Runtime& rt) {
+    kernelsim::KernelConfig config;
+    config.tesla = &rt;
+    config.bugs.kqueue_missing_mac_check = true;
+    config.bugs.poll_uses_file_credential = true;
+    config.bugs.setuid_skips_sugid_flag = true;
+    kernelsim::Kernel kernel(config);
+    kernelsim::Proc* proc = kernel.NewProcess(0);
+    kernelsim::KThread td = kernel.NewThread(proc);
+    kernelsim::OpenCloseLoop(kernel, td, 40);
+    int64_t sock = kernel.SysSocket(td);
+    kernel.SysConnect(td, sock);
+    kernel.SysPoll(td, sock, 1);
+    kernel.SysKevent(td, sock, 1);  // bug 1
+    kernel.SysSetuid(td, 0);
+    kernel.SysPoll(td, sock, 1);  // bug 2
+    kernel.SysSetuid(td, 5);      // bug 3
+  };
+
+  // Inline reference run.
+  RuntimeOptions inline_options = TestOptions();
+  inline_options.metrics_mode = metrics::MetricsMode::kCounters;
+  Runtime inline_rt(inline_options);
+  auto manifest = kernelsim::KernelAssertions(kernelsim::kSetAll);
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_TRUE(inline_rt.Register(manifest.value()).ok());
+  runtime::CountingHandler inline_violations;
+  inline_rt.AddHandler(&inline_violations);
+  drive(inline_rt);
+  ASSERT_GE(inline_rt.stats().violations, 3u);
+
+  // Published run: same workload, every event shipped through the segment.
+  Runtime publisher_rt(TestOptions());
+  auto publisher_manifest = kernelsim::KernelAssertions(kernelsim::kSetAll);
+  ASSERT_TRUE(publisher_manifest.ok());
+  ASSERT_TRUE(publisher_rt.Register(publisher_manifest.value()).ok());
+  const std::string name = ShmName("differential");
+  PublisherOptions publisher_options;
+  publisher_options.lanes = 2;
+  ShmPublisher publisher(publisher_rt, name, publisher_options);
+  ASSERT_TRUE(publisher.Start("kernelsim:all").ok());
+
+  auto attached = ShmSubscriber::Attach(name, /*timeout_ms=*/2000);
+  ASSERT_TRUE(attached.ok()) << attached.error().ToString();
+  ShmSubscriber& subscriber = *attached.value();
+  EXPECT_EQ(subscriber.info().origin, "kernelsim:all");
+  EXPECT_FALSE(subscriber.info().manifest_text.empty());
+  EXPECT_EQ(subscriber.info().producer_pid, ::getpid());
+
+  subscriber.InternSymbols();  // before the sidecar's Register()
+  RuntimeOptions sidecar_options = subscriber.PublisherRuntimeOptions();
+  sidecar_options.fail_stop = false;
+  sidecar_options.metrics_mode = metrics::MetricsMode::kCounters;
+  Runtime sidecar_rt(sidecar_options);
+  auto sidecar_manifest = automata::Manifest::Deserialize(subscriber.info().manifest_text);
+  ASSERT_TRUE(sidecar_manifest.ok()) << sidecar_manifest.error().ToString();
+  ASSERT_TRUE(sidecar_rt.Register(sidecar_manifest.value()).ok());
+  runtime::CountingHandler sidecar_violations;
+  sidecar_rt.AddHandler(&sidecar_violations);
+
+  ipc::DrainReport report;
+  std::thread sidecar([&] { report = DrainAll(subscriber, sidecar_rt); });
+  drive(publisher_rt);
+  publisher.Stop();  // waits for the (already attached) consumer, then closes
+  sidecar.join();
+
+  // Nothing dispatched in the publisher process, nothing lost in transit.
+  EXPECT_EQ(publisher_rt.stats().events, 0u);
+  EXPECT_EQ(report.producer_dropped, 0u);
+  EXPECT_EQ(report.lane_overflow, 0u);
+  EXPECT_FALSE(report.producer_died);
+  EXPECT_EQ(report.events, publisher.stats().published);
+  EXPECT_EQ(subscriber.unknown_symbols(), 0u);
+
+  // Verdicts: same violation sequence (one lane ⇒ publisher-thread order).
+  ASSERT_EQ(sidecar_violations.violations().size(), inline_violations.violations().size());
+  for (size_t i = 0; i < inline_violations.violations().size(); i++) {
+    EXPECT_EQ(sidecar_violations.violations()[i].kind,
+              inline_violations.violations()[i].kind);
+    EXPECT_EQ(sidecar_violations.violations()[i].automaton,
+              inline_violations.violations()[i].automaton);
+  }
+
+  // Semantic stats: identical except the transport accounting the sidecar
+  // folds into the queue_* counters.
+  for (const trace::StatsField& field : trace::kStatsFields) {
+    if (std::strncmp(field.name, "queue_", 6) == 0) {
+      continue;
+    }
+    EXPECT_EQ(sidecar_rt.stats().*field.field, inline_rt.stats().*field.field)
+        << field.name;
+  }
+  EXPECT_EQ(sidecar_rt.stats().queue_events, inline_rt.stats().events);
+
+  // Per-class counters and transition coverage (histograms are wall-clock
+  // and not comparable).
+  const metrics::Snapshot inline_metrics = inline_rt.CollectMetrics();
+  const metrics::Snapshot sidecar_metrics = sidecar_rt.CollectMetrics();
+  ASSERT_EQ(sidecar_metrics.classes.size(), inline_metrics.classes.size());
+  for (size_t c = 0; c < inline_metrics.classes.size(); c++) {
+    const metrics::ClassSnapshot& a = inline_metrics.classes[c];
+    const metrics::ClassSnapshot& b = sidecar_metrics.classes[c];
+    EXPECT_EQ(b.name, a.name);
+    for (size_t k = 0; k < metrics::kClassCounterCount; k++) {
+      EXPECT_EQ(b.counters[k], a.counters[k]) << a.name << " counter " << k;
+    }
+    ASSERT_EQ(b.transitions.size(), a.transitions.size()) << a.name;
+    for (size_t t = 0; t < a.transitions.size(); t++) {
+      EXPECT_EQ(b.transitions[t].fired, a.transitions[t].fired)
+          << a.name << " transition " << t;
+    }
+  }
+}
+
+// Each producer thread gets its own lane; a thread past the lane count
+// cannot publish and is counted, never blocked.
+TEST(Publisher, LaneAssignmentAndOverflowAccounting) {
+  Runtime rt(TestOptions());  // no manifest: lane mechanics only
+  const std::string name = ShmName("lanes");
+  PublisherOptions options;
+  options.lanes = 2;
+  options.install_hook = false;
+  options.wait_for_consumer = false;
+  ShmPublisher publisher(rt, name, options);
+  ASSERT_TRUE(publisher.Start("test:lanes").ok());
+
+  constexpr int kThreads = 4;  // two get lanes, two overflow
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&publisher, t] {
+      int64_t args[] = {t};
+      const Event event = Event::Call(S("lane_fn"), args);
+      for (int i = 0; i < kPerThread; i++) {
+        publisher.Publish(event);  // counters checked after joining
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  const ipc::PublisherStats stats = publisher.stats();
+  EXPECT_EQ(stats.published + stats.lane_overflow,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.published, uint64_t{2} * kPerThread);
+  EXPECT_EQ(stats.lane_overflow, uint64_t{2} * kPerThread);
+  EXPECT_EQ(publisher.segment_for_test()->header().lanes_allocated.load(), 4u);
+
+  // Drain raw: per-lane counts must each be one thread's share.
+  auto attached = ShmSubscriber::Attach(name, 1000);
+  ASSERT_TRUE(attached.ok());
+  publisher.Stop();
+  for (uint32_t lane = 0; lane < 2; lane++) {
+    std::vector<Event> events;
+    while (attached.value()->PollLane(lane, events, 64) > 0) {
+    }
+    EXPECT_EQ(events.size(), static_cast<size_t>(kPerThread)) << "lane " << lane;
+  }
+  EXPECT_TRUE(attached.value()->closed());
+}
+
+TEST(Publisher, DropOnFullCountsInsteadOfBlocking) {
+  Runtime rt(TestOptions());
+  const std::string name = ShmName("drop");
+  PublisherOptions options;
+  options.lanes = 1;
+  options.lane_capacity_events = 16;  // the floor Start() clamps to
+  options.drop_on_full = true;
+  options.install_hook = false;
+  options.wait_for_consumer = false;
+  ShmPublisher publisher(rt, name, options);
+  ASSERT_TRUE(publisher.Start("test:drop").ok());
+
+  const Event event = Event::Call(S("drop_fn"), {});
+  for (int i = 0; i < 10000; i++) {
+    ASSERT_TRUE(publisher.Publish(event));  // never blocks, never fails
+  }
+  const ipc::PublisherStats stats = publisher.stats();
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_GT(stats.published, 0u);
+  EXPECT_EQ(stats.published + stats.dropped, 10000u);
+  publisher.Stop();
+}
+
+// The publisher process vanishing without kClosed: the drain loop must
+// detect the death, salvage what the lanes hold, and report it.
+TEST(Subscriber, ProducerDeathSalvagesLanes) {
+  Runtime rt(TestOptions());
+  const std::string name = ShmName("death");
+  PublisherOptions options;
+  options.lanes = 1;
+  options.install_hook = false;
+  options.wait_for_consumer = false;
+  auto publisher = std::make_unique<ShmPublisher>(rt, name, options);
+  ASSERT_TRUE(publisher->Start("test:death").ok());
+  constexpr int kEvents = 25;
+  for (int i = 0; i < kEvents; i++) {
+    int64_t args[] = {i};
+    ASSERT_TRUE(publisher->Publish(Event::Call(S("death_fn"), args)));
+  }
+
+  auto attached = ShmSubscriber::Attach(name, 1000);
+  ASSERT_TRUE(attached.ok()) << attached.error().ToString();
+  ShmSubscriber& subscriber = *attached.value();
+
+  // A child that has already exited and been reaped: a real pid whose
+  // kill(pid, 0) now reports ESRCH, exactly what a dead publisher looks like.
+  pid_t dead = ::fork();
+  if (dead == 0) {
+    ::_exit(0);
+  }
+  ASSERT_GT(dead, 0);
+  ASSERT_EQ(::waitpid(dead, nullptr, 0), dead);
+  subscriber.header_for_test().producer_pid.store(dead, std::memory_order_relaxed);
+
+  Runtime sidecar_rt(TestOptions());
+  automata::Manifest empty;  // events route nowhere; salvage is still counted
+  ASSERT_TRUE(sidecar_rt.Register(empty).ok());
+  ipc::DrainReport report = DrainAll(subscriber, sidecar_rt);
+  EXPECT_TRUE(report.producer_died);
+  EXPECT_EQ(report.events, static_cast<uint64_t>(kEvents));  // salvaged
+  EXPECT_FALSE(subscriber.closed());
+
+  ShmSegment::Unlink(name);
+  publisher.reset();  // Stop() after unlink: idempotent, no consumer wait
+}
+
+TEST(Subscriber, AttachTimesOutOnMissingName) {
+  auto attached = ShmSubscriber::Attach(ShmName("never_created"), 50);
+  ASSERT_FALSE(attached.ok());
+  EXPECT_EQ(attached.error().code, trace::kErrUnreadable);
+}
+
+TEST(Subscriber, NewerSegmentVersionRejected) {
+  const std::string name = ShmName("version");
+  ShmSegment::Geometry geometry;
+  auto created = ShmSegment::Create(name, geometry);
+  ASSERT_TRUE(created.ok());
+  created.value()->header().version = ipc::kShmVersion + 1;
+  created.value()->header().state.store(static_cast<uint32_t>(ShmState::kLive),
+                                        std::memory_order_release);
+  auto attached = ShmSubscriber::Attach(name, 100);
+  ASSERT_FALSE(attached.ok());
+  EXPECT_EQ(attached.error().code, trace::kErrVersionMismatch);
+  ShmSegment::Unlink(name);
+}
+
+TEST(Subscriber, CorruptMagicRejected) {
+  const std::string name = ShmName("magic");
+  ShmSegment::Geometry geometry;
+  auto created = ShmSegment::Create(name, geometry);
+  ASSERT_TRUE(created.ok());
+  created.value()->header().magic[0] = 'X';
+  created.value()->header().state.store(static_cast<uint32_t>(ShmState::kLive),
+                                        std::memory_order_release);
+  auto attached = ShmSubscriber::Attach(name, 100);
+  ASSERT_FALSE(attached.ok());
+  EXPECT_EQ(attached.error().code, trace::kErrCorrupt);
+  ShmSegment::Unlink(name);
+}
+
+TEST(Segment, LeftoverNameFailsCreateWithHint) {
+  const std::string name = ShmName("leftover");
+  ShmSegment::Geometry geometry;
+  auto first = ShmSegment::Create(name, geometry);
+  ASSERT_TRUE(first.ok());
+  auto second = ShmSegment::Create(name, geometry);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, trace::kErrUnreadable);
+  EXPECT_NE(second.error().ToString().find("/dev/shm"), std::string::npos);
+  ShmSegment::Unlink(name);
+}
+
+}  // namespace
+}  // namespace tesla

@@ -1,22 +1,54 @@
-// tesla-trace: inspect and replay TESLA trace captures.
+// tesla-trace: inspect, replay, aggregate and live-attach TESLA captures.
 //
-//   tesla-trace dump   <file>   print the header and every record
-//   tesla-trace stats  <file>   print the capture's semantic summary and,
-//                               for v2 captures with an embedded metrics
-//                               footer, the per-class counters, latency
-//                               histograms and transition-coverage table
-//                               (--json / --prom re-emit that snapshot as
-//                               JSON or Prometheus text instead)
-//   tesla-trace replay <file>   re-run the events through a fresh Runtime
-//                               and verify stats, violations and — when the
-//                               capture embeds metrics — per-class counters
-//                               and transition coverage all match; exit 0 on
-//                               an exact reproduction
+//   tesla-trace dump    <file>          print the header and every record
+//   tesla-trace stats   <file>          print the capture's semantic summary
+//                                       and, when a metrics footer is
+//                                       embedded, the per-class counters,
+//                                       latency histograms and transition-
+//                                       coverage table (--json / --prom
+//                                       re-emit that snapshot instead)
+//   tesla-trace replay  <file>          re-run the events through a fresh
+//                                       Runtime and verify stats, violations
+//                                       and — when the capture embeds
+//                                       metrics — per-class counters and
+//                                       transition coverage all match; exit
+//                                       0 on an exact reproduction
+//   tesla-trace emit-manifest <file>    extract a capture's embedded
+//                                       manifest (or resolve its origin) as
+//                                       a standalone .tesla blob usable as a
+//                                       file:<path> origin anywhere
+//   tesla-trace attach  <shm-name>      attach to a live instrumented
+//                                       process's shm segment (see
+//                                       src/ipc), register its embedded
+//                                       manifest, and dispatch its event
+//                                       stream as an out-of-process sidecar
+//                                       checker until the publisher closes
+//       [--manifest f.tesla]            override the embedded manifest
+//       [--origin name]                 override with a built-in origin
+//       [--out capture]                 also record a replayable capture
+//       [--timeout-ms N]                attach wait (default 5000)
+//   tesla-trace merge   <file>... --out fleet.json [--json|--prom]
+//                                       union captures from a fleet of
+//                                       shards into one deterministic
+//                                       report: stats summed, coverage
+//                                       OR'd, violations as a census
+//
+// Exit codes (scriptable error classes — the CI smokes branch on them):
+//   0  success / exact reproduction
+//   1  failure: divergence, corrupt input, violation in the checked stream
+//   2  usage error
+//   3  unreadable input (missing file, shm name never appeared, I/O error)
+//   4  unknown capture origin
+//   5  version mismatch (capture or shm segment newer than this build)
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
+#include "ipc/merge.h"
+#include "ipc/subscriber.h"
 #include "metrics/snapshot.h"
 #include "support/log.h"
 #include "trace/forensics.h"
@@ -31,13 +63,53 @@ using namespace tesla::trace;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tesla-trace {dump|stats|replay} <capture-file> [--json|--prom]\n");
+               "usage:\n"
+               "  tesla-trace dump    <capture>\n"
+               "  tesla-trace stats   <capture> [--json|--prom]\n"
+               "  tesla-trace replay  <capture>\n"
+               "  tesla-trace emit-manifest <capture> [--out manifest.tesla]\n"
+               "  tesla-trace attach  <shm-name> [--manifest f.tesla] [--origin o]\n"
+               "                      [--out capture] [--timeout-ms N]\n"
+               "  tesla-trace merge   <capture>... [--out file] [--json|--prom]\n");
   std::fprintf(stderr, "known origins:");
   for (const std::string& origin : KnownOrigins()) {
     std::fprintf(stderr, " %s", origin.c_str());
   }
-  std::fprintf(stderr, "\n");
+  std::fprintf(stderr, " file:<manifest.tesla>\n");
   return 2;
+}
+
+// Error::code (trace::ErrorCode) → the CLI's exit-code contract above.
+int ExitCodeFor(const Error& error) {
+  switch (error.code) {
+    case kErrUnreadable:
+      return 3;
+    case kErrUnknownOrigin:
+      return 4;
+    case kErrVersionMismatch:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
+int Fail(const Error& error) {
+  std::fprintf(stderr, "tesla-trace: %s\n", error.ToString().c_str());
+  return ExitCodeFor(error);
+}
+
+bool WriteOutput(const std::string& path, const std::string& content) {
+  if (path.empty() || path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "tesla-trace: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
 }
 
 void PrintHeader(const TraceFile& file) {
@@ -47,6 +119,8 @@ void PrintHeader(const TraceFile& file) {
               file.options.lazy_init ? 1 : 0, file.options.use_dfa ? 1 : 0,
               file.options.instance_index ? 1 : 0, file.options.instances_per_context,
               file.options.global_shards);
+  std::printf("manifest: %s\n",
+              file.manifest_text.empty() ? "none (resolve the origin)" : "embedded");
   std::printf("symbols:  %zu\n", file.symbols.size());
   std::printf("records:  %zu (%" PRIu64 " dropped at capture)\n", file.records.size(),
               file.summary.dropped);
@@ -105,8 +179,7 @@ int Replay(const std::string& path) {
   SetLogLevel(LogLevel::kSilent);  // replayed violations are expected output
   Result<ReplayResult> replayed = ReplayFile(path);
   if (!replayed.ok()) {
-    std::fprintf(stderr, "tesla-trace: %s\n", replayed.error().ToString().c_str());
-    return 1;
+    return Fail(replayed.error());
   }
   const ReplayResult& result = replayed.value();
   std::printf("replayed %" PRIu64 " events, %zu violations\n", result.events_replayed,
@@ -124,28 +197,180 @@ int Replay(const std::string& path) {
   return 0;
 }
 
+// Extracts the capture's assertion set as a standalone .tesla manifest —
+// the blob a `file:<path>` origin (or `tesla-trace attach --manifest`)
+// consumes. Prefers the embedded v4 manifest; falls back to resolving the
+// origin for older captures.
+int EmitManifest(const std::string& path, const std::string& output) {
+  Result<TraceFile> read = TraceFile::Read(path);
+  if (!read.ok()) {
+    return Fail(read.error());
+  }
+  std::string text = read.value().manifest_text;
+  if (text.empty()) {
+    Result<automata::Manifest> manifest = ManifestForOrigin(read.value().origin);
+    if (!manifest.ok()) {
+      return Fail(manifest.error());
+    }
+    text = manifest.value().Serialize();
+  }
+  if (!WriteOutput(output, text)) {
+    return 3;
+  }
+  if (!output.empty() && output != "-") {
+    std::fprintf(stderr, "tesla-trace: wrote manifest to %s\n", output.c_str());
+  }
+  return 0;
+}
+
+int Attach(const std::string& shm_name, const std::string& manifest_path,
+           const std::string& origin_override, const std::string& capture_out,
+           int timeout_ms) {
+  SetLogLevel(LogLevel::kSilent);  // the sidecar reports through its summary
+  Result<std::unique_ptr<ipc::ShmSubscriber>> attached =
+      ipc::ShmSubscriber::Attach(shm_name, timeout_ms);
+  if (!attached.ok()) {
+    return Fail(attached.error());
+  }
+  ipc::ShmSubscriber& subscriber = *attached.value();
+
+  // Manifest precedence: an explicit --manifest / --origin override, else
+  // the manifest embedded in the segment, else the publisher's origin.
+  Result<automata::Manifest> manifest = [&]() -> Result<automata::Manifest> {
+    if (!manifest_path.empty()) {
+      return ManifestForOrigin("file:" + manifest_path);
+    }
+    if (!origin_override.empty()) {
+      return ManifestForOrigin(origin_override);
+    }
+    if (!subscriber.info().manifest_text.empty()) {
+      return automata::Manifest::Deserialize(subscriber.info().manifest_text);
+    }
+    return ManifestForOrigin(subscriber.info().origin);
+  }();
+  if (!manifest.ok()) {
+    return Fail(manifest.error());
+  }
+
+  runtime::RuntimeOptions options = subscriber.PublisherRuntimeOptions();
+  options.fail_stop = false;  // the sidecar reports every violation
+  options.metrics_mode = metrics::MetricsMode::kCounters;
+  if (!capture_out.empty()) {
+    options.trace_mode = trace::TraceMode::kFullCapture;
+  }
+  runtime::Runtime rt(options);
+  // Intern the publisher's symbols before Register() freezes the dispatch
+  // plan; site targets ride on registration order instead.
+  subscriber.InternSymbols();
+  if (Status status = rt.Register(manifest.value()); !status.ok()) {
+    return Fail(status.error());
+  }
+
+  const ipc::DrainReport report = ipc::DrainAll(subscriber, rt);
+  std::printf("drained %" PRIu64 " events in %" PRIu64 " batches from '%s'\n",
+              report.events, report.batches, shm_name.c_str());
+  std::printf("verdict: %" PRIu64 " violations, %" PRIu64 " accepts, %" PRIu64
+              " transitions\n",
+              rt.stats().violations, rt.stats().accepts, rt.stats().transitions);
+  if (report.producer_dropped != 0 || report.lane_overflow != 0) {
+    std::fprintf(stderr,
+                 "tesla-trace: publisher dropped %" PRIu64 " events, %" PRIu64
+                 " from unassigned threads — the checked stream is incomplete\n",
+                 report.producer_dropped, report.lane_overflow);
+  }
+  if (report.producer_died) {
+    std::fprintf(stderr, "tesla-trace: publisher died without closing; drained "
+                         "what its lanes still held\n");
+  }
+  if (!capture_out.empty()) {
+    if (Status status = WriteCapture(capture_out, subscriber.info().origin, rt);
+        !status.ok()) {
+      return Fail(status.error());
+    }
+    std::fprintf(stderr, "tesla-trace: wrote capture to %s\n", capture_out.c_str());
+  }
+  return 0;
+}
+
+int Merge(const std::vector<std::string>& paths, const std::string& output,
+          const std::string& format) {
+  Result<ipc::FleetReport> merged = ipc::MergeCaptureFiles(paths);
+  if (!merged.ok()) {
+    return Fail(merged.error());
+  }
+  const std::string out = format == "--prom" ? ipc::FleetToPrometheus(merged.value())
+                                             : ipc::FleetToJson(merged.value());
+  if (!WriteOutput(output, out)) {
+    return 3;
+  }
+  if (!output.empty() && output != "-") {
+    std::fprintf(stderr,
+                 "tesla-trace: merged %" PRIu64 " shards (%" PRIu64 " events, %" PRIu64
+                 " violation classes) into %s\n",
+                 merged.value().shards, merged.value().events,
+                 static_cast<uint64_t>(merged.value().violations.size()), output.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3 && argc != 4) {
+  if (argc < 2) {
     return Usage();
   }
   const std::string command = argv[1];
-  const std::string path = argv[2];
-  const std::string format = argc == 4 ? argv[3] : "";
-  if (!format.empty() && (command != "stats" || (format != "--json" && format != "--prom"))) {
-    return Usage();
+
+  std::vector<std::string> positional;
+  std::string format;
+  std::string output;
+  std::string manifest_path;
+  std::string origin_override;
+  int timeout_ms = 5000;
+
+  for (int i = 2; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg == "--prom") {
+      format = arg;
+    } else if (arg == "--out" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--manifest" && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else if (arg == "--origin" && i + 1 < argc) {
+      origin_override = argv[++i];
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      timeout_ms = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "tesla-trace: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
   }
+
   if (command == "replay") {
-    return Replay(path);
+    return positional.size() == 1 ? Replay(positional[0]) : Usage();
+  }
+  if (command == "emit-manifest") {
+    return positional.size() == 1 ? EmitManifest(positional[0], output) : Usage();
+  }
+  if (command == "attach") {
+    return positional.size() == 1
+               ? Attach(positional[0], manifest_path, origin_override, output, timeout_ms)
+               : Usage();
+  }
+  if (command == "merge") {
+    return positional.empty() ? Usage() : Merge(positional, output, format);
   }
   if (command != "dump" && command != "stats") {
     return Usage();
   }
-  Result<TraceFile> read = TraceFile::Read(path);
+  if (positional.size() != 1) {
+    return Usage();
+  }
+  Result<TraceFile> read = TraceFile::Read(positional[0]);
   if (!read.ok()) {
-    std::fprintf(stderr, "tesla-trace: %s\n", read.error().ToString().c_str());
-    return 1;
+    return Fail(read.error());
   }
   return command == "dump" ? Dump(read.value()) : Stats(read.value(), format);
 }

@@ -39,7 +39,10 @@ int Usage() {
                "  teslac analyse <src.c>... [-o out.tesla]\n"
                "  teslac dump <manifest.tesla>\n"
                "  teslac dot <manifest.tesla> -n <automaton>\n"
-               "  teslac run <src.c>... --entry <fn> [--arg N]... [--show-ir]\n");
+               "  teslac run <src.c>... --entry <fn> [--arg N]... [--show-ir]\n"
+               "             [--emit-manifest out.tesla]   write the registered\n"
+               "             assertion set as a standalone manifest blob (usable\n"
+               "             as a file:<path> capture origin on any machine)\n");
   return 2;
 }
 
@@ -141,7 +144,8 @@ class ReportingHandler : public runtime::EventHandler {
 };
 
 int CmdRun(const std::vector<std::string>& sources, const std::string& entry,
-           const std::vector<int64_t>& args, bool show_ir) {
+           const std::vector<int64_t>& args, bool show_ir,
+           const std::string& emit_manifest) {
   SetLogLevel(LogLevel::kSilent);  // the handler reports; no duplicate log lines
   auto compiler = CompileSources(sources);
   if (!compiler.ok()) {
@@ -165,6 +169,18 @@ int CmdRun(const std::vector<std::string>& sources, const std::string& entry,
   if (auto status = rt.Register(compiler->manifest()); !status.ok()) {
     std::fprintf(stderr, "teslac: %s\n", status.error().ToString().c_str());
     return 1;
+  }
+  if (!emit_manifest.empty()) {
+    // The *registered* manifest, re-serialised: what a v4 capture embeds,
+    // with automaton ids fixed by registration order — the exact blob a
+    // file:<path> origin re-registers elsewhere.
+    std::ofstream out(emit_manifest);
+    if (!out) {
+      std::fprintf(stderr, "teslac: cannot write '%s'\n", emit_manifest.c_str());
+      return 1;
+    }
+    out << rt.ManifestText();
+    std::fprintf(stderr, "teslac: wrote manifest to %s\n", emit_manifest.c_str());
   }
   ReportingHandler handler;
   rt.AddHandler(&handler);
@@ -200,6 +216,7 @@ int main(int argc, char** argv) {
   std::string output;
   std::string entry = "main";
   std::string name;
+  std::string emit_manifest;
   std::vector<int64_t> run_args;
   bool show_ir = false;
 
@@ -213,6 +230,8 @@ int main(int argc, char** argv) {
       name = argv[++i];
     } else if (arg == "--arg" && i + 1 < argc) {
       run_args.push_back(std::strtoll(argv[++i], nullptr, 0));
+    } else if (arg == "--emit-manifest" && i + 1 < argc) {
+      emit_manifest = argv[++i];
     } else if (arg == "--show-ir") {
       show_ir = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -233,7 +252,8 @@ int main(int argc, char** argv) {
     return positional.size() == 1 ? CmdDot(positional[0], name) : Usage();
   }
   if (command == "run") {
-    return positional.empty() ? Usage() : CmdRun(positional, entry, run_args, show_ir);
+    return positional.empty() ? Usage()
+                              : CmdRun(positional, entry, run_args, show_ir, emit_manifest);
   }
   return Usage();
 }
