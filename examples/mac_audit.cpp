@@ -20,6 +20,8 @@
 #include "kernelsim/kernel.h"
 #include "kernelsim/workloads.h"
 #include "metrics/snapshot.h"
+#include "profile/hints.h"
+#include "profile/snapshot.h"
 #include "queue/queue.h"
 #include "runtime/runtime.h"
 #include "support/log.h"
@@ -77,9 +79,15 @@ int main(int argc, char** argv) {
   // checking in-process — an external sidecar (`tesla-trace attach <name>`)
   // performs all dispatch and reports the verdicts. At exit the publisher
   // waits for a sidecar to attach, so start one.
+  // --profile-out <path>: profile the run and distil the workload profile
+  // into a plan-hints file for --plan-hints on the next run.
+  // --plan-hints <path>: load plan hints (from a previous --profile-out or
+  // `tesla-trace profile --hints-out`) before Register().
   const char* trace_out = nullptr;
   const char* metrics_out = nullptr;
   const char* shm_name = nullptr;
+  const char* profile_out = nullptr;
+  const char* plan_hints = nullptr;
   bool async_queue = false;
   size_t queue_consumers = 1;
   for (int i = 1; i < argc; i++) {
@@ -89,6 +97,10 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--shm") == 0 && i + 1 < argc) {
       shm_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
+      profile_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--plan-hints") == 0 && i + 1 < argc) {
+      plan_hints = argv[++i];
     } else if (std::strcmp(argv[i], "--async-queue") == 0) {
       async_queue = true;
     } else if (std::strncmp(argv[i], "--queue-consumers=", 18) == 0) {
@@ -108,6 +120,17 @@ int main(int argc, char** argv) {
   }
   options.async_queue = async_queue;
   options.queue_consumers = queue_consumers;
+  if (profile_out != nullptr) {
+    options.profile = true;
+  }
+  if (plan_hints != nullptr) {
+    auto hints = profile::ReadHintsFile(plan_hints);
+    if (!hints.ok()) {
+      std::fprintf(stderr, "plan hints: %s\n", hints.error().ToString().c_str());
+      return 1;
+    }
+    options.plan_hints = std::move(hints.value());
+  }
   runtime::Runtime rt(options);
 
   auto manifest = KernelAssertions(kSetAll);
@@ -237,6 +260,17 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("  metrics written to %s\n", metrics_out);
+  }
+  if (profile_out != nullptr) {
+    const profile::Snapshot snapshot = rt.CollectProfile();
+    const profile::PlanHints hints = profile::HintsFromSnapshot(snapshot);
+    if (auto status = profile::WriteHintsFile(profile_out, hints); !status.ok()) {
+      std::fprintf(stderr, "profile: %s\n", status.error().ToString().c_str());
+      return 1;
+    }
+    std::printf("  plan hints for %llu classes written to %s (index_scans this run: %llu)\n",
+                static_cast<unsigned long long>(hints.classes.size()), profile_out,
+                static_cast<unsigned long long>(rt.stats().index_scans));
   }
 
   // The sugid bug fires once per setuid call (two calls above).

@@ -94,6 +94,13 @@ Result<FleetReport> MergeCaptures(const std::vector<trace::TraceFile>& captures,
     for (const auto& [kind, automaton] : capture.summary.violations) {
       violations[{static_cast<int>(kind), automaton}]++;
     }
+    if (capture.summary.has_profile) {
+      report.has_profile = true;
+      report.profile_shards++;
+      // MergeInto is commutative and associative and sorts classes by name,
+      // so the fleet profile is independent of input order, like the rest.
+      profile::MergeInto(&report.profile, capture.summary.profile);
+    }
     if (!capture.summary.has_metrics) {
       continue;
     }
@@ -192,6 +199,12 @@ std::string FleetToJson(const FleetReport& report) {
   } else {
     out += "null";
   }
+  out += ",\n  \"profile\": ";
+  if (report.has_profile) {
+    out += profile::ToJson(report.profile);
+  } else {
+    out += "null";
+  }
   out += "\n}\n";
   return out;
 }
@@ -224,6 +237,14 @@ std::string FleetToPrometheus(const FleetReport& report) {
     }
   }
   out += metrics::ToPrometheus(report.metrics);
+  if (report.has_profile) {
+    out +=
+        "# HELP tesla_fleet_profile_shards merged captures that carried a workload "
+        "profile\n"
+        "# TYPE tesla_fleet_profile_shards gauge\n"
+        "tesla_fleet_profile_shards " + std::to_string(report.profile_shards) + "\n";
+    out += profile::ToPrometheus(report.profile);
+  }
   return out;
 }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "metrics/snapshot.h"
+#include "profile/snapshot.h"
 #include "support/result.h"
 #include "trace/format.h"
 
@@ -57,6 +58,13 @@ struct FleetReport {
   bool has_metrics = false;
   uint64_t metric_shards = 0;  // captures that carried a metrics snapshot
   metrics::Snapshot metrics;
+  // Merged workload profile (v5 captures): cells combine per the profile
+  // schema's merge rule (sum / max), sketches OR, pool marks max — so the
+  // fleet profile answers the same plan-compilation questions a single
+  // shard's does, and `tesla-trace profile` can compile hints from it.
+  bool has_profile = false;
+  uint64_t profile_shards = 0;  // captures that carried a profile section
+  profile::Snapshot profile;
 };
 
 // Merges already-parsed captures. `labels[i]` names capture i in error

@@ -1,0 +1,98 @@
+#include "profile/collector.h"
+
+#include <algorithm>
+
+namespace tesla::profile {
+namespace {
+
+// Merge one class-major word block into `out` honouring the schema's merge
+// rule: schema cells are summed or max-merged per kCellMaxMerge; the
+// per-variable partial counters sum; sketch words OR.
+void MergeWords(uint64_t* out, size_t classes, const uint64_t* in) {
+  for (size_t c = 0; c < classes; c++) {
+    uint64_t* dst = out + c * kClassStride;
+    const uint64_t* src = in + c * kClassStride;
+    for (size_t i = 0; i < kCellCount; i++) {
+      if (kCellMaxMerge[i]) {
+        dst[i] = src[i] > dst[i] ? src[i] : dst[i];
+      } else {
+        dst[i] += src[i];
+      }
+    }
+    for (size_t i = kVarPartialOffset; i < kSketchOffset; i++) {
+      dst[i] += src[i];
+    }
+    for (size_t i = kSketchOffset; i < kClassStride; i++) {
+      dst[i] |= src[i];
+    }
+  }
+}
+
+}  // namespace
+
+Shard::Shard(size_t class_capacity) : class_capacity_(class_capacity) {
+  if (class_capacity_ > 0) {
+    cells_ = std::make_unique<std::atomic<uint64_t>[]>(class_capacity_ * kClassStride);
+  }
+}
+
+Shard* Collector::RegisterShard() {
+  LockGuard<Spinlock> guard(lock_);
+  shards_.push_back(std::make_unique<Shard>(class_capacity_));
+  return shards_.back().get();
+}
+
+void Collector::EnsureClassCapacity(size_t count) {
+  LockGuard<Spinlock> guard(lock_);
+  if (count > class_capacity_) {
+    class_capacity_ = count;
+    spill_.resize(count * kClassStride, 0);
+  }
+}
+
+void Collector::AddSpill(uint32_t class_id, Cell cell, uint64_t amount) {
+  LockGuard<Spinlock> guard(lock_);
+  const size_t word = class_id * kClassStride + static_cast<size_t>(cell);
+  if (word < spill_.size()) {
+    spill_[word] += amount;
+  }
+}
+
+void Collector::Merge(size_t class_count, uint64_t* out) const {
+  const size_t words = class_count * kClassStride;
+  for (size_t i = 0; i < words; i++) {
+    out[i] = 0;
+  }
+  // Relaxed snapshot of each shard, then one rule-aware merge per shard.
+  std::vector<uint64_t> scratch;
+  LockGuard<Spinlock> guard(lock_);
+  for (const auto& shard : shards_) {
+    const size_t classes =
+        shard->class_capacity_ < class_count ? shard->class_capacity_ : class_count;
+    if (classes == 0) {
+      continue;
+    }
+    scratch.resize(classes * kClassStride);
+    for (size_t i = 0; i < scratch.size(); i++) {
+      scratch[i] = shard->cells_[i].load(std::memory_order_relaxed);
+    }
+    MergeWords(out, classes, scratch.data());
+  }
+  if (!spill_.empty()) {
+    const size_t classes = spill_.size() / kClassStride;
+    MergeWords(out, classes < class_count ? classes : class_count, spill_.data());
+  }
+}
+
+void Collector::Reset() {
+  LockGuard<Spinlock> guard(lock_);
+  for (const auto& shard : shards_) {
+    const size_t words = shard->class_capacity_ * kClassStride;
+    for (size_t i = 0; i < words; i++) {
+      shard->cells_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  std::fill(spill_.begin(), spill_.end(), 0);
+}
+
+}  // namespace tesla::profile

@@ -1,0 +1,151 @@
+// The profile collector: sharded hot-path recording, merge-on-snapshot.
+//
+// Mirrors metrics::Collector's architecture exactly (see
+// metrics/collector.h): one Collector per Runtime when profiling is on;
+// every event-serialisation context registers a Shard and is that shard's
+// only writer (per-thread contexts are single-threaded by contract, global
+// shard contexts are serialised by their shard lock), so the write path is a
+// relaxed atomic load + store pair — no RMW, no fence, no lock — and the
+// merger's concurrent relaxed loads see word-consistent monotone values.
+// Shards outlive their contexts (the Collector owns them) so short-lived
+// threads still contribute; a central lock-guarded spill block absorbs
+// writes that race a late Register().
+#ifndef TESLA_PROFILE_COLLECTOR_H_
+#define TESLA_PROFILE_COLLECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "profile/profile.h"
+#include "support/spinlock.h"
+
+namespace tesla::profile {
+
+// One context's recording block: kClassStride relaxed-atomic words per
+// class, class-major. Created by Collector::RegisterShard and owned by the
+// Collector for its whole lifetime.
+class Shard {
+ public:
+  explicit Shard(size_t class_capacity);
+
+  size_t class_capacity() const { return class_capacity_; }
+
+  // Single-writer add. Caller guarantees class_id < class_capacity().
+  void Add(uint32_t class_id, Cell cell, uint64_t amount = 1) {
+    Word(class_id * kClassStride + static_cast<size_t>(cell), amount);
+  }
+
+  // Single-writer max (fanout peaks).
+  void Peak(uint32_t class_id, Cell cell, uint64_t value) {
+    std::atomic<uint64_t>& word =
+        cells_[class_id * kClassStride + static_cast<size_t>(cell)];
+    if (value > word.load(std::memory_order_relaxed)) {
+      word.store(value, std::memory_order_relaxed);
+    }
+  }
+
+  // Partial-binding attribution for tracked key variable `key_pos` (its
+  // position in the class's ascending-variable key order).
+  void AddVarPartial(uint32_t class_id, size_t key_pos) {
+    Word(class_id * kClassStride + kVarPartialOffset + key_pos, 1);
+  }
+
+  // Sets one linear-counting bit for `hash` in key variable `key_pos`'s
+  // sketch. Single-writer, so load + or + store needs no RMW.
+  void SketchValue(uint32_t class_id, size_t key_pos, uint64_t hash) {
+    const size_t bit = hash & (kSketchBits - 1);
+    std::atomic<uint64_t>& word =
+        cells_[class_id * kClassStride + kSketchOffset + key_pos * kSketchWords +
+               (bit >> 6)];
+    const uint64_t mask = uint64_t{1} << (bit & 63);
+    const uint64_t old = word.load(std::memory_order_relaxed);
+    if ((old & mask) == 0) {
+      word.store(old | mask, std::memory_order_relaxed);
+    }
+  }
+
+  // Per-shard latency-sampling tick (single writer; plain field).
+  uint32_t NextTick() { return tick_++; }
+
+  // Hot-path variant: the caller hoists the class's word-block base once and
+  // writes base-relative, so the compiler is not forced to reload `cells_`
+  // after every store (the member accessors above can alias it).
+  std::atomic<uint64_t>* ClassCells(uint32_t class_id) {
+    return cells_.get() + class_id * kClassStride;
+  }
+  static void AddAt(std::atomic<uint64_t>* base, Cell cell, uint64_t amount = 1) {
+    std::atomic<uint64_t>& word = base[static_cast<size_t>(cell)];
+    word.store(word.load(std::memory_order_relaxed) + amount, std::memory_order_relaxed);
+  }
+  static void PeakAt(std::atomic<uint64_t>* base, Cell cell, uint64_t value) {
+    std::atomic<uint64_t>& word = base[static_cast<size_t>(cell)];
+    if (value > word.load(std::memory_order_relaxed)) {
+      word.store(value, std::memory_order_relaxed);
+    }
+  }
+  static void VarPartialAt(std::atomic<uint64_t>* base, size_t key_pos) {
+    std::atomic<uint64_t>& word = base[kVarPartialOffset + key_pos];
+    word.store(word.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+  static void SketchAt(std::atomic<uint64_t>* base, size_t key_pos, uint64_t hash) {
+    const size_t bit = hash & (kSketchBits - 1);
+    std::atomic<uint64_t>& word = base[kSketchOffset + key_pos * kSketchWords + (bit >> 6)];
+    const uint64_t mask = uint64_t{1} << (bit & 63);
+    const uint64_t old = word.load(std::memory_order_relaxed);
+    if ((old & mask) == 0) {
+      word.store(old | mask, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  friend class Collector;
+
+  void Word(size_t index, uint64_t amount) {
+    std::atomic<uint64_t>& cell = cells_[index];
+    cell.store(cell.load(std::memory_order_relaxed) + amount, std::memory_order_relaxed);
+  }
+
+  size_t class_capacity_;
+  uint32_t tick_ = 0;
+  // class_capacity_ * kClassStride words, class-major.
+  std::unique_ptr<std::atomic<uint64_t>[]> cells_;
+};
+
+class Collector {
+ public:
+  Collector() = default;
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  // Thread-safe; the returned shard stays valid for the Collector's lifetime
+  // and is sized for the classes known now (EnsureClassCapacity).
+  Shard* RegisterShard();
+
+  // Grows the spill block (and the capacity granted to future shards) to
+  // `count` classes. Called at Register() time, before contexts re-register.
+  void EnsureClassCapacity(size_t count);
+
+  // Cold path for writers whose shard predates the current class count.
+  void AddSpill(uint32_t class_id, Cell cell, uint64_t amount = 1);
+
+  // Sums (or max-merges, per kCellMaxMerge; ORs sketches) every shard's and
+  // the spill block's words for classes [0, class_count) into `out`
+  // (class-major, kClassStride words per class).
+  void Merge(size_t class_count, uint64_t* out) const;
+
+  // Zeroes every shard and the spill block (profile-window support; see
+  // Runtime::ResetStats()). Call at a quiescent point for exact windows.
+  void Reset();
+
+ private:
+  mutable Spinlock lock_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t class_capacity_ = 0;
+  std::vector<uint64_t> spill_;  // class-major, guarded by lock_
+};
+
+}  // namespace tesla::profile
+
+#endif  // TESLA_PROFILE_COLLECTOR_H_

@@ -41,7 +41,11 @@ inline constexpr uint32_t kNoSlot = SlotPool::kNoSlot;
 class InstanceStore {
  public:
   explicit InstanceStore(size_t capacity)
-      : pool_(capacity), hot_(capacity), values_(capacity), next_(capacity, kNoSlot) {}
+      : pool_(capacity),
+        hot_(capacity),
+        values_(capacity),
+        next_(capacity, kNoSlot),
+        next2_(capacity, kNoSlot) {}
 
   InstanceStore(const InstanceStore&) = delete;
   InstanceStore& operator=(const InstanceStore&) = delete;
@@ -56,6 +60,7 @@ class InstanceStore {
     hot_[slot] = InstanceHot{};
     values_[slot] = {};
     next_[slot] = kNoSlot;
+    next2_[slot] = kNoSlot;
     return slot;
   }
 
@@ -72,6 +77,10 @@ class InstanceStore {
   // Bucket-chain link (owned by the class's KeyIndex).
   uint32_t& next(uint32_t slot) { return next_[slot]; }
   uint32_t next(uint32_t slot) const { return next_[slot]; }
+  // Second bucket-chain link, for the profile-hinted secondary prefix index
+  // (an instance can sit in both the full-key chain and a prefix chain).
+  uint32_t& next2(uint32_t slot) { return next2_[slot]; }
+  uint32_t next2(uint32_t slot) const { return next2_[slot]; }
 
   void Bind(uint32_t slot, uint16_t var, int64_t value) {
     hot_[slot].bound_mask |= 1u << var;
@@ -85,6 +94,7 @@ class InstanceStore {
     hot_[slot].bound_mask = instance.bound_mask;
     values_[slot] = instance.values;
     next_[slot] = kNoSlot;
+    next2_[slot] = kNoSlot;
   }
 
   // AoS view of a slot, for handler callbacks and violation reports.
@@ -127,12 +137,14 @@ class InstanceStore {
   size_t high_water() const { return pool_.high_water(); }
   uint64_t overflows() const { return pool_.overflows(); }
   void ResetOverflows() { pool_.ResetOverflows(); }
+  void ResetHighWater() { pool_.ResetHighWater(); }
 
  private:
   SlotPool pool_;
   std::vector<InstanceHot> hot_;
   std::vector<std::array<int64_t, kMaxVariables>> values_;  // out-of-line
-  std::vector<uint32_t> next_;  // bucket chains, threaded per slot
+  std::vector<uint32_t> next_;   // bucket chains, threaded per slot
+  std::vector<uint32_t> next2_;  // secondary (prefix-index) chains
 };
 
 // Hashes a key tuple (the values of a class's key variables, in ascending

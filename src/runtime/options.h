@@ -7,6 +7,7 @@
 #include <string>
 
 #include "metrics/metrics.h"
+#include "profile/hints.h"
 #include "trace/record.h"
 
 namespace tesla::runtime {
@@ -137,6 +138,24 @@ struct RuntimeOptions {
   // times every dispatch into log-bucketed per-event-kind histograms (two
   // clock reads per event). Snapshots: Runtime::CollectMetrics().
   metrics::MetricsMode metrics_mode = metrics::MetricsMode::kOff;
+
+  // Workload profiling (src/profile, layered beside metrics). When on, every
+  // dispatch records instance fan-out, index-probe/scan attribution,
+  // binding-key distinct-value sketches and sampled dispatch latency into
+  // per-context single-writer shards (~3 ns/event; BENCH_profile.json gates
+  // the overhead). Snapshots: Runtime::CollectProfile(); captures embed them
+  // in the TSLATRC v5 footer and `tesla-trace profile` renders the report.
+  bool profile = false;
+
+  // Profile-guided plan hints (see profile/hints.h), typically loaded from a
+  // prior run's `--profile-out` file. Consumed at Register() time: per-class
+  // SlotPool capacity hints size each context's pool (replacing the single
+  // instances_per_context knob with data), per-class min_population overrides
+  // re-enable the index probe, and prefix_key_pos builds a secondary
+  // prefix-key index for classes whose profile shows partially-bound scan
+  // fallbacks. Unknown class names are ignored (the profile may cover more
+  // automata than this manifest registers).
+  profile::PlanHints plan_hints;
 
   MemoryReader memory_reader;
 };

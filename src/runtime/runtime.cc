@@ -62,7 +62,7 @@ const char* ViolationKindName(ViolationKind kind) {
 ThreadContext::ThreadContext(Runtime& runtime)
     : runtime_(runtime),
       classes_(runtime.classes_.size()),
-      store_(runtime.options_.instances_per_context),
+      store_(runtime.ContextPoolCapacity()),
       bound_epochs_(runtime.bound_slot_count_),
       active_classes_(runtime.cleanup_slot_count_),
       stack_depth_(runtime.stack_slot_count_, 0) {
@@ -72,6 +72,10 @@ ThreadContext::ThreadContext(Runtime& runtime)
   if (runtime.collector_ != nullptr) {
     metrics_ = runtime.collector_->RegisterShard();
   }
+  if (runtime.profile_collector_ != nullptr) {
+    profile_ = runtime.profile_collector_->RegisterShard();
+  }
+  runtime.RegisterContext(this);
 }
 
 ThreadContext::~ThreadContext() {
@@ -81,6 +85,7 @@ ThreadContext::~ThreadContext() {
     }
     state.instances.clear();
   }
+  runtime_.UnregisterContext(this);
 }
 
 bool ThreadContext::InCallStack(Symbol function) const {
@@ -135,6 +140,25 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
     collector_ = std::make_unique<metrics::Collector>(options_.metrics_mode);
     time_dispatch_ = collector_->histograms_enabled();
   }
+  if (options_.profile) {
+    profile_collector_ = std::make_unique<profile::Collector>();
+  }
+}
+
+void Runtime::RegisterContext(ThreadContext* ctx) {
+  LockGuard<Spinlock> guard(contexts_lock_);
+  live_contexts_.push_back(ctx);
+}
+
+void Runtime::UnregisterContext(ThreadContext* ctx) {
+  LockGuard<Spinlock> guard(contexts_lock_);
+  live_contexts_.erase(std::remove(live_contexts_.begin(), live_contexts_.end(), ctx),
+                       live_contexts_.end());
+  // Fold the departing pool's marks into the retired maxima so its peak
+  // still shows in CollectProfile()'s capacity-headroom figures.
+  retired_pool_high_water_ =
+      std::max<uint64_t>(retired_pool_high_water_, ctx->store_.high_water());
+  retired_pool_capacity_ = std::max<uint64_t>(retired_pool_capacity_, ctx->store_.capacity());
 }
 
 Runtime::~Runtime() = default;
@@ -294,6 +318,23 @@ void Runtime::CompilePlan() {
     for (uint8_t var = 0; var < kMaxVariables; var++) {
       if ((cls.key_mask & (1u << var)) != 0) {
         cls.key_vars[cls.key_count++] = var;
+      }
+    }
+    // Plan-hint resolution: the per-class index gate (hint override or the
+    // global knob) and the profile-chosen secondary prefix index. A prefix
+    // position outside the class's key set (stale profile, renamed class)
+    // is ignored rather than applied wrong.
+    cls.min_population = static_cast<uint32_t>(options_.index_min_population);
+    cls.prefix_pos = CompiledClass::kNoPrefix;
+    cls.prefix_var = 0;
+    if (const profile::ClassHint* hint = options_.plan_hints.Find(cls.automaton.name)) {
+      if (hint->min_population >= 0) {
+        cls.min_population = static_cast<uint32_t>(hint->min_population);
+      }
+      if (hint->prefix_key_pos >= 0 && hint->prefix_key_pos < cls.key_count &&
+          static_cast<size_t>(hint->prefix_key_pos) < profile::kMaxKeyVars) {
+        cls.prefix_pos = static_cast<uint8_t>(hint->prefix_key_pos);
+        cls.prefix_var = cls.key_vars[cls.prefix_pos];
       }
     }
     cls.bound_slot =
@@ -472,6 +513,29 @@ void Runtime::CompilePlan() {
     collector_->EnsureClassCapacity(classes_.size());
     collector_->InstallCoverage(bits);
   }
+  if (profile_collector_ != nullptr) {
+    profile_collector_->EnsureClassCapacity(classes_.size());
+  }
+
+  // Pool sizing from capacity hints: any context can host any class's
+  // instances, so the per-context pool is the sum of the per-class hints
+  // (unhinted classes get a small floor — they never dispatched in the
+  // profile window). Without hints the instances_per_context knob stands.
+  pool_capacity_hint_ = 0;
+  if (!options_.plan_hints.empty() && !classes_.empty()) {
+    size_t total = 0;
+    for (const CompiledClass& cls : classes_) {
+      const profile::ClassHint* hint = options_.plan_hints.Find(cls.automaton.name);
+      total += hint != nullptr && hint->capacity > 0 ? hint->capacity : 16;
+    }
+    pool_capacity_hint_ = std::clamp<size_t>(total, 64, size_t{1} << 20);
+  }
+
+  // Once-only index-gate warning state: one zeroed tally per class.
+  gate_scan_count_ = classes_.size();
+  gate_scans_ = gate_scan_count_ != 0
+                    ? std::make_unique<std::atomic<uint32_t>[]>(gate_scan_count_)
+                    : nullptr;
 
   // Pass 5: compile each class's step program (runtime/step.h). Recompiled
   // for every class on every Register(): classes_ may have reallocated, so
@@ -507,6 +571,10 @@ void Runtime::EnsurePlanCapacity(ThreadContext& ctx) {
       ctx.metrics_->class_capacity() < classes_.size()) {
     ctx.metrics_ = collector_->RegisterShard();
   }
+  if (profile_collector_ != nullptr && ctx.profile_ != nullptr &&
+      ctx.profile_->class_capacity() < classes_.size()) {
+    ctx.profile_ = profile_collector_->RegisterShard();
+  }
 }
 
 int Runtime::FindAutomaton(const std::string& name) const {
@@ -520,14 +588,30 @@ void Runtime::ResetStats() {
   stats_ = RuntimeStats{};
   // RuntimeStats::overflows is fed by per-context pool tallies; a reset that
   // leaves those behind would double-report them through pool_overflows()
-  // style accessors. Per-thread contexts are their owners' to reset; the
-  // runtime rewinds its own shard contexts.
+  // style accessors. The pool high-water marks rewind with them — a
+  // measurement window opened now must not inherit an earlier peak through
+  // shard_pool_high_water() or a profile snapshot.
   for (uint32_t s = 0; s < shards_.size(); s++) {
     ShardGuard guard(*this, s, !ShardHeld(s));
     shards_[s]->context->store_.ResetOverflows();
+    shards_[s]->context->store_.ResetHighWater();
+  }
+  {
+    // Per-thread contexts rewind too (their owners hold no overflow-style
+    // tally, but their pool peaks feed CollectProfile), and the retired
+    // maxima restart from nothing. Quiescent-point contract as above.
+    LockGuard<Spinlock> guard(contexts_lock_);
+    for (ThreadContext* ctx : live_contexts_) {
+      ctx->store_.ResetHighWater();
+    }
+    retired_pool_high_water_ = 0;
+    retired_pool_capacity_ = 0;
   }
   if (collector_ != nullptr) {
     collector_->Reset();
+  }
+  if (profile_collector_ != nullptr) {
+    profile_collector_->Reset();
   }
 }
 
@@ -538,6 +622,15 @@ uint64_t Runtime::shard_pool_overflows() const {
     total += shards_[s]->context->store_.overflows();
   }
   return total;
+}
+
+uint64_t Runtime::shard_pool_high_water() const {
+  uint64_t peak = 0;
+  for (uint32_t s = 0; s < shards_.size(); s++) {
+    ShardGuard guard(*this, s, !ShardHeld(s));
+    peak = std::max<uint64_t>(peak, shards_[s]->context->store_.high_water());
+  }
+  return peak;
 }
 
 void Runtime::SetMetricsAugmenter(MetricsAugmenter augmenter) {
@@ -616,6 +709,137 @@ metrics::Snapshot Runtime::CollectMetrics() const {
   collector_->MergeHistograms(snapshot.histograms);
   AugmentSnapshot(snapshot);
   return snapshot;
+}
+
+profile::Snapshot Runtime::CollectProfile() const {
+  profile::Snapshot snapshot;
+  {
+    // Pool marks: the max over every live context's pool plus the retired
+    // maxima. Plain reads of other threads' pools — the quiescent-point
+    // contract documented on the accessor.
+    LockGuard<Spinlock> guard(contexts_lock_);
+    snapshot.pool_high_water = retired_pool_high_water_;
+    snapshot.pool_capacity = retired_pool_capacity_;
+    for (ThreadContext* ctx : live_contexts_) {
+      snapshot.pool_high_water =
+          std::max<uint64_t>(snapshot.pool_high_water, ctx->store_.high_water());
+      snapshot.pool_capacity =
+          std::max<uint64_t>(snapshot.pool_capacity, ctx->store_.capacity());
+    }
+  }
+  if (profile_collector_ == nullptr || classes_.empty()) {
+    return snapshot;
+  }
+  std::vector<uint64_t> words(classes_.size() * profile::kClassStride, 0);
+  profile_collector_->Merge(classes_.size(), words.data());
+  snapshot.classes.reserve(classes_.size());
+  for (const CompiledClass& cls : classes_) {
+    profile::ClassProfile entry;
+    entry.name = cls.automaton.name;
+    const size_t tracked = std::min<size_t>(cls.key_count, profile::kMaxKeyVars);
+    entry.key_vars.reserve(tracked);
+    for (size_t p = 0; p < tracked; p++) {
+      entry.key_vars.push_back(cls.key_vars[p]);
+    }
+    const uint64_t* block = words.data() + cls.id * profile::kClassStride;
+    for (size_t c = 0; c < profile::kCellCount; c++) {
+      entry.cells[c] = block[c];
+    }
+    for (size_t p = 0; p < profile::kMaxKeyVars; p++) {
+      entry.var_partial[p] = block[profile::kVarPartialOffset + p];
+      for (size_t w = 0; w < profile::kSketchWords; w++) {
+        entry.sketch[p][w] = block[profile::kSketchOffset + p * profile::kSketchWords + w];
+      }
+    }
+    snapshot.classes.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+// The profiler's view of one dispatch decision. Out of line so the hot path
+// pays only ProfileShard's null check; `served_by` names the route
+// DispatchToInstances chose (Cell::dispatches: a plain scan with no
+// fallback attribution — unkeyed class or index off).
+void Runtime::ProfileDispatch(ThreadContext& storage, const CompiledClass& cls,
+                              const ClassState& state, const BindingSet& bindings,
+                              profile::Cell served_by) {
+  // The class's word block, hoisted once: every write below is base-relative
+  // so no store forces a reload of the shard's internal pointer.
+  std::atomic<uint64_t>* base = storage.profile_->ClassCells(cls.id);
+  const uint64_t population = state.instances.size();
+  profile::Shard::AddAt(base, profile::Cell::dispatches);
+  profile::Shard::AddAt(base, profile::Cell::fanout_sum, population);
+  profile::Shard::PeakAt(base, profile::Cell::fanout_peak, population);
+  // Distinct-key sketches: one linear-counting bit per bound tracked key
+  // variable. Hash of the value, so the sketch is deterministic in the
+  // event stream and merges by OR.
+  const size_t tracked = std::min<size_t>(cls.key_count, profile::kMaxKeyVars);
+  for (size_t p = 0; p < tracked; p++) {
+    const uint8_t var = cls.key_vars[p];
+    for (size_t b = 0; b < bindings.count; b++) {
+      if (bindings.entries[b].var == var) {
+        profile::Shard::SketchAt(base, p,
+                                 HashU64(static_cast<uint64_t>(bindings.entries[b].value)));
+        break;
+      }
+    }
+  }
+  switch (served_by) {
+    case profile::Cell::index_probes:
+      profile::Shard::AddAt(base, profile::Cell::index_probes);
+      break;
+    case profile::Cell::prefix_probes:
+      profile::Shard::AddAt(base, profile::Cell::prefix_probes);
+      break;
+    case profile::Cell::small_population:
+      profile::Shard::AddAt(base, profile::Cell::scan_fallbacks);
+      profile::Shard::AddAt(base, profile::Cell::small_population);
+      NoteGatedScan(cls.id);
+      break;
+    case profile::Cell::partial_bound:
+      profile::Shard::AddAt(base, profile::Cell::scan_fallbacks);
+      profile::Shard::AddAt(base, profile::Cell::partial_bound);
+      // Which tracked key variables *were* bound: the prefix-index signal —
+      // a secondary index on one of these would have served this dispatch.
+      for (size_t p = 0; p < tracked; p++) {
+        const uint8_t var = cls.key_vars[p];
+        for (size_t b = 0; b < bindings.count; b++) {
+          if (bindings.entries[b].var == var) {
+            profile::Shard::VarPartialAt(base, p);
+            break;
+          }
+        }
+      }
+      break;
+    default:
+      break;  // plain scan: no index to fall back from
+  }
+}
+
+void Runtime::NoteGatedScan(uint32_t class_id) {
+  if (gate_scans_ == nullptr || class_id >= gate_scan_count_) {
+    return;
+  }
+  // Saturating tally: past the threshold the hot path pays one relaxed load
+  // instead of an RMW per gated dispatch (the warning can no longer fire).
+  if (gate_scans_[class_id].load(std::memory_order_relaxed) >= kGateWarnThreshold) {
+    return;
+  }
+  const uint32_t tally =
+      gate_scans_[class_id].fetch_add(1, std::memory_order_relaxed) + 1;
+  if (tally != kGateWarnThreshold || handlers_.empty()) {
+    return;  // fires exactly once, past the warm-up threshold
+  }
+  const CompiledClass& cls = classes_[class_id];
+  const std::string message =
+      "index_min_population (" + std::to_string(cls.min_population) +
+      ") keeps disabling the key probe: " + std::to_string(kGateWarnThreshold) +
+      " dispatches fell back to a full scan; consider a plan hint with "
+      "min_population=0 for this class";
+  ClassInfo info{class_id, &cls.automaton};
+  for (EventHandler* handler : handlers_) {
+    handler->OnWarning(info, message);
+  }
 }
 
 void Runtime::AugmentSnapshot(metrics::Snapshot& snapshot) const {
@@ -1009,6 +1233,20 @@ void Runtime::ProcessSiteEvent(ThreadContext& ctx, const Event& event) {
         Bump(stats_.index_scans);
         BumpClass(ctx, automaton_id, metrics::ClassCounter::index_scans);
       }
+      if (ProfileShard(ctx, automaton_id) != nullptr) [[unlikely]] {
+        // Same attribution the generic route computes for an unbound site:
+        // gated below the crossover population, partially bound above it —
+        // the determinism differential depends on the two paths agreeing.
+        // (No latency sample: this is the sub-30 ns flattened path.)
+        profile::Cell route = profile::Cell::dispatches;
+        if (options_.instance_index && fast_cls.key_mask != 0) {
+          route = state.instances.size() < fast_cls.min_population
+                      ? profile::Cell::small_population
+                      : profile::Cell::partial_bound;
+        }
+        BindingSet none;
+        ProfileDispatch(ctx, fast_cls, state, none, route);
+      }
       const uint32_t stepped = fast_cls.step.RunBatch(
           collector_.get(), ctx.store_.hot_data(), state.instances.data(),
           state.instances.size(),
@@ -1180,6 +1418,8 @@ void Runtime::ActivateClass(ThreadContext& ctx, uint32_t class_id) {
   state.instances.clear();
   state.index.Clear();
   state.unkeyed.clear();
+  state.index2.Clear();
+  state.tail2.clear();
 
   uint32_t wildcard = storage.store_.Allocate();
   if (wildcard == kNoSlot) {
@@ -1245,6 +1485,8 @@ void Runtime::CleanupClass(ThreadContext& ctx, uint32_t class_id) {
   state.instances.clear();
   state.index.Clear();
   state.unkeyed.clear();
+  state.index2.Clear();
+  state.tail2.clear();
   state.active = false;
 }
 
@@ -1406,28 +1648,74 @@ bool Runtime::DispatchToInstances(ThreadContext& storage, const CompiledClass& c
                                   ClassState& state, const BindingSet& bindings,
                                   std::span<const uint16_t> symbols) {
   const uint32_t class_id = cls.id;
+  // Route decision, made once: the profile cell naming the route doubles as
+  // the profiler's attribution (Cell::dispatches = plain scan, nothing to
+  // attribute). The RuntimeStats/metrics bumps stay exactly the seed's.
+  profile::Cell route = profile::Cell::dispatches;
   if (options_.instance_index && cls.key_mask != 0) {
-    if (state.instances.size() < options_.index_min_population) {
+    if (state.instances.size() < cls.min_population) {
       // Below the crossover population, hashing the key tuple costs more
       // than walking the handful of live instances (BENCH_instances.json);
       // fall through to the scan. The index stays coherent — IndexInstance
       // still files every clone — so the probe path is valid again the
-      // moment the population grows past the threshold.
+      // moment the population grows past the threshold. Per-class since
+      // plan hints can override the knob (min_population=0 probes always).
       Bump(stats_.index_scans);
       BumpClass(storage, class_id, metrics::ClassCounter::index_scans);
-    } else if (BindingsVarMask(bindings.entries, bindings.count) == cls.key_mask) {
-      Bump(stats_.index_probes);
-      BumpClass(storage, class_id, metrics::ClassCounter::index_probes);
-      return DispatchIndexed(storage, cls, state, bindings, symbols);
+      route = profile::Cell::small_population;
     } else {
-      // An event binding a strict subset (or superset) of the key variables
-      // cannot be answered by one bucket; fall back to the scan. The index
-      // stays coherent because clone insertion goes through IndexInstance.
-      Bump(stats_.index_scans);
-      BumpClass(storage, class_id, metrics::ClassCounter::index_scans);
+      const uint32_t bound = BindingsVarMask(bindings.entries, bindings.count);
+      if (bound == cls.key_mask) {
+        Bump(stats_.index_probes);
+        BumpClass(storage, class_id, metrics::ClassCounter::index_probes);
+        route = profile::Cell::index_probes;
+      } else if (cls.prefix_pos != CompiledClass::kNoPrefix &&
+                 ((bound >> cls.prefix_var) & 1) != 0) {
+        // Partially bound, but the profile-hinted prefix variable is bound:
+        // the secondary index narrows the walk to one prefix bucket plus
+        // the short prefix-unbound tail.
+        Bump(stats_.index_probes);
+        BumpClass(storage, class_id, metrics::ClassCounter::index_probes);
+        route = profile::Cell::prefix_probes;
+      } else {
+        // An event binding a strict subset (or superset) of the key
+        // variables cannot be answered by one bucket; fall back to the
+        // scan. The index stays coherent because clone insertion goes
+        // through IndexInstance.
+        Bump(stats_.index_scans);
+        BumpClass(storage, class_id, metrics::ClassCounter::index_scans);
+        route = profile::Cell::partial_bound;
+      }
     }
   }
-  return DispatchScan(storage, cls, state, bindings, symbols);
+  auto run = [&]() {
+    if (route == profile::Cell::index_probes) {
+      return DispatchIndexed(storage, cls, state, bindings, symbols);
+    }
+    if (route == profile::Cell::prefix_probes) {
+      return DispatchPrefix(storage, cls, state, bindings, symbols);
+    }
+    return DispatchScan(storage, cls, state, bindings, symbols);
+  };
+  profile::Shard* pshard = ProfileShard(storage, class_id);
+  if (pshard == nullptr) [[likely]] {
+    return run();
+  }
+  ProfileDispatch(storage, cls, state, bindings, route);
+  // 1-in-64 sampled dispatch latency: two clock reads amortised to well
+  // under a nanosecond per event, keeping the profiler inside its ≤5
+  // ns/event budget (BENCH_profile.json gates it).
+  if ((pshard->NextTick() & 63) != 0) [[likely]] {
+    return run();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const bool stepped = run();
+  const int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  pshard->Add(class_id, profile::Cell::latency_ns, ns > 0 ? static_cast<uint64_t>(ns) : 0);
+  pshard->Add(class_id, profile::Cell::latency_samples);
+  return stepped;
 }
 
 // Fast path: the event binds exactly the class's key variables, so the
@@ -1512,6 +1800,11 @@ bool Runtime::DispatchIndexed(ThreadContext& storage, const CompiledClass& cls,
     storage.store_.Assign(slot, candidate);
     state.instances.push_back(slot);
     storage.store_.next(slot) = state.index.InsertHead(hash, key_equals, slot);
+    if (cls.prefix_pos != CompiledClass::kNoPrefix) {
+      // The clone binds every key variable, the prefix included: file it in
+      // the secondary index too (this path bypasses IndexInstance).
+      IndexSecondary(storage, cls, state, slot);
+    }
     new_head = slot;
     any_step = true;
     Bump(stats_.instances_cloned);
@@ -1625,24 +1918,131 @@ void Runtime::IndexInstance(ThreadContext& storage, const CompiledClass& cls,
   }
   if ((storage.store_.bound_mask(slot) & cls.key_mask) != cls.key_mask) {
     state.unkeyed.push_back(slot);  // wildcard / partially bound: linear tail
+  } else {
+    int64_t key[kMaxVariables];
+    const auto& values = storage.store_.values(slot);
+    for (uint8_t i = 0; i < cls.key_count; i++) {
+      key[i] = values[cls.key_vars[i]];
+    }
+    auto key_equals = [&](uint32_t other) {
+      const auto& other_values = storage.store_.values(other);
+      for (uint8_t i = 0; i < cls.key_count; i++) {
+        if (other_values[cls.key_vars[i]] != key[i]) {
+          return false;
+        }
+      }
+      return true;
+    };
+    storage.store_.next(slot) =
+        state.index.InsertHead(HashKeyTuple(key, cls.key_count), key_equals, slot);
+  }
+  if (cls.prefix_pos != CompiledClass::kNoPrefix) {
+    IndexSecondary(storage, cls, state, slot);
+  }
+}
+
+void Runtime::IndexSecondary(ThreadContext& storage, const CompiledClass& cls,
+                             ClassState& state, uint32_t slot) {
+  if (!storage.store_.IsBound(slot, cls.prefix_var)) {
+    state.tail2.push_back(slot);  // prefix unbound: the (∗)-side tail
     return;
   }
-  int64_t key[kMaxVariables];
-  const auto& values = storage.store_.values(slot);
-  for (uint8_t i = 0; i < cls.key_count; i++) {
-    key[i] = values[cls.key_vars[i]];
+  const int64_t value = storage.store_.values(slot)[cls.prefix_var];
+  auto prefix_equals = [&](uint32_t other) {
+    return storage.store_.values(other)[cls.prefix_var] == value;
+  };
+  storage.store_.next2(slot) =
+      state.index2.InsertHead(HashKeyTuple(&value, 1), prefix_equals, slot);
+}
+
+// Partially-bound fast path over the profile-hinted secondary prefix index.
+// Semantically a DispatchScan: pass 1's exact matches all carry the prefix
+// binding, so they sit in the probed prefix bucket; pass 2's clone parents
+// are consistent instances — prefix bound to the probed value (the bucket)
+// or prefix unbound (tail2). Clones bind the prefix, so they land in the
+// bucket (insertion at the head cannot disturb the forward walk) and never
+// in tail2.
+bool Runtime::DispatchPrefix(ThreadContext& storage, const CompiledClass& cls,
+                             ClassState& state, const BindingSet& bindings,
+                             std::span<const uint16_t> symbols) {
+  int64_t prefix_value = 0;
+  for (size_t b = 0; b < bindings.count; b++) {
+    if (bindings.entries[b].var == cls.prefix_var) {
+      prefix_value = bindings.entries[b].value;
+      break;
+    }
   }
-  auto key_equals = [&](uint32_t other) {
-    const auto& other_values = storage.store_.values(other);
-    for (uint8_t i = 0; i < cls.key_count; i++) {
-      if (other_values[cls.key_vars[i]] != key[i]) {
-        return false;
+  auto prefix_equals = [&](uint32_t slot) {
+    return storage.store_.values(slot)[cls.prefix_var] == prefix_value;
+  };
+  const uint32_t head = state.index2.Find(HashKeyTuple(&prefix_value, 1), prefix_equals);
+
+  // Pass 1: exact matches live in the prefix bucket only.
+  bool any_exact = false;
+  bool any_step = false;
+  for (uint32_t slot = head; slot != kNoSlot; slot = storage.store_.next2(slot)) {
+    if (!storage.store_.ExactMatch(slot, bindings.entries, bindings.count)) {
+      continue;
+    }
+    any_exact = true;
+    if (StepSlot(cls, storage, slot, symbols)) {
+      any_step = true;
+    }
+  }
+  if (any_exact) {
+    return any_step;
+  }
+
+  // Pass 2 (paper §4.4.1 "Clone"): parents from the bucket and tail2,
+  // deduplicated against the clones this event already created (they are
+  // appended to `instances`, same as the scan path).
+  ClassInfo info{cls.id, &cls.automaton};
+  const size_t existing = state.instances.size();
+  auto try_clone = [&](uint32_t parent) {
+    if (!storage.store_.ConsistentWith(parent, bindings.entries, bindings.count)) {
+      return;
+    }
+    Instance candidate = storage.store_.Materialize(parent);
+    for (size_t b = 0; b < bindings.count; b++) {
+      candidate.Bind(bindings.entries[b].var, bindings.entries[b].value);
+    }
+    for (size_t j = existing; j < state.instances.size(); j++) {
+      const uint32_t other = state.instances[j];
+      if (storage.store_.bound_mask(other) == candidate.bound_mask &&
+          storage.store_.values(other) == candidate.values) {
+        return;  // duplicate of a clone created earlier in this event
       }
     }
-    return true;
+    if (!StepInstance(cls, storage, candidate, symbols)) {
+      return;  // the clone could not consume the event; discard it
+    }
+    uint32_t slot = storage.store_.Allocate();
+    if (slot == kNoSlot) {
+      Bump(stats_.overflows);
+      ReportViolation(cls.id, ViolationKind::kOverflow, "no space to clone instance");
+      return;
+    }
+    storage.store_.Assign(slot, candidate);
+    state.instances.push_back(slot);
+    IndexInstance(storage, cls, state, slot);
+    any_step = true;
+    Bump(stats_.instances_cloned);
+    BumpClass(storage, cls.id, metrics::ClassCounter::instances_cloned);
+    if (!handlers_.empty()) {
+      const Instance parent_view = storage.store_.Materialize(parent);
+      for (EventHandler* handler : handlers_) {
+        handler->OnClone(info, parent_view, candidate);
+      }
+    }
   };
-  storage.store_.next(slot) =
-      state.index.InsertHead(HashKeyTuple(key, cls.key_count), key_equals, slot);
+  for (uint32_t slot = head; slot != kNoSlot; slot = storage.store_.next2(slot)) {
+    try_clone(slot);
+  }
+  const size_t tail_count = state.tail2.size();
+  for (size_t i = 0; i < tail_count; i++) {
+    try_clone(state.tail2[i]);
+  }
+  return any_step;
 }
 
 bool Runtime::StepSlot(const CompiledClass& cls, ThreadContext& storage, uint32_t slot,

@@ -55,6 +55,8 @@
 #include "automata/manifest.h"
 #include "metrics/collector.h"
 #include "metrics/snapshot.h"
+#include "profile/collector.h"
+#include "profile/snapshot.h"
 #include "runtime/event.h"
 #include "runtime/handler.h"
 #include "runtime/instance.h"
@@ -99,6 +101,13 @@ struct ClassState {
   std::vector<uint32_t> instances;
   KeyIndex index;
   std::vector<uint32_t> unkeyed;
+  // Profile-hinted secondary prefix index (CompiledClass::prefix_pos): the
+  // same population partitioned by one key variable's value — instances with
+  // the prefix variable bound chain through the store's next2() links;
+  // instances without it (the (∗) wildcard) sit in the tail2 list. Empty for
+  // classes without a prefix hint.
+  KeyIndex index2;
+  std::vector<uint32_t> tail2;
 };
 
 // Lazy-init bookkeeping for one temporal bound (paper §5.2.2's optimisation:
@@ -127,6 +136,10 @@ class ThreadContext {
   bool InCallStack(Symbol function) const;
 
   uint64_t pool_overflows() const { return store_.overflows(); }
+  // The instance pool's high-water mark and capacity (the capacity-headroom
+  // signal a workload profile reports). Rewound by Runtime::ResetStats().
+  size_t pool_high_water() const { return store_.high_water(); }
+  size_t pool_capacity() const { return store_.capacity(); }
 
  private:
   friend class Runtime;
@@ -147,6 +160,9 @@ class ThreadContext {
   // Collector; single-writer — per-thread contexts by contract, global shard
   // contexts by their shard lock.
   metrics::Shard* metrics_ = nullptr;
+  // Workload-profile shard (null when RuntimeOptions::profile is off). Same
+  // ownership and single-writer discipline as metrics_.
+  profile::Shard* profile_ = nullptr;
 };
 
 class Runtime {
@@ -278,6 +294,15 @@ class Runtime {
   // their coverage bits). Cheap enough to call from a scrape handler.
   metrics::Snapshot CollectMetrics() const;
 
+  // The workload-profile collector (null when RuntimeOptions::profile is
+  // off) and its merged snapshot: per-class fan-out, probe/scan attribution,
+  // binding-key sketches and pool marks, in plan (class-id) order. Pool
+  // marks cover every live context plus the high-water folded in when a
+  // context was destroyed; call at a quiescent point for exact figures.
+  profile::Collector* profile_collector() { return profile_collector_.get(); }
+  const profile::Collector* profile_collector() const { return profile_collector_.get(); }
+  profile::Snapshot CollectProfile() const;
+
   // Lets a front-end (the async queue) append its own sections — per-
   // producer and per-consumer tallies — to every CollectMetrics() snapshot.
   // One augmenter at a time; pass nullptr to clear. The callback must be
@@ -290,6 +315,10 @@ class Runtime {
   // ResetStats(). Exposed so stats-reset consumers can verify the derived
   // counters really rewound.
   uint64_t shard_pool_overflows() const;
+  // Largest instance-pool high-water mark across the global shard contexts;
+  // rewound (to each pool's current live population) by ResetStats() like
+  // the overflow tallies above.
+  uint64_t shard_pool_high_water() const;
 
   // The registered automata re-serialised in the .tesla text format, in
   // registration order — so assertion-site targets (automaton ids) resolve
@@ -350,6 +379,14 @@ class Runtime {
     uint32_t key_mask = 0;
     uint8_t key_count = 0;
     std::array<uint8_t, kMaxVariables> key_vars{};
+    // Plan-hint resolution (CompilePlan): the index_min_population gate for
+    // this class (the global knob, or a PlanHints override), and the
+    // profile-chosen secondary prefix index — prefix_pos is the key_vars
+    // position (kNoPrefix: none), prefix_var the variable id it names.
+    static constexpr uint8_t kNoPrefix = 0xff;
+    uint32_t min_population = 0;
+    uint8_t prefix_pos = kNoPrefix;
+    uint8_t prefix_var = 0;
     // Every function/field symbol the class's patterns name (including the
     // bound's init/cleanup functions): the forensics filter for "events
     // relevant to this automaton".
@@ -545,6 +582,18 @@ class Runtime {
   // Runs the registered metrics augmenter (if any) over `snapshot`.
   void AugmentSnapshot(metrics::Snapshot& snapshot) const;
 
+  // Live-context registry (profile pool marks and stats reset): every
+  // ThreadContext registers for its lifetime; unregistration folds its pool
+  // marks into the retired maxima so a destroyed context's peak still shows
+  // in CollectProfile().
+  void RegisterContext(ThreadContext* ctx);
+  void UnregisterContext(ThreadContext* ctx);
+  // Per-context SlotPool capacity: the plan-hint total when hints are
+  // loaded, else the instances_per_context knob.
+  size_t ContextPoolCapacity() const {
+    return pool_capacity_hint_ != 0 ? pool_capacity_hint_ : options_.instances_per_context;
+  }
+
   void HandleBoundStart(ThreadContext& ctx, const KeyPlan& plan);
   void HandleBoundEnd(ThreadContext& ctx, const KeyPlan& plan);
   // Lock-aware wrappers: take the class's shard lock for global classes.
@@ -576,11 +625,23 @@ class Runtime {
                        const BindingSet& bindings, std::span<const uint16_t> symbols);
   bool DispatchScan(ThreadContext& storage, const CompiledClass& cls, ClassState& state,
                     const BindingSet& bindings, std::span<const uint16_t> symbols);
+  // Partially-bound fast path via the profile-hinted secondary prefix index:
+  // the event binds the class's prefix variable (but not the full key
+  // tuple), so pass 1 walks one prefix bucket and pass 2's clone parents are
+  // the bucket plus the prefix-unbound tail2 — semantically identical to
+  // DispatchScan, O(bucket + tail2) instead of O(live).
+  bool DispatchPrefix(ThreadContext& storage, const CompiledClass& cls, ClassState& state,
+                      const BindingSet& bindings, std::span<const uint16_t> symbols);
 
   // Files a freshly created slot under the class's index partition (keyed
   // bucket or unkeyed tail). `instances` membership is the caller's job.
   void IndexInstance(ThreadContext& storage, const CompiledClass& cls, ClassState& state,
                      uint32_t slot);
+  // Files a slot under the class's secondary prefix-index partition (prefix
+  // bucket through next2(), or the prefix-unbound tail2). Only called for
+  // classes with a prefix hint (cls.prefix_pos != kNoPrefix).
+  void IndexSecondary(ThreadContext& storage, const CompiledClass& cls, ClassState& state,
+                      uint32_t slot);
 
   // Steps a stored instance (slot form) or a stack-built clone candidate.
   // `storage` is the context owning (or about to own) the instance — the
@@ -670,6 +731,33 @@ class Runtime {
     }
   }
 
+  // `storage`'s profile shard if it can record `class_id`, else null (after
+  // routing additive cells racing a late Register() to the spill block —
+  // peaks and sketches have no spill form and are simply not recorded on
+  // that cold path). One null check when profiling is off.
+  profile::Shard* ProfileShard(ThreadContext& storage, uint32_t class_id) {
+    profile::Shard* shard = storage.profile_;
+    if (shard == nullptr || class_id >= shard->class_capacity()) [[unlikely]] {
+      return nullptr;
+    }
+    return shard;
+  }
+
+  // The profiler's view of one dispatch decision (called from
+  // DispatchToInstances and the flattened site path): fan-out, probe/scan
+  // attribution, partial-binding analysis per tracked key variable,
+  // distinct-key sketches, and 1-in-64 sampled latency. Out of line — the
+  // hot path pays only the shard null check.
+  void ProfileDispatch(ThreadContext& storage, const CompiledClass& cls,
+                       const ClassState& state, const BindingSet& bindings,
+                       profile::Cell served_by);
+
+  // Satellite fix: a class whose index_min_population gate keeps forcing
+  // scans would silently degrade to O(live) dispatch; once the gated-scan
+  // tally crosses the warm-up threshold, OnWarning fires once for the class.
+  static constexpr uint32_t kGateWarnThreshold = 64;
+  void NoteGatedScan(uint32_t class_id);
+
   RuntimeOptions options_;
   RuntimeStats stats_;
   // Async ingestion interposition (SetIngestHook): read first in OnEvent.
@@ -699,6 +787,14 @@ class Runtime {
   uint64_t pinned_shard_mask_ = 0;
   uint64_t unpinned_shard_mask_ = 0;
 
+  // Live-context registry (see RegisterContext). Declared before shards_ so
+  // the shard contexts' destructors can still unregister while the runtime
+  // itself is being destroyed (members destruct in reverse order).
+  mutable Spinlock contexts_lock_;
+  std::vector<ThreadContext*> live_contexts_;
+  uint64_t retired_pool_high_water_ = 0;  // guarded by contexts_lock_
+  uint64_t retired_pool_capacity_ = 0;
+
   // Global-context storage, sharded (shared across threads, each shard
   // spinlock-serialised).
   uint32_t shard_count_ = 1;
@@ -710,6 +806,17 @@ class Runtime {
   // Cached collector_->histograms_enabled(): the per-event timing decision
   // must not cost a pointer chase when metrics are off.
   bool time_dispatch_ = false;
+
+  // The workload profiler (options_.profile): owns every context's profile
+  // shard; merged by CollectProfile().
+  std::unique_ptr<profile::Collector> profile_collector_;
+  // Per-context SlotPool capacity resolved from plan hints in CompilePlan()
+  // (0: no hints loaded; use options_.instances_per_context).
+  size_t pool_capacity_hint_ = 0;
+  // Gated-scan tallies behind the once-only index-gate warning
+  // (NoteGatedScan), by class id; rebuilt zeroed on every CompilePlan().
+  std::unique_ptr<std::atomic<uint32_t>[]> gate_scans_;
+  size_t gate_scan_count_ = 0;
 
   // The flight recorder (trace_mode != off) and the violation sequence it
   // captures alongside the event stream.

@@ -64,6 +64,9 @@ class FixedPool {
   size_t high_water() const { return high_water_; }
   uint64_t overflows() const { return overflows_; }
   void ResetOverflows() { overflows_ = 0; }
+  // Rewinds the mark to the current live population so a measurement window
+  // opened now isn't polluted by earlier peaks.
+  void ResetHighWater() { high_water_ = live_; }
 
  private:
   union Slot {
@@ -123,6 +126,9 @@ class SlotPool {
   size_t high_water() const { return high_water_; }
   uint64_t overflows() const { return overflows_; }
   void ResetOverflows() { overflows_ = 0; }
+  // Rewinds the mark to the current live population so a measurement window
+  // opened now isn't polluted by earlier peaks.
+  void ResetHighWater() { high_water_ = live_; }
 
  private:
   const size_t capacity_;

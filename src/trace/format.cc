@@ -122,6 +122,34 @@ Status TraceWriter::Finish(const SemanticSummary& summary) {
       }
     }
   }
+  buffer_.push_back(summary.has_profile ? 1 : 0);
+  if (summary.has_profile) {
+    const profile::Snapshot& prof = summary.profile;
+    PutVarint(buffer_, prof.pool_capacity);
+    PutVarint(buffer_, prof.pool_high_water);
+    PutVarint(buffer_, prof.classes.size());
+    for (const profile::ClassProfile& cls : prof.classes) {
+      PutString(buffer_, cls.name);
+      PutVarint(buffer_, cls.key_vars.size());
+      for (uint16_t var : cls.key_vars) {
+        PutVarint(buffer_, var);
+      }
+      // Cell count precedes the cells so the schema X-macro may append
+      // without breaking older readers (same policy as the stats footer).
+      PutVarint(buffer_, profile::kCellCount);
+      for (size_t i = 0; i < profile::kCellCount; i++) {
+        PutVarint(buffer_, cls.cells[i]);
+      }
+      for (size_t p = 0; p < profile::kMaxKeyVars; p++) {
+        PutVarint(buffer_, cls.var_partial[p]);
+      }
+      for (size_t p = 0; p < profile::kMaxKeyVars; p++) {
+        for (size_t w = 0; w < profile::kSketchWords; w++) {
+          PutVarint(buffer_, cls.sketch[p][w]);
+        }
+      }
+    }
+  }
   std::fwrite(buffer_.data(), 1, buffer_.size(), out_);
   const bool ok = std::fflush(out_) == 0 && std::ferror(out_) == 0;
   std::fclose(out_);
@@ -362,6 +390,70 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
       }
       if (cursor.failed) {
         return Corrupt(path, "truncated metrics section");
+      }
+    }
+  }
+
+  if (file.version >= 5) {
+    uint8_t has_profile = 0;
+    cursor.Byte(&has_profile);
+    if (cursor.failed) {
+      return Corrupt(path, "truncated footer");
+    }
+    if (has_profile > 1) {
+      return Corrupt(path, "invalid profile presence byte");
+    }
+    if (has_profile != 0) {
+      file.summary.has_profile = true;
+      profile::Snapshot& prof = file.summary.profile;
+      cursor.Varint(&prof.pool_capacity);
+      cursor.Varint(&prof.pool_high_water);
+      uint64_t class_count = 0;
+      cursor.Varint(&class_count);
+      // Every class carries at least a name length, a key-var count, a cell
+      // count, and the fixed partial/sketch words.
+      const uint64_t min_class_bytes =
+          3 + profile::kMaxKeyVars + profile::kMaxKeyVars * profile::kSketchWords;
+      if (!cursor.FitsRemaining(class_count, min_class_bytes)) {
+        return Corrupt(path, "truncated profile section");
+      }
+      prof.classes.resize(static_cast<size_t>(class_count));
+      for (profile::ClassProfile& cls : prof.classes) {
+        cursor.String(&cls.name);
+        uint64_t key_var_count = 0;
+        cursor.Varint(&key_var_count);
+        if (cursor.failed || key_var_count > profile::kMaxKeyVars) {
+          return Corrupt(path, "truncated profile section");
+        }
+        cls.key_vars.resize(static_cast<size_t>(key_var_count));
+        for (uint16_t& var : cls.key_vars) {
+          cursor.Varint(&value);
+          var = static_cast<uint16_t>(value);
+        }
+        uint64_t cell_count = 0;
+        cursor.Varint(&cell_count);
+        if (!cursor.FitsRemaining(cell_count)) {
+          return Corrupt(path, "truncated profile section");
+        }
+        // Cells a newer writer appended are read and discarded; cells the
+        // capture predates stay zero.
+        for (uint64_t i = 0; i < cell_count; i++) {
+          cursor.Varint(&value);
+          if (i < profile::kCellCount) {
+            cls.cells[i] = value;
+          }
+        }
+        for (size_t p = 0; p < profile::kMaxKeyVars; p++) {
+          cursor.Varint(&cls.var_partial[p]);
+        }
+        for (size_t p = 0; p < profile::kMaxKeyVars; p++) {
+          for (size_t w = 0; w < profile::kSketchWords; w++) {
+            cursor.Varint(&cls.sketch[p][w]);
+          }
+        }
+        if (cursor.failed) {
+          return Corrupt(path, "truncated profile section");
+        }
       }
     }
   }

@@ -6,12 +6,13 @@
 //
 // Layout (all integers varint/LEB128, signed values zigzag-encoded):
 //
-//   magic "TSLATRC4" (8 bytes)        version gate: the trailing digit is
-//                                     the version (v1–v3 files are still
+//   magic "TSLATRC5" (8 bytes)        version gate: the trailing digit is
+//                                     the version (v1–v4 files are still
 //                                     read; v1 carries no metrics section,
 //                                     v1/v2 carry the legacy 14-field
-//                                     stats footer, and v1–v3 have no
-//                                     embedded manifest)
+//                                     stats footer, v1–v3 have no embedded
+//                                     manifest, and v1–v4 have no profile
+//                                     section)
 //   origin   string                   e.g. "kernelsim:all" — names the
 //                                     manifest a replayer must register
 //   options                           the semantics-bearing RuntimeOptions:
@@ -41,6 +42,14 @@
 //     (bucket index, count) pairs. Descriptions are embedded so a coverage
 //     report needs no origin-manifest resolution, and replays can diff
 //     coverage bit for bit.
+//   profile  (v5) presence byte; when 1: pool capacity, pool high-water,
+//     class count, then per class: name string, tracked-key-var count and
+//     the variable ids, a self-describing cell count followed by the cells
+//     in TESLA_PROFILE_CELLS order (a reader discards cells a newer writer
+//     appended; cells the capture predates stay zero), kMaxKeyVars
+//     partial-binding counters, then kMaxKeyVars × kSketchWords sketch
+//     words. The section is the workload profile `tesla-trace profile`
+//     renders and `--hints-out` compiles into PlanHints.
 //
 // Strings are varint length + bytes. Seq deltas are non-negative because the
 // writer is handed a sequence-sorted snapshot.
@@ -54,6 +63,7 @@
 #include <vector>
 
 #include "metrics/snapshot.h"
+#include "profile/snapshot.h"
 #include "runtime/options.h"
 #include "support/intern.h"
 #include "support/result.h"
@@ -61,8 +71,8 @@
 
 namespace tesla::trace {
 
-inline constexpr char kTraceMagic[8] = {'T', 'S', 'L', 'A', 'T', 'R', 'C', '4'};
-inline constexpr uint32_t kTraceVersion = 4;
+inline constexpr char kTraceMagic[8] = {'T', 'S', 'L', 'A', 'T', 'R', 'C', '5'};
+inline constexpr uint32_t kTraceVersion = 5;
 
 // Machine-readable Error::code values (support/result.h) attached by the
 // trace readers and origin resolver, so callers — the tesla-trace CLI in
@@ -127,6 +137,10 @@ struct SemanticSummary {
   // and replay-comparable; histograms are wall-clock and informational.
   bool has_metrics = false;
   metrics::Snapshot metrics;
+  // The capture run's workload profile (v5, Runtime profiling on only).
+  // Deterministic cells are replay-comparable; latency cells are wall-clock.
+  bool has_profile = false;
+  profile::Snapshot profile;
 };
 
 class TraceWriter {

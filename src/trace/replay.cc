@@ -62,6 +62,10 @@ Status WriteCapture(const std::string& path, const std::string& origin,
     summary.has_metrics = true;
     summary.metrics = rt.CollectMetrics();
   }
+  if (rt.profile_collector() != nullptr) {
+    summary.has_profile = true;
+    summary.profile = rt.CollectProfile();
+  }
   return writer.Finish(summary);
 }
 
@@ -79,6 +83,9 @@ runtime::RuntimeOptions ReplayOptions(const TraceFile& file) {
   // stay off — they time the replayer, not the original run.
   options.metrics_mode = file.summary.has_metrics ? metrics::MetricsMode::kCounters
                                                   : metrics::MetricsMode::kOff;
+  // Likewise, a capture with an embedded profile section is replayed with
+  // profiling on so the deterministic cells can be diffed.
+  options.profile = file.summary.has_profile;
   return options;
 }
 
@@ -165,6 +172,49 @@ Result<ReplayResult> Replay(const TraceFile& file, runtime::Runtime& rt) {
                                  (a.transitions[t].fired ? "fired" : "never") +
                                  " vs replay " +
                                  (b.transitions[t].fired ? "fired" : "never") + "\n";
+          }
+        }
+      }
+    }
+  }
+
+  if (file.summary.has_profile && rt.profile_collector() != nullptr) {
+    result.profile = rt.CollectProfile();
+    const profile::Snapshot& want = file.summary.profile;
+    if (want.classes.size() != result.profile.classes.size()) {
+      result.matched = false;
+      result.divergence += "profile class count: capture " +
+                           std::to_string(want.classes.size()) + " vs replay " +
+                           std::to_string(result.profile.classes.size()) + "\n";
+    } else {
+      for (size_t c = 0; c < want.classes.size(); c++) {
+        const profile::ClassProfile& a = want.classes[c];
+        const profile::ClassProfile& b = result.profile.classes[c];
+        for (size_t i = 0; i < profile::kCellCount; i++) {
+          if (!profile::kCellDeterministic[i]) {
+            continue;  // latency cells time the replayer, not the capture
+          }
+          if (a.cells[i] != b.cells[i]) {
+            result.matched = false;
+            result.divergence += "profile " + a.name + "." + profile::kCellNames[i] +
+                                 ": capture " + std::to_string(a.cells[i]) +
+                                 " vs replay " + std::to_string(b.cells[i]) + "\n";
+          }
+        }
+        for (size_t p = 0; p < profile::kMaxKeyVars; p++) {
+          if (a.var_partial[p] != b.var_partial[p]) {
+            result.matched = false;
+            result.divergence += "profile " + a.name + " partial[" + std::to_string(p) +
+                                 "]: capture " + std::to_string(a.var_partial[p]) +
+                                 " vs replay " + std::to_string(b.var_partial[p]) + "\n";
+          }
+          for (size_t w = 0; w < profile::kSketchWords; w++) {
+            if (a.sketch[p][w] != b.sketch[p][w]) {
+              result.matched = false;
+              result.divergence += "profile " + a.name + " sketch[" + std::to_string(p) +
+                                   "] diverges\n";
+              break;
+            }
           }
         }
       }

@@ -41,6 +41,11 @@ struct ReplayResult {
   // coverage are folded into the matched/divergence verdict (histograms are
   // wall-clock and never compared).
   metrics::Snapshot metrics;
+  // When the capture embeds a profile section, the replay runs with
+  // profiling on and its snapshot lands here; deterministic cells, partial
+  // attribution and sketches are folded into the verdict (latency cells are
+  // wall-clock and never compared).
+  profile::Snapshot profile;
 };
 
 // RuntimeOptions reproducing the capture's semantics: the recorded

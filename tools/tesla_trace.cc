@@ -32,6 +32,15 @@
 //                                       shards into one deterministic
 //                                       report: stats summed, coverage
 //                                       OR'd, violations as a census
+//   tesla-trace profile <file>... [--json|--prom] [--hints-out hints]
+//                                       render the embedded workload
+//                                       profile (v5) — hot-class ranking,
+//                                       scan-fallback offenders, capacity
+//                                       headroom; multiple captures merge
+//                                       first. --hints-out compiles the
+//                                       profile into a PlanHints file that
+//                                       feeds back into Register() (e.g.
+//                                       mac_audit --plan-hints)
 //
 // Exit codes (scriptable error classes — the CI smokes branch on them):
 //   0  success / exact reproduction
@@ -50,6 +59,8 @@
 #include "ipc/merge.h"
 #include "ipc/subscriber.h"
 #include "metrics/snapshot.h"
+#include "profile/hints.h"
+#include "profile/snapshot.h"
 #include "support/log.h"
 #include "trace/forensics.h"
 #include "trace/format.h"
@@ -70,7 +81,8 @@ int Usage() {
                "  tesla-trace emit-manifest <capture> [--out manifest.tesla]\n"
                "  tesla-trace attach  <shm-name> [--manifest f.tesla] [--origin o]\n"
                "                      [--out capture] [--timeout-ms N]\n"
-               "  tesla-trace merge   <capture>... [--out file] [--json|--prom]\n");
+               "  tesla-trace merge   <capture>... [--out file] [--json|--prom]\n"
+               "  tesla-trace profile <capture>... [--json|--prom] [--hints-out file]\n");
   std::fprintf(stderr, "known origins:");
   for (const std::string& origin : KnownOrigins()) {
     std::fprintf(stderr, " %s", origin.c_str());
@@ -313,6 +325,42 @@ int Merge(const std::vector<std::string>& paths, const std::string& output,
   return 0;
 }
 
+// Renders a capture fleet's merged workload profile, and optionally compiles
+// it into the PlanHints file the adaptive loop feeds back into Register().
+int Profile(const std::vector<std::string>& paths, const std::string& output,
+            const std::string& format, const std::string& hints_out) {
+  Result<ipc::FleetReport> merged = ipc::MergeCaptureFiles(paths);
+  if (!merged.ok()) {
+    return Fail(merged.error());
+  }
+  if (!merged.value().has_profile) {
+    std::fprintf(stderr, "tesla-trace: no capture carries a profile section "
+                         "(record with RuntimeOptions::profile = true)\n");
+    return 1;
+  }
+  const profile::Snapshot& snapshot = merged.value().profile;
+  if (!hints_out.empty()) {
+    const profile::PlanHints hints = profile::HintsFromSnapshot(snapshot);
+    if (Status status = profile::WriteHintsFile(hints_out, hints); !status.ok()) {
+      return Fail(status.error());
+    }
+    std::fprintf(stderr, "tesla-trace: wrote %zu class hints to %s\n",
+                 hints.classes.size(), hints_out.c_str());
+  }
+  std::string out;
+  if (format == "--json") {
+    out = profile::ToJson(snapshot);
+  } else if (format == "--prom") {
+    out = profile::ToPrometheus(snapshot);
+  } else {
+    out = profile::RenderReport(snapshot);
+  }
+  if (!WriteOutput(output, out)) {
+    return 3;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -326,6 +374,7 @@ int main(int argc, char** argv) {
   std::string output;
   std::string manifest_path;
   std::string origin_override;
+  std::string hints_out;
   int timeout_ms = 5000;
 
   for (int i = 2; i < argc; i++) {
@@ -338,6 +387,8 @@ int main(int argc, char** argv) {
       manifest_path = argv[++i];
     } else if (arg == "--origin" && i + 1 < argc) {
       origin_override = argv[++i];
+    } else if (arg == "--hints-out" && i + 1 < argc) {
+      hints_out = argv[++i];
     } else if (arg == "--timeout-ms" && i + 1 < argc) {
       timeout_ms = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -361,6 +412,9 @@ int main(int argc, char** argv) {
   }
   if (command == "merge") {
     return positional.empty() ? Usage() : Merge(positional, output, format);
+  }
+  if (command == "profile") {
+    return positional.empty() ? Usage() : Profile(positional, output, format, hints_out);
   }
   if (command != "dump" && command != "stats") {
     return Usage();
