@@ -35,6 +35,27 @@ struct Transition {
   bool operator==(const Transition&) const = default;
 };
 
+// One timed clause (within_ms / rate) lowered from the assertion body. The
+// runtime arms a deadline (or rate window) whenever some instance of the
+// class occupies a state in armed_mask — exactly the states with a region
+// edge still to traverse — and disarms once no instance does (the region
+// completed or was bypassed). Manifest serialisation carries specs as
+// optional `timed` lines (absent for untimed automata, so pre-timed readers
+// and writers round-trip unchanged); replay depends on them — a capture's
+// embedded manifest must rebuild the same deadlines the recording run armed.
+struct TimedSpec {
+  enum Kind : uint8_t { kWithin, kRate };
+  Kind kind = kWithin;
+  uint64_t bound_ns = 0;  // kWithin: deadline; kRate: tumbling-window length
+  uint64_t limit = 0;     // kRate: max region events per window
+  StateSet armed_mask = 0;
+  std::vector<uint16_t> symbols;  // kRate: the symbols the window counts
+
+  bool operator==(const TimedSpec&) const = default;
+};
+
+inline constexpr size_t kMaxTimedSpecs = 16;
+
 class Automaton {
  public:
   // --- structure ---
@@ -55,6 +76,10 @@ class Automaton {
   uint16_t cleanup_symbol = 0;  // «cleanup» (bound end)
   bool has_site = false;
   uint16_t site_symbol = 0;     // valid when has_site
+
+  // Timed clauses (within_ms / rate), in lowering order; empty for purely
+  // ordering-based assertions.
+  std::vector<TimedSpec> timed;
 
   // Original surface syntax, kept for reports.
   std::string source_text;

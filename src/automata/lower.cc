@@ -20,11 +20,24 @@ using ast::Modifier;
 using ast::ValueKind;
 using ast::ValuePattern;
 
+// One NFA edge, tagged with the timed regions it lies inside (bit k set: the
+// edge belongs to timed spec k's body). Every composition below copies edges
+// wholesale, so tags survive Concat dissolving a fragment's entry state —
+// after assembly, "states with a tagged out-edge" is exactly the set of
+// states where the spec's obligation is still live.
+struct Edge {
+  uint16_t symbol = 0;
+  uint32_t target = 0;
+  uint32_t specs = 0;
+
+  bool operator==(const Edge&) const = default;
+};
+
 // An epsilon-free NFA fragment with a single entry state.
 // Invariant: nullable ⟺ entry ∈ accepts.
 struct MiniNfa {
-  // edges[state] = list of (symbol, target).
-  std::vector<std::vector<std::pair<uint16_t, uint32_t>>> edges;
+  // edges[state] = list of out-edges.
+  std::vector<std::vector<Edge>> edges;
   uint32_t entry = 0;
   std::vector<uint32_t> accepts;
   bool nullable = false;
@@ -55,8 +68,8 @@ uint32_t Absorb(MiniNfa* a, const MiniNfa& b) {
   uint32_t offset = a->size();
   for (const auto& out_edges : b.edges) {
     a->edges.emplace_back();
-    for (const auto& [symbol, target] : out_edges) {
-      a->edges.back().push_back({symbol, target + offset});
+    for (const Edge& edge : out_edges) {
+      a->edges.back().push_back({edge.symbol, edge.target + offset, edge.specs});
     }
   }
   return offset;
@@ -66,8 +79,8 @@ MiniNfa Concat(MiniNfa a, const MiniNfa& b) {
   uint32_t offset = Absorb(&a, b);
   // Every accept of A grows copies of B's entry out-edges (Glushkov concat).
   for (uint32_t accept : a.accepts) {
-    for (const auto& [symbol, target] : b.edges[b.entry]) {
-      a.edges[accept].push_back({symbol, target + offset});
+    for (const Edge& edge : b.edges[b.entry]) {
+      a.edges[accept].push_back({edge.symbol, edge.target + offset, edge.specs});
     }
   }
   std::vector<uint32_t> accepts;
@@ -88,8 +101,8 @@ MiniNfa Union(std::vector<MiniNfa> children) {
   nfa.entry = 0;
   for (const MiniNfa& child : children) {
     uint32_t offset = Absorb(&nfa, child);
-    for (const auto& [symbol, target] : child.edges[child.entry]) {
-      nfa.edges[0].push_back({symbol, target + offset});
+    for (const Edge& edge : child.edges[child.entry]) {
+      nfa.edges[0].push_back({edge.symbol, edge.target + offset, edge.specs});
     }
     for (uint32_t accept : child.accepts) {
       // The child's entry accepting (nullable child) is represented by the
@@ -156,13 +169,13 @@ MiniNfa Product(const MiniNfa& a, const MiniNfa& b) {
     auto [sa, sb] = worklist.front();
     worklist.pop_front();
     uint32_t from = index.at({sa, sb});
-    for (const auto& [symbol, target] : a.edges[sa]) {
-      uint32_t to = state_of(target, sb);
-      nfa.edges[from].push_back({symbol, to});
+    for (const Edge& edge : a.edges[sa]) {
+      uint32_t to = state_of(edge.target, sb);
+      nfa.edges[from].push_back({edge.symbol, to, edge.specs});
     }
-    for (const auto& [symbol, target] : b.edges[sb]) {
-      uint32_t to = state_of(sa, target);
-      nfa.edges[from].push_back({symbol, to});
+    for (const Edge& edge : b.edges[sb]) {
+      uint32_t to = state_of(sa, edge.target);
+      nfa.edges[from].push_back({edge.symbol, to, edge.specs});
     }
   }
   nfa.nullable = a.nullable || b.nullable;
@@ -272,7 +285,7 @@ class Lowerer {
             auto leaf = Build(*child);
             if (!leaf.ok()) return leaf;
             // A leaf fragment has exactly one edge: entry --symbol--> exit.
-            symbols.push_back(leaf.value().edges[leaf.value().entry].front().first);
+            symbols.push_back(leaf.value().edges[leaf.value().entry].front().symbol);
           }
           MiniNfa nfa;
           uint32_t chain = static_cast<uint32_t>(expr.at_least);
@@ -376,6 +389,44 @@ class Lowerer {
         site_variants_.push_back(symbol);
         return Leaf(symbol);
       }
+      case ExprKind::kWithin:
+      case ExprKind::kRate: {
+        auto inner = Build(*expr.children.at(0));
+        if (!inner.ok()) return inner;
+        MiniNfa nfa = std::move(inner.value());
+        // A nullable region has nothing to time: the obligation would arm
+        // and instantly satisfy, so the clause is meaningless (and the
+        // armed-mask extraction below would misfire on the entry state).
+        if (nfa.nullable) {
+          return Error{"timed clause region must require at least one event", expr.line,
+                       expr.column};
+        }
+        if (timed_specs_.size() >= kMaxTimedSpecs) {
+          return Error{"automaton exceeds " + std::to_string(kMaxTimedSpecs) +
+                           " timed clauses",
+                       expr.line, expr.column};
+        }
+        TimedSpec spec;
+        if (expr.kind == ExprKind::kWithin) {
+          spec.kind = TimedSpec::kWithin;
+          spec.bound_ns = static_cast<uint64_t>(expr.time_ms) * 1'000'000u;
+        } else {
+          spec.kind = TimedSpec::kRate;
+          spec.bound_ns = static_cast<uint64_t>(expr.rate_window_ms) * 1'000'000u;
+          spec.limit = static_cast<uint64_t>(expr.rate_count);
+        }
+        const uint32_t bit = 1u << timed_specs_.size();
+        timed_specs_.push_back(std::move(spec));
+        // Tag every edge of the region fragment; composition copies tags
+        // along, so Assemble can recover the region's states after the
+        // fragment's entry has been dissolved into its predecessors.
+        for (auto& out_edges : nfa.edges) {
+          for (Edge& edge : out_edges) {
+            edge.specs |= bit;
+          }
+        }
+        return nfa;
+      }
     }
     return Error{"unhandled expression", expr.line, expr.column};
   }
@@ -456,13 +507,37 @@ class Lowerer {
 
     automaton_.AddTransition(0, automaton_.init_symbol, body.entry + body_offset);
     for (uint32_t state = 0; state < body.size(); state++) {
-      for (const auto& [symbol, target] : body.edges[state]) {
-        automaton_.AddTransition(state + body_offset, symbol, target + body_offset);
+      for (const Edge& edge : body.edges[state]) {
+        automaton_.AddTransition(state + body_offset, edge.symbol, edge.target + body_offset);
       }
     }
     for (uint32_t accepting : body.accepts) {
       automaton_.AddTransition(accepting + body_offset, automaton_.cleanup_symbol, accept);
     }
+
+    // Timed-spec arming masks: a spec's obligation is live exactly in the
+    // body states that still have a region edge to traverse (the arming
+    // entry states plus the region's interior). Rate specs also collect the
+    // symbols their window counts, in symbol order for determinism.
+    for (size_t k = 0; k < timed_specs_.size(); k++) {
+      TimedSpec& spec = timed_specs_[k];
+      const uint32_t bit = 1u << k;
+      for (uint32_t state = 0; state < body.size(); state++) {
+        for (const Edge& edge : body.edges[state]) {
+          if ((edge.specs & bit) == 0) {
+            continue;
+          }
+          spec.armed_mask |= StateBit(state + body_offset);
+          if (spec.kind == TimedSpec::kRate &&
+              std::find(spec.symbols.begin(), spec.symbols.end(), edge.symbol) ==
+                  spec.symbols.end()) {
+            spec.symbols.push_back(edge.symbol);
+          }
+        }
+      }
+      std::sort(spec.symbols.begin(), spec.symbols.end());
+    }
+    automaton_.timed = std::move(timed_specs_);
 
     const bool site_based = automaton_.has_site || !site_variants_.empty();
     std::vector<uint16_t> site_symbols = site_variants_;
@@ -482,12 +557,12 @@ class Lowerer {
       while (!worklist.empty()) {
         uint32_t state = worklist.front();
         worklist.pop_front();
-        for (const auto& [symbol, target] : body.edges[state]) {
-          if (is_site_symbol(symbol) || pre_site[target]) {
+        for (const Edge& edge : body.edges[state]) {
+          if (is_site_symbol(edge.symbol) || pre_site[edge.target]) {
             continue;
           }
-          pre_site[target] = true;
-          worklist.push_back(target);
+          pre_site[edge.target] = true;
+          worklist.push_back(edge.target);
         }
       }
       for (uint32_t state = 0; state < body.size(); state++) {
@@ -509,27 +584,27 @@ class Lowerer {
         std::vector<bool> post_site(body.size(), false);
         std::deque<uint32_t> frontier;
         for (uint32_t state = 0; state < body.size(); state++) {
-          for (const auto& [symbol, target] : body.edges[state]) {
-            if (!is_site_symbol(symbol)) {
+          for (const Edge& edge : body.edges[state]) {
+            if (!is_site_symbol(edge.symbol)) {
               continue;
             }
-            auto& targets = targets_by_symbol[symbol];
-            if (std::find(targets.begin(), targets.end(), target) == targets.end()) {
-              targets.push_back(target);
+            auto& targets = targets_by_symbol[edge.symbol];
+            if (std::find(targets.begin(), targets.end(), edge.target) == targets.end()) {
+              targets.push_back(edge.target);
             }
-            if (!post_site[target]) {
-              post_site[target] = true;
-              frontier.push_back(target);
+            if (!post_site[edge.target]) {
+              post_site[edge.target] = true;
+              frontier.push_back(edge.target);
             }
           }
         }
         while (!frontier.empty()) {
           uint32_t state = frontier.front();
           frontier.pop_front();
-          for (const auto& [symbol, target] : body.edges[state]) {
-            if (!post_site[target]) {
-              post_site[target] = true;
-              frontier.push_back(target);
+          for (const Edge& edge : body.edges[state]) {
+            if (!post_site[edge.target]) {
+              post_site[edge.target] = true;
+              frontier.push_back(edge.target);
             }
           }
         }
@@ -556,6 +631,7 @@ class Lowerer {
   Automaton automaton_;
   CallSide side_ = CallSide::kEither;
   std::vector<uint16_t> site_variants_;  // incallstack() symbols
+  std::vector<TimedSpec> timed_specs_;   // within_ms/rate clauses, build order
 };
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "automata/manifest.h"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "support/strings.h"
@@ -212,6 +213,15 @@ std::string Manifest::Serialize() const {
       out << "  trans " << transition.from << " " << transition.symbol << " " << transition.to
           << "\n";
     }
+    for (const TimedSpec& spec : automaton.timed) {
+      out << "  timed " << (spec.kind == TimedSpec::kRate ? "rate" : "within") << " "
+          << spec.bound_ns << " " << spec.limit << " " << spec.armed_mask << " sym=";
+      for (size_t i = 0; i < spec.symbols.size(); i++) {
+        if (i > 0) out << ",";
+        out << spec.symbols[i];
+      }
+      out << "\n";
+    }
     out << "end\n";
   }
   return out.str();
@@ -358,6 +368,51 @@ Result<Manifest> Manifest::Deserialize(std::string_view text) {
         }
       }
       current.alphabet.push_back(std::move(pattern));
+      continue;
+    }
+    if (keyword == "timed") {
+      // Optional: only timed automata emit these, so pre-timed manifests
+      // (and v≤5 capture embeds) parse exactly as before.
+      if (words.size() < 5) {
+        return fail("malformed timed line");
+      }
+      TimedSpec spec;
+      if (words[1] == "within") {
+        spec.kind = TimedSpec::kWithin;
+      } else if (words[1] == "rate") {
+        spec.kind = TimedSpec::kRate;
+      } else {
+        return fail("unknown timed kind");
+      }
+      int64_t bound = 0;
+      int64_t limit = 0;
+      if (!ParseInt64(words[2], &bound) || !ParseInt64(words[3], &limit) || bound <= 0 ||
+          limit < 0) {
+        return fail("malformed timed line");
+      }
+      spec.bound_ns = static_cast<uint64_t>(bound);
+      spec.limit = static_cast<uint64_t>(limit);
+      // The armed mask is a full 64-bit state set; parse it unsigned.
+      spec.armed_mask = std::strtoull(std::string(words[4]).c_str(), nullptr, 10);
+      for (size_t i = 5; i < words.size(); i++) {
+        std::string_view word = words[i];
+        size_t equals = word.find('=');
+        if (equals == std::string_view::npos || word.substr(0, equals) != "sym") {
+          return fail("malformed timed attribute");
+        }
+        std::string_view value = word.substr(equals + 1);
+        if (!value.empty()) {
+          for (std::string_view token : SplitString(value, ',')) {
+            int64_t symbol = 0;
+            if (!ParseInt64(token, &symbol)) return fail("bad timed symbol");
+            spec.symbols.push_back(static_cast<uint16_t>(symbol));
+          }
+        }
+      }
+      if (current.timed.size() >= kMaxTimedSpecs) {
+        return fail("too many timed clauses");
+      }
+      current.timed.push_back(std::move(spec));
       continue;
     }
     if (keyword == "trans") {

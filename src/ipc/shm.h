@@ -31,7 +31,9 @@
 // producer thread. Record:
 //
 //   word 0   header: kind | count<<8 | flags (truncated / has return /
-//            has vars) | target symbol << 32
+//            has vars / has timestamp) | target symbol << 32
+//   [1]      event timestamp, when stamped (timed clauses: the sidecar
+//            evaluates deadlines against the publisher's clock)
 //   …        count argument values
 //   [1]      return value, when non-zero
 //   [0–2]    vars packed four per word, when any is non-zero (site events)
@@ -76,14 +78,16 @@ inline constexpr uint32_t kShmVersion = 1;
 inline constexpr uint32_t kShmMaxLanes = 64;
 inline constexpr size_t kShmOriginBytes = 120;
 
-// Worst case record: header + 8 values + return + 2 packed-vars words.
+// Worst case record: header + timestamp + 8 values + return + 2 packed-vars
+// words.
 inline constexpr size_t kShmMaxRecordWords =
-    1 + runtime::kMaxEventArgs + 1 + (runtime::kMaxEventArgs + 3) / 4;
+    1 + 1 + runtime::kMaxEventArgs + 1 + (runtime::kMaxEventArgs + 3) / 4;
 
 // Header word flags (same bit positions as queue::QueueRing).
 inline constexpr uint64_t kShmHeaderTruncated = uint64_t{1} << 16;
 inline constexpr uint64_t kShmHeaderHasReturn = uint64_t{1} << 17;
 inline constexpr uint64_t kShmHeaderHasVars = uint64_t{1} << 18;
+inline constexpr uint64_t kShmHeaderHasTs = uint64_t{1} << 19;
 
 enum class ShmState : uint32_t {
   kInitialising = 0,  // creator is still writing geometry/symbols/manifest
@@ -145,8 +149,9 @@ struct LaneWriter {
     }
     const bool has_return = event.return_value != 0;
     const bool has_vars = (vars_packed[0] | vars_packed[1]) != 0;
+    const bool has_ts = event.ts_ns != 0;
     const size_t need = 1 + event.count + (has_return ? 1 : 0) +
-                        (has_vars ? (event.count + 3) / 4 : 0);
+                        (has_vars ? (event.count + 3) / 4 : 0) + (has_ts ? 1 : 0);
 
     const uint64_t head = ctl->head.load(std::memory_order_relaxed);
     const uint64_t capacity = mask + 1;
@@ -165,7 +170,10 @@ struct LaneWriter {
     put(static_cast<uint64_t>(event.kind) | (static_cast<uint64_t>(event.count) << 8) |
         (event.truncated ? kShmHeaderTruncated : 0) |
         (has_return ? kShmHeaderHasReturn : 0) | (has_vars ? kShmHeaderHasVars : 0) |
-        (static_cast<uint64_t>(event.target) << 32));
+        (has_ts ? kShmHeaderHasTs : 0) | (static_cast<uint64_t>(event.target) << 32));
+    if (has_ts) {
+      put(event.ts_ns);
+    }
     for (size_t i = 0; i < event.count; i++) {
       put(static_cast<uint64_t>(event.values[i]));
     }
@@ -224,6 +232,9 @@ struct LaneReader {
       event.count = static_cast<uint8_t>((header >> 8) & 0xff);
       event.truncated = (header & kShmHeaderTruncated) != 0;
       event.target = static_cast<Symbol>(header >> 32);
+      if ((header & kShmHeaderHasTs) != 0) {
+        event.ts_ns = take();
+      }
       for (size_t i = 0; i < event.count; i++) {
         event.values[i] = static_cast<int64_t>(take());
       }

@@ -205,6 +205,20 @@ std::vector<Source> TestSources() {
   return sources;
 }
 
+// --- timed SLO assertions (within_ms / rate; opt-in, not in the 96) --------
+const Source kTimed[] = {
+    // The watchdog SLO: once the service loop arms the watchdog it must pat
+    // it within 10 ms (virtual clock) or the device resets the machine.
+    {"watchdog.latency",
+     "TESLA_WITHIN(watchdog_service, within_ms(10, TSEQUENCE(called(watchdog_arm),"
+     " called(watchdog_pat))))"},
+    // Kick-storm guard: more than 8 device kicks inside one 10 ms window
+    // means an interrupt storm, not a healthy service pass.
+    {"watchdog.kick_storm",
+     "TESLA_WITHIN(watchdog_service, rate(8, per_ms(10),"
+     " ATLEAST(1, called(watchdog_kick))))"},
+};
+
 }  // namespace
 
 automata::LowerOptions KernelLowerOptions() {
@@ -239,6 +253,9 @@ std::vector<std::pair<std::string, std::string>> KernelAssertionSources(uint32_t
   }
   if (sets & kSetTest) {
     for (const Source& source : TestSources()) add(source);
+  }
+  if (sets & kSetTimed) {
+    for (const Source& source : kTimed) add(source);
   }
   return sources;
 }

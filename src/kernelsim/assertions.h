@@ -33,6 +33,10 @@ enum AssertionSet : uint32_t {
   kSetMacExtra = 1u << 3,    // the 2 framework-wide MAC assertions
   kSetProc = 1u << 4,        // P
   kSetTest = 1u << 5,        // instrumentation-test assertions
+  // Timed SLO assertions (within_ms / rate) over the watchdog service loop.
+  // Not part of the paper's 96 — kSetAll keeps the table 1 count — so timed
+  // runs opt in with kSetAll | kSetTimed.
+  kSetTimed = 1u << 6,
   kSetMac = kSetMacFs | kSetMacSocket | kSetMacProc | kSetMacExtra,  // M
   kSetAll = kSetMac | kSetProc | kSetTest,                           // All
 };

@@ -737,4 +737,47 @@ int64_t Kernel::SysGetExtAttr(KThread& td, int64_t fd) {
   return KERNEL_RET(attr_scope.Return(kOk));
 }
 
+// --- watchdog service loop (timed-assertion demo) --------------------------
+
+void Kernel::AdvanceClock(uint64_t ns) {
+  if (config_.clock_ns != nullptr) {
+    *config_.clock_ns += ns;
+  }
+}
+
+int64_t Kernel::watchdog_arm(KThread& td) {
+  KERNEL_FN(td, watchdog_arm);
+  return KERNEL_RET(kOk);
+}
+
+int64_t Kernel::watchdog_kick(KThread& td) {
+  KERNEL_FN(td, watchdog_kick);
+  return KERNEL_RET(kOk);
+}
+
+int64_t Kernel::watchdog_pat(KThread& td) {
+  KERNEL_FN(td, watchdog_pat);
+  return KERNEL_RET(kOk);
+}
+
+int64_t Kernel::SysWatchdogService(KThread& td, int kicks) {
+  KERNEL_FN(td, watchdog_service);
+  watchdog_arm(td);
+  // Each device kick costs ~1 ms of (virtual) service time, so the default
+  // 4-kick pass finishes well inside the 10 ms SLO and a >8-kick storm
+  // trips the rate() guard without also blowing the deadline budget's slack.
+  for (int i = 0; i < kicks; i++) {
+    AdvanceClock(1'000'000);
+    watchdog_kick(td);
+  }
+  if (config_.bugs.watchdog_slow_service) {
+    // The injected latency bug: a retry loop stalls the service thread for
+    // 15 ms before the pat. No event is missing and no ordering is wrong —
+    // only within_ms() can see this.
+    AdvanceClock(15'000'000);
+  }
+  watchdog_pat(td);
+  return KERNEL_RET(kOk);
+}
+
 }  // namespace tesla::kernelsim

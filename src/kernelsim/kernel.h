@@ -121,6 +121,10 @@ struct BugConfig {
   bool kqueue_missing_mac_check = false;   // §3.5.2 bug 1
   bool poll_uses_file_credential = false;  // §3.5.2 bug 2
   bool setuid_skips_sugid_flag = false;    // §3.5.2 bug 3 (eventually-check)
+  // Timed-assertion demo: a slow path stalls the watchdog service loop past
+  // its 10 ms SLO between arm and pat (caught by within_ms, not by any
+  // ordering assertion — every event still happens, just too late).
+  bool watchdog_slow_service = false;
 };
 
 struct KernelConfig {
@@ -131,6 +135,13 @@ struct KernelConfig {
 
   // WITNESS/INVARIANTS-style debug checking (the paper's "Debug" baseline).
   bool debug_checks = false;
+
+  // Virtual clock (nanoseconds) for deterministic timed-assertion runs: the
+  // kernel advances it as simulated work happens, and the caller wires the
+  // same variable into RuntimeOptions::now_ns so every TESLA event is
+  // stamped from it. Null: the kernel does no clock accounting and timed
+  // clauses (if registered) read the real steady clock.
+  uint64_t* clock_ns = nullptr;
 
   BugConfig bugs;
 };
@@ -163,6 +174,13 @@ class Kernel {
   int64_t SysKldload(KThread& td, const std::string& path);
   int64_t SysKill(KThread& td, int64_t pid, int64_t signal);
   int64_t SysGetExtAttr(KThread& td, int64_t fd);
+  // One watchdog service pass: arm, `kicks` device kicks (~1 ms of virtual
+  // time each), pat. With bugs.watchdog_slow_service the loop stalls 15 ms
+  // before the pat — past the 10 ms SLO the kSetTimed assertions enforce.
+  int64_t SysWatchdogService(KThread& td, int kicks);
+
+  // Advances the virtual clock (no-op without KernelConfig::clock_ns).
+  void AdvanceClock(uint64_t ns);
 
   // --- MAC framework (mechanism/policy split; hooks are instrumented) ---
   int64_t mac_vnode_check_open(KThread& td, Ucred* cred, Vnode* vp, uint64_t accmode);
@@ -185,6 +203,9 @@ class Kernel {
   int64_t vn_rdwr(KThread& td, Vnode* vp, bool write, int64_t bytes, uint64_t flags);
   int64_t ufs_readdir(KThread& td, Vnode* vp);
   int64_t proc_set_cred(KThread& td, Proc* proc, int64_t uid);
+  int64_t watchdog_arm(KThread& td);
+  int64_t watchdog_kick(KThread& td);
+  int64_t watchdog_pat(KThread& td);
 
   Witness& witness() { return witness_; }
   const KernelConfig& config() const { return config_; }

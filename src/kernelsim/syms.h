@@ -68,6 +68,12 @@ struct KernelSymbols {
   Symbol mac_proc_check_sched = InternString("mac_proc_check_sched");
   Symbol mac_proc_check_wait = InternString("mac_proc_check_wait");
 
+  // Watchdog service loop (the timed-assertion / SLO demo).
+  Symbol watchdog_service = InternString("watchdog_service");
+  Symbol watchdog_arm = InternString("watchdog_arm");
+  Symbol watchdog_kick = InternString("watchdog_kick");
+  Symbol watchdog_pat = InternString("watchdog_pat");
+
   // Structure fields referenced by field-assignment assertions.
   Symbol p_flag = InternString("p_flag");
   Symbol so_state = InternString("so_state");

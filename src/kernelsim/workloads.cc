@@ -148,4 +148,19 @@ WorkloadResult BuildCompile(Kernel& kernel, KThread& td, int files, int compute_
   return result;
 }
 
+WorkloadResult WatchdogDaemon(Kernel& kernel, KThread& td, int services,
+                              int kicks_per_service) {
+  WorkloadResult result;
+  for (int i = 0; i < services; i++) {
+    // The daemon sleeps between passes; the gap keeps each pass's rate()
+    // window and within_ms() deadline from straddling the next pass.
+    kernel.AdvanceClock(50'000'000);
+    if (kernel.SysWatchdogService(td, kicks_per_service) != kOk) {
+      result.errors++;
+    }
+    result.syscalls++;
+  }
+  return result;
+}
+
 }  // namespace tesla::kernelsim

@@ -33,6 +33,14 @@ WorkloadResult OltpTransactions(Kernel& kernel, KThread& td, int transactions);
 // `compute_per_file` units of user-mode CPU, write the object file.
 WorkloadResult BuildCompile(Kernel& kernel, KThread& td, int files, int compute_per_file);
 
+// Runs `services` watchdog service passes with `kicks_per_service` device
+// kicks each, idling ~50 ms of virtual clock between passes. The timed
+// kSetTimed assertions watch this loop: the default 4-kick pass is clean,
+// >8 kicks per pass trips rate(), and bugs.watchdog_slow_service trips
+// within_ms(). Deterministic when the kernel runs on a virtual clock.
+WorkloadResult WatchdogDaemon(Kernel& kernel, KThread& td, int services,
+                              int kicks_per_service);
+
 }  // namespace tesla::kernelsim
 
 #endif  // TESLA_KERNELSIM_WORKLOADS_H_

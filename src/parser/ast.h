@@ -53,6 +53,8 @@ enum class ExprKind {
   kFieldAssign,    // s.field = v, s.field += v, ...
   kAssertionSite,  // TESLA_ASSERTION_SITE
   kInCallStack,    // incallstack(f): site-time predicate (fig. 7)
+  kWithin,         // within_ms(N, e): e must complete within N ms of starting
+  kRate,           // rate(N, per_ms(M), e): > N matching events per M ms window
 };
 
 enum class BooleanOp {
@@ -95,6 +97,12 @@ struct Expr {
 
   // kAtLeast
   int64_t at_least = 0;
+
+  // kWithin: deadline in milliseconds for the (single) child region.
+  int64_t time_ms = 0;
+  // kRate: at most rate_count child events per rate_window_ms tumbling window.
+  int64_t rate_count = 0;
+  int64_t rate_window_ms = 0;
 
   // kModified
   Modifier modifier = Modifier::kOptional;

@@ -202,6 +202,12 @@ class Parser {
     if (word == "call" || word == "called" || word == "returnfrom") {
       return ParseExplicitFunctionEvent(word);
     }
+    if (word == "within_ms") {
+      return ParseWithin();
+    }
+    if (word == "rate") {
+      return ParseRate();
+    }
     if (word == "incallstack") {
       Advance();
       if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
@@ -267,6 +273,55 @@ class Parser {
     if (at_least->children.empty()) return Fail("ATLEAST requires at least one event");
     if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
     return at_least;
+  }
+
+  // within_ms(N, expr): the child region must run to completion within N ms
+  // of its first event.
+  Result<ExprPtr> ParseWithin() {
+    const Token head = Peek();
+    Advance();
+    if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+    if (!Check(TokenKind::kInteger)) return Fail("within_ms requires an integer bound");
+    auto within = MakeLeaf(ExprKind::kWithin, head);
+    within->time_ms = Peek().integer;
+    if (within->time_ms <= 0) return Fail("within_ms bound must be positive");
+    Advance();
+    if (auto s = Expect(TokenKind::kComma); !s.ok()) return s.error();
+    auto child = ParseExpression();
+    if (!child.ok()) return child;
+    within->children.push_back(std::move(child.value()));
+    if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+    return within;
+  }
+
+  // rate(N, per_ms(M), expr): more than N child events inside one M-ms
+  // tumbling window is a violation.
+  Result<ExprPtr> ParseRate() {
+    const Token head = Peek();
+    Advance();
+    if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+    if (!Check(TokenKind::kInteger)) return Fail("rate requires an integer event limit");
+    auto rate = MakeLeaf(ExprKind::kRate, head);
+    rate->rate_count = Peek().integer;
+    if (rate->rate_count <= 0) return Fail("rate limit must be positive");
+    Advance();
+    if (auto s = Expect(TokenKind::kComma); !s.ok()) return s.error();
+    if (!Check(TokenKind::kIdentifier) || Peek().text != "per_ms") {
+      return Fail("rate requires a per_ms(window) argument");
+    }
+    Advance();
+    if (auto s = Expect(TokenKind::kLeftParen); !s.ok()) return s.error();
+    if (!Check(TokenKind::kInteger)) return Fail("per_ms requires an integer window");
+    rate->rate_window_ms = Peek().integer;
+    if (rate->rate_window_ms <= 0) return Fail("per_ms window must be positive");
+    Advance();
+    if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+    if (auto s = Expect(TokenKind::kComma); !s.ok()) return s.error();
+    auto child = ParseExpression();
+    if (!child.ok()) return child;
+    rate->children.push_back(std::move(child.value()));
+    if (auto s = Expect(TokenKind::kRightParen); !s.ok()) return s.error();
+    return rate;
   }
 
   Result<ExprPtr> ParseModifier(const std::string& keyword) {
@@ -620,6 +675,13 @@ std::string FormatExpr(const ast::Expr& expr) {
       return "TESLA_ASSERTION_SITE";
     case ExprKind::kInCallStack:
       return "incallstack(" + expr.function + ")";
+    case ExprKind::kWithin:
+      return "within_ms(" + std::to_string(expr.time_ms) + ", " +
+             FormatExpr(*expr.children.at(0)) + ")";
+    case ExprKind::kRate:
+      return "rate(" + std::to_string(expr.rate_count) + ", per_ms(" +
+             std::to_string(expr.rate_window_ms) + "), " + FormatExpr(*expr.children.at(0)) +
+             ")";
   }
   return "?";
 }

@@ -40,7 +40,9 @@ namespace tesla::profile {
   X(fanout_sum, "sum of live-instance populations sampled at dispatch", 1, 0)  \
   X(fanout_peak, "largest live-instance population observed at dispatch", 1, 1) \
   X(latency_ns, "sampled dispatch latency total, nanoseconds (wall clock)", 0, 0) \
-  X(latency_samples, "dispatch latency samples taken (1-in-64 sampling)", 0, 0)
+  X(latency_samples, "dispatch latency samples taken (1-in-64 sampling)", 0, 0) \
+  X(deadline_arms, "within_ms() deadlines armed for the class", 1, 0)          \
+  X(deadline_expiries, "within_ms() deadlines that expired for the class", 1, 0)
 
 enum class Cell : uint8_t {
 #define TESLA_PROFILE_ENUM(name, help, det, mx) name,

@@ -30,7 +30,9 @@
 //
 //   word 0   the ThreadContext pointer
 //   word 1   header: kind | count | flags (truncated / has return value /
-//            has vars) | target symbol
+//            has vars / has timestamp) | target symbol
+//   [1]      event timestamp, when stamped (timed clauses registered — the
+//            consumer must see the *producer's* clock, not its own)
 //   …        count argument values
 //   [1]      return value, when non-zero
 //   [0–2]    vars packed four per word, when any is non-zero (site events)
@@ -75,14 +77,16 @@ static_assert(sizeof(Symbol) == 4, "header packs target into 32 bits");
 static_assert(runtime::kMaxEventArgs == 8,
               "vars packing and the worst-case record size assume 8 slots");
 
-// Worst case: ctx + header + 8 values + return value + 2 packed-vars words.
-inline constexpr size_t kMaxRecordWords = 2 + runtime::kMaxEventArgs + 1 +
+// Worst case: ctx + header + timestamp + 8 values + return value + 2
+// packed-vars words.
+inline constexpr size_t kMaxRecordWords = 2 + 1 + runtime::kMaxEventArgs + 1 +
                                           (runtime::kMaxEventArgs + 3) / 4;
 
 // Header word layout (see TryPush/Pop below).
 inline constexpr uint64_t kHeaderTruncated = uint64_t{1} << 16;
 inline constexpr uint64_t kHeaderHasReturn = uint64_t{1} << 17;
 inline constexpr uint64_t kHeaderHasVars = uint64_t{1} << 18;
+inline constexpr uint64_t kHeaderHasTs = uint64_t{1} << 19;
 
 class QueueRing {
  public:
@@ -120,8 +124,9 @@ class QueueRing {
     }
     const bool has_return = event.return_value != 0;
     const bool has_vars = (vars_packed[0] | vars_packed[1]) != 0;
+    const bool has_ts = event.ts_ns != 0;
     const size_t need = 2 + event.count + (has_return ? 1 : 0) +
-                        (has_vars ? (event.count + 3) / 4 : 0);
+                        (has_vars ? (event.count + 3) / 4 : 0) + (has_ts ? 1 : 0);
 
     const uint64_t head = head_.load(std::memory_order_relaxed);
     if (head + need - cached_tail_ > capacity_) {
@@ -141,7 +146,10 @@ class QueueRing {
         (static_cast<uint64_t>(event.count) << 8) |
         (event.truncated ? kHeaderTruncated : 0) |
         (has_return ? kHeaderHasReturn : 0) | (has_vars ? kHeaderHasVars : 0) |
-        (static_cast<uint64_t>(event.target) << 32));
+        (has_ts ? kHeaderHasTs : 0) | (static_cast<uint64_t>(event.target) << 32));
+    if (has_ts) {
+      put(event.ts_ns);
+    }
     for (size_t i = 0; i < event.count; i++) {
       put(static_cast<uint64_t>(event.values[i]));
     }
@@ -184,6 +192,9 @@ class QueueRing {
       record.event.count = static_cast<uint8_t>((header >> 8) & 0xff);
       record.event.truncated = (header & kHeaderTruncated) != 0;
       record.event.target = static_cast<Symbol>(header >> 32);
+      if ((header & kHeaderHasTs) != 0) {
+        record.event.ts_ns = take();
+      }
       for (size_t i = 0; i < record.event.count; i++) {
         record.event.values[i] = static_cast<int64_t>(take());
       }

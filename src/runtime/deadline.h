@@ -1,0 +1,200 @@
+// Hierarchical deadline wheel for timed assertions (within_ms clauses).
+//
+// One wheel per event-serialisation context (per-thread contexts and global
+// shard contexts alike), single-writer under the same discipline as the
+// context's instances — no locks, no timer thread. Deadlines are armed when
+// a timed region goes live and fire as a side effect of the next event the
+// owning context observes: dispatch already reads the event clock, so the
+// steady-state cost with nothing armed is one compare (HasExpired).
+//
+// Layout: kLevels wheels of kSlots slots over ~1 ms ticks (1 << kTickBits
+// ns). Level 0 resolves single ticks (~67 ms horizon); each level up covers
+// 64× more at 64× coarser resolution (~4.8 h total); later deadlines sit in
+// an overflow list. Entries cascade toward level 0 as the cursor passes
+// their slot, land in an imminent bucket for their final tick, and fire only
+// when their deadline is *strictly* before the clock — an event at
+// ts == deadline can still satisfy its region.
+//
+// Cancellation is lazy: the runtime bumps the owning cell's serial and the
+// stale entry is discarded when it eventually pops (Entry::serial mismatch).
+// next_deadline() is a lower bound, never late: HasExpired may ask for a
+// redundant Advance but can never suppress a due expiry.
+#ifndef TESLA_RUNTIME_DEADLINE_H_
+#define TESLA_RUNTIME_DEADLINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace tesla::runtime {
+
+class DeadlineWheel {
+ public:
+  struct Entry {
+    uint64_t deadline_ns = 0;
+    uint32_t class_id = 0;
+    uint32_t spec = 0;
+    uint64_t serial = 0;
+  };
+
+  static constexpr uint32_t kTickBits = 20;  // ~1.05 ms per level-0 tick
+  static constexpr uint32_t kSlotBits = 6;
+  static constexpr uint32_t kSlots = 1u << kSlotBits;
+  static constexpr uint32_t kLevels = 4;
+
+  explicit DeadlineWheel(uint64_t now_ns) : now_ns_(now_ns), now_tick_(now_ns >> kTickBits) {}
+
+  bool empty() const { return live_ == 0; }
+  size_t live() const { return live_; }
+
+  // The hot-path emptiness/expiry probe: one load-and-compare when nothing
+  // is armed. next_deadline_ is a lower bound on every live deadline, so a
+  // true return means "worth advancing", never "something definitely fired".
+  bool HasExpired(uint64_t now_ns) const { return live_ != 0 && next_deadline_ < now_ns; }
+
+  void Arm(const Entry& entry) {
+    live_++;
+    next_deadline_ = std::min(next_deadline_, entry.deadline_ns);
+    Place(entry);
+  }
+
+  // Advances the wheel to `now_ns` (callers pass a monotonically clamped
+  // clock), appending every entry with deadline_ns < now_ns to `fired` in
+  // an order deterministic in the arm sequence. Entries sharing the current
+  // tick but not yet strictly past stay pending for the next call.
+  void Advance(uint64_t now_ns, std::vector<Entry>& fired) {
+    if (now_ns < now_ns_) {
+      return;  // defensive; the owning context clamps before calling
+    }
+    now_ns_ = now_ns;
+    const uint64_t target_tick = now_ns >> kTickBits;
+    if (live_ == 0) {
+      now_tick_ = target_tick;
+      next_deadline_ = kFarFuture;
+      return;
+    }
+    if (target_tick - now_tick_ > 2 * kSlots) {
+      Rebuild(target_tick);
+    } else {
+      while (now_tick_ < target_tick) {
+        now_tick_++;
+        PullLevel0();
+        Cascade();
+      }
+    }
+    FireImminent(fired);
+    RecomputeNext();
+  }
+
+ private:
+  static constexpr uint64_t kFarFuture = ~uint64_t{0};
+
+  void Place(const Entry& entry) {
+    const uint64_t dtick = entry.deadline_ns >> kTickBits;
+    if (dtick <= now_tick_) {
+      imminent_.push_back(entry);
+      return;
+    }
+    const uint64_t delta = dtick - now_tick_;
+    for (uint32_t level = 0; level < kLevels; level++) {
+      if (delta < (uint64_t{1} << ((level + 1) * kSlotBits))) {
+        slots_[level][(dtick >> (level * kSlotBits)) & (kSlots - 1)].push_back(entry);
+        return;
+      }
+    }
+    overflow_.push_back(entry);
+  }
+
+  void PullLevel0() {
+    auto& slot = slots_[0][now_tick_ & (kSlots - 1)];
+    for (const Entry& entry : slot) {
+      imminent_.push_back(entry);
+    }
+    slot.clear();
+  }
+
+  // On every 64^level boundary, re-place the newly current upper slot so its
+  // entries keep cascading toward level 0. The overflow list re-places when
+  // the top level wraps (once per ~4.8 h of wheel time on the slow path;
+  // larger jumps take Rebuild instead).
+  void Cascade() {
+    for (uint32_t level = 1; level < kLevels; level++) {
+      if ((now_tick_ & ((uint64_t{1} << (level * kSlotBits)) - 1)) != 0) {
+        return;
+      }
+      auto& slot = slots_[level][(now_tick_ >> (level * kSlotBits)) & (kSlots - 1)];
+      scratch_.clear();
+      scratch_.swap(slot);
+      for (const Entry& entry : scratch_) {
+        Place(entry);
+      }
+    }
+    if ((now_tick_ & ((uint64_t{1} << (kLevels * kSlotBits)) - 1)) == 0 &&
+        !overflow_.empty()) {
+      scratch_.clear();
+      scratch_.swap(overflow_);
+      for (const Entry& entry : scratch_) {
+        Place(entry);
+      }
+    }
+  }
+
+  // Large clock jump: collect everything, snap the cursor, re-place. O(live
+  // + slots), amortised by how rarely a context sleeps past the walk bound.
+  void Rebuild(uint64_t target_tick) {
+    scratch_.clear();
+    scratch_.swap(imminent_);
+    for (auto& level : slots_) {
+      for (auto& slot : level) {
+        scratch_.insert(scratch_.end(), slot.begin(), slot.end());
+        slot.clear();
+      }
+    }
+    scratch_.insert(scratch_.end(), overflow_.begin(), overflow_.end());
+    overflow_.clear();
+    now_tick_ = target_tick;
+    for (const Entry& entry : scratch_) {
+      Place(entry);
+    }
+  }
+
+  void FireImminent(std::vector<Entry>& fired) {
+    size_t kept = 0;
+    for (size_t i = 0; i < imminent_.size(); i++) {
+      if (imminent_[i].deadline_ns < now_ns_) {
+        fired.push_back(imminent_[i]);
+        live_--;
+      } else {
+        imminent_[kept++] = imminent_[i];
+      }
+    }
+    imminent_.resize(kept);
+  }
+
+  void RecomputeNext() {
+    if (live_ == 0) {
+      next_deadline_ = kFarFuture;
+      return;
+    }
+    // Entries still in slots have dtick > now_tick_, so the next tick start
+    // is a valid lower bound; imminent entries can only tighten it.
+    uint64_t next = (now_tick_ + 1) << kTickBits;
+    for (const Entry& entry : imminent_) {
+      next = std::min(next, entry.deadline_ns);
+    }
+    next_deadline_ = next;
+  }
+
+  uint64_t now_ns_ = 0;
+  uint64_t now_tick_ = 0;
+  uint64_t next_deadline_ = kFarFuture;
+  size_t live_ = 0;
+  std::vector<Entry> imminent_;  // entries in (or before) the current tick
+  std::vector<Entry> slots_[kLevels][kSlots];
+  std::vector<Entry> overflow_;
+  std::vector<Entry> scratch_;
+};
+
+}  // namespace tesla::runtime
+
+#endif  // TESLA_RUNTIME_DEADLINE_H_

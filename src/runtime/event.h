@@ -40,6 +40,12 @@ struct Event {
   uint8_t count = 0;       // live entries in values[] (and vars[] for sites)
   bool truncated = false;  // argument list exceeded kMaxEventArgs
   Symbol target = kNoSymbol;  // function / field symbol; site: automaton id
+  // Monotonic timestamp, nanoseconds; 0 = unstamped. Stamped once at
+  // ingestion (producer side) when any timed clause is registered, carried
+  // verbatim through the queue/ipc wire formats and TSLATRC captures so
+  // async, sidecar and replayed runs evaluate deadlines against the same
+  // clock. Timed verdicts are pure functions of the (event, ts) stream.
+  uint64_t ts_ns = 0;
   int64_t return_value = 0;   // kFunctionReturn only
   int64_t values[kMaxEventArgs] = {};
   uint16_t vars[kMaxEventArgs] = {};  // kAssertionSite: variable index per value

@@ -158,13 +158,23 @@ struct RuntimeOptions {
   profile::PlanHints plan_hints;
 
   MemoryReader memory_reader;
+
+  // Monotonic clock override, nanoseconds. Used by every runtime clock read:
+  // timed-clause event stamping, dispatch-latency histograms and the profile
+  // latency sampler. Null uses std::chrono::steady_clock. Tests inject
+  // stepped or backwards clocks through this; production leaves it null.
+  std::function<uint64_t()> now_ns;
 };
 
 enum class ViolationKind {
-  kBadSite,        // assertion site reached but no instance could accept it
-  kBadCleanup,     // bound closed with an automaton mid-way (e.g. unmet eventually)
-  kStrictEvent,    // strict() automaton observed an unconsumable event
-  kOverflow,       // instance pool exhausted; event dropped
+  kBadSite,          // assertion site reached but no instance could accept it
+  kBadCleanup,       // bound closed with an automaton mid-way (e.g. unmet eventually)
+  kStrictEvent,      // strict() automaton observed an unconsumable event
+  kOverflow,         // instance pool exhausted; event dropped
+  // Appended for timed assertions (TSLATRC v6); the capture reader's
+  // kind-validity check tracks the last enumerator here.
+  kDeadlineExpired,  // within_ms() region still live past its deadline
+  kRateExceeded,     // rate() region saw more than its limit in one window
 };
 
 struct Violation {
@@ -243,7 +253,11 @@ const char* ViolationKindName(ViolationKind kind);
   X(queue_batches, "OnEvents batches dispatched by the async queue (summed over consumers)", 0) \
   X(queue_forwards, "records forwarded between queue consumers for shard-stage dispatch", 0) \
   X(queue_steals, "producer batches stolen by an idle queue consumer", 0)     \
-  X(shard_handoffs, "inline dispatches that intruded on a consumer-owned shard", 0)
+  X(shard_handoffs, "inline dispatches that intruded on a consumer-owned shard", 0) \
+  X(deadline_arms, "within_ms() deadlines armed", 1)                          \
+  X(deadline_expiries, "within_ms() deadlines that expired (kDeadlineExpired)", 1) \
+  X(rate_violations, "rate() windows that exceeded their limit (kRateExceeded)", 1) \
+  X(clock_regressions, "event timestamps that stepped backwards mid-window (clamped)", 1)
 
 struct RuntimeStats {
 #define TESLA_STATS_MEMBER(name, desc, replay) uint64_t name = 0;

@@ -53,6 +53,10 @@ const char* ViolationKindName(ViolationKind kind) {
       return "unexpected event (strict automaton)";
     case ViolationKind::kOverflow:
       return "instance pool overflow";
+    case ViolationKind::kDeadlineExpired:
+      return "within_ms() deadline expired";
+    case ViolationKind::kRateExceeded:
+      return "rate() limit exceeded";
   }
   return "?";
 }
@@ -101,6 +105,7 @@ thread_local uint64_t Runtime::engaged_shards_ = 0;
 thread_local const Runtime* Runtime::scope_runtime_ = nullptr;
 thread_local const DispatchScope* Runtime::active_scope_ = nullptr;
 thread_local Runtime::StatsFrame* Runtime::stats_frame_ = nullptr;
+thread_local uint64_t Runtime::current_event_ts_ = 0;
 
 // The intruder side of the shard-ownership protocol (see GlobalShard in
 // runtime.h for the full memory-ordering argument). The first owner_active
@@ -263,6 +268,7 @@ void Runtime::CompilePlan() {
   cleanup_slot_count_ = 0;
   stack_slot_count_ = 0;
   any_global_ = false;
+  any_timed_ = false;
 
   // Shard partition: a global class whose site dispatch reads the
   // producer's call stack (incallstack() variants) is *pinned* — it must be
@@ -275,7 +281,11 @@ void Runtime::CompilePlan() {
   bool any_unpinned = false;
   for (CompiledClass& cls : classes_) {
     cls.pinned = cls.is_global && !cls.site_variants.empty();
-    cls.site_fast = cls.automaton.has_site && cls.site_variants.empty();
+    cls.timed = !cls.automaton.timed.empty();
+    any_timed_ |= cls.timed;
+    // Timed classes must not take the flattened site path: it bypasses the
+    // timed observation hooks (deadline arming follows instance occupancy).
+    cls.site_fast = cls.automaton.has_site && cls.site_variants.empty() && !cls.timed;
     any_pinned |= cls.pinned;
     any_unpinned |= cls.is_global && !cls.pinned;
   }
@@ -860,6 +870,18 @@ void Runtime::GrowClassStates(ThreadContext& storage) {
 // --- the unified event entry point ---
 
 void Runtime::OnEvent(ThreadContext& ctx, const Event& event) {
+  // Producer-side stamping: with timed clauses registered, the monotonic
+  // clock is read once, here, *before* the ingest hook can queue the event —
+  // async and sidecar consumers then evaluate deadlines against the
+  // producer's clock, and a capture carries the same value into replay.
+  // Pre-stamped events (replay, simulators with virtual clocks) pass
+  // through untouched, which is what makes timed verdicts reproducible.
+  if (any_timed_ && event.ts_ns == 0) [[unlikely]] {
+    Event stamped = event;
+    stamped.ts_ns = NowNs();
+    OnEvent(ctx, stamped);
+    return;
+  }
   // The ingest hook runs before the context is touched at all: with the
   // async queue installed, the producer thread only copies the event into a
   // ring while the consumer thread is the context's sole mutator.
@@ -941,6 +963,13 @@ void Runtime::DispatchBatchPlain(ThreadContext& ctx, std::span<const Event> even
   for (const Event& event : events) {
     if (event.truncated) [[unlikely]] {
       Bump(stats_.arg_truncations);
+    }
+    if (any_timed_) [[unlikely]] {
+      current_event_ts_ = event.ts_ns != 0 ? event.ts_ns : NowNs();
+      if (current_event_ts_ < ctx.timed_now_) {
+        Bump(stats_.clock_regressions);
+      }
+      TimedTick(ctx, current_event_ts_);
     }
     switch (event.kind) {
       case EventKind::kFunctionCall:
@@ -1073,6 +1102,23 @@ void Runtime::DispatchEvent(ThreadContext& ctx, const Event& event) {
   // dispatch timing — happens exactly once per event, in the context stage
   // (a shard-stage pass of the same record skips it).
   const bool context_stage = ScopeContext();
+  if (any_timed_) [[unlikely]] {
+    // Resolve the event clock once per event (the timed hooks read
+    // current_event_ts_ instead of re-deriving it per class). The producer
+    // context ticks here, in the context stage — exactly once per event, so
+    // an armed deadline fires on the next event through the context even if
+    // that event touches no timed class; shard contexts tick when a timed
+    // class dispatches into them. A backwards timestamp is counted here
+    // (once) and clamped in TimedTick — per-context stream order is
+    // preserved by the queue and by replay, so the count is deterministic.
+    current_event_ts_ = event.ts_ns != 0 ? event.ts_ns : NowNs();
+    if (context_stage) {
+      if (current_event_ts_ < ctx.timed_now_) [[unlikely]] {
+        Bump(stats_.clock_regressions);
+      }
+      TimedTick(ctx, current_event_ts_);
+    }
+  }
   if (context_stage) {
     Bump(stats_.events);
     if (event.truncated) {
@@ -1085,9 +1131,9 @@ void Runtime::DispatchEvent(ThreadContext& ctx, const Event& event) {
   // kFull mode: two clock reads bracket the dispatch, bucketed per event
   // kind into the entry context's shard.
   const bool timed = context_stage && time_dispatch_ && ctx.metrics_ != nullptr;
-  std::chrono::steady_clock::time_point start;
+  uint64_t start_ns = 0;
   if (timed) {
-    start = std::chrono::steady_clock::now();
+    start_ns = NowNs();
   }
   switch (event.kind) {
     case EventKind::kFunctionCall:
@@ -1102,9 +1148,7 @@ void Runtime::DispatchEvent(ThreadContext& ctx, const Event& event) {
       break;
   }
   if (timed) {
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-    const int64_t ns =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    const int64_t ns = static_cast<int64_t>(NowNs()) - static_cast<int64_t>(start_ns);
     if (ns < 0) {
       // A stepped clock produced a negative delta. The sample still lands
       // in bucket 0 (dropping it would skew sample counts), but it is
@@ -1453,6 +1497,15 @@ void Runtime::ActivateClass(ThreadContext& ctx, uint32_t class_id) {
                             cls.automaton.init_symbol, cls.initial_states);
     }
   }
+  if (cls.timed) [[unlikely]] {
+    // A (re)opened bound starts its clauses fresh: cancel anything armed by
+    // a previous activation, then arm for the new wildcard if the initial
+    // states already sit inside a timed region (the deadline clock starts
+    // at the event that completed the preceding context — this one).
+    TimedTick(storage, current_event_ts_);
+    ResetTimedCells(state);
+    TimedObserve(storage, cls, state, {}, false);
+  }
 }
 
 void Runtime::CleanupClass(ThreadContext& ctx, uint32_t class_id) {
@@ -1462,6 +1515,12 @@ void Runtime::CleanupClass(ThreadContext& ctx, uint32_t class_id) {
     return;
   }
   ThreadContext& storage = ContextFor(ctx, class_id);
+  if (cls.timed) [[unlikely]] {
+    // A deadline that fully elapsed before the bound closed is a violation
+    // even when its expiry and the cleanup arrive in the same batch: fire
+    // anything strictly past before the cleanup sweep settles the clauses.
+    TimedTick(storage, current_event_ts_);
+  }
   ClassInfo info{class_id, &cls.automaton};
   const uint16_t cleanup_symbol = cls.automaton.cleanup_symbol;
   for (uint32_t slot : state.instances) {
@@ -1488,6 +1547,11 @@ void Runtime::CleanupClass(ThreadContext& ctx, uint32_t class_id) {
   state.index2.Clear();
   state.tail2.clear();
   state.active = false;
+  if (cls.timed) [[unlikely]] {
+    // The bound closed: every clause is settled. Armed deadlines cancel
+    // lazily (serial bump), rate windows reset.
+    ResetTimedCells(state);
+  }
 }
 
 bool Runtime::EnsureActive(ThreadContext& ctx, uint32_t class_id) {
@@ -1521,6 +1585,168 @@ bool Runtime::EnsureActive(ThreadContext& ctx, const CompiledClass& cls,
   return true;
 }
 
+// --- timed clauses (within_ms / rate) ---
+
+uint64_t Runtime::NowNs() const {
+  if (options_.now_ns) [[unlikely]] {
+    return options_.now_ns();
+  }
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+void Runtime::TimedTick(ThreadContext& storage, uint64_t ts_ns) {
+  // Monotonic clamp: a backwards timestamp (stepped clock, cross-producer
+  // skew at a shard context) is evaluated at the context's high-water clock,
+  // so windows never underflow and deadlines never arm into the past. The
+  // regression *count* lives in DispatchEvent — once per event, in the
+  // context stage, where it is deterministic; shard contexts see ordinary
+  // cross-producer interleaving and clamp silently.
+  if (ts_ns < storage.timed_now_) [[unlikely]] {
+    ts_ns = storage.timed_now_;
+  } else {
+    storage.timed_now_ = ts_ns;
+  }
+  if (storage.wheel_ != nullptr && storage.wheel_->HasExpired(ts_ns)) [[unlikely]] {
+    FireExpired(storage, ts_ns);
+  }
+}
+
+void Runtime::FireExpired(ThreadContext& storage, uint64_t now_ns) {
+  // Swap the scratch buffer out of the context: a violation handler may
+  // re-enter dispatch (and hence FireExpired) on this same context.
+  std::vector<DeadlineWheel::Entry> fired;
+  fired.swap(storage.fired_);
+  fired.clear();
+  storage.wheel_->Advance(now_ns, fired);
+  for (const DeadlineWheel::Entry& entry : fired) {
+    if (entry.class_id >= storage.classes_.size()) {
+      continue;
+    }
+    ClassState& state = storage.classes_[entry.class_id];
+    if (entry.spec >= state.timed.size()) {
+      continue;
+    }
+    TimedCell& cell = state.timed[entry.spec];
+    if (!cell.armed || cell.serial != entry.serial ||
+        cell.deadline_ns != entry.deadline_ns) {
+      continue;  // lazily cancelled: the region completed or the bound closed
+    }
+    cell.armed = false;
+    cell.serial++;
+    const CompiledClass& cls = classes_[entry.class_id];
+    const automata::TimedSpec& spec = cls.automaton.timed[entry.spec];
+    Bump(stats_.deadline_expiries);
+    if (profile::Shard* pshard = ProfileShard(storage, entry.class_id)) {
+      pshard->Add(entry.class_id, profile::Cell::deadline_expiries);
+    }
+    // Highlight the states still inside the timed region — where the
+    // automaton was stuck when the clock ran out.
+    automata::StateSet live = 0;
+    for (uint32_t slot : state.instances) {
+      live |= storage.store_.states(slot);
+    }
+    ReportViolation(entry.class_id, ViolationKind::kDeadlineExpired,
+                    "within_ms(" + std::to_string(spec.bound_ns / 1000000) +
+                        ") deadline expired " + std::to_string(now_ns - entry.deadline_ns) +
+                        " ns before the region completed",
+                    live & spec.armed_mask);
+  }
+  fired.clear();
+  storage.fired_ = std::move(fired);  // hand the capacity back
+}
+
+void Runtime::TimedObserve(ThreadContext& storage, const CompiledClass& cls,
+                           ClassState& state, std::span<const uint16_t> symbols,
+                           bool stepped) {
+  const auto& specs = cls.automaton.timed;
+  if (state.timed.size() < specs.size()) [[unlikely]] {
+    state.timed.resize(specs.size());
+  }
+  const uint64_t now = storage.timed_now_;  // clamped by the preceding TimedTick
+  // The class-level view: the union of every live instance's states. Timed
+  // clauses are properties of the *class* within its bound — per-instance
+  // deadlines would false-alarm on the lingering (∗) parent, which never
+  // leaves the region it seeds. O(live), paid only by timed classes.
+  automata::StateSet occupied = 0;
+  for (uint32_t slot : state.instances) {
+    occupied |= storage.store_.states(slot);
+  }
+  for (size_t k = 0; k < specs.size(); k++) {
+    const automata::TimedSpec& spec = specs[k];
+    TimedCell& cell = state.timed[k];
+    if (spec.kind == automata::TimedSpec::kWithin) {
+      const bool live = (occupied & spec.armed_mask) != 0;
+      if (live && !cell.armed) {
+        cell.armed = true;
+        cell.serial++;
+        cell.deadline_ns = now + spec.bound_ns;
+        Bump(stats_.deadline_arms);
+        if (profile::Shard* pshard = ProfileShard(storage, cls.id)) {
+          pshard->Add(cls.id, profile::Cell::deadline_arms);
+        }
+        if (storage.wheel_ == nullptr) {
+          storage.wheel_ = std::make_unique<DeadlineWheel>(now);
+        }
+        storage.wheel_->Arm(
+            {cell.deadline_ns, cls.id, static_cast<uint32_t>(k), cell.serial});
+      } else if (!live && cell.armed) {
+        // The region completed (or was bypassed) in time: disarm. The wheel
+        // entry cancels lazily — the serial bump makes it stale.
+        cell.armed = false;
+        cell.serial++;
+      }
+      // live && armed: a region entered again before fully emptying keeps
+      // the original deadline (documented limitation for starred regions).
+    } else {  // kRate
+      if (!stepped) {
+        continue;  // only events the class actually consumed count
+      }
+      bool counted = false;
+      for (uint16_t symbol : symbols) {
+        if (std::binary_search(spec.symbols.begin(), spec.symbols.end(), symbol)) {
+          counted = true;
+          break;
+        }
+      }
+      if (!counted) {
+        continue;
+      }
+      if (cell.window_count == 0) {
+        cell.window_start = now;  // the first counted event opens the window
+      } else if (now - cell.window_start >= spec.bound_ns) {
+        // Tumbling: advance in whole multiples of the window length so a
+        // quiet gap cannot stretch a window past its nominal span.
+        cell.window_start += spec.bound_ns * ((now - cell.window_start) / spec.bound_ns);
+        cell.window_count = 0;
+        cell.window_tripped = false;
+      }
+      cell.window_count++;
+      if (cell.window_count > spec.limit && !cell.window_tripped) {
+        cell.window_tripped = true;  // one report per window
+        Bump(stats_.rate_violations);
+        ReportViolation(cls.id, ViolationKind::kRateExceeded,
+                        "rate(" + std::to_string(spec.limit) + ", per_ms(" +
+                            std::to_string(spec.bound_ns / 1000000) + ")) exceeded: event " +
+                            std::to_string(cell.window_count) + " in the window",
+                        occupied & spec.armed_mask);
+      }
+    }
+  }
+}
+
+void Runtime::ResetTimedCells(ClassState& state) {
+  for (TimedCell& cell : state.timed) {
+    cell.armed = false;
+    cell.serial++;  // lazily cancels any wheel entry still pending
+    cell.deadline_ns = 0;
+    cell.window_start = 0;
+    cell.window_count = 0;
+    cell.window_tripped = false;
+  }
+}
+
 // --- event dispatch ---
 
 void Runtime::HandleEvent(ThreadContext& ctx, const Candidate& candidate,
@@ -1532,12 +1758,23 @@ void Runtime::HandleEvent(ThreadContext& ctx, const Candidate& candidate,
 
 void Runtime::HandleEventLocked(ThreadContext& ctx, const Candidate& candidate,
                                 const BindingSet& bindings) {
+  const CompiledClass& timed_cls = classes_[candidate.class_id];
+  if (timed_cls.timed) [[unlikely]] {
+    // Expiries precede the arriving event: an event at ts == deadline can
+    // still satisfy its region, anything strictly later fires first.
+    TimedTick(ContextFor(ctx, candidate.class_id), current_event_ts_);
+  }
   if (!EnsureActive(ctx, candidate.class_id)) {
     return;
   }
   const uint16_t symbol = candidate.symbol;
   bool stepped = DispatchToInstances(ctx, candidate.class_id, bindings,
                                      std::span<const uint16_t>(&symbol, 1));
+  if (timed_cls.timed) [[unlikely]] {
+    TimedObserve(ContextFor(ctx, candidate.class_id), timed_cls,
+                 StateFor(ctx, candidate.class_id),
+                 std::span<const uint16_t>(&symbol, 1), stepped);
+  }
   if (!stepped) {
     if (classes_[candidate.class_id].automaton.strict) {
       ThreadContext& storage = ContextFor(ctx, candidate.class_id);
@@ -1565,6 +1802,11 @@ void Runtime::HandleSiteEvent(ThreadContext& ctx, uint32_t class_id,
   const CompiledClass& cls = classes_[class_id];
   ThreadContext& storage = ContextFor(ctx, class_id);
   ClassState& state = StateFor(ctx, class_id);
+  if (cls.timed) [[unlikely]] {
+    // Expiries strictly before this event's timestamp fire before the site
+    // dispatches (see HandleEventLocked).
+    TimedTick(storage, current_event_ts_);
+  }
   if (!EnsureActive(ctx, cls, storage, state)) {
     Bump(stats_.ignored_events);  // site reached outside its temporal bound
     return;
@@ -1608,6 +1850,9 @@ void Runtime::HandleSiteEvent(ThreadContext& ctx, uint32_t class_id,
   }
 
   bool stepped = DispatchToInstances(storage, cls, state, bindings, symbol_span);
+  if (cls.timed) [[unlikely]] {
+    TimedObserve(storage, cls, state, symbol_span, stepped);
+  }
   if (!stepped) {
     // Paper §4.4.1 "Error": reaching the site with no instance able to
     // consume it (e.g. the (vp3) case) is a violation. The union of live
@@ -1708,11 +1953,16 @@ bool Runtime::DispatchToInstances(ThreadContext& storage, const CompiledClass& c
   if ((pshard->NextTick() & 63) != 0) [[likely]] {
     return run();
   }
-  const auto start = std::chrono::steady_clock::now();
+  const uint64_t start = NowNs();
   const bool stepped = run();
-  const int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
+  const int64_t ns = static_cast<int64_t>(NowNs()) - static_cast<int64_t>(start);
+  if (ns < 0) {
+    // Same clock-skew accounting as the kFull dispatch bracket above: the
+    // sample still lands in bucket 0 (dropping it would skew sample
+    // counts), but the stepped clock is counted instead of silently
+    // clamped — a depressed sampled p50 must be traceable to the clock.
+    Bump(stats_.negative_latencies);
+  }
   pshard->Add(class_id, profile::Cell::latency_ns, ns > 0 ? static_cast<uint64_t>(ns) : 0);
   pshard->Add(class_id, profile::Cell::latency_samples);
   return stepped;

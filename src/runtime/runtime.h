@@ -57,6 +57,7 @@
 #include "metrics/snapshot.h"
 #include "profile/collector.h"
 #include "profile/snapshot.h"
+#include "runtime/deadline.h"
 #include "runtime/event.h"
 #include "runtime/handler.h"
 #include "runtime/instance.h"
@@ -88,6 +89,21 @@ struct DispatchScope {
   uint64_t shard_mask = ~uint64_t{0};
 };
 
+// Timed-clause bookkeeping for one TimedSpec of one class in one storage
+// context. within_ms: `armed` + `deadline_ns` track the live deadline (the
+// first arm wins until the region fully empties); `serial` lazily cancels
+// wheel entries — a popped entry whose serial mismatches is stale. rate:
+// `window_start`/`window_count` implement the tumbling window, and
+// `window_tripped` dedups the per-window violation report.
+struct TimedCell {
+  uint64_t deadline_ns = 0;
+  uint64_t serial = 0;
+  uint64_t window_start = 0;
+  uint64_t window_count = 0;
+  bool armed = false;
+  bool window_tripped = false;
+};
+
 // Per-serialisation-context storage for one automaton class. Instances are
 // slots into the owning context's InstanceStore; `instances` is the full
 // population in creation order (the cleanup sweep and the naive scan walk
@@ -108,6 +124,9 @@ struct ClassState {
   // classes without a prefix hint.
   KeyIndex index2;
   std::vector<uint32_t> tail2;
+  // Timed-clause cells, one per entry of the class automaton's `timed` list
+  // (lazily sized on first observation; empty for untimed classes).
+  std::vector<TimedCell> timed;
 };
 
 // Lazy-init bookkeeping for one temporal bound (paper §5.2.2's optimisation:
@@ -163,6 +182,15 @@ class ThreadContext {
   // Workload-profile shard (null when RuntimeOptions::profile is off). Same
   // ownership and single-writer discipline as metrics_.
   profile::Shard* profile_ = nullptr;
+  // Timed-clause clock domain for this context: the deadline wheel (lazily
+  // allocated on first arm — untimed workloads never pay its footprint), the
+  // monotonically clamped event clock (a backwards timestamp is clamped and
+  // counted in RuntimeStats::clock_regressions, never underflows a window),
+  // and a scratch buffer for expiry pops. Single-writer like everything
+  // else here: per-thread contexts by contract, shard contexts by lock.
+  std::unique_ptr<DeadlineWheel> wheel_;
+  uint64_t timed_now_ = 0;
+  std::vector<DeadlineWheel::Entry> fired_;
 };
 
 class Runtime {
@@ -371,6 +399,10 @@ class Runtime {
     // unbound site event on an already-active per-thread class can take the
     // flattened steady-state path in ProcessSiteEvent.
     bool site_fast = false;
+    // The automaton carries within_ms()/rate() clauses: dispatch must run
+    // the timed-observation hooks (and skip the flattened site fast path,
+    // which bypasses them).
+    bool timed = false;
     automata::StateSet initial_states = 0;
     uint32_t initial_dfa_state = 0;
     // Key-variable analysis (computed once per class in CompilePlan()): the
@@ -752,6 +784,28 @@ class Runtime {
                        const ClassState& state, const BindingSet& bindings,
                        profile::Cell served_by);
 
+  // --- timed clauses (within_ms / rate) ---
+
+  // The monotonic clock behind every runtime clock read — event stamping,
+  // the dispatch-latency bracket and the profile latency sampler — so
+  // RuntimeOptions::now_ns can substitute a deterministic source in tests.
+  uint64_t NowNs() const;
+  // Clamps `storage`'s clock forward to `ts_ns` (counting regressions) and
+  // fires any deadlines that are strictly past. Runs *before* the event is
+  // dispatched into the context: an event arriving at ts == deadline can
+  // still satisfy its region, anything later fires first.
+  void TimedTick(ThreadContext& storage, uint64_t ts_ns);
+  void FireExpired(ThreadContext& storage, uint64_t now_ns);
+  // Post-dispatch bookkeeping for one timed class: recompute the union of
+  // live instance states, arm/disarm within_ms deadlines on armed_mask
+  // occupancy edges, and advance rate windows (`stepped` gates counting to
+  // events the class actually consumed).
+  void TimedObserve(ThreadContext& storage, const CompiledClass& cls, ClassState& state,
+                    std::span<const uint16_t> symbols, bool stepped);
+  // Cleanup-time teardown: cancels armed deadlines (serial bump) and resets
+  // rate windows — the bound closed, so its clauses are settled.
+  void ResetTimedCells(ClassState& state);
+
   // Satellite fix: a class whose index_min_population gate keeps forcing
   // scans would silently degrade to O(live) dispatch; once the gated-scan
   // tally crosses the warm-up threshold, OnWarning fires once for the class.
@@ -780,6 +834,10 @@ class Runtime {
   uint32_t cleanup_slot_count_ = 0;
   uint32_t stack_slot_count_ = 0;
   bool any_global_ = false;
+  // Any registered class carries timed clauses (CompilePlan). False keeps
+  // the timed machinery entirely off the hot path: no stamping, no clock
+  // reads, no wheel probes.
+  bool any_timed_ = false;
   // Shard partition (CompilePlan): pinned classes segregate onto their own
   // shards so a pinned and an unpinned class never share a shard context —
   // the context and shard stages of a scoped dispatch would otherwise race
@@ -840,6 +898,10 @@ class Runtime {
   static thread_local const DispatchScope* active_scope_;
   // The innermost open stats batch on this thread (see StatsBatch).
   static thread_local StatsFrame* stats_frame_;
+  // The timestamp of the event currently being dispatched on this thread
+  // (set by DispatchEvent/DispatchBatchPlain when any_timed_; the timed
+  // hooks read it instead of re-deriving the clock per class).
+  static thread_local uint64_t current_event_ts_;
 };
 
 }  // namespace tesla::runtime

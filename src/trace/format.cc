@@ -44,6 +44,10 @@ Status TraceWriter::Open(const std::string& path, const std::string& origin,
   }
   std::fwrite(buffer_.data(), 1, buffer_.size(), out_);
   prev_seq_ = 0;
+  prev_ts_ = 0;
+  base_ts_ = 0;
+  last_ts_ = 0;
+  any_ts_ = false;
   return Status::Ok();
 }
 
@@ -54,6 +58,18 @@ void TraceWriter::Append(const TraceRecord& record) {
   PutVarint(buffer_, record.ctx);
   PutVarint(buffer_, record.seq - prev_seq_);
   prev_seq_ = record.seq;
+  // Timestamps delta well within one context but interleave across contexts,
+  // so the delta is signed (zigzag). Unstamped records (no timed clause
+  // registered) encode a zero delta — one byte.
+  PutVarint(buffer_, Zigzag(static_cast<int64_t>(record.ts_ns - prev_ts_)));
+  prev_ts_ = record.ts_ns;
+  if (record.ts_ns != 0) {
+    if (!any_ts_) {
+      base_ts_ = record.ts_ns;
+      any_ts_ = true;
+    }
+    last_ts_ = record.ts_ns;
+  }
   PutVarint(buffer_, record.target);
   buffer_.push_back(record.count);
   for (uint8_t i = 0; i < record.count; i++) {
@@ -150,6 +166,15 @@ Status TraceWriter::Finish(const SemanticSummary& summary) {
       }
     }
   }
+  // v6 timestamp footer: present only when some record carried a nonzero
+  // timestamp. Self-describing field count, same append policy as the stats
+  // footer — a reader discards fields a newer writer appended.
+  buffer_.push_back(any_ts_ ? 1 : 0);
+  if (any_ts_) {
+    PutVarint(buffer_, 2);  // field count: base ts, last ts
+    PutVarint(buffer_, base_ts_);
+    PutVarint(buffer_, last_ts_);
+  }
   std::fwrite(buffer_.data(), 1, buffer_.size(), out_);
   const bool ok = std::fflush(out_) == 0 && std::ferror(out_) == 0;
   std::fclose(out_);
@@ -230,6 +255,7 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
   }
 
   uint64_t seq = 0;
+  uint64_t ts = 0;
   while (!cursor.failed) {
     uint8_t kind = 0;
     if (!cursor.Byte(&kind)) {
@@ -249,6 +275,11 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
     cursor.Varint(&value);
     seq += value;
     record.seq = seq;
+    if (file.version >= 6) {
+      cursor.Varint(&value);
+      ts = static_cast<uint64_t>(static_cast<int64_t>(ts) + Unzigzag(value));
+      record.ts_ns = ts;
+    }
     cursor.Varint(&value);
     record.target = static_cast<uint32_t>(value);
     cursor.Byte(&record.count);
@@ -307,7 +338,7 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
     if (cursor.failed) {
       return Corrupt(path, "truncated footer");
     }
-    if (kind > static_cast<uint8_t>(runtime::ViolationKind::kOverflow)) {
+    if (kind > static_cast<uint8_t>(runtime::ViolationKind::kRateExceeded)) {
       return Corrupt(path, "invalid violation kind");
     }
     file.summary.violations.emplace_back(static_cast<runtime::ViolationKind>(kind),
@@ -454,6 +485,38 @@ Result<TraceFile> TraceFile::Read(const std::string& path) {
         if (cursor.failed) {
           return Corrupt(path, "truncated profile section");
         }
+      }
+    }
+  }
+
+  if (file.version >= 6) {
+    uint8_t has_timestamps = 0;
+    cursor.Byte(&has_timestamps);
+    if (cursor.failed) {
+      return Corrupt(path, "truncated footer");
+    }
+    if (has_timestamps > 1) {
+      return Corrupt(path, "invalid timestamp presence byte");
+    }
+    if (has_timestamps != 0) {
+      file.summary.has_timestamps = true;
+      uint64_t ts_fields = 0;
+      cursor.Varint(&ts_fields);
+      if (!cursor.FitsRemaining(ts_fields)) {
+        return Corrupt(path, "truncated timestamp section");
+      }
+      // Fields a newer writer appended are read and discarded (same policy
+      // as the stats footer); fields the capture predates stay zero.
+      for (uint64_t i = 0; i < ts_fields; i++) {
+        cursor.Varint(&value);
+        if (i == 0) {
+          file.summary.ts_base_ns = value;
+        } else if (i == 1) {
+          file.summary.ts_last_ns = value;
+        }
+      }
+      if (cursor.failed) {
+        return Corrupt(path, "truncated timestamp section");
       }
     }
   }

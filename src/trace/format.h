@@ -6,13 +6,14 @@
 //
 // Layout (all integers varint/LEB128, signed values zigzag-encoded):
 //
-//   magic "TSLATRC5" (8 bytes)        version gate: the trailing digit is
-//                                     the version (v1–v4 files are still
+//   magic "TSLATRC6" (8 bytes)        version gate: the trailing digit is
+//                                     the version (v1–v5 files are still
 //                                     read; v1 carries no metrics section,
 //                                     v1/v2 carry the legacy 14-field
 //                                     stats footer, v1–v3 have no embedded
-//                                     manifest, and v1–v4 have no profile
-//                                     section)
+//                                     manifest, v1–v4 have no profile
+//                                     section, and v1–v5 carry no record
+//                                     timestamps or timestamp footer)
 //   origin   string                   e.g. "kernelsim:all" — names the
 //                                     manifest a replayer must register
 //   options                           the semantics-bearing RuntimeOptions:
@@ -27,8 +28,9 @@
 //   symbols  count, then count strings   the capture process's interner
 //                                     table; record targets index into it
 //   records  per record: kind byte (0xFF terminates the stream),
-//     flags byte, ctx, seq delta (vs previous record), target, count,
-//     count zigzag values, count vars (sites only),
+//     flags byte, ctx, seq delta (vs previous record), zigzag ts delta
+//     (v6; vs previous record — signed because contexts interleave),
+//     target, count, count zigzag values, count vars (sites only),
 //     zigzag return_value (returns only)
 //   footer   dropped, the RuntimeStats field count (v3+; v1/v2 have no
 //     count and carry exactly kLegacyFooterStatsFields fields), the
@@ -50,6 +52,12 @@
 //     partial-binding counters, then kMaxKeyVars × kSketchWords sketch
 //     words. The section is the workload profile `tesla-trace profile`
 //     renders and `--hints-out` compiles into PlanHints.
+//   timestamps (v6) presence byte; when 1 (some record carried a nonzero
+//     timestamp): a self-describing field count, then the fields — base
+//     (first nonzero) timestamp, last timestamp. Same append policy as the
+//     stats footer: a reader discards fields a newer writer appended. The
+//     section lets `tesla-trace` report the capture's clock domain span
+//     without scanning records, and anchors replayed deadline arithmetic.
 //
 // Strings are varint length + bytes. Seq deltas are non-negative because the
 // writer is handed a sequence-sorted snapshot.
@@ -71,8 +79,8 @@
 
 namespace tesla::trace {
 
-inline constexpr char kTraceMagic[8] = {'T', 'S', 'L', 'A', 'T', 'R', 'C', '5'};
-inline constexpr uint32_t kTraceVersion = 5;
+inline constexpr char kTraceMagic[8] = {'T', 'S', 'L', 'A', 'T', 'R', 'C', '6'};
+inline constexpr uint32_t kTraceVersion = 6;
 
 // Machine-readable Error::code values (support/result.h) attached by the
 // trace readers and origin resolver, so callers — the tesla-trace CLI in
@@ -141,6 +149,13 @@ struct SemanticSummary {
   // Deterministic cells are replay-comparable; latency cells are wall-clock.
   bool has_profile = false;
   profile::Snapshot profile;
+  // The capture's timestamp span (v6; present only when some record carried
+  // a nonzero timestamp, i.e. a timed clause was registered or the producer
+  // pre-stamped events). Replays inherit timestamps from the records
+  // themselves; the span is a summary for tooling.
+  bool has_timestamps = false;
+  uint64_t ts_base_ns = 0;  // first nonzero record timestamp
+  uint64_t ts_last_ns = 0;  // last nonzero record timestamp
 };
 
 class TraceWriter {
@@ -167,6 +182,10 @@ class TraceWriter {
  private:
   std::FILE* out_ = nullptr;
   uint64_t prev_seq_ = 0;
+  uint64_t prev_ts_ = 0;   // ts delta base (record stream is seq-sorted)
+  uint64_t base_ts_ = 0;   // first nonzero record timestamp seen
+  uint64_t last_ts_ = 0;   // most recent nonzero record timestamp
+  bool any_ts_ = false;
   std::vector<uint8_t> buffer_;
 };
 

@@ -33,6 +33,7 @@ const char* TraceModeName(TraceMode mode);
 
 struct TraceRecord {
   uint64_t seq = 0;    // global monotonic sequence (total order across rings)
+  uint64_t ts_ns = 0;  // event timestamp (0: capture predates timed clauses)
   uint32_t ctx = 0;    // originating context id (recorder-assigned, dense)
   uint32_t target = 0; // function/field symbol; assertion site: automaton id
   int64_t return_value = 0;
@@ -54,6 +55,7 @@ static_assert(std::is_trivially_copyable_v<TraceRecord>);
 inline TraceRecord MakeRecord(uint64_t seq, uint32_t ctx, const runtime::Event& event) {
   TraceRecord record;
   record.seq = seq;
+  record.ts_ns = event.ts_ns;
   record.ctx = ctx;
   record.target = event.target;
   record.return_value = event.return_value;
@@ -71,6 +73,7 @@ inline runtime::Event ToEvent(const TraceRecord& record) {
   event.count = record.count;
   event.truncated = (record.flags & kFlagTruncated) != 0;
   event.target = record.target;
+  event.ts_ns = record.ts_ns;
   event.return_value = record.return_value;
   std::memcpy(event.values, record.values, sizeof(event.values));
   std::memcpy(event.vars, record.vars, sizeof(event.vars));

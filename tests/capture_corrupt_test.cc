@@ -44,15 +44,31 @@ std::vector<uint8_t> ValidCaptureBytes() {
       writer.Open(path, "test:corrupt", options, GlobalInterner(), manifest_text).ok());
   uint64_t seq = 0;
   int64_t args[] = {1, -2, 3};
-  writer.Append(trace::MakeRecord(seq++, 0, Event::Call(InternString("corrupt_fn"), args)));
+  // v6 timestamps on the attack surface too: values chosen single-varint-byte
+  // (≤ 127) so the footer layout is predictable for the footer tests below,
+  // with one backwards step (100 → 50) exercising the signed zigzag delta
+  // and one zero (record 4: a producer predating timed clauses).
+  const uint64_t ts[] = {100, 50, 120, 0, 125};
+  auto stamped = [&ts, &seq](Event event) {
+    event.ts_ns = ts[seq];
+    return event;
+  };
   writer.Append(
-      trace::MakeRecord(seq++, 1, Event::Return(InternString("corrupt_fn"), args, -7)));
+      trace::MakeRecord(seq, 0, stamped(Event::Call(InternString("corrupt_fn"), args))));
+  seq++;
   writer.Append(trace::MakeRecord(
-      seq++, 0, Event::FieldStore(InternString("corrupt_field"), 10, 20, 30)));
+      seq, 1, stamped(Event::Return(InternString("corrupt_fn"), args, -7))));
+  seq++;
+  writer.Append(trace::MakeRecord(
+      seq, 0, stamped(Event::FieldStore(InternString("corrupt_field"), 10, 20, 30))));
+  seq++;
   Binding bindings[] = {{1, -5}, {0, 8}};
-  writer.Append(trace::MakeRecord(seq++, 2, Event::Site(3, bindings)));
+  writer.Append(trace::MakeRecord(seq, 2, stamped(Event::Site(3, bindings))));
+  seq++;
   int64_t many[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
-  writer.Append(trace::MakeRecord(seq++, 0, Event::Call(InternString("corrupt_fn"), many)));
+  writer.Append(
+      trace::MakeRecord(seq, 0, stamped(Event::Call(InternString("corrupt_fn"), many))));
+  seq++;
 
   trace::SemanticSummary summary;
   summary.dropped = 1;
@@ -138,6 +154,104 @@ TEST(CorruptCapture, FlippedLengthFieldsNeverOverread) {
   for (size_t at = 8; at < bytes.size(); at++) {
     std::vector<uint8_t> mutated = bytes;
     mutated[at] = 0xff;  // varint: "huge value, more bytes follow"
+    WriteBytes(path, mutated);
+    auto read = TraceFile::Read(path);
+    if (!read.ok()) {
+      ExpectCleanFailure(read.error());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// The v6 timestamp footer is the file's final section: presence byte, field
+// count, base ts, last ts. With the seed's single-byte ts values it is
+// exactly {0x01, 0x02, 100, 125} — asserted here so the surgery tests below
+// cannot silently drift off the format.
+std::vector<uint8_t> ExpectedTsFooter() { return {0x01, 0x02, 100, 125}; }
+
+TEST(CorruptCapture, TimestampFooterRoundTrips) {
+  const std::vector<uint8_t> bytes = ValidCaptureBytes();
+  ASSERT_GE(bytes.size(), 4u);
+  EXPECT_EQ(std::vector<uint8_t>(bytes.end() - 4, bytes.end()), ExpectedTsFooter());
+  const std::string path = TempPath("tesla_corrupt_ts_ok");
+  WriteBytes(path, bytes);
+  auto read = TraceFile::Read(path);
+  ASSERT_TRUE(read.ok()) << read.error().ToString();
+  EXPECT_TRUE(read.value().summary.has_timestamps);
+  EXPECT_EQ(read.value().summary.ts_base_ns, 100u);
+  EXPECT_EQ(read.value().summary.ts_last_ns, 125u);
+  ASSERT_EQ(read.value().records.size(), 5u);
+  const uint64_t expected[] = {100, 50, 120, 0, 125};
+  for (size_t i = 0; i < 5; i++) {
+    EXPECT_EQ(read.value().records[i].ts_ns, expected[i]) << "record " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorruptCapture, UnknownTimestampFooterFieldsDiscarded) {
+  // v3 self-describing-footer policy applied to the timestamp section: a
+  // newer writer may append fields; this reader must take the two it knows
+  // and discard the rest, not reject the file.
+  std::vector<uint8_t> bytes = ValidCaptureBytes();
+  ASSERT_EQ(std::vector<uint8_t>(bytes.end() - 4, bytes.end()), ExpectedTsFooter());
+  bytes[bytes.size() - 3] = 0x04;  // field count 2 → 4
+  bytes.push_back(0x2a);           // two unknown future fields
+  bytes.push_back(0x2b);
+  const std::string path = TempPath("tesla_corrupt_ts_extra");
+  WriteBytes(path, bytes);
+  auto read = TraceFile::Read(path);
+  ASSERT_TRUE(read.ok()) << read.error().ToString();
+  EXPECT_TRUE(read.value().summary.has_timestamps);
+  EXPECT_EQ(read.value().summary.ts_base_ns, 100u);
+  EXPECT_EQ(read.value().summary.ts_last_ns, 125u);
+  std::remove(path.c_str());
+}
+
+TEST(CorruptCapture, TruncatedTimestampFooterRejected) {
+  // Redundant with the full truncation sweep, but pinned here so a footer
+  // regression names itself: every cut inside the ts footer must fail clean.
+  const std::vector<uint8_t> bytes = ValidCaptureBytes();
+  const std::string path = TempPath("tesla_corrupt_ts_trunc");
+  for (size_t keep = bytes.size() - 4; keep < bytes.size(); keep++) {
+    WriteBytes(path, std::vector<uint8_t>(bytes.begin(),
+                                          bytes.begin() + static_cast<long>(keep)));
+    auto read = TraceFile::Read(path);
+    ASSERT_FALSE(read.ok()) << "footer cut at " << keep << " parsed as valid";
+    ExpectCleanFailure(read.error());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorruptCapture, InvalidTimestampPresenceByteRejected) {
+  std::vector<uint8_t> bytes = ValidCaptureBytes();
+  ASSERT_EQ(std::vector<uint8_t>(bytes.end() - 4, bytes.end()), ExpectedTsFooter());
+  bytes[bytes.size() - 4] = 0x02;  // presence must be 0 or 1
+  const std::string path = TempPath("tesla_corrupt_ts_presence");
+  WriteBytes(path, bytes);
+  auto read = TraceFile::Read(path);
+  ASSERT_FALSE(read.ok());
+  ExpectCleanFailure(read.error());
+  std::remove(path.c_str());
+}
+
+TEST(CorruptCapture, VersionPolicyGate) {
+  // Readers accept v1–v6 and reject anything newer with the dedicated code
+  // (so a fleet can distinguish "old reader" from "corrupt file"). An older
+  // version digit over this v6 body must never crash: the body is not valid
+  // v1–v5, so any verdict is fine as long as failures stay coded.
+  const std::vector<uint8_t> bytes = ValidCaptureBytes();
+  const std::string path = TempPath("tesla_corrupt_version");
+  for (char digit = '7'; digit <= '9'; digit++) {
+    std::vector<uint8_t> mutated = bytes;
+    mutated[7] = static_cast<uint8_t>(digit);
+    WriteBytes(path, mutated);
+    auto read = TraceFile::Read(path);
+    ASSERT_FALSE(read.ok()) << "v" << digit << " accepted";
+    EXPECT_EQ(read.error().code, trace::kErrVersionMismatch) << "v" << digit;
+  }
+  for (char digit = '1'; digit <= '5'; digit++) {
+    std::vector<uint8_t> mutated = bytes;
+    mutated[7] = static_cast<uint8_t>(digit);
     WriteBytes(path, mutated);
     auto read = TraceFile::Read(path);
     if (!read.ok()) {

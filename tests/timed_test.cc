@@ -1,0 +1,534 @@
+// Timed-assertion coverage (within_ms / rate): grammar round trips, the
+// hierarchical deadline wheel, runtime arming/expiry/disarm semantics, the
+// satellite edge cases (boundary-tick expiry, backwards clocks, same-batch
+// arm-and-satisfy), negative-latency accounting through both clock-reading
+// paths, and the sync / async-queue / multi-consumer / replay differential.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "automata/lower.h"
+#include "automata/manifest.h"
+#include "metrics/metrics.h"
+#include "queue/queue.h"
+#include "runtime/deadline.h"
+#include "runtime/runtime.h"
+#include "trace/replay.h"
+
+namespace tesla {
+namespace {
+
+using automata::CompileAssertion;
+using automata::TimedSpec;
+using runtime::DeadlineWheel;
+using runtime::Event;
+using runtime::Runtime;
+using runtime::RuntimeOptions;
+using runtime::ThreadContext;
+using runtime::ViolationKind;
+
+Symbol S(const char* name) { return InternString(name); }
+
+constexpr uint64_t kMs = 1'000'000;
+constexpr uint64_t kBoot = 1'000'000'000;  // virtual boot time, away from ts==0
+
+// A 10 ms pat-after-arm deadline inside the svc bound. Neither clause is an
+// ordering property, so only the timed machinery can fault these runs.
+constexpr const char* kWithinSource =
+    "TESLA_WITHIN(svc, within_ms(10, TSEQUENCE(called(arm), called(pat))))";
+// Rate tests drive tick counts with a margin around the limit, so they stay
+// agnostic about whether the bound-entry event itself lands in the window.
+constexpr const char* kRateSource =
+    "TESLA_WITHIN(svc, rate(3, per_ms(10), ATLEAST(1, called(tick))))";
+
+RuntimeOptions TimedOptions(uint64_t* clock) {
+  RuntimeOptions options;
+  options.fail_stop = false;
+  // The flight recorder feeds violation_log(); tests assert on the log.
+  options.trace_mode = trace::TraceMode::kFlightRecorder;
+  options.now_ns = [clock] { return *clock; };
+  return options;
+}
+
+struct Fixture {
+  explicit Fixture(const std::string& source, RuntimeOptions options) : rt(options) {
+    auto automaton = CompileAssertion(source, {}, "timed");
+    EXPECT_TRUE(automaton.ok()) << automaton.error().ToString();
+    automata::Manifest manifest;
+    manifest.Add(std::move(automaton.value()));
+    EXPECT_TRUE(rt.Register(manifest).ok());
+  }
+  Runtime rt;
+};
+
+uint64_t CountKind(const std::vector<std::pair<ViolationKind, std::string>>& log,
+                   ViolationKind kind) {
+  uint64_t n = 0;
+  for (const auto& [k, detail] : log) {
+    n += k == kind ? 1 : 0;
+  }
+  return n;
+}
+
+uint64_t CountKind(const Runtime& rt, ViolationKind kind) {
+  return CountKind(rt.violation_log(), kind);
+}
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr && *dir != '\0' ? dir : "/tmp") + "/" + name + "." +
+         std::to_string(::getpid());
+}
+
+// --- grammar / lowering round trips ---
+
+TEST(TimedParser, WithinLowersToSpec) {
+  auto automaton = CompileAssertion(kWithinSource, {}, "t");
+  ASSERT_TRUE(automaton.ok()) << automaton.error().ToString();
+  ASSERT_EQ(automaton.value().timed.size(), 1u);
+  const TimedSpec& spec = automaton.value().timed[0];
+  EXPECT_EQ(spec.kind, TimedSpec::kWithin);
+  EXPECT_EQ(spec.bound_ns, 10 * kMs);
+  EXPECT_NE(spec.armed_mask, 0u);
+}
+
+TEST(TimedParser, RateLowersToSpec) {
+  auto automaton = CompileAssertion(kRateSource, {}, "t");
+  ASSERT_TRUE(automaton.ok()) << automaton.error().ToString();
+  ASSERT_EQ(automaton.value().timed.size(), 1u);
+  const TimedSpec& spec = automaton.value().timed[0];
+  EXPECT_EQ(spec.kind, TimedSpec::kRate);
+  EXPECT_EQ(spec.bound_ns, 10 * kMs);
+  EXPECT_EQ(spec.limit, 3u);
+  EXPECT_FALSE(spec.symbols.empty());
+}
+
+TEST(TimedParser, ManifestRoundTripPreservesTimedSpecs) {
+  automata::Manifest manifest;
+  for (const char* source : {kWithinSource, kRateSource}) {
+    auto automaton = CompileAssertion(source, {}, source);
+    ASSERT_TRUE(automaton.ok()) << automaton.error().ToString();
+    manifest.Add(std::move(automaton.value()));
+  }
+  auto parsed = automata::Manifest::Deserialize(manifest.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  ASSERT_EQ(parsed.value().automata.size(), manifest.automata.size());
+  for (size_t i = 0; i < manifest.automata.size(); i++) {
+    // Replay rebuilds deadlines from these lines; every field must survive.
+    EXPECT_EQ(parsed.value().automata[i].timed, manifest.automata[i].timed) << i;
+  }
+}
+
+// --- the deadline wheel ---
+
+TEST(DeadlineWheelTest, FiresStrictlyAfterDeadline) {
+  DeadlineWheel wheel(0);
+  wheel.Arm({5 * kMs, 1, 0, 7});
+  std::vector<DeadlineWheel::Entry> fired;
+  // An event at exactly ts == deadline can still satisfy its region.
+  wheel.Advance(5 * kMs, fired);
+  EXPECT_TRUE(fired.empty());
+  EXPECT_EQ(wheel.live(), 1u);
+  wheel.Advance(5 * kMs + 1, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].deadline_ns, 5 * kMs);
+  EXPECT_EQ(fired[0].class_id, 1u);
+  EXPECT_EQ(fired[0].serial, 7u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(DeadlineWheelTest, CascadesAcrossLevelBoundary) {
+  DeadlineWheel wheel(0);
+  // Tick 100 sits in level 1 from tick 0; the wheel must cascade it down as
+  // the cursor crosses the 64-tick boundary, not lose or double-fire it.
+  const uint64_t deadline = 100ull << DeadlineWheel::kTickBits;
+  wheel.Arm({deadline, 2, 0, 1});
+  std::vector<DeadlineWheel::Entry> fired;
+  wheel.Advance(64ull << DeadlineWheel::kTickBits, fired);
+  EXPECT_TRUE(fired.empty());
+  wheel.Advance(130ull << DeadlineWheel::kTickBits, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].deadline_ns, deadline);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(DeadlineWheelTest, RebuildsOnLargeClockJump) {
+  DeadlineWheel wheel(0);
+  const uint64_t deadline = 200ull << DeadlineWheel::kTickBits;
+  wheel.Arm({deadline, 3, 0, 1});
+  std::vector<DeadlineWheel::Entry> fired;
+  // One jump far past the incremental-walk bound (2 * 64 ticks): the wheel
+  // rebuilds around the new cursor and still fires exactly once.
+  wheel.Advance(400ull << DeadlineWheel::kTickBits, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].deadline_ns, deadline);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(DeadlineWheelTest, OverflowEntriesSurviveAndFire) {
+  DeadlineWheel wheel(0);
+  const uint64_t deadline = 1ull << 50;  // past every level: overflow list
+  wheel.Arm({deadline, 4, 0, 1});
+  std::vector<DeadlineWheel::Entry> fired;
+  wheel.Advance(10 * kMs, fired);
+  EXPECT_TRUE(fired.empty());
+  EXPECT_EQ(wheel.live(), 1u);
+  wheel.Advance(deadline + 1, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].class_id, 4u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+// --- within_ms runtime semantics ---
+
+TEST(TimedRuntime, RegionCompletedInTimeIsSilent) {
+  uint64_t clock = kBoot;
+  Fixture f(kWithinSource, TimedOptions(&clock));
+  ThreadContext ctx(f.rt);
+  f.rt.OnFunctionCall(ctx, S("svc"), {});
+  f.rt.OnFunctionCall(ctx, S("arm"), {});
+  clock += 5 * kMs;
+  f.rt.OnFunctionCall(ctx, S("pat"), {});
+  f.rt.OnFunctionReturn(ctx, S("svc"), {}, 0);
+  EXPECT_EQ(f.rt.stats().deadline_arms, 1u);
+  EXPECT_EQ(f.rt.stats().deadline_expiries, 0u);
+  EXPECT_EQ(f.rt.stats().violations, 0u);
+}
+
+TEST(TimedRuntime, LateRegionEventFiresExpiry) {
+  uint64_t clock = kBoot;
+  Fixture f(kWithinSource, TimedOptions(&clock));
+  ThreadContext ctx(f.rt);
+  f.rt.OnFunctionCall(ctx, S("svc"), {});
+  f.rt.OnFunctionCall(ctx, S("arm"), {});
+  clock += 20 * kMs;  // stall past the 10 ms SLO
+  f.rt.OnFunctionCall(ctx, S("pat"), {});  // the late event itself ticks the wheel
+  f.rt.OnFunctionReturn(ctx, S("svc"), {}, 0);
+  EXPECT_EQ(f.rt.stats().deadline_expiries, 1u);
+  EXPECT_EQ(CountKind(f.rt, ViolationKind::kDeadlineExpired), 1u);
+}
+
+TEST(TimedRuntime, ExpiryFiresOnBoundExitWithoutRegionEvent) {
+  // No timer thread: when the region never completes, the bound-exit event
+  // is the next clock observation and must surface the expiry itself.
+  uint64_t clock = kBoot;
+  Fixture f(kWithinSource, TimedOptions(&clock));
+  ThreadContext ctx(f.rt);
+  f.rt.OnFunctionCall(ctx, S("svc"), {});
+  f.rt.OnFunctionCall(ctx, S("arm"), {});
+  clock += 20 * kMs;
+  f.rt.OnFunctionReturn(ctx, S("svc"), {}, 0);  // pat never happened
+  EXPECT_EQ(f.rt.stats().deadline_expiries, 1u);
+  EXPECT_EQ(CountKind(f.rt, ViolationKind::kDeadlineExpired), 1u);
+}
+
+TEST(TimedRuntime, ExpiryExactlyAtBoundaryStillSatisfies) {
+  // Satellite edge case: deadline semantics are strictly-after. An event at
+  // ts == deadline completes the region; one nanosecond later expires it.
+  for (uint64_t slack : {uint64_t{0}, uint64_t{1}}) {
+    uint64_t clock = kBoot;
+    Fixture f(kWithinSource, TimedOptions(&clock));
+    ThreadContext ctx(f.rt);
+    f.rt.OnFunctionCall(ctx, S("svc"), {});
+    f.rt.OnFunctionCall(ctx, S("arm"), {});
+    clock += 10 * kMs + slack;
+    f.rt.OnFunctionCall(ctx, S("pat"), {});
+    f.rt.OnFunctionReturn(ctx, S("svc"), {}, 0);
+    EXPECT_EQ(f.rt.stats().deadline_expiries, slack) << "slack=" << slack;
+    EXPECT_EQ(CountKind(f.rt, ViolationKind::kDeadlineExpired), slack) << "slack=" << slack;
+  }
+}
+
+TEST(TimedRuntime, BackwardsClockClampsAndCountsOnce) {
+  // Satellite edge case: a clock stepped backwards mid-window must be
+  // counted (once per event) and clamped — never underflow a window or
+  // fire a deadline armed "in the past".
+  uint64_t clock = kBoot;
+  Fixture f(kWithinSource, TimedOptions(&clock));
+  ThreadContext ctx(f.rt);
+  f.rt.OnFunctionCall(ctx, S("svc"), {});
+  f.rt.OnFunctionCall(ctx, S("arm"), {});
+  clock -= 5 * kMs;  // the pat event's stamp regresses
+  f.rt.OnFunctionCall(ctx, S("pat"), {});
+  EXPECT_EQ(f.rt.stats().clock_regressions, 1u);
+  clock = kBoot + 1 * kMs;  // clock recovers
+  f.rt.OnFunctionReturn(ctx, S("svc"), {}, 0);
+  EXPECT_EQ(f.rt.stats().clock_regressions, 1u);
+  EXPECT_EQ(f.rt.stats().deadline_expiries, 0u);
+  EXPECT_EQ(f.rt.stats().violations, 0u);
+}
+
+TEST(TimedRuntime, ArmedAndSatisfiedInOneBatch) {
+  // Satellite edge case: a timed clause armed and satisfied by events in
+  // the same OnEvents() batch must come out clean — no spurious expiry.
+  uint64_t clock = kBoot;
+  Fixture f(kWithinSource, TimedOptions(&clock));
+  ThreadContext ctx(f.rt);
+  std::vector<Event> batch = {
+      Event::Call(S("svc"), {}),
+      Event::Call(S("arm"), {}),
+      Event::Call(S("pat"), {}),
+      Event::Return(S("svc"), {}, 0),
+  };
+  for (Event& event : batch) {
+    event.ts_ns = kBoot;
+  }
+  f.rt.OnEvents(ctx, batch);
+  EXPECT_EQ(f.rt.stats().deadline_arms, 1u);
+  EXPECT_EQ(f.rt.stats().deadline_expiries, 0u);
+  EXPECT_EQ(f.rt.stats().violations, 0u);
+}
+
+TEST(TimedRuntime, CompletedRegionCancelsPendingDeadline) {
+  // Lazy cancellation end to end: the wheel entry of a region that finished
+  // in time must not fire when the clock later sails far past its deadline.
+  uint64_t clock = kBoot;
+  Fixture f(kWithinSource, TimedOptions(&clock));
+  ThreadContext ctx(f.rt);
+  f.rt.OnFunctionCall(ctx, S("svc"), {});
+  f.rt.OnFunctionCall(ctx, S("arm"), {});
+  clock += 1 * kMs;
+  f.rt.OnFunctionCall(ctx, S("pat"), {});  // region done well inside the SLO
+  f.rt.OnFunctionReturn(ctx, S("svc"), {}, 0);
+  clock += 3'600'000 * kMs;  // an hour later, the stale entry pops
+  f.rt.OnFunctionCall(ctx, S("svc"), {});
+  f.rt.OnFunctionReturn(ctx, S("svc"), {}, 0);
+  EXPECT_EQ(f.rt.stats().deadline_arms, 1u);
+  EXPECT_EQ(f.rt.stats().deadline_expiries, 0u);
+  EXPECT_EQ(f.rt.stats().violations, 0u);
+}
+
+// --- rate() runtime semantics ---
+
+void DriveTicks(Runtime& rt, ThreadContext& ctx, int n) {
+  for (int i = 0; i < n; i++) {
+    rt.OnFunctionCall(ctx, S("tick"), {});
+  }
+}
+
+TEST(TimedRuntime, RateUnderLimitIsSilent) {
+  uint64_t clock = kBoot;
+  Fixture f(kRateSource, TimedOptions(&clock));
+  ThreadContext ctx(f.rt);
+  f.rt.OnFunctionCall(ctx, S("svc"), {});
+  DriveTicks(f.rt, ctx, 2);  // margin below limit=3 even if entry counts
+  f.rt.OnFunctionReturn(ctx, S("svc"), {}, 0);
+  EXPECT_EQ(f.rt.stats().rate_violations, 0u);
+  EXPECT_EQ(f.rt.stats().violations, 0u);
+}
+
+TEST(TimedRuntime, RateExceededReportsOncePerWindow) {
+  uint64_t clock = kBoot;
+  Fixture f(kRateSource, TimedOptions(&clock));
+  ThreadContext ctx(f.rt);
+  f.rt.OnFunctionCall(ctx, S("svc"), {});
+  DriveTicks(f.rt, ctx, 8);  // well past limit=3, all inside one 10 ms window
+  f.rt.OnFunctionReturn(ctx, S("svc"), {}, 0);
+  EXPECT_EQ(f.rt.stats().rate_violations, 1u);
+  EXPECT_EQ(CountKind(f.rt, ViolationKind::kRateExceeded), 1u);
+}
+
+TEST(TimedRuntime, RateWindowTumbles) {
+  // The same total count spread across two windows is within the SLO.
+  uint64_t clock = kBoot;
+  Fixture f(kRateSource, TimedOptions(&clock));
+  ThreadContext ctx(f.rt);
+  f.rt.OnFunctionCall(ctx, S("svc"), {});
+  DriveTicks(f.rt, ctx, 2);
+  clock += 15 * kMs;  // a quiet gap: the window tumbles
+  DriveTicks(f.rt, ctx, 2);
+  f.rt.OnFunctionReturn(ctx, S("svc"), {}, 0);
+  EXPECT_EQ(f.rt.stats().rate_violations, 0u);
+  EXPECT_EQ(f.rt.stats().violations, 0u);
+}
+
+TEST(TimedRuntime, RateBurstAfterTumbleStillTrips) {
+  uint64_t clock = kBoot;
+  Fixture f(kRateSource, TimedOptions(&clock));
+  ThreadContext ctx(f.rt);
+  f.rt.OnFunctionCall(ctx, S("svc"), {});
+  DriveTicks(f.rt, ctx, 2);  // clean first window
+  clock += 15 * kMs;
+  DriveTicks(f.rt, ctx, 8);  // burst in the second window
+  f.rt.OnFunctionReturn(ctx, S("svc"), {}, 0);
+  EXPECT_EQ(f.rt.stats().rate_violations, 1u);
+}
+
+// --- negative-latency accounting (both clock-reading paths) ---
+
+// An untimed assertion whose alphabet gives every driven event a dispatch,
+// so both latency brackets (metrics kFull and the profile sampler) run.
+constexpr const char* kUntimedSource =
+    "TESLA_WITHIN(svc, previously(ATLEAST(1, tick())))";
+
+void DriveUntimed(Runtime& rt, int ticks) {
+  ThreadContext ctx(rt);
+  rt.OnFunctionCall(ctx, S("svc"), {});
+  DriveTicks(rt, ctx, ticks);
+  rt.OnFunctionReturn(ctx, S("svc"), {}, 0);
+}
+
+TEST(TimedRuntime, NegativeLatencyCountedInMetricsBracket) {
+  // A clock that steps backwards between the two reads of the kFull
+  // dispatch bracket: the sample clamps to bucket 0 and the regression is
+  // counted, never silently swallowed.
+  uint64_t t = kBoot;
+  RuntimeOptions options;
+  options.fail_stop = false;
+  options.metrics_mode = metrics::MetricsMode::kFull;
+  options.now_ns = [&t] { return t -= 1000; };
+  Fixture f(kUntimedSource, options);
+  DriveUntimed(f.rt, 8);
+  EXPECT_GE(f.rt.stats().negative_latencies, 1u);
+}
+
+TEST(TimedRuntime, NegativeLatencyCountedInProfileSampler) {
+  // The same property through the 1-in-64 profile latency sampler — the
+  // path that used to clamp without counting.
+  uint64_t t = kBoot;
+  RuntimeOptions options;
+  options.fail_stop = false;
+  options.profile = true;
+  options.now_ns = [&t] { return t -= 1000; };
+  Fixture f(kUntimedSource, options);
+  DriveUntimed(f.rt, 256);  // enough dispatches for several 1-in-64 samples
+  EXPECT_GE(f.rt.stats().negative_latencies, 1u);
+}
+
+TEST(TimedRuntime, ForwardClockCountsNoNegativeLatencies) {
+  uint64_t t = kBoot;
+  RuntimeOptions options;
+  options.fail_stop = false;
+  options.metrics_mode = metrics::MetricsMode::kFull;
+  options.profile = true;
+  options.now_ns = [&t] { return t += 1000; };
+  Fixture f(kUntimedSource, options);
+  DriveUntimed(f.rt, 256);
+  EXPECT_EQ(f.rt.stats().negative_latencies, 0u);
+}
+
+// --- ingestion-path differential ---
+
+// A deterministic pre-stamped schedule: pass 1 stalls past the deadline
+// (one expiry), pass 2 is clean, pass 3 bursts ticks past the rate limit
+// (one rate violation). Every ingestion path must reach these verdicts.
+std::vector<Event> TimedSchedule() {
+  std::vector<Event> events;
+  uint64_t t = kBoot;
+  auto at = [&events](uint64_t ts, Event event) {
+    event.ts_ns = ts;
+    events.push_back(event);
+  };
+  // Pass 1: arm, stall 20 ms, pat too late.
+  at(t, Event::Call(S("svc"), {}));
+  at(t, Event::Call(S("arm"), {}));
+  at(t + 20 * kMs, Event::Call(S("pat"), {}));
+  at(t + 20 * kMs, Event::Return(S("svc"), {}, 0));
+  // Pass 2: clean.
+  t += 50 * kMs;
+  at(t, Event::Call(S("svc"), {}));
+  at(t, Event::Call(S("arm"), {}));
+  at(t + 5 * kMs, Event::Call(S("pat"), {}));
+  at(t + 5 * kMs, Event::Return(S("svc"), {}, 0));
+  // Pass 3: tick burst inside one 10 ms window.
+  t += 50 * kMs;
+  at(t, Event::Call(S("svc"), {}));
+  for (int i = 0; i < 8; i++) {
+    at(t + static_cast<uint64_t>(i) * kMs / 2, Event::Call(S("tick"), {}));
+  }
+  at(t + 5 * kMs, Event::Return(S("svc"), {}, 0));
+  return events;
+}
+
+automata::Manifest TimedManifest() {
+  automata::Manifest manifest;
+  for (const char* source : {kWithinSource, kRateSource}) {
+    auto automaton = CompileAssertion(source, {}, source);
+    EXPECT_TRUE(automaton.ok()) << automaton.error().ToString();
+    manifest.Add(std::move(automaton.value()));
+  }
+  return manifest;
+}
+
+struct DifferentialRun {
+  runtime::RuntimeStats stats;
+  std::vector<std::pair<ViolationKind, std::string>> violations;
+};
+
+DifferentialRun RunSync(const std::vector<Event>& events, const std::string& capture_path) {
+  RuntimeOptions options;
+  options.fail_stop = false;
+  if (!capture_path.empty()) {
+    options.trace_mode = trace::TraceMode::kFullCapture;
+  }
+  Runtime rt(options);
+  EXPECT_TRUE(rt.Register(TimedManifest()).ok());
+  ThreadContext ctx(rt);
+  rt.OnEvents(ctx, events);
+  if (!capture_path.empty()) {
+    EXPECT_TRUE(trace::WriteCapture(capture_path, "timed-differential", rt).ok());
+  }
+  return {rt.stats(), rt.violation_log()};
+}
+
+DifferentialRun RunQueued(const std::vector<Event>& events, size_t consumers) {
+  RuntimeOptions options;
+  options.fail_stop = false;
+  options.trace_mode = trace::TraceMode::kFlightRecorder;
+  Runtime rt(options);
+  EXPECT_TRUE(rt.Register(TimedManifest()).ok());
+  queue::QueueOptions qopts;
+  qopts.ring_capacity = 256;
+  qopts.batch_events = 4;  // small batches: events cross batch boundaries
+  qopts.consumers = consumers;
+  queue::EventQueue q(rt, qopts);
+  q.Start();
+  ThreadContext ctx(rt);
+  for (const Event& event : events) {
+    EXPECT_TRUE(q.Enqueue(ctx, event));  // pre-stamped ts rides the ring
+  }
+  q.Stop();
+  return {rt.stats(), rt.violation_log()};
+}
+
+void ExpectTimedVerdictsEqual(const DifferentialRun& a, const DifferentialRun& b,
+                              const char* label) {
+  EXPECT_EQ(a.violations, b.violations) << label;
+  EXPECT_EQ(a.stats.deadline_arms, b.stats.deadline_arms) << label;
+  EXPECT_EQ(a.stats.deadline_expiries, b.stats.deadline_expiries) << label;
+  EXPECT_EQ(a.stats.rate_violations, b.stats.rate_violations) << label;
+  EXPECT_EQ(a.stats.clock_regressions, b.stats.clock_regressions) << label;
+  EXPECT_EQ(a.stats.violations, b.stats.violations) << label;
+  EXPECT_EQ(a.stats.events, b.stats.events) << label;
+}
+
+TEST(TimedDifferential, VerdictsIdenticalAcrossIngestionPaths) {
+  const std::vector<Event> events = TimedSchedule();
+  const std::string capture = TempPath("tesla_timed_differential.trace");
+
+  const DifferentialRun sync = RunSync(events, capture);
+  EXPECT_EQ(sync.stats.deadline_expiries, 1u);
+  EXPECT_EQ(sync.stats.rate_violations, 1u);
+  EXPECT_EQ(CountKind(sync.violations, ViolationKind::kDeadlineExpired), 1u);
+  EXPECT_EQ(CountKind(sync.violations, ViolationKind::kRateExceeded), 1u);
+
+  ExpectTimedVerdictsEqual(sync, RunQueued(events, 1), "async-queue");
+  ExpectTimedVerdictsEqual(sync, RunQueued(events, 4), "4-consumer");
+
+  // Replay: the capture's embedded manifest and recorded timestamps must
+  // rebuild the exact verdicts — stats and violation sequence both match.
+  auto replay = trace::ReplayFile(capture);
+  ASSERT_TRUE(replay.ok()) << replay.error().ToString();
+  EXPECT_TRUE(replay.value().matched) << replay.value().divergence;
+  EXPECT_EQ(replay.value().violations, sync.violations);
+  EXPECT_EQ(replay.value().stats.deadline_expiries, 1u);
+  EXPECT_EQ(replay.value().stats.rate_violations, 1u);
+  std::remove(capture.c_str());
+}
+
+}  // namespace
+}  // namespace tesla
